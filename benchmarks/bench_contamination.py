@@ -1,0 +1,90 @@
+"""E15 — ablation: training contamination blinds the detectors.
+
+The paper's introduction lists "the inadvertent incorporation of
+intrusive behavior into a detector's concept of normal behavior" among
+anomaly detection's standing problems.  The bench quantifies it on the
+paper corpus: splice the anomaly into the training stream and chart
+which detectors still respond.
+
+Shape: one occurrence blinds Stide (exact match now exists) while the
+Markov detector still responds maximally (the occurrence is under the
+rarity floor); heavy contamination past the rarity threshold silences
+the Markov detector too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _artifacts import write_artifact
+
+from repro.analysis.report import format_table
+from repro.datagen.anomalies import AnomalySynthesizer
+from repro.datagen.contamination import contaminate_training
+from repro.detectors import MarkovDetector, StideDetector
+
+ANOMALY_SIZE = 5
+
+
+def _max_response(detector, anomaly: tuple[int, ...]) -> float:
+    window_length = detector.window_length
+    return max(
+        detector.score_window(anomaly[i : i + window_length])
+        for i in range(len(anomaly) - window_length + 1)
+    )
+
+
+def test_training_contamination(benchmark, training):
+    anomaly = AnomalySynthesizer(training).synthesize(ANOMALY_SIZE)
+    rng = np.random.default_rng(17)
+    window_length = 3
+    total_windows = len(training.stream) - window_length + 1
+    heavy = int(training.params.rare_threshold * total_windows) + 50
+
+    def run_levels():
+        results = {}
+        for label, occurrences in (
+            ("clean", 0),
+            ("1 occurrence", 1),
+            (f"heavy ({heavy} occurrences)", heavy),
+        ):
+            if occurrences:
+                corpus = contaminate_training(
+                    training, anomaly.sequence, occurrences, rng, margin=16
+                )
+            else:
+                corpus = training
+            stide = StideDetector(ANOMALY_SIZE, 8).fit(corpus.stream)
+            markov = MarkovDetector(window_length, 8).fit(corpus.stream)
+            results[label] = (
+                stide.score_window(anomaly.sequence),
+                _max_response(markov, anomaly.sequence),
+            )
+        return results
+
+    results = benchmark.pedantic(run_levels, rounds=1, iterations=1)
+
+    clean_stide, clean_markov = results["clean"]
+    one_stide, one_markov = results["1 occurrence"]
+    heavy_label = f"heavy ({heavy} occurrences)"
+    _heavy_stide, heavy_markov = results[heavy_label]
+
+    assert clean_stide == 1.0 and clean_markov == 1.0
+    assert one_stide == 0.0  # a single incorporation blinds Stide
+    assert one_markov == 1.0  # still under the rarity floor
+    assert heavy_markov < 1.0  # past the floor, Markov is silenced too
+
+    rows = [
+        (label, f"{stide_response:.1f}", f"{markov_response:.3f}")
+        for label, (stide_response, markov_response) in results.items()
+    ]
+    table = format_table(
+        headers=("training state", "stide response", "markov response"),
+        rows=rows,
+        title=(
+            "Ablation E15 — contaminated training vs. detector response "
+            f"(anomaly size {ANOMALY_SIZE}; stide DW={ANOMALY_SIZE}, "
+            f"markov DW={window_length})"
+        ),
+    )
+    write_artifact("contamination", table)

@@ -1,0 +1,61 @@
+"""E7 — Figure 1: the attack-detectability decision chain.
+
+Exercises every terminal of the paper's Figure-1 flowchart against the
+Stide performance map: no manifestation, un-analyzed data, non-anomalous
+manifestation, mistuned window, and full detection.
+"""
+
+from __future__ import annotations
+
+from _artifacts import write_artifact
+
+from repro.capability import AttackScenario, CapabilityVerdict, assess_attack
+from repro.evaluation.performance_map import build_performance_map
+
+
+def test_fig1_capability_chain(benchmark, suite, training):
+    performance_map = build_performance_map("stide", suite)
+    analyzer = training.analyzer
+    mfs6 = suite.anomaly(6).sequence
+    common = tuple(int(c) for c in training.stream[:4])
+
+    scenarios = [
+        (
+            AttackScenario("stealth-attack", None, True, 8),
+            CapabilityVerdict.NO_MANIFESTATION,
+        ),
+        (
+            AttackScenario("wrong-sensor", mfs6, False, 8),
+            CapabilityVerdict.NOT_ANALYZED,
+        ),
+        (
+            AttackScenario("mimicry-attack", common, True, 8),
+            CapabilityVerdict.NOT_ANOMALOUS,
+        ),
+        (
+            AttackScenario("undersized-window", mfs6, True, 3),
+            CapabilityVerdict.MISTUNED,
+        ),
+        (
+            AttackScenario("well-tuned", mfs6, True, 10),
+            CapabilityVerdict.DETECTED,
+        ),
+    ]
+
+    def assess_all():
+        return [
+            assess_attack(scenario, analyzer, performance_map)
+            for scenario, _expected in scenarios
+        ]
+
+    reports = benchmark(assess_all)
+
+    for report, (_scenario, expected) in zip(reports, scenarios):
+        assert report.verdict is expected
+
+    body = "\n\n".join(report.explain() for report in reports)
+    write_artifact(
+        "fig1_capability",
+        "Figure 1 — attack detectability decision chain (all terminals)\n\n"
+        + body,
+    )

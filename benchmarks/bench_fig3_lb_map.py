@@ -1,0 +1,51 @@
+"""E2 — Figure 3: Lane & Brodley performance map.
+
+Paper shape: the L&B detector is blind across the entire space — no
+(anomaly size, detector window) cell elicits a maximal response; the
+similarity metric's adjacency bias makes a minimal foreign sequence
+look close to normal (Section 7, Figure 7).
+"""
+
+from __future__ import annotations
+
+from _artifacts import write_artifact
+
+from repro.evaluation.performance_map import build_performance_map
+from repro.evaluation.render import (
+    render_graded_map,
+    render_map_summary,
+    render_performance_map,
+)
+
+
+def test_fig3_lane_brodley_map(benchmark, suite):
+    performance_map = benchmark.pedantic(
+        build_performance_map,
+        args=("lane-brodley", suite),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Paper shape: zero capable cells anywhere on the grid.
+    assert len(performance_map.capable_cells()) == 0
+    assert performance_map.detection_fraction() == 0.0
+
+    chart = render_performance_map(
+        performance_map,
+        title="Figure 3 — Detection coverage, L&B detector (reproduced)",
+    )
+    graded = render_graded_map(
+        performance_map,
+        title=(
+            "Section 7's 'close to normal' bias, made visible: max "
+            "in-span L&B response per cell (% of maximal)"
+        ),
+    )
+    write_artifact(
+        "fig3_lane_brodley_map",
+        chart
+        + "\n\n"
+        + render_map_summary(performance_map)
+        + "\n\n"
+        + graded,
+    )

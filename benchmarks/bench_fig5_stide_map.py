@@ -1,0 +1,44 @@
+"""E4 — Figure 5: Stide performance map.
+
+Paper shape: Stide detects the minimal foreign sequence exactly when
+its detector window is at least as long as the anomaly
+(``DW >= AS``); below that diagonal it is completely blind, because by
+minimality every sub-anomaly-length window exists in the training data.
+"""
+
+from __future__ import annotations
+
+from _artifacts import write_artifact
+
+from repro.evaluation.performance_map import build_performance_map
+from repro.evaluation.render import render_map_summary, render_performance_map
+from repro.evaluation.scoring import ResponseClass
+
+
+def test_fig5_stide_map(benchmark, suite):
+    performance_map = benchmark.pedantic(
+        build_performance_map,
+        args=("stide", suite),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Paper shape: capable iff DW >= AS; blind strictly below.
+    for anomaly_size in suite.anomaly_sizes:
+        for window_length in suite.window_lengths:
+            expected = (
+                ResponseClass.CAPABLE
+                if window_length >= anomaly_size
+                else ResponseClass.BLIND
+            )
+            actual = performance_map.response_class(anomaly_size, window_length)
+            assert actual is expected, f"AS={anomaly_size} DW={window_length}"
+    assert len(performance_map.capable_cells()) == 84
+
+    chart = render_performance_map(
+        performance_map,
+        title="Figure 5 — Detection coverage, Stide (reproduced)",
+    )
+    write_artifact(
+        "fig5_stide_map", chart + "\n\n" + render_map_summary(performance_map)
+    )

@@ -1,0 +1,34 @@
+"""E5 — Figure 6: neural-network-detector performance map.
+
+Paper shape: with a well-tuned network the NN detector "appears to be
+as good as the Markov-based detector" — full coverage of the evaluated
+space.  (Its tuning sensitivity is exercised separately by the E10
+ablation bench.)
+"""
+
+from __future__ import annotations
+
+from _artifacts import write_artifact
+
+from repro.evaluation.performance_map import build_performance_map
+from repro.evaluation.render import render_map_summary, render_performance_map
+
+
+def test_fig6_neural_network_map(benchmark, suite):
+    performance_map = benchmark.pedantic(
+        build_performance_map,
+        args=("neural-network", suite),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Paper shape: mimics the Markov detector — full coverage.
+    assert performance_map.detection_fraction() == 1.0
+
+    chart = render_performance_map(
+        performance_map,
+        title="Figure 6 — Detection coverage, Neural-Net-based detector (reproduced)",
+    )
+    write_artifact(
+        "fig6_nn_map", chart + "\n\n" + render_map_summary(performance_map)
+    )

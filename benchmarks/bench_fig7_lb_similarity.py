@@ -1,0 +1,46 @@
+"""E6 — Figure 7: the L&B similarity calculation, exactly.
+
+The paper works two size-5 examples:
+
+* two identical sequences score ``Sim_max = DW (DW+1)/2 = 15``;
+* a foreign sequence differing from a normal one only at the last
+  element scores ``DW (DW-1)/2 = 10`` — a "slight dip" that is all the
+  evidence the detector gets, which is why L&B misses edge-mismatching
+  foreign sequences.
+
+The benchmark times the similarity kernel and regenerates both numbers.
+"""
+
+from __future__ import annotations
+
+from _artifacts import write_artifact
+
+from repro.detectors.lane_brodley import lb_max_similarity, lb_similarity
+
+# The paper's example sequences: cd <1> ls laf tar (encoded 0..4) and
+# the foreign variant with `cd` in the final position.
+NORMAL = (0, 1, 2, 3, 4)
+FOREIGN = (0, 1, 2, 3, 0)
+
+
+def test_fig7_lb_similarity(benchmark):
+    identical = benchmark(lb_similarity, NORMAL, NORMAL)
+    mismatch_last = lb_similarity(NORMAL, FOREIGN)
+
+    assert identical == 15  # the paper's Sim_max for DW=5
+    assert mismatch_last == 10  # the paper's Sim_weak
+    assert lb_max_similarity(5) == 15
+
+    lines = [
+        "Figure 7 — L&B similarity between two size-5 sequences (reproduced)",
+        "sequences: cd <1> ls laf tar  (encoded 0 1 2 3 4)",
+        "",
+        f"identical sequences:        Sim = {identical}   [paper: 15]",
+        f"foreign final element:      Sim = {mismatch_last}   [paper: 10]",
+        "",
+        "The anomaly response for the foreign sequence is only "
+        f"1 - {mismatch_last}/{identical} = {1 - mismatch_last / identical:.3f}, "
+        "far from the maximal response 1.0 — the adjacency-weighted "
+        "metric classifies the foreign sequence as close to normal.",
+    ]
+    write_artifact("fig7_lb_similarity", "\n".join(lines))

@@ -1,0 +1,98 @@
+"""E22 — profile granularity: per-program "self" vs. a pooled profile.
+
+Forrest et al.'s per-process profiles (the Stide lineage) define normal
+per program.  The bench measures what pooling erases: sessions of one
+program scored against another program's profile (cross-program misuse,
+the signature of a compromised daemon) versus the pooled profile that
+has seen everyone's behavior.
+
+Shape: per-program profiles flag cross-program sessions at a high
+per-window rate and keep exploits at 100%; the pooled profile keeps the
+exploits but is near-blind to cross-program misuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _artifacts import write_artifact
+
+from repro.analysis.report import format_table
+from repro.syscalls import build_dataset, ftpd_model, lpr_model, sendmail_model
+from repro.syscalls.fleet import FleetMonitor
+from repro.syscalls.generator import TraceGenerator
+
+WINDOW = 4
+SESSIONS = 20
+
+
+def test_fleet_granularity(benchmark, syscall_dataset):
+    datasets = [
+        build_dataset(
+            model,
+            training_sessions=200,
+            test_normal_sessions=5,
+            test_intrusion_sessions=5,
+        )
+        for model in (sendmail_model(), lpr_model(), ftpd_model())
+    ]
+    fleet = FleetMonitor(datasets, window_length=WINDOW)
+    rng = np.random.default_rng(3)
+    lpr_generator = TraceGenerator(lpr_model())
+    cross_sessions = [
+        lpr_generator.normal_session(rng, 25) for _ in range(SESSIONS)
+    ]
+    intrusion_sessions = [
+        TraceGenerator(sendmail_model()).intrusion_session(rng, 25)
+        for _ in range(SESSIONS)
+    ]
+
+    def deploy():
+        owner_cross = np.mean(
+            [
+                (fleet.score("sendmail", s.stream) == 1.0).mean()
+                for s in cross_sessions
+            ]
+        )
+        pooled_cross = np.mean(
+            [
+                (fleet.score_pooled(s.stream) == 1.0).mean()
+                for s in cross_sessions
+            ]
+        )
+        owner_hits = np.mean(
+            [
+                float(fleet.score("sendmail", s.stream).max() == 1.0)
+                for s in intrusion_sessions
+            ]
+        )
+        pooled_hits = np.mean(
+            [
+                float(fleet.score_pooled(s.stream).max() == 1.0)
+                for s in intrusion_sessions
+            ]
+        )
+        return owner_cross, pooled_cross, owner_hits, pooled_hits
+
+    owner_cross, pooled_cross, owner_hits, pooled_hits = benchmark.pedantic(
+        deploy, rounds=1, iterations=1
+    )
+
+    # Shape: both catch the exploits; only the owner profile sees
+    # cross-program misuse at scale.
+    assert owner_hits == 1.0 and pooled_hits == 1.0
+    assert owner_cross > 0.5
+    assert pooled_cross < owner_cross / 2
+
+    table = format_table(
+        headers=("profile", "cross-program alarm rate", "exploit hit rate"),
+        rows=[
+            ("per-program (sendmail's self)", f"{owner_cross:.3f}", f"{owner_hits:.2f}"),
+            ("pooled (everyone's self)", f"{pooled_cross:.3f}", f"{pooled_hits:.2f}"),
+        ],
+        title=(
+            "E22 — lpr-style sessions scored as sendmail, and sendmail "
+            f"exploits (DW={WINDOW}, {SESSIONS} sessions each)"
+        ),
+    )
+    write_artifact("fleet_granularity", table)

@@ -1,0 +1,56 @@
+"""E21 — seed robustness: the shapes are properties, not accidents.
+
+Re-runs the corpus construction and map experiment under independent
+seeds and asserts the four qualitative shapes of Figures 3-6 replicate
+every time.  (The NN is checked on one replication only — it dominates
+the runtime — with the cheap detectors replicated more broadly.)
+"""
+
+from __future__ import annotations
+
+from _artifacts import write_artifact
+
+from repro.analysis.report import format_table
+from repro.evaluation.robustness import (
+    blind_shape,
+    full_coverage_shape,
+    replicate_shapes,
+    stide_shape,
+)
+from repro.params import scaled_params
+
+SEEDS = (11, 47, 2005)
+CHEAP_SHAPES = {
+    "stide": stide_shape,
+    "markov": full_coverage_shape,
+    "lane-brodley": blind_shape,
+}
+
+
+def test_seed_robustness(benchmark, params):
+    base = scaled_params(60_000)
+
+    report = benchmark.pedantic(
+        replicate_shapes,
+        args=(base, SEEDS),
+        kwargs={"detectors": CHEAP_SHAPES},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert report.replications == len(SEEDS)
+    assert report.all_held, report.summary()
+
+    rows = []
+    for outcome in report.outcomes:
+        for name, held in sorted(outcome.shape_held.items()):
+            rows.append((outcome.seed, name, "held" if held else "BROKE"))
+    table = format_table(
+        headers=("corpus seed", "detector", "paper shape"),
+        rows=rows,
+        title=(
+            "E21 — shape replication across independent corpora "
+            f"({base.training_length:,} elements each)"
+        ),
+    )
+    write_artifact("robustness", table + "\n\n" + report.summary())

@@ -1,0 +1,49 @@
+"""E13 — throughput: detector scoring rates on long streams.
+
+Not a paper figure — an engineering benchmark recording how fast each
+similarity metric scores a long categorical stream, for sizing
+deployments of the library.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _artifacts import write_artifact
+
+from repro.detectors.registry import create_detector
+
+WINDOW_LENGTH = 6
+TEST_LENGTH = 100_000
+
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.mark.parametrize(
+    "name", ("stide", "t-stide", "markov", "lane-brodley")
+)
+def test_scoring_throughput(benchmark, training, name):
+    detector = create_detector(name, WINDOW_LENGTH, 8)
+    detector.fit(training.stream)
+    test_stream = training.stream[:TEST_LENGTH]
+
+    responses = benchmark(detector.score_stream, test_stream)
+
+    assert len(responses) == TEST_LENGTH - WINDOW_LENGTH + 1
+    mean_seconds = benchmark.stats.stats.mean
+    _RESULTS[name] = len(responses) / mean_seconds
+    lines = [
+        f"Throughput (DW={WINDOW_LENGTH}, stream {TEST_LENGTH} elements):"
+    ]
+    for detector_name, rate in sorted(_RESULTS.items()):
+        lines.append(f"  {detector_name:<14} {rate:>14,.0f} windows/s")
+    write_artifact("throughput", "\n".join(lines))
+
+
+def test_fit_throughput(benchmark, training):
+    """Time fitting Stide's normal database on the full training stream."""
+    detector = create_detector("stide", WINDOW_LENGTH, 8)
+
+    benchmark(detector.fit, training.stream)
+
+    assert detector.is_fitted

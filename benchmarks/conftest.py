@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run on a corpus with the paper's exact structure at a
+configurable scale (``REPRO_BENCH_STREAM_LEN``, default 200,000
+elements; set it to 1,000,000 to reproduce at full paper scale).
+
+Each benchmark writes its paper-style artifact (the rows/series the
+corresponding figure reports) to ``benchmarks/output/`` so that
+EXPERIMENTS.md can be assembled from actual runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen.suite import EvaluationSuite, build_suite
+from repro.datagen.training import TrainingData, generate_training_data
+from repro.params import PaperParams, scaled_params
+from repro.syscalls import SyscallDataset, build_dataset, sendmail_model
+
+BENCH_STREAM_LEN = int(os.environ.get("REPRO_BENCH_STREAM_LEN", "200000"))
+
+
+@pytest.fixture(scope="session")
+def params() -> PaperParams:
+    """Benchmark-scale parameters with the paper's structure."""
+    return scaled_params(BENCH_STREAM_LEN)
+
+
+@pytest.fixture(scope="session")
+def training(params: PaperParams) -> TrainingData:
+    """The benchmark training corpus."""
+    return generate_training_data(params)
+
+
+@pytest.fixture(scope="session")
+def suite(training: TrainingData) -> EvaluationSuite:
+    """The full 112-case evaluation suite."""
+    return build_suite(training=training)
+
+
+@pytest.fixture(scope="session")
+def syscall_dataset() -> SyscallDataset:
+    """UNM-style syscall dataset for the deployment experiments."""
+    return build_dataset(
+        sendmail_model(),
+        training_sessions=300,
+        test_normal_sessions=40,
+        test_intrusion_sessions=30,
+    )

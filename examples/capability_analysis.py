@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Why did the detector miss the attack?  (Figure 1 walkthrough.)
+
+The paper's Figure 1 decomposes "did the anomaly detector detect the
+attack?" into five questions, A through E.  This example runs the
+chain for a set of attack scenarios against a deployed Stide instance
+and prints the terminal verdict for each — including the paper's
+signature failure mode: a *mistuned* detector window that blinds an
+otherwise-capable detector.
+
+Run:  python examples/capability_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import build_suite, generate_training_data, scaled_params
+from repro.capability import AttackScenario, assess_attack
+from repro.evaluation.performance_map import build_performance_map
+
+
+def main() -> None:
+    params = scaled_params()
+    training = generate_training_data(params)
+    suite = build_suite(training=training)
+
+    print("charting the deployed detector's performance map (Stide)...")
+    performance_map = build_performance_map("stide", suite)
+    analyzer = training.analyzer
+
+    mfs = suite.anomaly(6).sequence
+    normal_run = tuple(int(code) for code in training.stream[:4])
+
+    scenarios = [
+        AttackScenario(
+            name="covert-channel (no syscall trace)",
+            manifestation=None,
+            detector_analyzes_data=True,
+            deployed_window_length=8,
+        ),
+        AttackScenario(
+            name="attack on an unmonitored host",
+            manifestation=mfs,
+            detector_analyzes_data=False,
+            deployed_window_length=8,
+        ),
+        AttackScenario(
+            name="mimicry attack (looks normal)",
+            manifestation=normal_run,
+            detector_analyzes_data=True,
+            deployed_window_length=8,
+        ),
+        AttackScenario(
+            name="size-6 MFS, window mistuned to 3",
+            manifestation=mfs,
+            detector_analyzes_data=True,
+            deployed_window_length=3,
+        ),
+        AttackScenario(
+            name="size-6 MFS, window tuned to 10",
+            manifestation=mfs,
+            detector_analyzes_data=True,
+            deployed_window_length=10,
+        ),
+    ]
+
+    for scenario in scenarios:
+        report = assess_attack(scenario, analyzer, performance_map)
+        print()
+        print(report.explain())
+
+    print(
+        "\nThe last two scenarios differ only in the detector-window\n"
+        "setting: the paper's point that an incorrect parameter choice\n"
+        "renders a capable detector blind (Section 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The anatomy of the paper's synthetic corpus, in numbers.
+
+Section 5.3 describes the training data qualitatively: one million
+elements, 98% a repeated cycle over an alphabet of 8, the remaining 2%
+rare sequences from a little nondeterminism, rarity meaning relative
+frequency under 0.5%.  This example regenerates the corpus and verifies
+each property with the library's statistics machinery — then shows why
+the structure matters, via the MFS census and the natural-data
+contrast.
+
+Run:  python examples/corpus_anatomy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import generate_training_data, scaled_params
+from repro.analysis import format_table, mfs_census
+from repro.datagen import NaturalSource, background_confound_rate
+from repro.datagen.background import generate_background
+from repro.sequences import (
+    conditional_entropy,
+    frequency_spectrum,
+    ngram_space_saturation,
+    symbol_distribution,
+)
+
+
+def main() -> None:
+    params = scaled_params()
+    training = generate_training_data(params)
+    analyzer = training.analyzer
+    store = analyzer.store_for(1, 2, 6)
+
+    print(f"corpus: {training.length:,} elements, alphabet {params.alphabet_size}, "
+          f"seed {params.seed}")
+    print(f"cycle fraction: {training.cycle_run_fraction():.2%}   "
+          "(paper: ~98%)")
+    print(f"deviation events: {len(training.jump_positions()):,}")
+
+    distribution = symbol_distribution(training.stream, 8)
+    print("\nsymbol frequencies (the cycle visits all 8 equally):")
+    print("  " + "  ".join(
+        f"{symbol}:{frequency:.3f}"
+        for symbol, frequency in zip(training.alphabet.symbols, distribution)
+    ))
+
+    print("\nn-gram frequency spectra (common vs. rare mass):")
+    for length in (2, 6):
+        spectrum = frequency_spectrum(store, length, params.rare_threshold)
+        print("  " + spectrum.describe())
+
+    entropy = conditional_entropy(store, 1)
+    print(f"\nconditional entropy H(next | current): {entropy:.3f} bits "
+          "(near-deterministic, as designed)")
+    saturation = ngram_space_saturation(store, 6, 8)
+    print(f"6-gram space saturation: {saturation:.2e} "
+          "(virtually every 6-gram is foreign)")
+
+    census = mfs_census(analyzer)
+    print()
+    print(format_table(
+        ("MFS length", "count"), census.rows(),
+        title="minimal foreign sequences constructible against this corpus"))
+    print(f"largest MFS: {census.recommended_stide_window()} "
+          "(the suite needs sizes up to 9 — satisfied)")
+
+    # The punchline: this structure is what keeps the evaluation clean.
+    background = generate_background(8, 5_000)
+    synthetic_confound = background_confound_rate(training.stream, background, 10)
+    natural = NaturalSource(seed=5)
+    natural_train = natural.sample(training.length, np.random.default_rng(1))
+    natural_heldout = natural.sample(5_000, np.random.default_rng(2))
+    natural_confound = background_confound_rate(natural_train, natural_heldout, 10)
+    print(f"\nforeign background windows at DW=10 (no anomaly anywhere):")
+    print(f"  synthetic background: {synthetic_confound:.4f}")
+    print(f"  natural-style data:   {natural_confound:.4f}")
+    print(
+        "\nEvery response in the synthetic evaluation is attributable to\n"
+        "the injected anomaly — the control Section 4.3 demands, and the\n"
+        "reason the paper sets natural data aside."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""A defender's full workflow, using every layer of the library.
+
+The paper's closing position is that deployment decisions should come
+from measured detector behavior, not design intuition.  This capstone
+example plays out that workflow for a monitored sendmail-like daemon:
+
+1. **survey** the normal traces — the MFS census bounds the window a
+   Stide-family detector needs ("Why 6?");
+2. **chart** candidate detectors' performance maps on the controlled
+   synthetic corpus;
+3. **select** a deployment from the measured coverage for the threat
+   model (manifestation size unknown);
+4. **deploy** the selection on live sessions and report hits and false
+   alarms;
+5. **diagnose** a miss with the Figure-1 capability chain.
+
+Run:  python examples/end_to_end_defense.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Coverage,
+    build_suite,
+    generate_training_data,
+    scaled_params,
+)
+from repro.analysis import format_table, mfs_census
+from repro.capability import AttackScenario, assess_attack
+from repro.detectors import MarkovDetector, StideDetector
+from repro.detectors.threshold import MaximalResponseThreshold
+from repro.ensemble import AnomalyProfile, gated_alarms, select_detectors
+from repro.evaluation.metrics import evaluate_alarms
+from repro.evaluation.performance_map import build_performance_map
+from repro.sequences import ForeignSequenceAnalyzer
+from repro.syscalls import build_dataset, sendmail_model, truth_window_regions
+
+
+def main() -> None:
+    # -- 1. survey the monitored program's normal behavior ------------------
+    dataset = build_dataset(sendmail_model(), training_sessions=300,
+                            test_normal_sessions=40,
+                            test_intrusion_sessions=30)
+    pooled = np.concatenate(dataset.training_streams())
+    census = mfs_census(
+        ForeignSequenceAnalyzer(pooled), lengths=tuple(range(2, 7))
+    )
+    window_bound = census.recommended_stide_window()
+    print(format_table(("MFS length", "count"), census.rows(),
+                       title="1. census of the monitored program's traces"))
+    print(f"   largest natural MFS: {window_bound} "
+          f"-> exact-match detectors need DW >= {window_bound}\n")
+
+    # -- 2. chart the candidates on the controlled corpus -------------------
+    params = scaled_params()
+    training = generate_training_data(params)
+    suite = build_suite(training=training)
+    coverages = {
+        name: Coverage.from_performance_map(build_performance_map(name, suite))
+        for name in ("stide", "markov", "lane-brodley")
+    }
+    print("2. measured coverage on the controlled corpus:")
+    for name, coverage in sorted(coverages.items()):
+        print(f"   {name:<14} {len(coverage)}/{len(coverage.grid)} cells")
+
+    # -- 3. select for the threat model --------------------------------------
+    deploy_window = 4  # what this deployment can afford
+    profile = AnomalyProfile(size=None, max_deployable_window=deploy_window)
+    advice = select_detectors(coverages, profile)
+    print(f"\n3. threat model: manifestation size unknown, DW <= {deploy_window}")
+    print(f"   -> {advice.describe()}")
+
+    # -- 4. deploy the selection on live sessions ----------------------------
+    alphabet_size = dataset.alphabet.size
+    stide = StideDetector(deploy_window, alphabet_size).fit_many(
+        dataset.training_streams()
+    )
+    markov = MarkovDetector(deploy_window, alphabet_size).fit_many(
+        dataset.training_streams()
+    )
+    stide_level = MaximalResponseThreshold.for_detector(stide)
+    markov_level = MaximalResponseThreshold.for_detector(markov)
+    alarms, truths = [], []
+    traces = list(dataset.test_normal) + list(dataset.test_intrusions)
+    for trace in traces:
+        stide_alarms = stide_level.alarms(stide.score_stream(trace.stream))
+        markov_alarms = markov_level.alarms(markov.score_stream(trace.stream))
+        alarms.append(gated_alarms(markov_alarms, stide_alarms))
+        truths.append(truth_window_regions(trace, deploy_window))
+    metrics = evaluate_alarms(alarms, truths)
+    print(f"\n4. deployed on {len(traces)} sessions: {metrics.summary()}")
+
+    # -- 5. diagnose a hypothetical miss -------------------------------------
+    stide_map = build_performance_map("stide", suite)
+    scenario = AttackScenario(
+        name="size-8 MFS against a lone stide at DW=4",
+        manifestation=suite.anomaly(8).sequence,
+        detector_analyzes_data=True,
+        deployed_window_length=deploy_window,
+    )
+    report = assess_attack(scenario, training.analyzer, stide_map)
+    print("\n5. why would a lone Stide at this window have missed?")
+    print(report.explain())
+    print(
+        "\nThe gated pairing covers that miss: the Markov member detects\n"
+        "at any window, and Stide's gating keeps the false alarms at its\n"
+        "own (zero) rate — the paper's diversity recipe, end to end."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Masquerade detection over user command sequences — and why L&B fails.
+
+Lane & Brodley designed their similarity metric for exactly this
+setting: profiling a user's shell-command stream and flagging sessions
+typed by somebody else.  The paper notes the detector's "previous
+application to masquerade detection" and then shows it blind to
+minimal foreign sequences.
+
+This example builds a user profile from synthetic command histories,
+deploys the L&B detector against (a) an obvious masquerader and
+(b) an attacker who mimics the user except for one trailing command —
+the Figure-7 edge-mismatch case — and contrasts it with Stide.
+
+Run:  python examples/masquerade_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Alphabet, LaneBrodleyDetector, StideDetector
+from repro.detectors.lane_brodley import lb_max_similarity
+
+COMMANDS = (
+    "cd", "ls", "vi", "make", "gcc", "gdb", "cat", "grep",
+    "mail", "rm", "cp", "mv", "man", "latex", "xdvi", "tar",
+)
+
+# The legitimate user: an edit-compile-debug loop with mail breaks.
+USER_HABITS = [
+    ("cd", "ls", "vi", "make", "gcc", "gdb"),
+    ("vi", "make", "gcc", "gdb", "vi", "make"),
+    ("cd", "ls", "cat", "grep", "vi", "make"),
+    ("mail", "cd", "ls", "vi", "make", "gcc"),
+    ("man", "gcc", "vi", "make", "gcc", "gdb"),
+]
+
+# The masquerader: archive-and-exfiltrate behavior.
+MASQUERADER = ("cd", "tar", "cp", "rm", "mail", "rm")
+
+WINDOW_LENGTH = 5
+
+
+def build_history(rng: np.random.Generator, sessions: int) -> list[tuple[str, ...]]:
+    """Sample command sessions from the user's habit set."""
+    picks = rng.integers(0, len(USER_HABITS), size=sessions)
+    return [USER_HABITS[int(i)] for i in picks]
+
+
+def main() -> None:
+    alphabet = Alphabet(COMMANDS)
+    rng = np.random.default_rng(2005)
+    history = build_history(rng, sessions=400)
+    streams = [np.asarray(alphabet.encode(session)) for session in history]
+
+    lane_brodley = LaneBrodleyDetector(WINDOW_LENGTH, alphabet.size)
+    lane_brodley.fit_many(streams)
+    stide = StideDetector(WINDOW_LENGTH, alphabet.size).fit_many(streams)
+    print(f"user profile: {lane_brodley.database_size} distinct "
+          f"{WINDOW_LENGTH}-command sequences from {len(history)} sessions")
+
+    def judge(label: str, commands: tuple[str, ...]) -> None:
+        window = alphabet.encode(commands)[:WINDOW_LENGTH]
+        similarity = lane_brodley.similarity_to_normal(window)
+        lb_response = lane_brodley.score_window(window)
+        stide_response = stide.score_window(window)
+        print(f"\n{label}: {' '.join(commands[:WINDOW_LENGTH])}")
+        print(f"  L&B best similarity: {similarity}/"
+              f"{lb_max_similarity(WINDOW_LENGTH)}  "
+              f"-> response {lb_response:.2f}")
+        print(f"  Stide response:      {stide_response:.0f}")
+
+    # (a) An obvious masquerader: both detectors respond strongly.
+    judge("masquerader session", MASQUERADER)
+
+    # (b) The Figure-7 case: the user's own sequence with only the
+    # final command replaced.  Foreign — but L&B barely reacts.
+    mimic = USER_HABITS[0][:WINDOW_LENGTH - 1] + ("rm",)
+    judge("edge-mismatch mimic", mimic)
+
+    print(
+        "\nThe mimic's window is foreign (Stide responds maximally), but\n"
+        "its L&B similarity dips only from "
+        f"{lb_max_similarity(WINDOW_LENGTH)} to "
+        f"{lane_brodley.similarity_to_normal(alphabet.encode(mimic))} — the\n"
+        "adjacency-weighted metric is biased in favor of matching runs,\n"
+        "so a single edge mismatch looks close to normal (Section 7).\n"
+        "Catching it with L&B would require a threshold so low that every\n"
+        "one-off typo alarms — the false-alarm blowup the paper predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: train a detector, inject an anomaly, read the verdict.
+
+This walks the library's core loop in miniature:
+
+1. generate the paper-style training corpus (a categorical stream that
+   is 98% a repeating cycle, 2% rare deviations);
+2. synthesize a minimal foreign sequence (MFS) — a sequence absent from
+   training whose every proper subsequence is present;
+3. inject it cleanly into background data;
+4. deploy Stide and the Markov detector and compare their responses.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AnomalySynthesizer,
+    InjectionPolicy,
+    MarkovDetector,
+    StideDetector,
+    generate_training_data,
+    inject_anomaly,
+    scaled_params,
+    score_injected,
+)
+
+
+def main() -> None:
+    # 1. The corpus.  scaled_params() mirrors the paper's structure at a
+    #    laptop-friendly scale; paper_params() gives the full 1M stream.
+    params = scaled_params()
+    training = generate_training_data(params)
+    print(f"training stream: {training.length:,} elements over alphabet "
+          f"{training.alphabet.size}")
+    print(f"cycle fraction: {training.cycle_run_fraction():.1%} "
+          "(the paper reports ~98%)")
+
+    # 2. A minimal foreign sequence of size 6, composed of rare parts.
+    anomaly = AnomalySynthesizer(training).synthesize(6)
+    symbols = training.alphabet.decode(anomaly.sequence)
+    print(f"\nanomaly (MFS, size {anomaly.size}): {symbols}")
+    print(f"  left part frequency:  {anomaly.left_part_frequency:.4%} (rare)")
+    print(f"  right part frequency: {anomaly.right_part_frequency:.4%} (rare)")
+
+    # 3. Clean injection: every boundary window must exist in training.
+    policy = InjectionPolicy(
+        window_lengths=params.window_sizes,
+        rare_threshold=params.rare_threshold,
+    )
+    injected = inject_anomaly(anomaly.sequence, training, policy,
+                              stream_length=1000)
+    print(f"\ninjected at position {injected.position} of a "
+          f"{len(injected.stream)}-element test stream")
+
+    # 4. Two diverse detectors at two window lengths.
+    print(f"\n{'detector':<10} {'DW':>3}  verdict    max response in incident span")
+    for window_length in (4, 8):
+        for detector in (
+            StideDetector(window_length, params.alphabet_size),
+            MarkovDetector(window_length, params.alphabet_size),
+        ):
+            detector.fit(training.stream)
+            outcome = score_injected(detector, injected)
+            print(f"{detector.name:<10} {window_length:>3}  "
+                  f"{outcome.response_class.value:<10} "
+                  f"{outcome.max_in_span:.3f}")
+
+    print(
+        "\nStide needs DW >= AS to see the anomaly; the Markov detector's\n"
+        "conditional probabilities flag its rare transitions at any window\n"
+        "— the diversity effect the paper measures."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Response profiles: what each detector *sees* around an anomaly.
+
+The performance maps compress each encounter into blind/weak/capable;
+this example keeps the full curve.  It injects one minimal foreign
+sequence and renders each detector's per-window response as an aligned
+sparkline over the incident span, making the paper's mechanics visible:
+
+* Stide spikes only where a window contains the whole anomaly;
+* the Markov detector pins every window that crosses a rare transition;
+* L&B barely dips below normal anywhere;
+* the neural network tracks the Markov detector with a softer pen.
+
+Run:  python examples/response_profiles.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LaneBrodleyDetector,
+    MarkovDetector,
+    NeuralDetector,
+    StideDetector,
+    build_suite,
+    generate_training_data,
+    scaled_params,
+)
+from repro.evaluation.response_profile import compare_profiles, response_profile
+
+ANOMALY_SIZE = 6
+WINDOW_LENGTH = 4  # smaller than the anomaly: the contested region
+
+
+def main() -> None:
+    params = scaled_params()
+    training = generate_training_data(params)
+    suite = build_suite(training=training)
+    injected = suite.stream(ANOMALY_SIZE)
+    print(
+        f"anomaly: size-{ANOMALY_SIZE} MFS "
+        f"{training.alphabet.decode(suite.anomaly(ANOMALY_SIZE).sequence)} "
+        f"at position {injected.position}; detector window {WINDOW_LENGTH}"
+    )
+
+    detectors = [
+        StideDetector(WINDOW_LENGTH, 8),
+        MarkovDetector(WINDOW_LENGTH, 8),
+        LaneBrodleyDetector(WINDOW_LENGTH, 8),
+        NeuralDetector(WINDOW_LENGTH, 8),
+    ]
+    profiles = []
+    for detector in detectors:
+        detector.fit(training.stream)
+        profiles.append(response_profile(detector, injected))
+
+    print("\nresponse curves around the incident span")
+    print("(levels: _ 0 | . - = ^ graded | # maximal; | | marks the span)\n")
+    print(compare_profiles(profiles))
+
+    print("\nper-detector accounting:")
+    header = f"{'detector':<16} {'span max':>9} {'outside max':>12} {'contrast':>9}"
+    print(header)
+    for profile in profiles:
+        outside = profile.outside_span
+        outside_max = float(outside.max()) if len(outside) else 0.0
+        print(
+            f"{profile.detector_name:<16} "
+            f"{profile.in_span.max():>9.3f} "
+            f"{outside_max:>12.3f} "
+            f"{profile.contrast():>9.3f}"
+        )
+
+    print(
+        "\nWith DW < AS, only the probability-based detectors place a\n"
+        "maximal response inside the span — the cell-level fact behind\n"
+        "Figures 4 and 5's different regions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — reproduction of Tan & Maxion (DSN 2005).
+
+*The Effects of Algorithmic Diversity on Anomaly Detector Performance.*
+
+The library implements the paper's four sequence-based anomaly
+detectors (Stide, Markov, Lane & Brodley, neural network), its
+synthetic evaluation corpus (minimal foreign sequences composed of rare
+subsequences, boundary-clean injection), the incident-span scoring that
+yields the blind/weak/capable performance maps of Figures 3-6, and the
+coverage algebra behind its detector-diversity conclusions.
+
+Quick start::
+
+    from repro import run_paper_experiment, scaled_params
+
+    result = run_paper_experiment(params=scaled_params())
+    print(result.render_all())
+
+See DESIGN.md for the complete system inventory and EXPERIMENTS.md for
+paper-versus-measured results.
+"""
+
+from repro.datagen import (
+    AnomalySynthesizer,
+    EvaluationSuite,
+    InjectedStream,
+    InjectionPolicy,
+    TrainingData,
+    build_suite,
+    generate_training_data,
+    inject_anomaly,
+)
+from repro.detectors import (
+    AnomalyDetector,
+    LaneBrodleyDetector,
+    MarkovDetector,
+    NeuralDetector,
+    StideDetector,
+    TStideDetector,
+    available_detectors,
+    create_detector,
+)
+from repro.ensemble import Coverage, coverage_gain
+from repro.evaluation import (
+    PerformanceMap,
+    ResponseClass,
+    build_performance_map,
+    render_performance_map,
+    run_paper_experiment,
+    score_injected,
+)
+from repro.exceptions import ReproError
+from repro.params import PaperParams, paper_params, scaled_params
+from repro.sequences import Alphabet, ForeignSequenceAnalyzer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "AnomalyDetector",
+    "AnomalySynthesizer",
+    "Coverage",
+    "EvaluationSuite",
+    "ForeignSequenceAnalyzer",
+    "InjectedStream",
+    "InjectionPolicy",
+    "LaneBrodleyDetector",
+    "MarkovDetector",
+    "NeuralDetector",
+    "PaperParams",
+    "PerformanceMap",
+    "ReproError",
+    "ResponseClass",
+    "StideDetector",
+    "TStideDetector",
+    "TrainingData",
+    "available_detectors",
+    "build_performance_map",
+    "build_suite",
+    "coverage_gain",
+    "create_detector",
+    "generate_training_data",
+    "inject_anomaly",
+    "paper_params",
+    "render_performance_map",
+    "run_paper_experiment",
+    "scaled_params",
+    "score_injected",
+]

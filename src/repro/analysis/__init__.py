@@ -1,0 +1,28 @@
+"""Reporting, census, and cross-map analysis utilities."""
+
+from repro.analysis.census import MfsCensus, mfs_census
+from repro.analysis.export import (
+    map_to_json,
+    metrics_to_dict,
+    performance_map_rows,
+    write_map_csv,
+    write_map_json,
+)
+from repro.analysis.report import (
+    combination_report,
+    format_table,
+    map_agreement_report,
+)
+
+__all__ = [
+    "MfsCensus",
+    "combination_report",
+    "format_table",
+    "map_agreement_report",
+    "map_to_json",
+    "metrics_to_dict",
+    "mfs_census",
+    "performance_map_rows",
+    "write_map_csv",
+    "write_map_json",
+]

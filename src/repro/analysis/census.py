@@ -1,0 +1,94 @@
+"""Minimal-foreign-sequence census — the "Why 6?" analysis.
+
+Tan & Maxion's companion study (*Why 6? Defining the Operational Limits
+of stide*, cited as [17]) surveyed natural datasets and found them
+replete with minimal foreign sequences; the largest MFS length present
+determines the smallest Stide window that can detect them all (for the
+UNM data the answer was 6).
+
+:func:`mfs_census` reproduces that analysis over any corpus: it counts,
+for each length, the MFSs constructible against a training stream, and
+derives the operational window recommendation.  The census powers the
+``syscall_monitoring`` example and the E14 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import EvaluationError
+from repro.sequences.foreign import ForeignSequenceAnalyzer
+
+
+@dataclass(frozen=True)
+class MfsCensus:
+    """Counts of constructible MFSs per length, plus the Stide bound.
+
+    Attributes:
+        counts: length -> number of distinct MFSs of that length
+            (capped per length by the census ``limit``).
+        limit: per-length enumeration cap used (None = exhaustive).
+        training_length: elements in the surveyed training stream.
+    """
+
+    counts: dict[int, int]
+    limit: int | None
+    training_length: int
+
+    @property
+    def max_length_present(self) -> int | None:
+        """The largest length with at least one MFS, or ``None``."""
+        present = [length for length, count in self.counts.items() if count]
+        return max(present) if present else None
+
+    @property
+    def total(self) -> int:
+        """Total MFSs found (with the per-length cap applied)."""
+        return sum(self.counts.values())
+
+    def recommended_stide_window(self) -> int | None:
+        """The smallest window at which Stide detects every censused MFS.
+
+        Stide detects an MFS only when its window is at least the MFS
+        length (Figure 5), so the recommendation is the largest MFS
+        length present — the study's "why 6" number.  ``None`` when no
+        MFS was found.
+        """
+        return self.max_length_present
+
+    def rows(self) -> list[tuple[int, int]]:
+        """(length, count) rows in ascending length order."""
+        return sorted(self.counts.items())
+
+
+def mfs_census(
+    analyzer: ForeignSequenceAnalyzer,
+    lengths: tuple[int, ...] = tuple(range(2, 10)),
+    rare_parts_only: bool = False,
+    limit: int | None = 10_000,
+) -> MfsCensus:
+    """Count the MFSs constructible against a training corpus.
+
+    Args:
+        analyzer: foreign-sequence oracle over the training stream.
+        lengths: MFS lengths to survey.
+        rare_parts_only: restrict to MFSs composed of rare parts (the
+            main experiment's anomaly class); the natural-data census
+            of [17] counts all MFSs, the default here.
+        limit: per-length enumeration cap (protects against
+            combinatorial blowup on wide-alphabet corpora).
+
+    Raises:
+        EvaluationError: on an empty or invalid length list.
+    """
+    if not lengths or min(lengths) < 2:
+        raise EvaluationError("census lengths must be a non-empty tuple of ints >= 2")
+    counts: dict[int, int] = {}
+    for length in sorted(set(lengths)):
+        found = analyzer.minimal_foreign_sequences(
+            length, rare_parts_only=rare_parts_only, limit=limit
+        )
+        counts[length] = len(found)
+    return MfsCensus(
+        counts=counts, limit=limit, training_length=analyzer.training_length
+    )

@@ -1,0 +1,102 @@
+"""Exporting results for downstream tooling (CSV / JSON).
+
+Performance maps and detection metrics are the library's primary
+artifacts; these helpers serialize them into the formats plotting and
+spreadsheet tools ingest, so reproduction results can be compared
+against other implementations without touching Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.evaluation.metrics import DetectionMetrics
+from repro.evaluation.performance_map import PerformanceMap
+from repro.exceptions import EvaluationError
+
+
+def performance_map_rows(performance_map: PerformanceMap) -> list[dict[str, object]]:
+    """Flatten a map into one record per grid cell."""
+    rows: list[dict[str, object]] = []
+    for cell in performance_map:
+        rows.append(
+            {
+                "detector": performance_map.detector_name,
+                "anomaly_size": cell.anomaly_size,
+                "window_length": cell.window_length,
+                "response_class": cell.response_class.value,
+                "max_in_span": cell.outcome.max_in_span,
+                "max_outside_span": cell.outcome.max_outside_span,
+                "spurious_alarms": cell.outcome.spurious_alarms,
+            }
+        )
+    return rows
+
+
+def write_map_csv(path: str | Path, *maps: PerformanceMap) -> Path:
+    """Write one or more maps to a CSV file (one row per cell).
+
+    Raises:
+        EvaluationError: when no map is given.
+    """
+    if not maps:
+        raise EvaluationError("at least one performance map is required")
+    target = Path(path)
+    rows = [row for m in maps for row in performance_map_rows(m)]
+    fieldnames = list(rows[0])
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return target
+
+
+def map_to_json(performance_map: PerformanceMap) -> str:
+    """Serialize one map (grid axes + cells) as a JSON document."""
+    document = {
+        "detector": performance_map.detector_name,
+        "anomaly_sizes": list(performance_map.anomaly_sizes),
+        "window_lengths": list(performance_map.window_lengths),
+        "detection_fraction": performance_map.detection_fraction(),
+        "cells": performance_map_rows(performance_map),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def write_map_json(path: str | Path, performance_map: PerformanceMap) -> Path:
+    """Write one map as JSON."""
+    target = Path(path)
+    target.write_text(map_to_json(performance_map) + "\n")
+    return target
+
+
+def metrics_to_dict(metrics: DetectionMetrics) -> dict[str, object]:
+    """Flatten detection metrics into a JSON-ready record."""
+    return {
+        "traces": metrics.traces,
+        "traces_with_truth": metrics.traces_with_truth,
+        "hits": metrics.hits,
+        "misses": metrics.misses,
+        "hit_rate": metrics.hit_rate,
+        "alarm_windows": metrics.alarm_windows,
+        "false_alarm_windows": metrics.false_alarm_windows,
+        "normal_windows": metrics.normal_windows,
+        "false_alarm_rate": metrics.false_alarm_rate,
+    }
+
+
+def load_map_json(path: str | Path) -> dict[str, object]:
+    """Read back a JSON map document (plain dict; schema as written).
+
+    Raises:
+        EvaluationError: when the file is missing or not valid JSON.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise EvaluationError(f"map JSON not found: {source}")
+    try:
+        return json.loads(source.read_text())
+    except json.JSONDecodeError as error:
+        raise EvaluationError(f"malformed map JSON {source}: {error}") from error

@@ -1,0 +1,132 @@
+"""Textual reports: tables, coverage relations, map agreement.
+
+These helpers render the library's results the way the paper's prose
+states them — subset relations, gained cells, shared blind regions —
+so benchmarks and examples print directly comparable statements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ensemble.coverage import Coverage, coverage_gain
+from repro.ensemble.diversity import coverage_diversity, coverage_redundancy
+from repro.evaluation.performance_map import PerformanceMap
+from repro.exceptions import EvaluationError
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: column titles.
+        rows: cell values (stringified with ``str``).
+        title: optional heading line.
+
+    Raises:
+        EvaluationError: if a row's width disagrees with the headers.
+    """
+    string_rows = [[str(value) for value in row] for row in rows]
+    for i, row in enumerate(string_rows):
+        if len(row) != len(headers):
+            raise EvaluationError(
+                f"row {i} has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in string_rows))
+        if string_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def combination_report(first: Coverage, second: Coverage) -> str:
+    """State the diversity relation between two coverages, paper-style.
+
+    Reports subset relations, the cells gained by combining, and the
+    Jaccard diversity — the statements of Sections 7-8.
+    """
+    lines = [
+        f"Coverage of {first.label}: {len(first)}/{len(first.grid)} cells",
+        f"Coverage of {second.label}: {len(second)}/{len(second.grid)} cells",
+    ]
+    if first.is_subset_of(second):
+        relation = "subset" if first.is_strict_subset_of(second) else "equal"
+        lines.append(
+            f"{first.label} coverage is a {relation} of {second.label} coverage"
+        )
+    elif second.is_subset_of(first):
+        lines.append(f"{second.label} coverage is a subset of {first.label} coverage")
+    else:
+        lines.append(
+            f"{first.label} and {second.label} coverages partially overlap"
+        )
+    gained_over_first = coverage_gain(first, second)
+    gained_over_second = coverage_gain(second, first)
+    lines.append(
+        f"combining adds {len(gained_over_first)} cells over {first.label} alone, "
+        f"{len(gained_over_second)} over {second.label} alone"
+    )
+    best_alone = max(len(first), len(second))
+    if len((first | second).cells) == best_alone:
+        lines.append(
+            "=> diversity affords no improvement in detection coverage over "
+            "the better detector alone"
+        )
+    shared_blind = first.blind_region() & second.blind_region()
+    lines.append(
+        f"shared blind region: {len(shared_blind)}/{len(first.grid)} cells"
+    )
+    lines.append(
+        f"coverage diversity (Jaccard distance): "
+        f"{coverage_diversity(first, second):.3f}; "
+        f"redundancy: {coverage_redundancy(first, second):.3f}"
+    )
+    return "\n".join(lines)
+
+
+def map_agreement_report(maps: dict[str, PerformanceMap]) -> str:
+    """Pairwise coverage relations for a set of performance maps."""
+    if len(maps) < 2:
+        raise EvaluationError("need at least two maps to compare")
+    names = sorted(maps)
+    coverages = {
+        name: Coverage.from_performance_map(maps[name]) for name in names
+    }
+    rows = []
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            a, b = coverages[first], coverages[second]
+            if a.cells == b.cells:
+                relation = "equal"
+            elif a.is_subset_of(b):
+                relation = f"{first} subset of {second}"
+            elif b.is_subset_of(a):
+                relation = f"{second} subset of {first}"
+            else:
+                relation = "incomparable"
+            rows.append(
+                (
+                    first,
+                    second,
+                    len(a),
+                    len(b),
+                    len((a | b).cells),
+                    relation,
+                )
+            )
+    return format_table(
+        headers=("detector A", "detector B", "|A|", "|B|", "|A∪B|", "relation"),
+        rows=rows,
+        title="Pairwise detection-coverage relations",
+    )

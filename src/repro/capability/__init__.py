@@ -1,0 +1,26 @@
+"""Attack-detectability analysis (Figure 1 of the paper).
+
+Whether an anomaly detector detects an *attack* decomposes into five
+questions (A-E): does the attack manifest in monitored data; is the
+detector analyzing that data; is the manifestation anomalous; is that
+kind of anomaly detectable by the detector at all; and is the detector
+correctly tuned to detect it.  The paper's evaluation addresses D and
+E; this subpackage implements the full decision chain so deployments
+can diagnose *why* an attack was missed.
+"""
+
+from repro.capability.pipeline import (
+    AttackScenario,
+    CapabilityQuestion,
+    CapabilityReport,
+    CapabilityVerdict,
+    assess_attack,
+)
+
+__all__ = [
+    "AttackScenario",
+    "CapabilityQuestion",
+    "CapabilityReport",
+    "CapabilityVerdict",
+    "assess_attack",
+]

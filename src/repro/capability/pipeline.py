@@ -1,0 +1,208 @@
+"""The Figure-1 decision chain: from attack to detectability verdict.
+
+The chain asks, in order:
+
+    A. Does the attack manifest in monitored data?
+    B. Is the anomaly detector analyzing the data containing the
+       manifestation?
+    C. Is the manifestation anomalous?
+    D. Is the anomalous manifestation detectable by the anomaly
+       detector in question?
+    E. Is the anomaly detector correctly tuned to detect the anomalous
+       manifestation?
+
+A "no" at any step terminates the chain with the corresponding
+not-detectable verdict; five "yes" answers mean the attack is detected.
+Questions D and E are answered from a detector's performance map: D
+asks whether *any* evaluated window length is capable on anomalies of
+the manifestation's size; E asks whether the *deployed* window length
+is.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.evaluation.performance_map import PerformanceMap
+from repro.exceptions import EvaluationError
+from repro.sequences.foreign import ForeignSequenceAnalyzer
+
+
+class CapabilityQuestion(enum.Enum):
+    """The five questions of Figure 1, in order."""
+
+    MANIFESTS = "A: does the attack manifest in monitored data?"
+    ANALYZED = "B: is the detector analyzing the data containing the manifestation?"
+    ANOMALOUS = "C: is the manifestation anomalous?"
+    DETECTABLE = "D: is the anomalous manifestation detectable by the detector?"
+    TUNED = "E: is the detector correctly tuned to detect the manifestation?"
+
+
+class CapabilityVerdict(enum.Enum):
+    """Terminal outcomes of the decision chain."""
+
+    DETECTED = "attack detected"
+    NO_MANIFESTATION = "attack does not manifest in monitored data"
+    NOT_ANALYZED = "detector is not analyzing the manifestation's data"
+    NOT_ANOMALOUS = "manifestation is not anomalous"
+    NOT_DETECTABLE = "manifestation's anomaly type is outside detector coverage"
+    MISTUNED = "detector parameters blind it to the manifestation"
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """One attack against one monitored deployment.
+
+    Attributes:
+        name: label for reports.
+        manifestation: the event subsequence the attack leaves in the
+            monitored stream, as alphabet codes; ``None`` when the
+            attack leaves no trace in monitored data (question A fails).
+        detector_analyzes_data: whether the deployed detector consumes
+            the stream containing the manifestation (question B).
+        deployed_window_length: the detector window in production.
+    """
+
+    name: str
+    manifestation: tuple[int, ...] | None
+    detector_analyzes_data: bool
+    deployed_window_length: int
+
+    def __post_init__(self) -> None:
+        if self.deployed_window_length < 2:
+            raise EvaluationError(
+                f"deployed window length must be >= 2, got "
+                f"{self.deployed_window_length}"
+            )
+        if self.manifestation is not None and len(self.manifestation) < 1:
+            raise EvaluationError("manifestation, when present, must be non-empty")
+
+
+@dataclass(frozen=True)
+class CapabilityReport:
+    """Answers to the five questions plus the terminal verdict.
+
+    Attributes:
+        scenario: the assessed scenario.
+        detector_name: the detector family under assessment.
+        answers: question -> yes/no, for every question actually asked
+            (the chain stops at the first "no").
+        verdict: the terminal outcome.
+    """
+
+    scenario: AttackScenario
+    detector_name: str
+    answers: dict[CapabilityQuestion, bool] = field(repr=False)
+    verdict: CapabilityVerdict
+
+    @property
+    def detected(self) -> bool:
+        """Whether the chain reached the detected terminal."""
+        return self.verdict is CapabilityVerdict.DETECTED
+
+    def explain(self) -> str:
+        """Multi-line, figure-style walk through the chain."""
+        lines = [f"Attack {self.scenario.name!r} vs {self.detector_name}:"]
+        for question in CapabilityQuestion:
+            if question not in self.answers:
+                break
+            answer = "yes" if self.answers[question] else "NO"
+            lines.append(f"  {question.value}  ->  {answer}")
+        lines.append(f"  verdict: {self.verdict.value}")
+        return "\n".join(lines)
+
+
+def assess_attack(
+    scenario: AttackScenario,
+    analyzer: ForeignSequenceAnalyzer,
+    performance_map: PerformanceMap,
+) -> CapabilityReport:
+    """Run the Figure-1 chain for one scenario.
+
+    Question C (is the manifestation anomalous?) is answered against
+    the training corpus: the manifestation is anomalous when it is
+    foreign or rare.  Questions D and E are answered from the
+    detector's performance map at the manifestation's size — the
+    operational knowledge the paper's evaluation produces.
+
+    Args:
+        scenario: the attack and deployment facts.
+        analyzer: foreign/rare oracle over the training data.
+        performance_map: the deployed detector family's coverage grid.
+
+    Raises:
+        EvaluationError: when the manifestation size or deployed window
+            falls outside the evaluated grid (the map cannot answer
+            D/E for it).
+    """
+    answers: dict[CapabilityQuestion, bool] = {}
+
+    manifests = scenario.manifestation is not None
+    answers[CapabilityQuestion.MANIFESTS] = manifests
+    if not manifests:
+        return CapabilityReport(
+            scenario=scenario,
+            detector_name=performance_map.detector_name,
+            answers=answers,
+            verdict=CapabilityVerdict.NO_MANIFESTATION,
+        )
+    assert scenario.manifestation is not None
+
+    answers[CapabilityQuestion.ANALYZED] = scenario.detector_analyzes_data
+    if not scenario.detector_analyzes_data:
+        return CapabilityReport(
+            scenario=scenario,
+            detector_name=performance_map.detector_name,
+            answers=answers,
+            verdict=CapabilityVerdict.NOT_ANALYZED,
+        )
+
+    anomalous = analyzer.is_foreign(scenario.manifestation) or analyzer.is_rare(
+        scenario.manifestation
+    )
+    answers[CapabilityQuestion.ANOMALOUS] = anomalous
+    if not anomalous:
+        return CapabilityReport(
+            scenario=scenario,
+            detector_name=performance_map.detector_name,
+            answers=answers,
+            verdict=CapabilityVerdict.NOT_ANOMALOUS,
+        )
+
+    size = len(scenario.manifestation)
+    if size not in performance_map.anomaly_sizes:
+        raise EvaluationError(
+            f"manifestation size {size} outside the evaluated grid "
+            f"{performance_map.anomaly_sizes}; extend the performance map"
+        )
+    detectable = any(
+        (size, window) in performance_map.capable_cells()
+        for window in performance_map.window_lengths
+    )
+    answers[CapabilityQuestion.DETECTABLE] = detectable
+    if not detectable:
+        return CapabilityReport(
+            scenario=scenario,
+            detector_name=performance_map.detector_name,
+            answers=answers,
+            verdict=CapabilityVerdict.NOT_DETECTABLE,
+        )
+
+    deployed = scenario.deployed_window_length
+    if deployed not in performance_map.window_lengths:
+        raise EvaluationError(
+            f"deployed window {deployed} outside the evaluated grid "
+            f"{performance_map.window_lengths}; extend the performance map"
+        )
+    tuned = (size, deployed) in performance_map.capable_cells()
+    answers[CapabilityQuestion.TUNED] = tuned
+    verdict = (
+        CapabilityVerdict.DETECTED if tuned else CapabilityVerdict.MISTUNED
+    )
+    return CapabilityReport(
+        scenario=scenario,
+        detector_name=performance_map.detector_name,
+        answers=answers,
+        verdict=verdict,
+    )

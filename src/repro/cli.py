@@ -1,0 +1,380 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Subcommands:
+
+* ``maps`` — run the performance-map experiment and print the star
+  charts of Figures 3-6 (detectors and corpus scale selectable);
+* ``suppression`` — run the Section-7 deployment experiment (Markov
+  detects, Stide suppresses) on a UNM-style program;
+* ``census`` — count the minimal foreign sequences constructible from
+  a corpus (the "Why 6?" analysis) and report the recommended Stide
+  window;
+* ``anomaly`` — synthesize one MFS against the paper corpus and show
+  its parts and frequencies.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.census import mfs_census
+from repro.analysis.report import format_table, map_agreement_report
+from repro.datagen.anomalies import AnomalySynthesizer
+from repro.datagen.training import generate_training_data
+from repro.detectors.registry import available_detectors, create_detector
+from repro.detectors.threshold import MaximalResponseThreshold
+from repro.ensemble.combiners import gated_alarms
+from repro.evaluation.experiment import DEFAULT_DETECTORS, run_paper_experiment
+from repro.evaluation.metrics import evaluate_alarms
+from repro.evaluation.render import render_performance_map
+from repro.exceptions import ReproError
+from repro.params import scaled_params
+from repro.sequences.foreign import ForeignSequenceAnalyzer
+from repro.syscalls.generator import build_dataset, truth_window_regions
+from repro.syscalls.programs import all_program_models
+
+
+def _corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stream-len",
+        type=int,
+        default=None,
+        help="training-stream length (default: REPRO_STREAM_LEN or 120000)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="corpus seed")
+
+
+def _cmd_maps(args: argparse.Namespace) -> int:
+    params = scaled_params(args.stream_len, seed=args.seed)
+    detectors = args.detectors or list(DEFAULT_DETECTORS)
+    unknown = [name for name in detectors if name not in available_detectors()]
+    if unknown:
+        raise ReproError(
+            f"unknown detectors: {', '.join(unknown)}; "
+            f"available: {', '.join(available_detectors())}"
+        )
+    result = run_paper_experiment(params=params, detectors=detectors)
+    for name in detectors:
+        print(render_performance_map(result.map_for(name)))
+        print()
+    print(result.summary())
+    if len(detectors) >= 2:
+        print()
+        print(map_agreement_report(result.maps))
+    return 0
+
+
+def _cmd_suppression(args: argparse.Namespace) -> int:
+    models = {model.name: model for model in all_program_models()}
+    if args.program not in models:
+        raise ReproError(
+            f"unknown program {args.program!r}; available: "
+            f"{', '.join(sorted(models))}"
+        )
+    dataset = build_dataset(
+        models[args.program],
+        seed=args.seed if args.seed is not None else 1996,
+        training_sessions=args.sessions,
+    )
+    streams = dataset.training_streams()
+    alphabet_size = dataset.alphabet.size
+    stide = create_detector("stide", args.window, alphabet_size).fit_many(streams)
+    markov = create_detector("markov", args.window, alphabet_size).fit_many(streams)
+    traces = list(dataset.test_normal) + list(dataset.test_intrusions)
+    stide_level = MaximalResponseThreshold.for_detector(stide)
+    markov_level = MaximalResponseThreshold.for_detector(markov)
+    stide_alarms, markov_alarms, truths = [], [], []
+    for trace in traces:
+        stide_alarms.append(stide_level.alarms(stide.score_stream(trace.stream)))
+        markov_alarms.append(markov_level.alarms(markov.score_stream(trace.stream)))
+        truths.append(truth_window_regions(trace, args.window))
+    gated = [gated_alarms(m, s) for m, s in zip(markov_alarms, stide_alarms)]
+    rows = []
+    for name, alarms in (
+        ("stide", stide_alarms),
+        ("markov", markov_alarms),
+        ("markov gated by stide", gated),
+    ):
+        metrics = evaluate_alarms(alarms, truths)
+        rows.append(
+            (name, f"{metrics.hit_rate:.2f}", f"{metrics.false_alarm_rate:.4f}")
+        )
+    print(
+        format_table(
+            ("detector", "hit rate", "FA rate"),
+            rows,
+            title=f"{args.program} deployment, DW={args.window}",
+        )
+    )
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    if args.program:
+        models = {model.name: model for model in all_program_models()}
+        if args.program not in models:
+            raise ReproError(
+                f"unknown program {args.program!r}; available: "
+                f"{', '.join(sorted(models))}"
+            )
+        dataset = build_dataset(models[args.program], training_sessions=200)
+        stream = np.concatenate(dataset.training_streams())
+        label = f"{args.program} traces ({len(stream):,} calls)"
+    else:
+        params = scaled_params(args.stream_len, seed=args.seed)
+        stream = generate_training_data(params).stream
+        label = f"paper corpus ({len(stream):,} elements)"
+    analyzer = ForeignSequenceAnalyzer(stream)
+    census = mfs_census(
+        analyzer, lengths=tuple(range(2, args.max_length + 1))
+    )
+    rows = [(length, count) for length, count in census.rows()]
+    print(
+        format_table(
+            ("MFS length", "count"),
+            rows,
+            title=f"Minimal-foreign-sequence census — {label}",
+        )
+    )
+    recommendation = census.recommended_stide_window()
+    if recommendation is None:
+        print("no MFS constructible; any window suffices")
+    else:
+        print(
+            f"largest MFS present: {recommendation} -> deploy Stide with "
+            f"DW >= {recommendation} (the 'Why 6?' bound)"
+        )
+    return 0
+
+
+def _cmd_anomaly(args: argparse.Namespace) -> int:
+    params = scaled_params(args.stream_len, seed=args.seed)
+    training = generate_training_data(params)
+    anomaly = AnomalySynthesizer(training).synthesize(args.size, index=args.index)
+    symbols = training.alphabet.decode(anomaly.sequence)
+    print(f"MFS of size {anomaly.size} (candidate #{args.index}):")
+    print(f"  symbols: {' '.join(str(s) for s in symbols)}")
+    print(f"  codes:   {anomaly.sequence}")
+    print(
+        f"  left part  {anomaly.left_part} "
+        f"(frequency {anomaly.left_part_frequency:.4%})"
+    )
+    print(
+        f"  right part {anomaly.right_part} "
+        f"(frequency {anomaly.right_part_frequency:.4%})"
+    )
+    print(f"  composed of rare parts: {anomaly.parts_rare}")
+    return 0
+
+
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    from repro.datagen.suite import build_suite
+    from repro.evaluation.performance_map import build_performance_map
+    from repro.evaluation.render import render_map_summary
+
+    params = scaled_params(args.stream_len, seed=args.seed)
+    training = generate_training_data(params)
+    suite = build_suite(training=training)
+    names = args.detectors or [
+        name for name in available_detectors() if name != "neural-network"
+    ]
+    unknown = [name for name in names if name not in available_detectors()]
+    if unknown:
+        raise ReproError(
+            f"unknown detectors: {', '.join(unknown)}; "
+            f"available: {', '.join(available_detectors())}"
+        )
+    maps = {name: build_performance_map(name, suite) for name in names}
+    rows = [
+        (
+            name,
+            len(maps[name].capable_cells()),
+            len(maps[name].weak_cells()),
+            len(maps[name].blind_cells()),
+        )
+        for name in names
+    ]
+    print(
+        format_table(
+            ("detector", "capable", "weak", "blind"),
+            rows,
+            title=f"Detector atlas over the {suite.case_count()}-cell grid",
+        )
+    )
+    print()
+    for name in names:
+        print(render_map_summary(maps[name]))
+    if len(names) >= 2:
+        print()
+        print(map_agreement_report(maps))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.datagen.suite import build_suite
+    from repro.evaluation.response_profile import (
+        compare_profiles,
+        response_profile,
+    )
+
+    params = scaled_params(args.stream_len, seed=args.seed)
+    training = generate_training_data(params)
+    suite = build_suite(training=training)
+    if args.size not in suite.anomaly_sizes:
+        raise ReproError(
+            f"anomaly size {args.size} outside the suite "
+            f"{suite.anomaly_sizes}"
+        )
+    injected = suite.stream(args.size)
+    detectors = args.detectors or ["stide", "markov", "lane-brodley"]
+    unknown = [name for name in detectors if name not in available_detectors()]
+    if unknown:
+        raise ReproError(
+            f"unknown detectors: {', '.join(unknown)}; "
+            f"available: {', '.join(available_detectors())}"
+        )
+    profiles = []
+    for name in detectors:
+        detector = create_detector(name, args.window, params.alphabet_size)
+        detector.fit(training.stream)
+        profiles.append(response_profile(detector, injected))
+    print(
+        f"size-{args.size} MFS at position {injected.position}, "
+        f"DW={args.window}"
+    )
+    print("levels: _ 0 | . - = ^ graded | # maximal; | | marks the span\n")
+    print(compare_profiles(profiles))
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.datagen.suite import build_suite
+    from repro.ensemble import AnomalyProfile, Coverage, select_detectors
+    from repro.evaluation.performance_map import build_performance_map
+
+    params = scaled_params(args.stream_len, seed=args.seed)
+    training = generate_training_data(params)
+    suite = build_suite(training=training)
+    candidates = args.detectors or ["stide", "markov", "lane-brodley"]
+    coverages = {
+        name: Coverage.from_performance_map(build_performance_map(name, suite))
+        for name in candidates
+    }
+    profile = AnomalyProfile(
+        size=args.size, max_deployable_window=args.max_window
+    )
+    advice = select_detectors(coverages, profile)
+    print(f"recommendation: {advice.describe()}")
+    if advice.redundant:
+        print(f"redundant: {', '.join(advice.redundant)}")
+    print(f"rationale: {advice.rationale}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Tan & Maxion (DSN 2005) from the command line.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    maps = subparsers.add_parser(
+        "maps", help="print the Figure 3-6 performance maps"
+    )
+    _corpus_arguments(maps)
+    maps.add_argument(
+        "--detectors",
+        nargs="+",
+        metavar="NAME",
+        help=f"detectors to chart (default: the paper's four; "
+        f"available: {', '.join(available_detectors())})",
+    )
+    maps.set_defaults(func=_cmd_maps)
+
+    suppression = subparsers.add_parser(
+        "suppression", help="run the Section-7 suppression deployment"
+    )
+    suppression.add_argument("--program", default="sendmail")
+    suppression.add_argument("--window", type=int, default=4)
+    suppression.add_argument("--sessions", type=int, default=300)
+    suppression.add_argument("--seed", type=int, default=None)
+    suppression.set_defaults(func=_cmd_suppression)
+
+    census = subparsers.add_parser(
+        "census", help="count constructible minimal foreign sequences"
+    )
+    _corpus_arguments(census)
+    census.add_argument(
+        "--program",
+        default=None,
+        help="census a UNM-style program's traces instead of the paper corpus",
+    )
+    census.add_argument("--max-length", type=int, default=9)
+    census.set_defaults(func=_cmd_census)
+
+    anomaly = subparsers.add_parser(
+        "anomaly", help="synthesize one minimal foreign sequence"
+    )
+    _corpus_arguments(anomaly)
+    anomaly.add_argument("--size", type=int, default=6)
+    anomaly.add_argument("--index", type=int, default=0)
+    anomaly.set_defaults(func=_cmd_anomaly)
+
+    atlas = subparsers.add_parser(
+        "atlas", help="chart every registered detector on the suite grid"
+    )
+    _corpus_arguments(atlas)
+    atlas.add_argument(
+        "--detectors",
+        nargs="+",
+        metavar="NAME",
+        help="families to chart (default: all but the neural network)",
+    )
+    atlas.set_defaults(func=_cmd_atlas)
+
+    profile = subparsers.add_parser(
+        "profile", help="render detector response sparklines around one MFS"
+    )
+    _corpus_arguments(profile)
+    profile.add_argument("--size", type=int, default=6)
+    profile.add_argument("--window", type=int, default=4)
+    profile.add_argument("--detectors", nargs="+", metavar="NAME")
+    profile.set_defaults(func=_cmd_profile)
+
+    select = subparsers.add_parser(
+        "select", help="recommend a detector combination for an anomaly profile"
+    )
+    _corpus_arguments(select)
+    select.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="expected anomaly size; omit when unknown",
+    )
+    select.add_argument("--max-window", type=int, default=8)
+    select.add_argument("--detectors", nargs="+", metavar="NAME")
+    select.set_defaults(func=_cmd_select)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

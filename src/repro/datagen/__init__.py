@@ -1,0 +1,45 @@
+"""Synthetic-corpus construction (Sections 5.3-5.4 of the paper).
+
+The paper's entire evaluation runs on synthetic categorical data built
+in four stages, each owned by a module here:
+
+1. :mod:`~repro.datagen.markov_source` — a general Markov-chain stream
+   sampler plus the paper's specific *cycle-with-rare-jumps* source;
+2. :mod:`~repro.datagen.training` — the training stream (1,000,000
+   elements, 98% deterministic cycle, 2% rare deviations);
+3. :mod:`~repro.datagen.background` — clean background test data
+   containing only common training sequences;
+4. :mod:`~repro.datagen.anomalies` / :mod:`~repro.datagen.injection` —
+   synthesis of minimal foreign sequences from rare subsequences and
+   their boundary-clean injection into background data;
+5. :mod:`~repro.datagen.suite` — the full evaluation corpus: one
+   training stream plus one test stream per (anomaly size, detector
+   window) combination.
+"""
+
+from repro.datagen.anomalies import AnomalySynthesizer, SynthesizedAnomaly
+from repro.datagen.background import generate_background
+from repro.datagen.contamination import contaminate_training
+from repro.datagen.injection import InjectedStream, InjectionPolicy, inject_anomaly
+from repro.datagen.markov_source import CycleJumpSource, MarkovChainSource
+from repro.datagen.natural import NaturalSource, background_confound_rate
+from repro.datagen.suite import EvaluationSuite, build_suite
+from repro.datagen.training import TrainingData, generate_training_data
+
+__all__ = [
+    "AnomalySynthesizer",
+    "CycleJumpSource",
+    "EvaluationSuite",
+    "InjectedStream",
+    "InjectionPolicy",
+    "MarkovChainSource",
+    "NaturalSource",
+    "background_confound_rate",
+    "contaminate_training",
+    "SynthesizedAnomaly",
+    "TrainingData",
+    "build_suite",
+    "generate_background",
+    "generate_training_data",
+    "inject_anomaly",
+]

@@ -1,0 +1,90 @@
+"""Training-data contamination: poisoning the concept of normal.
+
+The paper's introduction lists "the inadvertent incorporation of
+intrusive behavior into a detector's concept of normal behavior
+(possibly causing the detector to miss the intrusion)" among the field's
+standing problems.  This module makes that failure mode reproducible:
+:func:`contaminate_training` splices occurrences of an anomaly into a
+training stream, after which the anomaly is no longer foreign — and
+every detector in the study goes blind to it by construction.
+
+The E15 ablation bench quantifies the effect: a single contaminated
+occurrence flips Stide from capable to blind; enough occurrences to
+cross the rarity threshold silence the Markov detector as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.training import TrainingData
+from repro.exceptions import DataGenerationError
+
+
+def contaminate_training(
+    training: TrainingData,
+    anomaly: tuple[int, ...],
+    occurrences: int,
+    rng: np.random.Generator,
+    margin: int | None = None,
+) -> TrainingData:
+    """Return training data with ``anomaly`` spliced in ``occurrences`` times.
+
+    Each occurrence overwrites a slice of the stream at a random,
+    non-overlapping position (keeping stream length constant, like an
+    intrusion that happened during the collection of "normal" data).
+    The result is a new :class:`TrainingData` sharing the original
+    alphabet/source/params; it is *not* re-validated — contamination
+    deliberately breaks the clean-corpus properties.
+
+    Args:
+        training: the clean corpus.
+        anomaly: the sequence to incorporate (alphabet codes).
+        occurrences: how many copies to splice in (>= 1).
+        rng: random generator for placement.
+        margin: minimum distance between splice sites and stream ends;
+            defaults to one maximum detector window.
+
+    Raises:
+        DataGenerationError: if the stream is too short for the
+            requested number of non-overlapping occurrences.
+    """
+    sequence = tuple(int(code) for code in anomaly)
+    if not sequence:
+        raise DataGenerationError("cannot contaminate with an empty anomaly")
+    if occurrences < 1:
+        raise DataGenerationError(
+            f"occurrences must be >= 1, got {occurrences}"
+        )
+    if any(not 0 <= code < training.alphabet.size for code in sequence):
+        raise DataGenerationError("anomaly codes outside the training alphabet")
+    if margin is None:
+        margin = training.params.max_window_size + 1
+    size = len(sequence)
+    stream = training.stream.copy()
+    usable = len(stream) - 2 * margin - size
+    if usable <= 0 or usable < occurrences * (size + margin):
+        raise DataGenerationError(
+            f"stream of length {len(stream)} too short for {occurrences} "
+            f"non-overlapping occurrences of a size-{size} anomaly"
+        )
+    taken: list[tuple[int, int]] = []
+    guard = 0
+    while len(taken) < occurrences:
+        guard += 1
+        if guard > 10_000:
+            raise DataGenerationError(
+                "could not place all contamination sites without overlap"
+            )
+        position = int(rng.integers(margin, len(stream) - margin - size))
+        window = (position - margin, position + size + margin)
+        if any(not (window[1] <= lo or hi <= window[0]) for lo, hi in taken):
+            continue
+        taken.append(window)
+        stream[position : position + size] = sequence
+    return TrainingData(
+        stream=stream,
+        alphabet=training.alphabet,
+        source=training.source,
+        params=training.params,
+    )

@@ -1,0 +1,113 @@
+"""A corpus whose minimal foreign sequences have *common* parts.
+
+The paper attributes the Markov detector's full-map coverage to "the
+use of rare sequences in composing the foreign sequence" (Section 7).
+Testing that attribution requires an anomaly with the opposite
+composition: a minimal foreign sequence whose proper subsequences are
+*common* in training.  The main corpus cannot produce one — joins of
+common cycle runs are themselves common — so this module provides a
+corpus that can.
+
+:class:`ForbiddenRunSource` emits binary streams from an order-``R``
+Markov process: after ``R`` consecutive zeros the next symbol is
+forced to one; otherwise symbols are drawn with a configurable zero
+probability.  Consequently:
+
+* zero-runs up to length ``R`` are frequent (common n-grams);
+* the length-``R+1`` zero-run never occurs — it is a minimal foreign
+  sequence *by construction* whose every proper subsequence is a
+  common training sequence.
+
+On this corpus a count-based Markov detector sees nothing maximal in
+the anomaly until its window covers the whole run (every shorter span
+is common, with a mid-range conditional probability), so its coverage
+collapses to Stide's — the E19 ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError
+
+
+class ForbiddenRunSource:
+    """Binary streams in which zero-runs longer than ``run_limit`` never occur.
+
+    Args:
+        run_limit: maximum permitted zero-run length ``R`` (>= 1); the
+            ``R+1`` zero-run is the corpus's built-in MFS.
+        zero_probability: probability of emitting 0 when not forced
+            (default 0.5).
+    """
+
+    def __init__(self, run_limit: int, zero_probability: float = 0.5) -> None:
+        if run_limit < 1:
+            raise DataGenerationError(f"run_limit must be >= 1, got {run_limit}")
+        if not 0.0 < zero_probability < 1.0:
+            raise DataGenerationError(
+                f"zero_probability must lie in (0, 1), got {zero_probability}"
+            )
+        self._run_limit = run_limit
+        self._zero_probability = zero_probability
+
+    @property
+    def run_limit(self) -> int:
+        """Maximum permitted zero-run length."""
+        return self._run_limit
+
+    @property
+    def alphabet_size(self) -> int:
+        """Binary alphabet."""
+        return 2
+
+    def forbidden_sequence(self) -> tuple[int, ...]:
+        """The built-in MFS: ``run_limit + 1`` consecutive zeros."""
+        return (0,) * (self._run_limit + 1)
+
+    def sample(self, length: int, rng: np.random.Generator) -> np.ndarray:
+        """One stream of ``length`` symbols honoring the run limit."""
+        if length <= 0:
+            raise DataGenerationError(f"stream length must be positive, got {length}")
+        out = np.empty(length, dtype=np.int64)
+        run = 0
+        draws = rng.random(length)
+        for i in range(length):
+            if run >= self._run_limit:
+                symbol = 1
+            else:
+                symbol = 0 if draws[i] < self._zero_probability else 1
+            out[i] = symbol
+            run = run + 1 if symbol == 0 else 0
+        return out
+
+    def verify(self, stream: np.ndarray) -> None:
+        """Check a stream honors the run limit and uses all runs up to it.
+
+        Raises:
+            DataGenerationError: if a forbidden run occurs, or the
+                stream is too short to exhibit every permitted run
+                length (which would break the common-parts property).
+        """
+        runs: list[int] = []
+        current = 0
+        for symbol in stream:
+            if symbol == 0:
+                current += 1
+            else:
+                if current:
+                    runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        if runs and max(runs) > self._run_limit:
+            raise DataGenerationError(
+                f"stream contains a zero-run of {max(runs)} > limit "
+                f"{self._run_limit}"
+            )
+        for length in range(1, self._run_limit + 1):
+            if not any(run >= length for run in runs):
+                raise DataGenerationError(
+                    f"stream exhibits no zero-run of length {length}; too short "
+                    "for the common-parts property"
+                )

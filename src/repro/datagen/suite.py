@@ -1,0 +1,176 @@
+"""The full evaluation corpus (Section 5.4 of the paper).
+
+The paper's final suite contains one training stream and 8 test streams
+— one per anomaly size 2..9, each holding a single minimal foreign
+sequence — replicated for each detector-window length 2..15, for a
+total of 112 test cases.  Because the stream content does not depend on
+the detector window (only the scoring does), the suite stores one
+injected stream per anomaly size, verified clean at *every* window
+length in the sweep, and exposes the full (AS x DW) case grid on top.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.datagen.anomalies import AnomalySynthesizer, SynthesizedAnomaly
+from repro.datagen.injection import InjectedStream, InjectionPolicy, inject_anomaly
+from repro.datagen.training import TrainingData, generate_training_data
+from repro.exceptions import AnomalySynthesisError, InjectionError
+from repro.params import PaperParams, paper_params
+
+
+@dataclass(frozen=True)
+class SuiteCase:
+    """One cell of the evaluation grid.
+
+    Attributes:
+        anomaly_size: the injected MFS length (``AS``).
+        window_length: the detector window to analyze at (``DW``).
+        injected: the test stream shared by every window length at
+            this anomaly size.
+    """
+
+    anomaly_size: int
+    window_length: int
+    injected: InjectedStream
+
+
+class EvaluationSuite:
+    """Training data plus one clean injected stream per anomaly size."""
+
+    def __init__(
+        self,
+        training: TrainingData,
+        anomalies: dict[int, SynthesizedAnomaly],
+        streams: dict[int, InjectedStream],
+    ) -> None:
+        if set(anomalies) != set(streams):
+            raise InjectionError("anomaly sizes of anomalies and streams disagree")
+        self._training = training
+        self._anomalies = dict(sorted(anomalies.items()))
+        self._streams = dict(sorted(streams.items()))
+
+    @property
+    def training(self) -> TrainingData:
+        """The training corpus all detectors are fitted on."""
+        return self._training
+
+    @property
+    def params(self) -> PaperParams:
+        """The parameters the suite was built under."""
+        return self._training.params
+
+    @property
+    def anomaly_sizes(self) -> tuple[int, ...]:
+        """Anomaly sizes with an injected stream, ascending."""
+        return tuple(self._streams)
+
+    @property
+    def window_lengths(self) -> tuple[int, ...]:
+        """Detector-window lengths of the case grid."""
+        return self.params.window_sizes
+
+    def anomaly(self, anomaly_size: int) -> SynthesizedAnomaly:
+        """The synthesized MFS for ``anomaly_size``."""
+        try:
+            return self._anomalies[anomaly_size]
+        except KeyError:
+            raise AnomalySynthesisError(
+                f"suite has no anomaly of size {anomaly_size}"
+            ) from None
+
+    def stream(self, anomaly_size: int) -> InjectedStream:
+        """The injected test stream for ``anomaly_size``."""
+        try:
+            return self._streams[anomaly_size]
+        except KeyError:
+            raise InjectionError(
+                f"suite has no test stream for anomaly size {anomaly_size}"
+            ) from None
+
+    def cases(self) -> Iterator[SuiteCase]:
+        """Iterate over all (anomaly size x window length) cases.
+
+        With the paper's parameters this yields the 112 test cases
+        (8 anomaly sizes x 14 window lengths), ordered by anomaly size
+        then window length.
+        """
+        for anomaly_size, injected in self._streams.items():
+            for window_length in self.window_lengths:
+                yield SuiteCase(
+                    anomaly_size=anomaly_size,
+                    window_length=window_length,
+                    injected=injected,
+                )
+
+    def case_count(self) -> int:
+        """Total number of cases in the grid."""
+        return len(self._streams) * len(self.window_lengths)
+
+
+def build_suite(
+    params: PaperParams | None = None,
+    training: TrainingData | None = None,
+    stream_length: int = 1000,
+    max_anomaly_attempts: int = 25,
+) -> EvaluationSuite:
+    """Build the paper's evaluation suite.
+
+    For each anomaly size, candidate MFSs are synthesized in
+    deterministic order and injected under the clean-boundary policy;
+    when an injection fails, the next candidate anomaly is drawn — the
+    paper's "produce a new anomaly as a replacement" loop.
+
+    Args:
+        params: corpus parameters; defaults to the paper's full scale.
+        training: pre-built training data (built from ``params`` when
+            omitted).
+        stream_length: length of each composed test stream.
+        max_anomaly_attempts: how many candidate anomalies to try per
+            size before giving up.
+
+    Raises:
+        AnomalySynthesisError: if some size admits no MFS at all.
+        InjectionError: if no candidate of some size injects cleanly.
+    """
+    if training is None:
+        training = generate_training_data(params or paper_params())
+    suite_params = training.params
+    synthesizer = AnomalySynthesizer(training)
+    policy = InjectionPolicy(
+        window_lengths=suite_params.window_sizes,
+        rare_threshold=suite_params.rare_threshold,
+    )
+    anomalies: dict[int, SynthesizedAnomaly] = {}
+    streams: dict[int, InjectedStream] = {}
+    for anomaly_size in suite_params.anomaly_sizes:
+        last_error: InjectionError | None = None
+        candidate_count = len(synthesizer.candidates(anomaly_size))
+        attempts = min(max_anomaly_attempts, candidate_count)
+        if attempts == 0:
+            raise AnomalySynthesisError(
+                f"training corpus admits no MFS of size {anomaly_size}"
+            )
+        for index in range(attempts):
+            anomaly = synthesizer.synthesize(anomaly_size, index=index)
+            try:
+                injected = inject_anomaly(
+                    anomaly.sequence,
+                    training,
+                    policy,
+                    stream_length=stream_length,
+                )
+            except InjectionError as error:
+                last_error = error
+                continue
+            anomalies[anomaly_size] = anomaly
+            streams[anomaly_size] = injected
+            break
+        else:
+            raise InjectionError(
+                f"no candidate MFS of size {anomaly_size} injected cleanly after "
+                f"{attempts} attempts; last failure: {last_error}"
+            )
+    return EvaluationSuite(training=training, anomalies=anomalies, streams=streams)

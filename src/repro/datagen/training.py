@@ -1,0 +1,163 @@
+"""Training-data construction (Section 5.3 of the paper).
+
+The paper's training stream has 1,000,000 elements over an alphabet of
+8; 98% of the stream is a repetition of ``1 2 3 4 5 6 7 8`` and the
+remaining 2% consists of rare sequences produced by a small amount of
+nondeterminism in the generating Markov matrix.  :func:`generate_training_data`
+reproduces this corpus (at any scale) via
+:class:`~repro.datagen.markov_source.CycleJumpSource` and packages the
+result with the derived statistics every later stage needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.datagen.markov_source import CycleJumpSource
+from repro.exceptions import DataGenerationError
+from repro.params import PaperParams
+from repro.sequences.alphabet import Alphabet
+from repro.sequences.foreign import ForeignSequenceAnalyzer
+
+
+@dataclass(frozen=True)
+class TrainingData:
+    """The training corpus plus the apparatus derived from it.
+
+    Attributes:
+        stream: encoded training stream (codes ``0..alphabet_size-1``).
+        alphabet: mapping between codes and the paper's symbols
+            (``1..8`` by default).
+        source: the generating process (kept so test-data builders can
+            reuse the cycle structure and jump inventory).
+        params: the parameters the corpus was built under.
+    """
+
+    stream: np.ndarray
+    alphabet: Alphabet
+    source: CycleJumpSource
+    params: PaperParams
+
+    def __post_init__(self) -> None:
+        if self.stream.ndim != 1 or len(self.stream) == 0:
+            raise DataGenerationError("training stream must be a non-empty 1-D array")
+
+    @cached_property
+    def analyzer(self) -> ForeignSequenceAnalyzer:
+        """Foreign/rare/MFS analyzer over this training stream.
+
+        Built lazily and cached; the analyzer in turn caches its n-gram
+        tables per window length.
+        """
+        return ForeignSequenceAnalyzer(
+            self.stream, rare_threshold=self.params.rare_threshold
+        )
+
+    @property
+    def length(self) -> int:
+        """Number of elements in the training stream."""
+        return len(self.stream)
+
+    def cycle_run_fraction(self) -> float:
+        """Fraction of elements on uninterrupted cycle transitions.
+
+        An element is counted as a cycle element when it is the cycle
+        successor of its predecessor.  The paper reports roughly 98%
+        for its corpus.
+        """
+        successors = (self.stream[:-1] + 1) % self.alphabet.size
+        cycle_steps = int(np.count_nonzero(self.stream[1:] == successors))
+        return cycle_steps / max(1, len(self.stream) - 1)
+
+    def jump_positions(self) -> np.ndarray:
+        """Indices ``i`` such that the transition into ``stream[i]`` is a jump."""
+        successors = (self.stream[:-1] + 1) % self.alphabet.size
+        return np.nonzero(self.stream[1:] != successors)[0] + 1
+
+    def validate(self) -> None:
+        """Check the corpus exhibits the paper's structural properties.
+
+        Verifies that the cycle dominates the stream, that every jump
+        pair the source can emit is present yet rare, and that jumps
+        respect the refractory period.
+
+        Raises:
+            DataGenerationError: if any property fails; this usually
+                means the stream is too short for the configured jump
+                probability.
+        """
+        fraction = self.cycle_run_fraction()
+        if fraction < 0.9:
+            raise DataGenerationError(
+                f"cycle fraction {fraction:.3f} is too low; corpus does not match "
+                "the paper's 98%-cycle structure"
+            )
+        pair_store = self.analyzer.store_for(2)
+        threshold = self.params.rare_threshold
+        for source_state, target in self.source.jump_pairs():
+            pair = (source_state, target)
+            if not pair_store.contains(pair):
+                raise DataGenerationError(
+                    f"jump pair {pair} never occurred; stream too short to "
+                    "support anomaly synthesis"
+                )
+            frequency = pair_store.relative_frequency(pair)
+            if frequency >= threshold:
+                raise DataGenerationError(
+                    f"jump pair {pair} has relative frequency {frequency:.4f}, "
+                    f"at or above the rarity threshold {threshold}"
+                )
+        positions = self.jump_positions()
+        if len(positions) >= 2:
+            gaps = np.diff(positions)
+            refractory = self.source.jump_spec.refractory
+            if int(gaps.min()) < refractory:
+                raise DataGenerationError(
+                    f"two jumps occurred {int(gaps.min())} steps apart, violating "
+                    f"the refractory period of {refractory}"
+                )
+
+
+def generate_training_data(
+    params: PaperParams,
+    jump_probability: float = 0.02,
+    refractory: int | None = None,
+) -> TrainingData:
+    """Generate the paper's training corpus under ``params``.
+
+    Args:
+        params: corpus parameters (length, alphabet size, seed, ...).
+        jump_probability: per-step deviation probability; the default
+            0.02 yields the paper's ~98%/2% split.
+        refractory: minimum distance between deviations.  Defaults to
+            one more than the largest detector window in ``params`` so
+            no analyzed window ever contains two deviations.
+
+    Returns:
+        A validated :class:`TrainingData`.
+
+    Raises:
+        DataGenerationError: if the generated stream fails validation
+            (e.g. the requested length is too short for every rare jump
+            pair to appear).
+    """
+    if refractory is None:
+        refractory = max(params.max_window_size, params.max_anomaly_size) + 1
+    source = CycleJumpSource(
+        alphabet_size=params.alphabet_size,
+        jump_probability=jump_probability,
+        refractory=refractory,
+    )
+    rng = np.random.default_rng(params.seed)
+    stream = source.sample(params.training_length, rng, initial_state=0)
+    data = TrainingData(
+        stream=stream,
+        alphabet=Alphabet.of_size(params.alphabet_size),
+        source=source,
+        params=params,
+    )
+    data.validate()
+    return data

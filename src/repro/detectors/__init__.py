@@ -1,0 +1,58 @@
+"""The four sequence-based anomaly detectors of Tan & Maxion, plus extensions.
+
+All detectors share the generic three-component anatomy of Section 4.2:
+
+1. a model of normal behavior, acquired by sliding a fixed-length
+   *detector window* (``DW``) over the training data;
+2. a similarity metric measuring deviation from the model — the one
+   component in which the four detectors are *diverse*;
+3. a thresholding mechanism turning graded responses into decisions
+   (see :mod:`repro.detectors.threshold`).
+
+Responses are normalized to ``[0, 1]`` with 0 meaning completely normal
+and 1 maximally anomalous, exactly as in the paper's scoring.
+
+Detectors:
+
+* :class:`~repro.detectors.stide.StideDetector` — exact window match
+  against the normal database (Forrest et al.);
+* :class:`~repro.detectors.tstide.TStideDetector` — Stide extended with
+  the rare-window criterion (Warrender et al.'s t-stide);
+* :class:`~repro.detectors.markov.MarkovDetector` — conditional
+  transition probabilities (Jha et al. / Teng et al.);
+* :class:`~repro.detectors.lane_brodley.LaneBrodleyDetector` —
+  adjacency-weighted positional similarity (Lane & Brodley);
+* :class:`~repro.detectors.neural.NeuralDetector` — multilayer
+  feed-forward next-symbol predictor (Debar et al.).
+"""
+
+from repro.detectors.base import AnomalyDetector, FittedState
+from repro.detectors.lane_brodley import LaneBrodleyDetector
+from repro.detectors.hamming import HammingDetector
+from repro.detectors.histogram import HistogramDetector
+from repro.detectors.lfc import locality_frame_counts
+from repro.detectors.markov import MarkovDetector
+from repro.detectors.markov_chain import MarkovChainDetector
+from repro.detectors.neural import NeuralDetector
+from repro.detectors.registry import available_detectors, create_detector
+from repro.detectors.stide import StideDetector
+from repro.detectors.threshold import FixedThreshold, MaximalResponseThreshold
+from repro.detectors.tstide import TStideDetector
+
+__all__ = [
+    "AnomalyDetector",
+    "FittedState",
+    "FixedThreshold",
+    "HammingDetector",
+    "HistogramDetector",
+    "LaneBrodleyDetector",
+    "MarkovChainDetector",
+    "MarkovDetector",
+    "MaximalResponseThreshold",
+    "NeuralDetector",
+    "StideDetector",
+    "TStideDetector",
+    "available_detectors",
+    "create_detector",
+    "locality_frame_counts",
+]

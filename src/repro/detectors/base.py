@@ -1,0 +1,217 @@
+"""Detector protocol shared by all similarity metrics.
+
+A detector is configured with a window length, *fitted* on one or more
+training streams, and then produces one response per window of a test
+stream.  Responses lie in ``[0, 1]``: 0 is completely normal, 1 is
+maximally anomalous.  The response for the window starting at stream
+index ``i`` is stored at index ``i`` of the response array, so a test
+stream of length ``L`` yields ``L - DW + 1`` responses.
+
+Detectors that emit graded responses (Markov, neural network) also
+declare a ``response_tolerance``: the slack within which a response is
+considered *maximal* by the evaluation harness.  Binary detectors
+(Stide, and L&B's extremes) use tolerance 0.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Sequence
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import DetectorConfigurationError, NotFittedError, WindowError
+from repro.sequences.windows import window_count
+
+
+class FittedState(Enum):
+    """Lifecycle of a detector instance."""
+
+    UNFITTED = "unfitted"
+    FITTED = "fitted"
+
+
+class AnomalyDetector(abc.ABC):
+    """Abstract base class for fixed-window sequence anomaly detectors.
+
+    Args:
+        window_length: the detector window ``DW``; must be at least 2
+            (the paper's minimum — a window of 1 carries no sequential
+            ordering and has no analogue for the Markov/NN detectors).
+        alphabet_size: number of symbol codes the detector will see.
+        response_tolerance: slack under which a response still counts
+            as maximal (see module docstring).
+    """
+
+    #: Human-readable detector family name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        window_length: int,
+        alphabet_size: int,
+        response_tolerance: float = 0.0,
+    ) -> None:
+        if window_length < 2:
+            raise DetectorConfigurationError(
+                f"window_length must be >= 2, got {window_length}"
+            )
+        if alphabet_size < 2:
+            raise DetectorConfigurationError(
+                f"alphabet_size must be >= 2, got {alphabet_size}"
+            )
+        if not 0.0 <= response_tolerance < 1.0:
+            raise DetectorConfigurationError(
+                f"response_tolerance must lie in [0, 1), got {response_tolerance}"
+            )
+        self._window_length = int(window_length)
+        self._alphabet_size = int(alphabet_size)
+        self._response_tolerance = float(response_tolerance)
+        self._state = FittedState.UNFITTED
+
+    # -- configuration ---------------------------------------------------------
+
+    @property
+    def window_length(self) -> int:
+        """The detector window ``DW``."""
+        return self._window_length
+
+    @property
+    def alphabet_size(self) -> int:
+        """Number of symbol codes the detector accepts."""
+        return self._alphabet_size
+
+    @property
+    def response_tolerance(self) -> float:
+        """Slack under which a response counts as maximal."""
+        return self._response_tolerance
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._state is FittedState.FITTED
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return f"{self.name}(DW={self._window_length})"
+
+    # -- training ----------------------------------------------------------------
+
+    def fit(self, training_stream: Sequence[int] | np.ndarray) -> "AnomalyDetector":
+        """Acquire normal behavior from a single training stream.
+
+        Args:
+            training_stream: encoded stream of symbol codes; must be
+                at least one window long.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        return self.fit_many([training_stream])
+
+    def fit_many(
+        self, training_streams: Iterable[Sequence[int] | np.ndarray]
+    ) -> "AnomalyDetector":
+        """Acquire normal behavior from multiple independent streams.
+
+        Windows never span stream junctions, matching the convention
+        for pooling per-process traces.
+
+        Raises:
+            WindowError: if no stream contains a full window, or codes
+                fall outside the alphabet.
+        """
+        streams = [self._validated(stream) for stream in training_streams]
+        usable = [s for s in streams if len(s) >= self._window_length]
+        if not usable:
+            raise WindowError(
+                f"no training stream contains a window of length {self._window_length}"
+            )
+        self._fit(usable)
+        self._state = FittedState.FITTED
+        return self
+
+    def _validated(self, stream: Sequence[int] | np.ndarray) -> np.ndarray:
+        data = np.asarray(stream)
+        if data.ndim != 1:
+            raise WindowError(f"stream must be one-dimensional, got shape {data.shape}")
+        if len(data) and (data.min() < 0 or data.max() >= self._alphabet_size):
+            raise WindowError(
+                "stream contains codes outside the alphabet "
+                f"[0, {self._alphabet_size - 1}]"
+            )
+        return data.astype(np.int64, copy=False)
+
+    # -- scoring ----------------------------------------------------------------
+
+    def score_stream(self, test_stream: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Responses for every window of ``test_stream``.
+
+        Returns:
+            ``float64`` array of length ``len(test_stream) - DW + 1``;
+            entry ``i`` is the response for the window starting at ``i``.
+
+        Raises:
+            NotFittedError: if :meth:`fit` has not been called.
+            WindowError: if the stream is shorter than one window.
+        """
+        self._require_fitted()
+        data = self._validated(test_stream)
+        if len(data) < self._window_length:
+            raise WindowError(
+                f"test stream of length {len(data)} is shorter than the "
+                f"detector window {self._window_length}"
+            )
+        responses = self._score(data)
+        expected = window_count(len(data), self._window_length)
+        if responses.shape != (expected,):
+            raise WindowError(
+                f"{self.name} produced {responses.shape} responses, "
+                f"expected ({expected},)"
+            )
+        return responses
+
+    def decision_stream(
+        self, test_stream: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Boolean alarms under the paper's maximal-response criterion.
+
+        Equivalent to thresholding :meth:`score_stream` at
+        ``1 - response_tolerance`` — the detector's own notion of a
+        maximal response.  Deployments wanting other operating points
+        should threshold the response stream explicitly (see
+        :mod:`repro.detectors.threshold`).
+        """
+        responses = self.score_stream(test_stream)
+        return responses >= 1.0 - self._response_tolerance
+
+    def score_window(self, window: Sequence[int]) -> float:
+        """Response for a single window (length exactly ``DW``)."""
+        data = np.asarray(window)
+        if data.shape != (self._window_length,):
+            raise WindowError(
+                f"expected a window of length {self._window_length}, "
+                f"got shape {data.shape}"
+            )
+        return float(self.score_stream(data)[0])
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"{self.name} detector must be fitted before scoring"
+            )
+
+    # -- subclass contract --------------------------------------------------------
+
+    @abc.abstractmethod
+    def _fit(self, training_streams: list[np.ndarray]) -> None:
+        """Build the normal-behavior model from validated streams."""
+
+    @abc.abstractmethod
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        """Produce per-window responses in ``[0, 1]`` for a validated stream."""
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}(window_length={self._window_length}, {state})"

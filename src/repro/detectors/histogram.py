@@ -1,0 +1,101 @@
+"""Histogram detector: frequency profiles without sequential ordering.
+
+Denning's original anomaly-detection model and its NIDES-style
+descendants profile *frequencies*, not orderings.  This detector is
+that family reduced to the paper's fixed-window setting: training
+collects the set of symbol histograms exhibited by normal windows; a
+test window's response is the normalized L1 distance between its
+histogram and the nearest normal histogram.
+
+It is the mirror image of the sequence detectors' blindness:
+
+* a minimal foreign sequence built from *common symbols in a novel
+  order* has the same histogram as normal windows — the histogram
+  detector is blind across the paper's entire map;
+* a *frequency* anomaly (a burst of one symbol) can hide from Stide
+  when each window ordering exists in training, yet lights the
+  histogram detector up.
+
+Detector diversity, in other words, spans anomaly *types*, not just
+regions of the (AS, DW) grid — the E24 bench charts both axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector
+from repro.detectors.registry import register_detector
+from repro.sequences.windows import windows_array
+
+
+class HistogramDetector(AnomalyDetector):
+    """Nearest-normal-histogram distance over fixed windows.
+
+    Args:
+        window_length: the detector window ``DW`` (>= 2).
+        alphabet_size: number of symbol codes.
+        response_tolerance: slack for the maximal-response criterion
+            (default 0 — the distance is exact).
+    """
+
+    name = "histogram"
+
+    def __init__(
+        self,
+        window_length: int,
+        alphabet_size: int,
+        response_tolerance: float = 0.0,
+    ) -> None:
+        super().__init__(
+            window_length, alphabet_size, response_tolerance=response_tolerance
+        )
+        self._normal_histograms: np.ndarray | None = None
+
+    @property
+    def profile_size(self) -> int:
+        """Number of distinct normal histograms stored."""
+        self._require_fitted()
+        assert self._normal_histograms is not None
+        return int(len(self._normal_histograms))
+
+    def _histograms(self, windows: np.ndarray) -> np.ndarray:
+        """Per-row symbol-count histograms, shape (n, alphabet_size)."""
+        n = len(windows)
+        histograms = np.zeros((n, self.alphabet_size), dtype=np.int64)
+        rows = np.repeat(np.arange(n), windows.shape[1])
+        np.add.at(histograms, (rows, windows.ravel()), 1)
+        return histograms
+
+    def _fit(self, training_streams: list[np.ndarray]) -> None:
+        parts = [
+            self._histograms(windows_array(stream, self.window_length))
+            for stream in training_streams
+        ]
+        self._normal_histograms = np.unique(np.concatenate(parts, axis=0), axis=0)
+
+    def distance_to_normal(self, window: tuple[int, ...] | np.ndarray) -> int:
+        """L1 distance of the window's histogram to the nearest normal one."""
+        self._require_fitted()
+        view = np.asarray(window).reshape(1, -1)
+        return int(self._distances(self._histograms(view))[0])
+
+    def _distances(self, histograms: np.ndarray) -> np.ndarray:
+        assert self._normal_histograms is not None
+        # (n, profiles, alphabet) absolute differences; windows and
+        # profiles are both small in this domain.
+        differences = np.abs(
+            histograms[:, None, :] - self._normal_histograms[None, :, :]
+        ).sum(axis=2)
+        return differences.min(axis=1)
+
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        view = windows_array(test_stream, self.window_length)
+        unique_rows, inverse = np.unique(view, axis=0, return_inverse=True)
+        distances = self._distances(self._histograms(unique_rows))
+        # Two length-DW histograms differ by at most 2*DW counts.
+        responses = distances / (2 * self.window_length)
+        return responses[inverse]
+
+
+register_detector(HistogramDetector)

@@ -1,0 +1,96 @@
+"""Locality frame count (LFC) post-processing.
+
+Stide as deployed by Warrender et al. aggregates raw window mismatches
+over a *locality frame* — the sequence of the most recent ``n``
+windows — and alarms when the number of mismatches in the frame crosses
+a threshold, suppressing isolated noise.  The paper deliberately
+ignores the LFC when charting intrinsic detection ability
+(Section 5.5); the library provides it as an optional post-processor
+for deployments and for the false-alarm experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+
+
+def locality_frame_counts(responses: np.ndarray, frame_size: int = 20) -> np.ndarray:
+    """Count near-maximal responses within each trailing locality frame.
+
+    Entry ``i`` of the result counts responses equal to 1.0 among
+    ``responses[max(0, i - frame_size + 1) : i + 1]``.
+
+    Args:
+        responses: per-window detector responses in ``[0, 1]``.
+        frame_size: number of trailing windows per frame (>= 1).
+
+    Returns:
+        ``int64`` array, same length as ``responses``.
+    """
+    data = np.asarray(responses, dtype=np.float64)
+    if data.ndim != 1:
+        raise EvaluationError(f"responses must be 1-D, got shape {data.shape}")
+    if frame_size < 1:
+        raise EvaluationError(f"frame_size must be >= 1, got {frame_size}")
+    hits = (data >= 1.0).astype(np.int64)
+    cumulative = np.concatenate([[0], np.cumsum(hits)])
+    counts = np.empty(len(data), dtype=np.int64)
+    for i in range(len(data)):
+        lo = max(0, i - frame_size + 1)
+        counts[i] = cumulative[i + 1] - cumulative[lo]
+    return counts
+
+
+def trailing_mean_smoothing(
+    responses: np.ndarray, width: int = 100
+) -> np.ndarray:
+    """Lane & Brodley's similarity smoothing, as a response filter.
+
+    L&B's deployed system smoothed the per-window similarity signal
+    with a trailing mean before thresholding, damping isolated spikes
+    in either direction.  Like the LFC it is a post-similarity process
+    the paper's scoring deliberately excludes (Section 5.5); it is
+    provided for deployment-style experiments.
+
+    Args:
+        responses: per-window responses in ``[0, 1]``.
+        width: number of trailing windows averaged (>= 1); positions
+            with fewer predecessors average what is available.
+
+    Returns:
+        ``float64`` array, same length as ``responses``.
+    """
+    data = np.asarray(responses, dtype=np.float64)
+    if data.ndim != 1:
+        raise EvaluationError(f"responses must be 1-D, got shape {data.shape}")
+    if width < 1:
+        raise EvaluationError(f"width must be >= 1, got {width}")
+    cumulative = np.concatenate([[0.0], np.cumsum(data)])
+    smoothed = np.empty(len(data), dtype=np.float64)
+    for i in range(len(data)):
+        lo = max(0, i - width + 1)
+        smoothed[i] = (cumulative[i + 1] - cumulative[lo]) / (i + 1 - lo)
+    return smoothed
+
+
+def lfc_alarms(
+    responses: np.ndarray, frame_size: int = 20, count_threshold: int = 1
+) -> np.ndarray:
+    """Binary alarms from locality-frame counts.
+
+    Args:
+        responses: per-window detector responses.
+        frame_size: locality-frame width.
+        count_threshold: minimum number of maximal responses in a frame
+            for the frame's last window to alarm (>= 1).
+
+    Returns:
+        Boolean array, same length as ``responses``.
+    """
+    if count_threshold < 1:
+        raise EvaluationError(
+            f"count_threshold must be >= 1, got {count_threshold}"
+        )
+    return locality_frame_counts(responses, frame_size) >= count_threshold

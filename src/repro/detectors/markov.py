@@ -1,0 +1,152 @@
+"""Markov conditional-probability detector (Jha et al. / Teng et al.).
+
+For every window of size ``DW`` from the test data the detector
+calculates the probability that the window's final element follows its
+preceding ``DW - 1`` elements, estimated from training counts:
+
+    P(x | ctx) = count(ctx + x) / count(ctx)
+
+and reports ``1 - P`` — a score between 0 (very probable, normal) and 1
+(improbable, anomalous).  A window of 2 therefore conditions on a
+single element, which is why the paper's Markov results start at
+``DW = 2`` (the Markov assumption).
+
+Two estimation details govern coverage, and both are exposed:
+
+* ``rare_floor`` — transitions whose joint ``DW``-gram relative
+  frequency in training falls below this bound are assigned
+  probability 0, i.e. the maximal response.  The paper's Figure 4
+  (full-space coverage, including ``DW < AS``) and its statement that
+  the Markov detector "will detect foreign sequences as well as a
+  variety of rare sequences" correspond to flooring at the corpus
+  rarity threshold (0.5%).  Setting ``rare_floor=0`` gives the
+  unfloored estimator, under which the detector's maximal-response
+  coverage collapses to roughly Stide's (ablation E11 in DESIGN.md).
+* ``unseen_context_response`` — the response emitted when the context
+  itself never occurred in training (the conditional is undefined).
+  A foreign context is itself maximally anomalous, so the default is 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector
+from repro.exceptions import DetectorConfigurationError
+from repro.sequences.windows import pack_windows, windows_array
+
+
+class MarkovDetector(AnomalyDetector):
+    """Conditional-probability detector over fixed-length windows.
+
+    Args:
+        window_length: the detector window ``DW`` (>= 2); the context
+            length is ``DW - 1``.
+        alphabet_size: number of symbol codes.
+        rare_floor: joint-frequency bound below which a transition is
+            treated as probability 0 (default 0.005, the paper's rarity
+            threshold).  Use 0.0 for the exact empirical estimator.
+        unseen_context_response: response for windows whose context is
+            foreign to training (default 1.0).
+    """
+
+    name = "markov"
+
+    def __init__(
+        self,
+        window_length: int,
+        alphabet_size: int,
+        rare_floor: float = 0.005,
+        unseen_context_response: float = 1.0,
+    ) -> None:
+        super().__init__(window_length, alphabet_size, response_tolerance=0.0)
+        if not 0.0 <= rare_floor < 1.0:
+            raise DetectorConfigurationError(
+                f"rare_floor must lie in [0, 1), got {rare_floor}"
+            )
+        if not 0.0 <= unseen_context_response <= 1.0:
+            raise DetectorConfigurationError(
+                "unseen_context_response must lie in [0, 1], got "
+                f"{unseen_context_response}"
+            )
+        self._rare_floor = float(rare_floor)
+        self._unseen_context_response = float(unseen_context_response)
+        self._window_counts: dict[tuple[int, ...], int] = {}
+        self._context_counts: dict[tuple[int, ...], int] = {}
+        self._total_windows = 0
+
+    @property
+    def rare_floor(self) -> float:
+        """Joint-frequency bound for the probability floor."""
+        return self._rare_floor
+
+    def _count(self, streams: list[np.ndarray], length: int) -> dict[tuple[int, ...], int]:
+        counts: dict[tuple[int, ...], int] = {}
+        for stream in streams:
+            if len(stream) < length:
+                continue
+            view = windows_array(stream, length)
+            rows, row_counts = np.unique(view, axis=0, return_counts=True)
+            for row, n in zip(rows, row_counts):
+                key = tuple(int(c) for c in row)
+                counts[key] = counts.get(key, 0) + int(n)
+        return counts
+
+    def _fit(self, training_streams: list[np.ndarray]) -> None:
+        self._window_counts = self._count(training_streams, self.window_length)
+        self._context_counts = self._count(training_streams, self.window_length - 1)
+        self._total_windows = sum(self._window_counts.values())
+
+    def transition_probability(self, window: tuple[int, ...]) -> float:
+        """The floored estimate of P(last element | preceding context).
+
+        Raises:
+            NotFittedError: if the detector is unfitted.
+        """
+        self._require_fitted()
+        key = tuple(int(c) for c in window)
+        joint = self._window_counts.get(key, 0)
+        if joint == 0:
+            return 0.0
+        if self._rare_floor > 0.0 and joint < self._rare_floor * self._total_windows:
+            return 0.0
+        context = self._context_counts.get(key[:-1], 0)
+        if context == 0:
+            return 0.0
+        return joint / context
+
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        view = windows_array(test_stream, self.window_length)
+        responses = np.empty(len(view), dtype=np.float64)
+        floor_count = self._rare_floor * self._total_windows
+        cache: dict[int, float] = {}
+        packable = self.window_length * np.log2(self.alphabet_size) < 63
+        packed = (
+            pack_windows(view, self.alphabet_size) if packable else None
+        )
+        for i, row in enumerate(view):
+            if packed is not None:
+                token = int(packed[i])
+                cached = cache.get(token)
+                if cached is not None:
+                    responses[i] = cached
+                    continue
+            key = tuple(int(c) for c in row)
+            joint = self._window_counts.get(key, 0)
+            if joint == 0 or (self._rare_floor > 0.0 and joint < floor_count):
+                context_count = self._context_counts.get(key[:-1], 0)
+                if context_count == 0 and joint == 0:
+                    response = self._unseen_context_response
+                else:
+                    response = 1.0
+            else:
+                context_count = self._context_counts.get(key[:-1], 0)
+                if context_count == 0:
+                    response = 1.0
+                else:
+                    response = 1.0 - joint / context_count
+            response = min(1.0, max(0.0, response))
+            responses[i] = response
+            if packed is not None:
+                cache[int(packed[i])] = response
+        return responses

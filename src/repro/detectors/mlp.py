@@ -1,0 +1,156 @@
+"""A small, dependency-free multilayer perceptron (NumPy only).
+
+This is the learning machinery behind
+:class:`~repro.detectors.neural.NeuralDetector`.  It is deliberately
+period-appropriate: a multilayer feed-forward network trained by
+backpropagation with a learning constant and a momentum constant — the
+exact parameter vocabulary the paper takes from Zurada's textbook when
+discussing the neural detector's tuning sensitivity (Section 7).
+
+The network maps a one-hot-encoded context to a softmax distribution
+over next symbols and is trained with weighted cross-entropy on the
+distinct (context, next-symbol) pairs of the training stream, weights
+being the pairs' occurrence counts.  Training is full-batch gradient
+descent with momentum; initialization is seeded, so results are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DetectorConfigurationError
+
+
+@dataclass(frozen=True)
+class MlpConfig:
+    """Hyperparameters of the feed-forward network.
+
+    Attributes:
+        hidden_units: size of the single hidden layer.
+        learning_rate: the "learning constant".
+        momentum: the "momentum constant".
+        epochs: number of full-batch passes.
+        seed: weight-initialization seed.
+        init_scale: uniform initialization half-width.
+    """
+
+    hidden_units: int = 32
+    learning_rate: float = 0.5
+    momentum: float = 0.9
+    epochs: int = 400
+    seed: int = 7
+    init_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.hidden_units < 1:
+            raise DetectorConfigurationError(
+                f"hidden_units must be >= 1, got {self.hidden_units}"
+            )
+        if self.learning_rate <= 0:
+            raise DetectorConfigurationError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if not 0.0 <= self.momentum < 1.0:
+            raise DetectorConfigurationError(
+                f"momentum must lie in [0, 1), got {self.momentum}"
+            )
+        if self.epochs < 1:
+            raise DetectorConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class NextSymbolMlp:
+    """One-hidden-layer softmax classifier for next-symbol prediction.
+
+    Args:
+        input_dim: size of the one-hot context vector.
+        output_dim: alphabet size.
+        config: training hyperparameters.
+    """
+
+    def __init__(self, input_dim: int, output_dim: int, config: MlpConfig) -> None:
+        if input_dim < 1 or output_dim < 2:
+            raise DetectorConfigurationError(
+                f"invalid MLP dimensions: input {input_dim}, output {output_dim}"
+            )
+        self._config = config
+        rng = np.random.default_rng(config.seed)
+        scale = config.init_scale
+        self._w1 = rng.uniform(-scale, scale, size=(input_dim, config.hidden_units))
+        self._b1 = np.zeros(config.hidden_units)
+        self._w2 = rng.uniform(-scale, scale, size=(config.hidden_units, output_dim))
+        self._b2 = np.zeros(output_dim)
+        self._trained = False
+
+    @property
+    def config(self) -> MlpConfig:
+        """The hyperparameters this network was built with."""
+        return self._config
+
+    def _hidden(self, inputs: np.ndarray) -> np.ndarray:
+        return np.tanh(inputs @ self._w1 + self._b1)
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Softmax next-symbol distributions for a batch of contexts."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        return _softmax(self._hidden(inputs) @ self._w2 + self._b2)
+
+    def train(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        sample_weights: np.ndarray,
+    ) -> float:
+        """Fit with weighted cross-entropy; returns the final loss.
+
+        Args:
+            inputs: (n, input_dim) one-hot context batch.
+            targets: (n,) integer next-symbol codes.
+            sample_weights: (n,) non-negative weights (occurrence
+                counts); normalized internally.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.int64)
+        weights = np.asarray(sample_weights, dtype=np.float64)
+        if len(inputs) != len(targets) or len(inputs) != len(weights):
+            raise DetectorConfigurationError(
+                "inputs, targets and sample_weights must have equal length"
+            )
+        if weights.sum() <= 0:
+            raise DetectorConfigurationError("sample weights must sum to > 0")
+        weights = weights / weights.sum()
+        config = self._config
+        velocity = [np.zeros_like(p) for p in (self._w1, self._b1, self._w2, self._b2)]
+        one_hot_targets = np.zeros((len(targets), self._w2.shape[1]))
+        one_hot_targets[np.arange(len(targets)), targets] = 1.0
+        loss = float("inf")
+        for _epoch in range(config.epochs):
+            hidden = self._hidden(inputs)
+            probabilities = _softmax(hidden @ self._w2 + self._b2)
+            clipped = np.clip(probabilities, 1e-12, 1.0)
+            loss = float(
+                -(weights * np.log(clipped[np.arange(len(targets)), targets])).sum()
+            )
+            # Backpropagation of the weighted cross-entropy.
+            delta_out = (probabilities - one_hot_targets) * weights[:, None]
+            grad_w2 = hidden.T @ delta_out
+            grad_b2 = delta_out.sum(axis=0)
+            delta_hidden = (delta_out @ self._w2.T) * (1.0 - hidden**2)
+            grad_w1 = inputs.T @ delta_hidden
+            grad_b1 = delta_hidden.sum(axis=0)
+            gradients = (grad_w1, grad_b1, grad_w2, grad_b2)
+            parameters = (self._w1, self._b1, self._w2, self._b2)
+            for v, gradient, parameter in zip(velocity, gradients, parameters):
+                v *= config.momentum
+                v -= config.learning_rate * gradient
+                parameter += v
+        self._trained = True
+        return loss

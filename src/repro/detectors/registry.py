@@ -1,0 +1,87 @@
+"""Name-based detector construction.
+
+The evaluation harness, benchmarks and examples refer to detectors by
+their paper names; the registry centralizes the mapping so a sweep over
+"all four detectors" is written once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.detectors.base import AnomalyDetector
+from repro.detectors.lane_brodley import LaneBrodleyDetector
+from repro.detectors.markov import MarkovDetector
+from repro.detectors.neural import NeuralDetector
+from repro.detectors.stide import StideDetector
+from repro.detectors.tstide import TStideDetector
+from repro.exceptions import DetectorConfigurationError
+
+DetectorFactory = Callable[..., AnomalyDetector]
+
+_REGISTRY: dict[str, type[AnomalyDetector]] = {
+    StideDetector.name: StideDetector,
+    TStideDetector.name: TStideDetector,
+    MarkovDetector.name: MarkovDetector,
+    LaneBrodleyDetector.name: LaneBrodleyDetector,
+    NeuralDetector.name: NeuralDetector,
+}
+
+#: The four detectors evaluated by the paper, in figure order
+#: (Figure 3: L&B, Figure 4: Markov, Figure 5: Stide, Figure 6: NN).
+PAPER_DETECTORS: tuple[str, ...] = (
+    LaneBrodleyDetector.name,
+    MarkovDetector.name,
+    StideDetector.name,
+    NeuralDetector.name,
+)
+
+
+def available_detectors() -> tuple[str, ...]:
+    """All registered detector names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def detector_class(name: str) -> type[AnomalyDetector]:
+    """The class registered under ``name``.
+
+    Raises:
+        DetectorConfigurationError: for unknown names.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DetectorConfigurationError(
+            f"unknown detector {name!r}; available: {', '.join(available_detectors())}"
+        ) from None
+
+
+def create_detector(
+    name: str, window_length: int, alphabet_size: int, **kwargs: object
+) -> AnomalyDetector:
+    """Instantiate the detector registered under ``name``.
+
+    Extra keyword arguments are forwarded to the detector constructor
+    (e.g. ``rare_floor`` for the Markov detector).
+    """
+    return detector_class(name)(window_length, alphabet_size, **kwargs)
+
+
+def register_detector(cls: type[AnomalyDetector]) -> type[AnomalyDetector]:
+    """Register a custom detector class under its ``name`` attribute.
+
+    Usable as a class decorator.  Overwriting an existing registration
+    is rejected to avoid silently shadowing a paper detector.
+
+    Raises:
+        DetectorConfigurationError: if the name is taken or missing.
+    """
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise DetectorConfigurationError(
+            "detector classes must define a non-default `name` to register"
+        )
+    if name in _REGISTRY:
+        raise DetectorConfigurationError(f"detector {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls

@@ -1,0 +1,84 @@
+"""Stide: sequence time-delay embedding (Forrest et al., 1996).
+
+Stide is completely dependent upon the sequential ordering of
+categorical elements.  Training slides a window of length ``DW`` over
+the training data and stores every distinct window in a *normal
+database*.  At test time each window either matches a database entry
+(response 0, normal) or does not (response 1, anomalous).  No
+frequencies or probabilities are involved, which is precisely why Stide
+is blind to rare-but-present sequences and to any minimal foreign
+sequence shorter than its window (Figure 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector
+from repro.sequences.windows import pack_windows, windows_array
+
+
+def _packable(alphabet_size: int, window_length: int) -> bool:
+    """Whether windows fit in 63-bit packed integers."""
+    return window_length * np.log2(alphabet_size) < 63
+
+
+class StideDetector(AnomalyDetector):
+    """Exact-match sequence detector with a binary response.
+
+    Args:
+        window_length: the detector window ``DW`` (>= 2).
+        alphabet_size: number of symbol codes.
+    """
+
+    name = "stide"
+
+    def __init__(self, window_length: int, alphabet_size: int) -> None:
+        super().__init__(window_length, alphabet_size, response_tolerance=0.0)
+        self._packed_db: np.ndarray | None = None
+        self._tuple_db: set[tuple[int, ...]] | None = None
+
+    @property
+    def database_size(self) -> int:
+        """Number of distinct normal windows stored."""
+        self._require_fitted()
+        if self._packed_db is not None:
+            return int(len(self._packed_db))
+        assert self._tuple_db is not None
+        return len(self._tuple_db)
+
+    def _fit(self, training_streams: list[np.ndarray]) -> None:
+        if _packable(self.alphabet_size, self.window_length):
+            parts = [
+                pack_windows(
+                    windows_array(stream, self.window_length), self.alphabet_size
+                )
+                for stream in training_streams
+            ]
+            self._packed_db = np.unique(np.concatenate(parts))
+            self._tuple_db = None
+        else:
+            database: set[tuple[int, ...]] = set()
+            for stream in training_streams:
+                view = windows_array(stream, self.window_length)
+                database.update(tuple(int(c) for c in row) for row in view)
+            self._tuple_db = database
+            self._packed_db = None
+
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        view = windows_array(test_stream, self.window_length)
+        if self._packed_db is not None:
+            packed = pack_windows(view, self.alphabet_size)
+            known = np.isin(packed, self._packed_db)
+        else:
+            assert self._tuple_db is not None
+            known = np.fromiter(
+                (tuple(int(c) for c in row) in self._tuple_db for row in view),
+                dtype=bool,
+                count=len(view),
+            )
+        return (~known).astype(np.float64)
+
+    def contains(self, window: tuple[int, ...]) -> bool:
+        """Whether ``window`` is in the normal database."""
+        return self.score_window(window) == 0.0

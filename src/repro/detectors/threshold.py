@@ -1,0 +1,76 @@
+"""Thresholding mechanisms (component 3 of the generic detector).
+
+Every detector in the study shares a user-set thresholding mechanism
+that converts graded responses into anomalous/normal decisions
+(Section 4.2).  The paper's experiments use the strictest setting — a
+threshold of 1, recognizing only maximally anomalous responses as hits
+— with the footnoted property that a maximal response registers as an
+alarm *regardless* of where the threshold is set.
+
+:class:`FixedThreshold` is the general mechanism;
+:class:`MaximalResponseThreshold` expresses the paper's setting while
+honoring each detector's ``response_tolerance`` (graded detectors emit
+1 - epsilon for events they respond to maximally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DetectorConfigurationError
+
+
+@dataclass(frozen=True)
+class FixedThreshold:
+    """Alarm when the response is at or above a fixed level.
+
+    Attributes:
+        level: responses >= ``level`` alarm; must lie in (0, 1].
+    """
+
+    level: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.level <= 1.0:
+            raise DetectorConfigurationError(
+                f"threshold level must lie in (0, 1], got {self.level}"
+            )
+
+    def alarms(self, responses: np.ndarray) -> np.ndarray:
+        """Boolean alarm vector for a response array."""
+        return np.asarray(responses, dtype=np.float64) >= self.level
+
+
+@dataclass(frozen=True)
+class MaximalResponseThreshold:
+    """The paper's threshold-of-1 setting, with detector tolerance.
+
+    Attributes:
+        tolerance: responses >= ``1 - tolerance`` count as maximal.
+            Use a detector's ``response_tolerance`` here.
+    """
+
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tolerance < 1.0:
+            raise DetectorConfigurationError(
+                f"tolerance must lie in [0, 1), got {self.tolerance}"
+            )
+
+    @property
+    def level(self) -> float:
+        """The effective alarm level ``1 - tolerance``."""
+        return 1.0 - self.tolerance
+
+    def alarms(self, responses: np.ndarray) -> np.ndarray:
+        """Boolean alarm vector for a response array."""
+        return np.asarray(responses, dtype=np.float64) >= self.level
+
+    @classmethod
+    def for_detector(cls, detector: "object") -> "MaximalResponseThreshold":
+        """Build from a detector's declared ``response_tolerance``."""
+        tolerance = getattr(detector, "response_tolerance", 0.0)
+        return cls(tolerance=float(tolerance))

@@ -1,0 +1,97 @@
+"""t-Stide: Stide with a rare-window threshold (Warrender et al., 1999).
+
+The "t" variant extends Stide's foreign-match test with frequency:
+windows that *do* occur in training, but below a rarity threshold, also
+elicit the maximal response.  The paper cites this family when defining
+rarity (relative frequency under 0.5%) and when discussing why
+probability-blind detectors cannot respond to rare sequences; t-stide
+is the canonical sequence detector that can.
+
+Response semantics:
+
+* foreign window — response 1.0;
+* rare window (present, relative frequency < ``rare_threshold``) —
+  response 1.0;
+* common window — response 0.0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector
+from repro.exceptions import DetectorConfigurationError
+from repro.sequences.windows import pack_windows, windows_array
+
+
+class TStideDetector(AnomalyDetector):
+    """Stide extended with the rare-sequence criterion.
+
+    Args:
+        window_length: the detector window ``DW`` (>= 2).
+        alphabet_size: number of symbol codes.
+        rare_threshold: relative-frequency bound below which a stored
+            window still counts as anomalous (paper default 0.5%).
+    """
+
+    name = "t-stide"
+
+    def __init__(
+        self,
+        window_length: int,
+        alphabet_size: int,
+        rare_threshold: float = 0.005,
+    ) -> None:
+        super().__init__(window_length, alphabet_size, response_tolerance=0.0)
+        if not 0.0 < rare_threshold < 1.0:
+            raise DetectorConfigurationError(
+                f"rare_threshold must lie in (0, 1), got {rare_threshold}"
+            )
+        self._rare_threshold = float(rare_threshold)
+        self._common_packed: np.ndarray | None = None
+        self._common_tuples: set[tuple[int, ...]] | None = None
+
+    @property
+    def rare_threshold(self) -> float:
+        """Relative-frequency bound defining rarity."""
+        return self._rare_threshold
+
+    def _fit(self, training_streams: list[np.ndarray]) -> None:
+        packable = self.window_length * np.log2(self.alphabet_size) < 63
+        total = 0
+        if packable:
+            parts = []
+            for stream in training_streams:
+                view = windows_array(stream, self.window_length)
+                parts.append(pack_windows(view, self.alphabet_size))
+                total += len(view)
+            packed = np.concatenate(parts)
+            values, counts = np.unique(packed, return_counts=True)
+            common = values[counts >= self._rare_threshold * total]
+            self._common_packed = common
+            self._common_tuples = None
+        else:
+            counts: dict[tuple[int, ...], int] = {}
+            for stream in training_streams:
+                view = windows_array(stream, self.window_length)
+                total += len(view)
+                for row in view:
+                    key = tuple(int(c) for c in row)
+                    counts[key] = counts.get(key, 0) + 1
+            bound = self._rare_threshold * total
+            self._common_tuples = {key for key, n in counts.items() if n >= bound}
+            self._common_packed = None
+
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        view = windows_array(test_stream, self.window_length)
+        if self._common_packed is not None:
+            packed = pack_windows(view, self.alphabet_size)
+            common = np.isin(packed, self._common_packed)
+        else:
+            assert self._common_tuples is not None
+            common = np.fromiter(
+                (tuple(int(c) for c in row) in self._common_tuples for row in view),
+                dtype=bool,
+                count=len(view),
+            )
+        return (~common).astype(np.float64)

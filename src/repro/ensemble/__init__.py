@@ -1,0 +1,49 @@
+"""Detector diversity: combination rules and coverage algebra.
+
+The paper's punchline is that diverse detectors can be *combined*, but
+the gains depend on how their coverages relate (Sections 7-8):
+
+* Stide's coverage is a strict subset of the Markov detector's, so
+  Stide can gate Markov's alarms to suppress false alarms without
+  losing the detections Stide is capable of;
+* Stide and L&B share their blind region, so combining them affords
+  no improvement at all.
+
+:mod:`~repro.ensemble.coverage` expresses such statements as set
+algebra over performance-map cells; :mod:`~repro.ensemble.combiners`
+implements the alarm-combination rules; and
+:mod:`~repro.ensemble.diversity` quantifies how diverse two detectors'
+behaviors actually are.
+"""
+
+from repro.ensemble.combiners import (
+    CombinedAlarms,
+    and_alarms,
+    gated_alarms,
+    majority_alarms,
+    or_alarms,
+)
+from repro.ensemble.coverage import Coverage, coverage_gain
+from repro.ensemble.diversity import coverage_diversity, response_disagreement
+from repro.ensemble.multi_window import MultiWindowBank
+from repro.ensemble.selection import (
+    AnomalyProfile,
+    SelectionAdvice,
+    select_detectors,
+)
+
+__all__ = [
+    "AnomalyProfile",
+    "CombinedAlarms",
+    "Coverage",
+    "MultiWindowBank",
+    "SelectionAdvice",
+    "and_alarms",
+    "coverage_diversity",
+    "coverage_gain",
+    "gated_alarms",
+    "majority_alarms",
+    "or_alarms",
+    "response_disagreement",
+    "select_detectors",
+]

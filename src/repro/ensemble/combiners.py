@@ -1,0 +1,139 @@
+"""Alarm-combination rules for diverse detectors.
+
+Combination operates on per-window *alarm* vectors — the thresholded
+outputs of individual detectors — because that is the level at which
+the paper reasons about diversity ("alarms raised by the Markov-based
+detector, and not raised by Stide, may be ignored as false alarms").
+
+All rules require equal-length alarm vectors: combine detectors with
+the same window length over the same test stream.
+
+Rules:
+
+* :func:`or_alarms` — union: alarm when any member alarms (maximum
+  coverage, maximum false alarms);
+* :func:`and_alarms` — intersection: alarm only when every member
+  alarms;
+* :func:`majority_alarms` — alarm when more than half the members do;
+* :func:`gated_alarms` — the paper's suppression scheme: the primary
+  detector's alarms pass only where the gate detector also alarms.
+  With Markov as primary and Stide as gate this keeps hits wherever
+  Stide is capable while discarding Markov's rare-sequence false
+  alarms (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+
+
+def _validated(alarm_vectors: list[np.ndarray]) -> np.ndarray:
+    if not alarm_vectors:
+        raise EvaluationError("at least one alarm vector is required")
+    arrays = [np.asarray(v, dtype=bool) for v in alarm_vectors]
+    length = len(arrays[0])
+    for i, array in enumerate(arrays):
+        if array.ndim != 1:
+            raise EvaluationError(f"alarm vector {i} must be 1-D")
+        if len(array) != length:
+            raise EvaluationError(
+                f"alarm vector {i} has length {len(array)}, expected {length}; "
+                "combine detectors with equal window lengths"
+            )
+    return np.stack(arrays, axis=0)
+
+
+def or_alarms(alarm_vectors: list[np.ndarray]) -> np.ndarray:
+    """Union of member alarms."""
+    return _validated(alarm_vectors).any(axis=0)
+
+
+def and_alarms(alarm_vectors: list[np.ndarray]) -> np.ndarray:
+    """Intersection of member alarms."""
+    return _validated(alarm_vectors).all(axis=0)
+
+
+def majority_alarms(alarm_vectors: list[np.ndarray]) -> np.ndarray:
+    """Alarm where strictly more than half the members alarm."""
+    stacked = _validated(alarm_vectors)
+    return stacked.sum(axis=0) * 2 > stacked.shape[0]
+
+
+def gated_alarms(primary: np.ndarray, gate: np.ndarray) -> np.ndarray:
+    """Primary alarms that the gate confirms (the suppression scheme).
+
+    Args:
+        primary: alarms of the sensitive detector (e.g. Markov).
+        gate: alarms of the specific detector (e.g. Stide).
+
+    Returns:
+        Boolean vector: ``primary AND gate``.
+    """
+    return and_alarms([primary, gate])
+
+
+@dataclass(frozen=True)
+class CombinedAlarms:
+    """A combination result with per-member provenance.
+
+    Attributes:
+        alarms: the combined boolean alarm vector.
+        member_names: labels of the combined detectors, in input order.
+        rule: the combination rule name.
+        suppressed: number of windows where some member alarmed but the
+            combination did not (the false alarms discarded, under the
+            suppression reading).
+    """
+
+    alarms: np.ndarray
+    member_names: tuple[str, ...]
+    rule: str
+    suppressed: int
+
+    @classmethod
+    def combine(
+        cls,
+        named_alarms: list[tuple[str, np.ndarray]],
+        rule: str = "or",
+    ) -> "CombinedAlarms":
+        """Combine labeled alarm vectors under a named rule.
+
+        Args:
+            named_alarms: ``(label, alarm_vector)`` pairs.  For the
+                ``"gated"`` rule the first pair is the primary and the
+                second the gate.
+            rule: ``"or"``, ``"and"``, ``"majority"`` or ``"gated"``.
+
+        Raises:
+            EvaluationError: for unknown rules or arity mismatches.
+        """
+        if not named_alarms:
+            raise EvaluationError("at least one labeled alarm vector is required")
+        names = tuple(name for name, _vector in named_alarms)
+        vectors = [vector for _name, vector in named_alarms]
+        if rule == "or":
+            combined = or_alarms(vectors)
+        elif rule == "and":
+            combined = and_alarms(vectors)
+        elif rule == "majority":
+            combined = majority_alarms(vectors)
+        elif rule == "gated":
+            if len(vectors) != 2:
+                raise EvaluationError(
+                    f"gated combination takes exactly 2 members, got {len(vectors)}"
+                )
+            combined = gated_alarms(vectors[0], vectors[1])
+        else:
+            raise EvaluationError(
+                f"unknown combination rule {rule!r}; "
+                "use 'or', 'and', 'majority' or 'gated'"
+            )
+        any_member = or_alarms(vectors)
+        suppressed = int((any_member & ~combined).sum())
+        return cls(
+            alarms=combined, member_names=names, rule=rule, suppressed=suppressed
+        )

@@ -1,0 +1,139 @@
+"""Coverage algebra over performance-map cells.
+
+A detector's *coverage* is the set of (anomaly size, detector window)
+cells where it is capable.  The paper's diversity findings are set
+statements over coverages:
+
+* ``coverage(stide)`` is a strict subset of ``coverage(markov)`` — so
+  every alarm Stide raises, Markov raises too, enabling suppression;
+* ``coverage(stide) | coverage(lane-brodley) == coverage(stide)`` — the
+  L&B detector adds nothing (shared blind region).
+
+Coverages are only comparable over the same grid; mixing grids raises
+:class:`~repro.exceptions.CoverageError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.performance_map import PerformanceMap
+from repro.exceptions import CoverageError
+
+Cell = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """A set of capable cells over a fixed (AS x DW) grid.
+
+    Attributes:
+        cells: the capable grid positions.
+        grid: every position of the evaluation grid (the domain).
+        label: human-readable origin (detector or expression).
+    """
+
+    cells: frozenset[Cell]
+    grid: frozenset[Cell]
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise CoverageError("coverage grid must be non-empty")
+        if not self.cells <= self.grid:
+            raise CoverageError("coverage cells must lie within the grid")
+
+    @classmethod
+    def from_performance_map(cls, performance_map: PerformanceMap) -> "Coverage":
+        """Capable cells of a performance map, over the map's grid."""
+        grid = frozenset(
+            (anomaly_size, window_length)
+            for anomaly_size in performance_map.anomaly_sizes
+            for window_length in performance_map.window_lengths
+        )
+        return cls(
+            cells=performance_map.capable_cells(),
+            grid=grid,
+            label=performance_map.detector_name,
+        )
+
+    def _check_same_grid(self, other: "Coverage") -> None:
+        if self.grid != other.grid:
+            raise CoverageError(
+                f"coverages {self.label!r} and {other.label!r} were computed over "
+                "different grids and cannot be combined"
+            )
+
+    def union(self, other: "Coverage") -> "Coverage":
+        """Cells covered by either coverage (the OR combination)."""
+        self._check_same_grid(other)
+        return Coverage(
+            cells=self.cells | other.cells,
+            grid=self.grid,
+            label=f"({self.label} | {other.label})",
+        )
+
+    def intersection(self, other: "Coverage") -> "Coverage":
+        """Cells covered by both coverages (the AND combination)."""
+        self._check_same_grid(other)
+        return Coverage(
+            cells=self.cells & other.cells,
+            grid=self.grid,
+            label=f"({self.label} & {other.label})",
+        )
+
+    def difference(self, other: "Coverage") -> "Coverage":
+        """Cells covered here but not by ``other``."""
+        self._check_same_grid(other)
+        return Coverage(
+            cells=self.cells - other.cells,
+            grid=self.grid,
+            label=f"({self.label} - {other.label})",
+        )
+
+    def __or__(self, other: "Coverage") -> "Coverage":
+        return self.union(other)
+
+    def __and__(self, other: "Coverage") -> "Coverage":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Coverage") -> "Coverage":
+        return self.difference(other)
+
+    def is_subset_of(self, other: "Coverage") -> bool:
+        """Whether every covered cell here is covered by ``other``."""
+        self._check_same_grid(other)
+        return self.cells <= other.cells
+
+    def is_strict_subset_of(self, other: "Coverage") -> bool:
+        """Subset with at least one cell missing."""
+        return self.is_subset_of(other) and self.cells != other.cells
+
+    @property
+    def fraction(self) -> float:
+        """Covered fraction of the grid."""
+        return len(self.cells) / len(self.grid)
+
+    def blind_region(self) -> frozenset[Cell]:
+        """Grid cells *not* covered."""
+        return self.grid - self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, cell: object) -> bool:
+        return cell in self.cells
+
+    def __repr__(self) -> str:
+        return (
+            f"Coverage({self.label!r}, {len(self.cells)}/{len(self.grid)} cells)"
+        )
+
+
+def coverage_gain(base: Coverage, addition: Coverage) -> frozenset[Cell]:
+    """Cells gained by adding ``addition`` to ``base``.
+
+    An empty result is the paper's "no detection advantage" verdict
+    (Stide + L&B); a non-empty result quantifies where diversity pays.
+    """
+    return (base | addition).cells - base.cells

@@ -1,0 +1,72 @@
+"""Quantifying how diverse two detectors actually are.
+
+"Diversity" in the paper is qualitative — different similarity metrics
+— but its *effect* is measurable: how differently the detectors cover
+the anomaly space, and how often their window-level judgments disagree.
+Two detectors with very different mechanisms can still be redundant
+(Stide and L&B share a blind region), so combination decisions should
+be driven by these measurements rather than by design provenance —
+Littlewood & Strigini's missing selection strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ensemble.coverage import Coverage
+from repro.exceptions import EvaluationError
+
+
+def coverage_diversity(first: Coverage, second: Coverage) -> float:
+    """Jaccard distance between two coverages over the same grid.
+
+    0.0 means identical coverage (combination adds nothing); 1.0 means
+    fully disjoint coverage (combination doubles the covered region).
+    When both coverages are empty the distance is defined as 0.0.
+    """
+    union = first.union(second)
+    if len(union) == 0:
+        return 0.0
+    intersection = first.intersection(second)
+    return 1.0 - len(intersection) / len(union)
+
+
+def coverage_redundancy(first: Coverage, second: Coverage) -> float:
+    """Fraction of the smaller coverage contained in the larger.
+
+    1.0 signals full redundancy — the subset relation under which one
+    detector can gate the other (the Stide/Markov case).
+    """
+    smaller, larger = sorted((first, second), key=len)
+    if len(smaller) == 0:
+        return 1.0
+    return len(smaller.intersection(larger)) / len(smaller)
+
+
+def response_disagreement(
+    first_responses: np.ndarray,
+    second_responses: np.ndarray,
+    first_level: float = 1.0,
+    second_level: float = 1.0,
+) -> float:
+    """Fraction of windows on which thresholded judgments disagree.
+
+    Args:
+        first_responses: per-window responses of the first detector.
+        second_responses: per-window responses of the second detector
+            (same test stream and window length).
+        first_level: alarm level of the first detector.
+        second_level: alarm level of the second detector.
+
+    Raises:
+        EvaluationError: on length mismatch.
+    """
+    a = np.asarray(first_responses, dtype=float)
+    b = np.asarray(second_responses, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise EvaluationError(
+            f"response arrays must be 1-D and equal length, got {a.shape} vs {b.shape}"
+        )
+    if len(a) == 0:
+        return 0.0
+    return float(((a >= first_level) != (b >= second_level)).mean())

@@ -1,0 +1,190 @@
+"""Detector-selection strategy driven by measured coverage.
+
+Littlewood & Strigini observed that the security community lacked
+strategies "by which to choose amongst diverse designs and by which to
+evaluate the effectiveness of the designs once selected"; Tan & Maxion
+answer with performance maps.  This module operationalizes the paper's
+guidance: given the maps and a characterization of the expected
+anomaly, recommend a detector — or a combination — and say why.
+
+The encoded rules are the paper's own (Sections 7-8):
+
+* anomaly size known and a window at least that size deployable — a
+  foreign-sequence-only detector (Stide) suffices and minimizes false
+  alarms;
+* anomaly size unknown (or larger than any deployable window) — a
+  probability-based detector (Markov) is required, and if a
+  subset-coverage detector exists it should gate the alarms to win
+  back the false-alarm rate;
+* a candidate whose coverage adds nothing over the current selection
+  is reported as redundant (the Stide + L&B lesson).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ensemble.coverage import Coverage
+from repro.exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class AnomalyProfile:
+    """What the defender knows about the expected anomalous event.
+
+    Attributes:
+        size: the anomaly length, if known; ``None`` when the attack's
+            manifestation size is unknown (the paper's motivating case
+            for the Markov + Stide pairing).
+        max_deployable_window: the largest detector window the
+            deployment can afford.
+    """
+
+    size: int | None
+    max_deployable_window: int
+
+    def __post_init__(self) -> None:
+        if self.size is not None and self.size < 2:
+            raise EvaluationError(f"anomaly size must be >= 2, got {self.size}")
+        if self.max_deployable_window < 2:
+            raise EvaluationError(
+                "max_deployable_window must be >= 2, got "
+                f"{self.max_deployable_window}"
+            )
+
+
+@dataclass(frozen=True)
+class SelectionAdvice:
+    """A recommendation with its coverage justification.
+
+    Attributes:
+        primary: detector carrying the detection duty.
+        gate: detector suppressing the primary's false alarms, if any.
+        redundant: candidates whose coverage added nothing.
+        rationale: human-readable explanation, paper-style.
+    """
+
+    primary: str
+    gate: str | None
+    redundant: tuple[str, ...]
+    rationale: str
+
+    def describe(self) -> str:
+        """One-line summary of the recommendation."""
+        if self.gate:
+            return f"deploy {self.primary} gated by {self.gate}"
+        return f"deploy {self.primary}"
+
+
+def _covers_profile(coverage: Coverage, profile: AnomalyProfile) -> bool:
+    """Whether some deployable window detects the profiled anomaly size."""
+    if profile.size is None:
+        # Unknown size: require coverage of every anomaly size at some
+        # deployable window.
+        sizes = {anomaly_size for anomaly_size, _w in coverage.grid}
+        return all(
+            any(
+                (anomaly_size, window) in coverage.cells
+                for (size_cell, window) in coverage.grid
+                if size_cell == anomaly_size
+                and window <= profile.max_deployable_window
+            )
+            for anomaly_size in sizes
+        )
+    return any(
+        (profile.size, window) in coverage.cells
+        for (anomaly_size, window) in coverage.grid
+        if anomaly_size == profile.size
+        and window <= profile.max_deployable_window
+    )
+
+
+def select_detectors(
+    coverages: dict[str, Coverage], profile: AnomalyProfile
+) -> SelectionAdvice:
+    """Recommend a detector or combination for an anomaly profile.
+
+    Args:
+        coverages: measured coverage per candidate detector (all over
+            the same grid).
+        profile: what is known about the expected anomaly.
+
+    Returns:
+        The recommendation, its optional suppression gate, and any
+        redundant candidates.
+
+    Raises:
+        EvaluationError: if no candidate covers the profile, or the
+            candidate set is empty.
+    """
+    if not coverages:
+        raise EvaluationError("at least one candidate coverage is required")
+    capable = {
+        name: coverage
+        for name, coverage in coverages.items()
+        if _covers_profile(coverage, profile)
+    }
+    if not capable:
+        raise EvaluationError(
+            "no candidate detector covers the anomaly profile "
+            f"(size={profile.size}, max window={profile.max_deployable_window}); "
+            "the attack is not detectable by this detector set (Figure 1, D)"
+        )
+    # Prefer the capable candidate with the SMALLEST total coverage:
+    # narrower coverage means fewer alarm-worthy events and hence fewer
+    # false alarms (Stide over Markov when the size is known).
+    primary = min(capable, key=lambda name: (len(capable[name]), name))
+    primary_coverage = coverages[primary]
+
+    gate: str | None = None
+    rationale_parts = []
+    if profile.size is not None:
+        rationale_parts.append(
+            f"anomaly size {profile.size} is known and within reach of a "
+            f"window <= {profile.max_deployable_window}, so the narrowest "
+            f"capable detector ({primary}) detects it with the fewest "
+            "alarm-worthy events"
+        )
+    else:
+        rationale_parts.append(
+            f"anomaly size is unknown, so only a detector capable across "
+            f"all sizes at deployable windows qualifies ({primary})"
+        )
+        # Find a strict-subset detector to gate false alarms, the
+        # paper's Markov-gated-by-Stide recipe.
+        subsets = {
+            name: coverage
+            for name, coverage in coverages.items()
+            if name != primary
+            and len(coverage) > 0
+            and coverage.is_subset_of(primary_coverage)
+        }
+        if subsets:
+            gate = max(subsets, key=lambda name: (len(subsets[name]), name))
+            rationale_parts.append(
+                f"{gate}'s coverage is a subset of {primary}'s, so alarms "
+                f"raised by {primary} and not by {gate} may be ignored as "
+                "false alarms (Section 7)"
+            )
+    redundant = tuple(
+        sorted(
+            name
+            for name, coverage in coverages.items()
+            if name not in {primary, gate}
+            and len((primary_coverage | coverage).cells)
+            == len(primary_coverage.cells)
+        )
+    )
+    if redundant:
+        rationale_parts.append(
+            "adding "
+            + ", ".join(redundant)
+            + " would gain no detection coverage (the Stide + L&B lesson, "
+            "Section 8)"
+        )
+    return SelectionAdvice(
+        primary=primary,
+        gate=gate,
+        redundant=redundant,
+        rationale="; ".join(rationale_parts) + ".",
+    )

@@ -1,0 +1,63 @@
+"""Evaluation harness: incident-span scoring, performance maps, metrics.
+
+This subpackage implements Section 5.5 and the result apparatus of
+Section 6:
+
+* :mod:`~repro.evaluation.scoring` — blind/weak/capable classification
+  of a detector's response within the incident span;
+* :mod:`~repro.evaluation.performance_map` — the (anomaly size x
+  detector window) coverage grids of Figures 3-6;
+* :mod:`~repro.evaluation.render` — ASCII renderings of those grids in
+  the figures' star/blind/undefined vocabulary;
+* :mod:`~repro.evaluation.metrics` — hit/miss/false-alarm accounting
+  and ROC sweeps for deployment-style experiments;
+* :mod:`~repro.evaluation.experiment` — one-call orchestration of the
+  paper's full evaluation.
+"""
+
+from repro.evaluation.experiment import ExperimentResult, run_paper_experiment
+from repro.evaluation.metrics import (
+    DetectionMetrics,
+    evaluate_alarms,
+    roc_auc,
+    roc_points,
+)
+from repro.evaluation.performance_map import (
+    CellResult,
+    PerformanceMap,
+    build_performance_map,
+)
+from repro.evaluation.render import render_performance_map
+from repro.evaluation.robustness import (
+    PAPER_SHAPES,
+    RobustnessReport,
+    replicate_shapes,
+)
+from repro.evaluation.response_profile import (
+    ResponseProfile,
+    compare_profiles,
+    response_profile,
+)
+from repro.evaluation.scoring import DetectionOutcome, ResponseClass, score_injected
+
+__all__ = [
+    "CellResult",
+    "DetectionMetrics",
+    "DetectionOutcome",
+    "ExperimentResult",
+    "PerformanceMap",
+    "ResponseClass",
+    "PAPER_SHAPES",
+    "ResponseProfile",
+    "RobustnessReport",
+    "compare_profiles",
+    "replicate_shapes",
+    "response_profile",
+    "roc_auc",
+    "build_performance_map",
+    "evaluate_alarms",
+    "render_performance_map",
+    "roc_points",
+    "run_paper_experiment",
+    "score_injected",
+]

@@ -1,0 +1,95 @@
+"""One-call orchestration of the paper's full evaluation.
+
+:func:`run_paper_experiment` builds (or reuses) the evaluation corpus,
+sweeps the four detectors over the 112-case grid, and returns the four
+performance maps of Figures 3-6 plus the coverage relations of the
+diversity discussion (Sections 7-8).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.datagen.suite import EvaluationSuite, build_suite
+from repro.datagen.training import TrainingData
+from repro.evaluation.performance_map import PerformanceMap, build_performance_map
+from repro.evaluation.render import render_map_summary, render_performance_map
+from repro.exceptions import EvaluationError
+from repro.params import PaperParams
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The paper's experiment outputs.
+
+    Attributes:
+        suite: the corpus the maps were computed on.
+        maps: one performance map per detector family, keyed by name.
+    """
+
+    suite: EvaluationSuite
+    maps: dict[str, PerformanceMap] = field(repr=False)
+
+    def map_for(self, detector_name: str) -> PerformanceMap:
+        """The performance map of one detector family.
+
+        Raises:
+            EvaluationError: for detectors not in this experiment.
+        """
+        try:
+            return self.maps[detector_name]
+        except KeyError:
+            raise EvaluationError(
+                f"no map for detector {detector_name!r}; available: "
+                f"{', '.join(sorted(self.maps))}"
+            ) from None
+
+    def render_all(self) -> str:
+        """All maps as star charts, separated by blank lines."""
+        blocks = [
+            render_performance_map(self.maps[name]) for name in sorted(self.maps)
+        ]
+        return "\n\n".join(blocks)
+
+    def summary(self) -> str:
+        """One summary line per detector map."""
+        return "\n".join(
+            render_map_summary(self.maps[name]) for name in sorted(self.maps)
+        )
+
+
+#: The detectors of Figures 3-6, in figure order.
+DEFAULT_DETECTORS: tuple[str, ...] = (
+    "lane-brodley",
+    "markov",
+    "stide",
+    "neural-network",
+)
+
+
+def run_paper_experiment(
+    params: PaperParams | None = None,
+    suite: EvaluationSuite | None = None,
+    training: TrainingData | None = None,
+    detectors: Iterable[str] = DEFAULT_DETECTORS,
+) -> ExperimentResult:
+    """Run the paper's evaluation end to end.
+
+    Args:
+        params: corpus parameters (used only when no suite is given).
+        suite: a pre-built evaluation corpus.
+        training: pre-built training data (used only when no suite is
+            given).
+        detectors: registered detector names to sweep.
+
+    Returns:
+        Maps for every requested detector over the full case grid.
+    """
+    if suite is None:
+        suite = build_suite(params=params, training=training)
+    names = list(detectors)
+    if not names:
+        raise EvaluationError("at least one detector is required")
+    maps = {name: build_performance_map(name, suite) for name in names}
+    return ExperimentResult(suite=suite, maps=maps)

@@ -1,0 +1,186 @@
+"""Hit/miss/false-alarm accounting and ROC sweeps.
+
+The paper's core experiment uses the strict maximal-response criterion,
+but its diversity discussion (Section 7) reasons about *deployments*:
+false-alarm rates of the Markov detector versus Stide, and suppression
+by combination.  This module provides the standard accounting for such
+deployment-style experiments over labeled traces.
+
+Conventions:
+
+* a *trace-level hit* — at least one alarm inside the trace's ground
+  truth (incident span or labeled intrusion region);
+* a *false alarm* — an alarm window outside every ground-truth region;
+* rates are reported per window, plus trace-level hit/miss tallies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Aggregate detection accounting over one or more scored traces.
+
+    Attributes:
+        traces: number of traces scored.
+        traces_with_truth: traces that contained a ground-truth region.
+        hits: traces with truth where some in-region window alarmed.
+        misses: traces with truth and no in-region alarm.
+        alarm_windows: total alarmed windows.
+        false_alarm_windows: alarmed windows outside every truth region.
+        normal_windows: windows outside every truth region.
+    """
+
+    traces: int
+    traces_with_truth: int
+    hits: int
+    misses: int
+    alarm_windows: int
+    false_alarm_windows: int
+    normal_windows: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Trace-level hit fraction (1.0 when no trace has truth)."""
+        if self.traces_with_truth == 0:
+            return 1.0
+        return self.hits / self.traces_with_truth
+
+    @property
+    def miss_rate(self) -> float:
+        """Trace-level miss fraction."""
+        return 1.0 - self.hit_rate
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Per-window false-alarm fraction over normal windows."""
+        if self.normal_windows == 0:
+            return 0.0
+        return self.false_alarm_windows / self.normal_windows
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"hits {self.hits}/{self.traces_with_truth} "
+            f"(rate {self.hit_rate:.2f}), "
+            f"false alarms {self.false_alarm_windows}/{self.normal_windows} "
+            f"(rate {self.false_alarm_rate:.4f})"
+        )
+
+
+def _truth_mask(length: int, regions: list[tuple[int, int]]) -> np.ndarray:
+    mask = np.zeros(length, dtype=bool)
+    for start, stop in regions:
+        if not 0 <= start < stop <= length:
+            raise EvaluationError(
+                f"truth region ({start}, {stop}) out of range for {length} windows"
+            )
+        mask[start:stop] = True
+    return mask
+
+
+def evaluate_alarms(
+    alarm_streams: list[np.ndarray],
+    truth_regions: list[list[tuple[int, int]]],
+) -> DetectionMetrics:
+    """Score boolean alarm streams against ground-truth window regions.
+
+    Args:
+        alarm_streams: one boolean array per trace (per-window alarms).
+        truth_regions: per trace, a list of ``(start, stop)`` window
+            ranges containing the manifestations to detect; an empty
+            list marks a purely normal trace.
+
+    Returns:
+        Aggregated :class:`DetectionMetrics`.
+
+    Raises:
+        EvaluationError: on length mismatch or malformed regions.
+    """
+    if len(alarm_streams) != len(truth_regions):
+        raise EvaluationError(
+            f"{len(alarm_streams)} alarm streams but {len(truth_regions)} "
+            "truth-region lists"
+        )
+    traces_with_truth = 0
+    hits = 0
+    alarm_windows = 0
+    false_alarm_windows = 0
+    normal_windows = 0
+    for alarms, regions in zip(alarm_streams, truth_regions):
+        alarms = np.asarray(alarms, dtype=bool)
+        mask = _truth_mask(len(alarms), regions)
+        alarm_windows += int(alarms.sum())
+        false_alarm_windows += int((alarms & ~mask).sum())
+        normal_windows += int((~mask).sum())
+        if regions:
+            traces_with_truth += 1
+            if bool((alarms & mask).any()):
+                hits += 1
+    return DetectionMetrics(
+        traces=len(alarm_streams),
+        traces_with_truth=traces_with_truth,
+        hits=hits,
+        misses=traces_with_truth - hits,
+        alarm_windows=alarm_windows,
+        false_alarm_windows=false_alarm_windows,
+        normal_windows=normal_windows,
+    )
+
+
+def roc_points(
+    response_streams: list[np.ndarray],
+    truth_regions: list[list[tuple[int, int]]],
+    thresholds: np.ndarray | list[float] | None = None,
+) -> list[tuple[float, float, float]]:
+    """Sweep a detection threshold and report (threshold, FA rate, hit rate).
+
+    Args:
+        response_streams: per-trace graded responses in ``[0, 1]``.
+        truth_regions: per-trace ground-truth window regions.
+        thresholds: levels to sweep; defaults to 101 evenly spaced
+            levels from 0.01 to 1.0 plus the exact level 1.0.
+
+    Returns:
+        One ``(threshold, false_alarm_rate, hit_rate)`` triple per
+        level, in ascending threshold order.
+    """
+    if thresholds is None:
+        thresholds = np.linspace(0.01, 1.0, 100)
+    points = []
+    for level in thresholds:
+        level = float(level)
+        if not 0.0 < level <= 1.0:
+            raise EvaluationError(f"thresholds must lie in (0, 1], got {level}")
+        alarms = [np.asarray(r, dtype=float) >= level for r in response_streams]
+        metrics = evaluate_alarms(alarms, truth_regions)
+        points.append((level, metrics.false_alarm_rate, metrics.hit_rate))
+    return points
+
+
+def roc_auc(points: list[tuple[float, float, float]]) -> float:
+    """Area under the (FA rate, hit rate) curve by trapezoidal rule.
+
+    The curve is anchored at (0, 0) and (1, 1); points from
+    :func:`roc_points` are sorted by false-alarm rate first.  Returns a
+    value in [0, 1]; 0.5 is chance, 1.0 separates perfectly.
+
+    Raises:
+        EvaluationError: on an empty point list.
+    """
+    if not points:
+        raise EvaluationError("at least one ROC point is required")
+    curve = sorted(
+        {(false_alarm, hit) for _level, false_alarm, hit in points}
+        | {(0.0, 0.0), (1.0, 1.0)}
+    )
+    area = 0.0
+    for (x0, y0), (x1, y1) in zip(curve, curve[1:]):
+        area += (x1 - x0) * (y0 + y1) / 2.0
+    return min(1.0, max(0.0, area))

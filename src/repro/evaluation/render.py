@@ -1,0 +1,107 @@
+"""ASCII renderings of performance maps in the figures' vocabulary.
+
+The paper's Figures 3-6 chart detector window (y-axis, descending from
+the top) against anomaly size (x-axis).  A star marks a capable cell;
+blank regions are blind; the column for anomaly size 1 is undefined.
+The renderer adds ``~`` for weak cells — a distinction the paper's
+scoring defines but its figures collapse into the blind region.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.performance_map import PerformanceMap
+from repro.evaluation.scoring import ResponseClass
+
+_GLYPHS = {
+    ResponseClass.CAPABLE: "*",
+    ResponseClass.WEAK: "~",
+    ResponseClass.BLIND: ".",
+    ResponseClass.UNDEFINED: "?",
+}
+
+_LEGEND = "*: detection region   ~: weak response   .: blind region"
+_UNDEFINED_LEGEND = "   ?: undefined"
+
+
+def render_performance_map(
+    performance_map: PerformanceMap,
+    include_undefined_column: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render a map as the paper's star chart.
+
+    Args:
+        performance_map: the grid to draw.
+        include_undefined_column: draw the anomaly-size-1 column of
+            ``?`` marks, as the figures do.
+        title: optional heading; defaults to a figure-style caption.
+
+    Returns:
+        A multi-line string (no trailing newline).
+    """
+    anomaly_sizes = performance_map.anomaly_sizes
+    window_lengths = performance_map.window_lengths
+    heading = title or (
+        f"Performance map of {performance_map.detector_name} on MFS anomalies"
+    )
+    legend = _LEGEND + (_UNDEFINED_LEGEND if include_undefined_column else "")
+    lines = [heading, legend, ""]
+    columns = ([1] if include_undefined_column else []) + list(anomaly_sizes)
+    header_cells = " ".join(f"{size:>2}" for size in columns)
+    lines.append(f"DW\\AS {header_cells}")
+    for window_length in reversed(window_lengths):
+        row = []
+        for size in columns:
+            if size == 1:
+                glyph = _GLYPHS[ResponseClass.UNDEFINED]
+            else:
+                glyph = _GLYPHS[
+                    performance_map.response_class(size, window_length)
+                ]
+            row.append(f"{glyph:>2}")
+        lines.append(f"{window_length:>5} " + " ".join(row))
+    return "\n".join(lines)
+
+
+def render_graded_map(
+    performance_map: PerformanceMap, title: str | None = None
+) -> str:
+    """Render the *maximum in-span response* per cell, as a number grid.
+
+    The star charts collapse each cell to blind/weak/capable; this view
+    keeps the graded value (in percent of the maximal response), which
+    is how "close to normal" phenomena — e.g. the L&B detector's
+    sub-maximal dips — become visible (Section 7, Figure 7).
+
+    Returns:
+        A multi-line string; each cell shows ``round(100 * max_in_span)``.
+    """
+    anomaly_sizes = performance_map.anomaly_sizes
+    window_lengths = performance_map.window_lengths
+    heading = title or (
+        f"Graded response map of {performance_map.detector_name} "
+        "(max in-span response, % of maximal)"
+    )
+    lines = [heading, ""]
+    header_cells = " ".join(f"{size:>4}" for size in anomaly_sizes)
+    lines.append(f"DW\\AS {header_cells}")
+    for window_length in reversed(window_lengths):
+        row = []
+        for size in anomaly_sizes:
+            value = performance_map.cell(size, window_length).outcome.max_in_span
+            row.append(f"{round(100 * value):>4}")
+        lines.append(f"{window_length:>5} " + " ".join(row))
+    return "\n".join(lines)
+
+
+def render_map_summary(performance_map: PerformanceMap) -> str:
+    """One-paragraph textual summary of a map's regions."""
+    total = len(performance_map)
+    capable = len(performance_map.capable_cells())
+    blind = len(performance_map.blind_cells())
+    weak = len(performance_map.weak_cells())
+    return (
+        f"{performance_map.detector_name}: {capable}/{total} cells capable, "
+        f"{weak} weak, {blind} blind "
+        f"(detection fraction {performance_map.detection_fraction():.2f})"
+    )

@@ -1,0 +1,154 @@
+"""Response profiles: the per-window signature around an anomaly.
+
+Performance maps compress a detector's encounter with an anomaly into
+one class (blind / weak / capable).  The response *profile* keeps the
+whole curve — one response per window position, aligned on the incident
+span — which is how the paper's authors reasoned about boundary
+interactions (Figure 2) and how operators debug a deployment: is the
+response confined to the span?  Does it ramp at the boundary?  Does the
+background sit at a pedestal?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.injection import InjectedStream
+from repro.detectors.base import AnomalyDetector
+from repro.exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class ResponseProfile:
+    """One detector's aligned response curve over an injected stream.
+
+    Attributes:
+        detector_name: family label.
+        window_length: the detector window used.
+        responses: the full per-window response array.
+        span_start: first window index of the incident span.
+        span_stop: one past the last window index of the span.
+    """
+
+    detector_name: str
+    window_length: int
+    responses: np.ndarray = field(repr=False)
+    span_start: int
+    span_stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.span_start < self.span_stop <= len(self.responses):
+            raise EvaluationError(
+                f"span [{self.span_start}, {self.span_stop}) out of range for "
+                f"{len(self.responses)} responses"
+            )
+
+    @property
+    def in_span(self) -> np.ndarray:
+        """Responses inside the incident span."""
+        return self.responses[self.span_start : self.span_stop]
+
+    @property
+    def outside_span(self) -> np.ndarray:
+        """Responses outside the incident span."""
+        return np.concatenate(
+            [self.responses[: self.span_start], self.responses[self.span_stop :]]
+        )
+
+    def peak(self) -> tuple[int, float]:
+        """(window index, response) of the global maximum."""
+        index = int(np.argmax(self.responses))
+        return index, float(self.responses[index])
+
+    def peak_in_span(self) -> bool:
+        """Whether the global maximum lies inside the incident span."""
+        index, _value = self.peak()
+        return self.span_start <= index < self.span_stop
+
+    def background_pedestal(self) -> float:
+        """Median response outside the span (residual sensitivity)."""
+        outside = self.outside_span
+        return float(np.median(outside)) if len(outside) else 0.0
+
+    def contrast(self) -> float:
+        """Span maximum minus outside maximum — the detection margin."""
+        outside = self.outside_span
+        outside_max = float(outside.max()) if len(outside) else 0.0
+        return float(self.in_span.max()) - outside_max
+
+    def sparkline(self, context: int = 4) -> str:
+        """ASCII rendering of the span (plus ``context`` windows around).
+
+        Levels: ``_`` 0, ``.`` (0, 0.25], ``-`` (0.25, 0.5],
+        ``=`` (0.5, 0.75], ``^`` (0.75, 1), ``#`` maximal.
+        """
+        lo = max(0, self.span_start - context)
+        hi = min(len(self.responses), self.span_stop + context)
+        glyphs = []
+        for index in range(lo, hi):
+            value = self.responses[index]
+            if value >= 1.0:
+                glyph = "#"
+            elif value > 0.75:
+                glyph = "^"
+            elif value > 0.5:
+                glyph = "="
+            elif value > 0.25:
+                glyph = "-"
+            elif value > 0.0:
+                glyph = "."
+            else:
+                glyph = "_"
+            glyphs.append(glyph)
+        marker = (
+            " " * (self.span_start - lo)
+            + "|"
+            + " " * (self.span_stop - self.span_start - 2)
+            + ("|" if self.span_stop - self.span_start >= 2 else "")
+        )
+        return "".join(glyphs) + "\n" + marker
+
+
+def response_profile(
+    detector: AnomalyDetector, injected: InjectedStream
+) -> ResponseProfile:
+    """Score an injected stream and keep the full aligned curve."""
+    responses = detector.score_stream(injected.stream)
+    span = injected.incident_span(detector.window_length)
+    return ResponseProfile(
+        detector_name=detector.name,
+        window_length=detector.window_length,
+        responses=responses,
+        span_start=span.start,
+        span_stop=span.stop,
+    )
+
+
+def compare_profiles(profiles: list[ResponseProfile]) -> str:
+    """Aligned sparkline comparison of several detectors on one stream.
+
+    Raises:
+        EvaluationError: if the profiles disagree on the span (they
+            must come from the same injected stream and window length).
+    """
+    if not profiles:
+        raise EvaluationError("at least one profile is required")
+    reference = profiles[0]
+    for profile in profiles[1:]:
+        if (profile.span_start, profile.span_stop) != (
+            reference.span_start,
+            reference.span_stop,
+        ):
+            raise EvaluationError(
+                "profiles have different incident spans; compare detectors "
+                "with equal window lengths on the same stream"
+            )
+    width = max(len(profile.detector_name) for profile in profiles)
+    lines = []
+    for profile in profiles:
+        curve, marker = profile.sparkline().splitlines()
+        lines.append(f"{profile.detector_name:>{width}}  {curve}")
+    lines.append(f"{'span':>{width}}  {marker}")
+    return "\n".join(lines)

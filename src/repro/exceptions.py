@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AlphabetError(ReproError):
+    """A symbol or encoding operation violated the alphabet contract.
+
+    Raised when a symbol is not a member of an :class:`~repro.sequences.alphabet.Alphabet`,
+    when an encoded value is out of range, or when an alphabet is constructed
+    from invalid symbols (duplicates, empty symbol sets, ...).
+    """
+
+
+class WindowError(ReproError):
+    """A sliding-window operation received an invalid window length.
+
+    Window lengths must be positive and no longer than the stream they are
+    applied to.
+    """
+
+
+class DataGenerationError(ReproError):
+    """Synthetic data could not be generated with the requested properties.
+
+    Raised, for example, when a Markov transition matrix does not define a
+    proper probability distribution, or when a requested stream length is
+    not positive.
+    """
+
+
+class AnomalySynthesisError(DataGenerationError):
+    """No minimal foreign sequence with the requested properties exists.
+
+    The search for a minimal foreign sequence composed of rare subsequences
+    is exhaustive over the training corpus; this error signals that the
+    corpus does not admit such a sequence for the requested anomaly size.
+    """
+
+
+class InjectionError(DataGenerationError):
+    """An anomaly could not be cleanly injected into background data.
+
+    The clean-injection procedure of Tan & Maxion requires every boundary
+    window (a window mixing anomaly and background elements) to be a
+    common training sequence.  When no injection site satisfies the policy
+    this error is raised so the caller can re-draw the anomaly.
+    """
+
+
+class NotFittedError(ReproError):
+    """A detector was asked to score data before being trained.
+
+    Detectors follow a two-phase protocol: :meth:`fit` on training data,
+    then :meth:`score`/:meth:`score_stream` on test data.
+    """
+
+
+class DetectorConfigurationError(ReproError):
+    """A detector was constructed with invalid hyperparameters."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation-harness operation received inconsistent inputs.
+
+    Raised for malformed incident spans, test streams without injection
+    metadata, or performance-map queries outside the evaluated grid.
+    """
+
+
+class CoverageError(ReproError):
+    """Coverage-algebra operands are incompatible.
+
+    Coverage sets can only be combined when they were computed over the
+    same (anomaly size x detector window) grid.
+    """

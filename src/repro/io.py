@@ -1,0 +1,131 @@
+"""Trace serialization: UNM-style text traces and NumPy archives.
+
+The public UNM datasets ship as plain text, one event per line, one
+file per process.  This module reads and writes that format (against an
+explicit :class:`~repro.sequences.alphabet.Alphabet`) plus a compact
+``.npz`` archive for whole labeled datasets, so corpora built here can
+be exchanged with other tooling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.sequences.alphabet import Alphabet
+from repro.syscalls.generator import LabeledTrace, SyscallDataset
+
+
+class TraceIOError(ReproError):
+    """A trace file could not be read or written."""
+
+
+def write_trace_text(
+    path: str | Path, stream: np.ndarray, alphabet: Alphabet
+) -> None:
+    """Write one trace as UNM-style text: one decoded symbol per line."""
+    target = Path(path)
+    symbols = alphabet.decode(np.asarray(stream).tolist())
+    target.write_text("".join(f"{symbol}\n" for symbol in symbols))
+
+
+def read_trace_text(path: str | Path, alphabet: Alphabet) -> np.ndarray:
+    """Read a UNM-style text trace back into encoded codes.
+
+    Symbols are parsed as the literal line text; integer-symbol
+    alphabets (the paper corpus) are handled by trying ``int`` first.
+
+    Raises:
+        TraceIOError: if the file is missing or a line is not in the
+            alphabet.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise TraceIOError(f"trace file not found: {source}")
+    codes = []
+    for line_number, line in enumerate(source.read_text().splitlines(), 1):
+        token = line.strip()
+        if not token:
+            continue
+        symbol: object = token
+        if token.lstrip("-").isdigit():
+            symbol = int(token)
+        if symbol not in alphabet:
+            raise TraceIOError(
+                f"{source}:{line_number}: symbol {token!r} not in alphabet"
+            )
+        codes.append(alphabet.encode_symbol(symbol))
+    return np.asarray(codes, dtype=np.int64)
+
+
+def save_dataset(path: str | Path, dataset: SyscallDataset) -> None:
+    """Save a labeled dataset to one ``.npz`` archive."""
+    target = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "program_name": np.asarray(dataset.program_name),
+        "alphabet": np.asarray([str(s) for s in dataset.alphabet.symbols]),
+    }
+    for split_name, traces in (
+        ("training", dataset.training),
+        ("test_normal", dataset.test_normal),
+        ("test_intrusions", dataset.test_intrusions),
+    ):
+        payload[f"{split_name}_count"] = np.asarray(len(traces))
+        for index, trace in enumerate(traces):
+            payload[f"{split_name}_{index}_stream"] = trace.stream
+            if trace.intrusion_region is not None:
+                payload[f"{split_name}_{index}_region"] = np.asarray(
+                    trace.intrusion_region
+                )
+                payload[f"{split_name}_{index}_exploit"] = np.asarray(
+                    trace.exploit_name
+                )
+    np.savez_compressed(target, **payload)
+
+
+def load_dataset(path: str | Path) -> SyscallDataset:
+    """Load a dataset written by :func:`save_dataset`.
+
+    Raises:
+        TraceIOError: if the file is missing or malformed.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise TraceIOError(f"dataset archive not found: {source}")
+    try:
+        with np.load(source, allow_pickle=False) as archive:
+            alphabet = Alphabet(str(s) for s in archive["alphabet"])
+            program_name = str(archive["program_name"])
+            splits: dict[str, tuple[LabeledTrace, ...]] = {}
+            for split_name in ("training", "test_normal", "test_intrusions"):
+                count = int(archive[f"{split_name}_count"])
+                traces = []
+                for index in range(count):
+                    stream = archive[f"{split_name}_{index}_stream"]
+                    region_key = f"{split_name}_{index}_region"
+                    if region_key in archive:
+                        region = tuple(
+                            int(v) for v in archive[region_key]
+                        )
+                        exploit = str(archive[f"{split_name}_{index}_exploit"])
+                    else:
+                        region, exploit = None, None
+                    traces.append(
+                        LabeledTrace(
+                            stream=stream,
+                            intrusion_region=region,  # type: ignore[arg-type]
+                            exploit_name=exploit,
+                        )
+                    )
+                splits[split_name] = tuple(traces)
+    except KeyError as error:
+        raise TraceIOError(f"malformed dataset archive {source}: {error}") from error
+    return SyscallDataset(
+        program_name=program_name,
+        alphabet=alphabet,
+        training=splits["training"],
+        test_normal=splits["test_normal"],
+        test_intrusions=splits["test_intrusions"],
+    )

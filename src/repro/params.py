@@ -1,0 +1,147 @@
+"""Canonical experiment parameters from Tan & Maxion (DSN 2005).
+
+The paper fixes a small number of constants for its evaluation corpus
+(Section 5.3):
+
+* an alphabet of 8 categorical symbols;
+* a training stream of 1,000,000 elements;
+* 98% of the stream is a repetition of the cycle ``1 2 3 4 5 6 7 8``;
+* the remaining 2% consists of rare sequences produced by a small amount
+  of nondeterminism in the generating Markov matrix;
+* *rare* means a relative frequency below 0.5% in the training data;
+* anomaly sizes (``AS``, length of the minimal foreign sequence) range
+  over 2..9;
+* detector-window lengths (``DW``) range over 2..15.
+
+:class:`PaperParams` packages these constants; :func:`paper_params`
+returns the canonical instance and :func:`scaled_params` returns a
+smaller corpus with identical structure for fast test/CI runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import DataGenerationError
+
+#: Alphabet size used throughout the paper's experiments.
+PAPER_ALPHABET_SIZE = 8
+
+#: Number of elements in the paper's training stream.
+PAPER_TRAINING_LENGTH = 1_000_000
+
+#: Fraction of the training stream occupied by the deterministic cycle.
+PAPER_COMMON_FRACTION = 0.98
+
+#: Relative-frequency threshold below which a sequence is *rare*.
+PAPER_RARE_THRESHOLD = 0.005
+
+#: Anomaly sizes evaluated by the paper (inclusive range).
+PAPER_ANOMALY_SIZES = tuple(range(2, 10))
+
+#: Detector-window lengths evaluated by the paper (inclusive range).
+PAPER_WINDOW_SIZES = tuple(range(2, 16))
+
+#: Environment variable overriding the default stream length for tests
+#: and benchmarks.
+STREAM_LEN_ENV_VAR = "REPRO_STREAM_LEN"
+
+
+@dataclass(frozen=True)
+class PaperParams:
+    """Parameters describing one instantiation of the paper's corpus.
+
+    Attributes:
+        alphabet_size: number of categorical symbols in the data.
+        training_length: number of elements in the training stream.
+        common_fraction: fraction of the stream drawn from the
+            deterministic cycle (the paper uses 0.98).
+        rare_threshold: relative-frequency bound defining *rare*.
+        anomaly_sizes: minimal-foreign-sequence lengths to evaluate.
+        window_sizes: detector-window lengths to evaluate.
+        seed: master seed for all pseudo-random generation.
+    """
+
+    alphabet_size: int = PAPER_ALPHABET_SIZE
+    training_length: int = PAPER_TRAINING_LENGTH
+    common_fraction: float = PAPER_COMMON_FRACTION
+    rare_threshold: float = PAPER_RARE_THRESHOLD
+    anomaly_sizes: tuple[int, ...] = field(default=PAPER_ANOMALY_SIZES)
+    window_sizes: tuple[int, ...] = field(default=PAPER_WINDOW_SIZES)
+    seed: int = 20050628  # DSN 2005 conference dates.
+
+    def __post_init__(self) -> None:
+        if self.alphabet_size < 2:
+            raise DataGenerationError(
+                f"alphabet_size must be >= 2, got {self.alphabet_size}"
+            )
+        if self.training_length <= 0:
+            raise DataGenerationError(
+                f"training_length must be positive, got {self.training_length}"
+            )
+        if not 0.0 < self.common_fraction < 1.0:
+            raise DataGenerationError(
+                f"common_fraction must lie in (0, 1), got {self.common_fraction}"
+            )
+        if not 0.0 < self.rare_threshold < 1.0:
+            raise DataGenerationError(
+                f"rare_threshold must lie in (0, 1), got {self.rare_threshold}"
+            )
+        if not self.anomaly_sizes or min(self.anomaly_sizes) < 2:
+            raise DataGenerationError("anomaly_sizes must be a non-empty tuple of ints >= 2")
+        if not self.window_sizes or min(self.window_sizes) < 2:
+            raise DataGenerationError("window_sizes must be a non-empty tuple of ints >= 2")
+
+    @property
+    def max_anomaly_size(self) -> int:
+        """Largest minimal-foreign-sequence length in the sweep."""
+        return max(self.anomaly_sizes)
+
+    @property
+    def max_window_size(self) -> int:
+        """Largest detector window in the sweep."""
+        return max(self.window_sizes)
+
+    def with_seed(self, seed: int) -> "PaperParams":
+        """Return a copy of these parameters under a different seed."""
+        return replace(self, seed=seed)
+
+    def with_training_length(self, training_length: int) -> "PaperParams":
+        """Return a copy with a different training-stream length."""
+        return replace(self, training_length=training_length)
+
+
+def paper_params(seed: int | None = None) -> PaperParams:
+    """Return the canonical full-scale parameters from the paper.
+
+    Args:
+        seed: optional override for the master seed.
+    """
+    params = PaperParams()
+    if seed is not None:
+        params = params.with_seed(seed)
+    return params
+
+
+def scaled_params(
+    training_length: int | None = None, seed: int | None = None
+) -> PaperParams:
+    """Return structurally identical parameters at reduced scale.
+
+    The default length is 120,000 elements — large enough that every
+    rare branch motif appears often enough to synthesize minimal foreign
+    sequences up to size 9, yet fast enough for test suites.  The
+    ``REPRO_STREAM_LEN`` environment variable overrides the default.
+
+    Args:
+        training_length: explicit stream length; overrides the
+            environment variable.
+        seed: optional override for the master seed.
+    """
+    if training_length is None:
+        training_length = int(os.environ.get(STREAM_LEN_ENV_VAR, "120000"))
+    params = PaperParams(training_length=training_length)
+    if seed is not None:
+        params = params.with_seed(seed)
+    return params

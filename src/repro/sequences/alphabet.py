@@ -1,0 +1,144 @@
+"""Bidirectional mapping between categorical symbols and integer codes.
+
+All detectors in the library operate on streams of dense integer codes
+(``0 .. size-1``).  :class:`Alphabet` owns the mapping between those
+codes and the caller's symbols — system-call names, user-command
+strings, audit-record labels, or (as in the paper's synthetic corpus)
+the digits ``1`` through ``8``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+from repro.exceptions import AlphabetError
+
+Symbol = Hashable
+
+
+class Alphabet:
+    """An immutable, ordered set of categorical symbols.
+
+    The alphabet assigns each symbol a dense integer code equal to its
+    position in the constructor iterable.  Encoding and decoding are
+    O(1) per symbol.
+
+    Args:
+        symbols: the symbols in code order.  Must be non-empty, hashable
+            and free of duplicates.
+
+    Raises:
+        AlphabetError: if ``symbols`` is empty or contains duplicates.
+    """
+
+    __slots__ = ("_symbols", "_codes")
+
+    def __init__(self, symbols: Iterable[Symbol]) -> None:
+        symbol_list = list(symbols)
+        if not symbol_list:
+            raise AlphabetError("an alphabet requires at least one symbol")
+        codes: dict[Symbol, int] = {}
+        for code, symbol in enumerate(symbol_list):
+            if symbol in codes:
+                raise AlphabetError(f"duplicate symbol in alphabet: {symbol!r}")
+            codes[symbol] = code
+        self._symbols: tuple[Symbol, ...] = tuple(symbol_list)
+        self._codes: dict[Symbol, int] = codes
+
+    @classmethod
+    def of_size(cls, size: int) -> "Alphabet":
+        """Build the integer alphabet ``1..size`` used by the paper.
+
+        The paper's synthetic corpus uses eight symbols written
+        ``1 2 3 4 5 6 7 8``; this constructor reproduces that naming.
+
+        Args:
+            size: number of symbols; must be positive.
+        """
+        if size <= 0:
+            raise AlphabetError(f"alphabet size must be positive, got {size}")
+        return cls(range(1, size + 1))
+
+    @classmethod
+    def from_stream(cls, stream: Iterable[Symbol]) -> "Alphabet":
+        """Build an alphabet from the distinct symbols of a stream.
+
+        Symbols are assigned codes in order of first appearance, which
+        keeps encodings stable for a fixed stream.
+        """
+        seen: dict[Symbol, None] = {}
+        for symbol in stream:
+            if symbol not in seen:
+                seen[symbol] = None
+        return cls(seen.keys())
+
+    @property
+    def size(self) -> int:
+        """Number of symbols in the alphabet."""
+        return len(self._symbols)
+
+    @property
+    def symbols(self) -> tuple[Symbol, ...]:
+        """All symbols, in code order."""
+        return self._symbols
+
+    def encode_symbol(self, symbol: Symbol) -> int:
+        """Return the integer code of ``symbol``.
+
+        Raises:
+            AlphabetError: if the symbol is not in the alphabet.
+        """
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise AlphabetError(f"symbol not in alphabet: {symbol!r}") from None
+        except TypeError:
+            raise AlphabetError(f"unhashable symbol: {symbol!r}") from None
+
+    def decode_code(self, code: int) -> Symbol:
+        """Return the symbol with integer code ``code``.
+
+        Raises:
+            AlphabetError: if ``code`` is out of range.
+        """
+        if not 0 <= code < len(self._symbols):
+            raise AlphabetError(
+                f"code {code} out of range for alphabet of size {len(self._symbols)}"
+            )
+        return self._symbols[code]
+
+    def encode(self, stream: Iterable[Symbol]) -> tuple[int, ...]:
+        """Encode a stream of symbols into integer codes."""
+        return tuple(self.encode_symbol(symbol) for symbol in stream)
+
+    def decode(self, codes: Sequence[int]) -> tuple[Symbol, ...]:
+        """Decode a sequence of integer codes back into symbols."""
+        return tuple(self.decode_code(code) for code in codes)
+
+    def __contains__(self, symbol: object) -> bool:
+        try:
+            return symbol in self._codes
+        except TypeError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        if len(self._symbols) <= 12:
+            inner = ", ".join(repr(symbol) for symbol in self._symbols)
+        else:
+            head = ", ".join(repr(symbol) for symbol in self._symbols[:12])
+            inner = f"{head}, ... ({len(self._symbols)} symbols)"
+        return f"Alphabet([{inner}])"

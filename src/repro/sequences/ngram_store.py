@@ -1,0 +1,221 @@
+"""Exact n-gram occurrence counts over categorical streams.
+
+An :class:`NgramStore` records, for one or more window lengths, how many
+times each fixed-length sequence occurs in a stream.  It answers the
+three questions the paper's machinery asks constantly:
+
+* *does this sequence exist in training?* (foreignness, Stide's test);
+* *how often, relative to all windows of its length?* (rarity — the
+  paper defines rare as relative frequency below 0.5%);
+* *what follows this context, and with what probability?* (the Markov
+  detector's conditional probabilities).
+
+Counting is vectorized with NumPy: all windows of a length are
+materialized as a strided 2-D view and reduced with ``np.unique``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import WindowError
+from repro.sequences.windows import windows_array
+
+Ngram = tuple[int, ...]
+
+
+def _count_windows(stream: np.ndarray, length: int) -> dict[Ngram, int]:
+    """Return exact occurrence counts of every ``length``-window."""
+    if len(stream) < length:
+        return {}
+    view = windows_array(stream, length)
+    unique_rows, counts = np.unique(view, axis=0, return_counts=True)
+    return {
+        tuple(int(code) for code in row): int(count)
+        for row, count in zip(unique_rows, counts)
+    }
+
+
+class NgramStore:
+    """Occurrence counts of fixed-length sequences at selected lengths.
+
+    The store indexes a set of window lengths; queries at an unindexed
+    length raise :class:`~repro.exceptions.WindowError` rather than
+    silently returning zero, because "never counted" and "counted zero
+    times" mean very different things for foreignness tests.
+
+    Use :meth:`from_stream` to build a store, or construct an empty one
+    and feed it with :meth:`update`.
+
+    Args:
+        lengths: the window lengths to index; each must be positive.
+    """
+
+    def __init__(self, lengths: Iterable[int]) -> None:
+        length_tuple = tuple(sorted(set(int(length) for length in lengths)))
+        if not length_tuple:
+            raise WindowError("an NgramStore requires at least one window length")
+        if length_tuple[0] <= 0:
+            raise WindowError(f"window lengths must be positive, got {length_tuple[0]}")
+        self._counts: dict[int, dict[Ngram, int]] = {length: {} for length in length_tuple}
+        self._totals: dict[int, int] = {length: 0 for length in length_tuple}
+
+    @classmethod
+    def from_stream(
+        cls, stream: Sequence[int] | np.ndarray, lengths: Iterable[int]
+    ) -> "NgramStore":
+        """Build a store by counting all windows of ``lengths`` in ``stream``."""
+        store = cls(lengths)
+        store.update(stream)
+        return store
+
+    def update(self, stream: Sequence[int] | np.ndarray) -> None:
+        """Add the windows of another stream to the counts.
+
+        Streams added separately are treated as independent traces: no
+        windows spanning the junction between two streams are counted,
+        matching how multiple traces (e.g. per-process system-call
+        traces) are conventionally pooled.
+        """
+        data = np.asarray(stream)
+        if data.ndim != 1:
+            raise WindowError(f"stream must be one-dimensional, got shape {data.shape}")
+        for length in self._counts:
+            fresh = _count_windows(data, length)
+            if not fresh:
+                continue
+            bucket = self._counts[length]
+            for ngram, count in fresh.items():
+                bucket[ngram] = bucket.get(ngram, 0) + count
+            self._totals[length] += max(0, len(data) - length + 1)
+
+    def merge_disjoint(self, other: "NgramStore") -> None:
+        """Absorb another store's tables for lengths this store lacks.
+
+        Both stores must have counted the *same* underlying data for
+        the merge to be meaningful; the caller owns that contract.
+        Used to extend a store with new window lengths without
+        re-counting the lengths it already indexes.
+
+        Raises:
+            WindowError: if the stores share any indexed length.
+        """
+        shared = set(self._counts) & set(other._counts)
+        if shared:
+            raise WindowError(
+                f"cannot merge stores sharing indexed lengths {sorted(shared)}"
+            )
+        self._counts.update(other._counts)
+        self._totals.update(other._totals)
+        self._counts = dict(sorted(self._counts.items()))
+        self._totals = dict(sorted(self._totals.items()))
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def lengths(self) -> tuple[int, ...]:
+        """The indexed window lengths, ascending."""
+        return tuple(self._counts)
+
+    def _bucket(self, length: int) -> dict[Ngram, int]:
+        try:
+            return self._counts[length]
+        except KeyError:
+            raise WindowError(
+                f"length {length} is not indexed by this store (indexed: {self.lengths})"
+            ) from None
+
+    def total(self, length: int) -> int:
+        """Total number of windows of ``length`` counted so far."""
+        self._bucket(length)
+        return self._totals[length]
+
+    def distinct(self, length: int) -> int:
+        """Number of distinct ``length``-grams observed."""
+        return len(self._bucket(length))
+
+    def ngrams(self, length: int) -> Iterable[Ngram]:
+        """Iterate over the distinct ``length``-grams observed."""
+        return iter(self._bucket(length))
+
+    def counts(self, length: int) -> Mapping[Ngram, int]:
+        """Read-only view of the count table for ``length``."""
+        return dict(self._bucket(length))
+
+    # -- membership, frequency, rarity ---------------------------------------
+
+    def count(self, ngram: Sequence[int]) -> int:
+        """Occurrences of ``ngram`` (0 if never observed)."""
+        key = tuple(int(code) for code in ngram)
+        return self._bucket(len(key)).get(key, 0)
+
+    def contains(self, ngram: Sequence[int]) -> bool:
+        """Whether ``ngram`` occurred at least once (i.e. is not foreign)."""
+        return self.count(ngram) > 0
+
+    def __contains__(self, ngram: object) -> bool:
+        if not isinstance(ngram, (tuple, list)):
+            return False
+        try:
+            return self.contains(ngram)  # type: ignore[arg-type]
+        except WindowError:
+            return False
+
+    def relative_frequency(self, ngram: Sequence[int]) -> float:
+        """Occurrences of ``ngram`` divided by all same-length windows.
+
+        Returns 0.0 when no windows of that length have been counted.
+        """
+        key = tuple(int(code) for code in ngram)
+        total = self.total(len(key))
+        if total == 0:
+            return 0.0
+        return self.count(key) / total
+
+    def rare_ngrams(self, length: int, threshold: float) -> list[Ngram]:
+        """Observed ``length``-grams with relative frequency below ``threshold``.
+
+        This is the paper's rarity criterion (Section 5.3): a rare
+        sequence has relative frequency under 0.5% in training.
+        """
+        total = self.total(length)
+        if total == 0:
+            return []
+        bound = threshold * total
+        return [ngram for ngram, count in self._bucket(length).items() if count < bound]
+
+    def common_ngrams(self, length: int, threshold: float) -> list[Ngram]:
+        """Observed ``length``-grams at or above the rarity ``threshold``."""
+        total = self.total(length)
+        if total == 0:
+            return []
+        bound = threshold * total
+        return [ngram for ngram, count in self._bucket(length).items() if count >= bound]
+
+    # -- conditional structure (Markov support) ------------------------------
+
+    def successor_counts(self, context: Sequence[int]) -> dict[int, int]:
+        """Counts of each symbol observed immediately after ``context``.
+
+        Requires the store to index length ``len(context) + 1``; the
+        distribution is read off the ``(len(context)+1)``-gram table.
+
+        Raises:
+            WindowError: if ``len(context) + 1`` is not indexed.
+        """
+        prefix = tuple(int(code) for code in context)
+        span = len(prefix) + 1
+        bucket = self._bucket(span)
+        successors: dict[int, int] = {}
+        for ngram, count in bucket.items():
+            if ngram[:-1] == prefix:
+                successors[ngram[-1]] = successors.get(ngram[-1], 0) + count
+        return successors
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{length}:{len(bucket)}" for length, bucket in self._counts.items()
+        )
+        return f"NgramStore(lengths->distinct: {{{sizes}}})"

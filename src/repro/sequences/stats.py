@@ -1,0 +1,141 @@
+"""Corpus statistics over categorical streams.
+
+The paper's data design is driven by n-gram statistics: a dominant
+deterministic cycle, a controlled rare tail, and the rarity threshold
+separating them.  This module computes the statistics that make such
+structure visible — frequency spectra, conditional entropy, and
+n-gram-space saturation — for corpus diagnostics, the examples, and
+the data-design ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WindowError
+from repro.sequences.ngram_store import NgramStore
+
+
+@dataclass(frozen=True)
+class FrequencySpectrum:
+    """The frequency structure of one window length.
+
+    Attributes:
+        length: the window length analyzed.
+        distinct: number of distinct n-grams observed.
+        total: total windows counted.
+        common: n-grams at or above the rarity threshold.
+        rare: n-grams below the threshold.
+        common_mass: fraction of windows carried by common n-grams.
+        rare_mass: fraction of windows carried by rare n-grams.
+    """
+
+    length: int
+    distinct: int
+    total: int
+    common: int
+    rare: int
+    common_mass: float
+    rare_mass: float
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"n={self.length}: {self.distinct} distinct "
+            f"({self.common} common carrying {self.common_mass:.1%}, "
+            f"{self.rare} rare carrying {self.rare_mass:.1%})"
+        )
+
+
+def frequency_spectrum(
+    store: NgramStore, length: int, rare_threshold: float
+) -> FrequencySpectrum:
+    """Split one length's n-grams into common/rare and weigh each side.
+
+    Raises:
+        WindowError: if the store does not index ``length``.
+    """
+    total = store.total(length)
+    counts = store.counts(length)
+    if total == 0:
+        return FrequencySpectrum(length, 0, 0, 0, 0, 0.0, 0.0)
+    bound = rare_threshold * total
+    common_count = sum(1 for n in counts.values() if n >= bound)
+    rare_count = len(counts) - common_count
+    common_mass = sum(n for n in counts.values() if n >= bound) / total
+    return FrequencySpectrum(
+        length=length,
+        distinct=len(counts),
+        total=total,
+        common=common_count,
+        rare=rare_count,
+        common_mass=common_mass,
+        rare_mass=1.0 - common_mass,
+    )
+
+
+def conditional_entropy(store: NgramStore, context_length: int) -> float:
+    """H(next symbol | context) in bits, from training counts.
+
+    Requires the store to index ``context_length`` and
+    ``context_length + 1``.  Near-zero entropy signals the almost
+    deterministic structure of the paper's corpus; natural data sits
+    substantially higher.
+
+    Raises:
+        WindowError: if the required lengths are not indexed.
+    """
+    if context_length < 1:
+        raise WindowError(
+            f"context_length must be >= 1, got {context_length}"
+        )
+    store.counts(context_length)  # raises WindowError when unindexed
+    joint_counts = store.counts(context_length + 1)
+    total = store.total(context_length + 1)
+    if total == 0:
+        return 0.0
+    # Context totals derived from the joint table, so contexts at a
+    # stream's end (with no successor) do not skew the conditionals.
+    context_totals: dict[tuple[int, ...], int] = {}
+    for ngram, joint in joint_counts.items():
+        key = ngram[:-1]
+        context_totals[key] = context_totals.get(key, 0) + joint
+    entropy = 0.0
+    for ngram, joint in joint_counts.items():
+        context = context_totals[ngram[:-1]]
+        probability = joint / total
+        conditional = joint / context
+        entropy -= probability * math.log2(conditional)
+    return max(0.0, entropy)
+
+
+def ngram_space_saturation(
+    store: NgramStore, length: int, alphabet_size: int
+) -> float:
+    """Observed fraction of the ``alphabet_size ** length`` n-gram space.
+
+    Low saturation means most same-length sequences are foreign —
+    the precondition for Stide-style detection to have anything to
+    detect.  Saturation 1.0 means no foreign sequence of that length
+    exists at all.
+    """
+    if alphabet_size < 2:
+        raise WindowError(f"alphabet_size must be >= 2, got {alphabet_size}")
+    space = float(alphabet_size) ** length
+    return min(1.0, store.distinct(length) / space)
+
+
+def symbol_distribution(stream: np.ndarray, alphabet_size: int) -> np.ndarray:
+    """Relative frequency of each symbol code in a stream."""
+    data = np.asarray(stream)
+    if data.ndim != 1:
+        raise WindowError(f"stream must be 1-D, got shape {data.shape}")
+    if len(data) == 0:
+        return np.zeros(alphabet_size)
+    counts = np.bincount(data, minlength=alphabet_size).astype(float)
+    if len(counts) > alphabet_size:
+        raise WindowError("stream contains codes outside the alphabet")
+    return counts / len(data)

@@ -1,0 +1,130 @@
+"""Prefix trie over categorical sequences, with occurrence counts.
+
+The trie complements :class:`~repro.sequences.ngram_store.NgramStore`:
+the store answers exact-length membership/frequency queries, while the
+trie supports *prefix* queries — "which symbols can extend this
+context, and how often?" — in time proportional to the prefix length.
+It backs the minimal-foreign-sequence search and the system-call
+program models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.exceptions import WindowError
+from repro.sequences.windows import iter_windows
+
+
+class _TrieNode:
+    """One trie node: children by symbol plus visit/terminal counts."""
+
+    __slots__ = ("children", "pass_count", "end_count")
+
+    def __init__(self) -> None:
+        self.children: dict[int, "_TrieNode"] = {}
+        self.pass_count = 0  # sequences inserted through this node
+        self.end_count = 0  # sequences inserted ending at this node
+
+
+class SequenceTrie:
+    """A counting prefix trie over integer sequences.
+
+    Sequences of any length can be inserted.  ``pass`` counts record how
+    many inserted sequences travel through a node (i.e. have the node's
+    path as a prefix), enabling conditional-frequency queries.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._total_insertions = 0
+
+    @classmethod
+    def from_stream(cls, stream: Sequence[int], window_length: int) -> "SequenceTrie":
+        """Build a trie from all ``window_length``-windows of a stream."""
+        trie = cls()
+        for window in iter_windows(stream, window_length):
+            trie.insert(window)
+        return trie
+
+    @property
+    def total_insertions(self) -> int:
+        """Number of sequences inserted so far (with multiplicity)."""
+        return self._total_insertions
+
+    def insert(self, sequence: Sequence[int], count: int = 1) -> None:
+        """Insert ``sequence`` with multiplicity ``count``.
+
+        Raises:
+            WindowError: if ``sequence`` is empty or ``count`` is not
+                positive.
+        """
+        if not len(sequence):
+            raise WindowError("cannot insert an empty sequence")
+        if count <= 0:
+            raise WindowError(f"insertion count must be positive, got {count}")
+        node = self._root
+        node.pass_count += count
+        for symbol in sequence:
+            node = node.children.setdefault(int(symbol), _TrieNode())
+            node.pass_count += count
+        node.end_count += count
+        self._total_insertions += count
+
+    def _walk(self, sequence: Sequence[int]) -> _TrieNode | None:
+        node = self._root
+        for symbol in sequence:
+            node = node.children.get(int(symbol))
+            if node is None:
+                return None
+        return node
+
+    def count(self, sequence: Sequence[int]) -> int:
+        """Multiplicity with which ``sequence`` was inserted (exact match)."""
+        node = self._walk(sequence)
+        return 0 if node is None else node.end_count
+
+    def prefix_count(self, prefix: Sequence[int]) -> int:
+        """Number of inserted sequences having ``prefix`` as a prefix."""
+        node = self._walk(prefix)
+        return 0 if node is None else node.pass_count
+
+    def contains(self, sequence: Sequence[int]) -> bool:
+        """Whether ``sequence`` was inserted at least once."""
+        return self.count(sequence) > 0
+
+    def has_prefix(self, prefix: Sequence[int]) -> bool:
+        """Whether any inserted sequence starts with ``prefix``."""
+        return self.prefix_count(prefix) > 0
+
+    def successors(self, prefix: Sequence[int]) -> dict[int, int]:
+        """Symbols that extend ``prefix``, with pass counts.
+
+        The returned counts are the number of inserted sequences whose
+        path continues from ``prefix`` through each symbol.
+        """
+        node = self._walk(prefix)
+        if node is None:
+            return {}
+        return {symbol: child.pass_count for symbol, child in node.children.items()}
+
+    def iter_sequences(self) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Yield every inserted sequence with its end count."""
+
+        def _emit(node: _TrieNode, path: list[int]) -> Iterator[tuple[tuple[int, ...], int]]:
+            if node.end_count:
+                yield tuple(path), node.end_count
+            for symbol in sorted(node.children):
+                path.append(symbol)
+                yield from _emit(node.children[symbol], path)
+                path.pop()
+
+        yield from _emit(self._root, [])
+
+    def __len__(self) -> int:
+        return sum(1 for _sequence in self.iter_sequences())
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceTrie(distinct={len(self)}, insertions={self._total_insertions})"
+        )

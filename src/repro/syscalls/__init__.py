@@ -1,0 +1,47 @@
+"""UNM-style synthetic system-call traces.
+
+The paper grounds its anomaly choice in natural data: system-call
+datasets "replete with minimal foreign sequences" (Section 4.1, citing
+the authors' stide operational-limits study over UNM-style traces).
+The public UNM traces are not available offline, so this subpackage
+synthesizes the equivalent substrate: per-program behavior models that
+emit sessions of system calls with common execution paths, rare
+error-handling paths, and exploit variants whose manifestations are
+foreign sequences — the same n-gram phenomenology the paper relies on.
+
+See DESIGN.md ("Substitutions") for the fidelity argument.
+"""
+
+from repro.syscalls.fleet import FleetMonitor
+from repro.syscalls.generator import (
+    LabeledTrace,
+    SyscallDataset,
+    TraceGenerator,
+    build_dataset,
+    truth_window_regions,
+)
+from repro.syscalls.programs import (
+    ExecutionPath,
+    ProgramModel,
+    ftpd_model,
+    lpr_model,
+    sendmail_model,
+)
+
+from repro.syscalls.mimicry import MimicryResult, pad_to_mimic
+
+__all__ = [
+    "ExecutionPath",
+    "FleetMonitor",
+    "MimicryResult",
+    "pad_to_mimic",
+    "LabeledTrace",
+    "ProgramModel",
+    "SyscallDataset",
+    "TraceGenerator",
+    "build_dataset",
+    "ftpd_model",
+    "lpr_model",
+    "sendmail_model",
+    "truth_window_regions",
+]

@@ -1,0 +1,127 @@
+"""Fleet monitoring: per-program profiles versus one pooled profile.
+
+Forrest et al.'s "sense of self" — the lineage behind Stide — profiles
+each program separately: what is normal for ``lpr`` is an anomaly
+inside ``sendmail``.  A pooled profile trained on every program's
+traces is strictly more permissive: any behavior normal for *some*
+program is normal everywhere, so cross-program misuse (a compromised
+daemon exhibiting another program's call patterns) becomes invisible.
+
+:class:`FleetMonitor` manages one detector per program plus the pooled
+baseline, and the E22 bench quantifies the granularity effect.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector
+from repro.detectors.registry import create_detector
+from repro.exceptions import DetectorConfigurationError, EvaluationError
+from repro.sequences.alphabet import Alphabet
+from repro.syscalls.generator import SyscallDataset
+
+DetectorFactory = Callable[[], AnomalyDetector]
+
+
+class FleetMonitor:
+    """One detector per monitored program, plus a pooled baseline.
+
+    Args:
+        datasets: one labeled dataset per program (all sharing an
+            alphabet).
+        window_length: the detector window for every profile.
+        family: registered detector name (default ``stide``).
+        **family_kwargs: forwarded to each detector's constructor.
+
+    Raises:
+        DetectorConfigurationError: on duplicate programs or mixed
+            alphabets.
+    """
+
+    def __init__(
+        self,
+        datasets: Iterable[SyscallDataset],
+        window_length: int,
+        family: str = "stide",
+        **family_kwargs: object,
+    ) -> None:
+        dataset_list = list(datasets)
+        if not dataset_list:
+            raise DetectorConfigurationError(
+                "fleet monitoring requires at least one program dataset"
+            )
+        names = [dataset.program_name for dataset in dataset_list]
+        if len(names) != len(set(names)):
+            raise DetectorConfigurationError(
+                f"duplicate program datasets: {names}"
+            )
+        alphabet = dataset_list[0].alphabet
+        for dataset in dataset_list[1:]:
+            if dataset.alphabet != alphabet:
+                raise DetectorConfigurationError(
+                    "all fleet datasets must share one alphabet"
+                )
+        self._alphabet: Alphabet = alphabet
+        self._window_length = window_length
+        self._profiles: dict[str, AnomalyDetector] = {}
+        for dataset in dataset_list:
+            detector = create_detector(
+                family, window_length, alphabet.size, **family_kwargs
+            )
+            detector.fit_many(dataset.training_streams())
+            self._profiles[dataset.program_name] = detector
+        pooled = create_detector(
+            family, window_length, alphabet.size, **family_kwargs
+        )
+        pooled.fit_many(
+            [
+                stream
+                for dataset in dataset_list
+                for stream in dataset.training_streams()
+            ]
+        )
+        self._pooled = pooled
+
+    @property
+    def programs(self) -> tuple[str, ...]:
+        """Monitored program names."""
+        return tuple(self._profiles)
+
+    @property
+    def window_length(self) -> int:
+        """The common detector window."""
+        return self._window_length
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The shared encoding alphabet."""
+        return self._alphabet
+
+    def profile(self, program: str) -> AnomalyDetector:
+        """The per-program detector.
+
+        Raises:
+            EvaluationError: for unmonitored programs.
+        """
+        try:
+            return self._profiles[program]
+        except KeyError:
+            raise EvaluationError(
+                f"program {program!r} is not monitored; fleet covers "
+                f"{', '.join(self.programs)}"
+            ) from None
+
+    def pooled_profile(self) -> AnomalyDetector:
+        """The single profile trained on every program's traces."""
+        return self._pooled
+
+    def score(self, program: str, stream: np.ndarray) -> np.ndarray:
+        """Per-window responses of the owning program's profile."""
+        return self.profile(program).score_stream(stream)
+
+    def score_pooled(self, stream: np.ndarray) -> np.ndarray:
+        """Per-window responses of the pooled profile."""
+        return self._pooled.score_stream(stream)

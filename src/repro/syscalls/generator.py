@@ -1,0 +1,247 @@
+"""Session sampling, exploit injection, and dataset assembly.
+
+The generator turns a :class:`~repro.syscalls.programs.ProgramModel`
+into encoded per-session traces:
+
+* *normal* sessions — weighted i.i.d. concatenations of the program's
+  normal execution paths;
+* *intrusion* sessions — normal sessions with one exploit path spliced
+  in at a path boundary; the injected element range is recorded as
+  ground truth.
+
+:func:`build_dataset` assembles the conventional splits: training
+(normal only), test-normal (fresh normal sessions, for false-alarm
+measurement) and test-intrusion (for hit measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError, EvaluationError
+from repro.sequences.alphabet import Alphabet
+from repro.syscalls.programs import SYSCALL_NAMES, ExecutionPath, ProgramModel
+
+
+@dataclass(frozen=True)
+class LabeledTrace:
+    """One encoded session with optional intrusion ground truth.
+
+    Attributes:
+        stream: encoded system-call codes.
+        intrusion_region: ``(start, stop)`` element range of the
+            injected exploit, or ``None`` for a normal session.
+        exploit_name: name of the injected exploit path, if any.
+    """
+
+    stream: np.ndarray = field(repr=False)
+    intrusion_region: tuple[int, int] | None
+    exploit_name: str | None
+
+    def __post_init__(self) -> None:
+        if (self.intrusion_region is None) != (self.exploit_name is None):
+            raise DataGenerationError(
+                "intrusion_region and exploit_name must be set together"
+            )
+        if self.intrusion_region is not None:
+            start, stop = self.intrusion_region
+            if not 0 <= start < stop <= len(self.stream):
+                raise DataGenerationError(
+                    f"intrusion region {self.intrusion_region} out of range for "
+                    f"stream of length {len(self.stream)}"
+                )
+
+    @property
+    def is_intrusion(self) -> bool:
+        """Whether this session contains an injected exploit."""
+        return self.intrusion_region is not None
+
+
+def truth_window_regions(
+    trace: LabeledTrace, window_length: int
+) -> list[tuple[int, int]]:
+    """Window-start ranges overlapping the trace's intrusion region.
+
+    The incident-span convention of the main experiment: a window is in
+    the truth region when it contains at least one injected element.
+
+    Returns an empty list for normal traces.
+    """
+    if window_length < 1:
+        raise EvaluationError(f"window_length must be >= 1, got {window_length}")
+    if trace.intrusion_region is None:
+        return []
+    start, stop = trace.intrusion_region
+    last_start = len(trace.stream) - window_length
+    if last_start < 0:
+        return []
+    lo = max(0, start - window_length + 1)
+    hi = min(last_start, stop - 1)
+    if hi < lo:
+        return []
+    return [(lo, hi + 1)]
+
+
+class TraceGenerator:
+    """Sample sessions from one program model.
+
+    Args:
+        model: the program's behavior model.
+        alphabet: optional shared alphabet; defaults to the global
+            system-call vocabulary, so traces from different programs
+            are mutually encodable.
+    """
+
+    def __init__(self, model: ProgramModel, alphabet: Alphabet | None = None) -> None:
+        self._model = model
+        self._alphabet = alphabet or Alphabet(SYSCALL_NAMES)
+        self._weights = np.asarray([path.weight for path in model.paths], dtype=float)
+        self._weights = self._weights / self._weights.sum()
+
+    @property
+    def model(self) -> ProgramModel:
+        """The generating program model."""
+        return self._model
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The encoding alphabet."""
+        return self._alphabet
+
+    def _encode_path(self, path: ExecutionPath) -> np.ndarray:
+        return np.asarray(self._alphabet.encode(path.calls), dtype=np.int64)
+
+    def sample_paths(
+        self, rng: np.random.Generator, path_count: int
+    ) -> list[ExecutionPath]:
+        """Draw ``path_count`` normal paths by weight."""
+        if path_count < 1:
+            raise DataGenerationError(f"path_count must be >= 1, got {path_count}")
+        indices = rng.choice(len(self._model.paths), size=path_count, p=self._weights)
+        return [self._model.paths[int(i)] for i in indices]
+
+    def normal_session(
+        self, rng: np.random.Generator, path_count: int = 30
+    ) -> LabeledTrace:
+        """One normal session of ``path_count`` concatenated paths."""
+        paths = self.sample_paths(rng, path_count)
+        stream = np.concatenate([self._encode_path(path) for path in paths])
+        return LabeledTrace(stream=stream, intrusion_region=None, exploit_name=None)
+
+    def intrusion_session(
+        self,
+        rng: np.random.Generator,
+        path_count: int = 30,
+        exploit_name: str | None = None,
+    ) -> LabeledTrace:
+        """One session with an exploit spliced in at a path boundary.
+
+        Args:
+            rng: random generator.
+            path_count: number of normal paths around the exploit.
+            exploit_name: which exploit path to use; a random one when
+                omitted.
+        """
+        if exploit_name is None:
+            exploit = self._model.exploit_paths[
+                int(rng.integers(len(self._model.exploit_paths)))
+            ]
+        else:
+            exploit = self._model.path(exploit_name)
+            if exploit not in self._model.exploit_paths:
+                raise DataGenerationError(
+                    f"path {exploit_name!r} is not an exploit path of "
+                    f"{self._model.name!r}"
+                )
+        paths = self.sample_paths(rng, path_count)
+        splice_at = int(rng.integers(1, path_count))  # a path boundary, not the ends
+        segments: list[np.ndarray] = []
+        start = 0
+        for i, path in enumerate(paths):
+            if i == splice_at:
+                start = sum(len(s) for s in segments)
+                segments.append(self._encode_path(exploit))
+            segments.append(self._encode_path(path))
+        stream = np.concatenate(segments)
+        stop = start + len(exploit.calls)
+        return LabeledTrace(
+            stream=stream,
+            intrusion_region=(start, stop),
+            exploit_name=exploit.name,
+        )
+
+    def coverage_session(self) -> LabeledTrace:
+        """A deterministic session visiting every normal path once.
+
+        Appended to training so that rare paths are guaranteed present
+        (Stide must know them; their *frequency* stays rare because the
+        bulk of training is weighted sampling).
+        """
+        stream = np.concatenate(
+            [self._encode_path(path) for path in self._model.paths]
+        )
+        return LabeledTrace(stream=stream, intrusion_region=None, exploit_name=None)
+
+
+@dataclass(frozen=True)
+class SyscallDataset:
+    """Conventional IDS splits for one program.
+
+    Attributes:
+        program_name: the monitored program.
+        alphabet: the encoding alphabet.
+        training: normal sessions for fitting.
+        test_normal: fresh normal sessions (false-alarm measurement).
+        test_intrusions: sessions with injected exploits.
+    """
+
+    program_name: str
+    alphabet: Alphabet
+    training: tuple[LabeledTrace, ...]
+    test_normal: tuple[LabeledTrace, ...]
+    test_intrusions: tuple[LabeledTrace, ...]
+
+    def training_streams(self) -> list[np.ndarray]:
+        """The raw encoded training streams."""
+        return [trace.stream for trace in self.training]
+
+
+def build_dataset(
+    model: ProgramModel,
+    seed: int = 1996,  # "A Sense of Self for Unix Processes"
+    training_sessions: int = 400,
+    test_normal_sessions: int = 60,
+    test_intrusion_sessions: int = 40,
+    paths_per_session: int = 30,
+) -> SyscallDataset:
+    """Assemble training / test-normal / test-intrusion splits.
+
+    Training additionally contains one deterministic coverage session
+    per 100 sampled sessions so every rare path is present (while
+    remaining rare by frequency).
+    """
+    generator = TraceGenerator(model)
+    rng = np.random.default_rng(seed)
+    training = [
+        generator.normal_session(rng, paths_per_session)
+        for _ in range(training_sessions)
+    ]
+    coverage_copies = max(1, training_sessions // 100)
+    training.extend(generator.coverage_session() for _ in range(coverage_copies))
+    test_normal = [
+        generator.normal_session(rng, paths_per_session)
+        for _ in range(test_normal_sessions)
+    ]
+    test_intrusions = [
+        generator.intrusion_session(rng, paths_per_session)
+        for _ in range(test_intrusion_sessions)
+    ]
+    return SyscallDataset(
+        program_name=model.name,
+        alphabet=generator.alphabet,
+        training=tuple(training),
+        test_normal=tuple(test_normal),
+        test_intrusions=tuple(test_intrusions),
+    )

@@ -1,0 +1,252 @@
+"""Per-program system-call behavior models.
+
+A :class:`ProgramModel` describes a monitored program as a weighted set
+of *execution paths* — short system-call sequences corresponding to the
+program's control-flow fragments.  Sessions are concatenations of
+paths; common paths dominate, rare paths (error handling, uncommon
+options) appear with small probability, and exploit paths model
+attacks whose manifestation is a system-call ordering the program
+never produces normally.
+
+Three classic UNM-monitored programs are modeled: ``sendmail``,
+``lpr`` and ``ftpd``.  The models are behavioral caricatures — what
+matters for the reproduction is their n-gram phenomenology (dominant
+motifs, sub-0.5%-frequency rare motifs, foreign exploit orderings),
+not syscall-level fidelity to 1990s binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DataGenerationError
+
+#: The system-call vocabulary shared by all program models.
+SYSCALL_NAMES: tuple[str, ...] = (
+    "fork", "vfork", "execve", "exit", "wait4",
+    "open", "close", "read", "write", "lseek",
+    "stat", "fstat", "lstat", "access", "unlink",
+    "rename", "mkdir", "rmdir", "chdir", "chmod",
+    "chown", "dup2", "pipe", "fcntl", "ioctl",
+    "mmap", "munmap", "brk", "getpid", "getuid",
+    "setuid", "setgid", "setreuid", "umask", "kill",
+    "socket", "connect", "bind", "listen", "accept",
+    "send", "recv", "select", "sigaction", "utime",
+)
+
+
+@dataclass(frozen=True)
+class ExecutionPath:
+    """One control-flow fragment of a program.
+
+    Attributes:
+        name: label for diagnostics.
+        calls: the system-call sequence the fragment emits.
+        weight: relative sampling weight among the program's normal
+            paths (rare paths get small weights).
+    """
+
+    name: str
+    calls: tuple[str, ...]
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not self.calls:
+            raise DataGenerationError(f"path {self.name!r} has no calls")
+        if self.weight <= 0:
+            raise DataGenerationError(
+                f"path {self.name!r} must have positive weight, got {self.weight}"
+            )
+        unknown = [call for call in self.calls if call not in SYSCALL_NAMES]
+        if unknown:
+            raise DataGenerationError(
+                f"path {self.name!r} uses unknown system calls: {unknown}"
+            )
+
+
+@dataclass(frozen=True)
+class ProgramModel:
+    """A monitored program: normal paths plus exploit variants.
+
+    Attributes:
+        name: program label.
+        paths: normal execution paths (common and rare, by weight).
+        exploit_paths: attack fragments; never emitted in normal
+            sessions.
+    """
+
+    name: str
+    paths: tuple[ExecutionPath, ...]
+    exploit_paths: tuple[ExecutionPath, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.paths) < 2:
+            raise DataGenerationError(
+                f"program {self.name!r} needs at least two normal paths"
+            )
+        if not self.exploit_paths:
+            raise DataGenerationError(
+                f"program {self.name!r} needs at least one exploit path"
+            )
+        names = [path.name for path in self.paths + self.exploit_paths]
+        if len(names) != len(set(names)):
+            raise DataGenerationError(
+                f"program {self.name!r} has duplicate path names"
+            )
+
+    @property
+    def rare_paths(self) -> tuple[ExecutionPath, ...]:
+        """Normal paths whose weight is below 1% of the total weight."""
+        total = sum(path.weight for path in self.paths)
+        return tuple(path for path in self.paths if path.weight / total < 0.01)
+
+    def path(self, name: str) -> ExecutionPath:
+        """Look up a path (normal or exploit) by name."""
+        for path in self.paths + self.exploit_paths:
+            if path.name == name:
+                return path
+        raise DataGenerationError(f"program {self.name!r} has no path {name!r}")
+
+
+def sendmail_model() -> ProgramModel:
+    """A sendmail-like mail daemon.
+
+    Normal behavior: accept a connection, receive a message, deliver
+    locally or queue it.  Rare behavior: bounce handling and queue-run
+    recovery.  Exploit: a buffer-overflow-style takeover that spawns a
+    shell — ``setuid`` followed directly by ``execve``, an ordering the
+    daemon never emits normally.
+    """
+    accept = ExecutionPath(
+        "smtp-accept",
+        ("accept", "getpid", "fork", "close", "sigaction", "recv", "write"),
+        weight=30.0,
+    )
+    receive = ExecutionPath(
+        "smtp-receive",
+        ("recv", "write", "recv", "write", "open", "write", "close"),
+        weight=40.0,
+    )
+    deliver = ExecutionPath(
+        "local-delivery",
+        ("stat", "open", "read", "write", "close", "chmod", "utime"),
+        weight=25.0,
+    )
+    queue = ExecutionPath(
+        "queue-message",
+        ("umask", "open", "write", "fstat", "close", "rename"),
+        weight=8.0,
+    )
+    bounce = ExecutionPath(
+        "bounce-handling",
+        ("open", "read", "unlink", "open", "write", "close", "kill"),
+        weight=0.2,
+    )
+    queue_recovery = ExecutionPath(
+        "queue-recovery",
+        ("chdir", "stat", "rename", "utime", "stat", "close"),
+        weight=0.15,
+    )
+    overflow = ExecutionPath(
+        "overflow-shell",
+        ("recv", "recv", "brk", "setuid", "execve"),
+        weight=1.0,
+    )
+    forward_loop = ExecutionPath(
+        "forward-file-abuse",
+        ("open", "read", "setreuid", "execve", "wait4"),
+        weight=1.0,
+    )
+    return ProgramModel(
+        name="sendmail",
+        paths=(accept, receive, deliver, queue, bounce, queue_recovery),
+        exploit_paths=(overflow, forward_loop),
+    )
+
+
+def lpr_model() -> ProgramModel:
+    """An lpr-like print spooler.
+
+    Normal behavior: validate, copy the job into the spool, signal the
+    daemon.  Rare behavior: spool-full cleanup.  Exploit: the classic
+    lpr symlink attack — an ``lstat``-skipping unlink/chmod ordering.
+    """
+    validate = ExecutionPath(
+        "validate-job",
+        ("getuid", "stat", "access", "open", "fstat", "read", "close"),
+        weight=35.0,
+    )
+    spool = ExecutionPath(
+        "copy-to-spool",
+        ("umask", "open", "write", "write", "close", "chown", "chmod"),
+        weight=40.0,
+    )
+    notify = ExecutionPath(
+        "notify-daemon",
+        ("socket", "connect", "send", "recv", "close"),
+        weight=20.0,
+    )
+    cleanup = ExecutionPath(
+        "spool-full-cleanup",
+        ("chdir", "stat", "unlink", "unlink", "rmdir", "mkdir"),
+        weight=0.25,
+    )
+    symlink_attack = ExecutionPath(
+        "symlink-attack",
+        ("access", "unlink", "chmod", "chown", "open", "write"),
+        weight=1.0,
+    )
+    return ProgramModel(
+        name="lpr",
+        paths=(validate, spool, notify, cleanup),
+        exploit_paths=(symlink_attack,),
+    )
+
+
+def ftpd_model() -> ProgramModel:
+    """An ftpd-like file-transfer daemon.
+
+    Normal behavior: login, directory navigation, transfers.  Rare
+    behavior: anonymous-upload quota handling.  Exploit: a root
+    escalation spawning a shell after a crafted ``SITE`` command.
+    """
+    login = ExecutionPath(
+        "login",
+        ("accept", "recv", "getuid", "setreuid", "chdir", "send"),
+        weight=20.0,
+    )
+    listing = ExecutionPath(
+        "dir-listing",
+        ("stat", "open", "read", "send", "send", "close"),
+        weight=30.0,
+    )
+    download = ExecutionPath(
+        "download",
+        ("open", "fstat", "read", "send", "read", "send", "close"),
+        weight=35.0,
+    )
+    upload = ExecutionPath(
+        "upload",
+        ("umask", "open", "recv", "write", "recv", "write", "close"),
+        weight=15.0,
+    )
+    quota = ExecutionPath(
+        "quota-enforcement",
+        ("stat", "lstat", "unlink", "write", "send"),
+        weight=0.2,
+    )
+    site_exec = ExecutionPath(
+        "site-exec-root",
+        ("recv", "setuid", "setgid", "execve"),
+        weight=1.0,
+    )
+    return ProgramModel(
+        name="ftpd",
+        paths=(login, listing, download, upload, quota),
+        exploit_paths=(site_exec,),
+    )
+
+
+def all_program_models() -> tuple[ProgramModel, ...]:
+    """The three bundled program models."""
+    return (sendmail_model(), lpr_model(), ftpd_model())

@@ -1,0 +1,68 @@
+"""Tests for repro.analysis.census — the 'Why 6?' analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.census import MfsCensus, mfs_census
+from repro.exceptions import EvaluationError
+from repro.sequences.foreign import ForeignSequenceAnalyzer
+
+
+class TestMfsCensus:
+    def test_paper_corpus_has_mfs_at_every_size(self, training):
+        census = mfs_census(training.analyzer)
+        for length in range(2, 10):
+            assert census.counts[length] > 0
+
+    def test_recommendation_is_largest_length(self, training):
+        census = mfs_census(training.analyzer)
+        assert census.recommended_stide_window() == 9
+
+    def test_total_sums_counts(self, training):
+        census = mfs_census(training.analyzer, lengths=(2, 3))
+        assert census.total == census.counts[2] + census.counts[3]
+
+    def test_rows_sorted(self, training):
+        census = mfs_census(training.analyzer, lengths=(4, 2, 3))
+        assert [length for length, _count in census.rows()] == [2, 3, 4]
+
+    def test_limit_caps_counts(self, training):
+        capped = mfs_census(training.analyzer, lengths=(2,), limit=3)
+        assert capped.counts[2] == 3
+        assert capped.limit == 3
+
+    def test_rare_parts_only_reduces_counts(self, training):
+        unrestricted = mfs_census(training.analyzer, lengths=(4,))
+        restricted = mfs_census(
+            training.analyzer, lengths=(4,), rare_parts_only=True
+        )
+        assert restricted.counts[4] <= unrestricted.counts[4]
+
+    def test_rejects_bad_lengths(self, training):
+        with pytest.raises(EvaluationError, match=">= 2"):
+            mfs_census(training.analyzer, lengths=(1, 2))
+        with pytest.raises(EvaluationError, match="non-empty"):
+            mfs_census(training.analyzer, lengths=())
+
+    def test_training_length_recorded(self, training):
+        census = mfs_census(training.analyzer, lengths=(2,))
+        assert census.training_length == training.length
+
+
+class TestNoMfsCase:
+    def test_saturated_corpus_yields_empty_census(self):
+        """A corpus containing every pair has no size-2 MFS."""
+        # de Bruijn-ish: all 2-grams over {0,1} present.
+        stream = np.asarray([0, 0, 1, 1, 0, 0, 1, 1, 0])
+        analyzer = ForeignSequenceAnalyzer(stream)
+        census = mfs_census(analyzer, lengths=(2,))
+        assert census.counts[2] == 0
+        assert census.max_length_present is None
+        assert census.recommended_stide_window() is None
+
+    def test_dataclass_is_frozen(self):
+        census = MfsCensus(counts={2: 0}, limit=None, training_length=10)
+        with pytest.raises(AttributeError):
+            census.limit = 5  # type: ignore[misc]

@@ -1,0 +1,107 @@
+"""Tests for repro.analysis.export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    load_map_json,
+    map_to_json,
+    metrics_to_dict,
+    performance_map_rows,
+    write_map_csv,
+    write_map_json,
+)
+from repro.evaluation.metrics import DetectionMetrics
+from repro.evaluation.performance_map import build_performance_map
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def stide_map(suite):
+    return build_performance_map("stide", suite)
+
+
+class TestRows:
+    def test_one_row_per_cell(self, stide_map):
+        rows = performance_map_rows(stide_map)
+        assert len(rows) == 112
+
+    def test_row_schema(self, stide_map):
+        row = performance_map_rows(stide_map)[0]
+        assert set(row) == {
+            "detector",
+            "anomaly_size",
+            "window_length",
+            "response_class",
+            "max_in_span",
+            "max_outside_span",
+            "spurious_alarms",
+        }
+        assert row["detector"] == "stide"
+
+
+class TestCsv:
+    def test_roundtrip_readable(self, tmp_path, stide_map):
+        path = write_map_csv(tmp_path / "maps.csv", stide_map)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 112
+        capable = [row for row in rows if row["response_class"] == "capable"]
+        assert len(capable) == 84
+
+    def test_multiple_maps_concatenate(self, tmp_path, suite, stide_map):
+        lb_map = build_performance_map("lane-brodley", suite)
+        path = write_map_csv(tmp_path / "maps.csv", stide_map, lb_map)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 224
+        assert {row["detector"] for row in rows} == {"stide", "lane-brodley"}
+
+    def test_requires_a_map(self, tmp_path):
+        with pytest.raises(EvaluationError, match="at least one"):
+            write_map_csv(tmp_path / "maps.csv")
+
+
+class TestJson:
+    def test_document_schema(self, stide_map):
+        document = json.loads(map_to_json(stide_map))
+        assert document["detector"] == "stide"
+        assert document["anomaly_sizes"] == list(range(2, 10))
+        assert document["detection_fraction"] == pytest.approx(0.75)
+        assert len(document["cells"]) == 112
+
+    def test_write_and_load(self, tmp_path, stide_map):
+        path = write_map_json(tmp_path / "map.json", stide_map)
+        loaded = load_map_json(path)
+        assert loaded["detector"] == "stide"
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(EvaluationError, match="not found"):
+            load_map_json(tmp_path / "nope.json")
+
+    def test_load_malformed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(EvaluationError, match="malformed"):
+            load_map_json(bad)
+
+
+class TestMetrics:
+    def test_metrics_to_dict(self):
+        metrics = DetectionMetrics(
+            traces=3,
+            traces_with_truth=2,
+            hits=2,
+            misses=0,
+            alarm_windows=5,
+            false_alarm_windows=1,
+            normal_windows=100,
+        )
+        record = metrics_to_dict(metrics)
+        assert record["hit_rate"] == 1.0
+        assert record["false_alarm_rate"] == pytest.approx(0.01)
+        json.dumps(record)  # JSON-ready

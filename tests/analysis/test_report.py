@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import (
+    combination_report,
+    format_table,
+    map_agreement_report,
+)
+from repro.ensemble.coverage import Coverage
+from repro.evaluation.performance_map import build_performance_map
+from repro.exceptions import EvaluationError
+
+GRID = frozenset((a, w) for a in (2, 3) for w in (2, 3))
+
+
+def cov(cells, label):
+    return Coverage(cells=frozenset(cells), grid=GRID, label=label)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("name", "n"), [("stide", 84), ("markov", 112)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "stide" in lines[2]
+        # Columns align: the second column starts at the same offset
+        # in the header and every data row.
+        offset = lines[0].index("  n")
+        assert lines[2].index("  84") == offset
+        assert lines[3].index("  112") == offset
+
+    def test_title(self):
+        table = format_table(("a",), [("x",)], title="Caption")
+        assert table.splitlines()[0] == "Caption"
+
+    def test_empty_rows(self):
+        table = format_table(("a", "b"), [])
+        assert len(table.splitlines()) == 2
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(EvaluationError, match="cells"):
+            format_table(("a", "b"), [("only-one",)])
+
+
+class TestCombinationReport:
+    def test_subset_statement(self):
+        stide = cov({(2, 2)}, "stide")
+        markov = cov({(2, 2), (3, 3)}, "markov")
+        text = combination_report(stide, markov)
+        assert "subset" in text
+        assert "adds 1 cells over stide" in text
+
+    def test_no_gain_statement(self):
+        stide = cov({(2, 2)}, "stide")
+        lane_brodley = cov(set(), "lane-brodley")
+        text = combination_report(stide, lane_brodley)
+        assert "no improvement" in text
+
+    def test_partial_overlap_statement(self):
+        a = cov({(2, 2), (2, 3)}, "a")
+        b = cov({(2, 3), (3, 3)}, "b")
+        assert "partially overlap" in combination_report(a, b)
+
+    def test_shared_blind_region_counted(self):
+        a = cov({(2, 2)}, "a")
+        b = cov({(2, 2)}, "b")
+        assert "shared blind region: 3/4" in combination_report(a, b)
+
+
+class TestMapAgreementReport:
+    def test_requires_two_maps(self, suite):
+        only = {"stide": build_performance_map("stide", suite)}
+        with pytest.raises(EvaluationError, match="two maps"):
+            map_agreement_report(only)
+
+    def test_reports_paper_relations(self, suite):
+        maps = {
+            "stide": build_performance_map("stide", suite),
+            "markov": build_performance_map("markov", suite),
+        }
+        text = map_agreement_report(maps)
+        assert "stide subset of markov" in text
+        assert "112" in text

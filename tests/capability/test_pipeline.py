@@ -1,0 +1,143 @@
+"""Tests for repro.capability.pipeline — the Figure-1 chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capability.pipeline import (
+    AttackScenario,
+    CapabilityQuestion,
+    CapabilityVerdict,
+    assess_attack,
+)
+from repro.evaluation.performance_map import build_performance_map
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def stide_map(suite):
+    return build_performance_map("stide", suite)
+
+
+@pytest.fixture(scope="module")
+def analyzer(training):
+    return training.analyzer
+
+
+def scenario(**overrides) -> AttackScenario:
+    defaults = dict(
+        name="test-attack",
+        manifestation=(0, 2, 2),  # size-3 MFS-shaped manifestation
+        detector_analyzes_data=True,
+        deployed_window_length=5,
+    )
+    defaults.update(overrides)
+    return AttackScenario(**defaults)
+
+
+class TestScenarioValidation:
+    def test_rejects_small_window(self):
+        with pytest.raises(EvaluationError, match="window length"):
+            scenario(deployed_window_length=1)
+
+    def test_rejects_empty_manifestation(self):
+        with pytest.raises(EvaluationError, match="non-empty"):
+            scenario(manifestation=())
+
+
+class TestChainTerminals:
+    def test_no_manifestation(self, analyzer, stide_map):
+        report = assess_attack(scenario(manifestation=None), analyzer, stide_map)
+        assert report.verdict is CapabilityVerdict.NO_MANIFESTATION
+        assert not report.detected
+        assert report.answers == {CapabilityQuestion.MANIFESTS: False}
+
+    def test_not_analyzed(self, analyzer, stide_map):
+        report = assess_attack(
+            scenario(detector_analyzes_data=False), analyzer, stide_map
+        )
+        assert report.verdict is CapabilityVerdict.NOT_ANALYZED
+        assert CapabilityQuestion.ANOMALOUS not in report.answers
+
+    def test_not_anomalous(self, analyzer, stide_map, training):
+        # A common cycle run is not anomalous.
+        common = tuple(training.stream[:4].tolist())
+        report = assess_attack(
+            scenario(manifestation=common, deployed_window_length=5),
+            analyzer,
+            stide_map,
+        )
+        assert report.verdict is CapabilityVerdict.NOT_ANOMALOUS
+
+    def test_mistuned_window(self, analyzer, stide_map, suite):
+        # Stide needs DW >= AS; deploy with a smaller window.
+        manifestation = suite.anomaly(6).sequence
+        report = assess_attack(
+            scenario(manifestation=manifestation, deployed_window_length=3),
+            analyzer,
+            stide_map,
+        )
+        assert report.verdict is CapabilityVerdict.MISTUNED
+        assert report.answers[CapabilityQuestion.DETECTABLE]
+        assert not report.answers[CapabilityQuestion.TUNED]
+
+    def test_detected(self, analyzer, stide_map, suite):
+        manifestation = suite.anomaly(4).sequence
+        report = assess_attack(
+            scenario(manifestation=manifestation, deployed_window_length=10),
+            analyzer,
+            stide_map,
+        )
+        assert report.verdict is CapabilityVerdict.DETECTED
+        assert report.detected
+        assert all(report.answers.values())
+
+    def test_not_detectable_for_lb(self, analyzer, suite):
+        # L&B is capable nowhere, so any anomalous manifestation lands
+        # on the NOT_DETECTABLE terminal.
+        lb_map = build_performance_map("lane-brodley", suite)
+        manifestation = suite.anomaly(4).sequence
+        report = assess_attack(
+            scenario(manifestation=manifestation), analyzer, lb_map
+        )
+        assert report.verdict is CapabilityVerdict.NOT_DETECTABLE
+
+
+class TestGridGuards:
+    def test_out_of_grid_size_raises(self, analyzer, stide_map):
+        oversized = (0, 2) + tuple(range(3, 3 + 10))  # size > 9, anomalous
+        with pytest.raises(EvaluationError, match="outside the evaluated grid"):
+            assess_attack(
+                scenario(manifestation=(0, 2, 3, 4, 5, 6, 7, 0, 2, 2)),
+                analyzer,
+                stide_map,
+            )
+        assert len(oversized) > 9  # guard for the test itself
+
+    def test_out_of_grid_window_raises(self, analyzer, stide_map, suite):
+        manifestation = suite.anomaly(4).sequence
+        with pytest.raises(EvaluationError, match="outside the evaluated grid"):
+            assess_attack(
+                scenario(manifestation=manifestation, deployed_window_length=99),
+                analyzer,
+                stide_map,
+            )
+
+
+class TestReport:
+    def test_explain_walks_the_chain(self, analyzer, stide_map, suite):
+        manifestation = suite.anomaly(4).sequence
+        report = assess_attack(
+            scenario(manifestation=manifestation, deployed_window_length=10),
+            analyzer,
+            stide_map,
+        )
+        text = report.explain()
+        assert "A:" in text and "E:" in text
+        assert "verdict: attack detected" in text
+
+    def test_explain_stops_at_failure(self, analyzer, stide_map):
+        report = assess_attack(scenario(manifestation=None), analyzer, stide_map)
+        text = report.explain()
+        assert "A:" in text
+        assert "B:" not in text

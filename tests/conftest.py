@@ -1,0 +1,48 @@
+"""Shared fixtures: a reduced-scale corpus with the paper's structure.
+
+The fixtures are session-scoped — the corpus is deterministic under
+its seed, and most tests only read from it.  Tests that need to
+mutate or mis-configure build their own objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.suite import EvaluationSuite, build_suite
+from repro.datagen.training import TrainingData, generate_training_data
+from repro.params import PaperParams, scaled_params
+from repro.syscalls import SyscallDataset, build_dataset, sendmail_model
+
+#: Stream length used by the shared corpus; large enough that every
+#: rare jump pair appears well over 50 times yet stays rare.
+TEST_STREAM_LENGTH = 60_000
+
+
+@pytest.fixture(scope="session")
+def params() -> PaperParams:
+    """Reduced-scale parameters with the paper's structure."""
+    return scaled_params(TEST_STREAM_LENGTH)
+
+
+@pytest.fixture(scope="session")
+def training(params: PaperParams) -> TrainingData:
+    """The shared training corpus (validated on construction)."""
+    return generate_training_data(params)
+
+
+@pytest.fixture(scope="session")
+def suite(training: TrainingData) -> EvaluationSuite:
+    """The shared evaluation suite (8 anomaly sizes x 14 windows)."""
+    return build_suite(training=training)
+
+
+@pytest.fixture(scope="session")
+def syscall_dataset() -> SyscallDataset:
+    """A small sendmail-like syscall dataset."""
+    return build_dataset(
+        sendmail_model(),
+        training_sessions=150,
+        test_normal_sessions=20,
+        test_intrusion_sessions=15,
+    )

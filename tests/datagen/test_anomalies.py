@@ -1,0 +1,113 @@
+"""Tests for repro.datagen.anomalies — MFS synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.anomalies import AnomalySynthesizer, SynthesizedAnomaly
+from repro.exceptions import AnomalySynthesisError
+
+
+@pytest.fixture(scope="module")
+def synthesizer(training) -> AnomalySynthesizer:
+    return AnomalySynthesizer(training)
+
+
+class TestSynthesize:
+    def test_every_paper_size_synthesizes(self, synthesizer, training):
+        for size in training.params.anomaly_sizes:
+            anomaly = synthesizer.synthesize(size)
+            assert anomaly.size == size
+            assert len(anomaly.sequence) == size
+
+    def test_result_is_verified_mfs(self, synthesizer, training):
+        anomaly = synthesizer.synthesize(6)
+        analyzer = training.analyzer
+        assert analyzer.is_foreign(anomaly.sequence)
+        analyzer.verify_minimal_foreign(anomaly.sequence)
+
+    def test_parts_are_the_overlap_decomposition(self, synthesizer):
+        anomaly = synthesizer.synthesize(5)
+        assert anomaly.left_part == anomaly.sequence[:-1]
+        assert anomaly.right_part == anomaly.sequence[1:]
+
+    def test_parts_rare_for_sizes_three_and_up(self, synthesizer, training):
+        for size in range(3, 10):
+            anomaly = synthesizer.synthesize(size)
+            assert anomaly.parts_rare, f"size {size} parts not rare"
+            assert 0 < anomaly.left_part_frequency < training.params.rare_threshold
+            assert 0 < anomaly.right_part_frequency < training.params.rare_threshold
+
+    def test_size_two_parts_are_common_symbols(self, synthesizer):
+        # All 8 symbols are common (the cycle visits each), so a size-2
+        # MFS cannot have rare parts; the synthesizer documents this.
+        anomaly = synthesizer.synthesize(2)
+        assert not anomaly.parts_rare
+
+    def test_deterministic_by_index(self, synthesizer):
+        assert (
+            synthesizer.synthesize(4, index=0).sequence
+            == synthesizer.synthesize(4, index=0).sequence
+        )
+
+    def test_distinct_indices_give_distinct_anomalies(self, synthesizer):
+        candidates = synthesizer.candidates(4)
+        if len(candidates) >= 2:
+            first = synthesizer.synthesize(4, index=0)
+            second = synthesizer.synthesize(4, index=1)
+            assert first.sequence != second.sequence
+
+    def test_rejects_size_one(self, synthesizer):
+        with pytest.raises(AnomalySynthesisError, match="size-1"):
+            synthesizer.synthesize(1)
+
+    def test_rejects_out_of_range_index(self, synthesizer):
+        count = len(synthesizer.candidates(3))
+        with pytest.raises(AnomalySynthesisError, match="out of range"):
+            synthesizer.synthesize(3, index=count)
+
+    def test_impossible_request_raises(self, synthesizer):
+        # Rare parts of size 1 cannot exist: every symbol is common.
+        with pytest.raises(AnomalySynthesisError, match="no minimal foreign"):
+            synthesizer.synthesize(2, rare_parts_only=True)
+
+
+class TestSynthesizedAnomalyValidation:
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(AnomalySynthesisError, match="disagrees"):
+            SynthesizedAnomaly(
+                sequence=(1, 2, 3),
+                size=4,
+                left_part=(1, 2),
+                right_part=(2, 3),
+                parts_rare=False,
+                left_part_frequency=0.0,
+                right_part_frequency=0.0,
+            )
+
+    def test_wrong_parts_rejected(self):
+        with pytest.raises(AnomalySynthesisError, match="prefix"):
+            SynthesizedAnomaly(
+                sequence=(1, 2, 3),
+                size=3,
+                left_part=(9, 9),
+                right_part=(2, 3),
+                parts_rare=False,
+                left_part_frequency=0.0,
+                right_part_frequency=0.0,
+            )
+
+
+class TestCandidateStructure:
+    def test_candidates_are_lexicographically_sorted(self, synthesizer):
+        candidates = synthesizer.candidates(4)
+        assert candidates == sorted(candidates)
+
+    def test_all_candidates_are_foreign_with_present_parts(
+        self, synthesizer, training
+    ):
+        analyzer = training.analyzer
+        for candidate in synthesizer.candidates(5)[:10]:
+            assert analyzer.is_foreign(candidate)
+            assert not analyzer.is_foreign(candidate[:-1])
+            assert not analyzer.is_foreign(candidate[1:])

@@ -1,0 +1,113 @@
+"""Tests for repro.datagen.contamination — poisoning the training data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.anomalies import AnomalySynthesizer
+from repro.datagen.contamination import contaminate_training
+from repro.detectors import MarkovDetector, StideDetector
+from repro.exceptions import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def anomaly(training):
+    return AnomalySynthesizer(training).synthesize(5)
+
+
+class TestContaminateTraining:
+    def test_anomaly_present_after_contamination(self, training, anomaly):
+        rng = np.random.default_rng(0)
+        poisoned = contaminate_training(training, anomaly.sequence, 3, rng)
+        assert not poisoned.analyzer.is_foreign(anomaly.sequence)
+        assert poisoned.analyzer.count(anomaly.sequence) >= 3
+
+    def test_stream_length_preserved(self, training, anomaly):
+        rng = np.random.default_rng(1)
+        poisoned = contaminate_training(training, anomaly.sequence, 2, rng)
+        assert len(poisoned.stream) == len(training.stream)
+
+    def test_original_untouched(self, training, anomaly):
+        rng = np.random.default_rng(2)
+        contaminate_training(training, anomaly.sequence, 2, rng)
+        assert training.analyzer.is_foreign(anomaly.sequence)
+
+    def test_rejects_empty_anomaly(self, training):
+        with pytest.raises(DataGenerationError, match="empty"):
+            contaminate_training(
+                training, (), 1, np.random.default_rng(0)
+            )
+
+    def test_rejects_zero_occurrences(self, training, anomaly):
+        with pytest.raises(DataGenerationError, match="occurrences"):
+            contaminate_training(
+                training, anomaly.sequence, 0, np.random.default_rng(0)
+            )
+
+    def test_rejects_out_of_alphabet_codes(self, training):
+        with pytest.raises(DataGenerationError, match="alphabet"):
+            contaminate_training(
+                training, (0, 99), 1, np.random.default_rng(0)
+            )
+
+    def test_rejects_stream_too_short(self, training, anomaly):
+        from repro.datagen.training import TrainingData
+
+        tiny = TrainingData(
+            stream=training.stream[:100].copy(),
+            alphabet=training.alphabet,
+            source=training.source,
+            params=training.params,
+        )
+        with pytest.raises(DataGenerationError, match="too short"):
+            contaminate_training(
+                tiny, anomaly.sequence, 5, np.random.default_rng(0)
+            )
+
+    def test_deterministic_under_seed(self, training, anomaly):
+        a = contaminate_training(
+            training, anomaly.sequence, 2, np.random.default_rng(7)
+        )
+        b = contaminate_training(
+            training, anomaly.sequence, 2, np.random.default_rng(7)
+        )
+        assert np.array_equal(a.stream, b.stream)
+
+
+class TestDetectorBlindness:
+    """The paper's introduction: incorporated intrusive behavior makes
+    detectors miss the intrusion."""
+
+    def test_stide_goes_blind_after_one_occurrence(self, training, anomaly):
+        rng = np.random.default_rng(3)
+        poisoned = contaminate_training(training, anomaly.sequence, 1, rng)
+        window_length = anomaly.size  # would be capable on clean training
+        clean_stide = StideDetector(window_length, 8).fit(training.stream)
+        poisoned_stide = StideDetector(window_length, 8).fit(poisoned.stream)
+        assert clean_stide.score_window(anomaly.sequence) == 1.0
+        assert poisoned_stide.score_window(anomaly.sequence) == 0.0
+
+    def test_markov_still_flags_rare_contamination(self, training, anomaly):
+        """One occurrence stays under the rarity floor: Markov holds."""
+        rng = np.random.default_rng(4)
+        poisoned = contaminate_training(training, anomaly.sequence, 1, rng)
+        markov = MarkovDetector(anomaly.size, 8).fit(poisoned.stream)
+        assert markov.score_window(anomaly.sequence) == 1.0
+
+    def test_heavy_contamination_silences_markov(self, training, anomaly):
+        """Enough occurrences to cross the rarity floor defeat Markov
+        too — but that requires ~0.5% of the stream."""
+        rng = np.random.default_rng(5)
+        window_length = 3
+        total_windows = len(training.stream) - window_length + 1
+        needed = int(training.params.rare_threshold * total_windows) + 50
+        poisoned = contaminate_training(
+            training, anomaly.sequence, needed, rng, margin=16
+        )
+        markov = MarkovDetector(window_length, 8).fit(poisoned.stream)
+        responses = [
+            markov.score_window(anomaly.sequence[i : i + window_length])
+            for i in range(anomaly.size - window_length + 1)
+        ]
+        assert max(responses) < 1.0

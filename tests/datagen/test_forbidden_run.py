@@ -1,0 +1,87 @@
+"""Tests for repro.datagen.forbidden_run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.forbidden_run import ForbiddenRunSource
+from repro.exceptions import DataGenerationError
+from repro.sequences.foreign import ForeignSequenceAnalyzer
+
+
+class TestConfiguration:
+    def test_rejects_bad_limit(self):
+        with pytest.raises(DataGenerationError, match="run_limit"):
+            ForbiddenRunSource(0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(DataGenerationError, match="zero_probability"):
+            ForbiddenRunSource(3, zero_probability=1.0)
+
+    def test_forbidden_sequence(self):
+        assert ForbiddenRunSource(4).forbidden_sequence() == (0, 0, 0, 0, 0)
+
+    def test_alphabet_is_binary(self):
+        assert ForbiddenRunSource(3).alphabet_size == 2
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def stream(self) -> np.ndarray:
+        return ForbiddenRunSource(4).sample(60_000, np.random.default_rng(5))
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(DataGenerationError, match="positive"):
+            ForbiddenRunSource(3).sample(0, np.random.default_rng(0))
+
+    def test_run_limit_honored(self, stream):
+        ForbiddenRunSource(4).verify(stream)
+
+    def test_deterministic_under_seed(self):
+        source = ForbiddenRunSource(3)
+        a = source.sample(5_000, np.random.default_rng(1))
+        b = source.sample(5_000, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_verify_rejects_forbidden_run(self):
+        source = ForbiddenRunSource(2)
+        with pytest.raises(DataGenerationError, match="zero-run of 3"):
+            source.verify(np.asarray([1, 0, 0, 0, 1]))
+
+    def test_verify_rejects_undersampled_stream(self):
+        source = ForbiddenRunSource(5)
+        with pytest.raises(DataGenerationError, match="no zero-run"):
+            source.verify(np.asarray([1, 0, 1, 0, 1]))
+
+
+class TestMfsWithCommonParts:
+    """The corpus's purpose: an MFS whose parts are common."""
+
+    @pytest.fixture(scope="class")
+    def analyzer(self) -> ForeignSequenceAnalyzer:
+        stream = ForbiddenRunSource(4).sample(
+            60_000, np.random.default_rng(9)
+        )
+        return ForeignSequenceAnalyzer(stream, rare_threshold=0.005)
+
+    def test_forbidden_run_is_minimal_foreign(self, analyzer):
+        mfs = ForbiddenRunSource(4).forbidden_sequence()
+        assert analyzer.is_minimal_foreign(mfs)
+        analyzer.verify_minimal_foreign(mfs)
+
+    def test_parts_are_common_not_rare(self, analyzer):
+        mfs = ForbiddenRunSource(4).forbidden_sequence()
+        assert analyzer.is_common(mfs[:-1])
+        assert analyzer.is_common(mfs[1:])
+        assert not analyzer.is_rare(mfs[:-1])
+
+    def test_main_corpus_cannot_do_this(self, training):
+        """On the paper corpus, no MFS of size >= 3 has common parts."""
+        candidates = training.analyzer.minimal_foreign_sequences(
+            5, rare_parts_only=False
+        )
+        for candidate in candidates:
+            assert training.analyzer.is_rare(
+                candidate[:-1]
+            ) or training.analyzer.is_rare(candidate[1:])

@@ -1,0 +1,92 @@
+"""Statistical tests of the corpus generators (scipy-based).
+
+The structural tests elsewhere check hard invariants; these check the
+*distributions* — jump usage balance across sources, inter-jump gap
+geometry, and natural-source stationarity — so a silently skewed
+generator cannot masquerade as the paper's corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.datagen.markov_source import CycleJumpSource
+from repro.datagen.natural import NaturalSource
+
+
+@pytest.fixture(scope="module")
+def long_stream() -> tuple[CycleJumpSource, np.ndarray]:
+    source = CycleJumpSource(alphabet_size=8, jump_probability=0.02,
+                             refractory=16)
+    stream = source.sample(400_000, np.random.default_rng(31))
+    return source, stream
+
+
+class TestJumpStatistics:
+    def test_jump_sources_used_uniformly(self, long_stream):
+        """Each admissible source state takes a similar share of jumps
+        (chi-square goodness of fit against uniform)."""
+        source, stream = long_stream
+        successors = (stream[:-1] + 1) % 8
+        jump_positions = np.nonzero(stream[1:] != successors)[0]
+        jump_sources = stream[jump_positions]
+        counts = np.asarray(
+            [int((jump_sources == s).sum()) for s in source.jump_spec.sources]
+        )
+        assert counts.min() > 0
+        result = stats.chisquare(counts)
+        assert result.pvalue > 0.001  # not detectably skewed
+
+    def test_gap_distribution_is_shifted_geometric(self, long_stream):
+        """Beyond the refractory period, waiting times are memoryless:
+        the gap beyond the minimum follows a geometric distribution."""
+        source, stream = long_stream
+        successors = (stream[:-1] + 1) % 8
+        jump_positions = np.nonzero(stream[1:] != successors)[0]
+        gaps = np.diff(jump_positions)
+        refractory = source.jump_spec.refractory
+        excess = gaps - gaps.min()
+        # Memorylessness: P(excess > 2m) ~= P(excess > m)^2.
+        median = np.median(excess)
+        p_half = (excess > median).mean()
+        p_double = (excess > 2 * median).mean()
+        assert p_double == pytest.approx(p_half**2, abs=0.05)
+        assert gaps.min() >= refractory
+
+    def test_jump_rate_matches_configuration(self, long_stream):
+        """The effective jump rate reflects probability and refractory:
+        expected inter-jump gap ~ refractory + 1/(p * admissible share)."""
+        source, stream = long_stream
+        successors = (stream[:-1] + 1) % 8
+        jump_count = int((stream[1:] != successors).sum())
+        observed_gap = len(stream) / jump_count
+        admissible_share = len(source.jump_spec.sources) / 8
+        expected_gap = (
+            source.jump_spec.refractory
+            + 1.0 / (source.jump_spec.probability * admissible_share)
+        )
+        assert observed_gap == pytest.approx(expected_gap, rel=0.1)
+
+
+class TestNaturalSourceStatistics:
+    def test_empirical_matrix_matches_generator(self):
+        """Observed transition frequencies converge to the matrix."""
+        source = NaturalSource(alphabet_size=5, seed=13)
+        stream = source.sample(200_000, np.random.default_rng(7))
+        matrix = source.transition_matrix
+        observed = np.zeros_like(matrix)
+        np.add.at(observed, (stream[:-1], stream[1:]), 1.0)
+        observed = observed / observed.sum(axis=1, keepdims=True)
+        assert np.abs(observed - matrix).max() < 0.02
+
+    def test_symbol_marginals_match_stationary(self):
+        source = NaturalSource(alphabet_size=5, seed=14)
+        stream = source.sample(200_000, np.random.default_rng(8))
+        from repro.datagen.markov_source import MarkovChainSource
+
+        chain = MarkovChainSource(source.transition_matrix)
+        stationary = chain.stationary_distribution()
+        empirical = np.bincount(stream, minlength=5) / len(stream)
+        assert np.abs(empirical - stationary).max() < 0.02

@@ -1,0 +1,229 @@
+"""Tests for repro.datagen.injection — boundary-clean injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.anomalies import AnomalySynthesizer
+from repro.datagen.injection import (
+    InjectedStream,
+    InjectionPolicy,
+    inject_anomaly,
+    inject_randomly,
+)
+from repro.exceptions import EvaluationError, InjectionError
+
+
+@pytest.fixture(scope="module")
+def policy(training) -> InjectionPolicy:
+    return InjectionPolicy(
+        window_lengths=training.params.window_sizes,
+        rare_threshold=training.params.rare_threshold,
+    )
+
+
+@pytest.fixture(scope="module")
+def injected(training, policy) -> InjectedStream:
+    anomaly = AnomalySynthesizer(training).synthesize(6)
+    return inject_anomaly(anomaly.sequence, training, policy, stream_length=400)
+
+
+class TestPolicyValidation:
+    def test_rejects_window_lengths_below_two(self):
+        with pytest.raises(InjectionError, match=">= 2"):
+            InjectionPolicy(window_lengths=(1, 5), rare_threshold=0.005)
+
+    def test_rejects_empty_window_lengths(self):
+        with pytest.raises(InjectionError, match=">= 2"):
+            InjectionPolicy(window_lengths=(), rare_threshold=0.005)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(InjectionError, match="rare_threshold"):
+            InjectionPolicy(window_lengths=(2,), rare_threshold=0.0)
+
+
+class TestInjectedStreamInvariants:
+    def test_anomaly_at_position(self, injected):
+        size = injected.anomaly_size
+        segment = injected.stream[injected.position : injected.position + size]
+        assert tuple(int(c) for c in segment) == injected.anomaly
+
+    def test_phases_recorded(self, injected):
+        assert injected.stream[injected.position - 1] == injected.left_phase
+        after = injected.position + injected.anomaly_size
+        assert injected.stream[after] == injected.right_phase
+
+    def test_constructor_rejects_position_mismatch(self, injected):
+        with pytest.raises(InjectionError, match="disagrees"):
+            InjectedStream(
+                stream=injected.stream,
+                anomaly=injected.anomaly,
+                position=injected.position + 1,
+                left_phase=0,
+                right_phase=0,
+            )
+
+    def test_constructor_rejects_overflow_position(self):
+        with pytest.raises(InjectionError, match="does not fit"):
+            InjectedStream(
+                stream=np.zeros(10, dtype=np.int64),
+                anomaly=(0, 0, 0),
+                position=8,
+                left_phase=0,
+                right_phase=0,
+            )
+
+    def test_constructor_rejects_2d_stream(self):
+        with pytest.raises(InjectionError, match="one-dimensional"):
+            InjectedStream(
+                stream=np.zeros((4, 4), dtype=np.int64),
+                anomaly=(0,),
+                position=0,
+                left_phase=0,
+                right_phase=0,
+            )
+
+
+class TestIncidentSpan:
+    """Figure 2: the incident span and boundary windows."""
+
+    def test_span_size_is_dw_plus_as_minus_one(self, injected):
+        # Away from stream edges, the span has DW + AS - 1 windows.
+        for window_length in (2, 5, 9, 15):
+            span = injected.incident_span(window_length)
+            assert len(span) == window_length + injected.anomaly_size - 1
+
+    def test_figure2_example_dw5_as8(self, training, policy):
+        # The paper's Figure 2: DW=5, AS=8 -> 12 windows in the span.
+        anomaly = AnomalySynthesizer(training).synthesize(8)
+        injected = inject_anomaly(
+            anomaly.sequence, training, policy, stream_length=400
+        )
+        assert len(injected.incident_span(5)) == 12
+
+    def test_span_windows_each_contain_anomaly_elements(self, injected):
+        window_length = 7
+        span = injected.incident_span(window_length)
+        for start in span:
+            assert injected.window_overlap(start, window_length) > 0
+        # And the windows just outside do not.
+        assert injected.window_overlap(span.start - 1, window_length) == 0
+        assert injected.window_overlap(span.stop, window_length) == 0
+
+    def test_span_rejects_oversized_window(self, injected):
+        with pytest.raises(EvaluationError, match="no windows"):
+            injected.incident_span(len(injected.stream) + 1)
+
+    def test_boundary_windows_mix(self, injected):
+        window_length = 9
+        span = injected.incident_span(window_length)
+        boundary = [
+            s for s in span if injected.is_boundary_window(s, window_length)
+        ]
+        # Figure 2: 2*(DW-1) boundary windows when DW <= AS... for DW > AS
+        # every partial-overlap window is a boundary window.
+        assert boundary, "no boundary windows found"
+        for start in boundary:
+            overlap = injected.window_overlap(start, window_length)
+            assert 0 < overlap
+            assert overlap < window_length  # some background included
+
+
+class TestCleanliness:
+    """The injection must create no spurious foreign/rare windows."""
+
+    def test_non_span_windows_common(self, injected, training):
+        threshold = training.params.rare_threshold
+        for window_length in (2, 8, 15):
+            store = training.analyzer.store_for(window_length)
+            span = injected.incident_span(window_length)
+            view = np.lib.stride_tricks.sliding_window_view(
+                injected.stream, window_length
+            )
+            for start, row in enumerate(view):
+                if start in span:
+                    continue
+                frequency = store.relative_frequency(tuple(int(c) for c in row))
+                assert frequency >= threshold
+
+    def test_partial_overlap_windows_exist_in_training(self, injected, training):
+        for window_length in (2, 8, 15):
+            store = training.analyzer.store_for(window_length)
+            view = np.lib.stride_tricks.sliding_window_view(
+                injected.stream, window_length
+            )
+            for start, row in enumerate(view):
+                overlap = injected.window_overlap(start, window_length)
+                if overlap == 0 or overlap == injected.anomaly_size:
+                    continue
+                assert store.contains(tuple(int(c) for c in row))
+
+    def test_full_anomaly_windows_foreign(self, injected, training):
+        for window_length in (6, 10):
+            if window_length < injected.anomaly_size:
+                continue
+            store = training.analyzer.store_for(window_length)
+            view = np.lib.stride_tricks.sliding_window_view(
+                injected.stream, window_length
+            )
+            for start, row in enumerate(view):
+                overlap = injected.window_overlap(start, window_length)
+                if overlap == injected.anomaly_size:
+                    assert not store.contains(tuple(int(c) for c in row))
+
+
+class TestInjectErrors:
+    def test_rejects_empty_anomaly(self, training, policy):
+        with pytest.raises(InjectionError, match="empty"):
+            inject_anomaly((), training, policy)
+
+    def test_rejects_insufficient_margin(self, training, policy):
+        anomaly = AnomalySynthesizer(training).synthesize(4)
+        with pytest.raises(InjectionError, match="background on a side"):
+            inject_anomaly(
+                anomaly.sequence, training, policy, stream_length=40, position=5
+            )
+
+    def test_uninjectable_anomaly_raises(self, training, policy):
+        # A sequence of repeated jump targets is foreign but has foreign
+        # boundary interactions at every phase.
+        bad = (2, 2, 2, 2)
+        with pytest.raises(InjectionError, match="no clean injection"):
+            inject_anomaly(bad, training, policy, stream_length=400)
+
+
+class TestRandomInjection:
+    """The ablation baseline: no boundary checks."""
+
+    def test_produces_valid_stream(self, training):
+        anomaly = AnomalySynthesizer(training).synthesize(5)
+        rng = np.random.default_rng(0)
+        injected = inject_randomly(anomaly.sequence, training, 400, rng)
+        assert injected.anomaly == anomaly.sequence
+
+    def test_rejects_short_stream(self, training):
+        anomaly = AnomalySynthesizer(training).synthesize(5)
+        rng = np.random.default_rng(0)
+        with pytest.raises(InjectionError, match="too short"):
+            inject_randomly(anomaly.sequence, training, 20, rng)
+
+    def test_usually_violates_cleanliness(self, training):
+        # Random injection should create spurious foreign boundary
+        # windows for most draws — the reason the paper rejects it.
+        anomaly = AnomalySynthesizer(training).synthesize(5)
+        store = training.analyzer.store_for(5)
+        rng = np.random.default_rng(12)
+        violations = 0
+        trials = 10
+        for _ in range(trials):
+            injected = inject_randomly(anomaly.sequence, training, 200, rng)
+            view = np.lib.stride_tricks.sliding_window_view(injected.stream, 5)
+            for start, row in enumerate(view):
+                overlap = injected.window_overlap(start, 5)
+                if 0 < overlap < injected.anomaly_size and not store.contains(
+                    tuple(int(c) for c in row)
+                ):
+                    violations += 1
+                    break
+        assert violations > trials // 2

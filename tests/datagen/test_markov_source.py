@@ -1,0 +1,163 @@
+"""Tests for repro.datagen.markov_source."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.markov_source import CycleJumpSource, JumpSpec, MarkovChainSource
+from repro.exceptions import DataGenerationError
+
+
+class TestMarkovChainSource:
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(DataGenerationError, match="square"):
+            MarkovChainSource(np.ones((2, 3)))
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(DataGenerationError, match="non-empty"):
+            MarkovChainSource(np.zeros((0, 0)))
+
+    def test_rejects_negative_probabilities(self):
+        matrix = np.asarray([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(DataGenerationError, match="non-negative"):
+            MarkovChainSource(matrix)
+
+    def test_rejects_non_stochastic_rows(self):
+        matrix = np.asarray([[0.5, 0.4], [0.5, 0.5]])
+        with pytest.raises(DataGenerationError, match="sums to"):
+            MarkovChainSource(matrix)
+
+    def test_rejects_bad_initial_distribution_shape(self):
+        matrix = np.eye(2)
+        with pytest.raises(DataGenerationError, match="one entry per state"):
+            MarkovChainSource(matrix, initial_distribution=np.ones(3) / 3)
+
+    def test_rejects_non_probability_initial(self):
+        matrix = np.eye(2)
+        with pytest.raises(DataGenerationError, match="probability vector"):
+            MarkovChainSource(matrix, initial_distribution=np.asarray([0.7, 0.7]))
+
+    def test_deterministic_chain_walks_cycle(self):
+        matrix = np.asarray([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=float)
+        source = MarkovChainSource(matrix)
+        stream = source.sample(7, np.random.default_rng(0), initial_state=0)
+        assert stream.tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_sample_rejects_nonpositive_length(self):
+        source = MarkovChainSource(np.eye(2))
+        with pytest.raises(DataGenerationError, match="positive"):
+            source.sample(0, np.random.default_rng(0))
+
+    def test_sample_rejects_bad_initial_state(self):
+        source = MarkovChainSource(np.eye(2))
+        with pytest.raises(DataGenerationError, match="out of range"):
+            source.sample(5, np.random.default_rng(0), initial_state=2)
+
+    def test_sample_is_deterministic_under_seed(self):
+        matrix = np.full((4, 4), 0.25)
+        source = MarkovChainSource(matrix)
+        a = source.sample(100, np.random.default_rng(42))
+        b = source.sample(100, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_transition_matrix_returns_copy(self):
+        matrix = np.eye(2)
+        source = MarkovChainSource(matrix)
+        source.transition_matrix[0, 0] = 0.0
+        assert source.transition_matrix[0, 0] == 1.0
+
+    def test_stationary_distribution_uniform_chain(self):
+        matrix = np.full((4, 4), 0.25)
+        stationary = MarkovChainSource(matrix).stationary_distribution()
+        assert np.allclose(stationary, 0.25)
+
+    def test_empirical_frequencies_match_matrix(self):
+        matrix = np.asarray([[0.9, 0.1], [0.2, 0.8]])
+        source = MarkovChainSource(matrix)
+        stream = source.sample(50_000, np.random.default_rng(7))
+        zeros = stream[:-1] == 0
+        observed = (stream[1:][zeros] == 1).mean()
+        assert observed == pytest.approx(0.1, abs=0.01)
+
+
+class TestJumpSpec:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(DataGenerationError, match="probability"):
+            JumpSpec(target=2, sources=(0,), probability=0.0, refractory=4)
+
+    def test_rejects_bad_refractory(self):
+        with pytest.raises(DataGenerationError, match="refractory"):
+            JumpSpec(target=2, sources=(0,), probability=0.1, refractory=0)
+
+    def test_rejects_empty_sources(self):
+        with pytest.raises(DataGenerationError, match="source"):
+            JumpSpec(target=2, sources=(), probability=0.1, refractory=4)
+
+
+class TestCycleJumpSource:
+    def test_rejects_tiny_alphabet(self):
+        with pytest.raises(DataGenerationError, match="alphabet"):
+            CycleJumpSource(alphabet_size=2)
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(DataGenerationError, match="target"):
+            CycleJumpSource(alphabet_size=8, jump_target=8)
+
+    def test_cycle_predecessor_excluded_from_sources(self):
+        source = CycleJumpSource(alphabet_size=8, jump_target=2)
+        assert 1 not in source.jump_spec.sources  # symbol 2 -> 3 is a cycle step
+        assert len(source.jump_spec.sources) == 7
+
+    def test_jump_pairs_all_target_the_same_state(self):
+        source = CycleJumpSource(alphabet_size=8, jump_target=2)
+        assert {target for _s, target in source.jump_pairs()} == {2}
+
+    def test_sample_rejects_nonpositive_length(self):
+        source = CycleJumpSource()
+        with pytest.raises(DataGenerationError, match="positive"):
+            source.sample(0, np.random.default_rng(0))
+
+    def test_sample_rejects_bad_initial_state(self):
+        source = CycleJumpSource()
+        with pytest.raises(DataGenerationError, match="out of range"):
+            source.sample(10, np.random.default_rng(0), initial_state=9)
+
+    def test_every_transition_is_cycle_or_jump(self):
+        source = CycleJumpSource(alphabet_size=8)
+        stream = source.sample(20_000, np.random.default_rng(3))
+        successors = (stream[:-1] + 1) % 8
+        deviations = stream[1:][stream[1:] != successors]
+        assert (deviations == source.jump_spec.target).all()
+
+    def test_refractory_period_enforced(self):
+        source = CycleJumpSource(alphabet_size=8, refractory=16)
+        stream = source.sample(50_000, np.random.default_rng(5))
+        successors = (stream[:-1] + 1) % 8
+        jump_positions = np.nonzero(stream[1:] != successors)[0]
+        assert len(jump_positions) > 10  # jumps actually happen
+        gaps = np.diff(jump_positions)
+        assert gaps.min() >= 16
+
+    def test_deterministic_under_seed(self):
+        source = CycleJumpSource()
+        a = source.sample(5_000, np.random.default_rng(11))
+        b = source.sample(5_000, np.random.default_rng(11))
+        assert np.array_equal(a, b)
+
+    def test_opening_window_is_jump_free(self):
+        source = CycleJumpSource(alphabet_size=8, refractory=16)
+        stream = source.sample(18, np.random.default_rng(1))
+        assert stream.tolist() == [(i) % 8 for i in range(18)]
+
+
+@settings(max_examples=20)
+@given(st.integers(3, 12), st.integers(0, 11))
+def test_cycle_successor_wraps(alphabet_size: int, state: int):
+    state = state % alphabet_size
+    source = CycleJumpSource(alphabet_size=alphabet_size)
+    successor = source.cycle_successor(state)
+    assert 0 <= successor < alphabet_size
+    assert (state + 1) % alphabet_size == successor

@@ -1,0 +1,72 @@
+"""Tests for repro.datagen.natural — the natural-data confound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.background import generate_background
+from repro.datagen.natural import NaturalSource, background_confound_rate
+from repro.exceptions import DataGenerationError
+
+
+class TestNaturalSource:
+    def test_rejects_tiny_alphabet(self):
+        with pytest.raises(DataGenerationError, match="alphabet_size"):
+            NaturalSource(alphabet_size=1)
+
+    def test_rejects_bad_concentration(self):
+        with pytest.raises(DataGenerationError, match="concentration"):
+            NaturalSource(concentration=0.0)
+
+    def test_matrix_is_row_stochastic_and_positive(self):
+        source = NaturalSource(alphabet_size=6, seed=3)
+        matrix = source.transition_matrix
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix > 0).all()  # irreducible by construction
+
+    def test_streams_deterministic_under_seed(self):
+        source = NaturalSource(seed=1)
+        a = source.sample(2000, np.random.default_rng(9))
+        b = source.sample(2000, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_streams_use_whole_alphabet(self):
+        source = NaturalSource(alphabet_size=8, seed=2)
+        stream = source.sample(20_000, np.random.default_rng(0))
+        assert set(np.unique(stream)) == set(range(8))
+
+    def test_skewed_rows(self):
+        """Low concentration yields strongly non-uniform conditionals."""
+        source = NaturalSource(alphabet_size=8, concentration=0.4, seed=4)
+        matrix = source.transition_matrix
+        assert matrix.max(axis=1).mean() > 0.4  # dominant successors exist
+
+
+class TestBackgroundConfoundRate:
+    def test_synthetic_background_is_confound_free(self, training):
+        """The paper's design goal: clean background, rate exactly 0."""
+        background = generate_background(8, 2_000)
+        rate = background_confound_rate(training.stream, background, 8)
+        assert rate == 0.0
+
+    def test_natural_background_confounds(self):
+        """Fresh natural data contains windows foreign to the natural
+        training sample — responses with no injected cause."""
+        source = NaturalSource(seed=7)
+        train = source.sample(30_000, np.random.default_rng(1))
+        heldout = source.sample(5_000, np.random.default_rng(2))
+        rate = background_confound_rate(train, heldout, 8)
+        assert rate > 0.01
+
+    def test_rate_grows_with_window_length(self):
+        source = NaturalSource(seed=8)
+        train = source.sample(30_000, np.random.default_rng(3))
+        heldout = source.sample(5_000, np.random.default_rng(4))
+        short = background_confound_rate(train, heldout, 4)
+        long = background_confound_rate(train, heldout, 10)
+        assert long >= short
+
+    def test_rejects_short_streams(self):
+        with pytest.raises(DataGenerationError, match="at least one window"):
+            background_confound_rate(np.zeros(3), np.zeros(100), 5)

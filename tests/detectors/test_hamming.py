@@ -1,0 +1,77 @@
+"""Tests for repro.detectors.hamming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.hamming import HammingDetector
+from repro.detectors.lane_brodley import LaneBrodleyDetector
+from repro.detectors.registry import available_detectors, create_detector
+
+TRAIN = [0, 1, 2, 3] * 30
+
+
+class TestBasics:
+    @pytest.fixture()
+    def detector(self) -> HammingDetector:
+        return HammingDetector(4, 8).fit(TRAIN)
+
+    def test_registered(self):
+        assert "hamming" in available_detectors()
+        assert isinstance(create_detector("hamming", 3, 8), HammingDetector)
+
+    def test_training_window_zero_distance(self, detector):
+        assert detector.distance_to_normal((0, 1, 2, 3)) == 0
+        assert detector.score_window((0, 1, 2, 3)) == 0.0
+
+    def test_single_mismatch_distance_one(self, detector):
+        assert detector.distance_to_normal((0, 1, 2, 0)) == 1
+        assert detector.score_window((0, 1, 2, 0)) == pytest.approx(1 / 4)
+
+    def test_database_size(self, detector):
+        assert detector.database_size == 4
+
+    def test_chunked_scoring_consistent(self):
+        tiny = HammingDetector(4, 8, chunk_elements=8).fit(TRAIN)
+        big = HammingDetector(4, 8).fit(TRAIN)
+        test = np.asarray([0, 1, 2, 3, 3, 2, 1, 0, 1, 2])
+        assert np.allclose(tiny.score_stream(test), big.score_stream(test))
+
+    def test_responses_in_unit_interval(self, detector):
+        responses = detector.score_stream([3, 3, 3, 3, 0, 1, 2, 3])
+        assert responses.min() >= 0.0 and responses.max() <= 1.0
+
+
+class TestEdgeBiasComparison:
+    """The Section-7 contrast: L&B is positional-biased, Hamming is not."""
+
+    @pytest.fixture()
+    def detectors(self):
+        hamming = HammingDetector(5, 8).fit(TRAIN)
+        lane_brodley = LaneBrodleyDetector(5, 8).fit(TRAIN)
+        return hamming, lane_brodley
+
+    def test_hamming_is_position_invariant(self, detectors):
+        hamming, _lb = detectors
+        edge = hamming.score_window((0, 1, 2, 3, 1))  # mismatch at the end
+        center = hamming.score_window((0, 1, 0, 3, 0))  # mismatch mid-window
+        assert edge == pytest.approx(1 / 5)
+        assert center == pytest.approx(1 / 5)
+
+    def test_lane_brodley_is_position_biased(self, detectors):
+        _hamming, lane_brodley = detectors
+        edge = lane_brodley.score_window((0, 1, 2, 3, 1))
+        center = lane_brodley.score_window((0, 1, 0, 3, 0))
+        assert center > edge  # a mid-window mismatch costs L&B more
+
+    def test_but_coverage_class_is_unchanged(self, training, suite):
+        """Fixing the bias does not make the detector capable: Hamming
+        remains blind to MFSs under the strict threshold, like L&B."""
+        for window_length in (3, 6, 10):
+            detector = HammingDetector(window_length, 8).fit(training.stream)
+            for anomaly_size in (2, 6, 9):
+                injected = suite.stream(anomaly_size)
+                span = injected.incident_span(window_length)
+                responses = detector.score_stream(injected.stream)
+                assert responses[span.start : span.stop].max() < 1.0

@@ -1,0 +1,148 @@
+"""Tests for repro.detectors.lane_brodley, including Figure 7 exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.lane_brodley import (
+    LaneBrodleyDetector,
+    lb_max_similarity,
+    lb_similarity,
+)
+
+
+class TestSimilarityMetric:
+    def test_identical_sequences_score_maximum(self):
+        assert lb_similarity([1, 2, 3, 4, 5], [1, 2, 3, 4, 5]) == 15
+
+    def test_figure7_identical_size5(self):
+        # Left diagram: cd <1> ls laf tar vs itself -> 15.
+        sequence = ["cd", "<1>", "ls", "laf", "tar"]
+        codes = [0, 1, 2, 3, 4]
+        assert lb_similarity(codes, codes) == 15
+        assert len(sequence) == 5  # the paper's example is size 5
+
+    def test_figure7_final_mismatch_scores_ten(self):
+        # Right diagram: mismatch only at the last element -> 10.
+        normal = [0, 1, 2, 3, 4]
+        foreign = [0, 1, 2, 3, 0]
+        assert lb_similarity(normal, foreign) == 10
+
+    def test_total_mismatch_scores_zero(self):
+        assert lb_similarity([0, 0, 0], [1, 1, 1]) == 0
+
+    def test_adjacency_weighting_rewards_runs(self):
+        # Two matches adjacent (1+2=3) beat two matches apart (1+1=2).
+        adjacent = lb_similarity([5, 5, 0], [5, 5, 9])
+        apart = lb_similarity([5, 0, 5], [5, 9, 5])
+        assert adjacent == 3
+        assert apart == 2
+
+    def test_first_element_mismatch(self):
+        # Mismatch at the first position: runs restart, 0+1+2+3+4 = 10.
+        assert lb_similarity([9, 1, 2, 3, 4], [0, 1, 2, 3, 4]) == 10
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            lb_similarity([1, 2], [1, 2, 3])
+
+    def test_max_similarity_closed_form(self):
+        assert lb_max_similarity(5) == 15
+        assert lb_max_similarity(2) == 3
+        assert lb_max_similarity(15) == 120
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(2, 8).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 4), min_size=n, max_size=n),
+            st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        )
+    )
+)
+def test_similarity_bounds_property(pair):
+    """0 <= Sim <= DW(DW+1)/2, with equality iff total mismatch/identity."""
+    first, second = pair
+    similarity = lb_similarity(first, second)
+    assert 0 <= similarity <= lb_max_similarity(len(first))
+    if first == second:
+        assert similarity == lb_max_similarity(len(first))
+    if all(a != b for a, b in zip(first, second)):
+        assert similarity == 0
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(2, 8).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 4), min_size=n, max_size=n),
+            st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        )
+    )
+)
+def test_similarity_symmetry(pair):
+    first, second = pair
+    assert lb_similarity(first, second) == lb_similarity(second, first)
+
+
+class TestDetector:
+    TRAIN = [0, 1, 2, 3] * 30
+
+    @pytest.fixture()
+    def detector(self) -> LaneBrodleyDetector:
+        return LaneBrodleyDetector(4, 8).fit(self.TRAIN)
+
+    def test_training_window_response_zero(self, detector):
+        assert detector.score_window((0, 1, 2, 3)) == 0.0
+
+    def test_database_size(self, detector):
+        assert detector.database_size == 4  # the four cycle phases
+
+    def test_similarity_to_normal(self, detector):
+        assert detector.similarity_to_normal((0, 1, 2, 3)) == 10
+        assert detector.similarity_to_normal((0, 1, 2, 0)) == 6
+
+    def test_response_is_one_minus_normalized_best(self, detector):
+        response = detector.score_window((0, 1, 2, 0))
+        assert response == pytest.approx(1.0 - 6 / 10)
+
+    def test_vectorized_scoring_matches_scalar(self, detector):
+        test = [0, 1, 2, 3, 0, 1, 2, 0, 1, 2, 3]
+        responses = detector.score_stream(test)
+        for i in range(len(test) - 3):
+            assert responses[i] == pytest.approx(
+                detector.score_window(tuple(test[i : i + 4]))
+            )
+
+    def test_chunked_scoring_consistent(self):
+        tiny_chunks = LaneBrodleyDetector(4, 8, chunk_elements=8).fit(self.TRAIN)
+        big_chunks = LaneBrodleyDetector(4, 8).fit(self.TRAIN)
+        test = np.asarray([0, 1, 2, 3, 3, 2, 1, 0, 1, 2, 3, 0])
+        assert np.allclose(
+            tiny_chunks.score_stream(test), big_chunks.score_stream(test)
+        )
+
+
+class TestPaperBehavior:
+    """Figure 3: never a maximal response on any MFS case, and the
+    Section 7 close-to-normal bias."""
+
+    def test_never_maximal_on_the_suite(self, training, suite):
+        for window_length in (2, 6, 12):
+            detector = LaneBrodleyDetector(window_length, 8).fit(training.stream)
+            for anomaly_size in (2, 6, 9):
+                injected = suite.stream(anomaly_size)
+                span = injected.incident_span(window_length)
+                responses = detector.score_stream(injected.stream)
+                assert responses[span.start : span.stop].max() < 1.0
+
+    def test_edge_mismatch_bias(self, training):
+        """A foreign window differing only at its edge looks near-normal."""
+        detector = LaneBrodleyDetector(5, 8).fit(training.stream)
+        # (0,1,2,3,4) is a normal cycle run; corrupt only the last element.
+        response = detector.score_window((0, 1, 2, 3, 0))
+        assert response <= 1.0 - 10 / 15  # at most the Figure-7 dip

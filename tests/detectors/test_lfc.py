@@ -1,0 +1,114 @@
+"""Tests for repro.detectors.lfc."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.detectors.lfc import (
+    lfc_alarms,
+    locality_frame_counts,
+    trailing_mean_smoothing,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestLocalityFrameCounts:
+    def test_counts_trailing_maximal_responses(self):
+        responses = np.asarray([1.0, 0.0, 1.0, 1.0, 0.0])
+        counts = locality_frame_counts(responses, frame_size=2)
+        assert counts.tolist() == [1, 1, 1, 2, 1]
+
+    def test_frame_of_one_is_identity_on_hits(self):
+        responses = np.asarray([1.0, 0.5, 1.0])
+        assert locality_frame_counts(responses, 1).tolist() == [1, 0, 1]
+
+    def test_only_maximal_responses_count(self):
+        responses = np.asarray([0.99, 0.5, 0.0])
+        assert locality_frame_counts(responses, 3).tolist() == [0, 0, 0]
+
+    def test_frame_larger_than_stream(self):
+        responses = np.asarray([1.0, 1.0])
+        assert locality_frame_counts(responses, 100).tolist() == [1, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(EvaluationError, match="1-D"):
+            locality_frame_counts(np.zeros((2, 2)), 2)
+
+    def test_rejects_bad_frame(self):
+        with pytest.raises(EvaluationError, match="frame_size"):
+            locality_frame_counts(np.zeros(3), 0)
+
+
+class TestLfcAlarms:
+    def test_threshold_suppresses_isolated_hits(self):
+        responses = np.asarray([1.0, 0.0, 0.0, 1.0, 1.0])
+        alarms = lfc_alarms(responses, frame_size=2, count_threshold=2)
+        assert alarms.tolist() == [False, False, False, False, True]
+
+    def test_threshold_one_matches_raw_frames(self):
+        responses = np.asarray([1.0, 0.0, 1.0])
+        alarms = lfc_alarms(responses, frame_size=1, count_threshold=1)
+        assert alarms.tolist() == [True, False, True]
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(EvaluationError, match="count_threshold"):
+            lfc_alarms(np.zeros(3), 2, 0)
+
+
+class TestTrailingMeanSmoothing:
+    def test_isolated_spike_damped(self):
+        responses = np.asarray([0.0, 0.0, 1.0, 0.0, 0.0])
+        smoothed = trailing_mean_smoothing(responses, width=4)
+        assert smoothed.max() < 0.5
+        assert smoothed[2] == pytest.approx(1 / 3)
+
+    def test_sustained_signal_survives(self):
+        responses = np.asarray([1.0] * 10)
+        smoothed = trailing_mean_smoothing(responses, width=4)
+        assert smoothed.min() == pytest.approx(1.0)
+
+    def test_width_one_is_identity(self):
+        responses = np.asarray([0.2, 0.9, 0.4])
+        assert np.allclose(trailing_mean_smoothing(responses, 1), responses)
+
+    def test_short_prefix_averages_available(self):
+        responses = np.asarray([1.0, 0.0])
+        smoothed = trailing_mean_smoothing(responses, width=10)
+        assert smoothed[0] == 1.0
+        assert smoothed[1] == pytest.approx(0.5)
+
+    def test_rejects_2d(self):
+        with pytest.raises(EvaluationError, match="1-D"):
+            trailing_mean_smoothing(np.zeros((2, 2)), 3)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(EvaluationError, match="width"):
+            trailing_mean_smoothing(np.zeros(3), 0)
+
+
+@given(
+    st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50),
+    st.integers(1, 12),
+)
+def test_smoothing_matches_naive_mean(responses: list[float], width: int):
+    data = np.asarray(responses)
+    smoothed = trailing_mean_smoothing(data, width)
+    for i in range(len(data)):
+        lo = max(0, i - width + 1)
+        assert smoothed[i] == pytest.approx(data[lo : i + 1].mean())
+
+
+@given(
+    st.lists(st.sampled_from([0.0, 0.5, 1.0]), min_size=1, max_size=60),
+    st.integers(1, 10),
+)
+def test_counts_match_naive_window_sum(responses: list[float], frame: int):
+    """The cumulative-sum implementation agrees with the direct sum."""
+    data = np.asarray(responses)
+    counts = locality_frame_counts(data, frame)
+    for i in range(len(data)):
+        lo = max(0, i - frame + 1)
+        assert counts[i] == int((data[lo : i + 1] >= 1.0).sum())

@@ -1,0 +1,118 @@
+"""Tests for repro.detectors.markov."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.markov import MarkovDetector
+from repro.exceptions import DetectorConfigurationError
+
+# Deterministic cycle: P(next | current) = 1 along the cycle.
+CYCLE = [0, 1, 2, 3] * 25
+
+
+class TestConfiguration:
+    def test_rejects_bad_floor(self):
+        with pytest.raises(DetectorConfigurationError, match="rare_floor"):
+            MarkovDetector(2, 8, rare_floor=1.0)
+
+    def test_rejects_bad_unseen_response(self):
+        with pytest.raises(DetectorConfigurationError, match="unseen_context"):
+            MarkovDetector(2, 8, unseen_context_response=1.5)
+
+    def test_floor_property(self):
+        assert MarkovDetector(2, 8, rare_floor=0.01).rare_floor == 0.01
+
+
+class TestProbabilities:
+    def test_deterministic_transition_probability_one(self):
+        detector = MarkovDetector(2, 8, rare_floor=0.0).fit(CYCLE)
+        assert detector.transition_probability((0, 1)) == pytest.approx(1.0)
+
+    def test_foreign_transition_probability_zero(self):
+        detector = MarkovDetector(2, 8, rare_floor=0.0).fit(CYCLE)
+        assert detector.transition_probability((0, 2)) == 0.0
+
+    def test_split_transition_probabilities(self):
+        # From 0: goes to 1 three times, to 2 once.
+        stream = [0, 1, 0, 1, 0, 1, 0, 2]
+        detector = MarkovDetector(2, 8, rare_floor=0.0).fit(stream)
+        assert detector.transition_probability((0, 1)) == pytest.approx(3 / 4)
+        assert detector.transition_probability((0, 2)) == pytest.approx(1 / 4)
+
+    def test_floor_zeroes_rare_transitions(self):
+        stream = [0, 1] * 100 + [0, 2] + [0, 1] * 100
+        detector = MarkovDetector(2, 8, rare_floor=0.01).fit(stream)
+        assert detector.transition_probability((0, 2)) == 0.0
+        no_floor = MarkovDetector(2, 8, rare_floor=0.0).fit(stream)
+        assert no_floor.transition_probability((0, 2)) > 0.0
+
+
+class TestResponses:
+    def test_normal_transition_response_zero(self):
+        detector = MarkovDetector(2, 8).fit(CYCLE)
+        assert detector.score_window((1, 2)) == 0.0
+
+    def test_foreign_transition_response_one(self):
+        detector = MarkovDetector(2, 8).fit(CYCLE)
+        assert detector.score_window((1, 3)) == 1.0
+
+    def test_unseen_context_response_default_maximal(self):
+        detector = MarkovDetector(3, 8).fit(CYCLE)
+        assert detector.score_window((7, 7, 7)) == 1.0
+
+    def test_unseen_context_response_configurable(self):
+        detector = MarkovDetector(3, 8, unseen_context_response=0.4).fit(CYCLE)
+        assert detector.score_window((7, 7, 7)) == 0.4
+
+    def test_graded_response(self):
+        stream = [0, 1, 0, 1, 0, 1, 0, 2] * 20
+        detector = MarkovDetector(2, 8, rare_floor=0.0).fit(stream)
+        response = detector.score_window((0, 2))
+        assert 0.0 < response < 1.0
+
+    def test_responses_in_unit_interval(self, training):
+        detector = MarkovDetector(5, 8).fit(training.stream)
+        responses = detector.score_stream(training.stream[:5000])
+        assert responses.min() >= 0.0 and responses.max() <= 1.0
+
+
+class TestPaperBehavior:
+    """Figure 4: capable over the whole grid, including DW < AS."""
+
+    def test_detects_mfs_at_every_window_length(self, training, suite):
+        for anomaly_size in (3, 6, 9):
+            injected = suite.stream(anomaly_size)
+            for window_length in (2, 5, 9, 15):
+                detector = MarkovDetector(window_length, 8).fit(training.stream)
+                span = injected.incident_span(window_length)
+                responses = detector.score_stream(injected.stream)
+                assert responses[span.start : span.stop].max() == 1.0, (
+                    f"AS={anomaly_size} DW={window_length}"
+                )
+
+    def test_no_maximal_responses_outside_span(self, training, suite):
+        detector = MarkovDetector(4, 8).fit(training.stream)
+        injected = suite.stream(6)
+        responses = detector.score_stream(injected.stream)
+        span = injected.incident_span(4)
+        outside = np.delete(responses, np.arange(span.start, span.stop))
+        assert outside.max() < 1.0
+
+    def test_unfloored_detector_collapses_to_stide_region(self, training, suite):
+        """Ablation E11: rare_floor=0 loses the DW < AS region."""
+        injected = suite.stream(8)
+        window_length = 4  # below the anomaly size
+        unfloored = MarkovDetector(window_length, 8, rare_floor=0.0).fit(
+            training.stream
+        )
+        span = injected.incident_span(window_length)
+        responses = unfloored.score_stream(injected.stream)
+        assert responses[span.start : span.stop].max() < 1.0
+
+    def test_rare_training_sequences_also_flagged(self, training):
+        """The false-alarm proneness the paper attributes to Markov."""
+        detector = MarkovDetector(2, 8).fit(training.stream)
+        jump_pair = training.source.jump_pairs()[0]
+        assert detector.score_window(jump_pair) == 1.0

@@ -1,0 +1,128 @@
+"""Tests for repro.detectors.markov_chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.markov_chain import MarkovChainDetector
+from repro.detectors.registry import available_detectors, create_detector
+
+CYCLE = [0, 1, 2, 3] * 50
+
+
+class TestFitting:
+    @pytest.fixture()
+    def detector(self) -> MarkovChainDetector:
+        return MarkovChainDetector(4, 4).fit(CYCLE)
+
+    def test_registered(self):
+        assert "markov-chain" in available_detectors()
+        assert isinstance(
+            create_detector("markov-chain", 3, 8), MarkovChainDetector
+        )
+
+    def test_transition_matrix_row_stochastic(self, detector):
+        matrix = detector.transition_matrix
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_deterministic_cycle_learned_exactly(self, detector):
+        matrix = detector.transition_matrix
+        for state in range(4):
+            assert matrix[state, (state + 1) % 4] == pytest.approx(1.0)
+
+    def test_matrix_is_copy(self, detector):
+        detector.transition_matrix[0, 0] = 9.0
+        assert detector.transition_matrix[0, 0] != 9.0
+
+
+class TestLikelihood:
+    @pytest.fixture()
+    def detector(self) -> MarkovChainDetector:
+        return MarkovChainDetector(4, 4).fit(CYCLE)
+
+    def test_normal_window_high_likelihood(self, detector):
+        likelihood = detector.window_likelihood((0, 1, 2, 3))
+        assert likelihood == pytest.approx(0.25, rel=0.05)  # initial * 1*1*1
+
+    def test_foreign_transition_zero_likelihood(self, detector):
+        assert detector.window_likelihood((0, 2, 3, 0)) == 0.0
+
+
+class TestResponses:
+    @pytest.fixture()
+    def detector(self) -> MarkovChainDetector:
+        return MarkovChainDetector(4, 4).fit(CYCLE)
+
+    def test_normal_window_response_zero(self, detector):
+        assert detector.score_window((0, 1, 2, 3)) == pytest.approx(0.0)
+
+    def test_foreign_transition_response_maximal(self, detector):
+        assert detector.score_window((0, 2, 3, 0)) == 1.0
+
+    def test_graded_response_on_mixed_window(self):
+        # From 0: to 1 (80%), to 2 (20%) — a window through the rare arc
+        # has a graded, sub-maximal response.
+        stream = ([0, 1] * 4 + [0, 2]) * 30
+        detector = MarkovChainDetector(3, 4).fit(stream)
+        response = detector.score_window((1, 0, 2))
+        assert 0.0 < response < 1.0
+
+    def test_unseen_start_symbol_maximal(self):
+        detector = MarkovChainDetector(3, 5).fit(CYCLE)  # symbol 4 unseen
+        assert detector.score_window((4, 0, 1)) == 1.0
+
+    def test_responses_within_unit_interval(self, training):
+        detector = MarkovChainDetector(6, 8).fit(training.stream)
+        responses = detector.score_stream(training.stream[:4000])
+        assert responses.min() >= 0.0 and responses.max() <= 1.0
+
+    def test_geometric_mean_comparable_across_windows(self):
+        """The same anomalous arc yields similar responses at different
+        window lengths (the reason for the geometric mean)."""
+        stream = ([0, 1] * 6 + [0, 2, 0, 1]) * 40
+        short = MarkovChainDetector(3, 4).fit(stream)
+        long = MarkovChainDetector(6, 4).fit(stream)
+        short_normal = short.score_window((0, 1, 0))
+        long_normal = long.score_window((0, 1, 0, 1, 0, 1))
+        assert abs(short_normal - long_normal) < 0.2
+
+
+class TestOnPaperCorpus:
+    def test_first_order_chain_sees_mfs_only_weakly(self, training, suite):
+        """A first-order chain models *pairs*, and every pair of an MFS
+        of size >= 3 exists in training (minimality), so the chain
+        detector's response in the incident span is high — the window
+        crosses rare arcs — but never maximal.  The detector is blind
+        to higher-order foreignness under the strict threshold, an
+        independent illustration of the paper's point that detector
+        internals, not intentions, determine coverage."""
+        injected = suite.stream(4)
+        detector = MarkovChainDetector(6, 8).fit(training.stream)
+        span = injected.incident_span(6)
+        responses = detector.score_stream(injected.stream)
+        in_span = responses[span.start : span.stop].max()
+        outside = max(
+            responses[: span.start].max(initial=0.0),
+            responses[span.stop :].max(initial=0.0),
+        )
+        assert 0.5 < in_span < 1.0  # strong graded response...
+        assert in_span > outside + 0.3  # ...standing far above background
+
+    def test_size_two_mfs_is_maximal(self, training, suite):
+        """A size-2 MFS *is* a foreign pair, which a first-order chain
+        does see maximally."""
+        injected = suite.stream(2)
+        detector = MarkovChainDetector(2, 8).fit(training.stream)
+        span = injected.incident_span(2)
+        responses = detector.score_stream(injected.stream)
+        assert responses[span.start : span.stop].max() == 1.0
+
+    def test_rare_windows_graded_not_maximal(self, training):
+        """Unlike the floored transition detector, the chain detector
+        reports rare-but-seen behavior as high-but-graded."""
+        detector = MarkovChainDetector(3, 8).fit(training.stream)
+        jump = training.source.jump_pairs()[0]
+        window = (jump[0], jump[1], (jump[1] + 1) % 8)
+        response = detector.score_window(window)
+        assert 0.0 < response < 1.0

@@ -1,0 +1,97 @@
+"""Tests for repro.detectors.mlp — the NumPy feed-forward network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.mlp import MlpConfig, NextSymbolMlp
+from repro.exceptions import DetectorConfigurationError
+
+
+class TestConfig:
+    def test_rejects_no_hidden_units(self):
+        with pytest.raises(DetectorConfigurationError, match="hidden_units"):
+            MlpConfig(hidden_units=0)
+
+    def test_rejects_nonpositive_learning_rate(self):
+        with pytest.raises(DetectorConfigurationError, match="learning_rate"):
+            MlpConfig(learning_rate=0.0)
+
+    def test_rejects_momentum_of_one(self):
+        with pytest.raises(DetectorConfigurationError, match="momentum"):
+            MlpConfig(momentum=1.0)
+
+    def test_rejects_zero_epochs(self):
+        with pytest.raises(DetectorConfigurationError, match="epochs"):
+            MlpConfig(epochs=0)
+
+
+class TestNetwork:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(DetectorConfigurationError, match="dimensions"):
+            NextSymbolMlp(0, 4, MlpConfig())
+        with pytest.raises(DetectorConfigurationError, match="dimensions"):
+            NextSymbolMlp(4, 1, MlpConfig())
+
+    def test_predict_proba_is_distribution(self):
+        network = NextSymbolMlp(6, 4, MlpConfig(epochs=1))
+        inputs = np.eye(6)[:3]
+        probabilities = network.predict_proba(inputs)
+        assert probabilities.shape == (3, 4)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert (probabilities >= 0).all()
+
+    def test_train_validates_lengths(self):
+        network = NextSymbolMlp(4, 3, MlpConfig(epochs=1))
+        with pytest.raises(DetectorConfigurationError, match="equal length"):
+            network.train(np.eye(4), np.zeros(3, dtype=int), np.ones(4))
+
+    def test_train_validates_weights(self):
+        network = NextSymbolMlp(4, 3, MlpConfig(epochs=1))
+        with pytest.raises(DetectorConfigurationError, match="sum"):
+            network.train(np.eye(4), np.zeros(4, dtype=int), np.zeros(4))
+
+    def test_learns_deterministic_mapping(self):
+        """One-hot input i -> target i % 3, learnable exactly."""
+        config = MlpConfig(hidden_units=16, epochs=600, learning_rate=0.8, seed=0)
+        network = NextSymbolMlp(6, 3, config)
+        inputs = np.eye(6)
+        targets = np.arange(6) % 3
+        loss = network.train(inputs, targets, np.ones(6))
+        predictions = network.predict_proba(inputs).argmax(axis=1)
+        assert predictions.tolist() == targets.tolist()
+        assert loss < 0.1
+
+    def test_learns_weighted_conditional(self):
+        """Sample weights shape the learned conditional distribution."""
+        config = MlpConfig(hidden_units=12, epochs=800, learning_rate=0.6, seed=1)
+        network = NextSymbolMlp(2, 2, config)
+        # Context 0 -> target 0 with weight 95, target 1 with weight 5.
+        inputs = np.asarray([[1.0, 0.0], [1.0, 0.0]])
+        targets = np.asarray([0, 1])
+        network.train(inputs, targets, np.asarray([95.0, 5.0]))
+        probabilities = network.predict_proba(inputs[:1])[0]
+        assert probabilities[0] == pytest.approx(0.95, abs=0.05)
+
+    def test_seeded_initialization_reproducible(self):
+        a = NextSymbolMlp(4, 3, MlpConfig(seed=5, epochs=1))
+        b = NextSymbolMlp(4, 3, MlpConfig(seed=5, epochs=1))
+        x = np.eye(4)
+        assert np.allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_different_seeds_differ(self):
+        a = NextSymbolMlp(4, 3, MlpConfig(seed=5, epochs=1))
+        b = NextSymbolMlp(4, 3, MlpConfig(seed=6, epochs=1))
+        x = np.eye(4)
+        assert not np.allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_training_reduces_loss(self):
+        inputs = np.eye(5)
+        targets = np.asarray([0, 1, 2, 3, 0])
+        weights = np.ones(5)
+        short = NextSymbolMlp(5, 4, MlpConfig(seed=2, epochs=5))
+        long = NextSymbolMlp(5, 4, MlpConfig(seed=2, epochs=400))
+        assert long.train(inputs, targets, weights) < short.train(
+            inputs, targets, weights
+        )

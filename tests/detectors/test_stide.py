@@ -1,0 +1,106 @@
+"""Tests for repro.detectors.stide."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.stide import StideDetector
+from repro.sequences.windows import iter_windows
+
+TRAIN = [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+
+class TestResponses:
+    @pytest.fixture()
+    def stide(self) -> StideDetector:
+        return StideDetector(3, 8).fit(TRAIN)
+
+    def test_known_window_scores_zero(self, stide):
+        assert stide.score_window((0, 1, 2)) == 0.0
+
+    def test_foreign_window_scores_one(self, stide):
+        assert stide.score_window((2, 1, 0)) == 1.0
+
+    def test_responses_are_binary(self, stide):
+        responses = stide.score_stream([0, 1, 2, 3, 3, 2, 1, 0])
+        assert set(np.unique(responses)) <= {0.0, 1.0}
+
+    def test_contains_helper(self, stide):
+        assert stide.contains((1, 2, 3))
+        assert not stide.contains((3, 3, 3))
+
+    def test_database_size(self, stide):
+        expected = len(set(iter_windows(TRAIN, 3)))
+        assert stide.database_size == expected
+
+    def test_training_data_scores_all_zero(self, stide):
+        assert stide.score_stream(TRAIN).max() == 0.0
+
+
+class TestMultiStreamTraining:
+    def test_junction_windows_not_learned(self):
+        stide = StideDetector(2, 8).fit_many([[0, 1], [2, 3]])
+        assert stide.score_window((1, 2)) == 1.0
+        assert stide.score_window((0, 1)) == 0.0
+
+
+class TestFallbackPath:
+    """Large alphabets exceed 63-bit packing; tuple storage kicks in."""
+
+    def test_unpackable_configuration_matches_packable_semantics(self):
+        rng = np.random.default_rng(0)
+        train = rng.integers(0, 40, size=500)
+        test = rng.integers(0, 40, size=100)
+        wide = StideDetector(13, 40).fit(train)  # 13*log2(40) > 63
+        assert wide._packed_db is None  # fallback active
+        responses = wide.score_stream(test)
+        known = set(iter_windows(train.tolist(), 13))
+        expected = [
+            0.0 if window in known else 1.0
+            for window in iter_windows(test.tolist(), 13)
+        ]
+        assert responses.tolist() == expected
+
+
+class TestPaperBehavior:
+    """Figure 5: capable iff DW >= AS, blind otherwise."""
+
+    def test_detects_mfs_only_with_window_at_least_anomaly_size(
+        self, training, suite
+    ):
+        for anomaly_size in (3, 6, 9):
+            injected = suite.stream(anomaly_size)
+            for window_length in (2, anomaly_size - 1, anomaly_size, 14):
+                if window_length < 2:
+                    continue
+                stide = StideDetector(window_length, 8).fit(training.stream)
+                responses = stide.score_stream(injected.stream)
+                span = injected.incident_span(window_length)
+                detected = responses[span.start : span.stop].max() == 1.0
+                assert detected == (window_length >= anomaly_size)
+
+    def test_no_alarms_outside_span(self, training, suite):
+        stide = StideDetector(10, 8).fit(training.stream)
+        injected = suite.stream(5)
+        responses = stide.score_stream(injected.stream)
+        span = injected.incident_span(10)
+        outside = np.delete(responses, np.arange(span.start, span.stop))
+        assert outside.max() == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 5), min_size=8, max_size=80),
+    st.lists(st.integers(0, 5), min_size=8, max_size=80),
+    st.integers(2, 6),
+)
+def test_stide_is_exact_membership(train, test, window_length):
+    """Stide's response equals foreignness with respect to training."""
+    stide = StideDetector(window_length, 6).fit(train)
+    known = set(iter_windows(train, window_length))
+    responses = stide.score_stream(test)
+    for response, window in zip(responses, iter_windows(test, window_length)):
+        assert response == (0.0 if window in known else 1.0)

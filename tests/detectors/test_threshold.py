@@ -1,0 +1,68 @@
+"""Tests for repro.detectors.threshold."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.neural import NeuralDetector
+from repro.detectors.stide import StideDetector
+from repro.detectors.threshold import FixedThreshold, MaximalResponseThreshold
+from repro.exceptions import DetectorConfigurationError
+
+
+class TestFixedThreshold:
+    def test_alarm_at_level(self):
+        threshold = FixedThreshold(0.5)
+        alarms = threshold.alarms(np.asarray([0.4, 0.5, 0.6]))
+        assert alarms.tolist() == [False, True, True]
+
+    def test_rejects_zero_level(self):
+        with pytest.raises(DetectorConfigurationError, match="level"):
+            FixedThreshold(0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(DetectorConfigurationError, match="level"):
+            FixedThreshold(1.1)
+
+    def test_level_one_keeps_only_maximal(self):
+        threshold = FixedThreshold(1.0)
+        alarms = threshold.alarms(np.asarray([0.999, 1.0]))
+        assert alarms.tolist() == [False, True]
+
+
+class TestMaximalResponseThreshold:
+    def test_default_is_exact_one(self):
+        threshold = MaximalResponseThreshold()
+        assert threshold.level == 1.0
+
+    def test_tolerance_lowers_level(self):
+        assert MaximalResponseThreshold(0.1).level == pytest.approx(0.9)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(DetectorConfigurationError, match="tolerance"):
+            MaximalResponseThreshold(1.0)
+
+    def test_alarms_honor_tolerance(self):
+        threshold = MaximalResponseThreshold(0.1)
+        alarms = threshold.alarms(np.asarray([0.89, 0.9, 1.0]))
+        assert alarms.tolist() == [False, True, True]
+
+    def test_for_detector_binary(self):
+        stide = StideDetector(3, 8)
+        assert MaximalResponseThreshold.for_detector(stide).level == 1.0
+
+    def test_for_detector_graded(self):
+        neural = NeuralDetector(3, 8)
+        level = MaximalResponseThreshold.for_detector(neural).level
+        assert level == pytest.approx(0.9)
+
+    def test_for_detector_without_attribute(self):
+        level = MaximalResponseThreshold.for_detector(object()).level
+        assert level == 1.0
+
+    def test_paper_footnote_maximal_always_alarms(self):
+        """A maximal response alarms regardless of the level chosen."""
+        responses = np.asarray([1.0])
+        for level in (0.1, 0.5, 0.9, 1.0):
+            assert FixedThreshold(level).alarms(responses)[0]

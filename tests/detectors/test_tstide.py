@@ -1,0 +1,82 @@
+"""Tests for repro.detectors.tstide."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.stide import StideDetector
+from repro.detectors.tstide import TStideDetector
+from repro.exceptions import DetectorConfigurationError
+
+# (0,1) dominates; (2,3) occurs once in 40 windows (rare below 5%).
+TRAIN = [0, 1] * 20 + [2, 3]
+
+
+class TestConfiguration:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(DetectorConfigurationError, match="rare_threshold"):
+            TStideDetector(2, 8, rare_threshold=0.0)
+
+    def test_threshold_property(self):
+        assert TStideDetector(2, 8, rare_threshold=0.01).rare_threshold == 0.01
+
+
+class TestResponses:
+    @pytest.fixture()
+    def tstide(self) -> TStideDetector:
+        return TStideDetector(2, 8, rare_threshold=0.05).fit(TRAIN)
+
+    def test_common_window_scores_zero(self, tstide):
+        assert tstide.score_window((0, 1)) == 0.0
+
+    def test_rare_window_scores_one(self, tstide):
+        assert tstide.score_window((2, 3)) == 1.0
+
+    def test_foreign_window_scores_one(self, tstide):
+        assert tstide.score_window((3, 2)) == 1.0
+
+    def test_responses_binary(self, tstide):
+        responses = tstide.score_stream([0, 1, 0, 1, 2, 3, 2])
+        assert set(np.unique(responses)) <= {0.0, 1.0}
+
+
+class TestRelationToStide:
+    def test_tstide_alarm_set_contains_stide_alarms(self, training):
+        """t-stide adds rare windows on top of Stide's foreign windows."""
+        test = training.stream[:3000]
+        stide = StideDetector(6, 8).fit(training.stream)
+        tstide = TStideDetector(
+            6, 8, rare_threshold=training.params.rare_threshold
+        ).fit(training.stream)
+        stide_alarms = stide.score_stream(test) == 1.0
+        tstide_alarms = tstide.score_stream(test) == 1.0
+        assert (tstide_alarms | stide_alarms).tolist() == tstide_alarms.tolist()
+
+    def test_tstide_flags_the_rare_jump_windows(self, training):
+        """Training's own jump contexts are rare and must alarm."""
+        tstide = TStideDetector(
+            2, 8, rare_threshold=training.params.rare_threshold
+        ).fit(training.stream)
+        jump_pair = training.source.jump_pairs()[0]
+        assert tstide.score_window(jump_pair) == 1.0
+
+    def test_mfs_detected_even_below_anomaly_size(self, training, suite):
+        """Unlike Stide, t-stide sees the rare construction of the MFS."""
+        injected = suite.stream(8)
+        tstide = TStideDetector(
+            3, 8, rare_threshold=training.params.rare_threshold
+        ).fit(training.stream)
+        span = injected.incident_span(3)
+        responses = tstide.score_stream(injected.stream)
+        assert responses[span.start : span.stop].max() == 1.0
+
+
+class TestFallbackPath:
+    def test_wide_alphabet_uses_tuple_storage(self):
+        rng = np.random.default_rng(1)
+        train = rng.integers(0, 40, size=400)
+        detector = TStideDetector(13, 40, rare_threshold=0.01).fit(train)
+        assert detector._common_packed is None
+        responses = detector.score_stream(train[:50])
+        assert set(np.unique(responses)) <= {0.0, 1.0}

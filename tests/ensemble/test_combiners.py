@@ -1,0 +1,120 @@
+"""Tests for repro.ensemble.combiners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ensemble.combiners import (
+    CombinedAlarms,
+    and_alarms,
+    gated_alarms,
+    majority_alarms,
+    or_alarms,
+)
+from repro.exceptions import EvaluationError
+
+A = np.asarray([True, True, False, False])
+B = np.asarray([True, False, True, False])
+
+
+class TestRules:
+    def test_or(self):
+        assert or_alarms([A, B]).tolist() == [True, True, True, False]
+
+    def test_and(self):
+        assert and_alarms([A, B]).tolist() == [True, False, False, False]
+
+    def test_majority_two_members_requires_both(self):
+        assert majority_alarms([A, B]).tolist() == [True, False, False, False]
+
+    def test_majority_three_members(self):
+        c = np.asarray([True, True, True, False])
+        assert majority_alarms([A, B, c]).tolist() == [True, True, True, False]
+
+    def test_gated_equals_and(self):
+        assert gated_alarms(A, B).tolist() == and_alarms([A, B]).tolist()
+
+    def test_single_member_identity(self):
+        assert or_alarms([A]).tolist() == A.tolist()
+        assert and_alarms([A]).tolist() == A.tolist()
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError, match="at least one"):
+            or_alarms([])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(EvaluationError, match="equal window lengths"):
+            or_alarms([A, np.asarray([True])])
+
+    def test_rejects_2d(self):
+        with pytest.raises(EvaluationError, match="1-D"):
+            or_alarms([np.zeros((2, 2), dtype=bool)])
+
+
+class TestCombinedAlarms:
+    def test_combine_or(self):
+        result = CombinedAlarms.combine([("m", A), ("s", B)], rule="or")
+        assert result.alarms.tolist() == [True, True, True, False]
+        assert result.member_names == ("m", "s")
+        assert result.suppressed == 0
+
+    def test_combine_gated_counts_suppressed(self):
+        result = CombinedAlarms.combine([("markov", A), ("stide", B)], rule="gated")
+        assert result.alarms.tolist() == [True, False, False, False]
+        # Windows 1 and 2 had some member alarm but were suppressed.
+        assert result.suppressed == 2
+
+    def test_gated_requires_two_members(self):
+        with pytest.raises(EvaluationError, match="exactly 2"):
+            CombinedAlarms.combine([("a", A)], rule="gated")
+
+    def test_unknown_rule(self):
+        with pytest.raises(EvaluationError, match="unknown combination rule"):
+            CombinedAlarms.combine([("a", A)], rule="xor")
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError, match="at least one"):
+            CombinedAlarms.combine([], rule="or")
+
+
+alarm_lists = st.lists(st.booleans(), min_size=1, max_size=20)
+
+
+@given(st.integers(1, 4), st.data())
+def test_combiner_algebra_properties(member_count: int, data):
+    """AND ⊆ majority ⊆ OR; gating never adds alarms."""
+    length = data.draw(st.integers(1, 15))
+    members = [
+        np.asarray(
+            data.draw(
+                st.lists(st.booleans(), min_size=length, max_size=length)
+            )
+        )
+        for _ in range(member_count)
+    ]
+    union = or_alarms(members)
+    intersection = and_alarms(members)
+    majority = majority_alarms(members)
+    assert not (intersection & ~majority).any()
+    assert not (majority & ~union).any()
+    assert not (intersection & ~union).any()
+    gated = gated_alarms(members[0], members[-1])
+    assert not (gated & ~members[0]).any()
+
+
+@given(st.data())
+def test_or_and_idempotent_commutative(data):
+    length = data.draw(st.integers(1, 12))
+    a = np.asarray(
+        data.draw(st.lists(st.booleans(), min_size=length, max_size=length))
+    )
+    b = np.asarray(
+        data.draw(st.lists(st.booleans(), min_size=length, max_size=length))
+    )
+    assert or_alarms([a, a]).tolist() == a.tolist()
+    assert and_alarms([a, a]).tolist() == a.tolist()
+    assert or_alarms([a, b]).tolist() == or_alarms([b, a]).tolist()
+    assert and_alarms([a, b]).tolist() == and_alarms([b, a]).tolist()

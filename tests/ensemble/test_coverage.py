@@ -1,0 +1,104 @@
+"""Tests for repro.ensemble.coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ensemble.coverage import Coverage, coverage_gain
+from repro.exceptions import CoverageError
+
+GRID = frozenset((a, w) for a in (2, 3) for w in (2, 3, 4))
+
+
+def make(cells, label="test", grid=GRID) -> Coverage:
+    return Coverage(cells=frozenset(cells), grid=grid, label=label)
+
+
+class TestConstruction:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(CoverageError, match="non-empty"):
+            Coverage(cells=frozenset(), grid=frozenset(), label="x")
+
+    def test_rejects_cells_outside_grid(self):
+        with pytest.raises(CoverageError, match="within the grid"):
+            make({(9, 9)})
+
+    def test_empty_coverage_allowed(self):
+        assert len(make(set())) == 0
+
+
+class TestAlgebra:
+    def test_union(self):
+        combined = make({(2, 2)}) | make({(3, 3)})
+        assert combined.cells == {(2, 2), (3, 3)}
+        assert "|" in combined.label
+
+    def test_intersection(self):
+        overlap = make({(2, 2), (2, 3)}) & make({(2, 3), (3, 3)})
+        assert overlap.cells == {(2, 3)}
+
+    def test_difference(self):
+        rest = make({(2, 2), (2, 3)}) - make({(2, 3)})
+        assert rest.cells == {(2, 2)}
+
+    def test_mixed_grids_rejected(self):
+        other_grid = frozenset({(5, 5)})
+        with pytest.raises(CoverageError, match="different grids"):
+            make({(2, 2)}) | make({(5, 5)}, grid=other_grid)
+
+    def test_subset_relations(self):
+        small = make({(2, 2)})
+        large = make({(2, 2), (3, 3)})
+        assert small.is_subset_of(large)
+        assert small.is_strict_subset_of(large)
+        assert not large.is_subset_of(small)
+        assert large.is_subset_of(large)
+        assert not large.is_strict_subset_of(large)
+
+    def test_fraction(self):
+        assert make({(2, 2), (3, 3)}).fraction == pytest.approx(2 / 6)
+
+    def test_blind_region_is_complement(self):
+        coverage = make({(2, 2)})
+        assert coverage.blind_region() == GRID - {(2, 2)}
+
+    def test_contains(self):
+        coverage = make({(2, 2)})
+        assert (2, 2) in coverage
+        assert (3, 3) not in coverage
+
+    def test_repr(self):
+        assert "1/6" in repr(make({(2, 2)}))
+
+
+class TestCoverageGain:
+    def test_gain_counts_new_cells_only(self):
+        base = make({(2, 2)})
+        addition = make({(2, 2), (3, 3)})
+        assert coverage_gain(base, addition) == {(3, 3)}
+
+    def test_no_gain_for_subset(self):
+        base = make({(2, 2), (3, 3)})
+        addition = make({(3, 3)})
+        assert coverage_gain(base, addition) == frozenset()
+
+
+class TestFromPerformanceMap:
+    def test_paper_relations_hold(self, suite):
+        """Stide ⊂ Markov; Stide ∪ L&B == Stide (Sections 7-8)."""
+        from repro.evaluation.performance_map import build_performance_map
+
+        stide = Coverage.from_performance_map(
+            build_performance_map("stide", suite)
+        )
+        markov = Coverage.from_performance_map(
+            build_performance_map("markov", suite)
+        )
+        lane_brodley = Coverage.from_performance_map(
+            build_performance_map("lane-brodley", suite)
+        )
+        assert stide.is_strict_subset_of(markov)
+        assert (stide | lane_brodley).cells == stide.cells
+        assert coverage_gain(stide, lane_brodley) == frozenset()
+        assert len(markov) == len(markov.grid)  # full coverage
+        assert len(lane_brodley) == 0  # blind everywhere

@@ -1,0 +1,88 @@
+"""Tests for repro.ensemble.diversity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ensemble.coverage import Coverage
+from repro.ensemble.diversity import (
+    coverage_diversity,
+    coverage_redundancy,
+    response_disagreement,
+)
+from repro.exceptions import EvaluationError
+
+GRID = frozenset((a, w) for a in (2, 3) for w in (2, 3))
+
+
+def make(cells, label="c") -> Coverage:
+    return Coverage(cells=frozenset(cells), grid=GRID, label=label)
+
+
+class TestCoverageDiversity:
+    def test_identical_coverages_zero(self):
+        a = make({(2, 2)})
+        assert coverage_diversity(a, make({(2, 2)})) == 0.0
+
+    def test_disjoint_coverages_one(self):
+        assert coverage_diversity(make({(2, 2)}), make({(3, 3)})) == 1.0
+
+    def test_partial_overlap(self):
+        a = make({(2, 2), (2, 3)})
+        b = make({(2, 3), (3, 3)})
+        assert coverage_diversity(a, b) == pytest.approx(1 - 1 / 3)
+
+    def test_both_empty_defined_zero(self):
+        assert coverage_diversity(make(set()), make(set())) == 0.0
+
+
+class TestCoverageRedundancy:
+    def test_subset_fully_redundant(self):
+        small = make({(2, 2)})
+        large = make({(2, 2), (3, 3)})
+        assert coverage_redundancy(small, large) == 1.0
+        assert coverage_redundancy(large, small) == 1.0  # symmetric
+
+    def test_disjoint_not_redundant(self):
+        assert coverage_redundancy(make({(2, 2)}), make({(3, 3)})) == 0.0
+
+    def test_empty_smaller_is_trivially_redundant(self):
+        assert coverage_redundancy(make(set()), make({(2, 2)})) == 1.0
+
+
+class TestResponseDisagreement:
+    def test_identical_binary_responses_agree(self):
+        responses = np.asarray([0.0, 1.0, 1.0])
+        assert response_disagreement(responses, responses) == 0.0
+
+    def test_total_disagreement(self):
+        a = np.asarray([1.0, 1.0])
+        b = np.asarray([0.0, 0.0])
+        assert response_disagreement(a, b) == 1.0
+
+    def test_levels_change_judgments(self):
+        a = np.asarray([0.95, 0.2])
+        b = np.asarray([0.95, 0.2])
+        strict = response_disagreement(a, b, 1.0, 0.9)
+        assert strict == pytest.approx(0.5)  # 0.95 alarms only under level 0.9
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(EvaluationError, match="equal length"):
+            response_disagreement(np.zeros(2), np.zeros(3))
+
+    def test_empty_inputs_agree(self):
+        assert response_disagreement(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_stide_vs_markov_disagree_on_rare_sequences(self, training):
+        """The diversity the paper exploits: Markov alarms on rare
+        training sequences, Stide does not."""
+        from repro.detectors import MarkovDetector, StideDetector
+
+        stide = StideDetector(2, 8).fit(training.stream)
+        markov = MarkovDetector(2, 8).fit(training.stream)
+        test = training.stream[:5000]
+        disagreement = response_disagreement(
+            stide.score_stream(test), markov.score_stream(test)
+        )
+        assert disagreement > 0.0

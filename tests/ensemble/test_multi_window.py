@@ -1,0 +1,113 @@
+"""Tests for repro.ensemble.multi_window."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ensemble.multi_window import MultiWindowBank
+from repro.exceptions import DetectorConfigurationError, NotFittedError
+
+
+class TestConfiguration:
+    def test_rejects_empty_lengths(self):
+        with pytest.raises(DetectorConfigurationError, match="at least one"):
+            MultiWindowBank((), 8)
+
+    def test_rejects_window_below_two(self):
+        with pytest.raises(DetectorConfigurationError, match=">= 2"):
+            MultiWindowBank((1, 3), 8)
+
+    def test_lengths_sorted_deduplicated(self):
+        bank = MultiWindowBank((5, 3, 5), 8)
+        assert bank.member_window_lengths == (3, 5)
+        assert bank.window_length == 3  # the bank's alignment window
+
+    def test_name_includes_family(self):
+        assert MultiWindowBank((2, 3), 8).name == "multi-window-stide"
+
+    def test_tolerance_is_member_maximum(self):
+        bank = MultiWindowBank((2, 3), 8, family="neural-network")
+        assert bank.response_tolerance == pytest.approx(0.1)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(DetectorConfigurationError, match="unknown detector"):
+            MultiWindowBank((2, 3), 8, family="nope")
+
+
+class TestScoring:
+    TRAIN = [0, 1, 2, 3] * 40
+
+    @pytest.fixture()
+    def bank(self) -> MultiWindowBank:
+        return MultiWindowBank((2, 4), 8).fit(self.TRAIN)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            MultiWindowBank((2, 3), 8).score_stream([0, 1, 2, 3])
+
+    def test_members_fitted_with_bank(self, bank):
+        assert all(member.is_fitted for member in bank.members)
+
+    def test_response_length_uses_smallest_window(self, bank):
+        responses = bank.score_stream([0, 1, 2, 3, 0, 1])
+        assert len(responses) == 5  # 6 - 2 + 1
+
+    def test_combined_is_member_maximum(self, bank):
+        test = [0, 1, 2, 3, 3, 2, 1, 0, 1, 2]
+        combined = bank.score_stream(test)
+        members = bank.member_responses(test)
+        for start, value in enumerate(combined):
+            expected = max(
+                responses[start]
+                for responses in members.values()
+                if start < len(responses)
+            )
+            assert value == expected
+
+    def test_normal_data_scores_zero(self, bank):
+        assert bank.score_stream(self.TRAIN).max() == 0.0
+
+    def test_member_responses_keyed_by_window(self, bank):
+        members = bank.member_responses([0, 1, 2, 3, 0])
+        assert set(members) == {2, 4}
+
+    def test_stream_shorter_than_longest_member(self, bank):
+        # Three elements: only the window-2 member contributes.
+        responses = bank.score_stream([0, 1, 2])
+        assert len(responses) == 2
+
+
+class TestUnknownSizeCoverage:
+    """The deployment problem: MFS of unknown size, Stide-only bank."""
+
+    def test_bank_detects_every_anomaly_size(self, training, suite):
+        bank = MultiWindowBank(range(2, 16), 8).fit(training.stream)
+        for anomaly_size in suite.anomaly_sizes:
+            injected = suite.stream(anomaly_size)
+            responses = bank.score_stream(injected.stream)
+            span = injected.incident_span(bank.window_length)
+            # The bank aligns on starts of the smallest window, which
+            # covers the incident span of every member.
+            assert responses[span.start : span.stop].max() == 1.0
+
+    def test_single_small_stide_misses_what_the_bank_catches(
+        self, training, suite
+    ):
+        from repro.detectors import StideDetector
+
+        injected = suite.stream(9)
+        single = StideDetector(4, 8).fit(training.stream)
+        responses = single.score_stream(injected.stream)
+        span = injected.incident_span(4)
+        assert responses[span.start : span.stop].max() == 0.0
+
+    def test_bank_raises_no_background_alarms(self, training, suite):
+        bank = MultiWindowBank(range(2, 16), 8).fit(training.stream)
+        injected = suite.stream(5)
+        responses = bank.score_stream(injected.stream)
+        span = injected.incident_span(15)  # widest member's span
+        outside = np.delete(
+            responses, np.arange(span.start, min(span.stop, len(responses)))
+        )
+        assert outside.max() == 0.0

@@ -1,0 +1,137 @@
+"""Tests for repro.ensemble.selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ensemble.coverage import Coverage
+from repro.ensemble.selection import (
+    AnomalyProfile,
+    SelectionAdvice,
+    select_detectors,
+)
+from repro.exceptions import EvaluationError
+
+SIZES = (2, 3, 4)
+WINDOWS = (2, 3, 4)
+GRID = frozenset((a, w) for a in SIZES for w in WINDOWS)
+
+
+def cov(cells, label):
+    return Coverage(cells=frozenset(cells), grid=GRID, label=label)
+
+
+# Stide-like: capable iff window >= size; Markov-like: everywhere; L&B: empty.
+STIDE = cov({(a, w) for a in SIZES for w in WINDOWS if w >= a}, "stide")
+MARKOV = cov(GRID, "markov")
+LANE_BRODLEY = cov(set(), "lane-brodley")
+
+
+class TestProfileValidation:
+    def test_rejects_tiny_size(self):
+        with pytest.raises(EvaluationError, match="size"):
+            AnomalyProfile(size=1, max_deployable_window=4)
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(EvaluationError, match="window"):
+            AnomalyProfile(size=3, max_deployable_window=1)
+
+    def test_unknown_size_allowed(self):
+        assert AnomalyProfile(size=None, max_deployable_window=4).size is None
+
+
+class TestKnownSize:
+    def test_prefers_narrowest_capable_detector(self):
+        profile = AnomalyProfile(size=3, max_deployable_window=4)
+        advice = select_detectors(
+            {"stide": STIDE, "markov": MARKOV}, profile
+        )
+        assert advice.primary == "stide"
+        assert advice.gate is None
+        assert "fewest" in advice.rationale
+
+    def test_size_beyond_window_falls_back_to_markov(self):
+        profile = AnomalyProfile(size=4, max_deployable_window=3)
+        advice = select_detectors(
+            {"stide": STIDE, "markov": MARKOV}, profile
+        )
+        assert advice.primary == "markov"
+
+    def test_describe_without_gate(self):
+        profile = AnomalyProfile(size=2, max_deployable_window=4)
+        advice = select_detectors({"stide": STIDE}, profile)
+        assert advice.describe() == "deploy stide"
+
+
+class TestUnknownSize:
+    def test_requires_full_size_coverage(self):
+        profile = AnomalyProfile(size=None, max_deployable_window=3)
+        advice = select_detectors(
+            {"stide": STIDE, "markov": MARKOV}, profile
+        )
+        # Stide cannot cover size 4 at window <= 3; Markov can.
+        assert advice.primary == "markov"
+
+    def test_subset_detector_becomes_gate(self):
+        profile = AnomalyProfile(size=None, max_deployable_window=4)
+        advice = select_detectors(
+            {"stide": STIDE, "markov": MARKOV}, profile
+        )
+        # Both qualify; stide is narrower so it is primary... stide
+        # covers every size at window 4, so stide wins as primary and
+        # no gate applies.
+        assert advice.primary == "stide"
+
+    def test_gate_selected_when_markov_is_needed(self):
+        profile = AnomalyProfile(size=None, max_deployable_window=3)
+        advice = select_detectors(
+            {"stide": STIDE, "markov": MARKOV}, profile
+        )
+        assert advice.primary == "markov"
+        assert advice.gate == "stide"
+        assert "false alarms" in advice.rationale
+        assert advice.describe() == "deploy markov gated by stide"
+
+
+class TestRedundancy:
+    def test_empty_coverage_flagged_redundant(self):
+        profile = AnomalyProfile(size=3, max_deployable_window=4)
+        advice = select_detectors(
+            {"stide": STIDE, "lane-brodley": LANE_BRODLEY}, profile
+        )
+        assert advice.primary == "stide"
+        assert advice.redundant == ("lane-brodley",)
+        assert "no detection coverage" in advice.rationale
+
+
+class TestFailures:
+    def test_empty_candidates(self):
+        with pytest.raises(EvaluationError, match="at least one"):
+            select_detectors({}, AnomalyProfile(size=3, max_deployable_window=4))
+
+    def test_uncoverable_profile(self):
+        profile = AnomalyProfile(size=4, max_deployable_window=3)
+        with pytest.raises(EvaluationError, match="not detectable"):
+            select_detectors(
+                {"stide": STIDE, "lane-brodley": LANE_BRODLEY}, profile
+            )
+
+
+class TestOnRealMaps:
+    def test_paper_recipe_emerges_from_measured_maps(self, suite):
+        """With the measured maps, an unknown-size anomaly under a
+        small window budget yields exactly the paper's recipe."""
+        from repro.evaluation.performance_map import build_performance_map
+
+        coverages = {
+            name: Coverage.from_performance_map(
+                build_performance_map(name, suite)
+            )
+            for name in ("stide", "markov", "lane-brodley")
+        }
+        profile = AnomalyProfile(size=None, max_deployable_window=8)
+        advice = select_detectors(coverages, profile)
+        assert advice.primary == "markov"
+        assert advice.gate == "stide"
+        assert advice.redundant == ("lane-brodley",)
+        assert isinstance(advice, SelectionAdvice)

@@ -1,0 +1,143 @@
+"""Tests for repro.evaluation.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    DetectionMetrics,
+    evaluate_alarms,
+    roc_auc,
+    roc_points,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestEvaluateAlarms:
+    def test_hit_when_alarm_in_region(self):
+        alarms = [np.asarray([False, True, False, False])]
+        metrics = evaluate_alarms(alarms, [[(1, 3)]])
+        assert metrics.hits == 1
+        assert metrics.misses == 0
+        assert metrics.false_alarm_windows == 0
+
+    def test_miss_when_no_alarm_in_region(self):
+        alarms = [np.asarray([True, False, False, False])]
+        metrics = evaluate_alarms(alarms, [[(2, 4)]])
+        assert metrics.hits == 0
+        assert metrics.misses == 1
+        assert metrics.false_alarm_windows == 1
+
+    def test_false_alarms_counted_per_window(self):
+        alarms = [np.asarray([True, True, False, True])]
+        metrics = evaluate_alarms(alarms, [[]])
+        assert metrics.false_alarm_windows == 3
+        assert metrics.normal_windows == 4
+        assert metrics.traces_with_truth == 0
+
+    def test_multiple_traces_aggregate(self):
+        alarms = [
+            np.asarray([False, True]),
+            np.asarray([False, False]),
+            np.asarray([True, False]),
+        ]
+        truth = [[(1, 2)], [(0, 1)], []]
+        metrics = evaluate_alarms(alarms, truth)
+        assert metrics.traces == 3
+        assert metrics.traces_with_truth == 2
+        assert metrics.hits == 1
+        assert metrics.misses == 1
+        assert metrics.false_alarm_windows == 1
+
+    def test_rates(self):
+        alarms = [np.asarray([True, False, False, False])]
+        metrics = evaluate_alarms(alarms, [[(0, 1)]])
+        assert metrics.hit_rate == 1.0
+        assert metrics.miss_rate == 0.0
+        assert metrics.false_alarm_rate == 0.0
+
+    def test_hit_rate_defined_without_truth(self):
+        metrics = evaluate_alarms([np.asarray([False])], [[]])
+        assert metrics.hit_rate == 1.0
+
+    def test_false_alarm_rate_no_normal_windows(self):
+        metrics = evaluate_alarms([np.asarray([True])], [[(0, 1)]])
+        assert metrics.false_alarm_rate == 0.0
+
+    def test_summary_text(self):
+        metrics = evaluate_alarms([np.asarray([True, False])], [[(0, 1)]])
+        text = metrics.summary()
+        assert "hits 1/1" in text
+
+    def test_rejects_mismatched_lists(self):
+        with pytest.raises(EvaluationError, match="truth-region"):
+            evaluate_alarms([np.asarray([True])], [])
+
+    def test_rejects_bad_region(self):
+        with pytest.raises(EvaluationError, match="out of range"):
+            evaluate_alarms([np.asarray([True])], [[(0, 5)]])
+
+    def test_metrics_is_frozen(self):
+        metrics = DetectionMetrics(1, 0, 0, 0, 0, 0, 1)
+        with pytest.raises(AttributeError):
+            metrics.hits = 3  # type: ignore[misc]
+
+
+class TestRocPoints:
+    def test_monotone_hit_and_fa_rates(self):
+        responses = [np.asarray([0.2, 0.6, 0.95, 0.1])]
+        truth = [[(2, 3)]]
+        points = roc_points(responses, truth, thresholds=[0.1, 0.5, 0.9, 1.0])
+        # Raising the threshold can only reduce alarms of both kinds.
+        fa_rates = [p[1] for p in points]
+        hit_rates = [p[2] for p in points]
+        assert fa_rates == sorted(fa_rates, reverse=True)
+        assert hit_rates == sorted(hit_rates, reverse=True)
+
+    def test_threshold_above_all_responses_silences(self):
+        responses = [np.asarray([0.2, 0.6])]
+        points = roc_points(responses, [[]], thresholds=[0.99])
+        assert points[0][1] == 0.0
+
+    def test_default_threshold_grid(self):
+        points = roc_points([np.asarray([0.5])], [[]])
+        assert len(points) == 100
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(EvaluationError, match="thresholds"):
+            roc_points([np.asarray([0.5])], [[]], thresholds=[0.0])
+
+    def test_auc_of_perfect_separator(self):
+        # Anomalous windows score 1.0, normal windows 0.1.
+        responses = [np.asarray([0.1, 0.1, 1.0, 0.1])]
+        truth = [[(2, 3)]]
+        points = roc_points(responses, truth)
+        assert roc_auc(points) == pytest.approx(1.0, abs=0.02)
+
+    def test_auc_of_constant_scorer_is_half(self):
+        # Identical scores everywhere: every threshold is all-or-nothing.
+        responses = [np.asarray([0.5, 0.5, 0.5, 0.5])]
+        truth = [[(1, 2)]]
+        points = roc_points(responses, truth)
+        assert roc_auc(points) == pytest.approx(0.5, abs=0.02)
+
+    def test_auc_rejects_empty(self):
+        with pytest.raises(EvaluationError, match="at least one"):
+            roc_auc([])
+
+    def test_auc_bounded(self):
+        points = [(0.5, 0.3, 0.8), (0.9, 0.1, 0.4)]
+        assert 0.0 <= roc_auc(points) <= 1.0
+
+    def test_markov_dominates_stide_on_rare_events(self, training):
+        """ROC sanity on the paper corpus: at threshold 1.0, Markov
+        alarms on rare training windows while Stide stays silent."""
+        from repro.detectors import MarkovDetector, StideDetector
+
+        test = training.stream[:4000]
+        stide_responses = StideDetector(2, 8).fit(training.stream).score_stream(test)
+        markov_responses = MarkovDetector(2, 8).fit(training.stream).score_stream(test)
+        stide_points = roc_points([stide_responses], [[]], thresholds=[1.0])
+        markov_points = roc_points([markov_responses], [[]], thresholds=[1.0])
+        assert markov_points[0][1] > stide_points[0][1] == 0.0

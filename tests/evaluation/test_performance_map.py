@@ -1,0 +1,127 @@
+"""Tests for repro.evaluation.performance_map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors import StideDetector
+from repro.evaluation.performance_map import (
+    CellResult,
+    PerformanceMap,
+    build_performance_map,
+)
+from repro.evaluation.scoring import DetectionOutcome, ResponseClass
+from repro.exceptions import EvaluationError
+
+
+def _outcome(response_class: ResponseClass) -> DetectionOutcome:
+    value = {"blind": 0.0, "weak": 0.5, "capable": 1.0}[response_class.value]
+    return DetectionOutcome(
+        response_class=response_class,
+        max_in_span=value,
+        max_outside_span=0.0,
+        span_start=0,
+        span_stop=5,
+        spurious_alarms=0,
+    )
+
+
+def _tiny_map() -> PerformanceMap:
+    cells = {}
+    for anomaly_size in (2, 3):
+        for window in (2, 3):
+            response_class = (
+                ResponseClass.CAPABLE
+                if window >= anomaly_size
+                else ResponseClass.BLIND
+            )
+            cells[(anomaly_size, window)] = CellResult(
+                anomaly_size, window, _outcome(response_class)
+            )
+    return PerformanceMap("tiny", cells)
+
+
+class TestPerformanceMap:
+    def test_grid_axes(self):
+        tiny = _tiny_map()
+        assert tiny.anomaly_sizes == (2, 3)
+        assert tiny.window_lengths == (2, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError, match="at least one"):
+            PerformanceMap("x", {})
+
+    def test_rejects_partial_grid(self):
+        cells = {
+            (2, 2): CellResult(2, 2, _outcome(ResponseClass.BLIND)),
+            (3, 3): CellResult(3, 3, _outcome(ResponseClass.BLIND)),
+        }
+        with pytest.raises(EvaluationError, match="full grid"):
+            PerformanceMap("x", cells)
+
+    def test_cell_lookup(self):
+        tiny = _tiny_map()
+        assert tiny.cell(2, 2).response_class is ResponseClass.CAPABLE
+        assert tiny.response_class(3, 2) is ResponseClass.BLIND
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(EvaluationError, match="outside the grid"):
+            _tiny_map().cell(9, 9)
+
+    def test_class_partitions(self):
+        tiny = _tiny_map()
+        assert tiny.capable_cells() == {(2, 2), (2, 3), (3, 3)}
+        assert tiny.blind_cells() == {(3, 2)}
+        assert tiny.weak_cells() == frozenset()
+
+    def test_detection_fraction(self):
+        assert _tiny_map().detection_fraction() == pytest.approx(3 / 4)
+
+    def test_iteration_in_grid_order(self):
+        cells = list(_tiny_map())
+        assert [(c.anomaly_size, c.window_length) for c in cells] == [
+            (2, 2),
+            (2, 3),
+            (3, 2),
+            (3, 3),
+        ]
+
+    def test_len(self):
+        assert len(_tiny_map()) == 4
+
+    def test_spurious_alarm_total(self):
+        assert _tiny_map().spurious_alarm_total() == 0
+
+    def test_repr(self):
+        assert "capable=3" in repr(_tiny_map())
+
+
+class TestBuildPerformanceMap:
+    def test_by_name_covers_the_grid(self, suite):
+        built = build_performance_map("stide", suite)
+        assert built.detector_name == "stide"
+        assert len(built) == suite.case_count()
+
+    def test_stide_diagonal_shape(self, suite):
+        built = build_performance_map("stide", suite)
+        for anomaly_size in suite.anomaly_sizes:
+            for window in suite.window_lengths:
+                expected = (
+                    ResponseClass.CAPABLE
+                    if window >= anomaly_size
+                    else ResponseClass.BLIND
+                )
+                assert built.response_class(anomaly_size, window) is expected
+
+    def test_by_factory(self, suite):
+        built = build_performance_map(
+            lambda dw: StideDetector(dw, suite.training.alphabet.size), suite
+        )
+        assert built.detector_name == "stide"
+        assert len(built) == 112
+
+    def test_kwargs_forwarded(self, suite):
+        floored = build_performance_map("markov", suite)
+        unfloored = build_performance_map("markov", suite, rare_floor=0.0)
+        # The ablation: without the floor, the Markov map loses cells.
+        assert len(unfloored.capable_cells()) < len(floored.capable_cells())

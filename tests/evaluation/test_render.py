@@ -1,0 +1,110 @@
+"""Tests for repro.evaluation.render."""
+
+from __future__ import annotations
+
+from repro.evaluation.performance_map import build_performance_map
+from repro.evaluation.render import (
+    render_graded_map,
+    render_map_summary,
+    render_performance_map,
+)
+
+
+class TestRenderPerformanceMap:
+    def test_stide_chart_shape(self, suite):
+        chart = render_performance_map(build_performance_map("stide", suite))
+        lines = chart.splitlines()
+        assert lines[0].startswith("Performance map of stide")
+        assert "detection region" in lines[1]
+        # One row per window length plus heading/legend/blank/header.
+        assert len(lines) == 4 + len(suite.window_lengths)
+
+    def test_rows_descend_from_largest_window(self, suite):
+        chart = render_performance_map(build_performance_map("stide", suite))
+        data_rows = chart.splitlines()[4:]
+        first_window = int(data_rows[0].split()[0])
+        last_window = int(data_rows[-1].split()[0])
+        assert first_window == max(suite.window_lengths)
+        assert last_window == min(suite.window_lengths)
+
+    def test_undefined_column_rendered(self, suite):
+        chart = render_performance_map(build_performance_map("stide", suite))
+        for row in chart.splitlines()[4:]:
+            assert row.split()[1] == "?"
+
+    def test_undefined_column_optional(self, suite):
+        chart = render_performance_map(
+            build_performance_map("stide", suite), include_undefined_column=False
+        )
+        assert "?" not in chart
+
+    def test_stide_diagonal_glyphs(self, suite):
+        chart = render_performance_map(build_performance_map("stide", suite))
+        rows = {
+            int(row.split()[0]): row.split()[1:]
+            for row in chart.splitlines()[4:]
+        }
+        # Row DW=2: only AS=2 is detected.
+        assert rows[2][1] == "*"  # AS=2 column (after the '?')
+        assert rows[2][2] == "."
+        # Row DW=15: everything detected.
+        assert all(glyph == "*" for glyph in rows[15][1:])
+
+    def test_custom_title(self, suite):
+        chart = render_performance_map(
+            build_performance_map("stide", suite), title="Figure 5"
+        )
+        assert chart.splitlines()[0] == "Figure 5"
+
+    def test_lane_brodley_has_no_stars(self, suite):
+        chart = render_performance_map(
+            build_performance_map("lane-brodley", suite)
+        )
+        data = "\n".join(chart.splitlines()[4:])
+        assert "*" not in data
+
+
+class TestRenderGradedMap:
+    def test_stide_grid_is_binary(self, suite):
+        text = render_graded_map(build_performance_map("stide", suite))
+        values = {
+            cell
+            for row in text.splitlines()[3:]
+            for cell in row.split()[1:]
+        }
+        assert values == {"0", "100"}
+
+    def test_lane_brodley_shows_graded_dips(self, suite):
+        """The 'close to normal' phenomenon: nonzero sub-100 values."""
+        text = render_graded_map(
+            build_performance_map("lane-brodley", suite)
+        )
+        values = [
+            int(cell)
+            for row in text.splitlines()[3:]
+            for cell in row.split()[1:]
+        ]
+        assert max(values) < 100
+        assert any(0 < value for value in values)
+
+    def test_custom_title(self, suite):
+        text = render_graded_map(
+            build_performance_map("stide", suite), title="Graded"
+        )
+        assert text.splitlines()[0] == "Graded"
+
+    def test_rows_cover_grid(self, suite):
+        text = render_graded_map(build_performance_map("stide", suite))
+        data_rows = text.splitlines()[3:]
+        assert len(data_rows) == len(suite.window_lengths)
+        assert all(
+            len(row.split()) == 1 + len(suite.anomaly_sizes)
+            for row in data_rows
+        )
+
+
+class TestRenderMapSummary:
+    def test_mentions_counts(self, suite):
+        summary = render_map_summary(build_performance_map("stide", suite))
+        assert "stide" in summary
+        assert "84/112" in summary

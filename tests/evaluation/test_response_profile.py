@@ -1,0 +1,104 @@
+"""Tests for repro.evaluation.response_profile."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import MarkovDetector, StideDetector
+from repro.evaluation.response_profile import (
+    ResponseProfile,
+    compare_profiles,
+    response_profile,
+)
+from repro.exceptions import EvaluationError
+
+
+def make_profile(responses, span=(2, 5), name="x", window=3) -> ResponseProfile:
+    return ResponseProfile(
+        detector_name=name,
+        window_length=window,
+        responses=np.asarray(responses, dtype=float),
+        span_start=span[0],
+        span_stop=span[1],
+    )
+
+
+class TestResponseProfile:
+    def test_span_slices(self):
+        profile = make_profile([0, 0, 0.5, 1.0, 0.2, 0, 0])
+        assert profile.in_span.tolist() == [0.5, 1.0, 0.2]
+        assert profile.outside_span.tolist() == [0, 0, 0, 0]
+
+    def test_peak(self):
+        profile = make_profile([0, 0, 0.5, 1.0, 0.2, 0, 0])
+        assert profile.peak() == (3, 1.0)
+        assert profile.peak_in_span()
+
+    def test_peak_outside_span(self):
+        profile = make_profile([0.9, 0, 0.5, 0.6, 0.2, 0, 0])
+        assert not profile.peak_in_span()
+
+    def test_background_pedestal(self):
+        profile = make_profile([0.1, 0.1, 1, 1, 1, 0.1, 0.3])
+        assert profile.background_pedestal() == pytest.approx(0.1)
+
+    def test_contrast(self):
+        profile = make_profile([0.2, 0, 0.5, 0.9, 0.2, 0, 0.1])
+        assert profile.contrast() == pytest.approx(0.7)
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(EvaluationError, match="out of range"):
+            make_profile([0, 1], span=(0, 5))
+
+    def test_sparkline_levels(self):
+        profile = make_profile([0.0, 0.1, 0.3, 0.6, 0.9, 1.0, 0.0], span=(2, 6))
+        curve = profile.sparkline(context=2).splitlines()[0]
+        assert curve == "_.-=^#_"
+
+    def test_sparkline_marks_span(self):
+        profile = make_profile([0, 0, 1, 1, 1, 0, 0], span=(2, 5))
+        marker = profile.sparkline(context=2).splitlines()[1]
+        assert marker.index("|") == 2  # span start offset within the view
+
+
+class TestResponseProfileFromDetectors:
+    def test_stide_profile_confined_to_span(self, training, suite):
+        injected = suite.stream(4)
+        stide = StideDetector(6, 8).fit(training.stream)
+        profile = response_profile(stide, injected)
+        assert profile.peak_in_span()
+        assert profile.outside_span.max() == 0.0
+        assert profile.contrast() == 1.0
+
+    def test_markov_profile_has_background_pedestal(self, training, suite):
+        injected = suite.stream(4)
+        markov = MarkovDetector(4, 8).fit(training.stream)
+        profile = response_profile(markov, injected)
+        assert profile.peak_in_span()
+        assert 0.0 < profile.outside_span.max() < 1.0
+
+
+class TestCompareProfiles:
+    def test_aligned_rendering(self, training, suite):
+        injected = suite.stream(5)
+        profiles = [
+            response_profile(StideDetector(6, 8).fit(training.stream), injected),
+            response_profile(MarkovDetector(6, 8).fit(training.stream), injected),
+        ]
+        text = compare_profiles(profiles)
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("stide")
+        assert lines[-1].lstrip().startswith("span")
+        # Curves are aligned: all rows equally long.
+        assert len({len(line) for line in lines[:-1]}) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError, match="at least one"):
+            compare_profiles([])
+
+    def test_rejects_mismatched_spans(self):
+        a = make_profile([0, 0, 1, 1, 1, 0], span=(2, 5))
+        b = make_profile([0, 0, 1, 1, 1, 0], span=(1, 5))
+        with pytest.raises(EvaluationError, match="different incident spans"):
+            compare_profiles([a, b])

@@ -1,0 +1,71 @@
+"""Tests for repro.evaluation.robustness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.performance_map import build_performance_map
+from repro.evaluation.robustness import (
+    PAPER_SHAPES,
+    ReplicationOutcome,
+    RobustnessReport,
+    blind_shape,
+    full_coverage_shape,
+    replicate_shapes,
+    stide_shape,
+)
+from repro.exceptions import EvaluationError
+from repro.params import scaled_params
+
+
+class TestShapePredicates:
+    def test_stide_shape_on_measured_map(self, suite):
+        assert stide_shape(build_performance_map("stide", suite))
+
+    def test_full_coverage_on_markov(self, suite):
+        assert full_coverage_shape(build_performance_map("markov", suite))
+
+    def test_blind_on_lane_brodley(self, suite):
+        assert blind_shape(build_performance_map("lane-brodley", suite))
+
+    def test_shapes_are_mutually_exclusive_on_these_maps(self, suite):
+        stide_map = build_performance_map("stide", suite)
+        assert not full_coverage_shape(stide_map)
+        assert not blind_shape(stide_map)
+
+    def test_paper_shapes_registry(self):
+        assert set(PAPER_SHAPES) == {
+            "stide",
+            "markov",
+            "neural-network",
+            "lane-brodley",
+        }
+
+
+class TestReplication:
+    def test_rejects_empty_seeds(self, params):
+        with pytest.raises(EvaluationError, match="at least one"):
+            replicate_shapes(params, seeds=())
+
+    def test_two_seeds_hold_cheap_shapes(self):
+        """Replicate the Stide and L&B shapes under two fresh seeds
+        (cheap detectors keep this fast)."""
+        base = scaled_params(40_000)
+        report = replicate_shapes(
+            base,
+            seeds=(101, 202),
+            detectors={"stide": stide_shape, "lane-brodley": blind_shape},
+        )
+        assert report.replications == 2
+        assert report.all_held, report.summary()
+        assert report.failures() == []
+        assert "held across 2" in report.summary()
+
+    def test_failures_reported(self):
+        outcome = ReplicationOutcome(
+            seed=1, training_length=10, shape_held={"stide": False}
+        )
+        report = RobustnessReport(outcomes=(outcome,))
+        assert not report.all_held
+        assert report.failures() == [(1, "stide")]
+        assert "failures" in report.summary()

@@ -1,0 +1,95 @@
+"""Tests for repro.evaluation.scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors import MarkovDetector, StideDetector
+from repro.evaluation.scoring import (
+    DetectionOutcome,
+    ResponseClass,
+    classify_response,
+    score_injected,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestClassifyResponse:
+    def test_zero_is_blind(self):
+        assert classify_response(0.0) is ResponseClass.BLIND
+
+    def test_intermediate_is_weak(self):
+        assert classify_response(0.5) is ResponseClass.WEAK
+
+    def test_one_is_capable(self):
+        assert classify_response(1.0) is ResponseClass.CAPABLE
+
+    def test_tolerance_widens_capable(self):
+        assert classify_response(0.93, tolerance=0.1) is ResponseClass.CAPABLE
+        assert classify_response(0.93, tolerance=0.0) is ResponseClass.WEAK
+
+    def test_rejects_out_of_range_response(self):
+        with pytest.raises(EvaluationError, match=r"\[0, 1\]"):
+            classify_response(1.2)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(EvaluationError, match="tolerance"):
+            classify_response(0.5, tolerance=1.0)
+
+    def test_detects_property(self):
+        assert ResponseClass.CAPABLE.detects
+        assert not ResponseClass.WEAK.detects
+        assert not ResponseClass.BLIND.detects
+        assert not ResponseClass.UNDEFINED.detects
+
+
+class TestScoreInjected:
+    def test_stide_capable_case(self, training, suite):
+        injected = suite.stream(4)
+        stide = StideDetector(6, 8).fit(training.stream)
+        outcome = score_injected(stide, injected)
+        assert outcome.response_class is ResponseClass.CAPABLE
+        assert outcome.detected
+        assert outcome.max_in_span == 1.0
+        assert outcome.spurious_alarms == 0
+
+    def test_stide_blind_case(self, training, suite):
+        injected = suite.stream(9)
+        stide = StideDetector(3, 8).fit(training.stream)
+        outcome = score_injected(stide, injected)
+        assert outcome.response_class is ResponseClass.BLIND
+        assert not outcome.detected
+        assert outcome.max_in_span == 0.0
+
+    def test_span_bounds_recorded(self, training, suite):
+        injected = suite.stream(5)
+        stide = StideDetector(4, 8).fit(training.stream)
+        outcome = score_injected(stide, injected)
+        span = injected.incident_span(4)
+        assert (outcome.span_start, outcome.span_stop) == (span.start, span.stop)
+
+    def test_markov_capable_with_clean_outside(self, training, suite):
+        injected = suite.stream(7)
+        markov = MarkovDetector(3, 8).fit(training.stream)
+        outcome = score_injected(markov, injected)
+        assert outcome.response_class is ResponseClass.CAPABLE
+        assert outcome.max_outside_span < 1.0
+        assert outcome.spurious_alarms == 0
+
+    def test_outcome_is_frozen(self, training, suite):
+        outcome = score_injected(
+            StideDetector(4, 8).fit(training.stream), suite.stream(3)
+        )
+        with pytest.raises(AttributeError):
+            outcome.max_in_span = 0.0  # type: ignore[misc]
+
+    def test_detection_outcome_detected_mirrors_class(self):
+        outcome = DetectionOutcome(
+            response_class=ResponseClass.WEAK,
+            max_in_span=0.5,
+            max_outside_span=0.0,
+            span_start=0,
+            span_stop=3,
+            spurious_alarms=0,
+        )
+        assert not outcome.detected

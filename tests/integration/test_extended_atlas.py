@@ -1,0 +1,62 @@
+"""Extension detectors placed on the paper's grid (mirrors bench E25)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ensemble.coverage import Coverage
+from repro.evaluation.performance_map import build_performance_map
+
+
+@pytest.fixture(scope="module")
+def atlas(suite):
+    names = ("stide", "t-stide", "markov-chain", "hamming", "histogram")
+    return {name: build_performance_map(name, suite) for name in names}
+
+
+class TestTStide:
+    def test_full_coverage(self, atlas):
+        """Rare-window sensitivity buys the whole grid, like Markov."""
+        assert atlas["t-stide"].detection_fraction() == 1.0
+
+    def test_contains_stide(self, atlas):
+        stide = Coverage.from_performance_map(atlas["stide"])
+        tstide = Coverage.from_performance_map(atlas["t-stide"])
+        assert stide.is_strict_subset_of(tstide)
+
+
+class TestMarkovChain:
+    def test_capable_only_at_the_edges(self, atlas, suite):
+        """The size-2 column and the DW=2 row — where one anomalous arc
+        dominates the geometric mean."""
+        cells = atlas["markov-chain"].capable_cells()
+        for window_length in suite.window_lengths:
+            assert (2, window_length) in cells
+        for anomaly_size in suite.anomaly_sizes:
+            assert (anomaly_size, 2) in cells
+        assert all(
+            anomaly_size == 2
+            or window_length == 2
+            or (anomaly_size <= 3 and window_length <= 3)
+            for anomaly_size, window_length in cells
+        )
+
+    def test_interior_is_weak_not_blind(self, atlas):
+        """Inside the grid the chain detector responds strongly but
+        never maximally — graded evidence, no detection."""
+        assert len(atlas["markov-chain"].blind_cells()) == 0
+        assert len(atlas["markov-chain"].weak_cells()) > 0
+
+
+class TestPositionalAndFrequencyFamilies:
+    def test_hamming_blind_like_lane_brodley(self, atlas):
+        assert len(atlas["hamming"].capable_cells()) == 0
+
+    def test_histogram_blind_on_order_anomalies(self, atlas):
+        assert len(atlas["histogram"].capable_cells()) == 0
+
+    def test_every_extension_is_subset_of_tstide(self, atlas):
+        tstide = Coverage.from_performance_map(atlas["t-stide"])
+        for name in ("stide", "markov-chain", "hamming", "histogram"):
+            extension = Coverage.from_performance_map(atlas[name])
+            assert extension.is_subset_of(tstide)

@@ -1,0 +1,119 @@
+"""Failure injection: malformed inputs must fail loudly and typed.
+
+Every failure surfaces as a subclass of
+:class:`~repro.exceptions.ReproError` — never a bare ``KeyError`` or a
+silently wrong result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.injection import InjectionPolicy, inject_anomaly
+from repro.detectors import (
+    LaneBrodleyDetector,
+    MarkovDetector,
+    NeuralDetector,
+    StideDetector,
+    TStideDetector,
+)
+from repro.exceptions import (
+    AlphabetError,
+    DataGenerationError,
+    NotFittedError,
+    ReproError,
+    WindowError,
+)
+from repro.params import PaperParams
+from repro.sequences.alphabet import Alphabet
+from repro.sequences.foreign import ForeignSequenceAnalyzer
+
+ALL_DETECTOR_CLASSES = (
+    StideDetector,
+    TStideDetector,
+    MarkovDetector,
+    LaneBrodleyDetector,
+    NeuralDetector,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        for error_type in (
+            AlphabetError,
+            DataGenerationError,
+            NotFittedError,
+            WindowError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_single_except_clause_suffices(self):
+        with pytest.raises(ReproError):
+            Alphabet([])
+        with pytest.raises(ReproError):
+            PaperParams(alphabet_size=1)
+
+
+@pytest.mark.parametrize("detector_class", ALL_DETECTOR_CLASSES)
+class TestDetectorFailureModes:
+    def test_score_unfitted(self, detector_class):
+        with pytest.raises(NotFittedError):
+            detector_class(3, 8).score_stream([0, 1, 2, 3])
+
+    def test_corrupted_training_codes(self, detector_class):
+        stream = np.asarray([0, 1, 2, 99, 3])
+        with pytest.raises(WindowError, match="alphabet"):
+            detector_class(3, 8).fit(stream)
+
+    def test_corrupted_test_codes(self, detector_class, training):
+        detector = detector_class(3, 8)
+        detector.fit(training.stream[:2000])
+        with pytest.raises(WindowError, match="alphabet"):
+            detector.score_stream([0, 1, -5])
+
+    def test_empty_training(self, detector_class):
+        with pytest.raises(WindowError):
+            detector_class(3, 8).fit([])
+
+    def test_test_stream_shorter_than_window(self, detector_class, training):
+        detector = detector_class(5, 8)
+        detector.fit(training.stream[:2000])
+        with pytest.raises(WindowError, match="shorter"):
+            detector.score_stream([0, 1])
+
+
+class TestDataGenerationFailureModes:
+    def test_injection_policy_requires_margin(self, training):
+        policy = InjectionPolicy(window_lengths=(15,), rare_threshold=0.005)
+        with pytest.raises(ReproError, match="background on a side"):
+            inject_anomaly((0, 0), training, policy, stream_length=20)
+
+    def test_params_reject_inconsistent_ranges(self):
+        with pytest.raises(DataGenerationError):
+            PaperParams(anomaly_sizes=())
+        with pytest.raises(DataGenerationError):
+            PaperParams(window_sizes=(1,))
+        with pytest.raises(DataGenerationError):
+            PaperParams(common_fraction=1.5)
+        with pytest.raises(DataGenerationError):
+            PaperParams(rare_threshold=0.0)
+
+    def test_analyzer_rejects_garbage(self):
+        with pytest.raises(WindowError):
+            ForeignSequenceAnalyzer(np.zeros((3, 3)))
+
+
+class TestDetectorsRejectNaNFreeContract:
+    """Scores must always be finite and within [0, 1]."""
+
+    @pytest.mark.parametrize("detector_class", ALL_DETECTOR_CLASSES)
+    def test_scores_finite_unit_interval(self, detector_class, training):
+        detector = detector_class(3, 8)
+        detector.fit(training.stream[:3000])
+        rng = np.random.default_rng(0)
+        hostile = rng.integers(0, 8, size=300)  # arbitrary, mostly foreign
+        responses = detector.score_stream(hostile)
+        assert np.isfinite(responses).all()
+        assert responses.min() >= 0.0
+        assert responses.max() <= 1.0

@@ -1,0 +1,48 @@
+"""Optional full-paper-scale verification.
+
+Skipped by default (the 1,000,000-element corpus takes minutes); set
+``REPRO_FULL_SCALE=1`` to run the headline shapes at the paper's exact
+scale.  CI-scale equivalents live in ``test_paper_reproduction.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen.suite import build_suite
+from repro.datagen.training import generate_training_data
+from repro.evaluation.performance_map import build_performance_map
+from repro.evaluation.robustness import blind_shape, full_coverage_shape, stide_shape
+from repro.params import paper_params
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_FULL_SCALE", "") != "1",
+    reason="set REPRO_FULL_SCALE=1 to run the 1M-element corpus",
+)
+
+
+@pytest.fixture(scope="module")
+def full_suite():
+    training = generate_training_data(paper_params())
+    return build_suite(training=training)
+
+
+def test_corpus_matches_paper_statistics(full_suite):
+    training = full_suite.training
+    assert training.length == 1_000_000
+    assert training.cycle_run_fraction() > 0.95
+    training.validate()
+
+
+def test_stide_shape_at_full_scale(full_suite):
+    assert stide_shape(build_performance_map("stide", full_suite))
+
+
+def test_markov_shape_at_full_scale(full_suite):
+    assert full_coverage_shape(build_performance_map("markov", full_suite))
+
+
+def test_lane_brodley_shape_at_full_scale(full_suite):
+    assert blind_shape(build_performance_map("lane-brodley", full_suite))

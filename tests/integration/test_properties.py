@@ -1,0 +1,122 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin the structural invariants that hold for *any* corpus, not
+just the shared fixture: detector/response definitions, incident-span
+arithmetic, and the MFS join construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.injection import InjectedStream
+from repro.detectors import MarkovDetector, StideDetector, TStideDetector
+from repro.sequences.foreign import is_minimal_foreign
+from repro.sequences.ngram_store import NgramStore
+from repro.sequences.windows import iter_windows
+
+streams = st.lists(st.integers(0, 4), min_size=12, max_size=120)
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, streams, st.integers(2, 5))
+def test_stide_response_is_foreignness(train, test, window_length):
+    """Stide's definition, end to end: response 1 iff window unseen."""
+    detector = StideDetector(window_length, 5).fit(train)
+    known = set(iter_windows(train, window_length))
+    for response, window in zip(
+        detector.score_stream(test), iter_windows(test, window_length)
+    ):
+        assert response == (0.0 if window in known else 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, streams, st.integers(2, 4))
+def test_tstide_alarms_superset_of_stide(train, test, window_length):
+    """t-stide alarms wherever Stide does (and possibly more)."""
+    stide = StideDetector(window_length, 5).fit(train)
+    tstide = TStideDetector(window_length, 5, rare_threshold=0.1).fit(train)
+    stide_alarms = stide.score_stream(test) == 1.0
+    tstide_alarms = tstide.score_stream(test) == 1.0
+    assert not (stide_alarms & ~tstide_alarms).any()
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, st.integers(2, 4))
+def test_unfloored_markov_matches_conditional_probability(train, window_length):
+    """With no floor, the response is exactly 1 - count(w)/count(ctx)."""
+    detector = MarkovDetector(
+        window_length, 5, rare_floor=0.0, unseen_context_response=1.0
+    ).fit(train)
+    window_counts: dict[tuple[int, ...], int] = {}
+    for window in iter_windows(train, window_length):
+        window_counts[window] = window_counts.get(window, 0) + 1
+    context_counts: dict[tuple[int, ...], int] = {}
+    for context in iter_windows(train, window_length - 1):
+        context_counts[context] = context_counts.get(context, 0) + 1
+    for window in set(iter_windows(train, window_length)):
+        expected = 1.0 - window_counts[window] / context_counts[window[:-1]]
+        assert detector.score_window(window) == pytest.approx(expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(2, 9),  # anomaly size
+    st.integers(2, 15),  # window length
+    st.integers(40, 200),  # stream length
+)
+def test_incident_span_arithmetic(anomaly_size, window_length, stream_length):
+    """Away from edges, |span| = DW + AS - 1 (Figure 2's accounting)."""
+    position = stream_length // 2
+    stream = np.zeros(stream_length, dtype=np.int64)
+    anomaly = tuple([1] * anomaly_size)
+    stream[position : position + anomaly_size] = 1
+    injected = InjectedStream(
+        stream=stream,
+        anomaly=anomaly,
+        position=position,
+        left_phase=0,
+        right_phase=0,
+    )
+    if window_length > stream_length:
+        return
+    span = injected.incident_span(window_length)
+    expected = window_length + anomaly_size - 1
+    # Edge clipping can only shrink the span.
+    assert 1 <= len(span) <= expected
+    if (
+        position - window_length + 1 >= 0
+        and position + anomaly_size - 1 <= stream_length - window_length
+    ):
+        assert len(span) == expected
+    # Every span window overlaps the anomaly; neighbors do not.
+    for start in span:
+        assert injected.window_overlap(start, window_length) > 0
+    if span.start > 0:
+        assert injected.window_overlap(span.start - 1, window_length) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, st.integers(2, 5))
+def test_mfs_join_construction_sound(stream, length):
+    """Any unseen join of two seen (n-1)-grams is a verified MFS."""
+    if len(stream) < length:
+        return
+    store = NgramStore.from_stream(stream, [length - 1, length])
+    parts = set(store.ngrams(length - 1)) if length > 1 else set()
+    found = 0
+    for left in parts:
+        for symbol in range(5):
+            right = left[1:] + (symbol,)
+            if right not in parts:
+                continue
+            candidate = left + (symbol,)
+            if store.contains(candidate):
+                continue
+            assert is_minimal_foreign(candidate, store)
+            found += 1
+            if found > 10:
+                return

@@ -1,0 +1,125 @@
+"""Tests for repro.sequences.alphabet."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import AlphabetError
+from repro.sequences.alphabet import Alphabet
+
+
+class TestConstruction:
+    def test_preserves_symbol_order(self):
+        alphabet = Alphabet(["read", "write", "open"])
+        assert alphabet.symbols == ("read", "write", "open")
+
+    def test_size_counts_symbols(self):
+        assert Alphabet("abc").size == 3
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError, match="at least one symbol"):
+            Alphabet([])
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError, match="duplicate"):
+            Alphabet(["a", "b", "a"])
+
+    def test_of_size_uses_paper_naming(self):
+        alphabet = Alphabet.of_size(8)
+        assert alphabet.symbols == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_of_size_rejects_nonpositive(self):
+        with pytest.raises(AlphabetError, match="positive"):
+            Alphabet.of_size(0)
+
+    def test_from_stream_orders_by_first_appearance(self):
+        alphabet = Alphabet.from_stream(["b", "a", "b", "c", "a"])
+        assert alphabet.symbols == ("b", "a", "c")
+
+
+class TestEncoding:
+    def test_encode_symbol_returns_position(self):
+        alphabet = Alphabet("xyz")
+        assert alphabet.encode_symbol("y") == 1
+
+    def test_decode_code_inverts_encode(self):
+        alphabet = Alphabet.of_size(8)
+        assert alphabet.decode_code(alphabet.encode_symbol(5)) == 5
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError, match="not in alphabet"):
+            Alphabet("ab").encode_symbol("z")
+
+    def test_unhashable_symbol_raises(self):
+        with pytest.raises(AlphabetError, match="unhashable"):
+            Alphabet("ab").encode_symbol([1, 2])
+
+    def test_out_of_range_code_raises(self):
+        with pytest.raises(AlphabetError, match="out of range"):
+            Alphabet("ab").decode_code(2)
+
+    def test_negative_code_raises(self):
+        with pytest.raises(AlphabetError, match="out of range"):
+            Alphabet("ab").decode_code(-1)
+
+    def test_encode_stream(self):
+        alphabet = Alphabet("abc")
+        assert alphabet.encode("cab") == (2, 0, 1)
+
+    def test_decode_stream(self):
+        alphabet = Alphabet("abc")
+        assert alphabet.decode([2, 0, 1]) == ("c", "a", "b")
+
+
+class TestProtocols:
+    def test_contains_member(self):
+        assert "a" in Alphabet("ab")
+
+    def test_contains_non_member(self):
+        assert "z" not in Alphabet("ab")
+
+    def test_contains_unhashable_is_false(self):
+        assert [1] not in Alphabet("ab")
+
+    def test_len(self):
+        assert len(Alphabet("abcd")) == 4
+
+    def test_iteration_yields_symbols_in_order(self):
+        assert list(Alphabet("ab")) == ["a", "b"]
+
+    def test_equality_by_symbols(self):
+        assert Alphabet("ab") == Alphabet(["a", "b"])
+
+    def test_inequality(self):
+        assert Alphabet("ab") != Alphabet("ba")
+
+    def test_equality_with_other_type(self):
+        assert Alphabet("ab") != "ab"
+
+    def test_hashable(self):
+        assert len({Alphabet("ab"), Alphabet(["a", "b"])}) == 1
+
+    def test_repr_small(self):
+        assert "Alphabet" in repr(Alphabet("ab"))
+
+    def test_repr_large_is_truncated(self):
+        text = repr(Alphabet(range(50)))
+        assert "50 symbols" in text
+
+
+@given(st.lists(st.integers(), unique=True, min_size=1, max_size=30))
+def test_roundtrip_property(symbols: list[int]):
+    """encode then decode is the identity on any stream of members."""
+    alphabet = Alphabet(symbols)
+    stream = symbols * 2
+    assert list(alphabet.decode(alphabet.encode(stream))) == stream
+
+
+@given(st.lists(st.integers(), unique=True, min_size=1, max_size=30))
+def test_codes_are_dense(symbols: list[int]):
+    """Codes are exactly 0..size-1 with no gaps."""
+    alphabet = Alphabet(symbols)
+    codes = sorted(alphabet.encode_symbol(s) for s in symbols)
+    assert codes == list(range(len(symbols)))

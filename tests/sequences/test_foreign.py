@@ -1,0 +1,177 @@
+"""Tests for repro.sequences.foreign — the anomaly vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WindowError
+from repro.sequences.foreign import (
+    ForeignSequenceAnalyzer,
+    is_foreign,
+    is_minimal_foreign,
+    is_rare,
+    minimal_foreign_sequences,
+    proper_subsequences,
+)
+from repro.sequences.ngram_store import NgramStore
+
+# A stream where (0,1), (1,2), (2,0) are common and (1,3), (3,0) occur once.
+STREAM = [0, 1, 2] * 20 + [0, 1, 3, 0, 1, 2]
+
+
+class TestForeignness:
+    @pytest.fixture()
+    def store(self) -> NgramStore:
+        return NgramStore.from_stream(STREAM, [1, 2, 3])
+
+    def test_present_sequence_not_foreign(self, store: NgramStore):
+        assert not is_foreign((0, 1), store)
+
+    def test_absent_sequence_foreign(self, store: NgramStore):
+        assert is_foreign((2, 2), store)
+
+    def test_rare_requires_occurrence(self, store: NgramStore):
+        assert is_rare((1, 3), store, threshold=0.05)
+        assert not is_rare((2, 2), store, threshold=0.05)  # foreign, not rare
+        assert not is_rare((0, 1), store, threshold=0.05)  # common
+
+
+class TestMinimalForeign:
+    @pytest.fixture()
+    def store(self) -> NgramStore:
+        return NgramStore.from_stream(STREAM, [1, 2, 3])
+
+    def test_join_of_present_parts_is_mfs(self, store: NgramStore):
+        # (2, 0, 1) has parts (2,0) and (0,1) present... it also occurs.
+        assert store.contains((2, 0, 1))
+        # (3, 0, 1) occurs; (1, 3, 0) occurs; (1,3,0,... build a length-3:
+        # (2, 0, 2)? parts (2,0) present, (0,2) absent -> not MFS.
+        assert not is_minimal_foreign((2, 0, 2), store)
+
+    def test_mfs_detected(self):
+        stream = [0, 1, 2, 3, 0, 1, 2, 3, 1, 2, 0]
+        store = NgramStore.from_stream(stream, [2, 3])
+        # (3, 1, 2) occurs? 3,1 at index 7-8; (3,1,2) occurs. Take (2,3,1):
+        # parts (2,3) and (3,1) occur; full (2,3,1) occurs too -> not foreign.
+        assert not is_minimal_foreign((2, 3, 1), store)
+        # (1, 2, 1): parts (1,2) present, (2,1) absent -> not minimal.
+        assert not is_minimal_foreign((1, 2, 1), store)
+
+    def test_rejects_length_one(self):
+        store = NgramStore.from_stream(STREAM, [1, 2])
+        with pytest.raises(WindowError, match="length >= 2"):
+            is_minimal_foreign((0,), store)
+
+    def test_proper_subsequences_enumeration(self):
+        subs = set(proper_subsequences((1, 2, 3)))
+        assert subs == {(1,), (2,), (3,), (1, 2), (2, 3)}
+
+
+class TestAnalyzer:
+    @pytest.fixture()
+    def analyzer(self) -> ForeignSequenceAnalyzer:
+        return ForeignSequenceAnalyzer(STREAM, rare_threshold=0.05)
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(WindowError, match="non-empty"):
+            ForeignSequenceAnalyzer([])
+
+    def test_rejects_2d_stream(self):
+        with pytest.raises(WindowError, match="one-dimensional"):
+            ForeignSequenceAnalyzer(np.zeros((2, 2)))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(WindowError, match="rare_threshold"):
+            ForeignSequenceAnalyzer(STREAM, rare_threshold=1.5)
+
+    def test_lazily_extends_lengths(self, analyzer: ForeignSequenceAnalyzer):
+        store = analyzer.store_for(5)
+        assert 5 in store.lengths
+        assert analyzer.store_for(5) is store  # cached
+
+    def test_count_and_foreign(self, analyzer: ForeignSequenceAnalyzer):
+        assert analyzer.count((0, 1)) > 0
+        assert analyzer.is_foreign((2, 2))
+        assert not analyzer.is_foreign((0, 1))
+
+    def test_rare_and_common(self, analyzer: ForeignSequenceAnalyzer):
+        assert analyzer.is_rare((1, 3))
+        assert analyzer.is_common((0, 1))
+        assert not analyzer.is_common((1, 3))
+
+    def test_training_length(self, analyzer: ForeignSequenceAnalyzer):
+        assert analyzer.training_length == len(STREAM)
+
+    def test_verify_minimal_foreign_rejects_present(self, analyzer):
+        with pytest.raises(WindowError, match="not foreign"):
+            analyzer.verify_minimal_foreign((0, 1))
+
+    def test_verify_minimal_foreign_rejects_non_minimal(self, analyzer):
+        # (2, 2, 0): subsequence (2, 2) is itself foreign.
+        assert analyzer.is_foreign((2, 2, 0))
+        with pytest.raises(WindowError, match="not minimal"):
+            analyzer.verify_minimal_foreign((2, 2, 0))
+
+    def test_enumeration_requires_length_two(self, analyzer):
+        with pytest.raises(WindowError, match=">= 2"):
+            analyzer.minimal_foreign_sequences(1)
+
+    def test_enumeration_respects_limit(self, analyzer):
+        unlimited = analyzer.minimal_foreign_sequences(2)
+        limited = analyzer.minimal_foreign_sequences(2, limit=1)
+        assert len(limited) == 1
+        assert limited[0] == unlimited[0]
+
+    def test_enumerated_sequences_verify(self, analyzer):
+        for candidate in analyzer.minimal_foreign_sequences(3):
+            analyzer.verify_minimal_foreign(candidate)
+
+    def test_convenience_wrapper_matches_analyzer(self, analyzer):
+        direct = minimal_foreign_sequences(STREAM, 3, rare_threshold=0.05)
+        assert direct == analyzer.minimal_foreign_sequences(3)
+
+
+class TestAgainstPaperCorpus:
+    """MFS machinery on the real training corpus (shared fixture)."""
+
+    def test_paper_sizes_all_constructible(self, training):
+        analyzer = training.analyzer
+        for size in training.params.anomaly_sizes:
+            rare_only = size >= 3
+            found = analyzer.minimal_foreign_sequences(
+                size, rare_parts_only=rare_only, limit=1
+            )
+            assert found, f"no MFS of size {size}"
+
+    def test_shortcut_agrees_with_exhaustive_oracle(self, training):
+        analyzer = training.analyzer
+        for size in (3, 5, 7):
+            for candidate in analyzer.minimal_foreign_sequences(
+                size, rare_parts_only=True, limit=3
+            ):
+                assert analyzer.is_minimal_foreign(candidate)
+                analyzer.verify_minimal_foreign(candidate)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(0, 3), min_size=10, max_size=100),
+    st.integers(2, 4),
+)
+def test_mfs_shortcut_equals_definition(stream: list[int], length: int):
+    """is_minimal_foreign agrees with the from-definition check everywhere."""
+    store = NgramStore.from_stream(stream, list(range(1, length + 1)))
+    if len(stream) < length:
+        return
+    # Enumerate every possible sequence of this length over the observed alphabet.
+    alphabet = sorted(set(stream))
+    import itertools
+
+    for candidate in itertools.product(alphabet, repeat=length):
+        by_definition = not store.contains(candidate) and all(
+            store.contains(sub) for sub in proper_subsequences(candidate)
+        )
+        assert is_minimal_foreign(candidate, store) == by_definition

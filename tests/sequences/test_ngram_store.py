@@ -1,0 +1,169 @@
+"""Tests for repro.sequences.ngram_store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import WindowError
+from repro.sequences.ngram_store import NgramStore
+
+STREAM = [0, 1, 2, 0, 1, 2, 0, 1, 3]
+
+
+class TestConstruction:
+    def test_requires_a_length(self):
+        with pytest.raises(WindowError, match="at least one"):
+            NgramStore([])
+
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(WindowError, match="positive"):
+            NgramStore([0, 2])
+
+    def test_lengths_sorted_and_deduplicated(self):
+        assert NgramStore([3, 2, 3]).lengths == (2, 3)
+
+    def test_from_stream_counts(self):
+        store = NgramStore.from_stream(STREAM, [2])
+        assert store.count((0, 1)) == 3
+
+    def test_update_rejects_2d(self):
+        with pytest.raises(WindowError, match="one-dimensional"):
+            NgramStore([2]).update(np.zeros((2, 2)))
+
+
+class TestCounts:
+    @pytest.fixture()
+    def store(self) -> NgramStore:
+        return NgramStore.from_stream(STREAM, [1, 2, 3])
+
+    def test_total_is_window_count(self, store: NgramStore):
+        assert store.total(2) == len(STREAM) - 1
+
+    def test_total_unindexed_length_raises(self, store: NgramStore):
+        with pytest.raises(WindowError, match="not indexed"):
+            store.total(5)
+
+    def test_distinct(self, store: NgramStore):
+        assert store.distinct(1) == 4
+
+    def test_count_absent_ngram_is_zero(self, store: NgramStore):
+        assert store.count((3, 3)) == 0
+
+    def test_counts_view_is_copy(self, store: NgramStore):
+        view = store.counts(2)
+        view[(9, 9)] = 1
+        assert store.count((9, 9)) == 0
+
+    def test_contains(self, store: NgramStore):
+        assert store.contains((1, 2))
+        assert not store.contains((2, 2))
+
+    def test_dunder_contains(self, store: NgramStore):
+        assert (1, 2) in store
+        assert (9, 9, 9, 9) not in store  # unindexed length: False, not raise
+        assert "xy" not in store
+
+    def test_counts_sum_to_total(self, store: NgramStore):
+        for length in store.lengths:
+            assert sum(store.counts(length).values()) == store.total(length)
+
+    def test_multiple_streams_do_not_count_junctions(self):
+        store = NgramStore([2])
+        store.update([0, 1])
+        store.update([2, 3])
+        assert store.count((1, 2)) == 0
+        assert store.total(2) == 2
+
+    def test_update_accumulates(self):
+        store = NgramStore([2])
+        store.update([0, 1])
+        store.update([0, 1])
+        assert store.count((0, 1)) == 2
+
+
+class TestFrequencies:
+    @pytest.fixture()
+    def store(self) -> NgramStore:
+        return NgramStore.from_stream(STREAM, [2])
+
+    def test_relative_frequency(self, store: NgramStore):
+        assert store.relative_frequency((0, 1)) == pytest.approx(3 / 8)
+
+    def test_relative_frequency_absent(self, store: NgramStore):
+        assert store.relative_frequency((3, 0)) == 0.0
+
+    def test_relative_frequency_empty_store(self):
+        store = NgramStore([2])
+        assert store.relative_frequency((0, 1)) == 0.0
+
+    def test_rare_ngrams(self, store: NgramStore):
+        rare = store.rare_ngrams(2, threshold=0.2)
+        assert (1, 3) in rare  # occurs once out of 8 windows
+        assert (0, 1) not in rare
+
+    def test_common_ngrams_complement_rare(self, store: NgramStore):
+        threshold = 0.2
+        rare = set(store.rare_ngrams(2, threshold))
+        common = set(store.common_ngrams(2, threshold))
+        assert rare | common == set(store.ngrams(2))
+        assert not rare & common
+
+    def test_rare_ngrams_empty_store(self):
+        assert NgramStore([2]).rare_ngrams(2, 0.5) == []
+
+
+class TestSuccessors:
+    def test_successor_counts(self):
+        store = NgramStore.from_stream(STREAM, [1, 2])
+        assert store.successor_counts((0,)) == {1: 3}
+        assert store.successor_counts((1,)) == {2: 2, 3: 1}
+
+    def test_successor_counts_unknown_context(self):
+        store = NgramStore.from_stream(STREAM, [2])
+        assert store.successor_counts((7,)) == {}
+
+    def test_successor_counts_requires_indexed_span(self):
+        store = NgramStore.from_stream(STREAM, [2])
+        with pytest.raises(WindowError, match="not indexed"):
+            store.successor_counts((0, 1))
+
+
+class TestMergeDisjoint:
+    def test_merge_adds_new_lengths(self):
+        base = NgramStore.from_stream(STREAM, [2])
+        extension = NgramStore.from_stream(STREAM, [3])
+        base.merge_disjoint(extension)
+        assert base.lengths == (2, 3)
+        assert base.count((0, 1, 2)) == 2
+
+    def test_merge_rejects_shared_lengths(self):
+        base = NgramStore.from_stream(STREAM, [2])
+        with pytest.raises(WindowError, match="sharing"):
+            base.merge_disjoint(NgramStore.from_stream(STREAM, [2, 4]))
+
+    def test_repr_mentions_lengths(self):
+        assert "2" in repr(NgramStore.from_stream(STREAM, [2]))
+
+
+@given(
+    st.lists(st.integers(0, 4), min_size=1, max_size=80),
+    st.integers(1, 6),
+)
+def test_counts_sum_to_window_count_property(stream: list[int], length: int):
+    """Sum of all n-gram counts equals the stream's window count."""
+    store = NgramStore.from_stream(stream, [length])
+    assert sum(store.counts(length).values()) == max(0, len(stream) - length + 1)
+
+
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=60))
+def test_successors_consistent_with_counts(stream: list[int]):
+    """Successor counts of a context sum to occurrences of extendable context."""
+    store = NgramStore.from_stream(stream, [1, 2])
+    for symbol in range(4):
+        successors = store.successor_counts((symbol,))
+        # Context occurrences that can extend = occurrences not at stream end.
+        extendable = stream[:-1].count(symbol)
+        assert sum(successors.values()) == extendable

@@ -1,0 +1,128 @@
+"""Tests for repro.sequences.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WindowError
+from repro.sequences.ngram_store import NgramStore
+from repro.sequences.stats import (
+    conditional_entropy,
+    frequency_spectrum,
+    ngram_space_saturation,
+    symbol_distribution,
+)
+
+# 80% (0,1) alternation + one rare excursion through 2.
+STREAM = [0, 1] * 40 + [0, 2, 0, 1]
+
+
+class TestFrequencySpectrum:
+    @pytest.fixture()
+    def store(self) -> NgramStore:
+        return NgramStore.from_stream(STREAM, [2])
+
+    def test_partition_is_exhaustive(self, store):
+        spectrum = frequency_spectrum(store, 2, rare_threshold=0.05)
+        assert spectrum.common + spectrum.rare == spectrum.distinct
+        assert spectrum.common_mass + spectrum.rare_mass == pytest.approx(1.0)
+
+    def test_dominant_pairs_are_common(self, store):
+        spectrum = frequency_spectrum(store, 2, rare_threshold=0.05)
+        assert spectrum.common == 2  # (0,1) and (1,0)
+        assert spectrum.common_mass > 0.9
+
+    def test_rare_pairs_counted(self, store):
+        spectrum = frequency_spectrum(store, 2, rare_threshold=0.05)
+        assert spectrum.rare == 2  # (0,2) and (2,0)
+
+    def test_describe(self, store):
+        text = frequency_spectrum(store, 2, 0.05).describe()
+        assert "distinct" in text and "common" in text
+
+    def test_empty_store(self):
+        store = NgramStore([3])
+        spectrum = frequency_spectrum(store, 3, 0.05)
+        assert spectrum.total == 0
+        assert spectrum.common_mass == 0.0
+
+    def test_paper_corpus_structure(self, training):
+        """The paper's ~98%/2% split shows up in the pair spectrum."""
+        store = training.analyzer.store_for(2)
+        spectrum = frequency_spectrum(
+            store, 2, training.params.rare_threshold
+        )
+        assert spectrum.common == 8  # the cycle pairs
+        assert spectrum.common_mass > 0.95
+        assert spectrum.rare >= 7  # the jump pairs
+
+
+class TestConditionalEntropy:
+    def test_deterministic_stream_has_zero_entropy(self):
+        store = NgramStore.from_stream([0, 1, 2, 3] * 30, [1, 2])
+        assert conditional_entropy(store, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_stream_has_full_entropy(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 4, size=40_000)
+        store = NgramStore.from_stream(stream, [1, 2])
+        assert conditional_entropy(store, 1) == pytest.approx(2.0, abs=0.02)
+
+    def test_paper_corpus_near_deterministic(self, training):
+        store = training.analyzer.store_for(1, 2)
+        entropy = conditional_entropy(store, 1)
+        assert 0.0 < entropy < 0.3  # tiny nondeterminism only
+
+    def test_rejects_bad_context_length(self):
+        store = NgramStore.from_stream([0, 1], [1, 2])
+        with pytest.raises(WindowError, match="context_length"):
+            conditional_entropy(store, 0)
+
+    def test_empty_store_zero(self):
+        store = NgramStore([1, 2])
+        assert conditional_entropy(store, 1) == 0.0
+
+
+class TestSaturation:
+    def test_full_saturation(self):
+        # All 4 pairs over {0,1} present.
+        store = NgramStore.from_stream([0, 0, 1, 1, 0, 1, 0, 0], [2])
+        assert ngram_space_saturation(store, 2, 2) == 1.0
+
+    def test_partial_saturation(self, training):
+        store = training.analyzer.store_for(2)
+        saturation = ngram_space_saturation(store, 2, 8)
+        # 8 cycle pairs + 7 jump pairs of 64 possible.
+        assert saturation == pytest.approx(15 / 64)
+
+    def test_rejects_tiny_alphabet(self):
+        store = NgramStore.from_stream([0, 0], [2])
+        with pytest.raises(WindowError, match="alphabet_size"):
+            ngram_space_saturation(store, 2, 1)
+
+
+class TestSymbolDistribution:
+    def test_sums_to_one(self):
+        distribution = symbol_distribution(np.asarray([0, 1, 1, 2]), 4)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert distribution.tolist() == [0.25, 0.5, 0.25, 0.0]
+
+    def test_empty_stream(self):
+        assert symbol_distribution(np.asarray([], dtype=int), 3).tolist() == [
+            0.0,
+            0.0,
+            0.0,
+        ]
+
+    def test_rejects_2d(self):
+        with pytest.raises(WindowError, match="1-D"):
+            symbol_distribution(np.zeros((2, 2), dtype=int), 2)
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(WindowError, match="outside"):
+            symbol_distribution(np.asarray([0, 9]), 4)
+
+    def test_paper_corpus_roughly_uniform(self, training):
+        distribution = symbol_distribution(training.stream, 8)
+        assert np.allclose(distribution, 1 / 8, atol=0.02)

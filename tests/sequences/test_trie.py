@@ -1,0 +1,121 @@
+"""Tests for repro.sequences.trie."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import WindowError
+from repro.sequences.trie import SequenceTrie
+
+
+class TestInsertAndLookup:
+    def test_exact_count(self):
+        trie = SequenceTrie()
+        trie.insert((1, 2, 3))
+        trie.insert((1, 2, 3), count=2)
+        assert trie.count((1, 2, 3)) == 3
+
+    def test_absent_sequence_count_zero(self):
+        trie = SequenceTrie()
+        trie.insert((1, 2))
+        assert trie.count((1, 3)) == 0
+
+    def test_prefix_is_not_exact_match(self):
+        trie = SequenceTrie()
+        trie.insert((1, 2, 3))
+        assert trie.count((1, 2)) == 0
+        assert trie.contains((1, 2, 3))
+        assert not trie.contains((1, 2))
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(WindowError, match="empty"):
+            SequenceTrie().insert(())
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(WindowError, match="positive"):
+            SequenceTrie().insert((1,), count=0)
+
+
+class TestPrefixQueries:
+    @pytest.fixture()
+    def trie(self) -> SequenceTrie:
+        t = SequenceTrie()
+        t.insert((1, 2, 3), count=2)
+        t.insert((1, 2, 4))
+        t.insert((5,))
+        return t
+
+    def test_prefix_count(self, trie: SequenceTrie):
+        assert trie.prefix_count((1, 2)) == 3
+
+    def test_prefix_count_root(self, trie: SequenceTrie):
+        assert trie.prefix_count(()) == 4
+
+    def test_has_prefix(self, trie: SequenceTrie):
+        assert trie.has_prefix((1,))
+        assert not trie.has_prefix((2,))
+
+    def test_successors(self, trie: SequenceTrie):
+        assert trie.successors((1, 2)) == {3: 2, 4: 1}
+
+    def test_successors_of_unknown_prefix(self, trie: SequenceTrie):
+        assert trie.successors((9,)) == {}
+
+    def test_total_insertions(self, trie: SequenceTrie):
+        assert trie.total_insertions == 4
+
+
+class TestIteration:
+    def test_iter_sequences_yields_end_counts(self):
+        trie = SequenceTrie()
+        trie.insert((2, 1))
+        trie.insert((1,), count=3)
+        assert dict(trie.iter_sequences()) == {(1,): 3, (2, 1): 1}
+
+    def test_len_counts_distinct_sequences(self):
+        trie = SequenceTrie()
+        trie.insert((1, 2))
+        trie.insert((1, 2))
+        trie.insert((3,))
+        assert len(trie) == 2
+
+    def test_repr(self):
+        trie = SequenceTrie()
+        trie.insert((1,))
+        assert "distinct=1" in repr(trie)
+
+
+class TestFromStream:
+    def test_counts_equal_ngram_multiplicity(self):
+        trie = SequenceTrie.from_stream([0, 1, 0, 1, 0], 2)
+        assert trie.count((0, 1)) == 2
+        assert trie.count((1, 0)) == 2
+        assert trie.total_insertions == 4
+
+
+@given(st.lists(st.lists(st.integers(0, 3), min_size=1, max_size=6), max_size=30))
+def test_trie_agrees_with_dict_counting(sequences: list[list[int]]):
+    """Exact-match counts agree with a plain dictionary tally."""
+    trie = SequenceTrie()
+    tally: dict[tuple[int, ...], int] = {}
+    for sequence in sequences:
+        trie.insert(sequence)
+        key = tuple(sequence)
+        tally[key] = tally.get(key, 0) + 1
+    for key, expected in tally.items():
+        assert trie.count(key) == expected
+    assert dict(trie.iter_sequences()) == tally
+
+
+@given(st.lists(st.integers(0, 2), min_size=3, max_size=40))
+def test_prefix_counts_are_monotone(stream: list[int]):
+    """Extending a prefix can never increase its pass count."""
+    trie = SequenceTrie.from_stream(stream, 3)
+    for window in {tuple(stream[i : i + 3]) for i in range(len(stream) - 2)}:
+        assert (
+            trie.prefix_count(window[:1])
+            >= trie.prefix_count(window[:2])
+            >= trie.prefix_count(window)
+        )

@@ -1,0 +1,136 @@
+"""Tests for repro.sequences.windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import WindowError
+from repro.sequences.windows import (
+    iter_windows,
+    pack_window,
+    pack_windows,
+    window_count,
+    windows_array,
+)
+
+
+class TestWindowCount:
+    def test_exact_fit(self):
+        assert window_count(5, 5) == 1
+
+    def test_typical(self):
+        assert window_count(10, 3) == 8
+
+    def test_stream_shorter_than_window(self):
+        assert window_count(2, 5) == 0
+
+    def test_zero_length_stream(self):
+        assert window_count(0, 3) == 0
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(WindowError, match="positive"):
+            window_count(10, 0)
+
+    def test_rejects_negative_stream(self):
+        with pytest.raises(WindowError, match="non-negative"):
+            window_count(-1, 2)
+
+
+class TestIterWindows:
+    def test_yields_all_windows_in_order(self):
+        assert list(iter_windows([1, 2, 3, 4], 2)) == [(1, 2), (2, 3), (3, 4)]
+
+    def test_window_equal_to_stream(self):
+        assert list(iter_windows([1, 2], 2)) == [(1, 2)]
+
+    def test_empty_when_stream_too_short(self):
+        assert list(iter_windows([1], 2)) == []
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(WindowError, match="positive"):
+            list(iter_windows([1, 2], 0))
+
+
+class TestWindowsArray:
+    def test_shape(self):
+        view = windows_array(np.arange(10), 4)
+        assert view.shape == (7, 4)
+
+    def test_rows_are_consecutive_windows(self):
+        view = windows_array(np.asarray([5, 6, 7, 8]), 2)
+        assert view.tolist() == [[5, 6], [6, 7], [7, 8]]
+
+    def test_accepts_plain_sequences(self):
+        assert windows_array([1, 2, 3], 2).shape == (2, 2)
+
+    def test_rejects_short_stream(self):
+        with pytest.raises(WindowError, match="shorter"):
+            windows_array([1], 2)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(WindowError, match="one-dimensional"):
+            windows_array(np.zeros((2, 2)), 2)
+
+
+class TestPacking:
+    def test_pack_single_window(self):
+        # (1, 2, 3) over alphabet 8 -> 1*64 + 2*8 + 3.
+        assert pack_window((1, 2, 3), 8) == 83
+
+    def test_pack_matches_manual_base_conversion(self):
+        windows = np.asarray([[0, 0], [0, 1], [1, 0]])
+        assert pack_windows(windows, 4).tolist() == [0, 1, 4]
+
+    def test_pack_rejects_out_of_range_codes(self):
+        with pytest.raises(WindowError, match="out of range"):
+            pack_windows(np.asarray([[0, 9]]), 8)
+
+    def test_pack_rejects_negative_codes(self):
+        with pytest.raises(WindowError, match="out of range"):
+            pack_windows(np.asarray([[-1, 0]]), 8)
+
+    def test_pack_rejects_overflow(self):
+        with pytest.raises(WindowError, match="overflow"):
+            pack_windows(np.zeros((1, 40), dtype=np.int64), 64)
+
+    def test_pack_rejects_tiny_alphabet(self):
+        with pytest.raises(WindowError, match="alphabet_size"):
+            pack_windows(np.zeros((1, 2), dtype=np.int64), 1)
+
+    def test_pack_rejects_non_2d(self):
+        with pytest.raises(WindowError, match="2-D"):
+            pack_windows(np.zeros(3, dtype=np.int64), 8)
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=8),
+    st.data(),
+)
+def test_packing_is_injective(alphabet_size: int, length: int, data):
+    """Distinct windows pack to distinct integers."""
+    windows = data.draw(
+        st.lists(
+            st.tuples(
+                *[st.integers(0, alphabet_size - 1) for _ in range(length)]
+            ),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    packed = pack_windows(np.asarray(windows, dtype=np.int64), alphabet_size)
+    assert len(set(packed.tolist())) == len(windows)
+
+
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=60), st.integers(1, 10))
+def test_iter_windows_agrees_with_array(stream: list[int], window_length: int):
+    """The pure-Python and NumPy window iterators agree."""
+    expected = list(iter_windows(stream, window_length))
+    assert len(expected) == window_count(len(stream), window_length)
+    if expected:
+        view = windows_array(np.asarray(stream), window_length)
+        assert [tuple(row) for row in view.tolist()] == expected

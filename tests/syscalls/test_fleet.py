@@ -1,0 +1,88 @@
+"""Tests for repro.syscalls.fleet — profile granularity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DetectorConfigurationError, EvaluationError
+from repro.syscalls import build_dataset, ftpd_model, lpr_model, sendmail_model
+from repro.syscalls.fleet import FleetMonitor
+from repro.syscalls.generator import TraceGenerator
+
+WINDOW = 4
+
+
+@pytest.fixture(scope="module")
+def fleet() -> FleetMonitor:
+    datasets = [
+        build_dataset(
+            model,
+            training_sessions=120,
+            test_normal_sessions=5,
+            test_intrusion_sessions=5,
+        )
+        for model in (sendmail_model(), lpr_model(), ftpd_model())
+    ]
+    return FleetMonitor(datasets, window_length=WINDOW)
+
+
+class TestConstruction:
+    def test_programs_registered(self, fleet):
+        assert set(fleet.programs) == {"sendmail", "lpr", "ftpd"}
+
+    def test_window_and_alphabet(self, fleet):
+        assert fleet.window_length == WINDOW
+        assert "execve" in fleet.alphabet
+
+    def test_rejects_empty(self):
+        with pytest.raises(DetectorConfigurationError, match="at least one"):
+            FleetMonitor([], window_length=4)
+
+    def test_rejects_duplicates(self):
+        dataset = build_dataset(
+            lpr_model(), training_sessions=5,
+            test_normal_sessions=1, test_intrusion_sessions=1,
+        )
+        with pytest.raises(DetectorConfigurationError, match="duplicate"):
+            FleetMonitor([dataset, dataset], window_length=4)
+
+    def test_unknown_program_raises(self, fleet):
+        with pytest.raises(EvaluationError, match="not monitored"):
+            fleet.profile("httpd")
+
+
+class TestGranularity:
+    """Per-program profiles see cross-program misuse; pooled does not."""
+
+    def test_own_behavior_is_normal_everywhere(self, fleet):
+        rng = np.random.default_rng(0)
+        session = TraceGenerator(sendmail_model()).normal_session(rng, 20)
+        assert fleet.score("sendmail", session.stream).max() == 0.0
+        assert fleet.score_pooled(session.stream).max() == 0.0
+
+    def test_cross_program_behavior_flagged_by_owner_profile(self, fleet):
+        """An lpr-style session inside sendmail's stream is anomalous
+        for sendmail's profile..."""
+        rng = np.random.default_rng(1)
+        lpr_session = TraceGenerator(lpr_model()).normal_session(rng, 20)
+        responses = fleet.score("sendmail", lpr_session.stream)
+        assert responses.max() == 1.0
+
+    def test_cross_program_behavior_invisible_to_pooled(self, fleet):
+        """...but normal for the pooled profile (any program's behavior
+        is 'self')."""
+        rng = np.random.default_rng(1)
+        lpr_session = TraceGenerator(lpr_model()).normal_session(rng, 20)
+        responses = fleet.score_pooled(lpr_session.stream)
+        # Interior windows of lpr paths are pooled-normal; only path
+        # junction combinations unseen in pooled training may fire.
+        lpr_interior_alarm_rate = (responses == 1.0).mean()
+        owner = (fleet.score("sendmail", lpr_session.stream) == 1.0).mean()
+        assert lpr_interior_alarm_rate < owner / 2
+
+    def test_exploits_caught_by_both(self, fleet):
+        rng = np.random.default_rng(2)
+        intrusion = TraceGenerator(sendmail_model()).intrusion_session(rng, 20)
+        assert fleet.score("sendmail", intrusion.stream).max() == 1.0
+        assert fleet.score_pooled(intrusion.stream).max() == 1.0

@@ -1,0 +1,170 @@
+"""Tests for repro.syscalls.generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataGenerationError, EvaluationError
+from repro.syscalls.generator import (
+    LabeledTrace,
+    TraceGenerator,
+    build_dataset,
+    truth_window_regions,
+)
+from repro.syscalls.programs import lpr_model, sendmail_model
+
+
+@pytest.fixture(scope="module")
+def generator() -> TraceGenerator:
+    return TraceGenerator(sendmail_model())
+
+
+class TestLabeledTrace:
+    def test_rejects_inconsistent_labeling(self):
+        with pytest.raises(DataGenerationError, match="together"):
+            LabeledTrace(
+                stream=np.zeros(5, dtype=np.int64),
+                intrusion_region=(0, 2),
+                exploit_name=None,
+            )
+
+    def test_rejects_out_of_range_region(self):
+        with pytest.raises(DataGenerationError, match="out of range"):
+            LabeledTrace(
+                stream=np.zeros(5, dtype=np.int64),
+                intrusion_region=(3, 9),
+                exploit_name="x",
+            )
+
+    def test_is_intrusion(self):
+        normal = LabeledTrace(
+            stream=np.zeros(3, dtype=np.int64),
+            intrusion_region=None,
+            exploit_name=None,
+        )
+        assert not normal.is_intrusion
+
+
+class TestTruthWindowRegions:
+    def test_normal_trace_has_no_regions(self):
+        trace = LabeledTrace(
+            stream=np.zeros(10, dtype=np.int64),
+            intrusion_region=None,
+            exploit_name=None,
+        )
+        assert truth_window_regions(trace, 3) == []
+
+    def test_region_covers_overlapping_windows(self):
+        trace = LabeledTrace(
+            stream=np.zeros(10, dtype=np.int64),
+            intrusion_region=(4, 6),
+            exploit_name="x",
+        )
+        # Windows of length 3 overlapping [4, 6): starts 2..5.
+        assert truth_window_regions(trace, 3) == [(2, 6)]
+
+    def test_region_clipped_to_valid_starts(self):
+        trace = LabeledTrace(
+            stream=np.zeros(6, dtype=np.int64),
+            intrusion_region=(4, 6),
+            exploit_name="x",
+        )
+        assert truth_window_regions(trace, 4) == [(1, 3)]
+
+    def test_rejects_bad_window(self):
+        trace = LabeledTrace(
+            stream=np.zeros(6, dtype=np.int64),
+            intrusion_region=None,
+            exploit_name=None,
+        )
+        with pytest.raises(EvaluationError, match="window_length"):
+            truth_window_regions(trace, 0)
+
+
+class TestSessions:
+    def test_normal_session_concatenates_paths(self, generator):
+        rng = np.random.default_rng(0)
+        session = generator.normal_session(rng, path_count=10)
+        assert not session.is_intrusion
+        assert len(session.stream) >= 10 * 5  # paths are at least 5 calls
+
+    def test_sample_paths_rejects_zero(self, generator):
+        with pytest.raises(DataGenerationError, match="path_count"):
+            generator.sample_paths(np.random.default_rng(0), 0)
+
+    def test_intrusion_session_embeds_exploit(self, generator):
+        rng = np.random.default_rng(1)
+        session = generator.intrusion_session(rng, path_count=8)
+        assert session.is_intrusion
+        start, stop = session.intrusion_region
+        exploit = generator.model.path(session.exploit_name)
+        embedded = generator.alphabet.decode(session.stream[start:stop].tolist())
+        assert embedded == exploit.calls
+
+    def test_named_exploit_selection(self, generator):
+        rng = np.random.default_rng(2)
+        session = generator.intrusion_session(
+            rng, exploit_name="overflow-shell"
+        )
+        assert session.exploit_name == "overflow-shell"
+
+    def test_normal_path_cannot_be_named_as_exploit(self, generator):
+        rng = np.random.default_rng(3)
+        with pytest.raises(DataGenerationError, match="not an exploit"):
+            generator.intrusion_session(rng, exploit_name="smtp-accept")
+
+    def test_coverage_session_visits_all_paths(self, generator):
+        session = generator.coverage_session()
+        total = sum(len(p.calls) for p in generator.model.paths)
+        assert len(session.stream) == total
+
+    def test_sampling_deterministic_under_seed(self, generator):
+        a = generator.normal_session(np.random.default_rng(9), 10)
+        b = generator.normal_session(np.random.default_rng(9), 10)
+        assert np.array_equal(a.stream, b.stream)
+
+    def test_weights_respected(self, generator):
+        rng = np.random.default_rng(4)
+        paths = generator.sample_paths(rng, 2000)
+        names = [p.name for p in paths]
+        assert names.count("smtp-receive") > names.count("bounce-handling") * 20
+
+
+class TestBuildDataset:
+    def test_split_sizes(self, syscall_dataset):
+        assert len(syscall_dataset.test_normal) == 20
+        assert len(syscall_dataset.test_intrusions) == 15
+        # Training has the requested sessions plus coverage sessions.
+        assert len(syscall_dataset.training) == 150 + 1
+
+    def test_training_is_normal_only(self, syscall_dataset):
+        assert all(not trace.is_intrusion for trace in syscall_dataset.training)
+
+    def test_intrusions_are_labeled(self, syscall_dataset):
+        assert all(trace.is_intrusion for trace in syscall_dataset.test_intrusions)
+
+    def test_training_streams_helper(self, syscall_dataset):
+        streams = syscall_dataset.training_streams()
+        assert len(streams) == len(syscall_dataset.training)
+        assert all(isinstance(stream, np.ndarray) for stream in streams)
+
+    def test_rare_paths_present_in_training(self, syscall_dataset):
+        """Coverage sessions guarantee every rare path was seen."""
+        model = sendmail_model()
+        alphabet = syscall_dataset.alphabet
+        pooled = [stream.tolist() for stream in syscall_dataset.training_streams()]
+        for rare in model.rare_paths:
+            encoded = list(alphabet.encode(rare.calls))
+            found = any(
+                encoded == stream[i : i + len(encoded)]
+                for stream in pooled
+                for i in range(len(stream) - len(encoded) + 1)
+            )
+            assert found, f"rare path {rare.name} absent from training"
+
+    def test_different_programs_share_alphabet(self):
+        lpr = build_dataset(lpr_model(), training_sessions=5,
+                            test_normal_sessions=2, test_intrusion_sessions=2)
+        assert lpr.alphabet.size == len(lpr.alphabet.symbols)
+        assert "execve" in lpr.alphabet

@@ -1,0 +1,93 @@
+"""Tests for repro.syscalls.mimicry — evading Stide with padding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import StideDetector
+from repro.exceptions import DataGenerationError
+from repro.sequences.ngram_store import NgramStore
+from repro.syscalls.mimicry import MimicryResult, pad_to_mimic, window_is_normal
+
+# Normal behavior: the cycle 0 1 2 3.  The attacker must execute 0 then 2
+# (a foreign adjacency) — but 0 1 2 is normal, so padding with 1 hides it.
+NORMAL = [0, 1, 2, 3] * 30
+EXPLOIT = (0, 2)
+
+
+@pytest.fixture()
+def store() -> NgramStore:
+    return NgramStore.from_stream(NORMAL, [2])
+
+
+class TestWindowIsNormal:
+    def test_all_known_windows(self, store):
+        assert window_is_normal((0, 1, 2, 3), store, 2)
+
+    def test_foreign_window_detected(self, store):
+        assert not window_is_normal((0, 2), store, 2)
+
+    def test_short_sequence_trivially_normal(self, store):
+        assert window_is_normal((0,), store, 2)
+
+
+class TestPadToMimic:
+    def test_successful_padding(self, store):
+        result = pad_to_mimic(EXPLOIT, store, window_length=2)
+        assert result.succeeded
+        assert result.overhead >= 1
+        # The exploit calls appear in order within the padded sequence.
+        padded = list(result.padded)
+        i = padded.index(0)
+        assert 2 in padded[i + 1 :]
+        # And the padded sequence is invisible to Stide.
+        stide = StideDetector(2, 4).fit(NORMAL)
+        assert stide.score_stream(np.asarray(result.padded)).max() == 0.0
+
+    def test_direct_exploit_is_visible(self):
+        stide = StideDetector(2, 4).fit(NORMAL)
+        assert stide.score_stream(np.asarray(EXPLOIT)).max() == 1.0
+
+    def test_impossible_mimicry_fails_cleanly(self):
+        # Normal behavior never emits symbol 3 after anything but 2, and
+        # never allows a path from 3 back to 3; a 3->3 requirement with
+        # no padding budget cannot be hidden.
+        store = NgramStore.from_stream([0, 1, 2, 3] * 10, [2])
+        result = pad_to_mimic((3, 3), store, window_length=2, max_padding=0)
+        assert not result.succeeded
+        assert result.padded is None
+        assert result.overhead == 0
+
+    def test_budget_exhaustion_returns_failure(self, store):
+        result = pad_to_mimic(
+            (0, 2), store, window_length=2, max_attempts=1
+        )
+        assert not result.succeeded
+        assert result.attempts >= 1
+
+    def test_rejects_empty_exploit(self, store):
+        with pytest.raises(DataGenerationError, match="non-empty"):
+            pad_to_mimic((), store, window_length=2)
+
+    def test_rejects_bad_window(self, store):
+        with pytest.raises(DataGenerationError, match="window_length"):
+            pad_to_mimic(EXPLOIT, store, window_length=1)
+
+    def test_result_dataclass(self):
+        result = MimicryResult(padded=None, original_length=2, attempts=5)
+        assert not result.succeeded
+        assert result.overhead == 0
+
+
+class TestOnPaperCorpus:
+    def test_mfs_can_be_hidden_from_small_windows(self, training, suite):
+        """A size-2 MFS (foreign pair) can be padded into normality —
+        turning a Stide-capable case into a mimicry miss."""
+        anomaly = suite.anomaly(2).sequence
+        store = training.analyzer.store_for(2)
+        stide = StideDetector(2, 8).fit(training.stream)
+        assert stide.score_stream(np.asarray(anomaly)).max() == 1.0
+        result = pad_to_mimic(anomaly, store, window_length=2, max_padding=16)
+        assert result.succeeded
+        assert stide.score_stream(np.asarray(result.padded)).max() == 0.0

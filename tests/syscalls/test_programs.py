@@ -1,0 +1,103 @@
+"""Tests for repro.syscalls.programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DataGenerationError
+from repro.syscalls.programs import (
+    SYSCALL_NAMES,
+    ExecutionPath,
+    ProgramModel,
+    all_program_models,
+    ftpd_model,
+    lpr_model,
+    sendmail_model,
+)
+
+
+class TestExecutionPath:
+    def test_rejects_empty_calls(self):
+        with pytest.raises(DataGenerationError, match="no calls"):
+            ExecutionPath("x", (), weight=1.0)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(DataGenerationError, match="weight"):
+            ExecutionPath("x", ("open",), weight=0.0)
+
+    def test_rejects_unknown_syscalls(self):
+        with pytest.raises(DataGenerationError, match="unknown system calls"):
+            ExecutionPath("x", ("open", "frobnicate"), weight=1.0)
+
+
+class TestProgramModel:
+    def test_requires_two_normal_paths(self):
+        path = ExecutionPath("only", ("open", "close"), weight=1.0)
+        exploit = ExecutionPath("sploit", ("execve",), weight=1.0)
+        with pytest.raises(DataGenerationError, match="two normal paths"):
+            ProgramModel("p", (path,), (exploit,))
+
+    def test_requires_an_exploit(self):
+        a = ExecutionPath("a", ("open",), weight=1.0)
+        b = ExecutionPath("b", ("close",), weight=1.0)
+        with pytest.raises(DataGenerationError, match="exploit"):
+            ProgramModel("p", (a, b), ())
+
+    def test_rejects_duplicate_path_names(self):
+        a = ExecutionPath("dup", ("open",), weight=1.0)
+        b = ExecutionPath("b", ("close",), weight=1.0)
+        exploit = ExecutionPath("dup", ("execve",), weight=1.0)
+        with pytest.raises(DataGenerationError, match="duplicate"):
+            ProgramModel("p", (a, b), (exploit,))
+
+    def test_path_lookup(self):
+        model = sendmail_model()
+        assert model.path("smtp-accept").name == "smtp-accept"
+        assert model.path("overflow-shell") in model.exploit_paths
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(DataGenerationError, match="no path"):
+            sendmail_model().path("nope")
+
+    def test_rare_paths_identified_by_weight(self):
+        model = sendmail_model()
+        rare_names = {path.name for path in model.rare_paths}
+        assert "bounce-handling" in rare_names
+        assert "smtp-receive" not in rare_names
+
+
+class TestBundledModels:
+    @pytest.mark.parametrize(
+        "model", all_program_models(), ids=lambda m: m.name
+    )
+    def test_models_well_formed(self, model):
+        assert len(model.paths) >= 2
+        assert model.exploit_paths
+        assert model.rare_paths  # every bundled model has rare behavior
+
+    @pytest.mark.parametrize(
+        "model", all_program_models(), ids=lambda m: m.name
+    )
+    def test_exploits_contain_foreign_adjacency(self, model):
+        """Each exploit has an adjacent call pair no normal path emits."""
+        normal_pairs = set()
+        for path in model.paths:
+            normal_pairs.update(zip(path.calls, path.calls[1:]))
+            # Junction pairs between any two normal paths are also
+            # potentially observable in sessions.
+            for other in model.paths:
+                normal_pairs.add((path.calls[-1], other.calls[0]))
+        for exploit in model.exploit_paths:
+            exploit_pairs = set(zip(exploit.calls, exploit.calls[1:]))
+            assert exploit_pairs - normal_pairs, (
+                f"{model.name}/{exploit.name} has no foreign adjacency"
+            )
+
+    def test_three_distinct_programs(self):
+        names = {model.name for model in all_program_models()}
+        assert names == {"sendmail", "lpr", "ftpd"}
+
+    def test_models_share_the_global_vocabulary(self):
+        for model in (sendmail_model(), lpr_model(), ftpd_model()):
+            for path in model.paths + model.exploit_paths:
+                assert all(call in SYSCALL_NAMES for call in path.calls)

@@ -1,0 +1,164 @@
+"""Tests for repro.cli — the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--stream-len", "60000"]
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_help(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "maps" in result.stdout and "census" in result.stdout
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_maps_defaults(self):
+        args = build_parser().parse_args(["maps"])
+        assert args.command == "maps"
+        assert args.detectors is None
+
+    def test_census_program_option(self):
+        args = build_parser().parse_args(["census", "--program", "lpr"])
+        assert args.program == "lpr"
+
+
+class TestMapsCommand:
+    def test_single_detector_map(self, capsys):
+        exit_code = main(["maps", *SMALL, "--detectors", "stide"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Performance map of stide" in out
+        assert "84/112" in out
+
+    def test_two_detectors_include_agreement(self, capsys):
+        exit_code = main(
+            ["maps", *SMALL, "--detectors", "stide", "lane-brodley"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "lane-brodley subset of stide" in out
+
+    def test_unknown_detector_fails_cleanly(self, capsys):
+        exit_code = main(["maps", *SMALL, "--detectors", "nonsense"])
+        assert exit_code == 2
+        assert "unknown detectors" in capsys.readouterr().err
+
+
+class TestAnomalyCommand:
+    def test_synthesizes_and_prints(self, capsys):
+        exit_code = main(["anomaly", *SMALL, "--size", "5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "MFS of size 5" in out
+        assert "composed of rare parts: True" in out
+
+    def test_impossible_size_fails_cleanly(self, capsys):
+        exit_code = main(["anomaly", *SMALL, "--size", "1"])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCensusCommand:
+    def test_paper_corpus_census(self, capsys):
+        exit_code = main(["census", *SMALL, "--max-length", "4"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Minimal-foreign-sequence census" in out
+        assert "deploy Stide with DW >=" in out
+
+    def test_unknown_program_fails_cleanly(self, capsys):
+        exit_code = main(["census", "--program", "nosuch"])
+        assert exit_code == 2
+        assert "unknown program" in capsys.readouterr().err
+
+
+class TestAtlasCommand:
+    def test_atlas_table(self, capsys):
+        exit_code = main(
+            ["atlas", *SMALL, "--detectors", "stide", "hamming"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Detector atlas" in out
+        assert "hamming subset of stide" in out
+
+    def test_unknown_detector_fails_cleanly(self, capsys):
+        exit_code = main(["atlas", *SMALL, "--detectors", "bogus"])
+        assert exit_code == 2
+        assert "unknown detectors" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_sparklines_rendered(self, capsys):
+        exit_code = main(
+            ["profile", *SMALL, "--size", "5", "--window", "3",
+             "--detectors", "stide", "markov"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "marks the span" in out
+        assert "stide" in out and "markov" in out
+
+    def test_unknown_size_fails_cleanly(self, capsys):
+        exit_code = main(["profile", *SMALL, "--size", "77"])
+        assert exit_code == 2
+        assert "outside the suite" in capsys.readouterr().err
+
+    def test_unknown_detector_fails_cleanly(self, capsys):
+        exit_code = main(["profile", *SMALL, "--detectors", "bogus"])
+        assert exit_code == 2
+        assert "unknown detectors" in capsys.readouterr().err
+
+
+class TestSelectCommand:
+    def test_unknown_size_yields_gated_recipe(self, capsys):
+        exit_code = main(["select", *SMALL, "--max-window", "8"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "deploy markov gated by stide" in out
+
+    def test_known_size_prefers_stide(self, capsys):
+        exit_code = main(["select", *SMALL, "--size", "4", "--max-window", "10"])
+        assert exit_code == 0
+        assert "deploy stide" in capsys.readouterr().out
+
+    def test_undetectable_profile_fails_cleanly(self, capsys):
+        exit_code = main(
+            ["select", *SMALL, "--size", "9", "--max-window", "6",
+             "--detectors", "stide", "lane-brodley"]
+        )
+        assert exit_code == 2
+        assert "not detectable" in capsys.readouterr().err
+
+
+class TestSuppressionCommand:
+    def test_deployment_table(self, capsys):
+        exit_code = main(
+            ["suppression", "--program", "lpr", "--sessions", "120"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "markov gated by stide" in out
+        assert "hit rate" in out
+
+    def test_unknown_program_fails_cleanly(self, capsys):
+        exit_code = main(["suppression", "--program", "nosuch"])
+        assert exit_code == 2
+        assert "unknown program" in capsys.readouterr().err

@@ -1,0 +1,60 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is executed in a subprocess with a reduced corpus via
+``REPRO_STREAM_LEN`` where the script honors it.  Only the cheaper
+examples are exercised here; the heavyweight ones (full four-detector
+experiment) are covered by the integration suite that computes the
+same results in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+CHEAP_EXAMPLES = {
+    "masquerade_detection.py": "adjacency-weighted metric",
+    "syscall_monitoring.py": "markov gated by stide",
+}
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, REPRO_STREAM_LEN="60000")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=400,
+        env=env,
+    )
+
+
+@pytest.mark.parametrize("script,marker", sorted(CHEAP_EXAMPLES.items()))
+def test_example_runs(script, marker):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout
+
+
+def test_quickstart_reports_the_diversity_effect():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr[-2000:]
+    # Stide blind below the anomaly size, Markov capable everywhere.
+    assert "blind" in result.stdout
+    assert result.stdout.count("capable") >= 3
+
+
+def test_all_examples_are_syntactically_valid():
+    """Every example compiles (cheap guard for the heavyweight ones)."""
+    import py_compile
+
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 9
+    for script in scripts:
+        py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,102 @@
+"""Tests for repro.io — trace and dataset serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    TraceIOError,
+    load_dataset,
+    read_trace_text,
+    save_dataset,
+    write_trace_text,
+)
+from repro.sequences.alphabet import Alphabet
+from repro.syscalls import build_dataset, lpr_model
+
+
+class TestTextTraces:
+    def test_roundtrip_syscall_names(self, tmp_path):
+        alphabet = Alphabet(["open", "read", "close"])
+        stream = np.asarray([0, 1, 1, 2])
+        path = tmp_path / "trace.txt"
+        write_trace_text(path, stream, alphabet)
+        assert path.read_text() == "open\nread\nread\nclose\n"
+        assert np.array_equal(read_trace_text(path, alphabet), stream)
+
+    def test_roundtrip_integer_symbols(self, tmp_path):
+        alphabet = Alphabet.of_size(8)
+        stream = np.arange(8)
+        path = tmp_path / "paper.txt"
+        write_trace_text(path, stream, alphabet)
+        assert np.array_equal(read_trace_text(path, alphabet), stream)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        alphabet = Alphabet(["a", "b"])
+        path = tmp_path / "trace.txt"
+        path.write_text("a\n\nb\n  \na\n")
+        assert read_trace_text(path, alphabet).tolist() == [0, 1, 0]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceIOError, match="not found"):
+            read_trace_text(tmp_path / "nope.txt", Alphabet("ab"))
+
+    def test_unknown_symbol_reports_line(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("a\nz\n")
+        with pytest.raises(TraceIOError, match=":2"):
+            read_trace_text(path, Alphabet("ab"))
+
+
+class TestDatasetArchive:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_dataset(
+            lpr_model(),
+            training_sessions=8,
+            test_normal_sessions=3,
+            test_intrusion_sessions=2,
+            paths_per_session=6,
+        )
+
+    def test_roundtrip_preserves_everything(self, tmp_path, dataset):
+        path = tmp_path / "lpr.npz"
+        save_dataset(path, dataset)
+        loaded = load_dataset(path)
+        assert loaded.program_name == dataset.program_name
+        assert loaded.alphabet.symbols == tuple(
+            str(s) for s in dataset.alphabet.symbols
+        )
+        assert len(loaded.training) == len(dataset.training)
+        assert len(loaded.test_intrusions) == len(dataset.test_intrusions)
+        for original, restored in zip(dataset.training, loaded.training):
+            assert np.array_equal(original.stream, restored.stream)
+        for original, restored in zip(
+            dataset.test_intrusions, loaded.test_intrusions
+        ):
+            assert restored.intrusion_region == original.intrusion_region
+            assert restored.exploit_name == original.exploit_name
+
+    def test_loaded_dataset_is_usable(self, tmp_path, dataset):
+        from repro.detectors import StideDetector
+
+        path = tmp_path / "lpr.npz"
+        save_dataset(path, dataset)
+        loaded = load_dataset(path)
+        detector = StideDetector(3, loaded.alphabet.size)
+        detector.fit_many(loaded.training_streams())
+        trace = loaded.test_intrusions[0]
+        responses = detector.score_stream(trace.stream)
+        start, stop = trace.intrusion_region
+        assert responses[max(0, start - 2) : stop].max() == 1.0
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(TraceIOError, match="not found"):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_malformed_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, alphabet=np.asarray(["a"]))
+        with pytest.raises(TraceIOError, match="malformed"):
+            load_dataset(path)

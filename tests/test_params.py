@@ -1,0 +1,83 @@
+"""Tests for repro.params."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DataGenerationError
+from repro.params import (
+    PAPER_ALPHABET_SIZE,
+    PAPER_TRAINING_LENGTH,
+    PaperParams,
+    paper_params,
+    scaled_params,
+)
+
+
+class TestPaperParams:
+    def test_defaults_match_the_paper(self):
+        params = PaperParams()
+        assert params.alphabet_size == 8
+        assert params.training_length == 1_000_000
+        assert params.common_fraction == 0.98
+        assert params.rare_threshold == 0.005
+        assert params.anomaly_sizes == tuple(range(2, 10))
+        assert params.window_sizes == tuple(range(2, 16))
+
+    def test_max_properties(self):
+        params = PaperParams()
+        assert params.max_anomaly_size == 9
+        assert params.max_window_size == 15
+
+    def test_with_seed_returns_copy(self):
+        params = PaperParams()
+        reseeded = params.with_seed(7)
+        assert reseeded.seed == 7
+        assert params.seed != 7 or params is not reseeded
+
+    def test_with_training_length(self):
+        assert PaperParams().with_training_length(100).training_length == 100
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PaperParams().seed = 1  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alphabet_size": 1},
+            {"training_length": 0},
+            {"common_fraction": 0.0},
+            {"common_fraction": 1.0},
+            {"rare_threshold": 1.0},
+            {"anomaly_sizes": (1, 2)},
+            {"window_sizes": ()},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            PaperParams(**kwargs)
+
+
+class TestFactories:
+    def test_paper_params_full_scale(self):
+        params = paper_params()
+        assert params.training_length == PAPER_TRAINING_LENGTH
+        assert params.alphabet_size == PAPER_ALPHABET_SIZE
+
+    def test_paper_params_seed_override(self):
+        assert paper_params(seed=3).seed == 3
+
+    def test_scaled_params_explicit_length(self):
+        assert scaled_params(12_345).training_length == 12_345
+
+    def test_scaled_params_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_LEN", "54321")
+        assert scaled_params().training_length == 54_321
+
+    def test_scaled_params_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STREAM_LEN", raising=False)
+        assert scaled_params().training_length == 120_000
+
+    def test_scaled_params_seed(self):
+        assert scaled_params(10_000, seed=5).seed == 5
