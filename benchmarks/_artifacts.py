@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -12,4 +13,12 @@ def write_artifact(name: str, content: str) -> Path:
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(content + "\n")
+    return path
+
+
+def write_json_artifact(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark record (BENCH json)."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

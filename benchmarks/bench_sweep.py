@@ -1,0 +1,111 @@
+"""E21 — sweep engine: sequential vs parallel performance-map construction.
+
+Not a paper figure — the engineering benchmark behind the
+:mod:`repro.runtime` subsystem.  It builds the full four-family
+performance-map grid twice:
+
+* **sequential** — the reference serial loop of
+  :func:`build_performance_map`, family by family;
+* **engine** — one :class:`SweepEngine` sweep (``max_workers=4``) with
+  the shared :class:`WindowCache` and unique-window memoized scoring.
+
+and records the wall-clock speedup plus the cache hit statistics to a
+BENCH json artifact.  The benchmark also asserts the engine's contract:
+the parallel maps must be **cell-for-cell identical** to the
+sequential ones, and the speedup for the full grid must be at least
+2x.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _artifacts import write_artifact, write_json_artifact
+
+from repro.evaluation.performance_map import build_performance_map
+from repro.runtime import SweepEngine
+
+FAMILIES = ("stide", "t-stide", "markov", "lane-brodley")
+MAX_WORKERS = 4
+MIN_SPEEDUP = 2.0
+
+
+def _identical(serial_maps, engine_maps, suite) -> int:
+    """Number of differing grid cells across all families (want 0)."""
+    return sum(
+        serial_maps[name].cell(anomaly_size, window_length)
+        != engine_maps[name].cell(anomaly_size, window_length)
+        for name in FAMILIES
+        for anomaly_size in suite.anomaly_sizes
+        for window_length in suite.window_lengths
+    )
+
+
+def test_sweep_engine_speedup(suite):
+    start = time.perf_counter()
+    serial_maps = {
+        name: build_performance_map(name, suite) for name in FAMILIES
+    }
+    sequential_seconds = time.perf_counter() - start
+
+    engine = SweepEngine(max_workers=MAX_WORKERS)
+    start = time.perf_counter()
+    engine_maps = engine.sweep(FAMILIES, suite)
+    parallel_seconds = time.perf_counter() - start
+
+    mismatched_cells = _identical(serial_maps, engine_maps, suite)
+    speedup = sequential_seconds / parallel_seconds
+    stats = engine.window_cache.stats
+    cells = suite.case_count() * len(FAMILIES)
+
+    payload = {
+        "bench": "sweep_engine",
+        "families": list(FAMILIES),
+        "grid_cells": cells,
+        "max_workers": MAX_WORKERS,
+        "executor": engine.executor,
+        "sequential_seconds": round(sequential_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 2),
+        "mismatched_cells": mismatched_cells,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "cache_hit_rate": round(stats.hit_rate, 4),
+    }
+    write_json_artifact("sweep_engine", payload)
+    write_artifact(
+        "sweep_engine",
+        "\n".join(
+            [
+                f"Sweep engine ({cells} cells, {len(FAMILIES)} families, "
+                f"max_workers={MAX_WORKERS}):",
+                f"  sequential  {sequential_seconds:>8.2f} s",
+                f"  engine      {parallel_seconds:>8.2f} s",
+                f"  speedup     {speedup:>8.2f} x",
+                f"  cache       {stats.hits} hits / {stats.misses} misses "
+                f"({stats.hit_rate:.0%})",
+                f"  mismatches  {mismatched_cells}",
+            ]
+        ),
+    )
+
+    assert mismatched_cells == 0, "engine maps must match the serial path"
+    assert speedup >= MIN_SPEEDUP, (
+        f"sweep engine speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor"
+    )
+
+
+def test_executors_agree(suite):
+    """Thread-, serial- and process-backed sweeps are interchangeable."""
+    thread_maps = SweepEngine(max_workers=2, executor="thread").sweep(
+        ("stide", "markov"), suite
+    )
+    serial_maps = SweepEngine(executor="serial").sweep(
+        ("stide", "markov"), suite
+    )
+    for name, serial_map in serial_maps.items():
+        for cell in serial_map:
+            assert (
+                thread_maps[name].cell(cell.anomaly_size, cell.window_length)
+                == cell
+            )

@@ -7,16 +7,20 @@ deployments of the library.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from _artifacts import write_artifact
 
 from repro.detectors.registry import create_detector
+from repro.detectors.stide import sorted_membership
+from repro.sequences.windows import pack_windows, windows_array
 
 WINDOW_LENGTH = 6
 TEST_LENGTH = 100_000
 
 _RESULTS: dict[str, float] = {}
+_MEMBERSHIP: dict[tuple[str, int], float] = {}
 
 
 @pytest.mark.parametrize(
@@ -38,6 +42,47 @@ def test_scoring_throughput(benchmark, training, name):
     for detector_name, rate in sorted(_RESULTS.items()):
         lines.append(f"  {detector_name:<14} {rate:>14,.0f} windows/s")
     write_artifact("throughput", "\n".join(lines))
+
+
+@pytest.mark.parametrize("window_length", (6, 14))
+@pytest.mark.parametrize("strategy", ("isin", "searchsorted"))
+def test_stide_membership_strategy(benchmark, training, strategy, window_length):
+    """Stide's database membership test: np.isin vs bisection.
+
+    The packed normal database is already sorted (``np.unique``
+    output), so per-probe ``searchsorted`` bisection skips the
+    hash/sort machinery ``np.isin`` rebuilds on every call.  At small
+    windows (packed range 8**6) ``np.isin`` can fall back to an O(1)
+    lookup table and wins; at the grid's large windows (8**14 exceeds
+    any table budget) it must sort-merge and bisection pulls ahead, so
+    both regimes are recorded.
+    """
+    windows = windows_array(training.stream, window_length)
+    packed = pack_windows(windows, training.alphabet.size)
+    database = np.unique(packed[: len(packed) // 2])
+    probes = packed[:TEST_LENGTH]
+
+    if strategy == "isin":
+        known = benchmark(np.isin, probes, database)
+    else:
+        known = benchmark(sorted_membership, probes, database)
+
+    assert known.dtype == bool and len(known) == len(probes)
+    key = (strategy, window_length)
+    _MEMBERSHIP[key] = len(probes) / benchmark.stats.stats.mean
+    lines = [f"Stide membership ({len(probes):,} probes):"]
+    for (name, length), rate in sorted(_MEMBERSHIP.items()):
+        lines.append(
+            f"  {name:<14} DW={length:<3} {rate:>16,.0f} probes/s"
+        )
+    for length in sorted({length for _name, length in _MEMBERSHIP}):
+        isin = _MEMBERSHIP.get(("isin", length))
+        bisect = _MEMBERSHIP.get(("searchsorted", length))
+        if isin and bisect:
+            lines.append(
+                f"  DW={length}: searchsorted/isin ratio {bisect / isin:.2f}x"
+            )
+    write_artifact("stide_membership", "\n".join(lines))
 
 
 def test_fit_throughput(benchmark, training):

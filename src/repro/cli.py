@@ -50,6 +50,33 @@ def _corpus_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="corpus seed")
 
 
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+    return jobs
+
+
+def _jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker count for the sweep engine (1 = serial reference "
+        "path; results are identical either way)",
+    )
+
+
+def _engine(args: argparse.Namespace) -> "object | None":
+    """A SweepEngine for ``--jobs`` > 1, else None (serial path)."""
+    if getattr(args, "jobs", 1) is None or args.jobs <= 1:
+        return None
+    from repro.runtime import SweepEngine
+
+    return SweepEngine(max_workers=args.jobs)
+
+
 def _cmd_maps(args: argparse.Namespace) -> int:
     params = scaled_params(args.stream_len, seed=args.seed)
     detectors = args.detectors or list(DEFAULT_DETECTORS)
@@ -59,7 +86,9 @@ def _cmd_maps(args: argparse.Namespace) -> int:
             f"unknown detectors: {', '.join(unknown)}; "
             f"available: {', '.join(available_detectors())}"
         )
-    result = run_paper_experiment(params=params, detectors=detectors)
+    result = run_paper_experiment(
+        params=params, detectors=detectors, engine=_engine(args)
+    )
     for name in detectors:
         print(render_performance_map(result.map_for(name)))
         print()
@@ -190,7 +219,10 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
             f"unknown detectors: {', '.join(unknown)}; "
             f"available: {', '.join(available_detectors())}"
         )
-    maps = {name: build_performance_map(name, suite) for name in names}
+    engine = _engine(args)
+    maps = {
+        name: build_performance_map(name, suite, engine=engine) for name in names
+    }
     rows = [
         (
             name,
@@ -262,8 +294,11 @@ def _cmd_select(args: argparse.Namespace) -> int:
     training = generate_training_data(params)
     suite = build_suite(training=training)
     candidates = args.detectors or ["stide", "markov", "lane-brodley"]
+    engine = _engine(args)
     coverages = {
-        name: Coverage.from_performance_map(build_performance_map(name, suite))
+        name: Coverage.from_performance_map(
+            build_performance_map(name, suite, engine=engine)
+        )
         for name in candidates
     }
     profile = AnomalyProfile(
@@ -289,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
         "maps", help="print the Figure 3-6 performance maps"
     )
     _corpus_arguments(maps)
+    _jobs_argument(maps)
     maps.add_argument(
         "--detectors",
         nargs="+",
@@ -331,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
         "atlas", help="chart every registered detector on the suite grid"
     )
     _corpus_arguments(atlas)
+    _jobs_argument(atlas)
     atlas.add_argument(
         "--detectors",
         nargs="+",
@@ -352,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
         "select", help="recommend a detector combination for an anomaly profile"
     )
     _corpus_arguments(select)
+    _jobs_argument(select)
     select.add_argument(
         "--size",
         type=int,

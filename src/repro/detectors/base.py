@@ -22,7 +22,7 @@ from enum import Enum
 import numpy as np
 
 from repro.exceptions import DetectorConfigurationError, NotFittedError, WindowError
-from repro.sequences.windows import window_count
+from repro.sequences.windows import pack_windows, window_count, windows_array
 
 
 class FittedState(Enum):
@@ -69,6 +69,7 @@ class AnomalyDetector(abc.ABC):
         self._alphabet_size = int(alphabet_size)
         self._response_tolerance = float(response_tolerance)
         self._state = FittedState.UNFITTED
+        self._window_cache: object | None = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -95,6 +96,62 @@ class AnomalyDetector(abc.ABC):
     def describe(self) -> str:
         """One-line description used by reports."""
         return f"{self.name}(DW={self._window_length})"
+
+    # -- shared window artifacts --------------------------------------------------
+
+    def attach_cache(self, cache: object | None) -> "AnomalyDetector":
+        """Share a :class:`repro.runtime.WindowCache` with this detector.
+
+        Once attached, the detector's sliding and packing go through
+        the cache, so every consumer of the same (stream, window
+        length) pair — other detector families included — reuses one
+        derivation.  Pass ``None`` to detach.  Responses are unchanged
+        either way; the cache only eliminates repeated work.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        self._window_cache = cache
+        return self
+
+    def _windows_view(
+        self, stream: np.ndarray, window_length: int | None = None
+    ) -> np.ndarray:
+        """Sliding-window view of ``stream``, via the attached cache."""
+        length = self._window_length if window_length is None else window_length
+        cache = self._window_cache
+        if cache is not None:
+            return cache.windows(stream, length)  # type: ignore[attr-defined]
+        return windows_array(stream, length)
+
+    def _packed_view(self, stream: np.ndarray) -> np.ndarray:
+        """Packed windows of ``stream``, via the attached cache."""
+        cache = self._window_cache
+        if cache is not None:
+            return cache.packed(  # type: ignore[attr-defined]
+                stream, self._window_length, self._alphabet_size
+            )
+        return pack_windows(
+            windows_array(stream, self._window_length), self._alphabet_size
+        )
+
+    def _shared_unique_counts(
+        self, stream: np.ndarray, window_length: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Cached (distinct windows, counts) of ``stream``, or ``None``.
+
+        The frequency table every family's fit reduces to, derived from
+        one sort per (stream, window length) shared across families.
+        ``None`` without an attached cache — callers keep their own
+        derivation as the uncached fallback.
+        """
+        cache = self._window_cache
+        if cache is None:
+            return None
+        length = self._window_length if window_length is None else window_length
+        return cache.unique_counts(  # type: ignore[attr-defined]
+            stream, length, self._alphabet_size
+        )
 
     # -- training ----------------------------------------------------------------
 
@@ -186,6 +243,48 @@ class AnomalyDetector(abc.ABC):
         responses = self.score_stream(test_stream)
         return responses >= 1.0 - self._response_tolerance
 
+    def score_windows(self, windows: Sequence[Sequence[int]] | np.ndarray) -> np.ndarray:
+        """Responses for a batch of independent windows.
+
+        Unlike :meth:`score_stream`, the rows of ``windows`` are
+        unrelated events — entry ``i`` of the result is exactly
+        :meth:`score_window` of row ``i``.  This is the entry point of
+        unique-window memoized scoring: deduplicate a repetitive test
+        stream, score each distinct window once here, and scatter the
+        responses back (see :mod:`repro.runtime`).
+
+        Args:
+            windows: 2-D batch of shape ``(n, DW)`` with in-alphabet
+                codes.
+
+        Returns:
+            ``float64`` array of length ``n``.
+
+        Raises:
+            NotFittedError: if :meth:`fit` has not been called.
+            WindowError: on shape or alphabet violations.
+        """
+        self._require_fitted()
+        data = np.asarray(windows)
+        if data.ndim != 2 or data.shape[1] != self._window_length:
+            raise WindowError(
+                f"expected a (n, {self._window_length}) window batch, "
+                f"got shape {data.shape}"
+            )
+        if data.size and (data.min() < 0 or data.max() >= self._alphabet_size):
+            raise WindowError(
+                "window codes outside the alphabet "
+                f"[0, {self._alphabet_size - 1}]"
+            )
+        data = data.astype(np.int64, copy=False)
+        responses = self._score_windows(data)
+        if responses.shape != (len(data),):
+            raise WindowError(
+                f"{self.name} produced {responses.shape} batch responses, "
+                f"expected ({len(data)},)"
+            )
+        return responses
+
     def score_window(self, window: Sequence[int]) -> float:
         """Response for a single window (length exactly ``DW``)."""
         data = np.asarray(window)
@@ -211,6 +310,18 @@ class AnomalyDetector(abc.ABC):
     @abc.abstractmethod
     def _score(self, test_stream: np.ndarray) -> np.ndarray:
         """Produce per-window responses in ``[0, 1]`` for a validated stream."""
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Responses for a validated ``(n, DW)`` batch of windows.
+
+        The default treats each row as a minimal stream of exactly one
+        window.  Families with a vectorized batch path override this.
+        """
+        return np.fromiter(
+            (float(self._score(row)[0]) for row in windows),
+            dtype=np.float64,
+            count=len(windows),
+        )
 
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"

@@ -29,11 +29,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
-from repro.sequences.windows import windows_array
 
 
 def lb_similarity(first: np.ndarray | list[int], second: np.ndarray | list[int]) -> int:
     """The L&B similarity of two equal-length sequences (Figure 7).
+
+    The run-weight recurrence ``w_i = (w_{i-1} + 1) [x_i == y_i]`` is
+    evaluated in closed form: at a matching position ``i`` the weight
+    equals the distance to the most recent mismatch, so a cumulative
+    maximum over mismatch positions replaces the element loop.
+
+    The paper's two Figure 7 worked examples, at ``DW = 5``:
+    identical sequences score ``5 * 6 / 2``,
+
+    >>> lb_similarity([0, 1, 2, 3, 4], [0, 1, 2, 3, 4])
+    15
+
+    and a single mismatch at the final position scores ``5 * 4 / 2``:
+
+    >>> lb_similarity([0, 1, 2, 3, 4], [0, 1, 2, 3, 9])
+    10
 
     Raises:
         ValueError: if the sequences differ in length.
@@ -44,12 +59,11 @@ def lb_similarity(first: np.ndarray | list[int], second: np.ndarray | list[int])
         raise ValueError(
             f"sequences must be 1-D and equal length, got {x.shape} vs {y.shape}"
         )
-    weight = 0
-    similarity = 0
-    for a, b in zip(x, y):
-        weight = weight + 1 if a == b else 0
-        similarity += weight
-    return similarity
+    matches = x == y
+    positions = np.arange(len(matches))
+    last_mismatch = np.maximum.accumulate(np.where(matches, -1, positions))
+    weights = np.where(matches, positions - last_mismatch, 0)
+    return int(weights.sum())
 
 
 def lb_max_similarity(window_length: int) -> int:
@@ -87,8 +101,19 @@ class LaneBrodleyDetector(AnomalyDetector):
         return int(len(self._database))
 
     def _fit(self, training_streams: list[np.ndarray]) -> None:
-        views = [windows_array(stream, self.window_length) for stream in training_streams]
-        self._database = np.unique(np.concatenate(views, axis=0), axis=0)
+        parts, all_shared = [], True
+        for stream in training_streams:
+            shared = self._shared_unique_counts(stream)
+            if shared is not None:
+                parts.append(shared[0])
+            else:
+                all_shared = False
+                parts.append(self._windows_view(stream))
+        if all_shared and len(parts) == 1:
+            # Already the distinct rows in lexicographic order.
+            self._database = parts[0]
+        else:
+            self._database = np.unique(np.concatenate(parts, axis=0), axis=0)
 
     def similarity_to_normal(self, window: tuple[int, ...] | np.ndarray) -> int:
         """Maximum L&B similarity of ``window`` over the normal database."""
@@ -117,6 +142,10 @@ class LaneBrodleyDetector(AnomalyDetector):
         return best
 
     def _score(self, test_stream: np.ndarray) -> np.ndarray:
-        view = windows_array(test_stream, self.window_length)
+        view = self._windows_view(test_stream)
         best = self._chunk_similarities(view)
+        return 1.0 - best / lb_max_similarity(self.window_length)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        best = self._chunk_similarities(windows)
         return 1.0 - best / lb_max_similarity(self.window_length)

@@ -33,7 +33,6 @@ import numpy as np
 
 from repro.detectors.base import AnomalyDetector
 from repro.exceptions import DetectorConfigurationError
-from repro.sequences.windows import pack_windows, windows_array
 
 
 class MarkovDetector(AnomalyDetector):
@@ -85,8 +84,12 @@ class MarkovDetector(AnomalyDetector):
         for stream in streams:
             if len(stream) < length:
                 continue
-            view = windows_array(stream, length)
-            rows, row_counts = np.unique(view, axis=0, return_counts=True)
+            shared = self._shared_unique_counts(stream, length)
+            if shared is not None:
+                rows, row_counts = shared
+            else:
+                view = self._windows_view(stream, length)
+                rows, row_counts = np.unique(view, axis=0, return_counts=True)
             for row, n in zip(rows, row_counts):
                 key = tuple(int(c) for c in row)
                 counts[key] = counts.get(key, 0) + int(n)
@@ -115,15 +118,30 @@ class MarkovDetector(AnomalyDetector):
             return 0.0
         return joint / context
 
-    def _score(self, test_stream: np.ndarray) -> np.ndarray:
-        view = windows_array(test_stream, self.window_length)
-        responses = np.empty(len(view), dtype=np.float64)
+    def _window_response(self, key: tuple[int, ...]) -> float:
+        """The response for one window key (the scoring rule, unmemoized)."""
         floor_count = self._rare_floor * self._total_windows
+        joint = self._window_counts.get(key, 0)
+        if joint == 0 or (self._rare_floor > 0.0 and joint < floor_count):
+            context_count = self._context_counts.get(key[:-1], 0)
+            if context_count == 0 and joint == 0:
+                response = self._unseen_context_response
+            else:
+                response = 1.0
+        else:
+            context_count = self._context_counts.get(key[:-1], 0)
+            if context_count == 0:
+                response = 1.0
+            else:
+                response = 1.0 - joint / context_count
+        return min(1.0, max(0.0, response))
+
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        view = self._windows_view(test_stream)
+        responses = np.empty(len(view), dtype=np.float64)
         cache: dict[int, float] = {}
         packable = self.window_length * np.log2(self.alphabet_size) < 63
-        packed = (
-            pack_windows(view, self.alphabet_size) if packable else None
-        )
+        packed = self._packed_view(test_stream) if packable else None
         for i, row in enumerate(view):
             if packed is not None:
                 token = int(packed[i])
@@ -131,22 +149,18 @@ class MarkovDetector(AnomalyDetector):
                 if cached is not None:
                     responses[i] = cached
                     continue
-            key = tuple(int(c) for c in row)
-            joint = self._window_counts.get(key, 0)
-            if joint == 0 or (self._rare_floor > 0.0 and joint < floor_count):
-                context_count = self._context_counts.get(key[:-1], 0)
-                if context_count == 0 and joint == 0:
-                    response = self._unseen_context_response
-                else:
-                    response = 1.0
-            else:
-                context_count = self._context_counts.get(key[:-1], 0)
-                if context_count == 0:
-                    response = 1.0
-                else:
-                    response = 1.0 - joint / context_count
-            response = min(1.0, max(0.0, response))
+            response = self._window_response(tuple(int(c) for c in row))
             responses[i] = response
             if packed is not None:
                 cache[int(packed[i])] = response
         return responses
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (
+                self._window_response(tuple(int(c) for c in row))
+                for row in windows
+            ),
+            dtype=np.float64,
+            count=len(windows),
+        )

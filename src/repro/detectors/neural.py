@@ -27,7 +27,6 @@ import numpy as np
 from repro.detectors.base import AnomalyDetector
 from repro.detectors.mlp import MlpConfig, NextSymbolMlp
 from repro.exceptions import DetectorConfigurationError
-from repro.sequences.windows import windows_array
 
 
 class NeuralDetector(AnomalyDetector):
@@ -84,8 +83,12 @@ class NeuralDetector(AnomalyDetector):
     def _fit(self, training_streams: list[np.ndarray]) -> None:
         pair_counts: dict[tuple[int, ...], int] = {}
         for stream in training_streams:
-            view = windows_array(stream, self.window_length)
-            rows, counts = np.unique(view, axis=0, return_counts=True)
+            shared = self._shared_unique_counts(stream)
+            if shared is not None:
+                rows, counts = shared
+            else:
+                view = self._windows_view(stream)
+                rows, counts = np.unique(view, axis=0, return_counts=True)
             for row, count in zip(rows, counts):
                 key = tuple(int(c) for c in row)
                 pair_counts[key] = pair_counts.get(key, 0) + int(count)
@@ -106,14 +109,17 @@ class NeuralDetector(AnomalyDetector):
         self._network = network
 
     def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        view = self._windows_view(test_stream)
+        return self._score_windows(view)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
         assert self._network is not None
-        view = windows_array(test_stream, self.window_length)
         # Deduplicate windows: the network only needs one forward pass
         # per distinct window.
-        unique_rows, inverse = np.unique(view, axis=0, return_inverse=True)
+        unique_rows, inverse = np.unique(windows, axis=0, return_inverse=True)
         probabilities = self._network.predict_proba(
             self._one_hot_contexts(unique_rows[:, :-1])
         )
         predicted = probabilities[np.arange(len(unique_rows)), unique_rows[:, -1]]
         responses = np.clip(1.0 - predicted, 0.0, 1.0)
-        return responses[inverse]
+        return responses[inverse.reshape(-1)]

@@ -15,12 +15,28 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
-from repro.sequences.windows import pack_windows, windows_array
+from repro.sequences.windows import pack_windows
 
 
 def _packable(alphabet_size: int, window_length: int) -> bool:
     """Whether windows fit in 63-bit packed integers."""
     return window_length * np.log2(alphabet_size) < 63
+
+
+def sorted_membership(probes: np.ndarray, database: np.ndarray) -> np.ndarray:
+    """Whether each probe occurs in an already-sorted database.
+
+    A ``searchsorted`` bisection per probe — ``O(n log m)`` without the
+    hash/sort machinery of ``np.isin``, and measurably faster when the
+    database is already sorted (``np.unique`` output), which is how the
+    sequence detectors store their packed normal databases.  See
+    ``benchmarks/bench_throughput.py`` for the comparison.
+    """
+    if not len(database):
+        return np.zeros(len(probes), dtype=bool)
+    positions = np.searchsorted(database, probes)
+    positions[positions == len(database)] = len(database) - 1
+    return database[positions] == probes
 
 
 class StideDetector(AnomalyDetector):
@@ -49,35 +65,57 @@ class StideDetector(AnomalyDetector):
 
     def _fit(self, training_streams: list[np.ndarray]) -> None:
         if _packable(self.alphabet_size, self.window_length):
-            parts = [
-                pack_windows(
-                    windows_array(stream, self.window_length), self.alphabet_size
-                )
-                for stream in training_streams
-            ]
-            self._packed_db = np.unique(np.concatenate(parts))
+            parts = []
+            for stream in training_streams:
+                shared = self._shared_unique_counts(stream)
+                if shared is not None:
+                    # Distinct rows in lexicographic order pack to a
+                    # sorted array — identical to np.unique(packed).
+                    parts.append(pack_windows(shared[0], self.alphabet_size))
+                else:
+                    parts.append(np.unique(self._packed_view(stream)))
+            self._packed_db = (
+                parts[0]
+                if len(parts) == 1
+                else np.unique(np.concatenate(parts))
+            )
             self._tuple_db = None
         else:
             database: set[tuple[int, ...]] = set()
             for stream in training_streams:
-                view = windows_array(stream, self.window_length)
+                view = self._windows_view(stream)
                 database.update(tuple(int(c) for c in row) for row in view)
             self._tuple_db = database
             self._packed_db = None
 
-    def _score(self, test_stream: np.ndarray) -> np.ndarray:
-        view = windows_array(test_stream, self.window_length)
+    def _known(self, view: np.ndarray, packed: np.ndarray | None) -> np.ndarray:
+        """Database membership for each window row."""
         if self._packed_db is not None:
-            packed = pack_windows(view, self.alphabet_size)
-            known = np.isin(packed, self._packed_db)
+            assert packed is not None
+            return sorted_membership(packed, self._packed_db)
+        assert self._tuple_db is not None
+        return np.fromiter(
+            (tuple(int(c) for c in row) in self._tuple_db for row in view),
+            dtype=bool,
+            count=len(view),
+        )
+
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        if self._packed_db is not None:
+            packed = self._packed_view(test_stream)
+            known = sorted_membership(packed, self._packed_db)
         else:
-            assert self._tuple_db is not None
-            known = np.fromiter(
-                (tuple(int(c) for c in row) in self._tuple_db for row in view),
-                dtype=bool,
-                count=len(view),
-            )
+            view = self._windows_view(test_stream)
+            known = self._known(view, None)
         return (~known).astype(np.float64)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        packed = (
+            pack_windows(windows, self.alphabet_size)
+            if self._packed_db is not None
+            else None
+        )
+        return (~self._known(windows, packed)).astype(np.float64)
 
     def contains(self, window: tuple[int, ...]) -> bool:
         """Whether ``window`` is in the normal database."""

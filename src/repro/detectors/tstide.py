@@ -20,8 +20,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
+from repro.detectors.stide import sorted_membership
 from repro.exceptions import DetectorConfigurationError
-from repro.sequences.windows import pack_windows, windows_array
+from repro.sequences.windows import pack_windows
 
 
 class TStideDetector(AnomalyDetector):
@@ -60,20 +61,34 @@ class TStideDetector(AnomalyDetector):
         packable = self.window_length * np.log2(self.alphabet_size) < 63
         total = 0
         if packable:
-            parts = []
+            value_parts, count_parts = [], []
             for stream in training_streams:
-                view = windows_array(stream, self.window_length)
-                parts.append(pack_windows(view, self.alphabet_size))
-                total += len(view)
-            packed = np.concatenate(parts)
-            values, counts = np.unique(packed, return_counts=True)
+                shared = self._shared_unique_counts(stream)
+                if shared is not None:
+                    rows, stream_counts = shared
+                    stream_values = pack_windows(rows, self.alphabet_size)
+                else:
+                    stream_values, stream_counts = np.unique(
+                        self._packed_view(stream), return_counts=True
+                    )
+                value_parts.append(stream_values)
+                count_parts.append(stream_counts)
+                total += int(stream_counts.sum())
+            if len(value_parts) == 1:
+                values, counts = value_parts[0], count_parts[0]
+            else:
+                values, inverse = np.unique(
+                    np.concatenate(value_parts), return_inverse=True
+                )
+                counts = np.zeros(len(values), dtype=np.int64)
+                np.add.at(counts, inverse, np.concatenate(count_parts))
             common = values[counts >= self._rare_threshold * total]
             self._common_packed = common
             self._common_tuples = None
         else:
             counts: dict[tuple[int, ...], int] = {}
             for stream in training_streams:
-                view = windows_array(stream, self.window_length)
+                view = self._windows_view(stream)
                 total += len(view)
                 for row in view:
                     key = tuple(int(c) for c in row)
@@ -82,16 +97,30 @@ class TStideDetector(AnomalyDetector):
             self._common_tuples = {key for key, n in counts.items() if n >= bound}
             self._common_packed = None
 
-    def _score(self, test_stream: np.ndarray) -> np.ndarray:
-        view = windows_array(test_stream, self.window_length)
+    def _common(self, view: np.ndarray, packed: np.ndarray | None) -> np.ndarray:
+        """Common-window membership for each window row."""
         if self._common_packed is not None:
-            packed = pack_windows(view, self.alphabet_size)
-            common = np.isin(packed, self._common_packed)
+            assert packed is not None
+            return sorted_membership(packed, self._common_packed)
+        assert self._common_tuples is not None
+        return np.fromiter(
+            (tuple(int(c) for c in row) in self._common_tuples for row in view),
+            dtype=bool,
+            count=len(view),
+        )
+
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        if self._common_packed is not None:
+            packed = self._packed_view(test_stream)
+            common = sorted_membership(packed, self._common_packed)
         else:
-            assert self._common_tuples is not None
-            common = np.fromiter(
-                (tuple(int(c) for c in row) in self._common_tuples for row in view),
-                dtype=bool,
-                count=len(view),
-            )
+            common = self._common(self._windows_view(test_stream), None)
         return (~common).astype(np.float64)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        packed = (
+            pack_windows(windows, self.alphabet_size)
+            if self._common_packed is not None
+            else None
+        )
+        return (~self._common(windows, packed)).astype(np.float64)

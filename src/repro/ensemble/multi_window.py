@@ -78,6 +78,20 @@ class MultiWindowBank(AnomalyDetector):
         self._family = family
         self.name = f"multi-window-{family}"
 
+    def attach_cache(self, cache: object | None) -> "MultiWindowBank":
+        """Share a window cache with the bank and every member.
+
+        The members slide the same streams at different window
+        lengths; a shared :class:`repro.runtime.WindowCache` derives
+        each (stream, window length) artifact once across repeated
+        fits and scores — and across any other detectors attached to
+        the same cache.
+        """
+        super().attach_cache(cache)
+        for member in self._members:
+            member.attach_cache(cache)
+        return self
+
     @property
     def member_window_lengths(self) -> tuple[int, ...]:
         """The bank's window lengths, ascending."""

@@ -73,6 +73,8 @@ def run_paper_experiment(
     suite: EvaluationSuite | None = None,
     training: TrainingData | None = None,
     detectors: Iterable[str] = DEFAULT_DETECTORS,
+    engine: "object | None" = None,
+    max_workers: int | None = None,
 ) -> ExperimentResult:
     """Run the paper's evaluation end to end.
 
@@ -82,6 +84,11 @@ def run_paper_experiment(
         training: pre-built training data (used only when no suite is
             given).
         detectors: registered detector names to sweep.
+        engine: a :class:`repro.runtime.SweepEngine`; all families are
+            swept concurrently through it (results are bit-identical
+            to the serial path).
+        max_workers: shorthand for ``engine=SweepEngine(max_workers=...)``
+            when > 1 and no engine is given.
 
     Returns:
         Maps for every requested detector over the full case grid.
@@ -91,5 +98,12 @@ def run_paper_experiment(
     names = list(detectors)
     if not names:
         raise EvaluationError("at least one detector is required")
-    maps = {name: build_performance_map(name, suite) for name in names}
+    if engine is None and max_workers is not None and max_workers > 1:
+        from repro.runtime import SweepEngine
+
+        engine = SweepEngine(max_workers=max_workers)
+    if engine is not None:
+        maps = engine.sweep(names, suite)
+    else:
+        maps = {name: build_performance_map(name, suite) for name in names}
     return ExperimentResult(suite=suite, maps=maps)

@@ -137,6 +137,8 @@ DetectorFactory = Callable[[int], AnomalyDetector]
 def build_performance_map(
     detector: str | DetectorFactory,
     suite: EvaluationSuite,
+    engine: "object | None" = None,
+    max_workers: int | None = None,
     **detector_kwargs: object,
 ) -> PerformanceMap:
     """Evaluate one detector family over the whole suite grid.
@@ -150,12 +152,23 @@ def build_performance_map(
         detector: a registered detector name, or a factory mapping a
             window length to an (unfitted) detector instance.
         suite: the evaluation corpus.
+        engine: a :class:`repro.runtime.SweepEngine` to run the grid
+            through; the serial reference loop runs when omitted.
+        max_workers: shorthand for ``engine=SweepEngine(max_workers=...)``
+            when > 1 and no engine is given.  The engine's maps are
+            bit-identical to the serial loop's.
         **detector_kwargs: forwarded to the registry when ``detector``
             is a name (ignored for factories).
 
     Returns:
         The full-grid performance map.
     """
+    if engine is None and max_workers is not None and max_workers > 1:
+        from repro.runtime import SweepEngine
+
+        engine = SweepEngine(max_workers=max_workers)
+    if engine is not None:
+        return engine.build_map(detector, suite, **detector_kwargs)
     alphabet_size = suite.training.alphabet.size
     if isinstance(detector, str):
         name = detector

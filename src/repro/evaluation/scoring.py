@@ -97,6 +97,51 @@ class DetectionOutcome:
         return self.response_class.detects
 
 
+def outcome_from_responses(
+    responses: np.ndarray,
+    injected: InjectedStream,
+    window_length: int,
+    response_tolerance: float,
+) -> DetectionOutcome:
+    """Classify a precomputed response array against an injection.
+
+    The responses-to-outcome half of :func:`score_injected`, split out
+    so callers that obtain responses some other way — the sweep
+    engine's unique-window memoized scoring, recorded response traces —
+    classify them under exactly the same rule.
+
+    Args:
+        responses: one response per window of ``injected.stream`` (the
+            :meth:`~repro.detectors.base.AnomalyDetector.score_stream`
+            contract).
+        injected: the test stream with injection metadata.
+        window_length: the detector window the responses were produced
+            at; defines the incident span.
+        response_tolerance: the maximal-response slack.
+
+    Returns:
+        The classified outcome.
+    """
+    span = injected.incident_span(window_length)
+    if span.stop <= span.start:
+        raise EvaluationError("incident span is empty; stream too short")
+    in_span = responses[span.start : span.stop]
+    outside = np.concatenate([responses[: span.start], responses[span.stop :]])
+    max_in_span = float(in_span.max())
+    max_outside = float(outside.max()) if len(outside) else 0.0
+    spurious = (
+        int((outside >= 1.0 - response_tolerance).sum()) if len(outside) else 0
+    )
+    return DetectionOutcome(
+        response_class=classify_response(max_in_span, response_tolerance),
+        max_in_span=max_in_span,
+        max_outside_span=max_outside,
+        span_start=span.start,
+        span_stop=span.stop,
+        spurious_alarms=spurious,
+    )
+
+
 def score_injected(
     detector: AnomalyDetector, injected: InjectedStream
 ) -> DetectionOutcome:
@@ -112,22 +157,9 @@ def score_injected(
         The classified outcome.
     """
     responses = detector.score_stream(injected.stream)
-    span = injected.incident_span(detector.window_length)
-    if span.stop <= span.start:
-        raise EvaluationError("incident span is empty; stream too short")
-    in_span = responses[span.start : span.stop]
-    outside = np.concatenate([responses[: span.start], responses[span.stop :]])
-    tolerance = detector.response_tolerance
-    max_in_span = float(in_span.max())
-    max_outside = float(outside.max()) if len(outside) else 0.0
-    spurious = (
-        int((outside >= 1.0 - tolerance).sum()) if len(outside) else 0
-    )
-    return DetectionOutcome(
-        response_class=classify_response(max_in_span, tolerance),
-        max_in_span=max_in_span,
-        max_outside_span=max_outside,
-        span_start=span.start,
-        span_stop=span.stop,
-        spurious_alarms=spurious,
+    return outcome_from_responses(
+        responses,
+        injected,
+        detector.window_length,
+        detector.response_tolerance,
     )

@@ -1,0 +1,35 @@
+"""Runtime subsystem: concurrent sweeps over shared window artifacts.
+
+The hot path of the reproduction — and of any deployment of diverse
+detector ensembles — is evaluating many detector families over the
+full (anomaly size x window length) grid.  This package provides the
+production runtime for that sweep:
+
+* :class:`WindowCache` — slides and packs each (stream, window length)
+  combination exactly once and shares the arrays across every
+  detector family's fits and scores;
+* :class:`SweepEngine` — evaluates one or many families over the grid
+  concurrently (thread-, process-, or serial-backed) with
+  unique-window memoized scoring for the expensive detectors, while
+  producing maps bit-identical to the sequential path.
+
+See the "Runtime & parallelism" section of DESIGN.md and the
+``--jobs`` flag of the CLI.
+"""
+
+from repro.runtime.cache import CacheStats, WindowCache
+from repro.runtime.engine import (
+    EXECUTORS,
+    MEMOIZED_FAMILIES,
+    SweepEngine,
+    evaluate_window_block,
+)
+
+__all__ = [
+    "CacheStats",
+    "EXECUTORS",
+    "MEMOIZED_FAMILIES",
+    "SweepEngine",
+    "WindowCache",
+    "evaluate_window_block",
+]

@@ -1,0 +1,213 @@
+"""Shared sliding-window artifacts for sweep evaluation.
+
+Sweeping several detector families over the suite grid re-derives the
+same intermediate products again and again: every family slides the
+same training stream at the same window length, packs the same windows,
+and — for the expensive similarity metrics — scores the same highly
+repetitive test windows.  :class:`WindowCache` computes each
+(stream, window length) artifact exactly once and hands the identical
+arrays to every consumer:
+
+* ``windows``   — the 2-D sliding-window view of a stream;
+* ``packed``    — the base-``alphabet_size`` packed integers;
+* ``unique``    — the distinct windows plus the inverse scatter index
+  (the basis of unique-window memoized scoring).
+
+Streams are keyed by identity: the cache retains a reference to every
+stream it has seen, so an ``id`` can never be recycled while the cache
+lives.  A stream the cache has not seen before is simply a miss — the
+artifact is computed and stored; correctness never depends on a hit.
+
+The cache is thread-safe.  Artifacts are computed under the lock, which
+deliberately serializes the *first* derivation of each artifact: when
+several workers race for the same (stream, DW) slide, exactly one pays
+for it and the rest share the result.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequences.windows import pack_windows, windows_array
+
+#: Cache key: (stream identity, window length, artifact tag, extra).
+_Key = tuple[int, int, str, int]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters for observability and benchmarks."""
+
+    hits: int
+    misses: int
+
+    @property
+    def requests(self) -> int:
+        """Total artifact lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def _packable(alphabet_size: int, window_length: int) -> bool:
+    """Whether windows fit the 63-bit packed-integer budget."""
+    return window_length * np.log2(alphabet_size) < 63
+
+
+class WindowCache:
+    """Per-(stream, window length) memo of slide/pack/unique artifacts.
+
+    One instance is meant to be shared by every detector and worker of
+    a sweep; detectors consult it through
+    :meth:`repro.detectors.base.AnomalyDetector.attach_cache`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[_Key, object] = {}
+        self._streams: dict[int, np.ndarray] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the hit/miss counters."""
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses)
+
+    def clear(self) -> None:
+        """Drop every cached artifact and retained stream reference."""
+        with self._lock:
+            self._entries.clear()
+            self._streams.clear()
+
+    def _get(self, stream: np.ndarray, key: _Key, compute):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                return entry
+            self._misses += 1
+            entry = compute()
+            self._entries[key] = entry
+            # Pin the stream so its id() stays valid for the cache's life.
+            self._streams.setdefault(key[0], stream)
+            return entry
+
+    def windows(self, stream: np.ndarray, window_length: int) -> np.ndarray:
+        """The sliding-window view of ``stream`` at ``window_length``.
+
+        Equivalent to :func:`repro.sequences.windows.windows_array`,
+        computed at most once per (stream, window length).
+        """
+        key = (id(stream), window_length, "windows", 0)
+        return self._get(
+            stream, key, lambda: windows_array(stream, window_length)
+        )
+
+    def packed(
+        self, stream: np.ndarray, window_length: int, alphabet_size: int
+    ) -> np.ndarray:
+        """Packed integer windows (see :func:`pack_windows`), memoized."""
+        key = (id(stream), window_length, "packed", alphabet_size)
+        return self._get(
+            stream,
+            key,
+            lambda: pack_windows(
+                windows_array(stream, window_length), alphabet_size
+            ),
+        )
+
+    def unique(
+        self,
+        stream: np.ndarray,
+        window_length: int,
+        alphabet_size: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct windows of ``stream`` plus the inverse scatter index.
+
+        Returns ``(unique_rows, inverse)`` with
+        ``unique_rows[inverse]`` exactly the full window sequence —
+        the decomposition behind unique-window memoized scoring.  Rows
+        are in lexicographic order, matching
+        ``np.unique(windows, axis=0)``.
+
+        When ``alphabet_size`` is given and the windows are packable,
+        the decomposition is derived from the packed integers (packing
+        is lexicographic-order preserving), which is substantially
+        faster than a row-wise unique.
+        """
+        rows, inverse, _counts = self._decomposition(
+            stream, window_length, alphabet_size
+        )
+        return rows, inverse
+
+    def unique_counts(
+        self,
+        stream: np.ndarray,
+        window_length: int,
+        alphabet_size: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct windows of ``stream`` plus their occurrence counts.
+
+        Returns ``(unique_rows, counts)`` exactly as
+        ``np.unique(windows, axis=0, return_counts=True)`` would — the
+        frequency table behind every detector family's fit — computed
+        (with its :meth:`unique` sibling) from one shared sort per
+        (stream, window length).
+        """
+        rows, _inverse, counts = self._decomposition(
+            stream, window_length, alphabet_size
+        )
+        return rows, counts
+
+    def _decomposition(
+        self,
+        stream: np.ndarray,
+        window_length: int,
+        alphabet_size: int | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The shared (rows, inverse, counts) unique decomposition."""
+        tag = alphabet_size if alphabet_size is not None else -1
+        key = (id(stream), window_length, "unique", tag)
+        use_packed = alphabet_size is not None and _packable(
+            alphabet_size, window_length
+        )
+        # Resolve prerequisite artifacts before taking the lock in
+        # _get: the lock is not reentrant, so compute() must not call
+        # back into the cache.
+        packed = (
+            self.packed(stream, window_length, alphabet_size)
+            if use_packed
+            else None
+        )
+        view = self.windows(stream, window_length)
+
+        def compute() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            if packed is not None:
+                _, first, inverse, counts = np.unique(
+                    packed,
+                    return_index=True,
+                    return_inverse=True,
+                    return_counts=True,
+                )
+                # first[i] locates the representative of the i-th
+                # sorted packed value, and packing preserves
+                # lexicographic row order, so view[first] matches
+                # np.unique(view, axis=0) and rows[inverse] == view.
+                return np.ascontiguousarray(view[first]), inverse, counts
+            rows, inverse, counts = np.unique(
+                view, axis=0, return_inverse=True, return_counts=True
+            )
+            return rows, inverse.reshape(-1), counts
+
+        return self._get(stream, key, compute)

@@ -1,0 +1,332 @@
+"""Concurrent sweep evaluation of detector families over the suite grid.
+
+The performance maps of Figures 3-6 require fitting and scoring every
+detector family at every (anomaly size x window length) cell.  The
+serial path re-derives the same sliding windows for every family and
+re-scores the same repetitive test windows at every cell;
+:class:`SweepEngine` removes both redundancies and runs the remaining
+work concurrently:
+
+* **work unit** — one (family, window length) block: a single fit on
+  the training stream followed by one scoring pass per anomaly size
+  (the fit is the expensive, shareable half of a grid column);
+* **shared window cache** — every block slides and packs each
+  (stream, DW) combination through one :class:`~repro.runtime.cache.WindowCache`,
+  so Stide, t-Stide, Markov and L&B all reuse a single derivation;
+* **unique-window memoized scoring** — for the expensive families
+  (L&B's database comparison, the neural network's forward pass) the
+  test stream is deduplicated, each distinct window is scored once via
+  :meth:`~repro.detectors.base.AnomalyDetector.score_windows`, and the
+  responses are scattered back.  The injected streams are highly
+  repetitive, so this cuts the comparison work by an order of
+  magnitude without changing a single response value.
+
+Every cell is computed by the same deterministic, side-effect-free
+rule as the serial loop in
+:func:`repro.evaluation.performance_map.build_performance_map`, and
+cells are assembled into the map by grid position rather than
+completion order — the resulting maps are bit-identical to the
+sequential path regardless of worker count or executor backend
+(``benchmarks/bench_sweep.py`` verifies this cell for cell).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.datagen.suite import EvaluationSuite
+from repro.detectors.base import AnomalyDetector
+from repro.detectors.registry import create_detector
+from repro.evaluation.performance_map import Cell, CellResult, PerformanceMap
+from repro.evaluation.scoring import outcome_from_responses, score_injected
+from repro.exceptions import EvaluationError
+from repro.runtime.cache import WindowCache
+
+DetectorFactory = Callable[[int], AnomalyDetector]
+
+#: Families whose per-window scoring is expensive enough that
+#: deduplicating test windows pays for the scatter: the L&B comparison
+#: tensor, the neural network's forward pass, and the Markov
+#: detector's per-window dictionary walk.
+MEMOIZED_FAMILIES: frozenset[str] = frozenset(
+    {"lane-brodley", "markov", "neural-network"}
+)
+
+#: Executor backends accepted by :class:`SweepEngine`.
+EXECUTORS: tuple[str, ...] = ("thread", "process", "serial")
+
+
+def evaluate_window_block(
+    detector: AnomalyDetector,
+    suite: EvaluationSuite,
+    cache: WindowCache | None = None,
+    memoize: bool = False,
+) -> list[CellResult]:
+    """Fit one detector and score it on every anomaly size of the suite.
+
+    One grid column of a performance map: the detector is fitted once
+    on the training stream, then deployed on each injected stream.
+
+    Args:
+        detector: an unfitted detector instance.
+        suite: the evaluation corpus.
+        cache: shared window artifacts; attached to the detector for
+            the duration of the block when given.
+        memoize: score each distinct test window once and scatter the
+            responses back (requires ``cache``).
+
+    Returns:
+        One :class:`CellResult` per anomaly size, ascending.
+    """
+    if cache is not None:
+        detector.attach_cache(cache)
+    fitted = detector.fit(suite.training.stream)
+    window_length = fitted.window_length
+    results = []
+    for anomaly_size in suite.anomaly_sizes:
+        injected = suite.stream(anomaly_size)
+        if memoize and cache is not None:
+            unique_rows, inverse = cache.unique(
+                injected.stream, window_length, fitted.alphabet_size
+            )
+            responses = fitted.score_windows(unique_rows)[inverse]
+            outcome = outcome_from_responses(
+                responses, injected, window_length, fitted.response_tolerance
+            )
+        else:
+            outcome = score_injected(fitted, injected)
+        results.append(
+            CellResult(
+                anomaly_size=anomaly_size,
+                window_length=window_length,
+                outcome=outcome,
+            )
+        )
+    return results
+
+
+def _process_window_block(
+    name: str,
+    window_length: int,
+    suite: EvaluationSuite,
+    detector_kwargs: dict[str, object],
+    memoize: bool,
+) -> tuple[str, int, list[CellResult]]:
+    """Process-pool entry point: one (family, window) block, own cache."""
+    detector = create_detector(
+        name, window_length, suite.training.alphabet.size, **detector_kwargs
+    )
+    cells = evaluate_window_block(
+        detector, suite, cache=WindowCache(), memoize=memoize
+    )
+    return name, window_length, cells
+
+
+class SweepEngine:
+    """Evaluates detector families over the suite grid concurrently.
+
+    Args:
+        max_workers: concurrent (family, window) blocks; defaults to
+            the CPU count.
+        executor: ``"thread"`` (default — NumPy kernels release the
+            GIL, and the window cache is shared across workers),
+            ``"process"`` (isolated workers; registered detector names
+            only, each worker builds its own cache), or ``"serial"``
+            (inline execution in deterministic submission order, for
+            debugging and as the reference path).
+        memoized_detectors: family names scored via unique-window
+            memoization; defaults to :data:`MEMOIZED_FAMILIES`.
+        window_cache: a pre-populated cache to share; a fresh one is
+            created when omitted.
+
+    Raises:
+        EvaluationError: for unknown executors or worker counts < 1.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        executor: str = "thread",
+        memoized_detectors: Iterable[str] = MEMOIZED_FAMILIES,
+        window_cache: WindowCache | None = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise EvaluationError(
+                f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise EvaluationError(f"max_workers must be >= 1, got {max_workers}")
+        self._max_workers = max_workers or os.cpu_count() or 1
+        self._executor = executor
+        self._memoized = frozenset(memoized_detectors)
+        self._cache = window_cache if window_cache is not None else WindowCache()
+
+    @property
+    def max_workers(self) -> int:
+        """Concurrent block budget."""
+        return self._max_workers
+
+    @property
+    def executor(self) -> str:
+        """The configured executor backend."""
+        return self._executor
+
+    @property
+    def window_cache(self) -> WindowCache:
+        """The cache shared by thread/serial sweeps."""
+        return self._cache
+
+    def _resolve(
+        self,
+        detectors: Iterable[str | DetectorFactory],
+        suite: EvaluationSuite,
+        detector_kwargs: dict[str, object],
+    ) -> list[tuple[str, str | None, DetectorFactory]]:
+        """Normalize detector specs to (name, registry name, factory)."""
+        alphabet_size = suite.training.alphabet.size
+        resolved: list[tuple[str, str | None, DetectorFactory]] = []
+        for spec in detectors:
+            if isinstance(spec, str):
+
+                def factory(
+                    window_length: int, _name: str = spec
+                ) -> AnomalyDetector:
+                    return create_detector(
+                        _name, window_length, alphabet_size, **detector_kwargs
+                    )
+
+                resolved.append((spec, spec, factory))
+            else:
+                name = spec(min(suite.window_lengths)).name
+                resolved.append((name, None, spec))
+        if not resolved:
+            raise EvaluationError("at least one detector is required")
+        names = [name for name, _registry, _factory in resolved]
+        if len(set(names)) != len(names):
+            raise EvaluationError(
+                f"duplicate detector families in sweep: {', '.join(names)}"
+            )
+        return resolved
+
+    def sweep(
+        self,
+        detectors: Iterable[str | DetectorFactory],
+        suite: EvaluationSuite,
+        **detector_kwargs: object,
+    ) -> dict[str, PerformanceMap]:
+        """Evaluate several families over the full grid concurrently.
+
+        Args:
+            detectors: registered names and/or window-length factories.
+            suite: the evaluation corpus.
+            **detector_kwargs: forwarded to the registry for name
+                specs (ignored for factories).
+
+        Returns:
+            One full-grid map per family, keyed by name, in input
+            order; bit-identical to the serial
+            :func:`~repro.evaluation.performance_map.build_performance_map`
+            output.
+        """
+        resolved = self._resolve(detectors, suite, dict(detector_kwargs))
+        cells: dict[str, dict[Cell, CellResult]] = {
+            name: {} for name, _registry, _factory in resolved
+        }
+        blocks = [
+            (name, registry_name, factory, window_length)
+            for name, registry_name, factory in resolved
+            for window_length in suite.window_lengths
+        ]
+        if self._executor == "process":
+            self._sweep_processes(cells, blocks, suite, dict(detector_kwargs))
+        elif self._executor == "serial" or self._max_workers == 1:
+            for name, _registry_name, factory, window_length in blocks:
+                self._collect(
+                    cells,
+                    name,
+                    self._run_block(factory, window_length, suite, name),
+                )
+        else:
+            self._sweep_threads(cells, blocks, suite)
+        return {
+            name: PerformanceMap(detector_name=name, cells=cells[name])
+            for name, _registry_name, _factory in resolved
+        }
+
+    def build_map(
+        self,
+        detector: str | DetectorFactory,
+        suite: EvaluationSuite,
+        **detector_kwargs: object,
+    ) -> PerformanceMap:
+        """Evaluate a single family (the engine-backed
+        :func:`build_performance_map`)."""
+        maps = self.sweep([detector], suite, **detector_kwargs)
+        return next(iter(maps.values()))
+
+    # -- backends ---------------------------------------------------------------
+
+    def _run_block(
+        self,
+        factory: DetectorFactory,
+        window_length: int,
+        suite: EvaluationSuite,
+        name: str,
+    ) -> list[CellResult]:
+        return evaluate_window_block(
+            factory(window_length),
+            suite,
+            cache=self._cache,
+            memoize=name in self._memoized,
+        )
+
+    @staticmethod
+    def _collect(
+        cells: dict[str, dict[Cell, CellResult]],
+        name: str,
+        results: list[CellResult],
+    ) -> None:
+        for result in results:
+            cells[name][(result.anomaly_size, result.window_length)] = result
+
+    def _sweep_threads(self, cells, blocks, suite) -> None:
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            futures = {
+                pool.submit(
+                    self._run_block, factory, window_length, suite, name
+                ): name
+                for name, _registry_name, factory, window_length in blocks
+            }
+            # Collect in submission order; cells are keyed by grid
+            # position, so completion order cannot affect the maps.
+            for future in futures:
+                self._collect(cells, futures[future], future.result())
+
+    def _sweep_processes(self, cells, blocks, suite, detector_kwargs) -> None:
+        unregistered = [
+            name
+            for name, registry_name, _factory, _window_length in blocks
+            if registry_name is None
+        ]
+        if unregistered:
+            raise EvaluationError(
+                "the process executor requires registered detector names; "
+                f"got factories for: {', '.join(sorted(set(unregistered)))}"
+            )
+        with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _process_window_block,
+                    registry_name,
+                    window_length,
+                    suite,
+                    detector_kwargs,
+                    registry_name in self._memoized,
+                )
+                for _name, registry_name, _factory, window_length in blocks
+            ]
+            for future in futures:
+                name, _window_length, results = future.result()
+                self._collect(cells, name, results)

@@ -1,0 +1,141 @@
+"""Tests for repro.runtime.engine — parallel/sequential equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.neural import NeuralDetector
+from repro.detectors.registry import create_detector
+from repro.detectors.stide import StideDetector
+from repro.evaluation.experiment import run_paper_experiment
+from repro.evaluation.performance_map import build_performance_map
+from repro.exceptions import EvaluationError
+from repro.runtime import MEMOIZED_FAMILIES, SweepEngine, WindowCache
+
+#: The families sharing the window cache in the tentpole sweep.
+FAMILIES = ("stide", "t-stide", "markov", "lane-brodley")
+
+
+def _assert_maps_identical(expected, actual, suite) -> None:
+    """Cell-for-cell equality over the full grid."""
+    assert expected.detector_name == actual.detector_name
+    assert expected.anomaly_sizes == actual.anomaly_sizes
+    assert expected.window_lengths == actual.window_lengths
+    for anomaly_size in suite.anomaly_sizes:
+        for window_length in suite.window_lengths:
+            assert expected.cell(anomaly_size, window_length) == actual.cell(
+                anomaly_size, window_length
+            ), (
+                f"{expected.detector_name} cell (AS={anomaly_size}, "
+                f"DW={window_length}) differs between serial and engine"
+            )
+
+
+class TestParallelSequentialEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_maps(self, suite):
+        return {name: build_performance_map(name, suite) for name in FAMILIES}
+
+    def test_thread_sweep_matches_serial_cell_for_cell(self, suite, serial_maps):
+        engine = SweepEngine(max_workers=4, executor="thread")
+        engine_maps = engine.sweep(FAMILIES, suite)
+        for name in FAMILIES:
+            _assert_maps_identical(serial_maps[name], engine_maps[name], suite)
+
+    def test_serial_executor_matches_serial_loop(self, suite, serial_maps):
+        engine_maps = SweepEngine(executor="serial").sweep(FAMILIES, suite)
+        for name in FAMILIES:
+            _assert_maps_identical(serial_maps[name], engine_maps[name], suite)
+
+    def test_process_sweep_matches_serial(self, suite, serial_maps):
+        engine = SweepEngine(max_workers=2, executor="process")
+        engine_maps = engine.sweep(("stide",), suite)
+        _assert_maps_identical(serial_maps["stide"], engine_maps["stide"], suite)
+
+    def test_build_performance_map_max_workers_wiring(self, suite, serial_maps):
+        engine_map = build_performance_map("markov", suite, max_workers=4)
+        _assert_maps_identical(serial_maps["markov"], engine_map, suite)
+
+    def test_run_paper_experiment_engine_wiring(self, suite, serial_maps):
+        result = run_paper_experiment(
+            suite=suite,
+            detectors=("stide", "lane-brodley"),
+            engine=SweepEngine(max_workers=2),
+        )
+        for name in ("stide", "lane-brodley"):
+            _assert_maps_identical(serial_maps[name], result.map_for(name), suite)
+
+    def test_factory_spec_matches_name_spec(self, suite, serial_maps):
+        alphabet_size = suite.training.alphabet.size
+
+        def factory(window_length: int) -> StideDetector:
+            return StideDetector(window_length, alphabet_size)
+
+        engine_map = SweepEngine(max_workers=2).build_map(factory, suite)
+        _assert_maps_identical(serial_maps["stide"], engine_map, suite)
+
+
+class TestMemoizedScoring:
+    def test_expensive_families_are_memoized_by_default(self):
+        assert {"lane-brodley", "neural-network"} <= MEMOIZED_FAMILIES
+
+    @pytest.mark.parametrize("name", sorted(MEMOIZED_FAMILIES - {"neural-network"}))
+    def test_memoized_responses_equal_score_stream(self, suite, name):
+        detector = create_detector(
+            name, 5, suite.training.alphabet.size
+        ).fit(suite.training.stream)
+        stream = suite.stream(suite.anomaly_sizes[0]).stream
+        direct = detector.score_stream(stream)
+        cache = WindowCache()
+        unique_rows, inverse = cache.unique(stream, 5, detector.alphabet_size)
+        memoized = detector.score_windows(unique_rows)[inverse]
+        np.testing.assert_array_equal(direct, memoized)
+
+    def test_neural_memoized_responses_equal_score_stream(self):
+        training = np.tile(np.arange(5), 60)
+        detector = NeuralDetector(3, 5).fit(training)
+        stream = np.tile(np.arange(5), 8)
+        direct = detector.score_stream(stream)
+        cache = WindowCache()
+        unique_rows, inverse = cache.unique(stream, 3, 5)
+        memoized = detector.score_windows(unique_rows)[inverse]
+        np.testing.assert_array_equal(direct, memoized)
+
+
+class TestEngineValidation:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown executor"):
+            SweepEngine(executor="fibers")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(EvaluationError, match="max_workers"):
+            SweepEngine(max_workers=0)
+
+    def test_empty_detector_list_rejected(self, suite):
+        with pytest.raises(EvaluationError, match="at least one detector"):
+            SweepEngine().sweep((), suite)
+
+    def test_duplicate_families_rejected(self, suite):
+        with pytest.raises(EvaluationError, match="duplicate"):
+            SweepEngine().sweep(("stide", "stide"), suite)
+
+    def test_process_executor_rejects_factories(self, suite):
+        alphabet_size = suite.training.alphabet.size
+
+        def factory(window_length: int) -> StideDetector:
+            return StideDetector(window_length, alphabet_size)
+
+        with pytest.raises(EvaluationError, match="registered detector names"):
+            SweepEngine(executor="process").sweep((factory,), suite)
+
+
+class TestCacheSharing:
+    def test_families_share_one_training_sort(self, suite):
+        engine = SweepEngine(max_workers=2)
+        engine.sweep(("stide", "t-stide"), suite)
+        stats = engine.window_cache.stats
+        # The second family's fits should hit the first family's
+        # training-stream artifacts at every window length.
+        assert stats.hits > 0
+        assert stats.hit_rate > 0.3

@@ -1,0 +1,127 @@
+"""Tests for repro.runtime.cache — the shared window-artifact cache."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import WindowCache
+from repro.sequences.windows import pack_windows, windows_array
+
+STREAM = np.array([0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 0, 2], dtype=np.int64)
+ALPHABET = 4
+
+
+@pytest.fixture()
+def cache() -> WindowCache:
+    return WindowCache()
+
+
+class TestWindowsArtifact:
+    def test_matches_windows_array(self, cache):
+        np.testing.assert_array_equal(
+            cache.windows(STREAM, 3), windows_array(STREAM, 3)
+        )
+
+    def test_second_lookup_returns_same_object(self, cache):
+        first = cache.windows(STREAM, 3)
+        assert cache.windows(STREAM, 3) is first
+
+    def test_window_lengths_do_not_collide(self, cache):
+        assert cache.windows(STREAM, 2).shape[1] == 2
+        assert cache.windows(STREAM, 3).shape[1] == 3
+
+    def test_streams_do_not_collide(self, cache):
+        other = np.array([3, 3, 3, 3, 3], dtype=np.int64)
+        np.testing.assert_array_equal(
+            cache.windows(other, 2), windows_array(other, 2)
+        )
+        np.testing.assert_array_equal(
+            cache.windows(STREAM, 2), windows_array(STREAM, 2)
+        )
+
+
+class TestPackedArtifact:
+    def test_matches_pack_windows(self, cache):
+        expected = pack_windows(windows_array(STREAM, 3), ALPHABET)
+        np.testing.assert_array_equal(
+            cache.packed(STREAM, 3, ALPHABET), expected
+        )
+
+    def test_alphabets_do_not_collide(self, cache):
+        four = cache.packed(STREAM, 2, 4)
+        eight = cache.packed(STREAM, 2, 8)
+        assert not np.array_equal(four, eight)
+
+
+class TestUniqueArtifact:
+    @pytest.mark.parametrize("alphabet_size", (None, ALPHABET))
+    def test_matches_numpy_unique(self, cache, alphabet_size):
+        rows, inverse = cache.unique(STREAM, 3, alphabet_size)
+        expected_rows, expected_inverse = np.unique(
+            windows_array(STREAM, 3), axis=0, return_inverse=True
+        )
+        np.testing.assert_array_equal(rows, expected_rows)
+        np.testing.assert_array_equal(inverse, expected_inverse.reshape(-1))
+
+    @pytest.mark.parametrize("alphabet_size", (None, ALPHABET))
+    def test_scatter_reconstructs_view(self, cache, alphabet_size):
+        rows, inverse = cache.unique(STREAM, 3, alphabet_size)
+        np.testing.assert_array_equal(rows[inverse], windows_array(STREAM, 3))
+
+    @pytest.mark.parametrize("alphabet_size", (None, ALPHABET))
+    def test_counts_match_numpy_unique(self, cache, alphabet_size):
+        rows, counts = cache.unique_counts(STREAM, 3, alphabet_size)
+        expected_rows, expected_counts = np.unique(
+            windows_array(STREAM, 3), axis=0, return_counts=True
+        )
+        np.testing.assert_array_equal(rows, expected_rows)
+        np.testing.assert_array_equal(counts, expected_counts)
+
+    def test_unpackable_window_falls_back(self, cache):
+        # 40 * log2(4) = 80 bits: over the packed budget.
+        long_stream = np.tile(STREAM, 8)
+        rows, inverse = cache.unique(long_stream, 40, ALPHABET)
+        expected_rows, expected_inverse = np.unique(
+            windows_array(long_stream, 40), axis=0, return_inverse=True
+        )
+        np.testing.assert_array_equal(rows, expected_rows)
+        np.testing.assert_array_equal(inverse, expected_inverse.reshape(-1))
+
+
+class TestAccounting:
+    def test_stats_count_hits_and_misses(self, cache):
+        cache.windows(STREAM, 3)
+        cache.windows(STREAM, 3)
+        cache.windows(STREAM, 2)
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.requests == 3
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_unused_cache_hit_rate(self, cache):
+        assert cache.stats.hit_rate == 0.0
+
+    def test_clear_drops_entries(self, cache):
+        cache.windows(STREAM, 3)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_concurrent_requests_compute_once(self, cache):
+        start = threading.Barrier(8)
+
+        def worker() -> None:
+            start.wait()
+            cache.packed(STREAM, 3, ALPHABET)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 7

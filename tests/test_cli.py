@@ -38,10 +38,28 @@ class TestParser:
         args = build_parser().parse_args(["census", "--program", "lpr"])
         assert args.program == "lpr"
 
+    @pytest.mark.parametrize("command", ("maps", "atlas", "select"))
+    def test_jobs_flag(self, command):
+        args = build_parser().parse_args([command, "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_jobs_defaults_to_serial(self):
+        args = build_parser().parse_args(["maps"])
+        assert args.jobs == 1
+
 
 class TestMapsCommand:
     def test_single_detector_map(self, capsys):
         exit_code = main(["maps", *SMALL, "--detectors", "stide"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Performance map of stide" in out
+        assert "84/112" in out
+
+    def test_parallel_jobs_produce_same_map(self, capsys):
+        exit_code = main(
+            ["maps", *SMALL, "--detectors", "stide", "--jobs", "4"]
+        )
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "Performance map of stide" in out
