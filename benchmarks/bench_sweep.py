@@ -23,11 +23,13 @@ import time
 from _artifacts import write_artifact, write_json_artifact
 
 from repro.evaluation.performance_map import build_performance_map
-from repro.runtime import SweepEngine
+from repro.runtime import ResiliencePolicy, RetryPolicy, SweepEngine
 
 FAMILIES = ("stide", "t-stide", "markov", "lane-brodley")
 MAX_WORKERS = 4
 MIN_SPEEDUP = 2.0
+MAX_RESILIENCE_OVERHEAD = 0.05  # fraction of plain-engine wall clock
+OVERHEAD_REPS = 3
 
 
 def _identical(serial_maps, engine_maps, suite) -> int:
@@ -92,6 +94,67 @@ def test_sweep_engine_speedup(suite):
     assert mismatched_cells == 0, "engine maps must match the serial path"
     assert speedup >= MIN_SPEEDUP, (
         f"sweep engine speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor"
+    )
+
+
+def test_resilience_overhead(suite):
+    """The resilient scheduler must cost <= 5% on a fault-free sweep.
+
+    Both engines run the identical clean workload (thread backend,
+    same worker count, fresh caches); the only difference is whether
+    task execution goes through the plain fast path or the
+    :class:`~repro.runtime.resilience.ResilientRunner` (retries armed,
+    never fired).  Best-of-``OVERHEAD_REPS`` timings on each side keep
+    scheduler noise out of the ratio.
+    """
+
+    def _timed(factory) -> float:
+        best = float("inf")
+        for _ in range(OVERHEAD_REPS):
+            engine = factory()
+            start = time.perf_counter()
+            engine.sweep(FAMILIES, suite)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    plain_seconds = _timed(lambda: SweepEngine(max_workers=MAX_WORKERS))
+    resilient_seconds = _timed(
+        lambda: SweepEngine(
+            max_workers=MAX_WORKERS,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(retries=2), task_timeout=300.0
+            ),
+        )
+    )
+    overhead = resilient_seconds / plain_seconds - 1.0
+
+    payload = {
+        "bench": "sweep_resilience_overhead",
+        "families": list(FAMILIES),
+        "max_workers": MAX_WORKERS,
+        "repetitions": OVERHEAD_REPS,
+        "plain_seconds": round(plain_seconds, 4),
+        "resilient_seconds": round(resilient_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_RESILIENCE_OVERHEAD,
+    }
+    write_json_artifact("sweep_resilience_overhead", payload)
+    write_artifact(
+        "sweep_resilience_overhead",
+        "\n".join(
+            [
+                "Resilience overhead (fault-free sweep, "
+                f"best of {OVERHEAD_REPS}):",
+                f"  plain       {plain_seconds:>8.2f} s",
+                f"  resilient   {resilient_seconds:>8.2f} s",
+                f"  overhead    {overhead:>8.2%}",
+            ]
+        ),
+    )
+
+    assert overhead <= MAX_RESILIENCE_OVERHEAD, (
+        f"resilience overhead {overhead:.2%} exceeds the "
+        f"{MAX_RESILIENCE_OVERHEAD:.0%} budget"
     )
 
 

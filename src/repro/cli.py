@@ -68,13 +68,94 @@ def _jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _engine(args: argparse.Namespace) -> "object | None":
-    """A SweepEngine for ``--jobs`` > 1, else None (serial path)."""
-    if getattr(args, "jobs", 1) is None or args.jobs <= 1:
-        return None
-    from repro.runtime import SweepEngine
+#: Sentinel for ``--resume`` without a path: reuse ``--checkpoint``.
+_RESUME_FROM_CHECKPOINT = "@checkpoint"
 
-    return SweepEngine(max_workers=args.jobs)
+
+def _resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-attempts per sweep task after a transient failure "
+        "(enables the fault-tolerant sweep path)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per sweep task; overruns are retried "
+        "(process workers are terminated, thread attempts abandoned)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSONL file completed cells are streamed to, so an "
+        "interrupted sweep can resume",
+    )
+    parser.add_argument(
+        "--resume",
+        nargs="?",
+        const=_RESUME_FROM_CHECKPOINT,
+        default=None,
+        metavar="PATH",
+        help="resume from a checkpoint file (defaults to the "
+        "--checkpoint path); finished cells are adopted bit-identically",
+    )
+
+
+def _checkpoint_paths(
+    args: argparse.Namespace,
+) -> tuple["str | None", "str | None"]:
+    """The (checkpoint, resume_from) paths requested on the command line."""
+    import os.path
+
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
+    if resume == _RESUME_FROM_CHECKPOINT:
+        if checkpoint is None:
+            raise ReproError("--resume without a path requires --checkpoint")
+        resume = checkpoint
+    if resume is not None and not os.path.exists(resume):
+        print(
+            f"note: no checkpoint at {resume} yet; starting fresh",
+            file=sys.stderr,
+        )
+        resume = None
+    return checkpoint, resume
+
+
+def _engine(args: argparse.Namespace) -> "object | None":
+    """A SweepEngine honoring ``--jobs`` and the resilience flags.
+
+    ``None`` (the serial reference path) when neither parallelism nor
+    resilience was requested.
+    """
+    jobs = getattr(args, "jobs", 1) or 1
+    retries = getattr(args, "retries", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    wants_resilience = (
+        retries is not None
+        or task_timeout is not None
+        or getattr(args, "checkpoint", None) is not None
+        or getattr(args, "resume", None) is not None
+    )
+    if jobs <= 1 and not wants_resilience:
+        return None
+    from repro.runtime import ResiliencePolicy, RetryPolicy, SweepEngine
+
+    resilience = None
+    if wants_resilience:
+        retry = RetryPolicy(retries=retries if retries is not None else 2)
+        resilience = ResiliencePolicy(retry=retry, task_timeout=task_timeout)
+    return SweepEngine(
+        max_workers=jobs,
+        executor="serial" if jobs <= 1 else "thread",
+        resilience=resilience,
+    )
 
 
 def _cmd_maps(args: argparse.Namespace) -> int:
@@ -86,13 +167,20 @@ def _cmd_maps(args: argparse.Namespace) -> int:
             f"unknown detectors: {', '.join(unknown)}; "
             f"available: {', '.join(available_detectors())}"
         )
+    checkpoint, resume_from = _checkpoint_paths(args)
     result = run_paper_experiment(
-        params=params, detectors=detectors, engine=_engine(args)
+        params=params,
+        detectors=detectors,
+        engine=_engine(args),
+        checkpoint=checkpoint,
+        resume_from=resume_from,
     )
     for name in detectors:
         print(render_performance_map(result.map_for(name)))
         print()
     print(result.summary())
+    if result.run_report is not None:
+        print(result.run_report.summary())
     if len(detectors) >= 2:
         print()
         print(map_agreement_report(result.maps))
@@ -220,8 +308,16 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
             f"available: {', '.join(available_detectors())}"
         )
     engine = _engine(args)
+    checkpoint, resume_from = _checkpoint_paths(args)
     maps = {
-        name: build_performance_map(name, suite, engine=engine) for name in names
+        name: build_performance_map(
+            name,
+            suite,
+            engine=engine,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+        )
+        for name in names
     }
     rows = [
         (
@@ -295,9 +391,16 @@ def _cmd_select(args: argparse.Namespace) -> int:
     suite = build_suite(training=training)
     candidates = args.detectors or ["stide", "markov", "lane-brodley"]
     engine = _engine(args)
+    checkpoint, resume_from = _checkpoint_paths(args)
     coverages = {
         name: Coverage.from_performance_map(
-            build_performance_map(name, suite, engine=engine)
+            build_performance_map(
+                name,
+                suite,
+                engine=engine,
+                checkpoint=checkpoint,
+                resume_from=resume_from,
+            )
         )
         for name in candidates
     }
@@ -325,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _corpus_arguments(maps)
     _jobs_argument(maps)
+    _resilience_arguments(maps)
     maps.add_argument(
         "--detectors",
         nargs="+",
@@ -368,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _corpus_arguments(atlas)
     _jobs_argument(atlas)
+    _resilience_arguments(atlas)
     atlas.add_argument(
         "--detectors",
         nargs="+",
@@ -390,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _corpus_arguments(select)
     _jobs_argument(select)
+    _resilience_arguments(select)
     select.add_argument(
         "--size",
         type=int,

@@ -26,10 +26,14 @@ class ExperimentResult:
     Attributes:
         suite: the corpus the maps were computed on.
         maps: one performance map per detector family, keyed by name.
+        run_report: the sweep's :class:`~repro.runtime.resilience.RunReport`
+            when the experiment ran through a resilient engine sweep
+            (``None`` on the plain serial/fast paths).
     """
 
     suite: EvaluationSuite
     maps: dict[str, PerformanceMap] = field(repr=False)
+    run_report: "object | None" = field(default=None, repr=False)
 
     def map_for(self, detector_name: str) -> PerformanceMap:
         """The performance map of one detector family.
@@ -75,6 +79,8 @@ def run_paper_experiment(
     detectors: Iterable[str] = DEFAULT_DETECTORS,
     engine: "object | None" = None,
     max_workers: int | None = None,
+    checkpoint: "str | None" = None,
+    resume_from: "str | None" = None,
 ) -> ExperimentResult:
     """Run the paper's evaluation end to end.
 
@@ -89,9 +95,13 @@ def run_paper_experiment(
             to the serial path).
         max_workers: shorthand for ``engine=SweepEngine(max_workers=...)``
             when > 1 and no engine is given.
+        checkpoint: JSONL checkpoint file completed cells stream to.
+        resume_from: checkpoint file whose cells are adopted instead of
+            recomputed (bit-identically).
 
     Returns:
-        Maps for every requested detector over the full case grid.
+        Maps for every requested detector over the full case grid,
+        with ``run_report`` populated when a resilient sweep ran.
     """
     if suite is None:
         suite = build_suite(params=params, training=training)
@@ -102,8 +112,23 @@ def run_paper_experiment(
         from repro.runtime import SweepEngine
 
         engine = SweepEngine(max_workers=max_workers)
+    run_report = None
     if engine is not None:
-        maps = engine.sweep(names, suite)
+        if (
+            getattr(engine, "resilience", None) is not None
+            or checkpoint is not None
+            or resume_from is not None
+        ):
+            maps, run_report = engine.sweep_with_report(
+                names, suite, checkpoint=checkpoint, resume_from=resume_from
+            )
+        else:
+            maps = engine.sweep(names, suite)
     else:
-        maps = {name: build_performance_map(name, suite) for name in names}
-    return ExperimentResult(suite=suite, maps=maps)
+        maps = {
+            name: build_performance_map(
+                name, suite, checkpoint=checkpoint, resume_from=resume_from
+            )
+            for name in names
+        }
+    return ExperimentResult(suite=suite, maps=maps, run_report=run_report)

@@ -139,6 +139,8 @@ def build_performance_map(
     suite: EvaluationSuite,
     engine: "object | None" = None,
     max_workers: int | None = None,
+    checkpoint: "str | None" = None,
+    resume_from: "str | None" = None,
     **detector_kwargs: object,
 ) -> PerformanceMap:
     """Evaluate one detector family over the whole suite grid.
@@ -157,6 +159,12 @@ def build_performance_map(
         max_workers: shorthand for ``engine=SweepEngine(max_workers=...)``
             when > 1 and no engine is given.  The engine's maps are
             bit-identical to the serial loop's.
+        checkpoint: JSONL file (see :mod:`repro.io`) to stream each
+            completed cell to, so an interrupted build loses at most
+            the block in flight.
+        resume_from: a checkpoint file from a previous (possibly
+            killed) run; its cells are adopted instead of recomputed,
+            bit-identically, and only the missing cells are evaluated.
         **detector_kwargs: forwarded to the registry when ``detector``
             is a name (ignored for factories).
 
@@ -168,7 +176,13 @@ def build_performance_map(
 
         engine = SweepEngine(max_workers=max_workers)
     if engine is not None:
-        return engine.build_map(detector, suite, **detector_kwargs)
+        return engine.build_map(
+            detector,
+            suite,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            **detector_kwargs,
+        )
     alphabet_size = suite.training.alphabet.size
     if isinstance(detector, str):
         name = detector
@@ -182,13 +196,40 @@ def build_performance_map(
         factory = detector
         name = factory(min(suite.window_lengths)).name
     cells: dict[Cell, CellResult] = {}
+    if resume_from is not None:
+        from repro.io import checkpoint_load
+
+        # A kill can truncate the final line mid-write; tolerate it —
+        # the affected cells are simply recomputed.
+        loaded = checkpoint_load(resume_from, strict=False).get(name, {})
+        sizes = set(suite.anomaly_sizes)
+        windows = set(suite.window_lengths)
+        cells = {
+            cell: result
+            for cell, result in loaded.items()
+            if cell[0] in sizes and cell[1] in windows
+        }
     for window_length in suite.window_lengths:
+        missing = [
+            anomaly_size
+            for anomaly_size in suite.anomaly_sizes
+            if (anomaly_size, window_length) not in cells
+        ]
+        if not missing:
+            continue  # the checkpoint covers this whole column
         fitted = factory(window_length).fit(suite.training.stream)
-        for anomaly_size in suite.anomaly_sizes:
+        fresh = []
+        for anomaly_size in missing:
             outcome = score_injected(fitted, suite.stream(anomaly_size))
-            cells[(anomaly_size, window_length)] = CellResult(
+            result = CellResult(
                 anomaly_size=anomaly_size,
                 window_length=window_length,
                 outcome=outcome,
             )
+            cells[(anomaly_size, window_length)] = result
+            fresh.append(result)
+        if checkpoint is not None:
+            from repro.io import checkpoint_append
+
+            checkpoint_append(checkpoint, name, fresh)
     return PerformanceMap(detector_name=name, cells=cells)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.datagen.suite import build_suite
 from repro.datagen.training import generate_training_data
@@ -106,6 +107,8 @@ def replicate_shapes(
     seeds: Iterable[int],
     detectors: dict[str, ShapePredicate] | None = None,
     stream_length: int = 1000,
+    engine: "object | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
 ) -> RobustnessReport:
     """Re-run the map experiment under each seed and check the shapes.
 
@@ -116,6 +119,14 @@ def replicate_shapes(
         detectors: detector name -> shape predicate; defaults to the
             four paper figures.
         stream_length: test-stream length per injected case.
+        engine: a :class:`repro.runtime.SweepEngine` to build each
+            replication's maps through (serial reference loop when
+            omitted).
+        checkpoint_dir: directory for per-seed checkpoint files
+            (``replication-seed<seed>.jsonl``).  Completed cells are
+            streamed there, and a re-run of an interrupted replication
+            campaign resumes each seed from its own checkpoint —
+            bit-identically — instead of recomputing finished maps.
 
     Raises:
         EvaluationError: on an empty seed list.
@@ -129,8 +140,20 @@ def replicate_shapes(
         params = base_params.with_seed(seed)
         training = generate_training_data(params)
         suite = build_suite(training=training, stream_length=stream_length)
+        checkpoint = resume_from = None
+        if checkpoint_dir is not None:
+            checkpoint = Path(checkpoint_dir) / f"replication-seed{seed}.jsonl"
+            resume_from = checkpoint if checkpoint.exists() else None
         shape_held = {
-            name: predicate(build_performance_map(name, suite))
+            name: predicate(
+                build_performance_map(
+                    name,
+                    suite,
+                    engine=engine,
+                    checkpoint=checkpoint,
+                    resume_from=resume_from,
+                )
+            )
             for name, predicate in predicates.items()
         }
         outcomes.append(

@@ -74,7 +74,51 @@ class EvaluationError(ReproError):
 
     Raised for malformed incident spans, test streams without injection
     metadata, or performance-map queries outside the evaluated grid.
+    Within sweep execution this is the *fatal* side of the failure
+    taxonomy: an :class:`EvaluationError` aborts a sweep immediately,
+    whereas a :class:`TransientTaskError` is retried.
     """
+
+
+class TransientTaskError(ReproError):
+    """A sweep task failed in a way worth retrying.
+
+    The retryable side of the sweep failure taxonomy: worker crashes,
+    corrupt block results, and injected transient faults are wrapped in
+    this class so the resilience layer re-attempts them under its retry
+    budget.  Anything else that escapes a task is treated as fatal.
+    """
+
+
+class TaskTimeoutError(TransientTaskError):
+    """A sweep task exceeded its wall-clock timeout.
+
+    Raised (and retried) by the resilience layer when one
+    (family, window) block runs past ``ResiliencePolicy.task_timeout``.
+    On the process backend the hung worker is terminated; on the
+    thread/serial backends the attempt is abandoned and a fresh one is
+    scheduled.
+    """
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is missing, malformed, or inconsistent."""
+
+
+class SweepAbortedError(EvaluationError):
+    """A resilient sweep gave up after exhausting its recovery options.
+
+    Raised when a task fails fatally or exhausts its retry budget.  The
+    cells completed before the abort are already streamed to the
+    checkpoint file (when one was configured), so a re-run with
+    ``resume_from`` continues where the sweep stopped.  The partial
+    :class:`~repro.runtime.resilience.RunReport` is attached as
+    ``report`` (``None`` when unavailable).
+    """
+
+    def __init__(self, message: str, report: "object | None" = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class CoverageError(ReproError):

@@ -1,19 +1,35 @@
-"""Trace serialization: UNM-style text traces and NumPy archives.
+"""Trace serialization: UNM-style text traces, NumPy archives, checkpoints.
 
 The public UNM datasets ship as plain text, one event per line, one
 file per process.  This module reads and writes that format (against an
 explicit :class:`~repro.sequences.alphabet.Alphabet`) plus a compact
 ``.npz`` archive for whole labeled datasets, so corpora built here can
 be exchanged with other tooling.
+
+It also owns the **sweep checkpoint format**: an append-only JSONL file
+with one completed performance-map cell per line.  Floats round-trip
+through ``repr`` (Python's JSON encoder), so a cell read back from a
+checkpoint compares bit-identical to the cell that was written — the
+property ``build_performance_map(resume_from=...)`` relies on.
+
+Checkpoint record schema (one JSON object per line)::
+
+    {"detector": "stide", "anomaly_size": 3, "window_length": 5,
+     "outcome": {"response_class": "capable", "max_in_span": 1.0,
+                 "max_outside_span": 0.25, "span_start": 96,
+                 "span_stop": 103, "spurious_alarms": 0}}
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import ReproError
+from repro.evaluation.performance_map import Cell, CellResult
+from repro.evaluation.scoring import DetectionOutcome, ResponseClass
+from repro.exceptions import CheckpointError, ReproError
 from repro.sequences.alphabet import Alphabet
 from repro.syscalls.generator import LabeledTrace, SyscallDataset
 
@@ -129,3 +145,114 @@ def load_dataset(path: str | Path) -> SyscallDataset:
         test_normal=splits["test_normal"],
         test_intrusions=splits["test_intrusions"],
     )
+
+
+# -- sweep checkpoints ------------------------------------------------------
+
+
+def cell_to_record(detector_name: str, result: CellResult) -> dict[str, object]:
+    """One checkpoint record (a JSON-serializable dict) for one cell."""
+    outcome = result.outcome
+    return {
+        "detector": detector_name,
+        "anomaly_size": result.anomaly_size,
+        "window_length": result.window_length,
+        "outcome": {
+            "response_class": outcome.response_class.value,
+            "max_in_span": outcome.max_in_span,
+            "max_outside_span": outcome.max_outside_span,
+            "span_start": outcome.span_start,
+            "span_stop": outcome.span_stop,
+            "spurious_alarms": outcome.spurious_alarms,
+        },
+    }
+
+
+def record_to_cell(record: dict[str, object]) -> tuple[str, CellResult]:
+    """Invert :func:`cell_to_record`.
+
+    Raises:
+        CheckpointError: when the record is missing fields or holds
+            values outside the schema.
+    """
+    try:
+        outcome = record["outcome"]
+        result = CellResult(
+            anomaly_size=int(record["anomaly_size"]),  # type: ignore[arg-type]
+            window_length=int(record["window_length"]),  # type: ignore[arg-type]
+            outcome=DetectionOutcome(
+                response_class=ResponseClass(outcome["response_class"]),  # type: ignore[index]
+                max_in_span=float(outcome["max_in_span"]),  # type: ignore[index]
+                max_outside_span=float(outcome["max_outside_span"]),  # type: ignore[index]
+                span_start=int(outcome["span_start"]),  # type: ignore[index]
+                span_stop=int(outcome["span_stop"]),  # type: ignore[index]
+                spurious_alarms=int(outcome["spurious_alarms"]),  # type: ignore[index]
+            ),
+        )
+        return str(record["detector"]), result
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"malformed checkpoint record: {error}") from error
+
+
+def checkpoint_append(
+    path: str | Path, detector_name: str, results: "CellResult | list[CellResult]"
+) -> None:
+    """Append completed cells to a JSONL checkpoint file.
+
+    Each cell becomes one line; the write is a single buffered append
+    followed by a flush, so a killed run loses at most the block being
+    written, never an earlier one.  The parent directory is created on
+    first use.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(results, CellResult):
+        results = [results]
+    lines = "".join(
+        json.dumps(cell_to_record(detector_name, result), sort_keys=True) + "\n"
+        for result in results
+    )
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(lines)
+        handle.flush()
+
+
+def checkpoint_load(
+    path: str | Path, strict: bool = True
+) -> dict[str, dict[Cell, CellResult]]:
+    """Read a JSONL checkpoint back into per-detector cell mappings.
+
+    Args:
+        path: the checkpoint file; a missing file is a
+            :class:`CheckpointError` (resuming from nothing is almost
+            always a caller mistake — pass the same path as
+            ``checkpoint=`` to create one instead).
+        strict: when ``False``, unparsable lines (e.g. a final line
+            truncated by a kill) are skipped rather than raised; fully
+            parsed duplicate cells always last-write-win.
+
+    Returns:
+        ``{detector_name: {(anomaly_size, window_length): CellResult}}``.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise CheckpointError(f"checkpoint file not found: {source}")
+    cells: dict[str, dict[Cell, CellResult]] = {}
+    for line_number, line in enumerate(
+        source.read_text(encoding="utf-8").splitlines(), 1
+    ):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            name, result = record_to_cell(json.loads(text))
+        except (json.JSONDecodeError, CheckpointError) as error:
+            if strict:
+                raise CheckpointError(
+                    f"{source}:{line_number}: {error}"
+                ) from error
+            continue
+        cells.setdefault(name, {})[
+            (result.anomaly_size, result.window_length)
+        ] = result
+    return cells

@@ -11,10 +11,18 @@ production runtime for that sweep:
 * :class:`SweepEngine` — evaluates one or many families over the grid
   concurrently (thread-, process-, or serial-backed) with
   unique-window memoized scoring for the expensive detectors, while
-  producing maps bit-identical to the sequential path.
+  producing maps bit-identical to the sequential path;
+* :mod:`~repro.runtime.resilience` — fault-tolerant execution on top
+  of the engine: retries with deterministic backoff, per-task
+  wall-clock timeouts, graceful backend degradation
+  (process -> thread -> serial), JSONL checkpoint/resume, and a
+  per-task :class:`RunReport`;
+* :mod:`~repro.runtime.faults` — the seeded fault-injection harness
+  the test suite uses to prove every recovery path.
 
-See the "Runtime & parallelism" section of DESIGN.md and the
-``--jobs`` flag of the CLI.
+See the "Runtime & parallelism" and "Failure handling & resume"
+sections of DESIGN.md and the ``--jobs``/``--retries``/
+``--task-timeout``/``--checkpoint``/``--resume`` flags of the CLI.
 """
 
 from repro.runtime.cache import CacheStats, WindowCache
@@ -24,12 +32,27 @@ from repro.runtime.engine import (
     SweepEngine,
     evaluate_window_block,
 )
+from repro.runtime.faults import FAULT_KINDS, FaultSchedule
+from repro.runtime.resilience import (
+    DEGRADATION_CHAIN,
+    ResiliencePolicy,
+    RetryPolicy,
+    RunReport,
+    TaskReport,
+)
 
 __all__ = [
     "CacheStats",
+    "DEGRADATION_CHAIN",
     "EXECUTORS",
+    "FAULT_KINDS",
+    "FaultSchedule",
     "MEMOIZED_FAMILIES",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "RunReport",
     "SweepEngine",
+    "TaskReport",
     "WindowCache",
     "evaluate_window_block",
 ]

@@ -22,6 +22,16 @@ The cache is thread-safe.  Artifacts are computed under the lock, which
 deliberately serializes the *first* derivation of each artifact: when
 several workers race for the same (stream, DW) slide, exactly one pays
 for it and the rest share the result.
+
+**Cross-process statistics.**  The cache itself is never shared across
+processes — each process-backend worker builds a private cache, so the
+parent's counters would undercount a process sweep by exactly the
+workers' traffic.  The sweep engine closes that gap by shipping each
+worker's :class:`CacheStats` back with its results and folding them
+into the shared cache via :meth:`WindowCache.merge_counts`; after any
+sweep, ``engine.window_cache.stats`` therefore covers all backends.
+(Only the *counters* travel; the artifacts themselves stay
+process-local, which is the point of the process backend.)
 """
 
 from __future__ import annotations
@@ -84,11 +94,56 @@ class WindowCache:
         with self._lock:
             return CacheStats(hits=self._hits, misses=self._misses)
 
+    def merge_counts(self, hits: int, misses: int) -> None:
+        """Fold another cache's counters into this one.
+
+        Used by the sweep engine to aggregate the private caches of
+        process-backend workers, so :attr:`stats` stays accurate across
+        every executor (see the module docstring).
+        """
+        if hits < 0 or misses < 0:
+            raise ValueError("cache counters cannot be negative")
+        with self._lock:
+            self._hits += hits
+            self._misses += misses
+
     def clear(self) -> None:
-        """Drop every cached artifact and retained stream reference."""
+        """Drop every cached artifact and retained stream reference.
+
+        Counters are kept: stats describe the cache's lifetime traffic,
+        not its current contents.
+        """
         with self._lock:
             self._entries.clear()
             self._streams.clear()
+
+    def evict(self, stream: np.ndarray, window_length: int | None = None) -> int:
+        """Drop the artifacts derived from ``stream``.
+
+        Args:
+            stream: the stream whose artifacts to evict (matched by
+                identity, exactly as lookups are keyed).
+            window_length: evict only this window length's artifacts;
+                all of the stream's artifacts when omitted.
+
+        Returns:
+            The number of cache entries removed.  The pinned stream
+            reference is released once no artifact of the stream
+            remains, letting its ``id`` be recycled safely.
+        """
+        with self._lock:
+            stream_id = id(stream)
+            doomed = [
+                key
+                for key in self._entries
+                if key[0] == stream_id
+                and (window_length is None or key[1] == window_length)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            if not any(key[0] == stream_id for key in self._entries):
+                self._streams.pop(stream_id, None)
+            return len(doomed)
 
     def _get(self, stream: np.ndarray, key: _Key, compute):
         with self._lock:

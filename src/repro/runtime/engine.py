@@ -33,16 +33,30 @@ sequential path regardless of worker count or executor backend
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
 
 from repro.datagen.suite import EvaluationSuite
 from repro.detectors.base import AnomalyDetector
 from repro.detectors.registry import create_detector
 from repro.evaluation.performance_map import Cell, CellResult, PerformanceMap
 from repro.evaluation.scoring import outcome_from_responses, score_injected
-from repro.exceptions import EvaluationError
-from repro.runtime.cache import WindowCache
+from repro.exceptions import (
+    EvaluationError,
+    SweepAbortedError,
+    TransientTaskError,
+)
+from repro.runtime.cache import CacheStats, WindowCache
+from repro.runtime.faults import FaultSchedule, apply_fault, corrupt_block
+from repro.runtime.resilience import (
+    ResiliencePolicy,
+    ResilientRunner,
+    RunReport,
+    SweepTask,
+    TaskReport,
+)
 
 DetectorFactory = Callable[[int], AnomalyDetector]
 
@@ -113,15 +127,43 @@ def _process_window_block(
     suite: EvaluationSuite,
     detector_kwargs: dict[str, object],
     memoize: bool,
-) -> tuple[str, int, list[CellResult]]:
-    """Process-pool entry point: one (family, window) block, own cache."""
+) -> tuple[str, int, list[CellResult], CacheStats]:
+    """Process-pool entry point: one (family, window) block, own cache.
+
+    The worker's private cache counters ride back with the results so
+    the parent can fold them into the engine cache's statistics (see
+    :meth:`WindowCache.merge_counts`).
+    """
+    cache = WindowCache()
     detector = create_detector(
         name, window_length, suite.training.alphabet.size, **detector_kwargs
     )
-    cells = evaluate_window_block(
-        detector, suite, cache=WindowCache(), memoize=memoize
+    cells = evaluate_window_block(detector, suite, cache=cache, memoize=memoize)
+    return name, window_length, cells, cache.stats
+
+
+def _process_resilient_block(
+    name: str,
+    window_length: int,
+    suite: EvaluationSuite,
+    detector_kwargs: dict[str, object],
+    memoize: bool,
+    schedule: FaultSchedule | None,
+    attempt: int,
+) -> tuple[list[CellResult], CacheStats]:
+    """Process-pool entry point for the resilient scheduler.
+
+    Identical to :func:`_process_window_block` except that the attempt
+    number and the (test-only) fault schedule are threaded through, so
+    injected faults fire deterministically inside the worker.
+    """
+    corrupt = apply_fault(schedule, f"{name}:{window_length}", attempt)
+    _name, _window_length, cells, stats = _process_window_block(
+        name, window_length, suite, detector_kwargs, memoize
     )
-    return name, window_length, cells
+    if corrupt:
+        cells = corrupt_block(cells)
+    return cells, stats
 
 
 class SweepEngine:
@@ -140,9 +182,18 @@ class SweepEngine:
             memoization; defaults to :data:`MEMOIZED_FAMILIES`.
         window_cache: a pre-populated cache to share; a fresh one is
             created when omitted.
+        resilience: a :class:`~repro.runtime.resilience.ResiliencePolicy`
+            enabling fault-tolerant execution (retries with backoff,
+            per-task timeouts, backend degradation).  ``None`` keeps
+            the zero-overhead fast paths; ``sweep_with_report`` and
+            checkpointed sweeps always run resiliently, applying a
+            default policy when none is configured.
 
     Raises:
         EvaluationError: for unknown executors or worker counts < 1.
+        Both are raised here, at construction — before any stream is
+        packed into the window cache — so a misconfigured sweep fails
+        without wasting a single derivation.
     """
 
     def __init__(
@@ -151,6 +202,7 @@ class SweepEngine:
         executor: str = "thread",
         memoized_detectors: Iterable[str] = MEMOIZED_FAMILIES,
         window_cache: WindowCache | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise EvaluationError(
@@ -162,6 +214,7 @@ class SweepEngine:
         self._executor = executor
         self._memoized = frozenset(memoized_detectors)
         self._cache = window_cache if window_cache is not None else WindowCache()
+        self._resilience = resilience
 
     @property
     def max_workers(self) -> int:
@@ -178,16 +231,36 @@ class SweepEngine:
         """The cache shared by thread/serial sweeps."""
         return self._cache
 
+    @property
+    def resilience(self) -> ResiliencePolicy | None:
+        """The configured resilience policy (``None`` = fast paths)."""
+        return self._resilience
+
     def _resolve(
         self,
         detectors: Iterable[str | DetectorFactory],
         suite: EvaluationSuite,
         detector_kwargs: dict[str, object],
     ) -> list[tuple[str, str | None, DetectorFactory]]:
-        """Normalize detector specs to (name, registry name, factory)."""
+        """Normalize detector specs to (name, registry name, factory).
+
+        Every spec-level validation error — including the process
+        backend's registered-names-only restriction — is raised here,
+        before any factory is invoked or any stream is packed into the
+        window cache: a misconfigured sweep must fail fast, not after
+        wasted derivations.
+        """
+        specs = list(detectors)
+        if self._executor == "process":
+            unregistered = sum(1 for spec in specs if not isinstance(spec, str))
+            if unregistered:
+                raise EvaluationError(
+                    "the process executor requires registered detector names; "
+                    f"got {unregistered} factory spec(s)"
+                )
         alphabet_size = suite.training.alphabet.size
         resolved: list[tuple[str, str | None, DetectorFactory]] = []
-        for spec in detectors:
+        for spec in specs:
             if isinstance(spec, str):
 
                 def factory(
@@ -214,6 +287,8 @@ class SweepEngine:
         self,
         detectors: Iterable[str | DetectorFactory],
         suite: EvaluationSuite,
+        checkpoint: str | Path | None = None,
+        resume_from: str | Path | None = None,
         **detector_kwargs: object,
     ) -> dict[str, PerformanceMap]:
         """Evaluate several families over the full grid concurrently.
@@ -221,6 +296,13 @@ class SweepEngine:
         Args:
             detectors: registered names and/or window-length factories.
             suite: the evaluation corpus.
+            checkpoint: JSONL file to stream completed cells to (see
+                :func:`repro.io.checkpoint_append`); forces the
+                resilient path.
+            resume_from: a checkpoint file whose completed cells are
+                loaded instead of recomputed; forces the resilient
+                path.  The resumed maps are bit-identical to an
+                uninterrupted run.
             **detector_kwargs: forwarded to the registry for name
                 specs (ignored for factories).
 
@@ -230,6 +312,19 @@ class SweepEngine:
             :func:`~repro.evaluation.performance_map.build_performance_map`
             output.
         """
+        if (
+            self._resilience is not None
+            or checkpoint is not None
+            or resume_from is not None
+        ):
+            maps, _report = self.sweep_with_report(
+                detectors,
+                suite,
+                checkpoint=checkpoint,
+                resume_from=resume_from,
+                **detector_kwargs,
+            )
+            return maps
         resolved = self._resolve(detectors, suite, dict(detector_kwargs))
         cells: dict[str, dict[Cell, CellResult]] = {
             name: {} for name, _registry, _factory in resolved
@@ -255,16 +350,67 @@ class SweepEngine:
             for name, _registry_name, _factory in resolved
         }
 
+    def sweep_with_report(
+        self,
+        detectors: Iterable[str | DetectorFactory],
+        suite: EvaluationSuite,
+        checkpoint: str | Path | None = None,
+        resume_from: str | Path | None = None,
+        **detector_kwargs: object,
+    ) -> tuple[dict[str, PerformanceMap], RunReport]:
+        """Resilient sweep: maps plus a per-task :class:`RunReport`.
+
+        Always runs through the fault-tolerant scheduler (applying a
+        default :class:`ResiliencePolicy` when the engine was built
+        without one), streaming completed cells to ``checkpoint`` and
+        skipping cells already present in ``resume_from``.
+
+        Raises:
+            SweepAbortedError: when a task fails fatally or exhausts
+                its retry budget; the partial report rides on the
+                exception and the checkpoint keeps every finished cell.
+        """
+        resolved = self._resolve(detectors, suite, dict(detector_kwargs))
+        return self._sweep_resilient(
+            resolved, suite, dict(detector_kwargs), checkpoint, resume_from
+        )
+
     def build_map(
         self,
         detector: str | DetectorFactory,
         suite: EvaluationSuite,
+        checkpoint: str | Path | None = None,
+        resume_from: str | Path | None = None,
         **detector_kwargs: object,
     ) -> PerformanceMap:
         """Evaluate a single family (the engine-backed
         :func:`build_performance_map`)."""
-        maps = self.sweep([detector], suite, **detector_kwargs)
+        maps = self.sweep(
+            [detector],
+            suite,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            **detector_kwargs,
+        )
         return next(iter(maps.values()))
+
+    def build_map_with_report(
+        self,
+        detector: str | DetectorFactory,
+        suite: EvaluationSuite,
+        checkpoint: str | Path | None = None,
+        resume_from: str | Path | None = None,
+        **detector_kwargs: object,
+    ) -> tuple[PerformanceMap, RunReport]:
+        """Single-family :meth:`sweep_with_report`."""
+        maps, report = self.sweep_with_report(
+            [detector],
+            suite,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            **detector_kwargs,
+        )
+        return next(iter(maps.values())), report
 
     # -- backends ---------------------------------------------------------------
 
@@ -305,16 +451,7 @@ class SweepEngine:
                 self._collect(cells, futures[future], future.result())
 
     def _sweep_processes(self, cells, blocks, suite, detector_kwargs) -> None:
-        unregistered = [
-            name
-            for name, registry_name, _factory, _window_length in blocks
-            if registry_name is None
-        ]
-        if unregistered:
-            raise EvaluationError(
-                "the process executor requires registered detector names; "
-                f"got factories for: {', '.join(sorted(set(unregistered)))}"
-            )
+        # Factory specs were already rejected by _resolve (fail fast).
         with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
             futures = [
                 pool.submit(
@@ -328,5 +465,216 @@ class SweepEngine:
                 for _name, registry_name, _factory, window_length in blocks
             ]
             for future in futures:
-                name, _window_length, results = future.result()
+                name, _window_length, results, stats = future.result()
+                self._cache.merge_counts(stats.hits, stats.misses)
                 self._collect(cells, name, results)
+
+    # -- resilient execution ----------------------------------------------
+
+    def _block_tasks(
+        self,
+        resolved: list[tuple[str, str | None, DetectorFactory]],
+        suite: EvaluationSuite,
+        detector_kwargs: dict[str, object],
+        skip: set[tuple[str, int]],
+        schedule: FaultSchedule | None,
+    ) -> list[SweepTask]:
+        """One :class:`SweepTask` per (family, window) block not in ``skip``."""
+        expected = len(suite.anomaly_sizes)
+        tasks = []
+        for name, registry_name, factory in resolved:
+            for window_length in suite.window_lengths:
+                if (name, window_length) in skip:
+                    continue
+                key = f"{name}:{window_length}"
+
+                def run(
+                    attempt: int,
+                    _factory: DetectorFactory = factory,
+                    _window_length: int = window_length,
+                    _name: str = name,
+                    _key: str = key,
+                ) -> tuple[list[CellResult], CacheStats | None]:
+                    corrupt = apply_fault(schedule, _key, attempt)
+                    results = self._run_block(
+                        _factory, _window_length, suite, _name
+                    )
+                    if corrupt:
+                        results = corrupt_block(results)
+                    return results, None
+
+                def validate(
+                    result: object,
+                    _window_length: int = window_length,
+                    _key: str = key,
+                ) -> None:
+                    results = result[0]  # type: ignore[index]
+                    if len(results) != expected or any(
+                        cell.window_length != _window_length for cell in results
+                    ):
+                        raise TransientTaskError(
+                            f"block {_key} returned a corrupt result "
+                            f"({len(results)}/{expected} cells)"
+                        )
+
+                payload = None
+                if registry_name is not None:
+                    payload = (
+                        _process_resilient_block,
+                        (
+                            registry_name,
+                            window_length,
+                            suite,
+                            detector_kwargs,
+                            registry_name in self._memoized,
+                            schedule,
+                        ),
+                    )
+                tasks.append(
+                    SweepTask(
+                        key=key,
+                        name=name,
+                        window_length=window_length,
+                        run=run,
+                        process_payload=payload,
+                        validate=validate,
+                    )
+                )
+        return tasks
+
+    def _load_resume(
+        self,
+        resume_from: str | Path,
+        names: list[str],
+        suite: EvaluationSuite,
+        cells: dict[str, dict[Cell, CellResult]],
+    ) -> tuple[set[tuple[str, int]], list[TaskReport], int]:
+        """Adopt checkpointed cells; report which blocks can be skipped.
+
+        Only cells inside the suite grid are adopted, and a block is
+        skipped only when *every* anomaly size of its (family, window)
+        column is present — a partially checkpointed block is re-run
+        in full (its recomputed cells are bit-identical, so duplicate
+        checkpoint lines are harmless last-write-wins records).
+
+        Loads are lenient: a kill can truncate the checkpoint's final
+        line mid-write, and that line's block is simply recomputed.
+        """
+        from repro.io import checkpoint_load
+
+        loaded = checkpoint_load(resume_from, strict=False)
+        sizes = set(suite.anomaly_sizes)
+        windows = set(suite.window_lengths)
+        skip: set[tuple[str, int]] = set()
+        resumed_reports = []
+        cells_resumed = 0
+        for name in names:
+            for (anomaly_size, window_length), result in loaded.get(
+                name, {}
+            ).items():
+                if anomaly_size in sizes and window_length in windows:
+                    cells[name][(anomaly_size, window_length)] = result
+            for window_length in suite.window_lengths:
+                if all(
+                    (anomaly_size, window_length) in cells[name]
+                    for anomaly_size in suite.anomaly_sizes
+                ):
+                    skip.add((name, window_length))
+                    cells_resumed += len(suite.anomaly_sizes)
+                    resumed_reports.append(
+                        TaskReport(
+                            key=f"{name}:{window_length}",
+                            name=name,
+                            window_length=window_length,
+                            status="resumed",
+                            attempts=0,
+                            elapsed=0.0,
+                        )
+                    )
+        # Drop adopted cells of partially covered blocks: those blocks
+        # re-run in full, and the map assembly must not mix sources.
+        for name in names:
+            cells[name] = {
+                cell: result
+                for cell, result in cells[name].items()
+                if (name, cell[1]) in skip
+            }
+        return skip, resumed_reports, cells_resumed
+
+    def _sweep_resilient(
+        self,
+        resolved: list[tuple[str, str | None, DetectorFactory]],
+        suite: EvaluationSuite,
+        detector_kwargs: dict[str, object],
+        checkpoint: str | Path | None,
+        resume_from: str | Path | None,
+    ) -> tuple[dict[str, PerformanceMap], RunReport]:
+        from repro.io import checkpoint_append
+
+        policy = self._resilience if self._resilience is not None else ResiliencePolicy()
+        schedule = policy.fault_schedule
+        if schedule is not None and not isinstance(schedule, FaultSchedule):
+            raise EvaluationError(
+                f"fault_schedule must be a FaultSchedule, got {type(schedule).__name__}"
+            )
+        names = [name for name, _registry, _factory in resolved]
+        cells: dict[str, dict[Cell, CellResult]] = {name: {} for name in names}
+        skip: set[tuple[str, int]] = set()
+        resumed_reports: list[TaskReport] = []
+        cells_resumed = 0
+        if resume_from is not None:
+            skip, resumed_reports, cells_resumed = self._load_resume(
+                resume_from, names, suite, cells
+            )
+        tasks = self._block_tasks(resolved, suite, detector_kwargs, skip, schedule)
+
+        def on_result(task: SweepTask, result: object) -> None:
+            results, stats = result  # type: ignore[misc]
+            if stats is not None:
+                self._cache.merge_counts(stats.hits, stats.misses)
+            self._collect(cells, task.name, results)
+            if checkpoint is not None:
+                checkpoint_append(checkpoint, task.name, results)
+
+        runner = ResilientRunner(
+            policy, backend=self._executor, max_workers=self._max_workers
+        )
+        started = time.perf_counter()
+        try:
+            runner.run(tasks, on_result)
+        except SweepAbortedError as aborted:
+            report = self._run_report(
+                runner, resumed_reports, cells, cells_resumed,
+                time.perf_counter() - started, checkpoint,
+            )
+            raise SweepAbortedError(str(aborted), report) from aborted.__cause__
+        report = self._run_report(
+            runner, resumed_reports, cells, cells_resumed,
+            time.perf_counter() - started, checkpoint,
+        )
+        maps = {
+            name: PerformanceMap(detector_name=name, cells=cells[name])
+            for name in names
+        }
+        return maps, report
+
+    def _run_report(
+        self,
+        runner: ResilientRunner,
+        resumed_reports: list[TaskReport],
+        cells: dict[str, dict[Cell, CellResult]],
+        cells_resumed: int,
+        elapsed: float,
+        checkpoint: str | Path | None,
+    ) -> RunReport:
+        computed = sum(len(family) for family in cells.values()) - cells_resumed
+        return RunReport(
+            requested_backend=self._executor,
+            final_backend=runner.final_backend,
+            degradations=runner.degradations,
+            tasks=tuple(resumed_reports) + runner.task_reports(),
+            cells_completed=max(0, computed),
+            cells_resumed=cells_resumed,
+            elapsed=elapsed,
+            checkpoint_path=str(checkpoint) if checkpoint is not None else None,
+        )

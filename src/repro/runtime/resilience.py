@@ -1,0 +1,639 @@
+"""Fault-tolerant sweep execution: retries, timeouts, degradation.
+
+PR 1's :class:`~repro.runtime.engine.SweepEngine` made performance-map
+construction fast; this module makes it survive the failures that
+production-scale sweeps (atlas runs, robustness replications) actually
+hit.  One crashed worker, one wedged task, or one broken process pool
+no longer discards every finished cell:
+
+* **retry with backoff** — a task that raises a
+  :class:`~repro.exceptions.TransientTaskError` is re-attempted under a
+  configurable budget, with exponential backoff and *deterministic*
+  jitter (seeded per task key, so two runs of the same sweep sleep the
+  same amount);
+* **wall-clock timeouts** — an attempt that outlives
+  ``ResiliencePolicy.task_timeout`` is charged a
+  :class:`~repro.exceptions.TaskTimeoutError` and retried.  On the
+  process backend the hung worker is terminated (real cancellation);
+  on the thread/serial backends the attempt is abandoned and a fresh
+  pool/thread takes over;
+* **graceful degradation** — a broken backend falls down the chain
+  ``process -> thread -> serial``, resubmitting every unfinished task,
+  so a sweep completes (slower) instead of dying with the pool;
+* **failure taxonomy** — only :class:`TransientTaskError` (and its
+  timeout subclass) is retried; anything else is fatal and raises
+  :class:`~repro.exceptions.SweepAbortedError` *after* the completed
+  cells have been streamed to the checkpoint, so a resumed run picks
+  up exactly where this one stopped.
+
+The scheduler is deliberately small and deterministic: tasks are
+submitted in input order, results are collected as they complete, and
+every recovery decision (retry?  delay?  degrade?) is a pure function
+of the policy and the failure observed — which is what lets
+``tests/runtime/test_faults.py`` prove each path with the seeded
+fault-injection harness of :mod:`repro.runtime.faults`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable, Iterable
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import (
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.exceptions import (
+    DetectorConfigurationError,
+    SweepAbortedError,
+    TaskTimeoutError,
+    TransientTaskError,
+)
+
+#: Backend degradation chain: who takes over when a pool breaks.
+DEGRADATION_CHAIN: dict[str, str] = {"process": "thread", "thread": "serial"}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff curve for transient task failures.
+
+    Attempt ``n`` failing transiently schedules attempt ``n + 1`` after
+
+    ``min(backoff * backoff_factor**(n - 1), max_backoff) * (1 + jitter * u)``
+
+    where ``u`` is drawn uniformly from ``[0, 1)`` by a generator
+    seeded with ``(seed, task key, n)`` — jittered, yet bit-for-bit
+    reproducible across runs and worker processes.
+
+    Args:
+        retries: re-attempts allowed after the first try (0 disables
+            retrying; a task then gets exactly one attempt).
+        backoff: base delay in seconds before the first retry.
+        backoff_factor: multiplier applied per further retry.
+        max_backoff: ceiling on the un-jittered delay.
+        jitter: jitter fraction added on top of the base delay.
+        seed: jitter seed.
+    """
+
+    retries: int = 2
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise DetectorConfigurationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise DetectorConfigurationError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise DetectorConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise DetectorConfigurationError(
+                f"jitter must be >= 0, got {self.jitter}"
+            )
+
+    def delay(self, key: str, failed_attempt: int) -> float:
+        """Seconds to wait before retrying after ``failed_attempt``."""
+        base = min(
+            self.backoff * self.backoff_factor ** (failed_attempt - 1),
+            self.max_backoff,
+        )
+        u = random.Random(f"retry|{self.seed}|{key}|{failed_attempt}").random()
+        return base * (1.0 + self.jitter * u)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything the resilient scheduler needs to know.
+
+    Args:
+        retry: retry budget and backoff curve.
+        task_timeout: per-attempt wall-clock budget in seconds
+            (``None`` disables timeouts).
+        degrade: whether a broken backend may fall down
+            :data:`DEGRADATION_CHAIN` instead of aborting the sweep.
+        fault_schedule: a :class:`~repro.runtime.faults.FaultSchedule`
+            injected into every task body — the test harness hook;
+            leave ``None`` in production.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    task_timeout: float | None = None
+    degrade: bool = True
+    fault_schedule: "object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise DetectorConfigurationError(
+                f"task_timeout must be > 0, got {self.task_timeout}"
+            )
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One resilient work unit: a (family, window length) block.
+
+    Args:
+        key: stable identity, ``"<family>:<window_length>"`` — the
+            basis of deterministic jitter and fault schedules.
+        name: detector family.
+        window_length: the block's detector window.
+        run: in-process attempt body (serial/thread backends, and the
+            degradation target for process tasks); maps an attempt
+            number to the block result.
+        process_payload: ``(fn, args)`` with ``fn`` picklable and
+            invoked as ``fn(*args, attempt)`` in a worker process;
+            ``None`` for tasks that cannot run on the process backend.
+        validate: raises :class:`TransientTaskError` when a result is
+            corrupt (checked for every backend, on the parent side).
+    """
+
+    key: str
+    name: str
+    window_length: int
+    run: Callable[[int], object]
+    process_payload: tuple[Callable[..., object], tuple[object, ...]] | None = None
+    validate: Callable[[object], None] | None = None
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """Post-mortem of one task: attempts, failures, elapsed seconds."""
+
+    key: str
+    name: str
+    window_length: int
+    status: str  # "completed" | "resumed" | "failed" | "pending"
+    attempts: int
+    elapsed: float
+    errors: tuple[str, ...] = ()
+
+    @property
+    def retried(self) -> bool:
+        """Whether the task needed more than one attempt."""
+        return self.attempts > 1
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """What a resilient sweep did, task by task.
+
+    Attributes:
+        requested_backend: the executor the engine was configured with.
+        final_backend: the executor that finished the sweep (differs
+            from ``requested_backend`` only after degradation).
+        degradations: human-readable ``"process->thread: ..."`` events.
+        tasks: one :class:`TaskReport` per (family, window) block,
+            including blocks skipped via ``resume_from``.
+        cells_completed: grid cells computed by this run.
+        cells_resumed: grid cells loaded from the resume checkpoint.
+        elapsed: sweep wall-clock seconds.
+        checkpoint_path: where completed cells were streamed (or None).
+    """
+
+    requested_backend: str
+    final_backend: str
+    degradations: tuple[str, ...]
+    tasks: tuple[TaskReport, ...]
+    cells_completed: int
+    cells_resumed: int
+    elapsed: float
+    checkpoint_path: str | None = None
+
+    @property
+    def completed(self) -> int:
+        """Tasks that ran to completion in this run."""
+        return sum(1 for task in self.tasks if task.status == "completed")
+
+    @property
+    def resumed(self) -> int:
+        """Tasks skipped because the resume checkpoint covered them."""
+        return sum(1 for task in self.tasks if task.status == "resumed")
+
+    @property
+    def failed(self) -> int:
+        """Tasks that exhausted every recovery option."""
+        return sum(1 for task in self.tasks if task.status == "failed")
+
+    @property
+    def total_retries(self) -> int:
+        """Extra attempts spent across all tasks."""
+        return sum(max(0, task.attempts - 1) for task in self.tasks)
+
+    @property
+    def resumed_fraction(self) -> float:
+        """Fraction of grid cells served from the resume checkpoint."""
+        total = self.cells_completed + self.cells_resumed
+        return self.cells_resumed / total if total else 0.0
+
+    def summary(self) -> str:
+        """A one-line operator summary."""
+        parts = [
+            f"{self.completed} blocks completed",
+            f"{self.resumed} resumed",
+            f"{self.total_retries} retries",
+        ]
+        if self.degradations:
+            parts.append(f"degraded {' then '.join(self.degradations)}")
+        backend = (
+            self.final_backend
+            if self.final_backend == self.requested_backend
+            else f"{self.requested_backend}->{self.final_backend}"
+        )
+        return (
+            f"resilient sweep [{backend}]: "
+            + ", ".join(parts)
+            + f" in {self.elapsed:.2f}s"
+        )
+
+
+class _BackendBroken(Exception):
+    """Internal: the current executor backend can no longer run tasks."""
+
+
+class _TaskState:
+    """Mutable per-task bookkeeping across attempts and backends."""
+
+    __slots__ = ("task", "attempts", "errors", "started", "status", "elapsed")
+
+    def __init__(self, task: SweepTask) -> None:
+        self.task = task
+        self.attempts = 0
+        self.errors: list[str] = []
+        self.started: float | None = None
+        self.status: str | None = None
+        self.elapsed = 0.0
+
+
+class ResilientRunner:
+    """Executes sweep tasks under a :class:`ResiliencePolicy`.
+
+    One instance drives one sweep.  The runner owns scheduling,
+    retries, timeouts and backend degradation; the engine owns task
+    construction, result collection and checkpointing (via the
+    ``on_result`` callback, invoked exactly once per completed task,
+    in completion order).
+
+    Args:
+        policy: the resilience configuration.
+        backend: initial executor backend (``"thread"``, ``"process"``
+            or ``"serial"``).
+        max_workers: pool width for the pooled backends.
+        clock: monotonic time source (injectable for tests).
+        sleep: sleep function (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        policy: ResiliencePolicy,
+        backend: str,
+        max_workers: int,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._policy = policy
+        self._backend = backend
+        self._max_workers = max_workers
+        self._clock = clock
+        self._sleep = sleep
+        self._states: dict[str, _TaskState] = {}
+        self._order: list[str] = []
+        self._degradations: list[str] = []
+        self._final_backend = backend
+
+    @property
+    def final_backend(self) -> str:
+        """The backend that finished (or was running at abort)."""
+        return self._final_backend
+
+    @property
+    def degradations(self) -> tuple[str, ...]:
+        """Backend degradation events, oldest first."""
+        return tuple(self._degradations)
+
+    def task_reports(self) -> tuple[TaskReport, ...]:
+        """Per-task reports in submission order (so far, on abort)."""
+        reports = []
+        for key in self._order:
+            state = self._states[key]
+            reports.append(
+                TaskReport(
+                    key=key,
+                    name=state.task.name,
+                    window_length=state.task.window_length,
+                    status=state.status or "pending",
+                    attempts=state.attempts,
+                    elapsed=state.elapsed,
+                    errors=tuple(state.errors),
+                )
+            )
+        return tuple(reports)
+
+    # -- top level --------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Iterable[SweepTask],
+        on_result: Callable[[SweepTask, object], None],
+    ) -> None:
+        """Run every task to completion, degrading backends as needed.
+
+        Raises:
+            SweepAbortedError: when a task fails fatally, exhausts its
+                retry budget, or the backend chain runs out.  Tasks
+                completed before the abort have already been delivered
+                through ``on_result``.
+        """
+        for task in tasks:
+            self._states[task.key] = _TaskState(task)
+            self._order.append(task.key)
+        backend = self._backend
+        while True:
+            pending = [
+                self._states[key]
+                for key in self._order
+                if self._states[key].status is None
+            ]
+            self._final_backend = backend
+            if not pending:
+                return
+            try:
+                if backend == "serial":
+                    self._run_serial(pending, on_result)
+                else:
+                    self._run_pooled(pending, on_result, backend)
+                return
+            except _BackendBroken as broken:
+                fallback = DEGRADATION_CHAIN.get(backend)
+                if fallback is None or not self._policy.degrade:
+                    raise SweepAbortedError(
+                        f"sweep aborted: {broken} and no degradation "
+                        f"fallback remains (degrade={self._policy.degrade})"
+                    ) from broken
+                self._degradations.append(f"{backend}->{fallback}: {broken}")
+                backend = fallback
+
+    # -- shared attempt bookkeeping ---------------------------------------
+
+    def _finalize_success(
+        self,
+        state: _TaskState,
+        attempt: int,
+        result: object,
+        on_result: Callable[[SweepTask, object], None],
+    ) -> None:
+        state.attempts = max(state.attempts, attempt)
+        state.status = "completed"
+        if state.started is not None:
+            state.elapsed = self._clock() - state.started
+        on_result(state.task, result)
+
+    def _abort(
+        self, state: _TaskState, attempt: int, error: BaseException, why: str
+    ) -> None:
+        state.attempts = max(state.attempts, attempt)
+        state.status = "failed"
+        if state.started is not None:
+            state.elapsed = self._clock() - state.started
+        raise SweepAbortedError(
+            f"sweep aborted: block {state.task.key} {why} after "
+            f"{state.attempts} attempt(s): {error}"
+        ) from error
+
+    def _retry_or_abort(
+        self,
+        state: _TaskState,
+        attempt: int,
+        error: BaseException,
+        schedule: Callable[[_TaskState, int, float], None],
+    ) -> None:
+        """Charge a transient failure; schedule the next attempt or abort."""
+        state.errors.append(f"attempt {attempt}: {error}")
+        state.attempts = max(state.attempts, attempt)
+        if attempt <= self._policy.retry.retries:
+            delay = self._policy.retry.delay(state.task.key, attempt)
+            schedule(state, attempt + 1, self._clock() + delay)
+        else:
+            self._abort(state, attempt, error, "exhausted its retry budget")
+
+    # -- serial backend ----------------------------------------------------
+
+    def _attempt_inline(self, task: SweepTask, attempt: int) -> object:
+        """One in-process attempt, honoring the wall-clock timeout.
+
+        With a timeout configured the attempt runs on a watchdog
+        daemon thread; an overrun abandons the thread (it finishes in
+        the background) and raises :class:`TaskTimeoutError`.
+        """
+        timeout = self._policy.task_timeout
+        if timeout is None:
+            return task.run(attempt)
+        box: dict[str, object] = {}
+
+        def target() -> None:
+            try:
+                box["result"] = task.run(attempt)
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                box["error"] = error
+
+        worker = threading.Thread(target=target, daemon=True)
+        worker.start()
+        worker.join(timeout)
+        if worker.is_alive():
+            raise TaskTimeoutError(
+                f"block {task.key} attempt {attempt} exceeded its "
+                f"{timeout:.3g}s wall-clock budget"
+            )
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box["result"]
+
+    def _run_serial(
+        self,
+        pending: list[_TaskState],
+        on_result: Callable[[SweepTask, object], None],
+    ) -> None:
+        for state in pending:
+            attempt = state.attempts + 1
+            while True:
+                if state.started is None:
+                    state.started = self._clock()
+                try:
+                    result = self._attempt_inline(state.task, attempt)
+                    if state.task.validate is not None:
+                        state.task.validate(result)
+                except TransientTaskError as error:
+                    retry_at: list[float] = []
+                    self._retry_or_abort(
+                        state,
+                        attempt,
+                        error,
+                        lambda _s, _a, at: retry_at.append(at),
+                    )
+                    self._sleep(max(0.0, retry_at[0] - self._clock()))
+                    attempt += 1
+                    continue
+                except Exception as error:
+                    self._abort(state, attempt, error, "failed fatally")
+                self._finalize_success(state, attempt, result, on_result)
+                break
+
+    # -- pooled backends ---------------------------------------------------
+
+    def _new_pool(self, backend: str, pools: list[object]):
+        pool = (
+            ProcessPoolExecutor(max_workers=self._max_workers)
+            if backend == "process"
+            else ThreadPoolExecutor(max_workers=self._max_workers)
+        )
+        pools.append(pool)
+        return pool
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Kill a process pool's workers (real task cancellation)."""
+        processes = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes.values():
+            process.terminate()
+
+    def _submit(
+        self, pool, backend: str, state: _TaskState, attempt: int
+    ) -> Future:
+        if state.started is None:
+            state.started = self._clock()
+        task = state.task
+        try:
+            if backend == "process":
+                fn, args = task.process_payload  # type: ignore[misc]
+                return pool.submit(fn, *args, attempt)
+            return pool.submit(task.run, attempt)
+        except (BrokenProcessPool, RuntimeError) as error:
+            raise _BackendBroken(f"{backend} pool rejected work: {error}") from error
+
+    def _run_pooled(
+        self,
+        pending: list[_TaskState],
+        on_result: Callable[[SweepTask, object], None],
+        backend: str,
+    ) -> None:
+        timeout = self._policy.task_timeout
+        ready: list[tuple[_TaskState, int, float]] = [
+            (state, state.attempts + 1, 0.0) for state in pending
+        ]
+        inflight: dict[Future, tuple[_TaskState, int, float | None]] = {}
+        pools: list[object] = []
+        pool = self._new_pool(backend, pools)
+
+        def requeue(state: _TaskState, attempt: int, not_before: float) -> None:
+            # Closes over the *variable* ready, so rebinds below are seen.
+            ready.append((state, attempt, not_before))
+
+        try:
+            while ready or inflight:
+                now = self._clock()
+                due = [entry for entry in ready if entry[2] <= now]
+                ready = [entry for entry in ready if entry[2] > now]
+                for state, attempt, _not_before in due:
+                    future = self._submit(pool, backend, state, attempt)
+                    deadline = now + timeout if timeout is not None else None
+                    inflight[future] = (state, attempt, deadline)
+                if not inflight:
+                    wake = min(not_before for _s, _a, not_before in ready)
+                    self._sleep(max(0.0, wake - self._clock()))
+                    continue
+
+                bounds = [
+                    deadline - now
+                    for _state, _attempt, deadline in inflight.values()
+                    if deadline is not None
+                ]
+                bounds.extend(not_before - now for _s, _a, not_before in ready)
+                wait_for = max(0.0, min(bounds)) if bounds else None
+                done, _running = futures_wait(
+                    set(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    state, attempt, _deadline = inflight.pop(future)
+                    self._handle_future(
+                        future, state, attempt, requeue, on_result, backend
+                    )
+
+                if timeout is None:
+                    continue
+                now = self._clock()
+                expired = [
+                    future
+                    for future, (_s, _a, deadline) in inflight.items()
+                    if deadline is not None and deadline <= now
+                ]
+                for future in expired:
+                    if future not in inflight:
+                        continue  # resubmitted as a pool-restart victim
+                    state, attempt, _deadline = inflight.pop(future)
+                    future.cancel()
+                    if backend == "process":
+                        # Cancellation is real here: the hung worker is
+                        # terminated.  Co-inflight tasks die with the
+                        # pool, so resubmit them at the same attempt
+                        # (they are victims, not failures).
+                        victims = list(inflight.values())
+                        inflight.clear()
+                        self._terminate_pool(pool)
+                        pool = self._new_pool(backend, pools)
+                        for vstate, vattempt, _vdeadline in victims:
+                            ready.append((vstate, vattempt, 0.0))
+                    elif backend == "thread":
+                        # The hung thread cannot be killed; abandon it
+                        # and route new work through a fresh pool so a
+                        # narrow pool cannot be starved by zombies.
+                        pool.shutdown(wait=False)
+                        pool = self._new_pool(backend, pools)
+                    error = TaskTimeoutError(
+                        f"block {state.task.key} attempt {attempt} exceeded "
+                        f"its {timeout:.3g}s wall-clock budget"
+                    )
+                    self._retry_or_abort(state, attempt, error, requeue)
+        finally:
+            for stale in pools:
+                stale.shutdown(wait=False, cancel_futures=True)
+
+    def _handle_future(
+        self,
+        future: Future,
+        state: _TaskState,
+        attempt: int,
+        requeue: Callable[[_TaskState, int, float], None],
+        on_result: Callable[[SweepTask, object], None],
+        backend: str,
+    ) -> None:
+        try:
+            result = future.result()
+            if state.task.validate is not None:
+                state.task.validate(result)
+        except BrokenProcessPool as error:
+            # The whole pool is gone; every inflight task is a victim.
+            # run() degrades the backend and resubmits the unfinished.
+            raise _BackendBroken(f"{backend} pool broke: {error}") from error
+        except TransientTaskError as error:
+            self._retry_or_abort(state, attempt, error, requeue)
+        except Exception as error:
+            self._abort(state, attempt, error, "failed fatally")
+        else:
+            self._finalize_success(state, attempt, result, on_result)

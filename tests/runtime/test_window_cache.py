@@ -111,6 +111,62 @@ class TestAccounting:
         cache.clear()
         assert len(cache) == 0
 
+    def test_clear_keeps_lifetime_counters(self, cache):
+        cache.windows(STREAM, 3)
+        cache.windows(STREAM, 3)
+        cache.clear()
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+    def test_merge_counts_folds_worker_stats(self, cache):
+        cache.windows(STREAM, 3)  # 1 miss
+        cache.merge_counts(hits=10, misses=4)
+        stats = cache.stats
+        assert stats.hits == 10
+        assert stats.misses == 5
+
+    def test_merge_counts_rejects_negative_counters(self, cache):
+        with pytest.raises(ValueError, match="negative"):
+            cache.merge_counts(hits=-1, misses=0)
+        with pytest.raises(ValueError, match="negative"):
+            cache.merge_counts(hits=0, misses=-1)
+
+    def test_evict_one_window_length(self, cache):
+        cache.windows(STREAM, 2)
+        cache.windows(STREAM, 3)
+        assert cache.evict(STREAM, 3) == 1
+        assert len(cache) == 1
+        # The survivor is still served as a hit.
+        cache.windows(STREAM, 2)
+        assert cache.stats.hits == 1
+
+    def test_evict_whole_stream(self, cache):
+        other = np.array([3, 3, 3, 3, 3], dtype=np.int64)
+        cache.windows(STREAM, 2)
+        cache.packed(STREAM, 2, ALPHABET)
+        cache.windows(other, 2)
+        assert cache.evict(STREAM) == 2
+        assert len(cache) == 1
+        np.testing.assert_array_equal(
+            cache.windows(other, 2), windows_array(other, 2)
+        )
+
+    def test_evict_releases_pinned_stream_reference(self, cache):
+        stream = np.array([1, 2, 1, 2, 1], dtype=np.int64)
+        cache.windows(stream, 2)
+        assert id(stream) in cache._streams
+        cache.evict(stream, 3)  # other artifacts remain: still pinned
+        assert id(stream) in cache._streams
+        cache.evict(stream)
+        assert id(stream) not in cache._streams
+
+    def test_evict_unknown_stream_is_a_noop(self, cache):
+        cache.windows(STREAM, 2)
+        unknown = np.array([9, 9, 9], dtype=np.int64)
+        assert cache.evict(unknown) == 0
+        assert len(cache) == 1
+
     def test_concurrent_requests_compute_once(self, cache):
         start = threading.Barrier(8)
 
