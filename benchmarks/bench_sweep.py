@@ -18,16 +18,30 @@ sequential ones, and the speedup for the full grid must be at least
 
 from __future__ import annotations
 
+import pickle
 import time
 
+import numpy as np
 from _artifacts import write_artifact, write_json_artifact
 
+from repro.detectors.base import AnomalyDetector
+from repro.detectors.registry import create_detector
 from repro.evaluation.performance_map import build_performance_map
-from repro.runtime import ResiliencePolicy, RetryPolicy, SweepEngine
+from repro.runtime import (
+    ResiliencePolicy,
+    RetryPolicy,
+    SweepEngine,
+    WindowArena,
+    share_suite,
+)
+from repro.sequences.windows import windows_array
 
 FAMILIES = ("stide", "t-stide", "markov", "lane-brodley")
 MAX_WORKERS = 4
 MIN_SPEEDUP = 2.0
+MIN_KERNEL_SPEEDUP = 3.0  # batch kernels vs the per-row scalar loop
+MIN_PAYLOAD_DROP = 10.0  # task payload bytes, pickle vs descriptors
+KERNEL_WINDOW = 6
 MAX_RESILIENCE_OVERHEAD = 0.05  # fraction of plain-engine wall clock
 OVERHEAD_REPS = 3
 
@@ -95,6 +109,165 @@ def test_sweep_engine_speedup(suite):
     assert speedup >= MIN_SPEEDUP, (
         f"sweep engine speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor"
     )
+
+
+def test_batch_kernel_speedup(suite):
+    """E22 — batch kernels vs the per-row scalar loop, family by family.
+
+    The scoring-dominated regime of the sweep: every distinct test
+    window of the suite at one mid-grid ``DW``, scored once.  The
+    vectorized :meth:`~repro.detectors.base.AnomalyDetector.score_batch`
+    kernels must (a) return exactly the responses of the generic
+    per-row scalar fallback (the pre-kernel default batch path) and
+    (b) beat it by at least ``MIN_KERNEL_SPEEDUP`` on every family.
+    The grid-level contract rides along: an engine sweep must match the
+    serial reference cell for cell, recorded with the kernel speedups
+    and the sweep's cells/sec in ``BENCH_sweep.json``.
+    """
+    alphabet_size = suite.training.alphabet.size
+    rows = np.unique(
+        np.concatenate(
+            [
+                windows_array(suite.stream(size).stream, KERNEL_WINDOW)
+                for size in suite.anomaly_sizes
+            ]
+        ),
+        axis=0,
+    )
+
+    speedups, mismatched_windows = {}, 0
+    for name in FAMILIES:
+        detector = create_detector(name, KERNEL_WINDOW, alphabet_size)
+        detector.fit(suite.training.stream)
+
+        batch_seconds = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            batched = detector.score_batch(rows)
+            batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        scalar = AnomalyDetector._score_windows(detector, rows)
+        scalar_seconds = time.perf_counter() - start
+
+        mismatched_windows += int((batched != scalar).sum())
+        speedups[name] = scalar_seconds / batch_seconds
+
+    engine = SweepEngine(max_workers=MAX_WORKERS)
+    start = time.perf_counter()
+    engine_maps = engine.sweep(FAMILIES, suite)
+    sweep_seconds = time.perf_counter() - start
+    serial_maps = SweepEngine(executor="serial").sweep(FAMILIES, suite)
+    mismatched_cells = _identical(serial_maps, engine_maps, suite)
+    cells = suite.case_count() * len(FAMILIES)
+
+    payload = {
+        "bench": "batch_kernels",
+        "families": list(FAMILIES),
+        "window_length": KERNEL_WINDOW,
+        "distinct_windows": int(len(rows)),
+        "kernel_speedups": {
+            name: round(value, 2) for name, value in speedups.items()
+        },
+        "min_kernel_speedup": MIN_KERNEL_SPEEDUP,
+        "mismatched_windows": mismatched_windows,
+        "grid_cells": cells,
+        "sweep_seconds": round(sweep_seconds, 4),
+        "cells_per_second": round(cells / sweep_seconds, 2),
+        "mismatched_cells": mismatched_cells,
+    }
+    write_json_artifact("BENCH_sweep", payload)
+    lines = [
+        f"Batch kernels (DW={KERNEL_WINDOW}, {len(rows):,} distinct windows):"
+    ]
+    for name, value in sorted(speedups.items()):
+        lines.append(f"  {name:<14} {value:>8.1f}x vs per-row scalar loop")
+    lines.append(
+        f"  sweep       {cells / sweep_seconds:>8.1f} cells/s "
+        f"({cells} cells in {sweep_seconds:.2f} s)"
+    )
+    lines.append(f"  mismatches  {mismatched_windows} windows, "
+                 f"{mismatched_cells} cells")
+    write_artifact("batch_kernels", "\n".join(lines))
+
+    assert mismatched_windows == 0, (
+        "batch kernels must reproduce the scalar responses exactly"
+    )
+    assert mismatched_cells == 0, "engine maps must match the serial path"
+    worst = min(speedups, key=speedups.get)
+    assert speedups[worst] >= MIN_KERNEL_SPEEDUP, (
+        f"{worst} batch kernel speedup {speedups[worst]:.2f}x below the "
+        f"{MIN_KERNEL_SPEEDUP}x floor"
+    )
+
+
+def test_zero_copy_transport(suite):
+    """E23 — shared-memory descriptors vs pickled task payloads.
+
+    A process-backend task ships its suite once per (family, DW)
+    block; with the arena it ships only segment descriptors.  The
+    payload bytes per cell must drop by at least ``MIN_PAYLOAD_DROP``,
+    and the shm-backed sweep must agree with the pickle-backed one
+    cell for cell.
+    """
+    arena = WindowArena()
+    try:
+        transport = share_suite(arena, suite)
+        shared_bytes = len(pickle.dumps(transport))
+        pickled_bytes = len(pickle.dumps(suite))
+    finally:
+        arena.close()
+    cells_per_block = len(suite.anomaly_sizes)
+    drop = pickled_bytes / shared_bytes
+
+    shm_maps = SweepEngine(
+        max_workers=MAX_WORKERS, executor="process"
+    ).sweep(("stide", "markov"), suite)
+    pickle_maps = SweepEngine(
+        max_workers=MAX_WORKERS, executor="process", use_shared_memory=False
+    ).sweep(("stide", "markov"), suite)
+    mismatched = sum(
+        shm_maps[name].cell(anomaly_size, window_length)
+        != pickle_maps[name].cell(anomaly_size, window_length)
+        for name in ("stide", "markov")
+        for anomaly_size in suite.anomaly_sizes
+        for window_length in suite.window_lengths
+    )
+
+    payload = {
+        "bench": "zero_copy_transport",
+        "shm_available": WindowArena.available(),
+        "payload_bytes_pickle": pickled_bytes,
+        "payload_bytes_shared": shared_bytes,
+        "payload_bytes_per_cell_pickle": round(
+            pickled_bytes / cells_per_block, 1
+        ),
+        "payload_bytes_per_cell_shared": round(
+            shared_bytes / cells_per_block, 1
+        ),
+        "payload_drop": round(drop, 2),
+        "min_payload_drop": MIN_PAYLOAD_DROP,
+        "mismatched_cells": mismatched,
+    }
+    write_json_artifact("zero_copy_transport", payload)
+    write_artifact(
+        "zero_copy_transport",
+        "\n".join(
+            [
+                "Zero-copy transport (per-task payload):",
+                f"  pickled suite  {pickled_bytes:>12,} bytes",
+                f"  descriptors    {shared_bytes:>12,} bytes",
+                f"  drop           {drop:>12.1f}x",
+                f"  mismatches     {mismatched:>12}",
+            ]
+        ),
+    )
+
+    assert mismatched == 0, "shm and pickle transports must agree"
+    if WindowArena.available():
+        assert drop >= MIN_PAYLOAD_DROP, (
+            f"payload drop {drop:.1f}x below the {MIN_PAYLOAD_DROP}x floor"
+        )
 
 
 def test_resilience_overhead(suite):

@@ -33,15 +33,47 @@ def test_scoring_throughput(benchmark, training, name):
 
     responses = benchmark(detector.score_stream, test_stream)
 
-    assert len(responses) == TEST_LENGTH - WINDOW_LENGTH + 1
+    assert len(responses) == len(test_stream) - WINDOW_LENGTH + 1
     mean_seconds = benchmark.stats.stats.mean
     _RESULTS[name] = len(responses) / mean_seconds
     lines = [
-        f"Throughput (DW={WINDOW_LENGTH}, stream {TEST_LENGTH} elements):"
+        f"Throughput (DW={WINDOW_LENGTH}, stream {len(test_stream)} elements):"
     ]
     for detector_name, rate in sorted(_RESULTS.items()):
         lines.append(f"  {detector_name:<14} {rate:>14,.0f} windows/s")
     write_artifact("throughput", "\n".join(lines))
+
+
+_BATCH_RESULTS: dict[str, float] = {}
+
+
+@pytest.mark.parametrize(
+    "name", ("stide", "t-stide", "markov", "lane-brodley", "hamming")
+)
+def test_batch_scoring_throughput(benchmark, training, name):
+    """One batched kernel pass over the stream's distinct windows.
+
+    The sweep engine's unique-window regime: deduplicate the test
+    windows, push the whole batch through
+    :meth:`~repro.detectors.base.AnomalyDetector.score_batch` at once.
+    """
+    detector = create_detector(name, WINDOW_LENGTH, 8)
+    detector.fit(training.stream)
+    rows = np.unique(
+        windows_array(training.stream[:TEST_LENGTH], WINDOW_LENGTH), axis=0
+    )
+
+    responses = benchmark(detector.score_batch, rows)
+
+    assert len(responses) == len(rows)
+    _BATCH_RESULTS[name] = len(rows) / benchmark.stats.stats.mean
+    lines = [
+        f"Batch kernel throughput (DW={WINDOW_LENGTH}, "
+        f"{len(rows):,} distinct windows):"
+    ]
+    for detector_name, rate in sorted(_BATCH_RESULTS.items()):
+        lines.append(f"  {detector_name:<14} {rate:>14,.0f} windows/s")
+    write_artifact("batch_throughput", "\n".join(lines))
 
 
 @pytest.mark.parametrize("window_length", (6, 14))

@@ -66,6 +66,20 @@ def _jobs_argument(parser: argparse.ArgumentParser) -> None:
         help="worker count for the sweep engine (1 = serial reference "
         "path; results are identical either way)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process", "serial"),
+        default=None,
+        help="sweep backend (default: serial for --jobs 1, thread "
+        "otherwise); the process backend ships suites over "
+        "shared memory when available",
+    )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable the shared-memory window transport; process "
+        "workers receive pickled suites instead",
+    )
 
 
 #: Sentinel for ``--resume`` without a path: reuse ``--checkpoint``.
@@ -135,6 +149,7 @@ def _engine(args: argparse.Namespace) -> "object | None":
     resilience was requested.
     """
     jobs = getattr(args, "jobs", 1) or 1
+    executor = getattr(args, "executor", None)
     retries = getattr(args, "retries", None)
     task_timeout = getattr(args, "task_timeout", None)
     wants_resilience = (
@@ -143,7 +158,7 @@ def _engine(args: argparse.Namespace) -> "object | None":
         or getattr(args, "checkpoint", None) is not None
         or getattr(args, "resume", None) is not None
     )
-    if jobs <= 1 and not wants_resilience:
+    if jobs <= 1 and executor is None and not wants_resilience:
         return None
     from repro.runtime import ResiliencePolicy, RetryPolicy, SweepEngine
 
@@ -151,10 +166,13 @@ def _engine(args: argparse.Namespace) -> "object | None":
     if wants_resilience:
         retry = RetryPolicy(retries=retries if retries is not None else 2)
         resilience = ResiliencePolicy(retry=retry, task_timeout=task_timeout)
+    if executor is None:
+        executor = "serial" if jobs <= 1 else "thread"
     return SweepEngine(
         max_workers=jobs,
-        executor="serial" if jobs <= 1 else "thread",
+        executor=executor,
         resilience=resilience,
+        use_shared_memory=not getattr(args, "no_shm", False),
     )
 
 

@@ -285,6 +285,20 @@ class AnomalyDetector(abc.ABC):
             )
         return responses
 
+    def score_batch(
+        self, windows: Sequence[Sequence[int]] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized kernel entry point; alias of :meth:`score_windows`.
+
+        Each family backs this with a batch kernel from
+        :mod:`repro.runtime.kernels` (packed ``searchsorted`` for the
+        sequence detectors, count-table lookups for Markov, broadcast
+        comparison tensors for the positional metrics, one batched
+        forward pass for the network), so an entire unique-window batch
+        is scored in a handful of numpy passes.
+        """
+        return self.score_windows(windows)
+
     def score_window(self, window: Sequence[int]) -> float:
         """Response for a single window (length exactly ``DW``)."""
         data = np.asarray(window)

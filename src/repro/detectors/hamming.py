@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.detectors.base import AnomalyDetector
 from repro.detectors.registry import register_detector
-from repro.sequences.windows import windows_array
+from repro.runtime.kernels import hamming_batch_distance
 
 
 class HammingDetector(AnomalyDetector):
@@ -56,11 +56,19 @@ class HammingDetector(AnomalyDetector):
         return int(len(self._database))
 
     def _fit(self, training_streams: list[np.ndarray]) -> None:
-        views = [
-            windows_array(stream, self.window_length)
-            for stream in training_streams
-        ]
-        self._database = np.unique(np.concatenate(views, axis=0), axis=0)
+        parts, all_shared = [], True
+        for stream in training_streams:
+            shared = self._shared_unique_counts(stream)
+            if shared is not None:
+                parts.append(shared[0])
+            else:
+                all_shared = False
+                parts.append(self._windows_view(stream))
+        if all_shared and len(parts) == 1:
+            # Already the distinct rows in lexicographic order.
+            self._database = parts[0]
+        else:
+            self._database = np.unique(np.concatenate(parts, axis=0), axis=0)
 
     def distance_to_normal(self, window: tuple[int, ...] | np.ndarray) -> int:
         """Minimum Hamming distance of ``window`` over the database."""
@@ -69,20 +77,19 @@ class HammingDetector(AnomalyDetector):
         return int(self._chunk_distances(row)[0])
 
     def _chunk_distances(self, windows: np.ndarray) -> np.ndarray:
+        """Minimum database distance per row, via the shared
+        :func:`~repro.runtime.kernels.hamming_batch_distance` kernel."""
         assert self._database is not None
-        database = self._database
-        per_window = len(database) * self.window_length
-        chunk = max(1, self._chunk_elements // max(1, per_window))
-        best = np.empty(len(windows), dtype=np.int64)
-        for start in range(0, len(windows), chunk):
-            block = windows[start : start + chunk]
-            mismatches = (block[:, None, :] != database[None, :, :]).sum(axis=2)
-            best[start : start + chunk] = mismatches.min(axis=1)
-        return best
+        return hamming_batch_distance(
+            windows, self._database, self._chunk_elements
+        )
 
     def _score(self, test_stream: np.ndarray) -> np.ndarray:
-        view = windows_array(test_stream, self.window_length)
+        view = self._windows_view(test_stream)
         return self._chunk_distances(view) / self.window_length
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        return self._chunk_distances(windows) / self.window_length
 
 
 register_detector(HammingDetector)

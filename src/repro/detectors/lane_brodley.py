@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
+from repro.runtime.kernels import lb_batch_similarity
 
 
 def lb_similarity(first: np.ndarray | list[int], second: np.ndarray | list[int]) -> int:
@@ -123,23 +124,13 @@ class LaneBrodleyDetector(AnomalyDetector):
         return int(self._chunk_similarities(row)[0])
 
     def _chunk_similarities(self, windows: np.ndarray) -> np.ndarray:
-        """Best similarity against the database for each window row."""
+        """Best similarity against the database for each window row.
+
+        Delegates to the shared
+        :func:`~repro.runtime.kernels.lb_batch_similarity` kernel.
+        """
         assert self._database is not None
-        database = self._database
-        matches_shape = len(database) * self.window_length
-        chunk = max(1, self._chunk_elements // max(1, matches_shape))
-        best = np.empty(len(windows), dtype=np.int64)
-        for start in range(0, len(windows), chunk):
-            block = windows[start : start + chunk]
-            # matches: (block, db, DW) boolean comparison tensor.
-            matches = block[:, None, :] == database[None, :, :]
-            run = np.zeros(matches.shape[:2], dtype=np.int64)
-            similarity = np.zeros(matches.shape[:2], dtype=np.int64)
-            for j in range(self.window_length):
-                run = (run + 1) * matches[:, :, j]
-                similarity += run
-            best[start : start + chunk] = similarity.max(axis=1)
-        return best
+        return lb_batch_similarity(windows, self._database, self._chunk_elements)
 
     def _score(self, test_stream: np.ndarray) -> np.ndarray:
         view = self._windows_view(test_stream)

@@ -25,6 +25,17 @@ Two estimation details govern coverage, and both are exposed:
 * ``unseen_context_response`` — the response emitted when the context
   itself never occurred in training (the conditional is undefined).
   A foreign context is itself maximally anomalous, so the default is 1.
+
+**Count representation.**  On the packable grid (every window fits a
+63-bit packed integer) the joint and context counts are sorted packed
+code/count array pairs, and scoring is one
+:func:`~repro.runtime.kernels.count_lookup` bisection per table plus
+the vectorized :func:`~repro.runtime.kernels.markov_batch_response`
+rule — no per-window Python at all.  Off the packable grid the counts
+fall back to tuple-keyed dictionaries and the scalar
+:meth:`~MarkovDetector._window_response` rule, with window keys built
+via ``ndarray.tolist`` (one C pass) rather than per-element ``int()``
+conversion.  Both paths implement the identical response function.
 """
 
 from __future__ import annotations
@@ -33,6 +44,8 @@ import numpy as np
 
 from repro.detectors.base import AnomalyDetector
 from repro.exceptions import DetectorConfigurationError
+from repro.runtime.kernels import count_lookup, markov_batch_response
+from repro.sequences.windows import pack_window, pack_windows
 
 
 class MarkovDetector(AnomalyDetector):
@@ -70,6 +83,12 @@ class MarkovDetector(AnomalyDetector):
             )
         self._rare_floor = float(rare_floor)
         self._unseen_context_response = float(unseen_context_response)
+        # Packable representation: sorted packed codes + aligned counts.
+        self._joint_codes: np.ndarray | None = None
+        self._joint_counts: np.ndarray | None = None
+        self._context_codes: np.ndarray | None = None
+        self._context_counts_arr: np.ndarray | None = None
+        # Fallback representation for windows beyond the 63-bit budget.
         self._window_counts: dict[tuple[int, ...], int] = {}
         self._context_counts: dict[tuple[int, ...], int] = {}
         self._total_windows = 0
@@ -79,26 +98,103 @@ class MarkovDetector(AnomalyDetector):
         """Joint-frequency bound for the probability floor."""
         return self._rare_floor
 
-    def _count(self, streams: list[np.ndarray], length: int) -> dict[tuple[int, ...], int]:
+    @property
+    def _packable(self) -> bool:
+        """Whether ``DW``-grams fit the 63-bit packed-integer budget."""
+        return self.window_length * np.log2(self.alphabet_size) < 63
+
+    def _unique_rows(
+        self, stream: np.ndarray, length: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct windows of ``stream`` at ``length`` with counts."""
+        shared = self._shared_unique_counts(stream, length)
+        if shared is not None:
+            return shared
+        view = self._windows_view(stream, length)
+        return np.unique(view, axis=0, return_counts=True)
+
+    def _packed_count_table(
+        self, streams: list[np.ndarray], length: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted (codes, counts) over all streams' ``length``-grams.
+
+        Distinct rows arrive in lexicographic order, and packing is
+        order-preserving, so each stream contributes an already-sorted
+        code array; multi-stream tables merge via one ``np.unique``
+        plus a scatter-add.
+        """
+        value_parts, count_parts = [], []
+        for stream in streams:
+            if len(stream) < length:
+                continue
+            rows, counts = self._unique_rows(stream, length)
+            value_parts.append(pack_windows(rows, self.alphabet_size))
+            count_parts.append(counts.astype(np.int64, copy=False))
+        if len(value_parts) == 1:
+            return value_parts[0], count_parts[0]
+        values, inverse = np.unique(
+            np.concatenate(value_parts), return_inverse=True
+        )
+        counts = np.zeros(len(values), dtype=np.int64)
+        np.add.at(counts, inverse, np.concatenate(count_parts))
+        return values, counts
+
+    def _count(
+        self, streams: list[np.ndarray], length: int
+    ) -> dict[tuple[int, ...], int]:
+        """Tuple-keyed count table (the unpackable fallback)."""
         counts: dict[tuple[int, ...], int] = {}
         for stream in streams:
             if len(stream) < length:
                 continue
-            shared = self._shared_unique_counts(stream, length)
-            if shared is not None:
-                rows, row_counts = shared
-            else:
-                view = self._windows_view(stream, length)
-                rows, row_counts = np.unique(view, axis=0, return_counts=True)
-            for row, n in zip(rows, row_counts):
-                key = tuple(int(c) for c in row)
-                counts[key] = counts.get(key, 0) + int(n)
+            rows, row_counts = self._unique_rows(stream, length)
+            # tolist() converts the whole batch in one C pass; the
+            # resulting tuples of Python ints match the per-element
+            # tuple(int(c) ...) keys bit for bit.
+            for key, n in zip(map(tuple, rows.tolist()), row_counts.tolist()):
+                counts[key] = counts.get(key, 0) + n
         return counts
 
     def _fit(self, training_streams: list[np.ndarray]) -> None:
-        self._window_counts = self._count(training_streams, self.window_length)
-        self._context_counts = self._count(training_streams, self.window_length - 1)
-        self._total_windows = sum(self._window_counts.values())
+        if self._packable:
+            self._joint_codes, self._joint_counts = self._packed_count_table(
+                training_streams, self.window_length
+            )
+            self._context_codes, self._context_counts_arr = (
+                self._packed_count_table(training_streams, self.window_length - 1)
+            )
+            self._total_windows = int(self._joint_counts.sum())
+            self._window_counts = {}
+            self._context_counts = {}
+        else:
+            self._joint_codes = self._joint_counts = None
+            self._context_codes = self._context_counts_arr = None
+            self._window_counts = self._count(training_streams, self.window_length)
+            self._context_counts = self._count(
+                training_streams, self.window_length - 1
+            )
+            self._total_windows = sum(self._window_counts.values())
+
+    def _lookup(self, key: tuple[int, ...]) -> tuple[int, int]:
+        """(joint, context) training counts for one window key."""
+        if self._joint_codes is not None:
+            code = pack_window(key, self.alphabet_size)
+            probe = np.asarray([code], dtype=np.int64)
+            joint = int(
+                count_lookup(probe, self._joint_codes, self._joint_counts)[0]
+            )
+            context = int(
+                count_lookup(
+                    probe // self.alphabet_size,
+                    self._context_codes,
+                    self._context_counts_arr,
+                )[0]
+            )
+            return joint, context
+        return (
+            self._window_counts.get(key, 0),
+            self._context_counts.get(key[:-1], 0),
+        )
 
     def transition_probability(self, window: tuple[int, ...]) -> float:
         """The floored estimate of P(last element | preceding context).
@@ -108,59 +204,72 @@ class MarkovDetector(AnomalyDetector):
         """
         self._require_fitted()
         key = tuple(int(c) for c in window)
-        joint = self._window_counts.get(key, 0)
+        joint, context = self._lookup(key)
         if joint == 0:
             return 0.0
         if self._rare_floor > 0.0 and joint < self._rare_floor * self._total_windows:
             return 0.0
-        context = self._context_counts.get(key[:-1], 0)
         if context == 0:
             return 0.0
         return joint / context
 
     def _window_response(self, key: tuple[int, ...]) -> float:
-        """The response for one window key (the scoring rule, unmemoized)."""
+        """The response for one window key (the scalar scoring rule).
+
+        The reference implementation the batch kernel must match bit
+        for bit (``tests/runtime/test_kernels.py``).
+        """
         floor_count = self._rare_floor * self._total_windows
-        joint = self._window_counts.get(key, 0)
+        joint, context_count = self._lookup(key)
         if joint == 0 or (self._rare_floor > 0.0 and joint < floor_count):
-            context_count = self._context_counts.get(key[:-1], 0)
             if context_count == 0 and joint == 0:
                 response = self._unseen_context_response
             else:
                 response = 1.0
         else:
-            context_count = self._context_counts.get(key[:-1], 0)
             if context_count == 0:
                 response = 1.0
             else:
                 response = 1.0 - joint / context_count
         return min(1.0, max(0.0, response))
 
-    def _score(self, test_stream: np.ndarray) -> np.ndarray:
-        view = self._windows_view(test_stream)
+    def _batch_response(self, packed: np.ndarray) -> np.ndarray:
+        """Vectorized responses for packed window codes (one kernel pass)."""
+        joint = count_lookup(packed, self._joint_codes, self._joint_counts)
+        # Packing is big-endian (first symbol highest weight), so the
+        # DW-1 context of a window code is an integer division away.
+        context = count_lookup(
+            packed // self.alphabet_size,
+            self._context_codes,
+            self._context_counts_arr,
+        )
+        return markov_batch_response(
+            joint,
+            context,
+            self._rare_floor * self._total_windows,
+            self._unseen_context_response,
+        )
+
+    def _tuple_responses(self, view: np.ndarray) -> np.ndarray:
+        """Memoized scalar responses for the unpackable fallback."""
         responses = np.empty(len(view), dtype=np.float64)
-        cache: dict[int, float] = {}
-        packable = self.window_length * np.log2(self.alphabet_size) < 63
-        packed = self._packed_view(test_stream) if packable else None
-        for i, row in enumerate(view):
-            if packed is not None:
-                token = int(packed[i])
-                cached = cache.get(token)
-                if cached is not None:
-                    responses[i] = cached
-                    continue
-            response = self._window_response(tuple(int(c) for c in row))
+        memo: dict[tuple[int, ...], float] = {}
+        for i, key in enumerate(map(tuple, view.tolist())):
+            response = memo.get(key)
+            if response is None:
+                response = self._window_response(key)
+                memo[key] = response
             responses[i] = response
-            if packed is not None:
-                cache[int(packed[i])] = response
         return responses
 
+    def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        if self._joint_codes is not None:
+            return self._batch_response(self._packed_view(test_stream))
+        return self._tuple_responses(self._windows_view(test_stream))
+
     def _score_windows(self, windows: np.ndarray) -> np.ndarray:
-        return np.fromiter(
-            (
-                self._window_response(tuple(int(c) for c in row))
-                for row in windows
-            ),
-            dtype=np.float64,
-            count=len(windows),
-        )
+        if self._joint_codes is not None:
+            return self._batch_response(
+                pack_windows(windows, self.alphabet_size)
+            )
+        return self._tuple_responses(windows)

@@ -81,7 +81,7 @@ class NeuralDetector(AnomalyDetector):
         return encoded
 
     def _fit(self, training_streams: list[np.ndarray]) -> None:
-        pair_counts: dict[tuple[int, ...], int] = {}
+        row_parts, count_parts = [], []
         for stream in training_streams:
             shared = self._shared_unique_counts(stream)
             if shared is not None:
@@ -89,13 +89,21 @@ class NeuralDetector(AnomalyDetector):
             else:
                 view = self._windows_view(stream)
                 rows, counts = np.unique(view, axis=0, return_counts=True)
-            for row, count in zip(rows, counts):
-                key = tuple(int(c) for c in row)
-                pair_counts[key] = pair_counts.get(key, 0) + int(count)
-        if not pair_counts:
+            row_parts.append(rows)
+            count_parts.append(counts)
+        if len(row_parts) == 1:
+            # Distinct rows already arrive in lexicographic order —
+            # exactly the sorted-tuple order the training set uses.
+            windows, counts = row_parts[0], count_parts[0]
+        else:
+            stacked = np.concatenate(row_parts, axis=0)
+            windows, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            counts = np.zeros(len(windows), dtype=np.int64)
+            np.add.at(counts, inverse.reshape(-1), np.concatenate(count_parts))
+        if not len(windows):
             raise DetectorConfigurationError("no training windows available")
-        windows = np.asarray(sorted(pair_counts), dtype=np.int64)
-        weights = np.asarray([pair_counts[tuple(row)] for row in windows], dtype=float)
+        windows = windows.astype(np.int64, copy=False)
+        weights = counts.astype(float)
         contexts = windows[:, :-1]
         targets = windows[:, -1]
         network = NextSymbolMlp(

@@ -15,28 +15,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
+from repro.runtime.kernels import sorted_membership
 from repro.sequences.windows import pack_windows
+
+__all__ = ["StideDetector", "sorted_membership"]
 
 
 def _packable(alphabet_size: int, window_length: int) -> bool:
     """Whether windows fit in 63-bit packed integers."""
     return window_length * np.log2(alphabet_size) < 63
-
-
-def sorted_membership(probes: np.ndarray, database: np.ndarray) -> np.ndarray:
-    """Whether each probe occurs in an already-sorted database.
-
-    A ``searchsorted`` bisection per probe — ``O(n log m)`` without the
-    hash/sort machinery of ``np.isin``, and measurably faster when the
-    database is already sorted (``np.unique`` output), which is how the
-    sequence detectors store their packed normal databases.  See
-    ``benchmarks/bench_throughput.py`` for the comparison.
-    """
-    if not len(database):
-        return np.zeros(len(probes), dtype=bool)
-    positions = np.searchsorted(database, probes)
-    positions[positions == len(database)] = len(database) - 1
-    return database[positions] == probes
 
 
 class StideDetector(AnomalyDetector):
@@ -84,7 +71,8 @@ class StideDetector(AnomalyDetector):
             database: set[tuple[int, ...]] = set()
             for stream in training_streams:
                 view = self._windows_view(stream)
-                database.update(tuple(int(c) for c in row) for row in view)
+                # One C pass over the batch instead of per-element int().
+                database.update(map(tuple, view.tolist()))
             self._tuple_db = database
             self._packed_db = None
 
@@ -95,7 +83,7 @@ class StideDetector(AnomalyDetector):
             return sorted_membership(packed, self._packed_db)
         assert self._tuple_db is not None
         return np.fromiter(
-            (tuple(int(c) for c in row) in self._tuple_db for row in view),
+            (key in self._tuple_db for key in map(tuple, view.tolist())),
             dtype=bool,
             count=len(view),
         )

@@ -20,8 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
-from repro.detectors.stide import sorted_membership
 from repro.exceptions import DetectorConfigurationError
+from repro.runtime.kernels import sorted_membership
 from repro.sequences.windows import pack_windows
 
 
@@ -90,9 +90,11 @@ class TStideDetector(AnomalyDetector):
             for stream in training_streams:
                 view = self._windows_view(stream)
                 total += len(view)
-                for row in view:
-                    key = tuple(int(c) for c in row)
-                    counts[key] = counts.get(key, 0) + 1
+                rows, row_counts = np.unique(view, axis=0, return_counts=True)
+                # One C pass over the distinct rows instead of a
+                # per-element int() loop over every window.
+                for key, n in zip(map(tuple, rows.tolist()), row_counts.tolist()):
+                    counts[key] = counts.get(key, 0) + n
             bound = self._rare_threshold * total
             self._common_tuples = {key for key, n in counts.items() if n >= bound}
             self._common_packed = None
@@ -104,7 +106,7 @@ class TStideDetector(AnomalyDetector):
             return sorted_membership(packed, self._common_packed)
         assert self._common_tuples is not None
         return np.fromiter(
-            (tuple(int(c) for c in row) in self._common_tuples for row in view),
+            (key in self._common_tuples for key in map(tuple, view.tolist())),
             dtype=bool,
             count=len(view),
         )

@@ -142,6 +142,39 @@ def outcome_from_responses(
     )
 
 
+def score_injected_memoized(
+    detector: AnomalyDetector, injected: InjectedStream, cache
+) -> DetectionOutcome:
+    """Score an injection through unique-window batch kernels.
+
+    Deduplicates the test stream's windows via the shared
+    :class:`repro.runtime.WindowCache`, scores each distinct window
+    once with :meth:`~repro.detectors.base.AnomalyDetector.score_batch`,
+    and scatters the responses back to stream order before classifying.
+    Bit-identical to :func:`score_injected` — only the evaluation order
+    differs.
+
+    Args:
+        detector: a fitted detector.
+        injected: the test stream with injection metadata.
+        cache: a :class:`repro.runtime.WindowCache` (or compatible)
+            supplying ``unique(stream, DW, AS)``.
+
+    Returns:
+        The classified outcome.
+    """
+    unique_rows, inverse = cache.unique(
+        injected.stream, detector.window_length, detector.alphabet_size
+    )
+    responses = detector.score_batch(unique_rows)[inverse]
+    return outcome_from_responses(
+        responses,
+        injected,
+        detector.window_length,
+        detector.response_tolerance,
+    )
+
+
 def score_injected(
     detector: AnomalyDetector, injected: InjectedStream
 ) -> DetectionOutcome:

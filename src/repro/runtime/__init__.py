@@ -8,10 +8,17 @@ production runtime for that sweep:
 * :class:`WindowCache` — slides and packs each (stream, window length)
   combination exactly once and shares the arrays across every
   detector family's fits and scores;
+* :mod:`~repro.runtime.kernels` — the vectorized batch-scoring kernels
+  every detector family's ``score_windows`` reduces to: one numpy pass
+  per (stream, DW) batch instead of a per-window Python loop;
 * :class:`SweepEngine` — evaluates one or many families over the grid
   concurrently (thread-, process-, or serial-backed) with
   unique-window memoized scoring for the expensive detectors, while
   producing maps bit-identical to the sequential path;
+* :class:`WindowArena` — zero-copy ``multiprocessing.shared_memory``
+  transport: the suite's streams are materialized once, process
+  workers attach by segment name, and sweep tasks ship only
+  (name, shape, dtype) descriptors instead of pickled arrays;
 * :mod:`~repro.runtime.resilience` — fault-tolerant execution on top
   of the engine: retries with deterministic backoff, per-task
   wall-clock timeouts, graceful backend degradation
@@ -20,39 +27,58 @@ production runtime for that sweep:
 * :mod:`~repro.runtime.faults` — the seeded fault-injection harness
   the test suite uses to prove every recovery path.
 
-See the "Runtime & parallelism" and "Failure handling & resume"
-sections of DESIGN.md and the ``--jobs``/``--retries``/
+See the "Runtime & parallelism", "Batch kernels & zero-copy
+transport" and "Failure handling & resume" sections of DESIGN.md and
+the ``--jobs``/``--executor``/``--no-shm``/``--retries``/
 ``--task-timeout``/``--checkpoint``/``--resume`` flags of the CLI.
+
+Exports resolve lazily (PEP 562): detector modules import
+:mod:`repro.runtime.kernels` at module load, and an eager import of
+the engine here would close the cycle
+``kernels -> runtime -> engine -> registry -> detectors -> kernels``.
 """
 
-from repro.runtime.cache import CacheStats, WindowCache
-from repro.runtime.engine import (
-    EXECUTORS,
-    MEMOIZED_FAMILIES,
-    SweepEngine,
-    evaluate_window_block,
-)
-from repro.runtime.faults import FAULT_KINDS, FaultSchedule
-from repro.runtime.resilience import (
-    DEGRADATION_CHAIN,
-    ResiliencePolicy,
-    RetryPolicy,
-    RunReport,
-    TaskReport,
-)
+from __future__ import annotations
 
-__all__ = [
-    "CacheStats",
-    "DEGRADATION_CHAIN",
-    "EXECUTORS",
-    "FAULT_KINDS",
-    "FaultSchedule",
-    "MEMOIZED_FAMILIES",
-    "ResiliencePolicy",
-    "RetryPolicy",
-    "RunReport",
-    "SweepEngine",
-    "TaskReport",
-    "WindowCache",
-    "evaluate_window_block",
-]
+from importlib import import_module
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS: dict[str, str] = {
+    "CacheStats": "repro.runtime.cache",
+    "WindowCache": "repro.runtime.cache",
+    "EXECUTORS": "repro.runtime.engine",
+    "MEMOIZED_FAMILIES": "repro.runtime.engine",
+    "SweepEngine": "repro.runtime.engine",
+    "evaluate_window_block": "repro.runtime.engine",
+    "ArrayDescriptor": "repro.runtime.arena",
+    "SharedSuite": "repro.runtime.arena",
+    "WindowArena": "repro.runtime.arena",
+    "share_suite": "repro.runtime.arena",
+    "score_batch": "repro.runtime.kernels",
+    "sorted_membership": "repro.runtime.kernels",
+    "FAULT_KINDS": "repro.runtime.faults",
+    "FaultSchedule": "repro.runtime.faults",
+    "DEGRADATION_CHAIN": "repro.runtime.resilience",
+    "ResiliencePolicy": "repro.runtime.resilience",
+    "RetryPolicy": "repro.runtime.resilience",
+    "RunReport": "repro.runtime.resilience",
+    "TaskReport": "repro.runtime.resilience",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> object:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: subsequent lookups skip this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -31,7 +31,10 @@ worker's :class:`CacheStats` back with its results and folding them
 into the shared cache via :meth:`WindowCache.merge_counts`; after any
 sweep, ``engine.window_cache.stats`` therefore covers all backends.
 (Only the *counters* travel; the artifacts themselves stay
-process-local, which is the point of the process backend.)
+process-local, which is the point of the process backend.)  Arrays a
+worker *attaches* from the shared-memory arena rather than computing
+count as hits — the artifact existed and was reused — never as misses
+(see :meth:`repro.runtime.arena.SharedSuite.restore`).
 """
 
 from __future__ import annotations
@@ -84,6 +87,23 @@ class WindowCache:
         self._streams: dict[int, np.ndarray] = {}
         self._hits = 0
         self._misses = 0
+        self._arena: object | None = None
+
+    def bind_arena(self, arena: object) -> None:
+        """Couple this cache to a :class:`~repro.runtime.arena.WindowArena`.
+
+        While bound, evicting a stream also releases the stream's
+        shared-memory segment (see :meth:`evict`); the sweep engine
+        binds its arena for the duration of a zero-copy sweep.
+        """
+        with self._lock:
+            self._arena = arena
+
+    def unbind_arena(self, arena: object) -> None:
+        """Detach ``arena`` if it is the currently bound one."""
+        with self._lock:
+            if self._arena is arena:
+                self._arena = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -129,7 +149,9 @@ class WindowCache:
         Returns:
             The number of cache entries removed.  The pinned stream
             reference is released once no artifact of the stream
-            remains, letting its ``id`` be recycled safely.
+            remains, letting its ``id`` be recycled safely.  With an
+            arena bound (see :meth:`bind_arena`), fully evicting a
+            stream also releases its shared-memory segment.
         """
         with self._lock:
             stream_id = id(stream)
@@ -141,9 +163,16 @@ class WindowCache:
             ]
             for key in doomed:
                 del self._entries[key]
-            if not any(key[0] == stream_id for key in self._entries):
+            unpinned = not any(key[0] == stream_id for key in self._entries)
+            if unpinned:
                 self._streams.pop(stream_id, None)
-            return len(doomed)
+            arena = self._arena
+        if unpinned and arena is not None:
+            # Outside the cache lock: the arena has its own lock, and
+            # release may unlink the segment (never raises for streams
+            # the arena does not know).
+            arena.release(stream)  # type: ignore[attr-defined]
+        return len(doomed)
 
     def _get(self, stream: np.ndarray, key: _Key, compute):
         with self._lock:

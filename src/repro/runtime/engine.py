@@ -16,10 +16,20 @@ work concurrently:
 * **unique-window memoized scoring** — for the expensive families
   (L&B's database comparison, the neural network's forward pass) the
   test stream is deduplicated, each distinct window is scored once via
-  :meth:`~repro.detectors.base.AnomalyDetector.score_windows`, and the
-  responses are scattered back.  The injected streams are highly
-  repetitive, so this cuts the comparison work by an order of
-  magnitude without changing a single response value.
+  the vectorized batch kernels behind
+  :meth:`~repro.detectors.base.AnomalyDetector.score_batch`
+  (see :mod:`repro.runtime.kernels`), and the responses are scattered
+  back.  The injected streams are highly repetitive, so this cuts the
+  comparison work by an order of magnitude without changing a single
+  response value;
+* **zero-copy transport** — under the process backend the suite's
+  streams are published once into a shared-memory
+  :class:`~repro.runtime.arena.WindowArena` and workers attach by
+  segment name, so task payloads carry (name, shape, dtype)
+  descriptors instead of pickled arrays.  Where shared memory is
+  unavailable the sweep degrades to the pickle transport, and the
+  resilient scheduler's last rung is serial in-process execution:
+  ``shm -> pickle -> serial``.
 
 Every cell is computed by the same deterministic, side-effect-free
 rule as the serial loop in
@@ -42,12 +52,13 @@ from repro.datagen.suite import EvaluationSuite
 from repro.detectors.base import AnomalyDetector
 from repro.detectors.registry import create_detector
 from repro.evaluation.performance_map import Cell, CellResult, PerformanceMap
-from repro.evaluation.scoring import outcome_from_responses, score_injected
+from repro.evaluation.scoring import score_injected, score_injected_memoized
 from repro.exceptions import (
     EvaluationError,
     SweepAbortedError,
     TransientTaskError,
 )
+from repro.runtime.arena import SharedSuite, WindowArena, share_suite
 from repro.runtime.cache import CacheStats, WindowCache
 from repro.runtime.faults import FaultSchedule, apply_fault, corrupt_block
 from repro.runtime.resilience import (
@@ -102,13 +113,7 @@ def evaluate_window_block(
     for anomaly_size in suite.anomaly_sizes:
         injected = suite.stream(anomaly_size)
         if memoize and cache is not None:
-            unique_rows, inverse = cache.unique(
-                injected.stream, window_length, fitted.alphabet_size
-            )
-            responses = fitted.score_windows(unique_rows)[inverse]
-            outcome = outcome_from_responses(
-                responses, injected, window_length, fitted.response_tolerance
-            )
+            outcome = score_injected_memoized(fitted, injected, cache)
         else:
             outcome = score_injected(fitted, injected)
         results.append(
@@ -121,31 +126,65 @@ def evaluate_window_block(
     return results
 
 
+#: Per-process cache shared by every zero-copy task a worker handles.
+#: :meth:`SharedSuite.restore` memoizes by segment name, so the same
+#: task payload always resolves to identity-stable arrays — exactly the
+#: keying this cache needs to stay warm across tasks.  Pool workers are
+#: single-threaded, so no lock is required around the stats delta.
+_WORKER_CACHE: WindowCache | None = None
+
+
+def _worker_suite(
+    suite: EvaluationSuite | SharedSuite,
+) -> tuple[EvaluationSuite, WindowCache, CacheStats | None]:
+    """Materialize a task's suite and pick its cache inside a worker.
+
+    A :class:`SharedSuite` descriptor attaches the parent's
+    shared-memory segments zero-copy and shares the worker-global
+    cache (returning a stats snapshot so the caller can report only
+    this task's delta); a plain pickled suite gets a fresh private
+    cache, exactly the pre-arena behavior.
+    """
+    global _WORKER_CACHE
+    if isinstance(suite, SharedSuite):
+        if _WORKER_CACHE is None:
+            _WORKER_CACHE = WindowCache()
+        before = _WORKER_CACHE.stats  # snapshot precedes restore's credits
+        return suite.restore(cache=_WORKER_CACHE), _WORKER_CACHE, before
+    return suite, WindowCache(), None
+
+
 def _process_window_block(
     name: str,
     window_length: int,
-    suite: EvaluationSuite,
+    suite: EvaluationSuite | SharedSuite,
     detector_kwargs: dict[str, object],
     memoize: bool,
 ) -> tuple[str, int, list[CellResult], CacheStats]:
-    """Process-pool entry point: one (family, window) block, own cache.
+    """Process-pool entry point: one (family, window) block.
 
-    The worker's private cache counters ride back with the results so
-    the parent can fold them into the engine cache's statistics (see
-    :meth:`WindowCache.merge_counts`).
+    The worker's cache counters (for zero-copy tasks: this task's
+    counter *delta* against the worker-global cache) ride back with the
+    results so the parent can fold them into the engine cache's
+    statistics (see :meth:`WindowCache.merge_counts`).
     """
-    cache = WindowCache()
+    suite, cache, before = _worker_suite(suite)
     detector = create_detector(
         name, window_length, suite.training.alphabet.size, **detector_kwargs
     )
     cells = evaluate_window_block(detector, suite, cache=cache, memoize=memoize)
-    return name, window_length, cells, cache.stats
+    stats = cache.stats
+    if before is not None:
+        stats = CacheStats(
+            hits=stats.hits - before.hits, misses=stats.misses - before.misses
+        )
+    return name, window_length, cells, stats
 
 
 def _process_resilient_block(
     name: str,
     window_length: int,
-    suite: EvaluationSuite,
+    suite: EvaluationSuite | SharedSuite,
     detector_kwargs: dict[str, object],
     memoize: bool,
     schedule: FaultSchedule | None,
@@ -188,6 +227,13 @@ class SweepEngine:
             the zero-overhead fast paths; ``sweep_with_report`` and
             checkpointed sweeps always run resiliently, applying a
             default policy when none is configured.
+        use_shared_memory: ship suites to process-backend workers as
+            zero-copy shared-memory descriptors (see
+            :mod:`repro.runtime.arena`) instead of pickled arrays.
+            Ignored by the thread/serial backends, which share arrays
+            in-process already.  When shared memory is unavailable or
+            publishing fails, the sweep silently degrades to the
+            pickle transport — the ``shm -> pickle -> serial`` ladder.
 
     Raises:
         EvaluationError: for unknown executors or worker counts < 1.
@@ -203,6 +249,7 @@ class SweepEngine:
         memoized_detectors: Iterable[str] = MEMOIZED_FAMILIES,
         window_cache: WindowCache | None = None,
         resilience: ResiliencePolicy | None = None,
+        use_shared_memory: bool = True,
     ) -> None:
         if executor not in EXECUTORS:
             raise EvaluationError(
@@ -215,6 +262,7 @@ class SweepEngine:
         self._memoized = frozenset(memoized_detectors)
         self._cache = window_cache if window_cache is not None else WindowCache()
         self._resilience = resilience
+        self._use_shm = bool(use_shared_memory)
 
     @property
     def max_workers(self) -> int:
@@ -235,6 +283,11 @@ class SweepEngine:
     def resilience(self) -> ResiliencePolicy | None:
         """The configured resilience policy (``None`` = fast paths)."""
         return self._resilience
+
+    @property
+    def use_shared_memory(self) -> bool:
+        """Whether process sweeps attempt the zero-copy transport."""
+        return self._use_shm
 
     def _resolve(
         self,
@@ -412,6 +465,38 @@ class SweepEngine:
         )
         return next(iter(maps.values())), report
 
+    # -- zero-copy transport ----------------------------------------------------
+
+    def _share_suite(
+        self, suite: EvaluationSuite
+    ) -> tuple[EvaluationSuite | SharedSuite, WindowArena | None]:
+        """Publish the suite's streams into a shared-memory arena.
+
+        Returns ``(transport, arena)``: the descriptor-only
+        :class:`SharedSuite` plus its owning arena, or
+        ``(suite, None)`` when shared memory is disabled, unavailable
+        on the platform, or publishing fails mid-way — the pickle rung
+        of the degradation ladder.  On success the arena is bound to
+        the engine cache so evicting a stream releases its segment.
+        """
+        if not self._use_shm or not WindowArena.available():
+            return suite, None
+        arena = WindowArena()
+        try:
+            transport = share_suite(arena, suite)
+        except Exception:
+            arena.close()
+            return suite, None
+        self._cache.bind_arena(arena)
+        return transport, arena
+
+    def _teardown_arena(self, arena: WindowArena | None) -> None:
+        """Unbind and unlink the sweep's arena (no-op for ``None``)."""
+        if arena is None:
+            return
+        self._cache.unbind_arena(arena)
+        arena.close()
+
     # -- backends ---------------------------------------------------------------
 
     def _run_block(
@@ -452,22 +537,26 @@ class SweepEngine:
 
     def _sweep_processes(self, cells, blocks, suite, detector_kwargs) -> None:
         # Factory specs were already rejected by _resolve (fail fast).
-        with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
-            futures = [
-                pool.submit(
-                    _process_window_block,
-                    registry_name,
-                    window_length,
-                    suite,
-                    detector_kwargs,
-                    registry_name in self._memoized,
-                )
-                for _name, registry_name, _factory, window_length in blocks
-            ]
-            for future in futures:
-                name, _window_length, results, stats = future.result()
-                self._cache.merge_counts(stats.hits, stats.misses)
-                self._collect(cells, name, results)
+        transport, arena = self._share_suite(suite)
+        try:
+            with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+                futures = [
+                    pool.submit(
+                        _process_window_block,
+                        registry_name,
+                        window_length,
+                        transport,
+                        detector_kwargs,
+                        registry_name in self._memoized,
+                    )
+                    for _name, registry_name, _factory, window_length in blocks
+                ]
+                for future in futures:
+                    name, _window_length, results, stats = future.result()
+                    self._cache.merge_counts(stats.hits, stats.misses)
+                    self._collect(cells, name, results)
+        finally:
+            self._teardown_arena(arena)
 
     # -- resilient execution ----------------------------------------------
 
@@ -478,8 +567,17 @@ class SweepEngine:
         detector_kwargs: dict[str, object],
         skip: set[tuple[str, int]],
         schedule: FaultSchedule | None,
+        payload_suite: EvaluationSuite | SharedSuite | None = None,
     ) -> list[SweepTask]:
-        """One :class:`SweepTask` per (family, window) block not in ``skip``."""
+        """One :class:`SweepTask` per (family, window) block not in ``skip``.
+
+        ``payload_suite`` is the suite representation shipped inside
+        each task's *process* payload — the zero-copy
+        :class:`SharedSuite` descriptor under the process backend with
+        an arena, the plain suite otherwise.  The in-process ``run``
+        closure always uses the real ``suite``; a backend degradation
+        to threads therefore never depends on the arena.
+        """
         expected = len(suite.anomaly_sizes)
         tasks = []
         for name, registry_name, factory in resolved:
@@ -524,7 +622,7 @@ class SweepEngine:
                         (
                             registry_name,
                             window_length,
-                            suite,
+                            suite if payload_suite is None else payload_suite,
                             detector_kwargs,
                             registry_name in self._memoized,
                             schedule,
@@ -626,7 +724,14 @@ class SweepEngine:
             skip, resumed_reports, cells_resumed = self._load_resume(
                 resume_from, names, suite, cells
             )
-        tasks = self._block_tasks(resolved, suite, detector_kwargs, skip, schedule)
+        payload_suite, arena = (
+            self._share_suite(suite)
+            if self._executor == "process"
+            else (suite, None)
+        )
+        tasks = self._block_tasks(
+            resolved, suite, detector_kwargs, skip, schedule, payload_suite
+        )
 
         def on_result(task: SweepTask, result: object) -> None:
             results, stats = result  # type: ignore[misc]
@@ -648,6 +753,11 @@ class SweepEngine:
                 time.perf_counter() - started, checkpoint,
             )
             raise SweepAbortedError(str(aborted), report) from aborted.__cause__
+        finally:
+            # Unlink the arena whether the sweep finished, aborted, or
+            # was killed by a worker timeout: segments must never
+            # outlive the sweep that published them.
+            self._teardown_arena(arena)
         report = self._run_report(
             runner, resumed_reports, cells, cells_resumed,
             time.perf_counter() - started, checkpoint,
