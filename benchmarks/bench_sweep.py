@@ -22,16 +22,18 @@ import pickle
 import time
 
 import numpy as np
-from _artifacts import write_artifact, write_json_artifact
+from _artifacts import machine_calibration, write_artifact, write_json_artifact
 
 from repro.detectors.base import AnomalyDetector
 from repro.detectors.registry import create_detector
 from repro.evaluation.performance_map import build_performance_map
 from repro.runtime import (
+    ArtifactStore,
     ResiliencePolicy,
     RetryPolicy,
     SweepEngine,
     WindowArena,
+    WindowCache,
     share_suite,
 )
 from repro.sequences.windows import windows_array
@@ -44,6 +46,15 @@ MIN_PAYLOAD_DROP = 10.0  # task payload bytes, pickle vs descriptors
 KERNEL_WINDOW = 6
 MAX_RESILIENCE_OVERHEAD = 0.05  # fraction of plain-engine wall clock
 OVERHEAD_REPS = 3
+# Fit-phase floors: the shared training index amortizes one sort over
+# every (family, DW) fit; a store-warm pass performs zero fits at all.
+# --quick corpora are sort-cheap, so the floors relax there.
+MIN_INDEX_FIT_SPEEDUP = 5.0
+MIN_INDEX_FIT_SPEEDUP_QUICK = 2.5
+MIN_STORE_FIT_SPEEDUP = 20.0
+MIN_STORE_FIT_SPEEDUP_QUICK = 10.0
+FIT_WINDOWS = tuple(range(2, 16))
+PROBE_WINDOWS = 512
 
 
 def _identical(serial_maps, engine_maps, suite) -> int:
@@ -163,6 +174,7 @@ def test_batch_kernel_speedup(suite):
 
     payload = {
         "bench": "batch_kernels",
+        "calibration_seconds": round(machine_calibration(), 4),
         "families": list(FAMILIES),
         "window_length": KERNEL_WINDOW,
         "distinct_windows": int(len(rows)),
@@ -328,6 +340,118 @@ def test_resilience_overhead(suite):
     assert overhead <= MAX_RESILIENCE_OVERHEAD, (
         f"resilience overhead {overhead:.2%} exceeds the "
         f"{MAX_RESILIENCE_OVERHEAD:.0%} budget"
+    )
+
+
+def test_fit_phase(suite, quick, tmp_path):
+    """E24 — the fit phase: cold per-cell fits vs index vs warm store.
+
+    Three passes over every (family, DW) fit of the sweep grid:
+
+    * **cold** — the direct per-cell reference: no cache, no store;
+      every fit re-slides, re-packs and re-sorts the training stream
+      from scratch, exactly as a standalone ``fit`` call would;
+    * **index** — one shared :class:`WindowCache`: the incremental
+      training index derives every DW's unique-window table from the
+      DW-1 table, and all families share it (one sort lineage for the
+      whole grid instead of one sort per cell);
+    * **store-warm** — a pre-populated :class:`ArtifactStore`: every
+      fit is a content-addressed load, zero training work.
+
+    Equivalence is asserted the way it matters: each pass's fitted
+    detectors must score an identical probe batch bit-identically to
+    the cold reference (0 mismatches).  Floors: index >= 5x cold and
+    store-warm >= 20x cold at benchmark scale (2.5x / 10x under
+    ``--quick``, where the corpus is too small for sorts to dominate).
+    """
+    alphabet_size = suite.training.alphabet.size
+    stream = suite.training.stream
+    probes = {
+        window_length: np.ascontiguousarray(
+            windows_array(stream, window_length)[:PROBE_WINDOWS]
+        )
+        for window_length in FIT_WINDOWS
+    }
+
+    def fit_all(cache=None, store=None):
+        """Fit every (family, DW) cell; returns probe scores + seconds."""
+        scores = {}
+        start = time.perf_counter()
+        for name in FAMILIES:
+            for window_length in FIT_WINDOWS:
+                detector = create_detector(name, window_length, alphabet_size)
+                if cache is not None:
+                    detector.attach_cache(cache)
+                if store is not None:
+                    detector.attach_store(store)
+                detector.fit(stream)
+                scores[(name, window_length)] = detector.score_batch(
+                    probes[window_length]
+                )
+        return scores, time.perf_counter() - start
+
+    cold_scores, cold_seconds = fit_all()
+    index_scores, index_seconds = fit_all(cache=WindowCache())
+
+    store = ArtifactStore(tmp_path / "fit-store")
+    fit_all(cache=WindowCache(), store=store)  # populate
+    warm_scores, warm_seconds = fit_all(cache=WindowCache(), store=store)
+    fits = len(FAMILIES) * len(FIT_WINDOWS)
+    assert store.stats.hits >= fits, "warm pass must load every fit"
+
+    mismatched = sum(
+        not np.array_equal(cold_scores[key], other[key])
+        for other in (index_scores, warm_scores)
+        for key in cold_scores
+    )
+    index_speedup = cold_seconds / index_seconds
+    store_speedup = cold_seconds / warm_seconds
+    index_floor = MIN_INDEX_FIT_SPEEDUP_QUICK if quick else MIN_INDEX_FIT_SPEEDUP
+    store_floor = MIN_STORE_FIT_SPEEDUP_QUICK if quick else MIN_STORE_FIT_SPEEDUP
+
+    payload = {
+        "bench": "fit_phase",
+        "calibration_seconds": round(machine_calibration(), 4),
+        "families": list(FAMILIES),
+        "window_lengths": list(FIT_WINDOWS),
+        "fits": fits,
+        "quick": quick,
+        "cold_seconds": round(cold_seconds, 4),
+        "index_seconds": round(index_seconds, 4),
+        "store_warm_seconds": round(warm_seconds, 4),
+        "index_speedup": round(index_speedup, 2),
+        "store_speedup": round(store_speedup, 2),
+        "min_index_speedup": index_floor,
+        "min_store_speedup": store_floor,
+        "mismatched_probe_batches": mismatched,
+    }
+    write_json_artifact("BENCH_fit_phase", payload)
+    write_artifact(
+        "fit_phase",
+        "\n".join(
+            [
+                f"Fit phase ({fits} fits: {len(FAMILIES)} families x "
+                f"DW {FIT_WINDOWS[0]}..{FIT_WINDOWS[-1]}):",
+                f"  cold        {cold_seconds:>8.2f} s (per-cell reference)",
+                f"  index       {index_seconds:>8.2f} s "
+                f"({index_speedup:.1f}x)",
+                f"  store-warm  {warm_seconds:>8.2f} s "
+                f"({store_speedup:.1f}x)",
+                f"  mismatches  {mismatched}",
+            ]
+        ),
+    )
+
+    assert mismatched == 0, (
+        "index- and store-backed fits must score bit-identically to cold"
+    )
+    assert index_speedup >= index_floor, (
+        f"shared-index fit speedup {index_speedup:.2f}x below the "
+        f"{index_floor}x floor"
+    )
+    assert store_speedup >= store_floor, (
+        f"store-warm fit speedup {store_speedup:.2f}x below the "
+        f"{store_floor}x floor"
     )
 
 

@@ -1,0 +1,109 @@
+"""CI guard: fail when the sweep benchmark regresses against baseline.
+
+Compares a freshly produced ``benchmarks/output/BENCH_sweep.json``
+against the committed baseline ``BENCH_sweep.json`` at the repo root.
+Raw seconds are not comparable across machines, so both records carry
+``calibration_seconds`` — the time of a fixed sort-dominated reference
+workload on the machine that produced them (see
+:func:`_artifacts.machine_calibration`) — and the baseline's sweep
+time is rescaled by the calibration ratio before the comparison.  The
+check fails (exit 1) when the calibrated sweep wall-clock regresses by
+more than ``TOLERANCE``.
+
+A missing baseline is a warning, not a failure: the first run on a new
+branch (or a deliberate baseline refresh) must be able to produce the
+artifact that later runs are held to.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        [--baseline BENCH_sweep.json] [--current benchmarks/output/BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Allowed calibrated slowdown before the check fails.
+TOLERANCE = 0.25
+
+
+def _load(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as error:
+        print(f"warning: unreadable benchmark record {path}: {error}")
+        return None
+
+
+def check(baseline_path: Path, current_path: Path) -> int:
+    baseline = _load(baseline_path)
+    if baseline is None:
+        print(
+            f"warning: no baseline at {baseline_path}; skipping the "
+            "regression check (commit benchmarks/output/BENCH_sweep.json "
+            "from a clean run to arm it)"
+        )
+        return 0
+    current = _load(current_path)
+    if current is None:
+        print(f"error: no fresh benchmark record at {current_path}")
+        return 1
+
+    required = ("sweep_seconds", "calibration_seconds")
+    for record, label in ((baseline, "baseline"), (current, "current")):
+        missing = [key for key in required if not record.get(key)]
+        if missing:
+            print(
+                f"warning: {label} record lacks {', '.join(missing)}; "
+                "skipping the regression check"
+            )
+            return 0
+
+    # Rescale the baseline to this machine's speed: a baseline captured
+    # on hardware 2x faster than CI would otherwise always "regress".
+    scale = current["calibration_seconds"] / baseline["calibration_seconds"]
+    allowed = baseline["sweep_seconds"] * scale * (1.0 + TOLERANCE)
+    actual = current["sweep_seconds"]
+    verdict = "OK" if actual <= allowed else "REGRESSION"
+    print(
+        f"sweep wall-clock: {actual:.3f} s vs calibrated baseline "
+        f"{baseline['sweep_seconds']:.3f} s x {scale:.2f} "
+        f"(allowed <= {allowed:.3f} s, tolerance {TOLERANCE:.0%}): {verdict}"
+    )
+    if actual > allowed:
+        print(
+            "error: sweep benchmark regressed beyond tolerance; if the "
+            "slowdown is intentional, refresh the committed BENCH_sweep.json"
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sweep.json",
+        help="committed baseline record (default: repo-root BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "output" / "BENCH_sweep.json",
+        help="freshly produced record to judge",
+    )
+    args = parser.parse_args(argv)
+    return check(args.baseline, args.current)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,33 @@ def _jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent fit store directory: fits are looked up by "
+        "content address (training stream + detector config + schema "
+        "version) before training and written back on a miss, so a "
+        "repeat run performs zero fits",
+    )
+    parser.add_argument(
+        "--store-cap",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="size cap for --store; least-recently-used entries are "
+        "evicted once the cap is exceeded",
+    )
+    parser.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="keep store-backed runs bit-reproducible: iterative "
+        "detectors always train from scratch instead of warm-starting "
+        "from an adjacent window length's weights",
+    )
+
+
 #: Sentinel for ``--resume`` without a path: reuse ``--checkpoint``.
 _RESUME_FROM_CHECKPOINT = "@checkpoint"
 
@@ -152,13 +179,14 @@ def _engine(args: argparse.Namespace) -> "object | None":
     executor = getattr(args, "executor", None)
     retries = getattr(args, "retries", None)
     task_timeout = getattr(args, "task_timeout", None)
+    store_dir = getattr(args, "store", None)
     wants_resilience = (
         retries is not None
         or task_timeout is not None
         or getattr(args, "checkpoint", None) is not None
         or getattr(args, "resume", None) is not None
     )
-    if jobs <= 1 and executor is None and not wants_resilience:
+    if jobs <= 1 and executor is None and not wants_resilience and store_dir is None:
         return None
     from repro.runtime import ResiliencePolicy, RetryPolicy, SweepEngine
 
@@ -168,11 +196,18 @@ def _engine(args: argparse.Namespace) -> "object | None":
         resilience = ResiliencePolicy(retry=retry, task_timeout=task_timeout)
     if executor is None:
         executor = "serial" if jobs <= 1 else "thread"
+    store = None
+    if store_dir is not None:
+        from repro.runtime.store import ArtifactStore
+
+        store = ArtifactStore(store_dir, cap_bytes=getattr(args, "store_cap", None))
     return SweepEngine(
         max_workers=jobs,
         executor=executor,
         resilience=resilience,
         use_shared_memory=not getattr(args, "no_shm", False),
+        store=store,
+        warm_start=False if getattr(args, "no_warm_start", False) else None,
     )
 
 
@@ -186,10 +221,11 @@ def _cmd_maps(args: argparse.Namespace) -> int:
             f"available: {', '.join(available_detectors())}"
         )
     checkpoint, resume_from = _checkpoint_paths(args)
+    engine = _engine(args)
     result = run_paper_experiment(
         params=params,
         detectors=detectors,
-        engine=_engine(args),
+        engine=engine,
         checkpoint=checkpoint,
         resume_from=resume_from,
     )
@@ -199,6 +235,12 @@ def _cmd_maps(args: argparse.Namespace) -> int:
     print(result.summary())
     if result.run_report is not None:
         print(result.run_report.summary())
+    elif getattr(engine, "store", None) is not None:
+        stats = engine.last_fit_stats
+        print(
+            f"fits: {stats.computed} computed / {stats.from_store} from "
+            f"store / {stats.warm_started} warm"
+        )
     if len(detectors) >= 2:
         print()
         print(map_agreement_report(result.maps))
@@ -447,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     _corpus_arguments(maps)
     _jobs_argument(maps)
     _resilience_arguments(maps)
+    _store_arguments(maps)
     maps.add_argument(
         "--detectors",
         nargs="+",
@@ -491,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     _corpus_arguments(atlas)
     _jobs_argument(atlas)
     _resilience_arguments(atlas)
+    _store_arguments(atlas)
     atlas.add_argument(
         "--detectors",
         nargs="+",
@@ -514,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     _corpus_arguments(select)
     _jobs_argument(select)
     _resilience_arguments(select)
+    _store_arguments(select)
     select.add_argument(
         "--size",
         type=int,

@@ -22,6 +22,8 @@ from enum import Enum
 import numpy as np
 
 from repro.exceptions import DetectorConfigurationError, NotFittedError, WindowError
+from repro.runtime.fitindex import FitRecord, WarmStartPolicy, WarmStartRegistry
+from repro.runtime.store import fit_key, streams_digest
 from repro.sequences.windows import pack_windows, window_count, windows_array
 
 
@@ -47,6 +49,12 @@ class AnomalyDetector(abc.ABC):
     #: Human-readable detector family name; subclasses override.
     name: str = "abstract"
 
+    #: Whether this family acts on :meth:`attach_warm_start`.  Only
+    #: warm-capable families mark warm mode in their store fingerprint
+    #: (a warm-trained state is a different artifact than a cold one);
+    #: closed-form fits are mode-independent and share entries.
+    _warm_capable: bool = False
+
     def __init__(
         self,
         window_length: int,
@@ -70,6 +78,12 @@ class AnomalyDetector(abc.ABC):
         self._response_tolerance = float(response_tolerance)
         self._state = FittedState.UNFITTED
         self._window_cache: object | None = None
+        self._store: object | None = None
+        self._warm_policy: WarmStartPolicy | None = None
+        self._warm_registry: WarmStartRegistry | None = None
+        self._training_digest: str | None = None
+        self._fit_hint: FitRecord | None = None
+        self._last_fit_report: FitRecord | None = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -113,6 +127,112 @@ class AnomalyDetector(abc.ABC):
         """
         self._window_cache = cache
         return self
+
+    def attach_store(self, store: object | None) -> "AnomalyDetector":
+        """Back this detector with a persistent artifact store.
+
+        With a :class:`repro.runtime.store.ArtifactStore` attached,
+        :meth:`fit_many` first looks the fitted state up under the
+        content-addressed key of (training bytes, configuration, code
+        version) and only fits on a miss, writing the fresh state back
+        for every later run.  Families without a serializable state
+        (none currently) simply always fit.  Pass ``None`` to detach.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        self._store = store
+        return self
+
+    def attach_warm_start(
+        self,
+        policy: WarmStartPolicy | None,
+        registry: WarmStartRegistry | None = None,
+    ) -> "AnomalyDetector":
+        """Allow iterative fits to warm-start from adjacent-DW donors.
+
+        Only the iterative families (neural network) act on this; the
+        closed-form detectors fit exactly as before.  Pass ``None`` to
+        disable — the ``--no-warm-start`` escape hatch for
+        bit-reproducible paper-fidelity runs.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        self._warm_policy = policy
+        self._warm_registry = registry if policy is not None else None
+        return self
+
+    @property
+    def last_fit_report(self) -> FitRecord | None:
+        """How the most recent :meth:`fit_many` obtained its fit."""
+        return self._last_fit_report
+
+    def config_fingerprint(self, window_length: int | None = None) -> str:
+        """Canonical description of everything that shapes the fit.
+
+        Concatenates the family name, window length, alphabet size and
+        the family's hyperparameters (:meth:`_extra_fingerprint`); fed
+        into :func:`repro.runtime.store.fit_key` together with the
+        training-stream digest.  ``window_length`` overrides the
+        detector's own DW — used to address a neighbor's store entry
+        when hunting warm-start donors.
+        """
+        length = self._window_length if window_length is None else window_length
+        parts = [
+            f"family={self.name}",
+            f"dw={length}",
+            f"as={self._alphabet_size}",
+            f"tol={self._response_tolerance!r}",
+        ]
+        extra = self._extra_fingerprint()
+        if extra:
+            parts.append(extra)
+        if self._warm_capable and self._warm_policy is not None:
+            # A warm-trained state is a different artifact than a cold
+            # one; keep the two address spaces disjoint so
+            # --no-warm-start runs never load warm-trained weights.
+            parts.append("warm=1")
+        return ";".join(parts)
+
+    def family_fingerprint(self) -> str:
+        """:meth:`config_fingerprint` minus the window length.
+
+        The warm-start registry key: donors are shared across window
+        lengths of the same family and hyperparameters.
+        """
+        parts = [
+            f"family={self.name}",
+            f"as={self._alphabet_size}",
+            f"tol={self._response_tolerance!r}",
+        ]
+        extra = self._extra_fingerprint()
+        if extra:
+            parts.append(extra)
+        return ";".join(parts)
+
+    def _extra_fingerprint(self) -> str:
+        """Family hyperparameters beyond (DW, AS); subclasses override."""
+        return ""
+
+    def _fit_state(self) -> dict[str, np.ndarray] | None:
+        """Serialize the fitted model as named arrays, or ``None``.
+
+        ``None`` opts the family out of the artifact store.  Subclasses
+        returning a state must make :meth:`_load_fit_state` its exact
+        inverse: a load followed by scoring must be bit-identical to
+        fitting.
+        """
+        return None
+
+    def _load_fit_state(self, state: dict[str, np.ndarray]) -> bool:
+        """Restore a :meth:`_fit_state` payload; ``True`` on success.
+
+        Must tolerate arbitrary payloads (the store is
+        content-addressed but corruption-tolerant): return ``False``
+        for anything unusable and the caller falls back to fitting.
+        """
+        return False
 
     def _windows_view(
         self, stream: np.ndarray, window_length: int | None = None
@@ -185,11 +305,62 @@ class AnomalyDetector(abc.ABC):
             raise WindowError(
                 f"no training stream contains a window of length {self._window_length}"
             )
-        self._fit(usable)
+        self._last_fit_report = self._resolve_fit(usable)
         self._state = FittedState.FITTED
         return self
 
+    def _resolve_fit(self, usable: list[np.ndarray]) -> FitRecord:
+        """Obtain the fitted state: from the store, warm, or cold.
+
+        The store lookup happens here so every family gets persistence
+        for free; the warm-start attempt happens inside the iterative
+        families' ``_fit`` (they know their own loss), which reports
+        back through ``self._fit_hint``.
+        """
+        store = self._store
+        key: str | None = None
+        if store is not None or self._warm_registry is not None:
+            # One digest serves the store key and the warm-donor key.
+            self._training_digest = streams_digest(usable)
+        if store is not None:
+            key = fit_key(self._training_digest, self.config_fingerprint())
+            held = store.get(key)  # type: ignore[attr-defined]
+            if held is not None and self._load_fit_state(held):
+                return FitRecord(origin="store", store_key=key)
+        self._fit_hint = None
+        self._fit(usable)
+        hint = self._fit_hint or FitRecord()
+        if store is not None:
+            state = self._fit_state()
+            if state is not None:
+                store.put(key, state)  # type: ignore[attr-defined]
+        return FitRecord(
+            origin=hint.origin,
+            store_key=key,
+            warm_donor_window=hint.warm_donor_window,
+            warm_disabled=hint.warm_disabled,
+        )
+
     def _validated(self, stream: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Canonical int64 view of ``stream``, alphabet-checked.
+
+        With a cache attached, validation of ndarray streams is
+        memoized per (stream identity, alphabet): ``fit_many`` used to
+        re-validate the same training stream once per detector of a
+        sweep, which is pure rescanning — see the micro-benchmark note
+        in ``benchmarks/bench_sweep.py``.  Non-ndarray inputs (lists)
+        have no stable identity and validate inline.
+        """
+        cache = self._window_cache
+        if cache is not None and isinstance(stream, np.ndarray):
+            return cache.validated(  # type: ignore[attr-defined]
+                stream,
+                self._alphabet_size,
+                lambda: self._validate_now(stream),
+            )
+        return self._validate_now(stream)
+
+    def _validate_now(self, stream: Sequence[int] | np.ndarray) -> np.ndarray:
         data = np.asarray(stream)
         if data.ndim != 1:
             raise WindowError(f"stream must be one-dimensional, got shape {data.shape}")

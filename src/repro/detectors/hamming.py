@@ -70,6 +70,18 @@ class HammingDetector(AnomalyDetector):
         else:
             self._database = np.unique(np.concatenate(parts, axis=0), axis=0)
 
+    def _fit_state(self) -> dict[str, np.ndarray] | None:
+        if self._database is None:
+            return None
+        return {"database": np.ascontiguousarray(self._database)}
+
+    def _load_fit_state(self, state: dict[str, np.ndarray]) -> bool:
+        database = np.asarray(state.get("database"))
+        if database.ndim != 2 or database.shape[1] != self.window_length:
+            return False
+        self._database = database.astype(np.int64, copy=False)
+        return True
+
     def distance_to_normal(self, window: tuple[int, ...] | np.ndarray) -> int:
         """Minimum Hamming distance of ``window`` over the database."""
         self._require_fitted()

@@ -116,6 +116,18 @@ class LaneBrodleyDetector(AnomalyDetector):
         else:
             self._database = np.unique(np.concatenate(parts, axis=0), axis=0)
 
+    def _fit_state(self) -> dict[str, np.ndarray] | None:
+        if self._database is None:
+            return None
+        return {"database": np.ascontiguousarray(self._database)}
+
+    def _load_fit_state(self, state: dict[str, np.ndarray]) -> bool:
+        database = np.asarray(state.get("database"))
+        if database.ndim != 2 or database.shape[1] != self.window_length:
+            return False
+        self._database = database.astype(np.int64, copy=False)
+        return True
+
     def similarity_to_normal(self, window: tuple[int, ...] | np.ndarray) -> int:
         """Maximum L&B similarity of ``window`` over the normal database."""
         self._require_fitted()

@@ -175,6 +175,78 @@ class MarkovDetector(AnomalyDetector):
             )
             self._total_windows = sum(self._window_counts.values())
 
+    def _extra_fingerprint(self) -> str:
+        return (
+            f"floor={self._rare_floor!r};"
+            f"unseen={self._unseen_context_response!r}"
+        )
+
+    def _fit_state(self) -> dict[str, np.ndarray] | None:
+        total = np.asarray(self._total_windows, dtype=np.int64)
+        if self._joint_codes is not None:
+            return {
+                "joint_codes": self._joint_codes,
+                "joint_counts": self._joint_counts,
+                "context_codes": self._context_codes,
+                "context_counts": self._context_counts_arr,
+                "total": total,
+            }
+        if self._window_counts:
+            keys = sorted(self._window_counts)
+            ctx_keys = sorted(self._context_counts)
+            return {
+                "window_rows": np.asarray(keys, dtype=np.int64),
+                "window_counts": np.asarray(
+                    [self._window_counts[k] for k in keys], dtype=np.int64
+                ),
+                "context_rows": np.asarray(ctx_keys, dtype=np.int64),
+                "context_row_counts": np.asarray(
+                    [self._context_counts[k] for k in ctx_keys], dtype=np.int64
+                ),
+                "total": total,
+            }
+        return None
+
+    def _load_fit_state(self, state: dict[str, np.ndarray]) -> bool:
+        if "total" not in state:
+            return False
+        total = int(np.asarray(state["total"]))
+        if "joint_codes" in state:
+            needed = ("joint_codes", "joint_counts", "context_codes", "context_counts")
+            if not all(name in state for name in needed):
+                return False
+            arrays = [np.asarray(state[name]) for name in needed]
+            if any(a.ndim != 1 for a in arrays):
+                return False
+            self._joint_codes, self._joint_counts = arrays[0], arrays[1]
+            self._context_codes, self._context_counts_arr = arrays[2], arrays[3]
+            self._window_counts = {}
+            self._context_counts = {}
+            self._total_windows = total
+            return True
+        needed = ("window_rows", "window_counts", "context_rows", "context_row_counts")
+        if not all(name in state for name in needed):
+            return False
+        rows = np.asarray(state["window_rows"])
+        ctx_rows = np.asarray(state["context_rows"])
+        if rows.ndim != 2 or rows.shape[1] != self.window_length:
+            return False
+        if ctx_rows.ndim != 2 or ctx_rows.shape[1] != self.window_length - 1:
+            return False
+        self._joint_codes = self._joint_counts = None
+        self._context_codes = self._context_counts_arr = None
+        self._window_counts = dict(
+            zip(map(tuple, rows.tolist()), np.asarray(state["window_counts"]).tolist())
+        )
+        self._context_counts = dict(
+            zip(
+                map(tuple, ctx_rows.tolist()),
+                np.asarray(state["context_row_counts"]).tolist(),
+            )
+        )
+        self._total_windows = total
+        return True
+
     def _lookup(self, key: tuple[int, ...]) -> tuple[int, int]:
         """(joint, context) training counts for one window key."""
         if self._joint_codes is not None:

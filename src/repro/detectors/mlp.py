@@ -95,6 +95,49 @@ class NextSymbolMlp:
         """The hyperparameters this network was built with."""
         return self._config
 
+    def export_weights(self) -> dict[str, np.ndarray]:
+        """Copies of the current parameters, keyed ``w1/b1/w2/b2``.
+
+        The serialization behind the artifact store and warm-start
+        donation: loading the export back (same dimensions) restores a
+        network whose predictions are bit-identical.
+        """
+        return {
+            "w1": self._w1.copy(),
+            "b1": self._b1.copy(),
+            "w2": self._w2.copy(),
+            "b2": self._b2.copy(),
+        }
+
+    def load_weights(self, state: dict[str, np.ndarray]) -> bool:
+        """Install exported parameters; ``True`` on success.
+
+        Dimension-checked against this network's architecture; any
+        missing or mis-shaped array leaves the network untouched and
+        returns ``False`` (the store is corruption-tolerant, so loads
+        must never trust their payload).
+        """
+        try:
+            arrays = {
+                name: np.asarray(state[name], dtype=np.float64)
+                for name in ("w1", "b1", "w2", "b2")
+            }
+        except (KeyError, TypeError, ValueError):
+            return False
+        if (
+            arrays["w1"].shape != self._w1.shape
+            or arrays["b1"].shape != self._b1.shape
+            or arrays["w2"].shape != self._w2.shape
+            or arrays["b2"].shape != self._b2.shape
+        ):
+            return False
+        self._w1 = arrays["w1"].copy()
+        self._b1 = arrays["b1"].copy()
+        self._w2 = arrays["w2"].copy()
+        self._b2 = arrays["b2"].copy()
+        self._trained = True
+        return True
+
     def _hidden(self, inputs: np.ndarray) -> np.ndarray:
         return np.tanh(inputs @ self._w1 + self._b1)
 
@@ -108,6 +151,7 @@ class NextSymbolMlp:
         inputs: np.ndarray,
         targets: np.ndarray,
         sample_weights: np.ndarray,
+        epochs: int | None = None,
     ) -> float:
         """Fit with weighted cross-entropy; returns the final loss.
 
@@ -116,6 +160,9 @@ class NextSymbolMlp:
             targets: (n,) integer next-symbol codes.
             sample_weights: (n,) non-negative weights (occurrence
                 counts); normalized internally.
+            epochs: override of the configured epoch budget — the
+                warm-start path continues from donor weights with a
+                reduced budget instead of the full cold schedule.
         """
         inputs = np.asarray(inputs, dtype=np.float64)
         targets = np.asarray(targets, dtype=np.int64)
@@ -131,8 +178,9 @@ class NextSymbolMlp:
         velocity = [np.zeros_like(p) for p in (self._w1, self._b1, self._w2, self._b2)]
         one_hot_targets = np.zeros((len(targets), self._w2.shape[1]))
         one_hot_targets[np.arange(len(targets)), targets] = 1.0
+        budget = config.epochs if epochs is None else max(1, int(epochs))
         loss = float("inf")
-        for _epoch in range(config.epochs):
+        for _epoch in range(budget):
             hidden = self._hidden(inputs)
             probabilities = _softmax(hidden @ self._w2 + self._b2)
             clipped = np.clip(probabilities, 1e-12, 1.0)

@@ -76,6 +76,31 @@ class StideDetector(AnomalyDetector):
             self._tuple_db = database
             self._packed_db = None
 
+    def _fit_state(self) -> dict[str, np.ndarray] | None:
+        if self._packed_db is not None:
+            return {"packed_db": self._packed_db}
+        if self._tuple_db is not None:
+            rows = np.asarray(sorted(self._tuple_db), dtype=np.int64)
+            return {"rows_db": rows.reshape(len(self._tuple_db), self.window_length)}
+        return None
+
+    def _load_fit_state(self, state: dict[str, np.ndarray]) -> bool:
+        if "packed_db" in state:
+            packed = np.asarray(state["packed_db"])
+            if packed.ndim != 1 or not np.issubdtype(packed.dtype, np.integer):
+                return False
+            self._packed_db = packed.astype(np.int64, copy=False)
+            self._tuple_db = None
+            return True
+        if "rows_db" in state:
+            rows = np.asarray(state["rows_db"])
+            if rows.ndim != 2 or rows.shape[1] != self.window_length:
+                return False
+            self._tuple_db = set(map(tuple, rows.tolist()))
+            self._packed_db = None
+            return True
+        return False
+
     def _known(self, view: np.ndarray, packed: np.ndarray | None) -> np.ndarray:
         """Database membership for each window row."""
         if self._packed_db is not None:

@@ -99,6 +99,38 @@ class TStideDetector(AnomalyDetector):
             self._common_tuples = {key for key, n in counts.items() if n >= bound}
             self._common_packed = None
 
+    def _extra_fingerprint(self) -> str:
+        return f"rare={self._rare_threshold!r}"
+
+    def _fit_state(self) -> dict[str, np.ndarray] | None:
+        if self._common_packed is not None:
+            return {"common_packed": self._common_packed}
+        if self._common_tuples is not None:
+            rows = np.asarray(sorted(self._common_tuples), dtype=np.int64)
+            return {
+                "common_rows": rows.reshape(
+                    len(self._common_tuples), self.window_length
+                )
+            }
+        return None
+
+    def _load_fit_state(self, state: dict[str, np.ndarray]) -> bool:
+        if "common_packed" in state:
+            packed = np.asarray(state["common_packed"])
+            if packed.ndim != 1 or not np.issubdtype(packed.dtype, np.integer):
+                return False
+            self._common_packed = packed.astype(np.int64, copy=False)
+            self._common_tuples = None
+            return True
+        if "common_rows" in state:
+            rows = np.asarray(state["common_rows"])
+            if rows.ndim != 2 or rows.shape[1] != self.window_length:
+                return False
+            self._common_tuples = set(map(tuple, rows.tolist()))
+            self._common_packed = None
+            return True
+        return False
+
     def _common(self, view: np.ndarray, packed: np.ndarray | None) -> np.ndarray:
         """Common-window membership for each window row."""
         if self._common_packed is not None:

@@ -81,6 +81,8 @@ def run_paper_experiment(
     max_workers: int | None = None,
     checkpoint: "str | None" = None,
     resume_from: "str | None" = None,
+    store: "object | None" = None,
+    warm_start: bool | None = None,
 ) -> ExperimentResult:
     """Run the paper's evaluation end to end.
 
@@ -98,6 +100,13 @@ def run_paper_experiment(
         checkpoint: JSONL checkpoint file completed cells stream to.
         resume_from: checkpoint file whose cells are adopted instead of
             recomputed (bit-identically).
+        store: a persistent :class:`~repro.runtime.store.ArtifactStore`
+            (or its directory path) backing every fit; a warm re-run
+            of the same corpus performs zero fits.  Ignored when an
+            ``engine`` is given (the engine's own store governs).
+        warm_start: forwarded to the engine the ``max_workers``/
+            ``store`` shorthand creates; ``None`` auto-enables warm
+            starting exactly when a store is attached.
 
     Returns:
         Maps for every requested detector over the full case grid,
@@ -111,7 +120,9 @@ def run_paper_experiment(
     if engine is None and max_workers is not None and max_workers > 1:
         from repro.runtime import SweepEngine
 
-        engine = SweepEngine(max_workers=max_workers)
+        engine = SweepEngine(
+            max_workers=max_workers, store=store, warm_start=warm_start
+        )
     run_report = None
     if engine is not None:
         if (
@@ -127,7 +138,11 @@ def run_paper_experiment(
     else:
         maps = {
             name: build_performance_map(
-                name, suite, checkpoint=checkpoint, resume_from=resume_from
+                name,
+                suite,
+                checkpoint=checkpoint,
+                resume_from=resume_from,
+                store=store,
             )
             for name in names
         }

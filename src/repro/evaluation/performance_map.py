@@ -141,6 +141,7 @@ def build_performance_map(
     max_workers: int | None = None,
     checkpoint: "str | None" = None,
     resume_from: "str | None" = None,
+    store: "object | None" = None,
     **detector_kwargs: object,
 ) -> PerformanceMap:
     """Evaluate one detector family over the whole suite grid.
@@ -165,16 +166,27 @@ def build_performance_map(
         resume_from: a checkpoint file from a previous (possibly
             killed) run; its cells are adopted instead of recomputed,
             bit-identically, and only the missing cells are evaluated.
+        store: a persistent :class:`~repro.runtime.store.ArtifactStore`
+            (or its directory path): every fit is looked up by content
+            address before training and written back on a miss, so a
+            warm re-run performs zero fits.  Ignored when an ``engine``
+            is given — the engine's own store governs.  On the serial
+            reference loop the store is lookup/write-back only (no
+            warm starting), preserving bit-reproducibility.
         **detector_kwargs: forwarded to the registry when ``detector``
             is a name (ignored for factories).
 
     Returns:
         The full-grid performance map.
     """
+    if store is not None and not hasattr(store, "get"):
+        from repro.runtime.store import ArtifactStore
+
+        store = ArtifactStore(store)
     if engine is None and max_workers is not None and max_workers > 1:
         from repro.runtime import SweepEngine
 
-        engine = SweepEngine(max_workers=max_workers)
+        engine = SweepEngine(max_workers=max_workers, store=store)
     if engine is not None:
         return engine.build_map(
             detector,
@@ -217,7 +229,10 @@ def build_performance_map(
         ]
         if not missing:
             continue  # the checkpoint covers this whole column
-        fitted = factory(window_length).fit(suite.training.stream)
+        fresh_detector = factory(window_length)
+        if store is not None:
+            fresh_detector.attach_store(store)
+        fitted = fresh_detector.fit(suite.training.stream)
         fresh = []
         for anomaly_size in missing:
             outcome = score_injected(fitted, suite.stream(anomaly_size))

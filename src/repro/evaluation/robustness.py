@@ -109,6 +109,7 @@ def replicate_shapes(
     stream_length: int = 1000,
     engine: "object | None" = None,
     checkpoint_dir: "str | Path | None" = None,
+    store: "object | None" = None,
 ) -> RobustnessReport:
     """Re-run the map experiment under each seed and check the shapes.
 
@@ -127,6 +128,11 @@ def replicate_shapes(
             streamed there, and a re-run of an interrupted replication
             campaign resumes each seed from its own checkpoint —
             bit-identically — instead of recomputing finished maps.
+        store: a persistent :class:`~repro.runtime.store.ArtifactStore`
+            (or its directory path) for the serial path: replication
+            campaigns re-fit identical (stream, config) pairs across
+            invocations, which the store collapses to one fit ever.
+            Ignored when an ``engine`` is given.
 
     Raises:
         EvaluationError: on an empty seed list.
@@ -152,6 +158,7 @@ def replicate_shapes(
                     engine=engine,
                     checkpoint=checkpoint,
                     resume_from=resume_from,
+                    store=store,
                 )
             )
             for name, predicate in predicates.items()
@@ -163,4 +170,12 @@ def replicate_shapes(
                 shape_held=shape_held,
             )
         )
+        cache = getattr(engine, "window_cache", None)
+        if cache is not None:
+            # Each seed's corpus is dead after its verdict; without
+            # this, an engine-backed campaign pins every corpus it has
+            # ever swept (the identity-keying footgun).
+            cache.release_stream(suite.training.stream)
+            for anomaly_size in suite.anomaly_sizes:
+                cache.release_stream(suite.stream(anomaly_size).stream)
     return RobustnessReport(outcomes=tuple(outcomes))

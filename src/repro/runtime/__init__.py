@@ -46,12 +46,25 @@ from importlib import import_module
 _EXPORTS: dict[str, str] = {
     "CacheStats": "repro.runtime.cache",
     "WindowCache": "repro.runtime.cache",
+    "Decomposition": "repro.runtime.fitindex",
+    "FitRecord": "repro.runtime.fitindex",
+    "FitStats": "repro.runtime.fitindex",
+    "TrainingIndex": "repro.runtime.fitindex",
+    "WarmStartPolicy": "repro.runtime.fitindex",
+    "WarmStartRegistry": "repro.runtime.fitindex",
+    "ArtifactStore": "repro.runtime.store",
+    "STORE_SCHEMA_VERSION": "repro.runtime.store",
+    "StoreStats": "repro.runtime.store",
+    "fit_key": "repro.runtime.store",
+    "stream_digest": "repro.runtime.store",
+    "streams_digest": "repro.runtime.store",
     "EXECUTORS": "repro.runtime.engine",
     "MEMOIZED_FAMILIES": "repro.runtime.engine",
     "SweepEngine": "repro.runtime.engine",
     "evaluate_window_block": "repro.runtime.engine",
     "ArrayDescriptor": "repro.runtime.arena",
     "SharedSuite": "repro.runtime.arena",
+    "SharedTable": "repro.runtime.arena",
     "WindowArena": "repro.runtime.arena",
     "share_suite": "repro.runtime.arena",
     "score_batch": "repro.runtime.kernels",

@@ -322,11 +322,30 @@ class SharedCase:
 
 
 @dataclass(frozen=True)
+class SharedTable:
+    """One derived training decomposition, flattened to descriptors.
+
+    The (rows, inverse, counts) unique-window decomposition of the
+    training stream at one window length — the table every detector
+    family's fit reduces to.  Publishing the *derived* tables, not
+    just the raw streams, means process workers never redo the
+    training sort: they attach the parent's arrays and seed their
+    worker-global cache (see :meth:`SharedSuite.restore`).
+    """
+
+    window_length: int
+    rows: ArrayDescriptor
+    inverse: ArrayDescriptor
+    counts: ArrayDescriptor
+
+
+@dataclass(frozen=True)
 class SharedSuite:
     """An :class:`EvaluationSuite` flattened for descriptor transport.
 
     The wire format of a zero-copy sweep task: the large arrays (the
-    training stream, each injected test stream) travel as
+    training stream, each injected test stream, and optionally the
+    training stream's derived unique-window tables) travel as
     :class:`ArrayDescriptor` names; everything else — alphabet,
     generating source, parameters, synthesized anomalies, injection
     scalars — is small and pickles as-is.
@@ -338,10 +357,15 @@ class SharedSuite:
     training_stream: ArrayDescriptor
     anomalies: dict[int, object] = field(repr=False)
     cases: tuple[SharedCase, ...] = ()
+    training_tables: tuple[SharedTable, ...] = ()
 
     def descriptors(self) -> tuple[ArrayDescriptor, ...]:
         """Every array descriptor the transport references."""
-        return (self.training_stream,) + tuple(case.stream for case in self.cases)
+        described = [self.training_stream]
+        described.extend(case.stream for case in self.cases)
+        for table in self.training_tables:
+            described.extend((table.rows, table.inverse, table.counts))
+        return tuple(described)
 
     def restore(self, cache: "object | None" = None) -> EvaluationSuite:
         """Rebuild a real suite over zero-copy shared views.
@@ -386,12 +410,40 @@ class SharedSuite:
             with _ATTACH_LOCK:
                 suite = _RESTORED.setdefault(key, suite)
         if cache is not None:
+            if self.training_tables:
+                training_stream = suite.training.stream
+                for table in self.training_tables:
+                    cache.seed_decomposition(  # type: ignore[attr-defined]
+                        training_stream,
+                        table.window_length,
+                        attach_array(table.rows),
+                        attach_array(table.inverse),
+                        attach_array(table.counts),
+                    )
             cache.merge_counts(len(key), 0)
         return suite
 
 
-def share_suite(arena: WindowArena, suite: EvaluationSuite) -> SharedSuite:
-    """Publish a suite's arrays into ``arena`` and build its transport."""
+def share_suite(
+    arena: WindowArena,
+    suite: EvaluationSuite,
+    cache: "object | None" = None,
+    window_lengths: tuple[int, ...] = (),
+) -> SharedSuite:
+    """Publish a suite's arrays into ``arena`` and build its transport.
+
+    Args:
+        arena: the parent-side segment owner.
+        suite: the suite to flatten.
+        cache: a :class:`~repro.runtime.cache.WindowCache` through
+            which to derive the training stream's unique-window
+            decompositions (they come from its incremental training
+            index, one sort for the whole DW axis).
+        window_lengths: the sweep's window lengths; with ``cache``
+            given, each length's (rows, inverse, counts) tables are
+            published as :class:`SharedTable` entries so workers skip
+            the training sort entirely.
+    """
     cases = []
     for anomaly_size in suite.anomaly_sizes:
         injected = suite.stream(anomaly_size)
@@ -405,11 +457,32 @@ def share_suite(arena: WindowArena, suite: EvaluationSuite) -> SharedSuite:
                 right_phase=injected.right_phase,
             )
         )
+    training_stream = suite.training.stream
+    tables = []
+    if cache is not None:
+        for window_length in sorted(set(window_lengths)):
+            if window_length > len(training_stream):
+                continue
+            rows, inverse = cache.unique(  # type: ignore[attr-defined]
+                training_stream, window_length
+            )
+            _rows, counts = cache.unique_counts(  # type: ignore[attr-defined]
+                training_stream, window_length
+            )
+            tables.append(
+                SharedTable(
+                    window_length=window_length,
+                    rows=arena.publish(rows),
+                    inverse=arena.publish(inverse),
+                    counts=arena.publish(counts),
+                )
+            )
     return SharedSuite(
         alphabet=suite.training.alphabet,
         source=suite.training.source,
         params=suite.training.params,
-        training_stream=arena.publish(suite.training.stream),
+        training_stream=arena.publish(training_stream),
         anomalies={size: suite.anomaly(size) for size in suite.anomaly_sizes},
         cases=tuple(cases),
+        training_tables=tuple(tables),
     )

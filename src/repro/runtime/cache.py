@@ -44,6 +44,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.runtime.fitindex import TrainingIndex
 from repro.sequences.windows import pack_windows, windows_array
 
 #: Cache key: (stream identity, window length, artifact tag, extra).
@@ -81,10 +82,12 @@ class WindowCache:
     :meth:`repro.detectors.base.AnomalyDetector.attach_cache`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_index: bool = True) -> None:
         self._lock = threading.Lock()
         self._entries: dict[_Key, object] = {}
         self._streams: dict[int, np.ndarray] = {}
+        self._indexes: dict[int, TrainingIndex] = {}
+        self._use_index = use_index
         self._hits = 0
         self._misses = 0
         self._arena: object | None = None
@@ -136,6 +139,7 @@ class WindowCache:
         with self._lock:
             self._entries.clear()
             self._streams.clear()
+            self._indexes.clear()
 
     def evict(self, stream: np.ndarray, window_length: int | None = None) -> int:
         """Drop the artifacts derived from ``stream``.
@@ -166,6 +170,7 @@ class WindowCache:
             unpinned = not any(key[0] == stream_id for key in self._entries)
             if unpinned:
                 self._streams.pop(stream_id, None)
+                self._indexes.pop(stream_id, None)
             arena = self._arena
         if unpinned and arena is not None:
             # Outside the cache lock: the arena has its own lock, and
@@ -173,6 +178,22 @@ class WindowCache:
             # the arena does not know).
             arena.release(stream)  # type: ignore[attr-defined]
         return len(doomed)
+
+    def release_stream(self, stream: np.ndarray) -> int:
+        """Fully forget ``stream``: artifacts, training index, pin.
+
+        The explicit antidote to the identity-keying footgun: the
+        cache retains a reference to every stream it has seen so its
+        ``id`` can never be recycled, which means a long-lived engine
+        sweeping many suites grows without bound unless someone lets
+        go.  Arena teardown and suite turnover call this when a
+        stream's artifacts can no longer be asked for.
+
+        Equivalent to :meth:`evict` over every window length (the
+        bound arena's segment is released too); returns the number of
+        entries dropped.
+        """
+        return self.evict(stream)
 
     def _get(self, stream: np.ndarray, key: _Key, compute):
         with self._lock:
@@ -260,7 +281,30 @@ class WindowCache:
         window_length: int,
         alphabet_size: int | None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The shared (rows, inverse, counts) unique decomposition."""
+        """The shared (rows, inverse, counts) unique decomposition.
+
+        With the training index enabled (the default), the
+        decomposition at any order is derived incrementally from the
+        order below by :class:`~repro.runtime.fitindex.TrainingIndex`
+        — one stable two-key sort per new order instead of a fresh
+        slide + pack + full sort per (window length, alphabet) — and
+        the artifact key is alphabet-independent, so every family at
+        every alphabet shares one entry per order.  The result is
+        bit-identical to ``np.unique(view, axis=0, ...)`` either way.
+        """
+        if self._use_index:
+            key = (id(stream), window_length, "unique", -1)
+
+            def compute() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+                # Under the cache lock: index growth is serialized.
+                index = self._indexes.get(id(stream))
+                if index is None:
+                    index = TrainingIndex(stream)
+                    self._indexes[id(stream)] = index
+                return index.decomposition(window_length)
+
+            return self._get(stream, key, compute)
+
         tag = alphabet_size if alphabet_size is not None else -1
         key = (id(stream), window_length, "unique", tag)
         use_packed = alphabet_size is not None and _packable(
@@ -294,4 +338,43 @@ class WindowCache:
             )
             return rows, inverse.reshape(-1), counts
 
+        return self._get(stream, key, compute)
+
+    def seed_decomposition(
+        self,
+        stream: np.ndarray,
+        window_length: int,
+        rows: np.ndarray,
+        inverse: np.ndarray,
+        counts: np.ndarray,
+    ) -> bool:
+        """Install a precomputed unique decomposition for ``stream``.
+
+        Used by :meth:`repro.runtime.arena.SharedSuite.restore` to
+        hand workers the parent's derived tables (zero-copy via shared
+        memory) so worker processes never redo the training sort.
+        Seeding is silent for the counters — the restore path credits
+        attachments in bulk via :meth:`merge_counts`.
+
+        Returns ``True`` when the entry was installed, ``False`` when
+        an equivalent entry already existed.
+        """
+        key = (id(stream), window_length, "unique", -1)
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = (rows, inverse, counts)
+            self._streams.setdefault(key[0], stream)
+            return True
+
+    def validated(self, stream: np.ndarray, alphabet_size: int, compute):
+        """Memoized per-(stream, alphabet) training-stream validation.
+
+        ``fit_many`` used to re-validate the same training stream once
+        per detector; routing validation through the cache makes it
+        once per (stream, alphabet) across every family and window
+        length of a sweep.  ``compute`` performs the actual validation
+        and returns the canonical int64 array.
+        """
+        key = (id(stream), 0, "validated", alphabet_size)
         return self._get(stream, key, compute)

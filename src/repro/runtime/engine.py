@@ -61,6 +61,13 @@ from repro.exceptions import (
 from repro.runtime.arena import SharedSuite, WindowArena, share_suite
 from repro.runtime.cache import CacheStats, WindowCache
 from repro.runtime.faults import FaultSchedule, apply_fault, corrupt_block
+from repro.runtime.fitindex import (
+    FitLedger,
+    FitRecord,
+    FitStats,
+    WarmStartPolicy,
+    WarmStartRegistry,
+)
 from repro.runtime.resilience import (
     ResiliencePolicy,
     ResilientRunner,
@@ -68,6 +75,7 @@ from repro.runtime.resilience import (
     SweepTask,
     TaskReport,
 )
+from repro.runtime.store import ArtifactStore
 
 DetectorFactory = Callable[[int], AnomalyDetector]
 
@@ -88,6 +96,9 @@ def evaluate_window_block(
     suite: EvaluationSuite,
     cache: WindowCache | None = None,
     memoize: bool = False,
+    store: ArtifactStore | None = None,
+    warm_policy: WarmStartPolicy | None = None,
+    warm_registry: WarmStartRegistry | None = None,
 ) -> list[CellResult]:
     """Fit one detector and score it on every anomaly size of the suite.
 
@@ -101,12 +112,25 @@ def evaluate_window_block(
             the duration of the block when given.
         memoize: score each distinct test window once and scatter the
             responses back (requires ``cache``).
+        store: persistent artifact store; when given, the fit is
+            looked up by content address before any training work and
+            written back on a miss.  How the fit was obtained is
+            reported via ``detector.last_fit_report``.
+        warm_policy: lets iterative families initialize from an
+            adjacent-DW donor (see
+            :class:`~repro.runtime.fitindex.WarmStartPolicy`).
+        warm_registry: in-process donor registry shared across the
+            sweep's blocks.
 
     Returns:
         One :class:`CellResult` per anomaly size, ascending.
     """
     if cache is not None:
         detector.attach_cache(cache)
+    if store is not None:
+        detector.attach_store(store)
+    if warm_policy is not None:
+        detector.attach_warm_start(warm_policy, warm_registry)
     fitted = detector.fit(suite.training.stream)
     window_length = fitted.window_length
     results = []
@@ -132,6 +156,33 @@ def evaluate_window_block(
 #: keying this cache needs to stay warm across tasks.  Pool workers are
 #: single-threaded, so no lock is required around the stats delta.
 _WORKER_CACHE: WindowCache | None = None
+
+#: Per-process warm-start donor registry; lives for the worker's
+#: lifetime so fits in the same worker can donate to each other.
+_WORKER_REGISTRY: WarmStartRegistry | None = None
+
+
+def _worker_fit_context(
+    store_spec: tuple[str, int | None] | None,
+    warm_policy: WarmStartPolicy | None,
+) -> tuple[ArtifactStore | None, WarmStartRegistry | None]:
+    """Materialize a task's store and donor registry inside a worker.
+
+    The store is rebuilt from its picklable spec — the directory is
+    the shared state, so a per-task instance is equivalent (only the
+    local traffic counters are per-instance; the parent's RunReport
+    fit counters travel via :class:`FitRecord` instead).  The registry
+    is worker-global: donors accumulate across the tasks a worker
+    handles.
+    """
+    global _WORKER_REGISTRY
+    store = ArtifactStore.from_spec(store_spec)
+    registry = None
+    if warm_policy is not None:
+        if _WORKER_REGISTRY is None:
+            _WORKER_REGISTRY = WarmStartRegistry()
+        registry = _WORKER_REGISTRY
+    return store, registry
 
 
 def _worker_suite(
@@ -160,25 +211,37 @@ def _process_window_block(
     suite: EvaluationSuite | SharedSuite,
     detector_kwargs: dict[str, object],
     memoize: bool,
-) -> tuple[str, int, list[CellResult], CacheStats]:
+    store_spec: tuple[str, int | None] | None = None,
+    warm_policy: WarmStartPolicy | None = None,
+) -> tuple[str, int, list[CellResult], CacheStats, FitRecord | None]:
     """Process-pool entry point: one (family, window) block.
 
     The worker's cache counters (for zero-copy tasks: this task's
-    counter *delta* against the worker-global cache) ride back with the
-    results so the parent can fold them into the engine cache's
-    statistics (see :meth:`WindowCache.merge_counts`).
+    counter *delta* against the worker-global cache) and the block's
+    :class:`FitRecord` ride back with the results so the parent can
+    fold them into the engine cache's statistics and the sweep's fit
+    ledger (see :meth:`WindowCache.merge_counts`).
     """
     suite, cache, before = _worker_suite(suite)
     detector = create_detector(
         name, window_length, suite.training.alphabet.size, **detector_kwargs
     )
-    cells = evaluate_window_block(detector, suite, cache=cache, memoize=memoize)
+    store, registry = _worker_fit_context(store_spec, warm_policy)
+    cells = evaluate_window_block(
+        detector,
+        suite,
+        cache=cache,
+        memoize=memoize,
+        store=store,
+        warm_policy=warm_policy,
+        warm_registry=registry,
+    )
     stats = cache.stats
     if before is not None:
         stats = CacheStats(
             hits=stats.hits - before.hits, misses=stats.misses - before.misses
         )
-    return name, window_length, cells, stats
+    return name, window_length, cells, stats, detector.last_fit_report
 
 
 def _process_resilient_block(
@@ -188,8 +251,10 @@ def _process_resilient_block(
     detector_kwargs: dict[str, object],
     memoize: bool,
     schedule: FaultSchedule | None,
+    store_spec: tuple[str, int | None] | None,
+    warm_policy: WarmStartPolicy | None,
     attempt: int,
-) -> tuple[list[CellResult], CacheStats]:
+) -> tuple[list[CellResult], CacheStats, FitRecord | None]:
     """Process-pool entry point for the resilient scheduler.
 
     Identical to :func:`_process_window_block` except that the attempt
@@ -197,12 +262,18 @@ def _process_resilient_block(
     injected faults fire deterministically inside the worker.
     """
     corrupt = apply_fault(schedule, f"{name}:{window_length}", attempt)
-    _name, _window_length, cells, stats = _process_window_block(
-        name, window_length, suite, detector_kwargs, memoize
+    _name, _window_length, cells, stats, record = _process_window_block(
+        name,
+        window_length,
+        suite,
+        detector_kwargs,
+        memoize,
+        store_spec,
+        warm_policy,
     )
     if corrupt:
         cells = corrupt_block(cells)
-    return cells, stats
+    return cells, stats, record
 
 
 class SweepEngine:
@@ -234,6 +305,21 @@ class SweepEngine:
             in-process already.  When shared memory is unavailable or
             publishing fails, the sweep silently degrades to the
             pickle transport — the ``shm -> pickle -> serial`` ladder.
+        store: a persistent :class:`~repro.runtime.store.ArtifactStore`
+            (or its directory path) backing every fit of every sweep:
+            fits are looked up by content address before any training
+            work and written back on a miss, so re-runs skip fitting
+            entirely.  ``None`` (the default) disables persistence.
+        warm_start: whether iterative detectors may warm-start from
+            adjacent-DW donors.  ``None`` (the default) auto-enables
+            exactly when a store is attached: warm starting trades
+            bit-reproducibility for speed, so it stays off unless the
+            caller already opted into the persistent-fit machinery;
+            pass ``False`` (the ``--no-warm-start`` escape hatch) to
+            keep store-backed runs bit-reproducible, or ``True`` to
+            force it on without a store.
+        warm_policy: the gate parameters for warm-started fits;
+            defaults to :class:`~repro.runtime.fitindex.WarmStartPolicy`.
 
     Raises:
         EvaluationError: for unknown executors or worker counts < 1.
@@ -250,6 +336,9 @@ class SweepEngine:
         window_cache: WindowCache | None = None,
         resilience: ResiliencePolicy | None = None,
         use_shared_memory: bool = True,
+        store: ArtifactStore | str | Path | None = None,
+        warm_start: bool | None = None,
+        warm_policy: WarmStartPolicy | None = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise EvaluationError(
@@ -263,6 +352,14 @@ class SweepEngine:
         self._cache = window_cache if window_cache is not None else WindowCache()
         self._resilience = resilience
         self._use_shm = bool(use_shared_memory)
+        self._store = (
+            ArtifactStore(store) if isinstance(store, (str, Path)) else store
+        )
+        warm = (self._store is not None) if warm_start is None else bool(warm_start)
+        self._warm_policy = (warm_policy or WarmStartPolicy()) if warm else None
+        self._warm_registry = WarmStartRegistry() if warm else None
+        self._ledger: FitLedger | None = None
+        self._last_fit_stats = FitStats()
 
     @property
     def max_workers(self) -> int:
@@ -288,6 +385,21 @@ class SweepEngine:
     def use_shared_memory(self) -> bool:
         """Whether process sweeps attempt the zero-copy transport."""
         return self._use_shm
+
+    @property
+    def store(self) -> ArtifactStore | None:
+        """The persistent artifact store (``None`` when disabled)."""
+        return self._store
+
+    @property
+    def warm_start_enabled(self) -> bool:
+        """Whether iterative fits may warm-start from adjacent DWs."""
+        return self._warm_policy is not None
+
+    @property
+    def last_fit_stats(self) -> FitStats:
+        """Fit accounting of the most recent sweep on this engine."""
+        return self._last_fit_stats
 
     def _resolve(
         self,
@@ -379,6 +491,7 @@ class SweepEngine:
             )
             return maps
         resolved = self._resolve(detectors, suite, dict(detector_kwargs))
+        self._ledger = FitLedger()
         cells: dict[str, dict[Cell, CellResult]] = {
             name: {} for name, _registry, _factory in resolved
         }
@@ -398,6 +511,7 @@ class SweepEngine:
                 )
         else:
             self._sweep_threads(cells, blocks, suite)
+        self._last_fit_stats = self._ledger.snapshot()
         return {
             name: PerformanceMap(detector_name=name, cells=cells[name])
             for name, _registry_name, _factory in resolved
@@ -478,24 +592,50 @@ class SweepEngine:
         on the platform, or publishing fails mid-way — the pickle rung
         of the degradation ladder.  On success the arena is bound to
         the engine cache so evicting a stream releases its segment.
+
+        The transport carries the training stream's *derived* tables
+        too: the unique-window decomposition at every sweep window
+        length, computed once here through the engine cache's
+        incremental training index and seeded zero-copy into each
+        worker's cache on restore.
         """
         if not self._use_shm or not WindowArena.available():
             return suite, None
         arena = WindowArena()
         try:
-            transport = share_suite(arena, suite)
+            transport = share_suite(
+                arena,
+                suite,
+                cache=self._cache,
+                window_lengths=tuple(suite.window_lengths),
+            )
         except Exception:
             arena.close()
             return suite, None
         self._cache.bind_arena(arena)
         return transport, arena
 
-    def _teardown_arena(self, arena: WindowArena | None) -> None:
-        """Unbind and unlink the sweep's arena (no-op for ``None``)."""
-        if arena is None:
-            return
-        self._cache.unbind_arena(arena)
-        arena.close()
+    def _teardown_arena(
+        self, arena: WindowArena | None, suite: EvaluationSuite | None = None
+    ) -> None:
+        """Unbind and unlink the sweep's arena; release its streams.
+
+        When the sweep's ``suite`` is given, its streams are also
+        released from the engine cache
+        (:meth:`WindowCache.release_stream`): the cache keys streams by
+        identity and pins a reference to each, so a long-lived engine
+        sweeping many suites would otherwise retain every suite it has
+        ever seen.  Arena-backed sweeps are exactly the
+        many-suites-per-engine regime, so teardown is where the
+        footgun is defused.
+        """
+        if arena is not None:
+            self._cache.unbind_arena(arena)
+            arena.close()
+        if suite is not None:
+            self._cache.release_stream(suite.training.stream)
+            for anomaly_size in suite.anomaly_sizes:
+                self._cache.release_stream(suite.stream(anomaly_size).stream)
 
     # -- backends ---------------------------------------------------------------
 
@@ -506,12 +646,20 @@ class SweepEngine:
         suite: EvaluationSuite,
         name: str,
     ) -> list[CellResult]:
-        return evaluate_window_block(
-            factory(window_length),
+        detector = factory(window_length)
+        results = evaluate_window_block(
+            detector,
             suite,
             cache=self._cache,
             memoize=name in self._memoized,
+            store=self._store,
+            warm_policy=self._warm_policy,
+            warm_registry=self._warm_registry,
         )
+        ledger = self._ledger
+        if ledger is not None:
+            ledger.record(detector.last_fit_report, f"{name}:{window_length}")
+        return results
 
     @staticmethod
     def _collect(
@@ -539,6 +687,7 @@ class SweepEngine:
         # Factory specs were already rejected by _resolve (fail fast).
         transport, arena = self._share_suite(suite)
         try:
+            store_spec = self._store.spec() if self._store is not None else None
             with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
                 futures = [
                     pool.submit(
@@ -548,15 +697,19 @@ class SweepEngine:
                         transport,
                         detector_kwargs,
                         registry_name in self._memoized,
+                        store_spec,
+                        self._warm_policy,
                     )
                     for _name, registry_name, _factory, window_length in blocks
                 ]
                 for future in futures:
-                    name, _window_length, results, stats = future.result()
+                    name, window_length, results, stats, record = future.result()
                     self._cache.merge_counts(stats.hits, stats.misses)
+                    if self._ledger is not None:
+                        self._ledger.record(record, f"{name}:{window_length}")
                     self._collect(cells, name, results)
         finally:
-            self._teardown_arena(arena)
+            self._teardown_arena(arena, suite if arena is not None else None)
 
     # -- resilient execution ----------------------------------------------
 
@@ -592,14 +745,16 @@ class SweepEngine:
                     _window_length: int = window_length,
                     _name: str = name,
                     _key: str = key,
-                ) -> tuple[list[CellResult], CacheStats | None]:
+                ) -> tuple[list[CellResult], CacheStats | None, FitRecord | None]:
                     corrupt = apply_fault(schedule, _key, attempt)
+                    # _run_block records its FitRecord in the engine
+                    # ledger itself; only process payloads ship one back.
                     results = self._run_block(
                         _factory, _window_length, suite, _name
                     )
                     if corrupt:
                         results = corrupt_block(results)
-                    return results, None
+                    return results, None, None
 
                 def validate(
                     result: object,
@@ -626,6 +781,8 @@ class SweepEngine:
                             detector_kwargs,
                             registry_name in self._memoized,
                             schedule,
+                            self._store.spec() if self._store is not None else None,
+                            self._warm_policy,
                         ),
                     )
                 tasks.append(
@@ -716,6 +873,7 @@ class SweepEngine:
                 f"fault_schedule must be a FaultSchedule, got {type(schedule).__name__}"
             )
         names = [name for name, _registry, _factory in resolved]
+        self._ledger = FitLedger()
         cells: dict[str, dict[Cell, CellResult]] = {name: {} for name in names}
         skip: set[tuple[str, int]] = set()
         resumed_reports: list[TaskReport] = []
@@ -734,9 +892,11 @@ class SweepEngine:
         )
 
         def on_result(task: SweepTask, result: object) -> None:
-            results, stats = result  # type: ignore[misc]
+            results, stats, record = result  # type: ignore[misc]
             if stats is not None:
                 self._cache.merge_counts(stats.hits, stats.misses)
+            if record is not None and self._ledger is not None:
+                self._ledger.record(record, task.key)
             self._collect(cells, task.name, results)
             if checkpoint is not None:
                 checkpoint_append(checkpoint, task.name, results)
@@ -757,7 +917,7 @@ class SweepEngine:
             # Unlink the arena whether the sweep finished, aborted, or
             # was killed by a worker timeout: segments must never
             # outlive the sweep that published them.
-            self._teardown_arena(arena)
+            self._teardown_arena(arena, suite if arena is not None else None)
         report = self._run_report(
             runner, resumed_reports, cells, cells_resumed,
             time.perf_counter() - started, checkpoint,
@@ -778,6 +938,10 @@ class SweepEngine:
         checkpoint: str | Path | None,
     ) -> RunReport:
         computed = sum(len(family) for family in cells.values()) - cells_resumed
+        fit_stats = (
+            self._ledger.snapshot() if self._ledger is not None else FitStats()
+        )
+        self._last_fit_stats = fit_stats
         return RunReport(
             requested_backend=self._executor,
             final_backend=runner.final_backend,
@@ -787,4 +951,8 @@ class SweepEngine:
             cells_resumed=cells_resumed,
             elapsed=elapsed,
             checkpoint_path=str(checkpoint) if checkpoint is not None else None,
+            fits_computed=fit_stats.computed,
+            fits_from_store=fit_stats.from_store,
+            fits_warm_started=fit_stats.warm_started,
+            warm_start_disabled=fit_stats.warm_disabled,
         )

@@ -1,0 +1,437 @@
+"""One-pass multi-order training index and warm-start fitting support.
+
+Fitting is the dominant remaining cost of a performance-map sweep:
+every ``(family, DW)`` cell re-slides, re-sorts and re-counts the same
+training stream from scratch, once per window length per family.  Yet
+the paper's maps (Figures 3-6) sweep DW ∈ {2..15} over a *fixed*
+training stream — exactly the regime where one shared index can serve
+every window length.
+
+:class:`TrainingIndex` computes, per stream, a single chain of
+unique-window decompositions: for every order ``L`` the distinct
+windows of length ``L`` (in lexicographic order), the inverse scatter
+index, and the occurrence counts — the frequency table every detector
+family's fit reduces to.  The order-``L`` decomposition is *derived
+from the order-(L-1) decomposition* rather than recomputed:
+
+* windows of length ``L`` starting at position ``i`` are exactly the
+  pairs ``(window_{L-1}[i], stream[i + L - 1])``;
+* the previous level's group ids are lexicographically ordered (by
+  induction; the base level is a plain ``np.unique`` over symbols), so
+  a stable sort of the two small integer keys ``(group, next symbol)``
+  yields the length-``L`` groups in lexicographic order.
+
+One stable two-key sort per order replaces the per-cell slide + pack +
+full-row sort, and the chain is shared by every family: Stide /
+t-Stide membership tables, the Markov joint *and* context tables at
+every order, and the Lane&Brodley / Hamming unique-window databases
+are all projections of the same decomposition (the DW-1 Markov context
+table falls out of the chain for free on the way to DW).
+
+The decompositions are bit-identical to ``np.unique(view, axis=0,
+return_index/inverse/counts)`` — ``tests/runtime/test_fitindex.py``
+proves it per family over the full AS x DW grid, including the
+unpackable corner — so plugging the index under
+:class:`~repro.runtime.cache.WindowCache` changes no response value.
+
+The module also hosts the warm-start vocabulary for the iterative
+detectors (:class:`WarmStartPolicy`, :class:`WarmStartRegistry`) and
+the :class:`FitRecord`/:class:`FitStats` accounting the sweep engine
+aggregates into its :class:`~repro.runtime.resilience.RunReport`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DetectorConfigurationError, WindowError
+from repro.sequences.windows import windows_array
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """One order's unique-window decomposition of a stream.
+
+    ``rows[inverse]`` reconstructs the full window sequence;
+    ``counts[g]`` is the number of windows in group ``g``; ``first[g]``
+    is the start position of group ``g``'s first occurrence.  Rows are
+    in lexicographic order, exactly as ``np.unique(view, axis=0)``.
+    """
+
+    window_length: int
+    inverse: np.ndarray
+    counts: np.ndarray
+    first: np.ndarray
+
+    @property
+    def group_count(self) -> int:
+        """Number of distinct windows at this order."""
+        return len(self.counts)
+
+
+class TrainingIndex:
+    """Incremental unique-window index over one fixed stream.
+
+    The index is built lazily: asking for order ``L`` extends the chain
+    from the highest order already computed, one stable two-key sort
+    per missing level.  Instances are not thread-safe on their own —
+    :class:`~repro.runtime.cache.WindowCache` serializes access under
+    its artifact lock.
+
+    Args:
+        stream: the 1-D integer stream to index.  The index keeps a
+            reference (levels refer into it).
+    """
+
+    def __init__(self, stream: np.ndarray) -> None:
+        data = np.asarray(stream)
+        if data.ndim != 1:
+            raise WindowError(
+                f"stream must be one-dimensional, got shape {data.shape}"
+            )
+        if len(data) == 0:
+            raise WindowError("cannot index an empty stream")
+        self._stream = data
+        self._levels: dict[int, Decomposition] = {}
+        self._rows: dict[int, np.ndarray] = {}
+        self._extensions = 0
+
+    @property
+    def stream(self) -> np.ndarray:
+        """The indexed stream."""
+        return self._stream
+
+    @property
+    def max_order(self) -> int:
+        """Highest window length computed so far (0 when untouched)."""
+        return max(self._levels, default=0)
+
+    @property
+    def extensions(self) -> int:
+        """Number of incremental level extensions performed (for tests)."""
+        return self._extensions
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the computed levels."""
+        total = 0
+        for level in self._levels.values():
+            total += level.inverse.nbytes + level.counts.nbytes + level.first.nbytes
+        for rows in self._rows.values():
+            total += rows.nbytes
+        return total
+
+    # -- level construction ----------------------------------------------------
+
+    def _base_level(self) -> Decomposition:
+        """Order 1: a plain ``np.unique`` over single symbols."""
+        _values, first, inverse, counts = np.unique(
+            self._stream,
+            return_index=True,
+            return_inverse=True,
+            return_counts=True,
+        )
+        return Decomposition(
+            window_length=1,
+            inverse=inverse.reshape(-1).astype(np.int64, copy=False),
+            counts=counts.astype(np.int64, copy=False),
+            first=first.astype(np.int64, copy=False),
+        )
+
+    def _extend(self, previous: Decomposition) -> Decomposition:
+        """Derive order ``L`` from order ``L - 1``.
+
+        A length-``L`` window at start ``i`` is the pair
+        ``(group_{L-1}[i], stream[i + L - 1])``; both keys are small
+        integers, and the previous groups are lexicographically
+        ordered, so one stable two-key sort produces the new groups in
+        lexicographic order.  ``np.lexsort`` is stable, so the first
+        position inside each run is the group's smallest start index —
+        matching ``np.unique``'s first-occurrence convention.
+        """
+        length = previous.window_length + 1
+        n = len(self._stream) - length + 1
+        if n < 1:
+            raise WindowError(
+                f"stream of length {len(self._stream)} is shorter than "
+                f"window length {length}"
+            )
+        prev_groups = previous.inverse[:n]
+        next_symbols = self._stream[length - 1 :]
+        order = np.lexsort((next_symbols, prev_groups))
+        sorted_groups = prev_groups[order]
+        sorted_symbols = next_symbols[order]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        np.logical_or(
+            sorted_groups[1:] != sorted_groups[:-1],
+            sorted_symbols[1:] != sorted_symbols[:-1],
+            out=boundary[1:],
+        )
+        starts = np.flatnonzero(boundary)
+        group_of_sorted = np.cumsum(boundary) - 1
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = group_of_sorted
+        counts = np.diff(np.append(starts, n)).astype(np.int64, copy=False)
+        first = order[starts].astype(np.int64, copy=False)
+        self._extensions += 1
+        return Decomposition(
+            window_length=length, inverse=inverse, counts=counts, first=first
+        )
+
+    def level(self, window_length: int) -> Decomposition:
+        """The order-``window_length`` decomposition, building as needed.
+
+        Raises:
+            WindowError: when the stream is shorter than the window.
+        """
+        if window_length < 1:
+            raise WindowError(
+                f"window length must be positive, got {window_length}"
+            )
+        if len(self._stream) < window_length:
+            raise WindowError(
+                f"stream of length {len(self._stream)} is shorter than "
+                f"window length {window_length}"
+            )
+        cached = self._levels.get(window_length)
+        if cached is not None:
+            return cached
+        highest = 0
+        for length in self._levels:
+            if length < window_length and length > highest:
+                highest = length
+        if highest == 0:
+            current = self._base_level()
+            self._levels[1] = current
+            highest = 1
+        else:
+            current = self._levels[highest]
+        while current.window_length < window_length:
+            current = self._extend(current)
+            self._levels[current.window_length] = current
+        return current
+
+    def rows(self, window_length: int) -> np.ndarray:
+        """The distinct windows at ``window_length``, lexicographic.
+
+        Materialized once per order from the first-occurrence index —
+        identical to ``np.unique(view, axis=0)``.
+        """
+        cached = self._rows.get(window_length)
+        if cached is not None:
+            return cached
+        level = self.level(window_length)
+        view = windows_array(self._stream, window_length)
+        rows = np.ascontiguousarray(view[level.first])
+        self._rows[window_length] = rows
+        return rows
+
+    def decomposition(
+        self, window_length: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rows, inverse, counts)`` at ``window_length``.
+
+        Exactly the triple ``np.unique(view, axis=0,
+        return_inverse=True, return_counts=True)`` would produce, with
+        rows shared per order across callers.
+        """
+        level = self.level(window_length)
+        return self.rows(window_length), level.inverse, level.counts
+
+
+# -- warm-start support --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WarmStartPolicy:
+    """How iterative detectors may reuse adjacent-DW fits.
+
+    A warm-started fit initializes from a donor model trained at an
+    adjacent window length (preferring ``DW - 1``) and trains for a
+    reduced epoch budget.  The *equivalence-tolerance gate* then
+    compares the warm fit's final loss against the donor's: a warm fit
+    that fails to reach donor-quality loss (within ``loss_tolerance``)
+    is discarded and the detector silently refits cold — the fallback
+    is recorded so :class:`~repro.runtime.resilience.RunReport` can
+    surface it.
+
+    Warm starting trades bit-reproducibility for speed (the paper's
+    responses are graded, so the *classification* is gated, not the
+    bits); paper-fidelity runs disable it via ``--no-warm-start``.
+
+    Args:
+        epochs_fraction: fraction of the cold epoch budget a warm fit
+            trains for (at least one epoch).
+        loss_tolerance: maximal allowed excess of the warm final loss
+            over the donor's final loss before the gate rejects.
+    """
+
+    epochs_fraction: float = 0.5
+    loss_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epochs_fraction <= 1.0:
+            raise DetectorConfigurationError(
+                f"epochs_fraction must lie in (0, 1], got {self.epochs_fraction}"
+            )
+        if self.loss_tolerance < 0.0:
+            raise DetectorConfigurationError(
+                f"loss_tolerance must be >= 0, got {self.loss_tolerance}"
+            )
+
+    def warm_epochs(self, cold_epochs: int) -> int:
+        """The reduced epoch budget for a warm-started fit."""
+        return max(1, round(cold_epochs * self.epochs_fraction))
+
+
+class WarmStartRegistry:
+    """In-process donor registry for warm-started fits.
+
+    Completed fits publish their serialized state keyed by
+    ``(stream digest, window-length-free fingerprint, DW)``; a later
+    fit at an adjacent DW of the same stream and configuration adopts
+    the donor as initialization.  Thread-safe: sweeps publish and
+    query from concurrent worker threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._donors: dict[tuple[str, str, int], tuple[dict, float]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._donors)
+
+    def publish(
+        self,
+        digest: str,
+        fingerprint: str,
+        window_length: int,
+        state: dict,
+        loss: float,
+    ) -> None:
+        """Offer a fitted model as a donor for adjacent window lengths."""
+        with self._lock:
+            self._donors[(digest, fingerprint, window_length)] = (state, loss)
+
+    def donor(
+        self, digest: str, fingerprint: str, window_length: int
+    ) -> tuple[int, dict, float] | None:
+        """Best adjacent donor for ``window_length``: ``DW-1`` then ``DW+1``.
+
+        Returns ``(donor window length, state, final loss)`` or ``None``.
+        """
+        with self._lock:
+            for candidate in (window_length - 1, window_length + 1):
+                if candidate < 2:
+                    continue
+                held = self._donors.get((digest, fingerprint, candidate))
+                if held is not None:
+                    state, loss = held
+                    return candidate, state, loss
+        return None
+
+    def clear(self) -> None:
+        """Drop every donor (releases the referenced arrays)."""
+        with self._lock:
+            self._donors.clear()
+
+
+# -- fit accounting ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FitRecord:
+    """How one detector fit was obtained.
+
+    Attributes:
+        origin: ``"computed"`` (a real fit ran), ``"store"`` (loaded
+            from the artifact store — zero fitting work), or
+            ``"warm"`` (initialized from an adjacent-DW donor and
+            trained with a reduced budget).
+        store_key: the content-addressed key consulted, when a store
+            was attached.
+        warm_donor_window: the donor DW of a warm-started fit.
+        warm_disabled: the gate's reason when a warm start was
+            attempted but rejected (the fit fell back to cold).
+    """
+
+    origin: str = "computed"
+    store_key: str | None = None
+    warm_donor_window: int | None = None
+    warm_disabled: str | None = None
+
+
+@dataclass(frozen=True)
+class FitStats:
+    """Aggregate fit accounting for one sweep (rides on RunReport)."""
+
+    computed: int = 0
+    from_store: int = 0
+    warm_started: int = 0
+    warm_disabled: tuple[str, ...] = ()
+
+    @property
+    def total(self) -> int:
+        """All fits the sweep resolved, however they were obtained."""
+        return self.computed + self.from_store + self.warm_started
+
+
+class FitLedger:
+    """Thread-safe accumulator of :class:`FitRecord` events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._computed = 0
+        self._from_store = 0
+        self._warm = 0
+        self._disabled: list[str] = []
+
+    def record(self, record: FitRecord | None, key: str) -> None:
+        """Fold one block's fit record into the ledger."""
+        if record is None:
+            return
+        with self._lock:
+            if record.origin == "store":
+                self._from_store += 1
+            elif record.origin == "warm":
+                self._warm += 1
+            else:
+                self._computed += 1
+            if record.warm_disabled is not None:
+                self._disabled.append(f"{key}: {record.warm_disabled}")
+
+    def snapshot(self) -> FitStats:
+        """An immutable view of the counters so far."""
+        with self._lock:
+            return FitStats(
+                computed=self._computed,
+                from_store=self._from_store,
+                warm_started=self._warm,
+                warm_disabled=tuple(self._disabled),
+            )
+
+
+@dataclass(frozen=True)
+class _Unset:
+    """Internal sentinel type (dataclass so it pickles cheaply)."""
+
+
+UNSET = _Unset()
+
+
+@dataclass
+class FitContext:
+    """Everything a block needs to resolve fits beyond the raw streams.
+
+    Bundled so :func:`~repro.runtime.engine.evaluate_window_block` can
+    attach one object to a detector: the persistent store, the warm
+    policy, and the in-process donor registry.
+    """
+
+    store: object | None = None
+    warm_policy: WarmStartPolicy | None = None
+    registry: WarmStartRegistry | None = field(default=None, repr=False)

@@ -137,6 +137,53 @@ class TestSharedSuite:
         assert len(pickle.dumps(suite)) >= 10 * len(pickle.dumps(transport))
 
 
+class TestSharedTables:
+    """Derived training tables ride the arena and seed worker caches."""
+
+    WINDOWS = (2, 5, 9)
+
+    def test_tables_published_per_window_length(self, arena, suite):
+        transport = share_suite(
+            arena, suite, cache=WindowCache(), window_lengths=self.WINDOWS
+        )
+        assert tuple(t.window_length for t in transport.training_tables) == (
+            tuple(sorted(self.WINDOWS))
+        )
+
+    def test_restore_seeds_bit_identical_decompositions(self, arena, suite):
+        transport = pickle.loads(
+            pickle.dumps(
+                share_suite(
+                    arena, suite, cache=WindowCache(), window_lengths=self.WINDOWS
+                )
+            )
+        )
+        worker_cache = WindowCache()
+        restored = transport.restore(cache=worker_cache)
+        stream = restored.training.stream
+        for window_length in self.WINDOWS:
+            view = np.lib.stride_tricks.sliding_window_view(
+                stream, window_length
+            )
+            expected_rows, expected_inverse, expected_counts = np.unique(
+                view, axis=0, return_inverse=True, return_counts=True
+            )
+            rows, inverse = worker_cache.unique(stream, window_length)
+            _rows, counts = worker_cache.unique_counts(stream, window_length)
+            np.testing.assert_array_equal(rows, expected_rows)
+            np.testing.assert_array_equal(
+                inverse, expected_inverse.reshape(-1)
+            )
+            np.testing.assert_array_equal(counts, expected_counts)
+        # Every query above was served from the seeded tables — the
+        # worker never rebuilt an index over the training stream.
+        assert worker_cache.stats.misses == 0
+
+    def test_share_without_cache_publishes_no_tables(self, arena, suite):
+        transport = share_suite(arena, suite, window_lengths=self.WINDOWS)
+        assert transport.training_tables == ()
+
+
 class TestCacheEvictionCoupling:
     def test_evict_releases_bound_segment(self, arena):
         stream = np.arange(64, dtype=np.int64) % 4

@@ -1,0 +1,185 @@
+"""Tests for repro.runtime.fitindex — the incremental training index.
+
+The tentpole contract: for ANY window length, the index's
+(rows, inverse, counts) decomposition — derived incrementally, each
+order from the one below — is bit-identical to a direct
+``np.unique(view, axis=0, ...)``, and detector tables fitted through
+it are indistinguishable from tables fitted directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.registry import create_detector
+from repro.exceptions import DetectorConfigurationError, WindowError
+from repro.runtime import TrainingIndex, WarmStartPolicy, WarmStartRegistry, WindowCache
+from repro.runtime.fitindex import FitLedger, FitRecord
+from repro.sequences.windows import windows_array
+
+
+def _reference(stream: np.ndarray, window_length: int):
+    view = windows_array(stream, window_length)
+    rows, inverse, counts = np.unique(
+        view, axis=0, return_inverse=True, return_counts=True
+    )
+    return rows, inverse.reshape(-1), counts
+
+
+def _stream(alphabet_size: int, length: int = 600, seed: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(seed + alphabet_size)
+    return rng.integers(0, alphabet_size, size=length).astype(np.int64)
+
+
+class TestTrainingIndex:
+    @pytest.mark.parametrize("alphabet_size", range(2, 10))
+    def test_bit_identical_to_direct_unique_over_grid(self, alphabet_size):
+        """The acceptance grid: AS in 2..9 x DW in 2..15, bit-identical."""
+        stream = _stream(alphabet_size)
+        index = TrainingIndex(stream)
+        for window_length in range(2, 16):
+            rows, inverse, counts = index.decomposition(window_length)
+            expected_rows, expected_inverse, expected_counts = _reference(
+                stream, window_length
+            )
+            np.testing.assert_array_equal(rows, expected_rows)
+            np.testing.assert_array_equal(inverse, expected_inverse)
+            np.testing.assert_array_equal(counts, expected_counts)
+
+    def test_unpackable_corner(self):
+        """AS=32, DW=13: 65 bits — past the packed-integer budget."""
+        stream = _stream(32, length=400)
+        index = TrainingIndex(stream)
+        rows, inverse, counts = index.decomposition(13)
+        expected_rows, expected_inverse, expected_counts = _reference(stream, 13)
+        np.testing.assert_array_equal(rows, expected_rows)
+        np.testing.assert_array_equal(inverse, expected_inverse)
+        np.testing.assert_array_equal(counts, expected_counts)
+
+    def test_descending_order_queries(self):
+        """Derivation is ascending internally; query order is free."""
+        stream = _stream(4)
+        index = TrainingIndex(stream)
+        for window_length in (9, 3, 6, 2):
+            rows, inverse, counts = index.decomposition(window_length)
+            expected_rows, _inverse, expected_counts = _reference(
+                stream, window_length
+            )
+            np.testing.assert_array_equal(rows, expected_rows)
+            np.testing.assert_array_equal(counts, expected_counts)
+
+    def test_rows_are_reconstruction(self):
+        stream = _stream(5)
+        index = TrainingIndex(stream)
+        rows, inverse, _counts = index.decomposition(4)
+        np.testing.assert_array_equal(rows[inverse], windows_array(stream, 4))
+
+    def test_counts_sum_to_window_count(self):
+        stream = _stream(3)
+        index = TrainingIndex(stream)
+        _rows, _inverse, counts = index.decomposition(7)
+        assert counts.sum() == len(stream) - 7 + 1
+
+    def test_too_long_window_raises(self):
+        stream = np.arange(5, dtype=np.int64)
+        with pytest.raises(WindowError):
+            TrainingIndex(stream).decomposition(6)
+
+    def test_bad_window_length_raises(self):
+        with pytest.raises(WindowError):
+            TrainingIndex(_stream(3)).decomposition(0)
+
+
+class TestIndexDerivedDetectorTables:
+    """Index-backed fits must equal direct fits for every family."""
+
+    FAMILIES = ("stide", "t-stide", "markov", "lane-brodley", "hamming")
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    @pytest.mark.parametrize("alphabet_size", (2, 5, 9))
+    def test_fit_through_index_matches_direct(self, name, alphabet_size):
+        stream = _stream(alphabet_size)
+        probe = windows_array(stream, 6)[:64]
+        direct = create_detector(name, 6, alphabet_size)
+        direct.fit(stream)
+        indexed = create_detector(name, 6, alphabet_size)
+        indexed.attach_cache(WindowCache())
+        indexed.fit(stream)
+        np.testing.assert_array_equal(
+            direct.score_batch(probe), indexed.score_batch(probe)
+        )
+
+    def test_unpackable_family_corner(self):
+        """Markov at AS=32, DW=13 walks the unpacked dictionary path."""
+        stream = _stream(32, length=400)
+        probe = windows_array(stream, 13)[:32]
+        direct = create_detector("markov", 13, 32)
+        direct.fit(stream)
+        indexed = create_detector("markov", 13, 32)
+        indexed.attach_cache(WindowCache())
+        indexed.fit(stream)
+        np.testing.assert_array_equal(
+            direct.score_batch(probe), indexed.score_batch(probe)
+        )
+
+
+class TestWarmStartPolicy:
+    def test_warm_epochs_fraction(self):
+        policy = WarmStartPolicy(epochs_fraction=0.5)
+        assert policy.warm_epochs(100) == 50
+        assert policy.warm_epochs(1) == 1
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(DetectorConfigurationError):
+            WarmStartPolicy(epochs_fraction=0.0)
+        with pytest.raises(DetectorConfigurationError):
+            WarmStartPolicy(epochs_fraction=1.5)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(DetectorConfigurationError):
+            WarmStartPolicy(loss_tolerance=-0.1)
+
+
+class TestWarmStartRegistry:
+    def test_donor_prefers_lower_neighbor(self):
+        registry = WarmStartRegistry()
+        registry.publish("d", "f", 4, {"w": np.zeros(1)}, 0.5)
+        registry.publish("d", "f", 6, {"w": np.ones(1)}, 0.7)
+        held = registry.donor("d", "f", 5)
+        assert held is not None
+        donor_window, _state, loss = held
+        assert donor_window == 4
+        assert loss == 0.5
+
+    def test_donor_falls_back_to_upper_neighbor(self):
+        registry = WarmStartRegistry()
+        registry.publish("d", "f", 6, {"w": np.ones(1)}, 0.7)
+        held = registry.donor("d", "f", 5)
+        assert held is not None
+        assert held[0] == 6
+
+    def test_no_donor_for_unknown_key(self):
+        registry = WarmStartRegistry()
+        registry.publish("d", "f", 4, {}, 0.5)
+        assert registry.donor("other", "f", 5) is None
+        assert registry.donor("d", "g", 5) is None
+        assert registry.donor("d", "f", 9) is None
+
+
+class TestFitLedger:
+    def test_snapshot_counts_origins(self):
+        ledger = FitLedger()
+        ledger.record(FitRecord(origin="computed"), "a:2")
+        ledger.record(FitRecord(origin="store"), "a:3")
+        ledger.record(FitRecord(origin="warm", warm_donor_window=2), "a:4")
+        ledger.record(
+            FitRecord(origin="computed", warm_disabled="loss gate"), "a:5"
+        )
+        ledger.record(None, "a:6")  # factory path: no record
+        stats = ledger.snapshot()
+        assert stats.computed == 2
+        assert stats.from_store == 1
+        assert stats.warm_started == 1
+        assert len(stats.warm_disabled) == 1
+        assert "a:5" in stats.warm_disabled[0]

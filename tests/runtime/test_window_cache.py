@@ -181,3 +181,74 @@ class TestAccounting:
             thread.join()
         assert cache.stats.misses == 1
         assert cache.stats.hits == 7
+
+
+class TestReleaseStream:
+    def test_release_drops_artifacts_index_and_pin(self, cache):
+        cache.windows(STREAM, 2)
+        cache.unique(STREAM, 3)
+        assert id(STREAM) in cache._streams
+        assert cache.release_stream(STREAM) == 2
+        assert len(cache) == 0
+        assert id(STREAM) not in cache._streams
+        assert id(STREAM) not in cache._indexes
+
+    def test_release_unknown_stream_is_a_noop(self, cache):
+        unknown = np.array([9, 9, 9], dtype=np.int64)
+        assert cache.release_stream(unknown) == 0
+
+    def test_released_stream_recomputes_cleanly(self, cache):
+        rows, inverse = cache.unique(STREAM, 3)
+        cache.release_stream(STREAM)
+        again_rows, again_inverse = cache.unique(STREAM, 3)
+        np.testing.assert_array_equal(rows, again_rows)
+        np.testing.assert_array_equal(inverse, again_inverse)
+
+
+class TestSeededDecomposition:
+    def test_seed_installs_and_serves(self, cache):
+        view = windows_array(STREAM, 3)
+        rows, inverse, counts = np.unique(
+            view, axis=0, return_inverse=True, return_counts=True
+        )
+        assert cache.seed_decomposition(
+            STREAM, 3, rows, inverse.reshape(-1), counts
+        )
+        served_rows, served_inverse = cache.unique(STREAM, 3)
+        assert served_rows is rows
+        np.testing.assert_array_equal(served_inverse, inverse.reshape(-1))
+        assert cache.stats.hits == 1  # served from the seeded entry
+
+    def test_seed_does_not_overwrite(self, cache):
+        first_rows, _ = cache.unique(STREAM, 3)
+        other = np.zeros((1, 3), dtype=np.int64)
+        assert not cache.seed_decomposition(
+            STREAM, 3, other, np.zeros(10, dtype=np.int64),
+            np.ones(1, dtype=np.int64),
+        )
+        again, _ = cache.unique(STREAM, 3)
+        assert again is first_rows
+
+
+class TestValidatedMemo:
+    def test_validation_runs_once_per_stream(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return STREAM
+
+        for _ in range(4):
+            assert cache.validated(STREAM, ALPHABET, compute) is STREAM
+        assert len(calls) == 1
+
+    def test_validation_keyed_by_alphabet(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return STREAM
+
+        cache.validated(STREAM, 4, compute)
+        cache.validated(STREAM, 5, compute)
+        assert len(calls) == 2
