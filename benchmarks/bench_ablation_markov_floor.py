@@ -43,17 +43,16 @@ def test_ablation_markov_floor(benchmark, suite):
     # foreign-window region — Stide's diagonal.
     assert unfloored.capable_cells() <= stide_region
 
-    rows = []
-    for floor, performance_map in maps.items():
-        rows.append(
-            (
-                f"{floor:.4f}",
-                len(performance_map.capable_cells()),
-                len(performance_map.weak_cells()),
-                len(performance_map.blind_cells()),
-                performance_map.spurious_alarm_total(),
-            )
+    rows = [
+        (
+            f"{floor:.4f}",
+            len(performance_map.capable_cells()),
+            len(performance_map.weak_cells()),
+            len(performance_map.blind_cells()),
+            performance_map.spurious_alarm_total(),
         )
+        for floor, performance_map in maps.items()
+    ]
     table = format_table(
         headers=("rare floor", "capable", "weak", "blind", "spurious alarms"),
         rows=rows,

@@ -41,10 +41,11 @@ def test_seed_robustness(benchmark, params):
     assert report.replications == len(SEEDS)
     assert report.all_held, report.summary()
 
-    rows = []
-    for outcome in report.outcomes:
-        for name, held in sorted(outcome.shape_held.items()):
-            rows.append((outcome.seed, name, "held" if held else "BROKE"))
+    rows = [
+        (outcome.seed, name, "held" if held else "BROKE")
+        for outcome in report.outcomes
+        for name, held in sorted(outcome.shape_held.items())
+    ]
     table = format_table(
         headers=("corpus seed", "detector", "paper shape"),
         rows=rows,

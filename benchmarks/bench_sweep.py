@@ -45,6 +45,7 @@ MIN_KERNEL_SPEEDUP = 3.0  # batch kernels vs the per-row scalar loop
 MIN_PAYLOAD_DROP = 10.0  # task payload bytes, pickle vs descriptors
 KERNEL_WINDOW = 6
 MAX_RESILIENCE_OVERHEAD = 0.05  # fraction of plain-engine wall clock
+MAX_TELEMETRY_OVERHEAD = 0.05  # disabled-path cost of the instrumentation
 OVERHEAD_REPS = 3
 # Fit-phase floors: the shared training index amortizes one sort over
 # every (family, DW) fit; a store-warm pass performs zero fits at all.
@@ -192,8 +193,10 @@ def test_batch_kernel_speedup(suite):
     lines = [
         f"Batch kernels (DW={KERNEL_WINDOW}, {len(rows):,} distinct windows):"
     ]
-    for name, value in sorted(speedups.items()):
-        lines.append(f"  {name:<14} {value:>8.1f}x vs per-row scalar loop")
+    lines.extend(
+        f"  {name:<14} {value:>8.1f}x vs per-row scalar loop"
+        for name, value in sorted(speedups.items())
+    )
     lines.append(
         f"  sweep       {cells / sweep_seconds:>8.1f} cells/s "
         f"({cells} cells in {sweep_seconds:.2f} s)"
@@ -340,6 +343,100 @@ def test_resilience_overhead(suite):
     assert overhead <= MAX_RESILIENCE_OVERHEAD, (
         f"resilience overhead {overhead:.2%} exceeds the "
         f"{MAX_RESILIENCE_OVERHEAD:.0%} budget"
+    )
+
+
+def test_telemetry_overhead(suite):
+    """The disabled instrumentation must cost <= 5% of a sweep.
+
+    Every instrumentation site stays in the hot path even when no
+    telemetry is attached; the disabled path of each hook is a single
+    module-global read plus a ``None`` check.  The guarantee asserted
+    here: (number of hook invocations a sweep makes) x (measured cost
+    of one disabled hook) must stay within the 5% budget of the
+    sweep's own wall clock.  The invocation count comes from an
+    instrumented sweep of the identical workload (every span and every
+    counter/histogram update is one disabled-path call when telemetry
+    is off); comparing in-process like this keeps machine speed out of
+    the ratio, and the cross-run guard against absolute regressions
+    stays with ``check_bench_regression.py``.
+    """
+    from repro.runtime import Telemetry
+    from repro.runtime import telemetry as hooks
+
+    def _timed(factory) -> float:
+        best = float("inf")
+        for _ in range(OVERHEAD_REPS):
+            engine = factory()
+            start = time.perf_counter()
+            engine.sweep(FAMILIES, suite)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    sweep_seconds = _timed(lambda: SweepEngine(max_workers=MAX_WORKERS))
+
+    collector = Telemetry()
+    SweepEngine(max_workers=MAX_WORKERS, telemetry=collector).sweep(
+        FAMILIES, suite
+    )
+    snapshot = collector.metrics.snapshot()
+    span_calls = len(collector.tracer)
+    # Event counters are incremented one call per event; summing the
+    # values over-counts the few bulk credits, which only makes the
+    # bound stricter.  Every histogram observation is one call.
+    metric_calls = sum(snapshot["counters"].values()) + sum(
+        entry[0] for entry in snapshot["histograms"].values()
+    )
+
+    assert hooks.active() is None  # measuring the true disabled path
+    reps = 100_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        with hooks.span("cache", "bench"):
+            pass
+    span_cost = (time.perf_counter() - start) / reps
+    start = time.perf_counter()
+    for _ in range(reps):
+        hooks.count("bench.noop")
+    count_cost = (time.perf_counter() - start) / reps
+
+    disabled_seconds = span_calls * span_cost + metric_calls * count_cost
+    overhead = disabled_seconds / sweep_seconds
+
+    payload = {
+        "bench": "sweep_telemetry_overhead",
+        "families": list(FAMILIES),
+        "max_workers": MAX_WORKERS,
+        "repetitions": OVERHEAD_REPS,
+        "sweep_seconds": round(sweep_seconds, 4),
+        "span_calls": span_calls,
+        "metric_calls": int(metric_calls),
+        "span_call_ns": round(span_cost * 1e9, 1),
+        "metric_call_ns": round(count_cost * 1e9, 1),
+        "disabled_hook_seconds": round(disabled_seconds, 6),
+        "overhead_fraction": round(overhead, 5),
+        "max_overhead_fraction": MAX_TELEMETRY_OVERHEAD,
+    }
+    write_json_artifact("sweep_telemetry_overhead", payload)
+    write_artifact(
+        "sweep_telemetry_overhead",
+        "\n".join(
+            [
+                "Disabled-telemetry overhead "
+                f"(best of {OVERHEAD_REPS} sweeps):",
+                f"  sweep            {sweep_seconds:>10.3f} s",
+                f"  hook sites hit   {span_calls + int(metric_calls):>10,}",
+                f"  span hook        {span_cost * 1e9:>10.1f} ns",
+                f"  counter hook     {count_cost * 1e9:>10.1f} ns",
+                f"  disabled cost    {disabled_seconds:>10.4f} s",
+                f"  overhead         {overhead:>10.3%}",
+            ]
+        ),
+    )
+
+    assert overhead <= MAX_TELEMETRY_OVERHEAD, (
+        f"disabled-telemetry overhead {overhead:.2%} exceeds the "
+        f"{MAX_TELEMETRY_OVERHEAD:.0%} budget"
     )
 
 

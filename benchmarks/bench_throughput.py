@@ -39,8 +39,10 @@ def test_scoring_throughput(benchmark, training, name):
     lines = [
         f"Throughput (DW={WINDOW_LENGTH}, stream {len(test_stream)} elements):"
     ]
-    for detector_name, rate in sorted(_RESULTS.items()):
-        lines.append(f"  {detector_name:<14} {rate:>14,.0f} windows/s")
+    lines.extend(
+        f"  {detector_name:<14} {rate:>14,.0f} windows/s"
+        for detector_name, rate in sorted(_RESULTS.items())
+    )
     write_artifact("throughput", "\n".join(lines))
 
 
@@ -71,8 +73,10 @@ def test_batch_scoring_throughput(benchmark, training, name):
         f"Batch kernel throughput (DW={WINDOW_LENGTH}, "
         f"{len(rows):,} distinct windows):"
     ]
-    for detector_name, rate in sorted(_BATCH_RESULTS.items()):
-        lines.append(f"  {detector_name:<14} {rate:>14,.0f} windows/s")
+    lines.extend(
+        f"  {detector_name:<14} {rate:>14,.0f} windows/s"
+        for detector_name, rate in sorted(_BATCH_RESULTS.items())
+    )
     write_artifact("batch_throughput", "\n".join(lines))
 
 
@@ -103,10 +107,10 @@ def test_stide_membership_strategy(benchmark, training, strategy, window_length)
     key = (strategy, window_length)
     _MEMBERSHIP[key] = len(probes) / benchmark.stats.stats.mean
     lines = [f"Stide membership ({len(probes):,} probes):"]
-    for (name, length), rate in sorted(_MEMBERSHIP.items()):
-        lines.append(
-            f"  {name:<14} DW={length:<3} {rate:>16,.0f} probes/s"
-        )
+    lines.extend(
+        f"  {name:<14} DW={length:<3} {rate:>16,.0f} probes/s"
+        for (name, length), rate in sorted(_MEMBERSHIP.items())
+    )
     for length in sorted({length for _name, length in _MEMBERSHIP}):
         isin = _MEMBERSHIP.get(("isin", length))
         bisect = _MEMBERSHIP.get(("searchsorted", length))

@@ -19,20 +19,18 @@ from repro.exceptions import EvaluationError
 
 def performance_map_rows(performance_map: PerformanceMap) -> list[dict[str, object]]:
     """Flatten a map into one record per grid cell."""
-    rows: list[dict[str, object]] = []
-    for cell in performance_map:
-        rows.append(
-            {
-                "detector": performance_map.detector_name,
-                "anomaly_size": cell.anomaly_size,
-                "window_length": cell.window_length,
-                "response_class": cell.response_class.value,
-                "max_in_span": cell.outcome.max_in_span,
-                "max_outside_span": cell.outcome.max_outside_span,
-                "spurious_alarms": cell.outcome.spurious_alarms,
-            }
-        )
-    return rows
+    return [
+        {
+            "detector": performance_map.detector_name,
+            "anomaly_size": cell.anomaly_size,
+            "window_length": cell.window_length,
+            "response_class": cell.response_class.value,
+            "max_in_span": cell.outcome.max_in_span,
+            "max_outside_span": cell.outcome.max_outside_span,
+            "spurious_alarms": cell.outcome.spurious_alarms,
+        }
+        for cell in performance_map
+    ]
 
 
 def write_map_csv(path: str | Path, *maps: PerformanceMap) -> Path:

@@ -45,8 +45,10 @@ def format_table(
         lines.append(title)
     lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     lines.append("  ".join("-" * w for w in widths))
-    for row in string_rows:
-        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in string_rows
+    )
     return "\n".join(lines)
 
 

@@ -10,7 +10,9 @@ Subcommands:
   a corpus (the "Why 6?" analysis) and report the recommended Stide
   window;
 * ``anomaly`` — synthesize one MFS against the paper corpus and show
-  its parts and frequencies.
+  its parts and frequencies;
+* ``trace`` — summarize or validate a JSONL telemetry trace written by
+  the ``--trace`` flag of ``maps``/``atlas``/``select``.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -109,6 +111,73 @@ def _store_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a schema-versioned JSONL telemetry trace (spans, "
+        "counters, histograms) of the run; inspect it with "
+        "'repro trace summarize PATH'",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's telemetry counters and histograms",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="DIR",
+        help="dump cProfile .pstats files (one per worker thread/"
+        "process) into DIR",
+    )
+
+
+def _telemetry(args: argparse.Namespace) -> "object | None":
+    """A Telemetry collector when any observability flag was given."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", False)
+    profile = getattr(args, "profile", None)
+    if trace is None and not metrics and profile is None:
+        return None
+    from repro.runtime.telemetry import Telemetry
+
+    return Telemetry(profile_dir=profile)
+
+
+def _emit_telemetry(args: argparse.Namespace, engine: "object | None") -> None:
+    """Write/print the artifacts the observability flags asked for."""
+    collector = getattr(engine, "telemetry", None)
+    if collector is None:
+        return
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None:
+        print(f"trace: {collector.write_trace(trace_path)}")
+    if getattr(args, "metrics", False):
+        snapshot = collector.metrics.snapshot()
+        rows = [
+            (name, f"{value:g}")
+            for name, value in sorted(snapshot["counters"].items())
+        ]
+        for name, (count, total, _low, high) in sorted(
+            snapshot["histograms"].items()
+        ):
+            mean = total / count if count else 0.0
+            rows.append((name, f"n={count:g} mean={mean:g} max={high:g}"))
+        print(
+            format_table(
+                ("metric", "value"),
+                rows or [("(none)", "-")],
+                title="Telemetry metrics",
+            )
+        )
+    profile_dir = getattr(args, "profile", None)
+    if profile_dir is not None:
+        written = collector.dump_profiles()
+        print(f"profiles: {len(written)} .pstats file(s) in {profile_dir}")
+
+
 #: Sentinel for ``--resume`` without a path: reuse ``--checkpoint``.
 _RESUME_FROM_CHECKPOINT = "@checkpoint"
 
@@ -186,7 +255,14 @@ def _engine(args: argparse.Namespace) -> "object | None":
         or getattr(args, "checkpoint", None) is not None
         or getattr(args, "resume", None) is not None
     )
-    if jobs <= 1 and executor is None and not wants_resilience and store_dir is None:
+    telemetry = _telemetry(args)
+    if (
+        jobs <= 1
+        and executor is None
+        and not wants_resilience
+        and store_dir is None
+        and telemetry is None
+    ):
         return None
     from repro.runtime import ResiliencePolicy, RetryPolicy, SweepEngine
 
@@ -208,11 +284,21 @@ def _engine(args: argparse.Namespace) -> "object | None":
         use_shared_memory=not getattr(args, "no_shm", False),
         store=store,
         warm_start=False if getattr(args, "no_warm_start", False) else None,
+        telemetry=telemetry,
     )
 
 
+#: Training-stream length ``maps --quick`` runs at: the same reduced
+#: scale the CI smoke jobs use — every rare pair still appears, the
+#: full (size x window) grid is swept, and a run takes seconds.
+_QUICK_STREAM_LENGTH = 12_000
+
+
 def _cmd_maps(args: argparse.Namespace) -> int:
-    params = scaled_params(args.stream_len, seed=args.seed)
+    stream_len = args.stream_len
+    if getattr(args, "quick", False) and stream_len is None:
+        stream_len = _QUICK_STREAM_LENGTH
+    params = scaled_params(stream_len, seed=args.seed)
     detectors = args.detectors or list(DEFAULT_DETECTORS)
     unknown = [name for name in detectors if name not in available_detectors()]
     if unknown:
@@ -244,6 +330,7 @@ def _cmd_maps(args: argparse.Namespace) -> int:
     if len(detectors) >= 2:
         print()
         print(map_agreement_report(result.maps))
+    _emit_telemetry(args, engine)
     return 0
 
 
@@ -401,6 +488,7 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     if len(names) >= 2:
         print()
         print(map_agreement_report(maps))
+    _emit_telemetry(args, engine)
     return 0
 
 
@@ -472,6 +560,32 @@ def _cmd_select(args: argparse.Namespace) -> int:
     if advice.redundant:
         print(f"redundant: {', '.join(advice.redundant)}")
     print(f"rationale: {advice.rationale}")
+    _emit_telemetry(args, engine)
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.runtime.telemetry import summarize_trace
+
+    print(summarize_trace(args.path))
+    return 0
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    from repro.runtime.telemetry import check_trace_counters, read_trace
+
+    headers, spans, counters, histograms = read_trace(args.path)
+    print(
+        f"{args.path}: {len(headers)} header(s), {len(spans)} span(s), "
+        f"{len(counters)} counter(s), {len(histograms)} histogram(s) "
+        "— schema ok"
+    )
+    problems = check_trace_counters(counters, spans)
+    if problems:
+        for problem in problems:
+            print(f"inconsistent: {problem}", file=sys.stderr)
+        return 1
+    print("counters consistent")
     return 0
 
 
@@ -490,6 +604,13 @@ def build_parser() -> argparse.ArgumentParser:
     _jobs_argument(maps)
     _resilience_arguments(maps)
     _store_arguments(maps)
+    _telemetry_arguments(maps)
+    maps.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-scale run: a reduced 12k-element corpus over the full "
+        "grid (overridden by an explicit --stream-len)",
+    )
     maps.add_argument(
         "--detectors",
         nargs="+",
@@ -535,6 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
     _jobs_argument(atlas)
     _resilience_arguments(atlas)
     _store_arguments(atlas)
+    _telemetry_arguments(atlas)
     atlas.add_argument(
         "--detectors",
         nargs="+",
@@ -559,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     _jobs_argument(select)
     _resilience_arguments(select)
     _store_arguments(select)
+    _telemetry_arguments(select)
     select.add_argument(
         "--size",
         type=int,
@@ -568,6 +691,22 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--max-window", type=int, default=8)
     select.add_argument("--detectors", nargs="+", metavar="NAME")
     select.set_defaults(func=_cmd_select)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a --trace telemetry file"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="per-phase time table plus the headline rates"
+    )
+    summarize.add_argument("path", help="JSONL trace written by --trace")
+    summarize.set_defaults(func=_cmd_trace_summarize)
+    validate = trace_sub.add_parser(
+        "validate",
+        help="schema-validate every line and cross-check the counters",
+    )
+    validate.add_argument("path", help="JSONL trace written by --trace")
+    validate.set_defaults(func=_cmd_trace_validate)
 
     return parser
 

@@ -22,6 +22,7 @@ from enum import Enum
 import numpy as np
 
 from repro.exceptions import DetectorConfigurationError, NotFittedError, WindowError
+from repro.runtime import telemetry
 from repro.runtime.fitindex import FitRecord, WarmStartPolicy, WarmStartRegistry
 from repro.runtime.store import fit_key, streams_digest
 from repro.sequences.windows import pack_windows, window_count, windows_array
@@ -448,6 +449,7 @@ class AnomalyDetector(abc.ABC):
                 f"[0, {self._alphabet_size - 1}]"
             )
         data = data.astype(np.int64, copy=False)
+        telemetry.observe("kernel.batch_size", len(data))
         responses = self._score_windows(data)
         if responses.shape != (len(data),):
             raise WindowError(

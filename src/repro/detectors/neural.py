@@ -202,7 +202,9 @@ class NeuralDetector(AnomalyDetector):
             if neighbor < 2:
                 continue
             key = fit_key(digest, self.config_fingerprint(window_length=neighbor))
-            state = store.get(key)  # type: ignore[attr-defined]
+            # Donor-kind lookups count under separate telemetry names
+            # (store.donor.*) so store.hit keeps mirroring fit traffic.
+            state = store.get(key, kind="donor")  # type: ignore[attr-defined]
             if state is not None and "final_loss" in state:
                 return neighbor, state, float(np.asarray(state["final_loss"]))
         return None

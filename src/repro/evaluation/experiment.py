@@ -83,6 +83,7 @@ def run_paper_experiment(
     resume_from: "str | None" = None,
     store: "object | None" = None,
     warm_start: bool | None = None,
+    telemetry: "object | None" = None,
 ) -> ExperimentResult:
     """Run the paper's evaluation end to end.
 
@@ -107,6 +108,11 @@ def run_paper_experiment(
         warm_start: forwarded to the engine the ``max_workers``/
             ``store`` shorthand creates; ``None`` auto-enables warm
             starting exactly when a store is attached.
+        telemetry: a :class:`~repro.runtime.telemetry.Telemetry`
+            collector.  With no ``engine`` given the experiment runs
+            through a serial :class:`~repro.runtime.SweepEngine`
+            carrying it; a given engine without its own collector
+            adopts this one.
 
     Returns:
         Maps for every requested detector over the full case grid,
@@ -121,10 +127,24 @@ def run_paper_experiment(
         from repro.runtime import SweepEngine
 
         engine = SweepEngine(
-            max_workers=max_workers, store=store, warm_start=warm_start
+            max_workers=max_workers,
+            store=store,
+            warm_start=warm_start,
+            telemetry=telemetry,
+        )
+    elif engine is None and telemetry is not None:
+        from repro.runtime import SweepEngine
+
+        engine = SweepEngine(
+            executor="serial",
+            store=store,
+            warm_start=warm_start,
+            telemetry=telemetry,
         )
     run_report = None
     if engine is not None:
+        if telemetry is not None and getattr(engine, "telemetry", None) is None:
+            engine.attach_telemetry(telemetry)
         if (
             getattr(engine, "resilience", None) is not None
             or checkpoint is not None

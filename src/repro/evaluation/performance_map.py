@@ -142,6 +142,7 @@ def build_performance_map(
     checkpoint: "str | None" = None,
     resume_from: "str | None" = None,
     store: "object | None" = None,
+    telemetry: "object | None" = None,
     **detector_kwargs: object,
 ) -> PerformanceMap:
     """Evaluate one detector family over the whole suite grid.
@@ -173,6 +174,11 @@ def build_performance_map(
             is given — the engine's own store governs.  On the serial
             reference loop the store is lookup/write-back only (no
             warm starting), preserving bit-reproducibility.
+        telemetry: a :class:`~repro.runtime.telemetry.Telemetry`
+            collector.  With no ``engine`` given the build runs
+            through a serial :class:`~repro.runtime.SweepEngine`
+            carrying it (bit-identical cells, fully instrumented); a
+            given engine without its own collector adopts this one.
         **detector_kwargs: forwarded to the registry when ``detector``
             is a name (ignored for factories).
 
@@ -186,8 +192,20 @@ def build_performance_map(
     if engine is None and max_workers is not None and max_workers > 1:
         from repro.runtime import SweepEngine
 
-        engine = SweepEngine(max_workers=max_workers, store=store)
+        engine = SweepEngine(
+            max_workers=max_workers, store=store, telemetry=telemetry
+        )
+    elif engine is None and telemetry is not None:
+        from repro.runtime import SweepEngine
+
+        # The serial engine is the instrumented twin of the reference
+        # loop below: bit-identical cells, plus spans and counters.
+        engine = SweepEngine(
+            executor="serial", store=store, warm_start=False, telemetry=telemetry
+        )
     if engine is not None:
+        if telemetry is not None and getattr(engine, "telemetry", None) is None:
+            engine.attach_telemetry(telemetry)
         return engine.build_map(
             detector,
             suite,

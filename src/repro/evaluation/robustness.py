@@ -85,12 +85,12 @@ class RobustnessReport:
 
     def failures(self) -> list[tuple[int, str]]:
         """(seed, detector) pairs whose shape broke."""
-        broken = []
-        for outcome in self.outcomes:
-            for name, held in outcome.shape_held.items():
-                if not held:
-                    broken.append((outcome.seed, name))
-        return broken
+        return [
+            (outcome.seed, name)
+            for outcome in self.outcomes
+            for name, held in outcome.shape_held.items()
+            if not held
+        ]
 
     def summary(self) -> str:
         """One-line report."""

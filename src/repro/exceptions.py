@@ -121,6 +121,16 @@ class SweepAbortedError(EvaluationError):
         self.report = report
 
 
+class TelemetryError(ReproError):
+    """A telemetry trace file is unreadable or violates its schema.
+
+    Raised by the trace readers/validators in
+    :mod:`repro.runtime.telemetry` (``repro trace validate`` turns it
+    into a nonzero exit code).  Never raised on the emission path —
+    collecting telemetry must not be able to fail a sweep.
+    """
+
+
 class CoverageError(ReproError):
     """Coverage-algebra operands are incompatible.
 

@@ -25,7 +25,12 @@ production runtime for that sweep:
   (process -> thread -> serial), JSONL checkpoint/resume, and a
   per-task :class:`RunReport`;
 * :mod:`~repro.runtime.faults` — the seeded fault-injection harness
-  the test suite uses to prove every recovery path.
+  the test suite uses to prove every recovery path;
+* :mod:`~repro.runtime.telemetry` — zero-dependency tracing spans,
+  metrics and profiling hooks every component above reports into,
+  merged across process workers and written as schema-versioned JSONL
+  (the ``--trace``/``--metrics``/``--profile`` flags and the
+  ``repro trace`` subcommand).
 
 See the "Runtime & parallelism", "Batch kernels & zero-copy
 transport" and "Failure handling & resume" sections of DESIGN.md and
@@ -71,6 +76,16 @@ _EXPORTS: dict[str, str] = {
     "sorted_membership": "repro.runtime.kernels",
     "FAULT_KINDS": "repro.runtime.faults",
     "FaultSchedule": "repro.runtime.faults",
+    "Metrics": "repro.runtime.telemetry",
+    "SPAN_PHASES": "repro.runtime.telemetry",
+    "TRACE_SCHEMA_VERSION": "repro.runtime.telemetry",
+    "Telemetry": "repro.runtime.telemetry",
+    "TelemetryConfig": "repro.runtime.telemetry",
+    "Tracer": "repro.runtime.telemetry",
+    "check_trace_counters": "repro.runtime.telemetry",
+    "read_trace": "repro.runtime.telemetry",
+    "summarize_trace": "repro.runtime.telemetry",
+    "validate_trace_line": "repro.runtime.telemetry",
     "DEGRADATION_CHAIN": "repro.runtime.resilience",
     "ResiliencePolicy": "repro.runtime.resilience",
     "RetryPolicy": "repro.runtime.resilience",

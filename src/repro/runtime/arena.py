@@ -59,6 +59,7 @@ from repro.datagen.injection import InjectedStream
 from repro.datagen.suite import EvaluationSuite
 from repro.datagen.training import TrainingData
 from repro.exceptions import EvaluationError
+from repro.runtime import telemetry
 
 try:  # pragma: no cover - import succeeds on all supported platforms
     from multiprocessing import shared_memory
@@ -98,11 +99,11 @@ def _destroy_segment(segment: "shared_memory.SharedMemory") -> None:
     """Close and unlink one owned segment, swallowing teardown races."""
     try:
         segment.close()
-    except Exception:  # noqa: BLE001 - teardown must not raise
+    except Exception:  # teardown must not raise
         pass
     try:
         segment.unlink()
-    except Exception:  # noqa: BLE001 - already unlinked is fine
+    except Exception:  # already unlinked is fine
         pass
 
 
@@ -154,7 +155,7 @@ class WindowArena:
                         create=True,
                         size=1,
                     )
-                except Exception:  # noqa: BLE001 - any failure means "no"
+                except Exception:  # any failure means "no"
                     _AVAILABLE = False
                 else:
                     _destroy_segment(probe)
@@ -299,7 +300,7 @@ def detach_all() -> None:
     for segment, _array in held:
         try:
             segment.close()
-        except Exception:  # noqa: BLE001 - teardown must not raise
+        except Exception:  # teardown must not raise
             pass
 
 
@@ -382,6 +383,10 @@ class SharedSuite:
                 as a cache *hit* (the artifact existed and was reused;
                 nothing was recomputed).
         """
+        with telemetry.span("arena", "restore"):
+            return self._restore(cache)
+
+    def _restore(self, cache: "object | None") -> EvaluationSuite:
         key = tuple(descriptor.name for descriptor in self.descriptors())
         with _ATTACH_LOCK:
             suite = _RESTORED.get(key)
@@ -420,7 +425,7 @@ class SharedSuite:
                         attach_array(table.inverse),
                         attach_array(table.counts),
                     )
-            cache.merge_counts(len(key), 0)
+            cache.credit(len(key))  # type: ignore[attr-defined]
         return suite
 
 
@@ -444,6 +449,16 @@ def share_suite(
             published as :class:`SharedTable` entries so workers skip
             the training sort entirely.
     """
+    with telemetry.span("arena", "publish"):
+        return _share_suite(arena, suite, cache, window_lengths)
+
+
+def _share_suite(
+    arena: WindowArena,
+    suite: EvaluationSuite,
+    cache: "object | None",
+    window_lengths: tuple[int, ...],
+) -> SharedSuite:
     cases = []
     for anomaly_size in suite.anomaly_sizes:
         injected = suite.stream(anomaly_size)

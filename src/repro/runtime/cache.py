@@ -44,6 +44,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.runtime import telemetry
 from repro.runtime.fitindex import TrainingIndex
 from repro.sequences.windows import pack_windows, windows_array
 
@@ -130,6 +131,22 @@ class WindowCache:
             self._hits += hits
             self._misses += misses
 
+    def credit(self, hits: int, misses: int = 0) -> None:
+        """Credit *fresh* cache traffic observed outside :meth:`_get`.
+
+        Same arithmetic as :meth:`merge_counts`, but also emitted as
+        telemetry events: the arena's restore path uses this when it
+        serves arrays out of shared memory (each one a hit that never
+        went through a lookup).  ``merge_counts`` itself stays
+        telemetry-silent — it folds counters whose events were already
+        emitted where the traffic actually happened (the worker).
+        """
+        self.merge_counts(hits, misses)
+        if hits:
+            telemetry.count("cache.hit", hits)
+        if misses:
+            telemetry.count("cache.miss", misses)
+
     def clear(self) -> None:
         """Drop every cached artifact and retained stream reference.
 
@@ -200,9 +217,12 @@ class WindowCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self._hits += 1
+                telemetry.count("cache.hit")
                 return entry
             self._misses += 1
-            entry = compute()
+            telemetry.count("cache.miss")
+            with telemetry.span("cache", key[2], window_length=key[1]):
+                entry = compute()
             self._entries[key] = entry
             # Pin the stream so its id() stays valid for the cache's life.
             self._streams.setdefault(key[0], stream)

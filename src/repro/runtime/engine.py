@@ -44,8 +44,9 @@ from __future__ import annotations
 
 import os
 import time
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.datagen.suite import EvaluationSuite
@@ -76,6 +77,12 @@ from repro.runtime.resilience import (
     TaskReport,
 )
 from repro.runtime.store import ArtifactStore
+from repro.runtime import telemetry
+from repro.runtime.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    ensure_worker_profiler,
+)
 
 DetectorFactory = Callable[[int], AnomalyDetector]
 
@@ -131,15 +138,26 @@ def evaluate_window_block(
         detector.attach_store(store)
     if warm_policy is not None:
         detector.attach_warm_start(warm_policy, warm_registry)
-    fitted = detector.fit(suite.training.stream)
+    with telemetry.span(
+        "fit", detector.name, window_length=detector.window_length
+    ):
+        fitted = detector.fit(suite.training.stream)
     window_length = fitted.window_length
     results = []
     for anomaly_size in suite.anomaly_sizes:
         injected = suite.stream(anomaly_size)
-        if memoize and cache is not None:
-            outcome = score_injected_memoized(fitted, injected, cache)
-        else:
-            outcome = score_injected(fitted, injected)
+        with telemetry.span(
+            "score",
+            detector.name,
+            anomaly_size=anomaly_size,
+            window_length=window_length,
+        ) as cell_span:
+            if memoize and cache is not None:
+                outcome = score_injected_memoized(fitted, injected, cache)
+            else:
+                outcome = score_injected(fitted, injected)
+        telemetry.observe("cell.wall", cell_span.wall)
+        telemetry.observe("cell.cpu", cell_span.cpu)
         results.append(
             CellResult(
                 anomaly_size=anomaly_size,
@@ -213,35 +231,48 @@ def _process_window_block(
     memoize: bool,
     store_spec: tuple[str, int | None] | None = None,
     warm_policy: WarmStartPolicy | None = None,
-) -> tuple[str, int, list[CellResult], CacheStats, FitRecord | None]:
+    telemetry_spec: TelemetryConfig | None = None,
+) -> tuple[
+    str, int, list[CellResult], CacheStats, FitRecord | None, dict | None
+]:
     """Process-pool entry point: one (family, window) block.
 
     The worker's cache counters (for zero-copy tasks: this task's
-    counter *delta* against the worker-global cache) and the block's
-    :class:`FitRecord` ride back with the results so the parent can
-    fold them into the engine cache's statistics and the sweep's fit
-    ledger (see :meth:`WindowCache.merge_counts`).
+    counter *delta* against the worker-global cache), the block's
+    :class:`FitRecord` and the task's telemetry snapshot ride back
+    with the results so the parent can fold them into the engine
+    cache's statistics, the sweep's fit ledger and the sweep's
+    telemetry (see :meth:`WindowCache.merge_counts` and
+    :meth:`~repro.runtime.telemetry.Telemetry.merge_snapshot`).
     """
-    suite, cache, before = _worker_suite(suite)
-    detector = create_detector(
-        name, window_length, suite.training.alphabet.size, **detector_kwargs
+    task_telemetry = Telemetry.from_spec(telemetry_spec)
+    if task_telemetry is not None and task_telemetry.profile_dir is not None:
+        ensure_worker_profiler(task_telemetry.profile_dir)
+    with telemetry.activated(task_telemetry):
+        with telemetry.span("block", f"{name}:{window_length}"):
+            suite, cache, before = _worker_suite(suite)
+            detector = create_detector(
+                name, window_length, suite.training.alphabet.size, **detector_kwargs
+            )
+            store, registry = _worker_fit_context(store_spec, warm_policy)
+            cells = evaluate_window_block(
+                detector,
+                suite,
+                cache=cache,
+                memoize=memoize,
+                store=store,
+                warm_policy=warm_policy,
+                warm_registry=registry,
+            )
+        stats = cache.stats
+        if before is not None:
+            stats = CacheStats(
+                hits=stats.hits - before.hits, misses=stats.misses - before.misses
+            )
+    snapshot = (
+        task_telemetry.snapshot() if task_telemetry is not None else None
     )
-    store, registry = _worker_fit_context(store_spec, warm_policy)
-    cells = evaluate_window_block(
-        detector,
-        suite,
-        cache=cache,
-        memoize=memoize,
-        store=store,
-        warm_policy=warm_policy,
-        warm_registry=registry,
-    )
-    stats = cache.stats
-    if before is not None:
-        stats = CacheStats(
-            hits=stats.hits - before.hits, misses=stats.misses - before.misses
-        )
-    return name, window_length, cells, stats, detector.last_fit_report
+    return name, window_length, cells, stats, detector.last_fit_report, snapshot
 
 
 def _process_resilient_block(
@@ -253,8 +284,9 @@ def _process_resilient_block(
     schedule: FaultSchedule | None,
     store_spec: tuple[str, int | None] | None,
     warm_policy: WarmStartPolicy | None,
+    telemetry_spec: TelemetryConfig | None,
     attempt: int,
-) -> tuple[list[CellResult], CacheStats, FitRecord | None]:
+) -> tuple[list[CellResult], CacheStats, FitRecord | None, dict | None]:
     """Process-pool entry point for the resilient scheduler.
 
     Identical to :func:`_process_window_block` except that the attempt
@@ -262,7 +294,7 @@ def _process_resilient_block(
     injected faults fire deterministically inside the worker.
     """
     corrupt = apply_fault(schedule, f"{name}:{window_length}", attempt)
-    _name, _window_length, cells, stats, record = _process_window_block(
+    _name, _window_length, cells, stats, record, snapshot = _process_window_block(
         name,
         window_length,
         suite,
@@ -270,10 +302,11 @@ def _process_resilient_block(
         memoize,
         store_spec,
         warm_policy,
+        telemetry_spec,
     )
     if corrupt:
         cells = corrupt_block(cells)
-    return cells, stats, record
+    return cells, stats, record, snapshot
 
 
 class SweepEngine:
@@ -320,6 +353,14 @@ class SweepEngine:
             force it on without a store.
         warm_policy: the gate parameters for warm-started fits;
             defaults to :class:`~repro.runtime.fitindex.WarmStartPolicy`.
+        telemetry: a :class:`~repro.runtime.telemetry.Telemetry`
+            collector activated for the duration of every sweep: spans
+            and metrics from every instrumented component (this engine,
+            the window cache, the artifact store, the fit index, the
+            resilient scheduler, the batch kernels) accumulate on it,
+            including snapshots merged back from process workers.
+            ``None`` (the default) keeps every instrumentation site on
+            its single-branch disabled path.
 
     Raises:
         EvaluationError: for unknown executors or worker counts < 1.
@@ -339,6 +380,7 @@ class SweepEngine:
         store: ArtifactStore | str | Path | None = None,
         warm_start: bool | None = None,
         warm_policy: WarmStartPolicy | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise EvaluationError(
@@ -360,6 +402,7 @@ class SweepEngine:
         self._warm_registry = WarmStartRegistry() if warm else None
         self._ledger: FitLedger | None = None
         self._last_fit_stats = FitStats()
+        self._telemetry = telemetry
 
     @property
     def max_workers(self) -> int:
@@ -400,6 +443,69 @@ class SweepEngine:
     def last_fit_stats(self) -> FitStats:
         """Fit accounting of the most recent sweep on this engine."""
         return self._last_fit_stats
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The attached telemetry collector (``None`` = disabled)."""
+        return self._telemetry
+
+    def attach_telemetry(self, collector: Telemetry | None) -> None:
+        """Attach (or detach, with ``None``) a telemetry collector."""
+        self._telemetry = collector
+
+    @contextmanager
+    def _instrumented(self, kind: str) -> Iterator[None]:
+        """Activate the engine's telemetry around one sweep.
+
+        Opens the root ``sweep`` span, and on the way out — success or
+        abort — emits the end-of-sweep summary counters derived from
+        the engine's authoritative sources (the fit ledger and the
+        engine cache's stats delta), which
+        :func:`~repro.runtime.telemetry.check_trace_counters`
+        cross-checks against the event counters the components emitted
+        along the way.  Pass-through when no telemetry is attached.
+        """
+        collector = self._telemetry
+        if collector is None:
+            yield
+            return
+        cache_before = self._cache.stats
+        try:
+            with telemetry.activated(collector), collector.tracer.span(
+                "sweep",
+                kind,
+                executor=self._executor,
+                max_workers=self._max_workers,
+            ):
+                try:
+                    yield
+                finally:
+                    self._sweep_summary(collector, cache_before)
+        finally:
+            collector.dump_profiles()
+
+    def _sweep_summary(
+        self, collector: Telemetry, cache_before: CacheStats
+    ) -> None:
+        """Emit one sweep's summary counters onto ``collector``.
+
+        Summaries are *counted* (not overwritten) so several sweeps on
+        one engine accumulate consistently with the per-event counters
+        they mirror.
+        """
+        fit_stats = (
+            self._ledger.snapshot() if self._ledger is not None else FitStats()
+        )
+        cache_after = self._cache.stats
+        metrics = collector.metrics
+        metrics.count("fits.computed", fit_stats.computed)
+        metrics.count("fits.from_store", fit_stats.from_store)
+        metrics.count("fits.warm", fit_stats.warm_started)
+        metrics.count("cache.hits", cache_after.hits - cache_before.hits)
+        metrics.count("cache.misses", cache_after.misses - cache_before.misses)
+        metrics.count("sweep.count", 1)
+        if self._store is not None:
+            metrics.count("sweep.with_store", 1)
 
     def _resolve(
         self,
@@ -500,17 +606,18 @@ class SweepEngine:
             for name, registry_name, factory in resolved
             for window_length in suite.window_lengths
         ]
-        if self._executor == "process":
-            self._sweep_processes(cells, blocks, suite, dict(detector_kwargs))
-        elif self._executor == "serial" or self._max_workers == 1:
-            for name, _registry_name, factory, window_length in blocks:
-                self._collect(
-                    cells,
-                    name,
-                    self._run_block(factory, window_length, suite, name),
-                )
-        else:
-            self._sweep_threads(cells, blocks, suite)
+        with self._instrumented("sweep"):
+            if self._executor == "process":
+                self._sweep_processes(cells, blocks, suite, dict(detector_kwargs))
+            elif self._executor == "serial" or self._max_workers == 1:
+                for name, _registry_name, factory, window_length in blocks:
+                    self._collect(
+                        cells,
+                        name,
+                        self._run_block(factory, window_length, suite, name),
+                    )
+            else:
+                self._sweep_threads(cells, blocks, suite)
         self._last_fit_stats = self._ledger.snapshot()
         return {
             name: PerformanceMap(detector_name=name, cells=cells[name])
@@ -646,16 +753,19 @@ class SweepEngine:
         suite: EvaluationSuite,
         name: str,
     ) -> list[CellResult]:
-        detector = factory(window_length)
-        results = evaluate_window_block(
-            detector,
-            suite,
-            cache=self._cache,
-            memoize=name in self._memoized,
-            store=self._store,
-            warm_policy=self._warm_policy,
-            warm_registry=self._warm_registry,
-        )
+        with telemetry.span(
+            "block", f"{name}:{window_length}"
+        ), telemetry.profiled():
+            detector = factory(window_length)
+            results = evaluate_window_block(
+                detector,
+                suite,
+                cache=self._cache,
+                memoize=name in self._memoized,
+                store=self._store,
+                warm_policy=self._warm_policy,
+                warm_registry=self._warm_registry,
+            )
         ledger = self._ledger
         if ledger is not None:
             ledger.record(detector.last_fit_report, f"{name}:{window_length}")
@@ -688,6 +798,9 @@ class SweepEngine:
         transport, arena = self._share_suite(suite)
         try:
             store_spec = self._store.spec() if self._store is not None else None
+            telemetry_spec = (
+                self._telemetry.spec() if self._telemetry is not None else None
+            )
             with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
                 futures = [
                     pool.submit(
@@ -699,14 +812,19 @@ class SweepEngine:
                         registry_name in self._memoized,
                         store_spec,
                         self._warm_policy,
+                        telemetry_spec,
                     )
                     for _name, registry_name, _factory, window_length in blocks
                 ]
                 for future in futures:
-                    name, window_length, results, stats, record = future.result()
+                    name, window_length, results, stats, record, snapshot = (
+                        future.result()
+                    )
                     self._cache.merge_counts(stats.hits, stats.misses)
                     if self._ledger is not None:
                         self._ledger.record(record, f"{name}:{window_length}")
+                    if self._telemetry is not None:
+                        self._telemetry.merge_snapshot(snapshot)
                     self._collect(cells, name, results)
         finally:
             self._teardown_arena(arena, suite if arena is not None else None)
@@ -745,7 +863,12 @@ class SweepEngine:
                     _window_length: int = window_length,
                     _name: str = name,
                     _key: str = key,
-                ) -> tuple[list[CellResult], CacheStats | None, FitRecord | None]:
+                ) -> tuple[
+                    list[CellResult],
+                    CacheStats | None,
+                    FitRecord | None,
+                    dict | None,
+                ]:
                     corrupt = apply_fault(schedule, _key, attempt)
                     # _run_block records its FitRecord in the engine
                     # ledger itself; only process payloads ship one back.
@@ -754,7 +877,7 @@ class SweepEngine:
                     )
                     if corrupt:
                         results = corrupt_block(results)
-                    return results, None, None
+                    return results, None, None, None
 
                 def validate(
                     result: object,
@@ -783,6 +906,9 @@ class SweepEngine:
                             schedule,
                             self._store.spec() if self._store is not None else None,
                             self._warm_policy,
+                            self._telemetry.spec()
+                            if self._telemetry is not None
+                            else None,
                         ),
                     )
                 tasks.append(
@@ -882,46 +1008,51 @@ class SweepEngine:
             skip, resumed_reports, cells_resumed = self._load_resume(
                 resume_from, names, suite, cells
             )
-        payload_suite, arena = (
-            self._share_suite(suite)
-            if self._executor == "process"
-            else (suite, None)
-        )
-        tasks = self._block_tasks(
-            resolved, suite, detector_kwargs, skip, schedule, payload_suite
-        )
-
-        def on_result(task: SweepTask, result: object) -> None:
-            results, stats, record = result  # type: ignore[misc]
-            if stats is not None:
-                self._cache.merge_counts(stats.hits, stats.misses)
-            if record is not None and self._ledger is not None:
-                self._ledger.record(record, task.key)
-            self._collect(cells, task.name, results)
-            if checkpoint is not None:
-                checkpoint_append(checkpoint, task.name, results)
-
-        runner = ResilientRunner(
-            policy, backend=self._executor, max_workers=self._max_workers
-        )
-        started = time.perf_counter()
-        try:
-            runner.run(tasks, on_result)
-        except SweepAbortedError as aborted:
-            report = self._run_report(
-                runner, resumed_reports, cells, cells_resumed,
-                time.perf_counter() - started, checkpoint,
+        aborted: SweepAbortedError | None = None
+        with self._instrumented("resilient"):
+            payload_suite, arena = (
+                self._share_suite(suite)
+                if self._executor == "process"
+                else (suite, None)
             )
-            raise SweepAbortedError(str(aborted), report) from aborted.__cause__
-        finally:
-            # Unlink the arena whether the sweep finished, aborted, or
-            # was killed by a worker timeout: segments must never
-            # outlive the sweep that published them.
-            self._teardown_arena(arena, suite if arena is not None else None)
+            tasks = self._block_tasks(
+                resolved, suite, detector_kwargs, skip, schedule, payload_suite
+            )
+
+            def on_result(task: SweepTask, result: object) -> None:
+                results, stats, record, snapshot = result  # type: ignore[misc]
+                if stats is not None:
+                    self._cache.merge_counts(stats.hits, stats.misses)
+                if record is not None and self._ledger is not None:
+                    self._ledger.record(record, task.key)
+                if snapshot is not None and self._telemetry is not None:
+                    self._telemetry.merge_snapshot(snapshot)
+                self._collect(cells, task.name, results)
+                if checkpoint is not None:
+                    checkpoint_append(checkpoint, task.name, results)
+
+            runner = ResilientRunner(
+                policy, backend=self._executor, max_workers=self._max_workers
+            )
+            started = time.perf_counter()
+            try:
+                runner.run(tasks, on_result)
+            except SweepAbortedError as error:
+                aborted = error
+            finally:
+                elapsed = time.perf_counter() - started
+                # Unlink the arena whether the sweep finished, aborted,
+                # or was killed by a worker timeout: segments must never
+                # outlive the sweep that published them.
+                self._teardown_arena(arena, suite if arena is not None else None)
+        # The report (and its telemetry snapshot) is built after the
+        # instrumentation context closes so the end-of-sweep summary
+        # counters are part of it.
         report = self._run_report(
-            runner, resumed_reports, cells, cells_resumed,
-            time.perf_counter() - started, checkpoint,
+            runner, resumed_reports, cells, cells_resumed, elapsed, checkpoint
         )
+        if aborted is not None:
+            raise SweepAbortedError(str(aborted), report) from aborted.__cause__
         maps = {
             name: PerformanceMap(detector_name=name, cells=cells[name])
             for name in names
@@ -955,4 +1086,9 @@ class SweepEngine:
             fits_from_store=fit_stats.from_store,
             fits_warm_started=fit_stats.warm_started,
             warm_start_disabled=fit_stats.warm_disabled,
+            telemetry=(
+                self._telemetry.snapshot()["metrics"]
+                if self._telemetry is not None
+                else None
+            ),
         )

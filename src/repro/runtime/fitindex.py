@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import DetectorConfigurationError, WindowError
+from repro.runtime import telemetry
 from repro.sequences.windows import windows_array
 
 
@@ -158,6 +159,14 @@ class TrainingIndex:
                 f"stream of length {len(self._stream)} is shorter than "
                 f"window length {length}"
             )
+        telemetry.count("fitindex.extensions")
+        with telemetry.span("fitindex", "extend", window_length=length):
+            return self._extend_level(previous, length, n)
+
+    def _extend_level(
+        self, previous: Decomposition, length: int, n: int
+    ) -> Decomposition:
+        """The stable two-key refinement behind :meth:`_extend`."""
         prev_groups = previous.inverse[:n]
         next_symbols = self._stream[length - 1 :]
         order = np.lexsort((next_symbols, prev_groups))

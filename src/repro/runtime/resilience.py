@@ -58,6 +58,7 @@ from repro.exceptions import (
     TaskTimeoutError,
     TransientTaskError,
 )
+from repro.runtime import telemetry
 
 #: Backend degradation chain: who takes over when a pool breaks.
 DEGRADATION_CHAIN: dict[str, str] = {"process": "thread", "thread": "serial"}
@@ -218,6 +219,9 @@ class RunReport:
             attempt was rejected by the equivalence-tolerance gate
             (``"family:DW: reason"``); those blocks fell back to cold
             fits and are counted in ``fits_computed``.
+        telemetry: metrics snapshot (``Telemetry.snapshot()["metrics"]``)
+            for the run when the engine carried a telemetry collector,
+            ``None`` otherwise.
     """
 
     requested_backend: str
@@ -232,6 +236,7 @@ class RunReport:
     fits_from_store: int = 0
     fits_warm_started: int = 0
     warm_start_disabled: tuple[str, ...] = ()
+    telemetry: dict | None = None
 
     @property
     def completed(self) -> int:
@@ -451,8 +456,18 @@ class ResilientRunner:
         """Charge a transient failure; schedule the next attempt or abort."""
         state.errors.append(f"attempt {attempt}: {error}")
         state.attempts = max(state.attempts, attempt)
+        if isinstance(error, TaskTimeoutError):
+            telemetry.count("task.timeouts")
         if attempt <= self._policy.retry.retries:
             delay = self._policy.retry.delay(state.task.key, attempt)
+            telemetry.count("task.retries")
+            telemetry.event(
+                "retry",
+                state.task.key,
+                attempt=attempt,
+                error=type(error).__name__,
+                delay=delay,
+            )
             schedule(state, attempt + 1, self._clock() + delay)
         else:
             self._abort(state, attempt, error, "exhausted its retry budget")
@@ -474,7 +489,7 @@ class ResilientRunner:
         def target() -> None:
             try:
                 box["result"] = task.run(attempt)
-            except BaseException as error:  # noqa: BLE001 - re-raised below
+            except BaseException as error:  # re-raised in the caller
                 box["error"] = error
 
         worker = threading.Thread(target=target, daemon=True)
@@ -622,8 +637,10 @@ class ResilientRunner:
                         inflight.clear()
                         self._terminate_pool(pool)
                         pool = self._new_pool(backend, pools)
-                        for vstate, vattempt, _vdeadline in victims:
-                            ready.append((vstate, vattempt, 0.0))
+                        ready.extend(
+                            (vstate, vattempt, 0.0)
+                            for vstate, vattempt, _vdeadline in victims
+                        )
                     elif backend == "thread":
                         # The hung thread cannot be killed; abandon it
                         # and route new work through a fresh pool so a

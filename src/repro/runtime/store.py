@@ -55,6 +55,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.runtime import telemetry
+
 #: Bump when the serialized fit-state layout or fitting semantics
 #: change: old entries become unreachable (a miss), never misread.
 STORE_SCHEMA_VERSION = 1
@@ -190,34 +192,49 @@ class ArtifactStore:
             else:
                 self._misses += 1
 
-    def get(self, key: str) -> dict[str, np.ndarray] | None:
+    def get(self, key: str, kind: str = "fit") -> dict[str, np.ndarray] | None:
         """Load the arrays stored under ``key``, or ``None`` on a miss.
 
         Any read failure — missing file, torn write, zip or npy
         corruption — is a miss; a corrupt entry is unlinked so it
         cannot poison later lookups.  Never raises.
+
+        Args:
+            key: the content address (see :func:`fit_key`).
+            kind: telemetry tag — ``"fit"`` for the per-block fit
+                lookup (the traffic the ``fits:`` provenance counters
+                mirror), ``"donor"`` for warm-start donor hunting.
+                Kinds count under separate telemetry names so the
+                ``store.hit == fits.from_store`` trace invariant holds
+                exactly even when donor probing adds lookups.
         """
+        prefix = "store" if kind == "fit" else f"store.{kind}"
         path = self._path(key)
-        try:
-            with np.load(path, allow_pickle=False) as archive:
-                arrays = {name: archive[name] for name in archive.files}
-        except FileNotFoundError:
-            self._count(hit=False)
-            return None
-        except Exception:
-            # Corrupt or unreadable: demote to a miss and clear the slot.
+        with telemetry.span("store", "get", kind=kind):
             try:
-                path.unlink()
+                with np.load(path, allow_pickle=False) as archive:
+                    arrays = {name: archive[name] for name in archive.files}
+            except FileNotFoundError:
+                self._count(hit=False)
+                telemetry.count(f"{prefix}.miss")
+                return None
+            except Exception:
+                # Corrupt or unreadable: demote to a miss and clear the slot.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                self._count(hit=False)
+                telemetry.count(f"{prefix}.corrupt")
+                telemetry.count(f"{prefix}.miss")
+                return None
+            try:
+                now = None  # current time
+                os.utime(path, times=now)
             except OSError:
-                pass
-            self._count(hit=False)
-            return None
-        try:
-            now = None  # current time
-            os.utime(path, times=now)
-        except OSError:
-            pass  # LRU freshness is best-effort
-        self._count(hit=True)
+                pass  # LRU freshness is best-effort
+            self._count(hit=True)
+            telemetry.count(f"{prefix}.hit")
         return arrays
 
     def put(self, key: str, arrays: dict[str, np.ndarray]) -> None:
@@ -227,25 +244,27 @@ class ArtifactStore:
         an optimization, and a failed put only means a future miss.
         """
         path = self._path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            buffer = io.BytesIO()
-            # Uncompressed: members are raw .npy images, cheap to load.
-            np.savez(buffer, **arrays)
-            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            with open(tmp, "wb") as handle:
-                handle.write(buffer.getbuffer())
-            os.replace(tmp, path)
-        except Exception:
+        with telemetry.span("store", "put"):
             try:
-                tmp.unlink()
-            except (OSError, UnboundLocalError):
-                pass
-            return
-        with self._lock:
-            self._puts += 1
-        if self._cap is not None:
-            self._evict_over_cap(protect=path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                buffer = io.BytesIO()
+                # Uncompressed: members are raw .npy images, cheap to load.
+                np.savez(buffer, **arrays)
+                tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+                with open(tmp, "wb") as handle:
+                    handle.write(buffer.getbuffer())
+                os.replace(tmp, path)
+            except Exception:
+                try:
+                    tmp.unlink()
+                except (OSError, UnboundLocalError):
+                    pass
+                return
+            with self._lock:
+                self._puts += 1
+            telemetry.count("store.put")
+            if self._cap is not None:
+                self._evict_over_cap(protect=path)
 
     def entries(self) -> list[Path]:
         """Every entry file currently in the store (unordered)."""
@@ -300,6 +319,7 @@ class ArtifactStore:
         if evicted:
             with self._lock:
                 self._evictions += evicted
+            telemetry.count("store.eviction", evicted)
 
     def verify(self) -> tuple[int, int]:
         """Scrub the store: ``(readable entries, purged corrupt entries)``.

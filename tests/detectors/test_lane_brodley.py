@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -115,7 +117,7 @@ def test_similarity_symmetry(pair):
 
 
 class TestDetector:
-    TRAIN = [0, 1, 2, 3] * 30
+    TRAIN: ClassVar[list[int]] = [0, 1, 2, 3] * 30
 
     @pytest.fixture()
     def detector(self) -> LaneBrodleyDetector:

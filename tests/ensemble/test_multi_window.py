@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -36,7 +38,7 @@ class TestConfiguration:
 
 
 class TestScoring:
-    TRAIN = [0, 1, 2, 3] * 40
+    TRAIN: ClassVar[list[int]] = [0, 1, 2, 3] * 40
 
     @pytest.fixture()
     def bank(self) -> MultiWindowBank:

@@ -9,6 +9,7 @@ neural fits keep (or visibly surrender) the Figure-6 classification.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -79,8 +80,8 @@ class TestKeySchema:
             "from repro.runtime import ArtifactStore\n"
             "stream = np.array([0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 0, 2] * 8, "
             "dtype=np.int64)\n"
-            f"detector = create_detector('stide', 4, 4)\n"
-            f"detector.attach_store(ArtifactStore({str(tmp_path)!r}))\n"
+            "detector = create_detector('stide', 4, 4)\n"
+            f"detector.attach_store(ArtifactStore({os.fspath(tmp_path)!r}))\n"
             "detector.fit(stream)\n"
             "print(detector.last_fit_report.store_key)\n"
             "print(detector.last_fit_report.origin)\n"
@@ -145,7 +146,6 @@ class TestRoundTrip:
 
 class TestLruEviction:
     def _fill(self, store, keys, size=1000):
-        import os
         import time
 
         for offset, key in enumerate(keys):
