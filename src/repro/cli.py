@@ -82,6 +82,16 @@ def _jobs_argument(parser: argparse.ArgumentParser) -> None:
         help="disable the shared-memory window transport; process "
         "workers receive pickled suites instead",
     )
+    parser.add_argument(
+        "--kernel-tier",
+        choices=("auto", "bisect", "automaton"),
+        default=None,
+        help="membership kernel tier for stide/t-stide cells: 'auto' "
+        "(default) runs the one-pass multi-DW automaton where "
+        "applicable, 'bisect' pins the per-DW searchsorted path, "
+        "'automaton' forces the profile path; maps are bit-identical "
+        "across tiers",
+    )
 
 
 def _store_arguments(parser: argparse.ArgumentParser) -> None:
@@ -256,12 +266,14 @@ def _engine(args: argparse.Namespace) -> "object | None":
         or getattr(args, "resume", None) is not None
     )
     telemetry = _telemetry(args)
+    kernel_tier = getattr(args, "kernel_tier", None)
     if (
         jobs <= 1
         and executor is None
         and not wants_resilience
         and store_dir is None
         and telemetry is None
+        and kernel_tier is None
     ):
         return None
     from repro.runtime import ResiliencePolicy, RetryPolicy, SweepEngine
@@ -285,6 +297,7 @@ def _engine(args: argparse.Namespace) -> "object | None":
         store=store,
         warm_start=False if getattr(args, "no_warm_start", False) else None,
         telemetry=telemetry,
+        kernel_tier=kernel_tier if kernel_tier is not None else "auto",
     )
 
 

@@ -45,7 +45,12 @@ import numpy as np
 from repro.detectors.base import AnomalyDetector
 from repro.exceptions import DetectorConfigurationError
 from repro.runtime.kernels import count_lookup, markov_batch_response
-from repro.sequences.windows import pack_window, pack_windows
+from repro.sequences.windows import (
+    pack_window,
+    pack_windows,
+    packable,
+    symbol_bits,
+)
 
 
 class MarkovDetector(AnomalyDetector):
@@ -101,7 +106,7 @@ class MarkovDetector(AnomalyDetector):
     @property
     def _packable(self) -> bool:
         """Whether ``DW``-grams fit the 63-bit packed-integer budget."""
-        return self.window_length * np.log2(self.alphabet_size) < 63
+        return packable(self.alphabet_size, self.window_length)
 
     def _unique_rows(
         self, stream: np.ndarray, length: int
@@ -257,7 +262,7 @@ class MarkovDetector(AnomalyDetector):
             )
             context = int(
                 count_lookup(
-                    probe // self.alphabet_size,
+                    probe >> symbol_bits(self.alphabet_size),
                     self._context_codes,
                     self._context_counts_arr,
                 )[0]
@@ -309,9 +314,9 @@ class MarkovDetector(AnomalyDetector):
         """Vectorized responses for packed window codes (one kernel pass)."""
         joint = count_lookup(packed, self._joint_codes, self._joint_counts)
         # Packing is big-endian (first symbol highest weight), so the
-        # DW-1 context of a window code is an integer division away.
+        # DW-1 context of a window code is one symbol-width shift away.
         context = count_lookup(
-            packed // self.alphabet_size,
+            packed >> symbol_bits(self.alphabet_size),
             self._context_codes,
             self._context_counts_arr,
         )

@@ -15,15 +15,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
+from repro.runtime import telemetry
 from repro.runtime.kernels import sorted_membership
-from repro.sequences.windows import pack_windows
+from repro.sequences.windows import pack_windows, packable as _packable
 
 __all__ = ["StideDetector", "sorted_membership"]
-
-
-def _packable(alphabet_size: int, window_length: int) -> bool:
-    """Whether windows fit in 63-bit packed integers."""
-    return window_length * np.log2(alphabet_size) < 63
 
 
 class StideDetector(AnomalyDetector):
@@ -54,11 +50,12 @@ class StideDetector(AnomalyDetector):
         if _packable(self.alphabet_size, self.window_length):
             parts = []
             for stream in training_streams:
-                shared = self._shared_unique_counts(stream)
-                if shared is not None:
-                    # Distinct rows in lexicographic order pack to a
-                    # sorted array — identical to np.unique(packed).
-                    parts.append(pack_windows(shared[0], self.alphabet_size))
+                cached = self._packed_database(stream)
+                if cached is not None:
+                    # One shared table per (stream, DW): the same array
+                    # the automaton ladder bisects (lexicographic rows
+                    # pack sorted — identical to np.unique(packed)).
+                    parts.append(cached)
                 else:
                     parts.append(np.unique(self._packed_view(stream)))
             self._packed_db = (
@@ -114,12 +111,25 @@ class StideDetector(AnomalyDetector):
         )
 
     def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        count = len(test_stream) - self.window_length + 1
+        telemetry.count("kernel.membership.windows", count)
+        telemetry.count("kernel.membership.cells")
         if self._packed_db is not None:
+            context = self._membership_context(test_stream)
+            if context is not None:
+                # Automaton tier: known exactly when the match length
+                # at the window's start reaches DW (prefix closure).
+                profile, _codes = context
+                telemetry.count("kernel.automaton.windows", count)
+                telemetry.count("kernel.automaton.cells")
+                return (profile[:count] < self.window_length).astype(np.float64)
             packed = self._packed_view(test_stream)
             known = sorted_membership(packed, self._packed_db)
         else:
             view = self._windows_view(test_stream)
             known = self._known(view, None)
+        telemetry.count("kernel.bisect.windows", count)
+        telemetry.count("kernel.bisect.cells")
         return (~known).astype(np.float64)
 
     def _score_windows(self, windows: np.ndarray) -> np.ndarray:

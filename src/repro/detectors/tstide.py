@@ -21,8 +21,9 @@ import numpy as np
 
 from repro.detectors.base import AnomalyDetector
 from repro.exceptions import DetectorConfigurationError
+from repro.runtime import telemetry
 from repro.runtime.kernels import sorted_membership
-from repro.sequences.windows import pack_windows
+from repro.sequences.windows import pack_windows, packable
 
 
 class TStideDetector(AnomalyDetector):
@@ -58,15 +59,16 @@ class TStideDetector(AnomalyDetector):
         return self._rare_threshold
 
     def _fit(self, training_streams: list[np.ndarray]) -> None:
-        packable = self.window_length * np.log2(self.alphabet_size) < 63
         total = 0
-        if packable:
+        if packable(self.alphabet_size, self.window_length):
             value_parts, count_parts = [], []
             for stream in training_streams:
                 shared = self._shared_unique_counts(stream)
                 if shared is not None:
-                    rows, stream_counts = shared
-                    stream_values = pack_windows(rows, self.alphabet_size)
+                    _rows, stream_counts = shared
+                    # Count-aligned with the decomposition rows, and
+                    # the same array the automaton ladder bisects.
+                    stream_values = self._packed_database(stream)
                 else:
                     stream_values, stream_counts = np.unique(
                         self._packed_view(stream), return_counts=True
@@ -144,11 +146,34 @@ class TStideDetector(AnomalyDetector):
         )
 
     def _score(self, test_stream: np.ndarray) -> np.ndarray:
+        count = len(test_stream) - self.window_length + 1
+        telemetry.count("kernel.membership.windows", count)
+        telemetry.count("kernel.membership.cells")
         if self._common_packed is not None:
+            context = self._membership_context(test_stream)
+            if context is not None:
+                # Automaton tier: common windows are a subset of known
+                # windows, so every position whose match length falls
+                # short of DW is foreign (response 1) outright and only
+                # the known survivors bisect the common table.
+                profile, codes = context
+                telemetry.count("kernel.automaton.windows", count)
+                telemetry.count("kernel.automaton.cells")
+                responses = np.ones(count, dtype=np.float64)
+                candidates = np.flatnonzero(
+                    profile[:count] >= self.window_length
+                )
+                if len(candidates):
+                    probes = codes.keys_at(self.window_length, candidates)
+                    common = sorted_membership(probes, self._common_packed)
+                    responses[candidates[common]] = 0.0
+                return responses
             packed = self._packed_view(test_stream)
             common = sorted_membership(packed, self._common_packed)
         else:
             common = self._common(self._windows_view(test_stream), None)
+        telemetry.count("kernel.bisect.windows", count)
+        telemetry.count("kernel.bisect.cells")
         return (~common).astype(np.float64)
 
     def _score_windows(self, windows: np.ndarray) -> np.ndarray:

@@ -1,0 +1,356 @@
+"""One-pass multi-order membership kernel over bit-packed windows.
+
+The paper's performance maps evaluate the sequence detectors at every
+detector-window length DW in 2..15 against the *same* test stream, and
+today each cell re-derives membership independently: slide, pack,
+bisect, once per DW.  But Stide-class membership across window lengths
+is governed by shared substructure of the stream — whether the window
+of length ``L`` starting at position ``i`` appears in training is
+monotone in ``L`` (every length-``(L-1)`` prefix of a stored
+length-``L`` window is itself stored, because both databases come from
+sliding the same training stream).  The known window lengths at any
+position therefore form a contiguous interval ``[1 .. ml[i]]``, and the
+per-position **match-length profile** ``ml`` answers membership for
+*every* DW at once::
+
+    window of length DW at position i is known  <=>  ml[i] >= DW
+
+which is exactly the statistic a suffix automaton (or Aho-Corasick
+machine over the training windows) emits while consuming the test
+stream.  This module computes the same profile with vectorized
+primitives instead of a per-symbol state machine:
+
+* :class:`StreamCodes` packs a stream once at the highest packable
+  order and derives every lower order's packed keys by right-shifting
+  (the first ``L`` symbols of a window occupy its *high* bit lanes —
+  see :func:`repro.sequences.windows.pack_windows`);
+* :func:`match_profile` resolves ``ml`` with a descending ladder of
+  ``searchsorted`` bisections: probe every position at the highest
+  order first, peel off the matches (on normal-dominated test streams
+  that is most of the stream), and let only the survivors descend.
+
+The profile feeds Stide (foreign <=> ``ml < DW``), t-Stide (rare
+windows are *known* windows failing the frequency bound, so only the
+``ml >= DW`` survivors need a bisect against the common table) and is
+served per (test stream, training stream) by
+:class:`~repro.runtime.cache.WindowCache.membership_profile` so all 14
+DW cells of both families share one scan.  Tier selection — when the
+ladder runs versus the classic per-DW bisection — lives in
+:func:`repro.runtime.kernels.resolve_kernel_tier`.
+
+Everything here is bit-identical to the bisect tier by construction
+(the same boolean membership feeds the same response arithmetic);
+``tests/runtime/test_automaton.py`` fuzzes the equivalence over random
+streams for AS 2..9 x DW 2..15 and the unpackable AS=32/DW=13 corner.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.exceptions import WindowError
+from repro.runtime import telemetry
+from repro.runtime.fitindex import TrainingIndex
+from repro.runtime.kernels import sorted_membership
+from repro.sequences.windows import (
+    PACK_BIT_BUDGET,
+    pack_windows,
+    symbol_bits,
+    windows_array,
+)
+
+__all__ = [
+    "AUTOMATON_MAX_ORDER",
+    "MembershipAutomaton",
+    "StreamCodes",
+    "match_profile",
+    "packed_order_cap",
+    "training_databases",
+]
+
+#: Highest window order the automaton tier resolves in one pass — the
+#: paper grid's maximum DW.  Cells above it take the bisect tier.
+AUTOMATON_MAX_ORDER = 15
+
+_EMPTY_DB = np.empty(0, dtype=np.int64)
+
+
+def packed_order_cap(alphabet_size: int) -> int:
+    """Longest window that packs into one 63-bit key at this alphabet."""
+    return PACK_BIT_BUDGET // symbol_bits(alphabet_size)
+
+
+class StreamCodes:
+    """Per-order packed window keys of one stream, derived by shifting.
+
+    Packs the stream **once** into an *extended* cap-order code array:
+    positions owning a full cap-length window (the cap bounded by
+    ``max_order``, the 63-bit packing budget, and the stream length)
+    pack directly; the ``cap - 2`` tail positions pack their suffix
+    left-shifted into the high lanes, zero-padded below.  Because the
+    first ``L`` symbols of any window occupy its ``L`` highest bit
+    lanes, ``extended >> bits * (cap - L)`` is the length-``L`` key of
+    **every** position that owns a length-``L`` window — one shift per
+    order, no tail special-casing (padding zeros only reach lanes that
+    orders beyond a tail position's window would read, and those
+    positions are never eligible there).  Orders are materialized
+    lazily and memoized; instances are thread-safe.
+
+    Args:
+        stream: 1-D validated integer stream.
+        alphabet_size: number of symbol codes; sets the bit width.
+        max_order: highest order that will ever be asked for.
+    """
+
+    def __init__(
+        self, stream: np.ndarray, alphabet_size: int, max_order: int
+    ) -> None:
+        data = np.asarray(stream)
+        if data.ndim != 1:
+            raise WindowError(
+                f"stream must be one-dimensional, got shape {data.shape}"
+            )
+        if max_order < 2:
+            raise WindowError(f"max_order must be >= 2, got {max_order}")
+        self._stream = data
+        self._bits = symbol_bits(alphabet_size)
+        self._alphabet_size = int(alphabet_size)
+        self._cap = min(max_order, packed_order_cap(alphabet_size), len(data))
+        if self._cap < 2:
+            raise WindowError(
+                f"stream of length {len(data)} over alphabet "
+                f"{alphabet_size} admits no packable order >= 2"
+            )
+        self._extended: np.ndarray | None = None
+        self._levels: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def stream(self) -> np.ndarray:
+        """The underlying stream."""
+        return self._stream
+
+    @property
+    def cap(self) -> int:
+        """Highest order served (and the order packed directly)."""
+        return self._cap
+
+    def _ext(self) -> np.ndarray:
+        """The extended cap-order code array (one entry per position)."""
+        ext = self._extended
+        if ext is not None:
+            return ext
+        with self._lock:
+            if self._extended is None:
+                stream, cap = self._stream, self._cap
+                base = pack_windows(
+                    windows_array(stream, cap), self._alphabet_size
+                )
+                ext = np.empty(len(stream) - 1, dtype=np.int64)
+                ext[: len(base)] = base
+                if len(base) < len(ext):
+                    # Suffixes of the last cap-1 symbols, zero-padded
+                    # to cap so their keys share the head shift rule.
+                    rows = np.zeros((len(ext) - len(base), cap), dtype=np.int64)
+                    for i, position in enumerate(range(len(base), len(ext))):
+                        suffix = stream[position:]
+                        rows[i, : len(suffix)] = suffix
+                    ext[len(base) :] = pack_windows(rows, self._alphabet_size)
+                self._extended = ext
+            return self._extended
+
+    def _shift(self, order: int) -> np.int64:
+        if not 2 <= order <= self._cap:
+            raise WindowError(
+                f"order {order} outside this stream's packable range "
+                f"[2, {self._cap}]"
+            )
+        return np.int64(self._bits * (self._cap - order))
+
+    def level(self, order: int) -> np.ndarray:
+        """Packed keys of every length-``order`` window, in position order.
+
+        Identical to ``pack_windows(windows_array(stream, order), AS)``
+        but costing one shift of the extended codes per order.
+        """
+        shift = self._shift(order)
+        cached = self._levels.get(order)
+        if cached is not None:
+            return cached
+        codes = self._ext()[: len(self._stream) - order + 1] >> shift
+        self._levels[order] = codes
+        return codes
+
+    def keys_at(self, order: int, positions: np.ndarray) -> np.ndarray:
+        """Packed length-``order`` keys of selected positions only.
+
+        ``level(order)[positions]`` without materializing the level —
+        one gather and one shift.  Positions must own a full
+        length-``order`` window (``position <= len(stream) - order``).
+        """
+        shift = self._shift(order)
+        cached = self._levels.get(order)
+        if cached is not None:
+            return cached[positions]
+        return self._ext()[positions] >> shift
+
+
+def match_profile(
+    codes: StreamCodes, databases: Mapping[int, np.ndarray]
+) -> np.ndarray:
+    """Per-position match lengths of a test stream against training.
+
+    ``profile[i]`` is the longest ``L`` in ``[2, codes.cap]`` such that
+    the window ``stream[i : i + L]`` occurs in the training databases
+    (0 when not even the length-2 window does).  ``databases[L]`` must
+    be the *sorted* packed keys of the distinct training windows at
+    order ``L``; a missing order counts as empty.  Prefix closure of
+    same-stream databases makes the known orders at each position a
+    contiguous interval, so the profile alone decides membership for
+    every DW: known at DW iff ``profile[i] >= DW``.
+
+    The ladder descends from the cap: each order bisects only the
+    positions not already resolved at a higher order, so on
+    normal-dominated streams nearly everything is peeled off by the
+    first probe and lower orders see only short anomaly tails.
+    """
+    stream = codes.stream
+    length = len(stream)
+    profile = np.zeros(max(0, length - 1), dtype=np.int64)
+    if not len(profile):
+        return profile
+    pending = np.arange(len(profile))
+    with telemetry.span(
+        "kernel", "automaton.profile", cap=codes.cap, positions=len(profile)
+    ):
+        for order in range(codes.cap, 1, -1):
+            if not len(pending):
+                break
+            eligible_mask = pending <= length - order
+            eligible = pending[eligible_mask]
+            if not len(eligible):
+                continue
+            database = databases.get(order)
+            if database is None or not len(database):
+                continue
+            known = sorted_membership(codes.keys_at(order, eligible), database)
+            if not known.any():
+                continue
+            profile[eligible[known]] = order
+            drop = np.zeros(len(pending), dtype=bool)
+            drop[np.flatnonzero(eligible_mask)[known]] = True
+            pending = pending[~drop]
+    return profile
+
+
+def training_databases(
+    training_stream: np.ndarray, alphabet_size: int, max_order: int
+) -> dict[int, np.ndarray]:
+    """Sorted packed membership databases of one stream, per order.
+
+    The uncached construction path (the :class:`~repro.runtime.cache.
+    WindowCache` derives the same tables through its shared
+    :class:`~repro.runtime.fitindex.TrainingIndex` instead): one
+    incremental index refinement per order, packed — rows are
+    lexicographic, and bit packing is order-preserving, so each table
+    is already sorted.
+    """
+    index = TrainingIndex(training_stream)
+    cap = min(max_order, packed_order_cap(alphabet_size), len(training_stream))
+    databases: dict[int, np.ndarray] = {}
+    for order in range(2, cap + 1):
+        rows, _inverse, _counts = index.decomposition(order)
+        databases[order] = pack_windows(rows, alphabet_size)
+    return databases
+
+
+class MembershipAutomaton:
+    """Standalone one-pass multi-DW membership scanner.
+
+    The serving-path facade over :func:`match_profile`: built once from
+    a training stream, it answers foreignness for **every** window
+    length in ``2..max_order`` with a single scan of each test stream —
+    the number ``benchmarks/bench_throughput.py`` reports events/sec
+    for.  Inside a sweep the same machinery runs through
+    :class:`~repro.runtime.cache.WindowCache` instead, where the
+    profile is additionally shared across detector families.
+
+    Args:
+        training_stream: 1-D integer stream of normal behavior.
+        alphabet_size: number of symbol codes (>= 2).
+        max_order: highest window length served (bounded further by the
+            63-bit packing budget and the stream length).
+    """
+
+    def __init__(
+        self,
+        training_stream: np.ndarray,
+        alphabet_size: int,
+        max_order: int = AUTOMATON_MAX_ORDER,
+    ) -> None:
+        stream = np.asarray(training_stream)
+        if stream.ndim != 1:
+            raise WindowError(
+                f"training stream must be 1-D, got shape {stream.shape}"
+            )
+        if len(stream) < 2:
+            raise WindowError("training stream must contain a length-2 window")
+        self._alphabet_size = int(alphabet_size)
+        self._databases = training_databases(stream, alphabet_size, max_order)
+        self._max_order = min(
+            max_order, packed_order_cap(alphabet_size), len(stream)
+        )
+
+    @property
+    def max_order(self) -> int:
+        """Highest window length this automaton resolves."""
+        return self._max_order
+
+    def database(self, order: int) -> np.ndarray:
+        """Sorted packed training windows at ``order`` (empty if none)."""
+        return self._databases.get(order, _EMPTY_DB)
+
+    def scan(self, test_stream: np.ndarray) -> tuple[StreamCodes, np.ndarray]:
+        """One pass over ``test_stream``: its (codes, match profile).
+
+        The serving-path primitive: the profile answers Stide
+        membership for every DW at once, and the codes serve the
+        shift-derived per-DW keys that count-table lookups (t-Stide,
+        Markov) probe with — no further pass over the stream needed.
+        """
+        codes = StreamCodes(
+            np.asarray(test_stream), self._alphabet_size, self._max_order
+        )
+        return codes, match_profile(codes, self._databases)
+
+    def match_lengths(self, test_stream: np.ndarray) -> np.ndarray:
+        """The match-length profile of ``test_stream`` (one pass)."""
+        _codes, profile = self.scan(test_stream)
+        return profile
+
+    def foreign(self, test_stream: np.ndarray, window_length: int) -> np.ndarray:
+        """Stide's foreign-window mask at one DW, from the shared profile."""
+        profile = self.match_lengths(test_stream)
+        count = len(np.asarray(test_stream)) - window_length + 1
+        return profile[:count] < window_length
+
+    def foreign_all(
+        self, test_stream: np.ndarray
+    ) -> dict[int, np.ndarray]:
+        """Foreign-window masks for every DW in ``2..max_order`` at once.
+
+        One profile scan; each mask is a view-sized slice comparison —
+        the multi-DW serving path.
+        """
+        stream = np.asarray(test_stream)
+        profile = self.match_lengths(stream)
+        masks: dict[int, np.ndarray] = {}
+        for window_length in range(2, self._max_order + 1):
+            count = len(stream) - window_length + 1
+            if count <= 0:
+                break
+            masks[window_length] = profile[:count] < window_length
+        return masks

@@ -59,7 +59,9 @@ from repro.runtime import telemetry
 
 #: Bump when the serialized fit-state layout or fitting semantics
 #: change: old entries become unreachable (a miss), never misread.
-STORE_SCHEMA_VERSION = 1
+#: v2: packed databases switched from base-AS to bit-width packing,
+#: which changes the stored key values for non-power-of-two alphabets.
+STORE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -7,8 +7,8 @@ into:
 
 * :class:`Tracer` — nested spans over the sweep's phases (``sweep``,
   ``block``, ``fit``, ``score``, ``cache``, ``store``, ``arena``,
-  ``retry``, ``fitindex``), each carrying wall-clock and per-thread CPU
-  time plus free-form attributes;
+  ``retry``, ``fitindex``, ``kernel``), each carrying wall-clock and
+  per-thread CPU time plus free-form attributes;
 * :class:`Metrics` — counters (cache/store hits, retries, timeouts)
   and histograms (kernel batch sizes, per-cell wall/CPU time);
 * an opt-in :mod:`cProfile` hook — per worker thread in the parent and
@@ -74,6 +74,7 @@ SPAN_PHASES: frozenset[str] = frozenset(
         "arena",
         "retry",
         "fitindex",
+        "kernel",
     }
 )
 
@@ -261,16 +262,19 @@ class Metrics:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._histograms: dict[str, list[float]] = {}
+        self._updates = 0
 
     def count(self, name: str, value: float = 1) -> None:
         """Add ``value`` to counter ``name`` (creating it at 0)."""
         with self._lock:
+            self._updates += 1
             self._counters[name] = self._counters.get(name, 0) + value
 
     def observe(self, name: str, value: float) -> None:
         """Fold one observation into histogram ``name``."""
         value = float(value)
         with self._lock:
+            self._updates += 1
             entry = self._histograms.get(name)
             if entry is None:
                 self._histograms[name] = [1, value, value, value]
@@ -284,6 +288,19 @@ class Metrics:
         """Current value of counter ``name`` (0 when never counted)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    @property
+    def updates(self) -> int:
+        """In-process ``count()``/``observe()`` calls folded so far.
+
+        One hook invocation is one update regardless of the value it
+        credits, so this is the exact number of disabled-path calls an
+        identical uninstrumented run would make.  :meth:`merge` does
+        not contribute — merged snapshots arrive from other processes
+        whose hook calls never ran here.
+        """
+        with self._lock:
+            return self._updates
 
     def snapshot(self) -> dict[str, dict[str, object]]:
         """A picklable copy: ``{"counters": ..., "histograms": ...}``."""
@@ -767,7 +784,12 @@ def check_trace_counters(
       fit is exactly one store hit);
     * when every sweep ran with a store, ``store.miss`` events ==
       ``fits.computed + fits.warm`` (every non-store fit paid exactly
-      one store miss first).
+      one store miss first);
+    * the kernel-tier split is lossless: every membership window (and
+      cell) a sequence detector scored was dispatched to exactly one
+      of the automaton or bisect tiers, so ``kernel.automaton.* +
+      kernel.bisect.* == kernel.membership.*`` — the audit that both
+      tiers saw identical traffic.
 
     Returns a list of human-readable problems (empty = consistent).
     When ``spans`` is given, parent references are checked to resolve.
@@ -798,6 +820,17 @@ def check_trace_counters(
                 problems.append(
                     f"store.miss events ({counter('store.miss'):g}) != "
                     f"fits.computed + fits.warm ({fitted:g})"
+                )
+    for unit in ("windows", "cells"):
+        total = counter(f"kernel.membership.{unit}")
+        if total:
+            split = counter(f"kernel.automaton.{unit}") + counter(
+                f"kernel.bisect.{unit}"
+            )
+            if split != total:
+                problems.append(
+                    f"kernel tier split ({split:g} {unit}) != "
+                    f"membership traffic ({total:g} {unit})"
                 )
     if spans:
         known = {record["id"] for record in spans}
@@ -861,6 +894,13 @@ def summarize_trace(path: str | Path) -> str:
         f"retries: {counters.get('task.retries', 0):g} "
         f"({counters.get('task.timeouts', 0):g} timeouts)",
     ]
+    membership = counters.get("kernel.membership.cells", 0)
+    if membership:
+        lines.append(
+            f"membership cells: {membership:g} "
+            f"({counters.get('kernel.automaton.cells', 0):g} automaton / "
+            f"{counters.get('kernel.bisect.cells', 0):g} bisect)"
+        )
     batch = histograms.get("kernel.batch_size")
     if batch and batch["count"]:
         lines.append(

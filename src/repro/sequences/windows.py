@@ -17,6 +17,35 @@ from repro.exceptions import WindowError
 
 Window = tuple[int, ...]
 
+#: Signed 64-bit integers leave 63 usable bits for packed window keys.
+PACK_BIT_BUDGET = 63
+
+
+def symbol_bits(alphabet_size: int) -> int:
+    """Bits needed to hold one symbol code in ``0..alphabet_size-1``.
+
+    ``ceil(log2(alphabet_size))``, with a floor of 1 bit so the
+    degenerate two-symbol alphabet still occupies a lane.  The paper's
+    AS=8 alphabet packs at 3 bits per symbol.
+
+    Raises:
+        WindowError: if ``alphabet_size`` < 2.
+    """
+    if alphabet_size < 2:
+        raise WindowError(f"alphabet_size must be >= 2, got {alphabet_size}")
+    return max(1, int(alphabet_size - 1).bit_length())
+
+
+def packable(alphabet_size: int, window_length: int) -> bool:
+    """Whether ``window_length`` symbols fit one 63-bit packed key.
+
+    Bit-width budget: ``window_length * symbol_bits(alphabet_size) <= 63``.
+    For AS=8 this admits every DW up to 21; AS=32/DW=13 needs 65 bits
+    and stays unpackable (tuple/bisect fallback paths).
+    """
+    _check_window_length(window_length)
+    return window_length * symbol_bits(alphabet_size) <= PACK_BIT_BUDGET
+
 
 def _check_window_length(window_length: int) -> None:
     if window_length <= 0:
@@ -83,9 +112,16 @@ def pack_windows(windows: np.ndarray, alphabet_size: int) -> np.ndarray:
     """Pack integer windows into single integers for O(1) hashing.
 
     Each window ``(c_0, ..., c_{k-1})`` with codes in ``0..alphabet_size-1``
-    maps to the base-``alphabet_size`` number ``sum c_i * size**(k-1-i)``.
-    Packing is injective for windows of a fixed length, which lets the
-    n-gram store use plain integer sets/dicts instead of tuple keys.
+    occupies ``symbol_bits(alphabet_size)`` bit lanes of one signed
+    64-bit key: ``sum c_i << (bits * (k-1-i))``.  Bit-width packing is
+    injective for windows of a fixed length and preserves lexicographic
+    order (the first symbol owns the highest lane), so sorting packed
+    keys sorts the underlying windows — which is what lets the
+    membership kernels bisect packed databases and the automaton derive
+    shorter-window keys by right-shifting longer ones.  For power-of-two
+    alphabets the values coincide with the historical base-``AS``
+    encoding; for other alphabets the budget is strictly wider
+    (``k * ceil(log2 AS) <= 63`` instead of ``k * log2 AS < 63``).
 
     Args:
         windows: 2-D array of shape ``(n, k)`` with codes in range.
@@ -98,16 +134,17 @@ def pack_windows(windows: np.ndarray, alphabet_size: int) -> np.ndarray:
     if windows.ndim != 2:
         raise WindowError(f"windows must be 2-D, got shape {windows.shape}")
     length = windows.shape[1]
-    if alphabet_size < 2:
-        raise WindowError(f"alphabet_size must be >= 2, got {alphabet_size}")
-    if length * np.log2(alphabet_size) >= 63:
+    bits = symbol_bits(alphabet_size)
+    if length * bits > PACK_BIT_BUDGET:
         raise WindowError(
             f"packing windows of length {length} over alphabet {alphabet_size} "
             "would overflow 63-bit integers"
         )
     if windows.size and (windows.min() < 0 or windows.max() >= alphabet_size):
         raise WindowError("window codes out of range for the given alphabet size")
-    weights = alphabet_size ** np.arange(length - 1, -1, -1, dtype=np.int64)
+    weights = np.left_shift(
+        np.int64(1), bits * np.arange(length - 1, -1, -1, dtype=np.int64)
+    )
     return windows.astype(np.int64) @ weights
 
 

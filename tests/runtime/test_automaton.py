@@ -1,0 +1,366 @@
+"""Automaton membership must match searchsorted bisection bit for bit.
+
+The one-pass multi-order membership kernel (:mod:`repro.runtime.automaton`)
+is a different *algorithm* for exactly the same predicate the bisect
+tier answers per DW — so every test here cross-checks the automaton
+against an independent bisection (or tuple-set) reference over random
+streams: the full AS 2..9 x DW 2..15 paper grid, anomaly-injected
+streams, the unpackable AS=32/DW=13 fallback, and the cache/engine
+plumbing that shares one profile across every membership cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.stide import StideDetector
+from repro.detectors.tstide import TStideDetector
+from repro.exceptions import DetectorConfigurationError, WindowError
+from repro.runtime.automaton import (
+    AUTOMATON_MAX_ORDER,
+    MembershipAutomaton,
+    StreamCodes,
+    match_profile,
+    packed_order_cap,
+    training_databases,
+)
+from repro.runtime.cache import WindowCache
+from repro.runtime.kernels import (
+    KERNEL_TIERS,
+    resolve_kernel_tier,
+    sorted_membership,
+)
+from repro.sequences.windows import pack_windows, packable, windows_array
+
+SEED = 20260808
+
+
+def reference_foreign(
+    train: np.ndarray, test: np.ndarray, window_length: int
+) -> np.ndarray:
+    """Independent tuple-set membership: no packing, no bisection."""
+    database = {
+        tuple(row)
+        for row in windows_array(train, window_length).tolist()
+    }
+    return np.asarray(
+        [
+            tuple(row) not in database
+            for row in windows_array(test, window_length).tolist()
+        ],
+        dtype=bool,
+    )
+
+
+class TestStreamCodes:
+    def test_levels_match_direct_packing(self):
+        rng = np.random.default_rng(SEED)
+        for alphabet_size in (2, 3, 5, 8):
+            stream = rng.integers(0, alphabet_size, 300)
+            codes = StreamCodes(stream, alphabet_size, AUTOMATON_MAX_ORDER)
+            for order in range(2, codes.cap + 1):
+                expected = pack_windows(
+                    windows_array(stream, order), alphabet_size
+                )
+                assert np.array_equal(codes.level(order), expected), (
+                    alphabet_size,
+                    order,
+                )
+
+    def test_keys_at_matches_level_gather(self):
+        rng = np.random.default_rng(SEED + 1)
+        for alphabet_size in (2, 5, 8):
+            stream = rng.integers(0, alphabet_size, 60)
+            codes = StreamCodes(stream, alphabet_size, AUTOMATON_MAX_ORDER)
+            for order in range(2, codes.cap + 1):
+                count = len(stream) - order + 1
+                positions = rng.permutation(count)[: count // 2 + 1]
+                # Sparse path first (nothing memoized), then against
+                # the materialized level — must agree on tail
+                # positions past the last full cap-length window too.
+                sparse = codes.keys_at(order, positions)
+                assert np.array_equal(
+                    sparse, codes.level(order)[positions]
+                ), (alphabet_size, order)
+
+    def test_cap_respects_bit_budget(self):
+        stream = np.zeros(100, dtype=np.int64)
+        # 5 bits/symbol -> floor(63 / 5) = 12: DW 13 is out of range.
+        codes = StreamCodes(stream, 32, AUTOMATON_MAX_ORDER)
+        assert codes.cap == 12
+        with pytest.raises(WindowError, match="outside"):
+            codes.level(13)
+
+    def test_cap_respects_stream_length(self):
+        codes = StreamCodes(np.zeros(5, dtype=np.int64), 8, 15)
+        assert codes.cap == 5
+
+    def test_rejects_unusable_streams(self):
+        with pytest.raises(WindowError):
+            StreamCodes(np.zeros(1, dtype=np.int64), 8, 15)
+        with pytest.raises(WindowError):
+            StreamCodes(np.zeros((2, 2), dtype=np.int64), 8, 15)
+
+
+class TestMatchProfile:
+    def test_profile_against_per_order_bisection(self):
+        """The seeded fuzz: profile == max matching order, every position."""
+        rng = np.random.default_rng(SEED)
+        for alphabet_size in range(2, 10):
+            train = rng.integers(0, alphabet_size, 600)
+            test = rng.integers(0, alphabet_size, 300)
+            codes = StreamCodes(test, alphabet_size, AUTOMATON_MAX_ORDER)
+            databases = training_databases(
+                train, alphabet_size, AUTOMATON_MAX_ORDER
+            )
+            profile = match_profile(codes, databases)
+            assert len(profile) == len(test) - 1
+            expected = np.zeros(len(test) - 1, dtype=np.int64)
+            for order in range(2, codes.cap + 1):
+                known = sorted_membership(
+                    pack_windows(windows_array(test, order), alphabet_size),
+                    databases[order],
+                )
+                expected[: len(known)][known] = order
+            assert np.array_equal(profile, expected), alphabet_size
+
+    def test_prefix_closure_holds(self):
+        """Known orders form the interval [2, profile] — the invariant
+        that lets one profile answer every DW."""
+        rng = np.random.default_rng(SEED + 1)
+        train = rng.integers(0, 4, 500)
+        test = rng.integers(0, 4, 250)
+        databases = training_databases(train, 4, AUTOMATON_MAX_ORDER)
+        codes = StreamCodes(test, 4, AUTOMATON_MAX_ORDER)
+        profile = match_profile(codes, databases)
+        for order in range(2, codes.cap + 1):
+            known = sorted_membership(codes.level(order), databases[order])
+            assert np.array_equal(known, profile[: len(known)] >= order), order
+
+    def test_missing_orders_count_as_empty(self):
+        test = np.asarray([0, 1, 0, 1])
+        codes = StreamCodes(test, 2, 4)
+        profile = match_profile(codes, {})
+        assert np.array_equal(profile, np.zeros(3, dtype=np.int64))
+
+
+class TestMembershipAutomaton:
+    @pytest.mark.parametrize("alphabet_size", [2, 5, 8, 9])
+    def test_foreign_matches_tuple_reference(self, alphabet_size):
+        rng = np.random.default_rng(SEED + alphabet_size)
+        train = rng.integers(0, alphabet_size, 800)
+        test = rng.integers(0, alphabet_size, 400)
+        automaton = MembershipAutomaton(train, alphabet_size)
+        for window_length in range(2, 16):
+            if window_length > automaton.max_order:
+                break
+            assert np.array_equal(
+                automaton.foreign(test, window_length),
+                reference_foreign(train, test, window_length),
+            ), window_length
+
+    def test_foreign_all_is_one_pass_consistent(self):
+        rng = np.random.default_rng(SEED)
+        train = rng.integers(0, 8, 600)
+        test = rng.integers(0, 8, 200)
+        automaton = MembershipAutomaton(train, 8)
+        masks = automaton.foreign_all(test)
+        assert set(masks) == set(range(2, 16))
+        for window_length, mask in masks.items():
+            assert np.array_equal(
+                mask, reference_foreign(train, test, window_length)
+            )
+
+    def test_max_order_clamped_by_packing_budget(self):
+        automaton = MembershipAutomaton(np.zeros(100, dtype=np.int64), 32)
+        assert automaton.max_order == 12
+
+    def test_database_empty_off_grid(self):
+        automaton = MembershipAutomaton(np.asarray([0, 1, 0]), 2)
+        assert len(automaton.database(40)) == 0
+
+
+class TestTierResolution:
+    def test_bisect_always_honored(self):
+        assert resolve_kernel_tier("bisect", 8, 6) == "bisect"
+
+    def test_auto_and_forced_resolve_on_packable_grid(self):
+        for tier in ("auto", "automaton"):
+            assert resolve_kernel_tier(tier, 8, 6) == "automaton"
+
+    def test_unpackable_falls_back_even_when_forced(self):
+        # AS=32/DW=13: 65 bits > 63 — must keep the fallback.
+        assert not packable(32, 13)
+        assert resolve_kernel_tier("automaton", 32, 13) == "bisect"
+
+    def test_over_order_falls_back(self):
+        assert resolve_kernel_tier("automaton", 2, 16) == "bisect"
+        assert resolve_kernel_tier("auto", 2, 16, max_order=20) == "automaton"
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="kernel tier"):
+            resolve_kernel_tier("turbo", 8, 6)
+        with pytest.raises(DetectorConfigurationError, match="kernel tier"):
+            StideDetector(6, 8).attach_kernel_tier("turbo")
+        assert set(KERNEL_TIERS) == {"auto", "bisect", "automaton"}
+
+    def test_packed_order_cap(self):
+        assert packed_order_cap(8) == 21  # 3 bits -> DW 21 now packs
+        assert packed_order_cap(32) == 12
+        assert packed_order_cap(2) == 63
+
+
+def _inject(test: np.ndarray, anomaly: np.ndarray, at: int) -> np.ndarray:
+    out = test.copy()
+    out[at : at + len(anomaly)] = anomaly
+    return out
+
+
+class TestDetectorTierEquivalence:
+    """The dispatcher's tiers are bit-identical through the detectors."""
+
+    def _streams(self, alphabet_size, rng):
+        train = rng.integers(0, alphabet_size, 700)
+        test = _inject(
+            rng.integers(0, alphabet_size, 350),
+            rng.integers(0, alphabet_size, 9),
+            120,
+        )
+        return train, test
+
+    @pytest.mark.parametrize("alphabet_size", [2, 3, 6, 8, 9])
+    def test_stide_fuzz_grid(self, alphabet_size):
+        rng = np.random.default_rng(SEED + alphabet_size)
+        train, test = self._streams(alphabet_size, rng)
+        cache = WindowCache()
+        for window_length in range(2, 16):
+            reference = (
+                StideDetector(window_length, alphabet_size)
+                .attach_kernel_tier("bisect")
+                .fit(train)
+                .score_stream(test)
+            )
+            cached = (
+                StideDetector(window_length, alphabet_size)
+                .attach_cache(cache)
+                .attach_kernel_tier("automaton")
+                .fit(train)
+                .score_stream(test)
+            )
+            uncached = (
+                StideDetector(window_length, alphabet_size)
+                .attach_kernel_tier("automaton")
+                .fit(train)
+                .score_stream(test)
+            )
+            assert np.array_equal(reference, cached), window_length
+            assert np.array_equal(reference, uncached), window_length
+
+    @pytest.mark.parametrize("alphabet_size", [2, 3, 6, 8, 9])
+    def test_tstide_fuzz_grid(self, alphabet_size):
+        rng = np.random.default_rng(SEED - alphabet_size)
+        train, test = self._streams(alphabet_size, rng)
+        cache = WindowCache()
+        for window_length in range(2, 16):
+            for rare in (0.0005, 0.02):
+                reference = (
+                    TStideDetector(window_length, alphabet_size, rare)
+                    .attach_kernel_tier("bisect")
+                    .fit(train)
+                    .score_stream(test)
+                )
+                automaton = (
+                    TStideDetector(window_length, alphabet_size, rare)
+                    .attach_cache(cache)
+                    .attach_kernel_tier("automaton")
+                    .fit(train)
+                    .score_stream(test)
+                )
+                assert np.array_equal(reference, automaton), (
+                    window_length,
+                    rare,
+                )
+
+    def test_unpackable_grid_falls_back(self):
+        """AS=32/DW=13 (65 bits) keeps the tuple fallback under every tier."""
+        rng = np.random.default_rng(SEED)
+        train = rng.integers(0, 32, 900)
+        test = rng.integers(0, 32, 300)
+        reference = StideDetector(13, 32).fit(train).score_stream(test)
+        assert np.array_equal(
+            reference, reference_foreign(train, test, 13).astype(np.float64)
+        )
+        for tier in KERNEL_TIERS:
+            detector = (
+                StideDetector(13, 32)
+                .attach_cache(WindowCache())
+                .attach_kernel_tier(tier)
+                .fit(train)
+            )
+            assert detector._packed_db is None  # tuple path retained
+            assert np.array_equal(reference, detector.score_stream(test)), tier
+
+    def test_multi_stream_fit_keeps_bisect(self):
+        """The profile is defined against one training stream."""
+        rng = np.random.default_rng(SEED)
+        streams = [rng.integers(0, 8, 300), rng.integers(0, 8, 300)]
+        test = rng.integers(0, 8, 200)
+        reference = (
+            StideDetector(6, 8)
+            .attach_kernel_tier("bisect")
+            .fit_many(streams)
+            .score_stream(test)
+        )
+        detector = (
+            StideDetector(6, 8)
+            .attach_cache(WindowCache())
+            .attach_kernel_tier("automaton")
+            .fit_many(streams)
+        )
+        assert detector._membership_context(test) is None
+        assert np.array_equal(reference, detector.score_stream(test))
+
+    def test_auto_without_cache_keeps_bisect(self):
+        rng = np.random.default_rng(SEED)
+        train = rng.integers(0, 8, 300)
+        detector = StideDetector(6, 8).fit(train)
+        assert detector.kernel_tier == "auto"
+        assert detector._membership_context(train) is None
+
+
+class TestCacheSharing:
+    def test_profile_computed_once_across_families_and_windows(self):
+        rng = np.random.default_rng(SEED)
+        train = rng.integers(0, 8, 500)
+        test = rng.integers(0, 8, 250)
+        cache = WindowCache()
+        first = cache.membership_profile(test, train, 8, AUTOMATON_MAX_ORDER)
+        before = cache.stats
+        for window_length in (2, 7, 15):
+            for family in (StideDetector, TStideDetector):
+                detector = (
+                    family(window_length, 8)
+                    .attach_cache(cache)
+                    .attach_kernel_tier("automaton")
+                    .fit(train)
+                )
+                detector.score_stream(test)
+        again = cache.membership_profile(test, train, 8, AUTOMATON_MAX_ORDER)
+        assert again is first  # one profile object served every cell
+        assert cache.stats.hits > before.hits
+        # No new profile entries appeared: every scoring pass above hit
+        # the one shared "profile" artifact.
+        profile_keys = [key for key in cache._entries if key[2] == "profile"]
+        assert len(profile_keys) == 1
+
+    def test_eviction_of_either_stream_drops_profile(self):
+        rng = np.random.default_rng(SEED)
+        train = rng.integers(0, 8, 300)
+        test = rng.integers(0, 8, 200)
+        for victim in (test, train):
+            cache = WindowCache()
+            cache.membership_profile(test, train, 8, AUTOMATON_MAX_ORDER)
+            assert any(key[2] == "profile" for key in cache._entries)
+            cache.release_stream(victim)
+            assert not any(key[2] == "profile" for key in cache._entries)
