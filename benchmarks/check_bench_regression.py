@@ -148,6 +148,103 @@ def check_membership_tier(baseline: dict, current: dict) -> int:
     return 0
 
 
+def check_serve(
+    baseline_path: Path, current_path: Path, require: bool = False
+) -> int:
+    """Gate the serving benchmark: correctness first, then speed.
+
+    Correctness is absolute: a current record reporting any
+    no-wrong-score violation — clean or chaos — fails outright,
+    regression or not.  Speed is calibrated like the sweep gate:
+    clean streams/sec is held to a floor, clean p99 latency and
+    recovery-after-SIGKILL to ceilings, each rescaled by the
+    calibration ratio under the shared ``TOLERANCE``.
+
+    A missing *current* record is a warning by default (most CI jobs
+    never run the serving benchmark) and an error under ``require``
+    (the serve-smoke job, whose whole point is producing it).
+    """
+    current = _load(current_path)
+    if current is None:
+        if require:
+            print(f"error: no fresh serve benchmark record at {current_path}")
+            return 1
+        print(
+            f"note: no serve record at {current_path}; skipping the serve "
+            "gate (run `pytest benchmarks/bench_serve.py` to produce one)"
+        )
+        return 0
+
+    violations = sum(
+        int(current.get(scenario, {}).get("violations", 0))
+        for scenario in ("clean", "chaos")
+    )
+    if violations:
+        print(
+            f"error: serve benchmark reports {violations} no-wrong-score "
+            "violation(s); this gate has no tolerance for wrong scores"
+        )
+        return 1
+    recovery = current.get("recovery", {})
+    if not recovery.get("bit_identical"):
+        print("error: serve recovery was not bit-identical after SIGKILL")
+        return 1
+
+    baseline = _load(baseline_path)
+    if baseline is None:
+        print(
+            f"warning: no serve baseline at {baseline_path}; correctness "
+            "checked, rate gate skipped (commit "
+            "benchmarks/output/BENCH_serve.json to arm it)"
+        )
+        return 0
+    for record, label in ((baseline, "baseline"), (current, "current")):
+        if not record.get("calibration_seconds"):
+            print(
+                f"warning: {label} serve record lacks calibration_seconds; "
+                "skipping the rate gate"
+            )
+            return 0
+    # scale > 1 means this machine is slower than the baseline's.
+    scale = current["calibration_seconds"] / baseline["calibration_seconds"]
+
+    failed = 0
+    floor_rate = baseline.get("clean", {}).get("streams_per_sec")
+    rate = current.get("clean", {}).get("streams_per_sec")
+    if floor_rate and rate:
+        floor = floor_rate / scale * (1.0 - TOLERANCE)
+        verdict = "OK" if rate >= floor else "REGRESSION"
+        print(
+            f"serve throughput: {rate:.1f} streams/s vs calibrated "
+            f"baseline {floor_rate:.1f} / {scale:.2f} "
+            f"(floor >= {floor:.1f}, tolerance {TOLERANCE:.0%}): {verdict}"
+        )
+        failed += rate < floor
+    for metric, path in (
+        ("p99_ms", ("clean", "p99_ms")),
+        ("recovery_seconds", ("recovery", "recovery_seconds")),
+    ):
+        reference = baseline.get(path[0], {}).get(path[1])
+        actual = current.get(path[0], {}).get(path[1])
+        if not reference or not actual:
+            continue
+        ceiling = reference * scale * (1.0 + TOLERANCE)
+        verdict = "OK" if actual <= ceiling else "REGRESSION"
+        print(
+            f"serve {metric}: {actual:.3f} vs calibrated baseline "
+            f"{reference:.3f} x {scale:.2f} "
+            f"(ceiling <= {ceiling:.3f}, tolerance {TOLERANCE:.0%}): {verdict}"
+        )
+        failed += actual > ceiling
+    if failed:
+        print(
+            "error: serve benchmark regressed beyond tolerance; if the "
+            "slowdown is intentional, refresh the committed BENCH_serve.json"
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -162,8 +259,37 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "benchmarks" / "output" / "BENCH_sweep.json",
         help="freshly produced record to judge",
     )
+    parser.add_argument(
+        "--serve-baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serve.json",
+        help="committed serving baseline (default: repo-root BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--serve-current",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "output" / "BENCH_serve.json",
+        help="freshly produced serving record to judge",
+    )
+    parser.add_argument(
+        "--require-serve",
+        action="store_true",
+        help="fail when the fresh serving record is missing (the "
+        "serve-smoke CI job)",
+    )
+    parser.add_argument(
+        "--serve-only",
+        action="store_true",
+        help="run only the serving gate (skip the sweep gate entirely)",
+    )
     args = parser.parse_args(argv)
-    return check(args.baseline, args.current)
+    sweep_rc = 0
+    if not args.serve_only:
+        sweep_rc = check(args.baseline, args.current)
+    serve_rc = check_serve(
+        args.serve_baseline, args.serve_current, require=args.require_serve
+    )
+    return sweep_rc or serve_rc
 
 
 if __name__ == "__main__":

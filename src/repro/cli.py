@@ -12,7 +12,12 @@ Subcommands:
 * ``anomaly`` — synthesize one MFS against the paper corpus and show
   its parts and frequencies;
 * ``trace`` — summarize or validate a JSONL telemetry trace written by
-  the ``--trace`` flag of ``maps``/``atlas``/``select``.
+  the ``--trace`` flag of ``maps``/``atlas``/``select``;
+* ``serve`` — run the fault-hardened multi-tenant scoring service
+  (crash-safe tenant WALs, admission control, circuit breakers,
+  optional seeded chaos);
+* ``loadgen`` — drive seeded traffic at a ``serve`` instance and
+  verify every returned score bit-exactly against a local reference.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -192,23 +197,32 @@ def _emit_telemetry(args: argparse.Namespace, engine: "object | None") -> None:
 _RESUME_FROM_CHECKPOINT = "@checkpoint"
 
 
-def _resilience_arguments(parser: argparse.ArgumentParser) -> None:
+def _retry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The retry/timeout surface shared by the sweep commands and ``serve``.
+
+    Parsed once by :meth:`ResiliencePolicy.from_args`, so the flags
+    carry identical semantics on every subcommand exposing them.
+    """
     parser.add_argument(
         "--retries",
         type=int,
         default=None,
         metavar="N",
-        help="re-attempts per sweep task after a transient failure "
-        "(enables the fault-tolerant sweep path)",
+        help="re-attempts per task after a transient failure (sweep "
+        "blocks, or scoring attempts on the serving path)",
     )
     parser.add_argument(
         "--task-timeout",
         type=float,
         default=None,
         metavar="SECONDS",
-        help="wall-clock budget per sweep task; overruns are retried "
-        "(process workers are terminated, thread attempts abandoned)",
+        help="wall-clock budget per task: sweep blocks are retried on "
+        "overrun; serve requests inherit it as their default deadline",
     )
+
+
+def _resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    _retry_arguments(parser)
     parser.add_argument(
         "--checkpoint",
         default=None,
@@ -256,12 +270,10 @@ def _engine(args: argparse.Namespace) -> "object | None":
     """
     jobs = getattr(args, "jobs", 1) or 1
     executor = getattr(args, "executor", None)
-    retries = getattr(args, "retries", None)
-    task_timeout = getattr(args, "task_timeout", None)
     store_dir = getattr(args, "store", None)
     wants_resilience = (
-        retries is not None
-        or task_timeout is not None
+        getattr(args, "retries", None) is not None
+        or getattr(args, "task_timeout", None) is not None
         or getattr(args, "checkpoint", None) is not None
         or getattr(args, "resume", None) is not None
     )
@@ -276,12 +288,11 @@ def _engine(args: argparse.Namespace) -> "object | None":
         and kernel_tier is None
     ):
         return None
-    from repro.runtime import ResiliencePolicy, RetryPolicy, SweepEngine
+    from repro.runtime import ResiliencePolicy, SweepEngine
 
-    resilience = None
-    if wants_resilience:
-        retry = RetryPolicy(retries=retries if retries is not None else 2)
-        resilience = ResiliencePolicy(retry=retry, task_timeout=task_timeout)
+    resilience = ResiliencePolicy.from_args(args)
+    if resilience is None and wants_resilience:
+        resilience = ResiliencePolicy()
     if executor is None:
         executor = "serial" if jobs <= 1 else "thread"
     store = None
@@ -577,6 +588,105 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.resilience import ResiliencePolicy
+    from repro.serve import (
+        AdmissionPolicy,
+        ChaosDirector,
+        ScoringServer,
+        ServeFaultSchedule,
+    )
+
+    resilience = ResiliencePolicy.from_args(args, default_retries=1)
+    retries = resilience.retry.retries if resilience is not None else 1
+    default_budget = 5.0
+    if resilience is not None and resilience.task_timeout is not None:
+        default_budget = resilience.task_timeout
+    policy = AdmissionPolicy(
+        queue_depth=args.queue_depth,
+        default_budget=default_budget,
+        max_budget=max(30.0, default_budget),
+        breaker_failures=args.breaker_failures,
+        breaker_reset=args.breaker_reset,
+    )
+    schedule = None
+    if args.chaos_rate > 0:
+        schedule = ServeFaultSchedule(rate=args.chaos_rate, seed=args.chaos_seed)
+    server = ScoringServer(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        policy=policy,
+        chaos=ChaosDirector(schedule),
+        retries=retries,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
+    )
+
+    async def run() -> None:
+        await server.start()
+        recovery = server.recovery
+        assert recovery is not None
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"(state: {args.state_dir}; recovered {recovery.tenants} "
+            f"tenant(s), {recovery.replayed_records} WAL record(s) "
+            f"replayed, {len(recovery.quarantined)} quarantined)"
+        )
+        if args.ready_file:
+            import pathlib
+
+            pathlib.Path(args.ready_file).write_text(
+                f"{server.port}\n", encoding="utf-8"
+            )
+        sys.stdout.flush()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; tenant state is journaled", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.serve import LoadPlan, run_load
+
+    if args.quick:
+        plan = LoadPlan.quick(seed=args.seed)
+    else:
+        plan = LoadPlan(
+            tenants=args.tenants,
+            train_chunks=args.train_chunks,
+            scores_per_tenant=args.scores,
+            seed=args.seed,
+        )
+    report = asyncio.run(run_load(args.host, args.port, plan))
+    summary = report.summary()
+    print(json_module.dumps(summary, indent=2))
+    if args.json:
+        import pathlib
+
+        pathlib.Path(args.json).write_text(
+            json_module.dumps(summary, indent=2) + "\n", encoding="utf-8"
+        )
+    if report.violations:
+        for violation in report.violations[:10]:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        print(
+            f"no-wrong-score invariant violated {len(report.violations)} "
+            "time(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     from repro.runtime.telemetry import summarize_trace
 
@@ -704,6 +814,100 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--max-window", type=int, default=8)
     select.add_argument("--detectors", nargs="+", metavar="NAME")
     select.set_defaults(func=_cmd_select)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the fault-hardened multi-tenant scoring service",
+    )
+    serve.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="service state root (per-tenant WALs, manifests, snapshots)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (0 picks a free one; see --ready-file)",
+    )
+    _retry_arguments(serve)
+    serve.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help="per-tenant bounded queue depth; a full queue refuses (429)",
+    )
+    serve.add_argument(
+        "--breaker-failures",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="consecutive failures that open a tenant's circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="cool-down before an open breaker admits a probe request",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="snapshot a tenant's stream every N ingests (0 disables)",
+    )
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync WAL appends (power-loss durability; slower)",
+    )
+    serve.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability an eligible request draws an injected fault "
+        "(latency, corrupt-event, store-read, worker-crash)",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed of the deterministic chaos schedule",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once listening (for harnesses)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive seeded load at a serve instance and verify every score",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-scale plan (2 tenants, 3 train chunks, 6 scores each)",
+    )
+    loadgen.add_argument("--tenants", type=_positive_int, default=3)
+    loadgen.add_argument("--train-chunks", type=_positive_int, default=6)
+    loadgen.add_argument("--scores", type=_positive_int, default=9)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the report summary as JSON",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     trace = subparsers.add_parser(
         "trace", help="inspect a --trace telemetry file"

@@ -131,6 +131,57 @@ class TelemetryError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """A serving-layer operation failed.
+
+    Base of the online scoring service's failure taxonomy
+    (:mod:`repro.serve`).  Everything under it is an *explicit*
+    failure: the service refuses or retries, it never silently
+    degrades a score.
+    """
+
+
+class TenantRecoveryError(ServeError):
+    """A tenant's persisted state could not be recovered faithfully.
+
+    Raised when the write-ahead log is corrupt beyond the tolerated
+    torn tail (mid-file damage, a sequence gap) or when the snapshot
+    an already-compacted log depends on is unreadable.  The tenant is
+    quarantined — scoring requests are refused with an advisory —
+    rather than served from a state that might differ from what was
+    acknowledged before the crash.
+    """
+
+
+class ScoreRefusal(ServeError):
+    """The service declined to score a request — never a wrong score.
+
+    The serving pipeline's only alternative to a correct score: over
+    budget, invalid input, breaker open, queue saturated, ladder
+    exhausted, or tenant quarantined.  Carries the HTTP status and a
+    machine-readable advisory so clients can distinguish retryable
+    refusals (429/503/504, honor ``retry_after``) from permanent ones
+    (4xx).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 503,
+        reason: str = "refused",
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.reason = str(reason)
+        self.retry_after = retry_after
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a client should retry (server-side, transient)."""
+        return self.status in (429, 503, 504)
+
+
 class CoverageError(ReproError):
     """Coverage-algebra operands are incompatible.
 

@@ -30,6 +30,7 @@ import numpy as np
 from repro.evaluation.performance_map import Cell, CellResult
 from repro.evaluation.scoring import DetectionOutcome, ResponseClass
 from repro.exceptions import CheckpointError, ReproError
+from repro.runtime import telemetry
 from repro.sequences.alphabet import Alphabet
 from repro.syscalls.generator import LabeledTrace, SyscallDataset
 
@@ -147,6 +148,78 @@ def load_dataset(path: str | Path) -> SyscallDataset:
     )
 
 
+# -- tolerant JSONL reading -------------------------------------------------
+
+
+def read_jsonl_tolerant(
+    path: str | Path,
+    strict: bool = True,
+    torn_tail_counter: str = "checkpoint.torn_tail",
+) -> list[tuple[int, dict]]:
+    """Parse a JSONL file, tolerating a torn final line.
+
+    A process killed mid-append (SIGKILL during a checkpoint or WAL
+    write) leaves at most one truncated record — and it is always the
+    *last* line of the file.  That signature is recovered from, not
+    raised: the torn tail is skipped, counted under
+    ``torn_tail_counter`` (a telemetry warning counter), and the
+    caller simply recomputes whatever the lost record carried.
+    Corruption anywhere *before* the tail cannot be produced by a torn
+    append and is treated per ``strict``: raised (the file is damaged,
+    not merely truncated) or skipped.
+
+    This is the shared guard under both the sweep checkpoint reader
+    (:func:`checkpoint_load`) and the serving write-ahead log
+    (:mod:`repro.serve.wal`).
+
+    Args:
+        path: the JSONL file; missing is a :class:`CheckpointError`.
+        strict: whether mid-file garbage raises (``True``) or is
+            skipped (``False``).
+        torn_tail_counter: telemetry counter charged for a skipped
+            torn tail.
+
+    Returns:
+        ``[(line_number, record), ...]`` for every parsed line.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise CheckpointError(f"checkpoint file not found: {source}")
+    numbered = [
+        (line_number, text)
+        for line_number, text in enumerate(
+            source.read_text(encoding="utf-8").splitlines(), 1
+        )
+        if text.strip()
+    ]
+    tail_number = numbered[-1][0] if numbered else None
+    records: list[tuple[int, dict]] = []
+    for line_number, text in numbered:
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            if line_number == tail_number:
+                telemetry.count(torn_tail_counter)
+                continue
+            if strict:
+                raise CheckpointError(
+                    f"{source}:{line_number}: {error}"
+                ) from error
+            continue
+        if not isinstance(record, dict):
+            if line_number == tail_number:
+                telemetry.count(torn_tail_counter)
+                continue
+            if strict:
+                raise CheckpointError(
+                    f"{source}:{line_number}: expected a JSON object, "
+                    f"got {type(record).__name__}"
+                )
+            continue
+        records.append((line_number, record))
+    return records
+
+
 # -- sweep checkpoints ------------------------------------------------------
 
 
@@ -222,31 +295,38 @@ def checkpoint_load(
 ) -> dict[str, dict[Cell, CellResult]]:
     """Read a JSONL checkpoint back into per-detector cell mappings.
 
+    A final line truncated mid-record (SIGKILL during the append) is
+    *always* tolerated, strict or not: the torn tail is skipped, the
+    ``checkpoint.torn_tail`` telemetry counter is charged, and the
+    lost cell is simply recomputed by the resumed sweep.  ``strict``
+    only governs corruption before the tail — damage a torn append
+    cannot produce.
+
     Args:
         path: the checkpoint file; a missing file is a
             :class:`CheckpointError` (resuming from nothing is almost
             always a caller mistake — pass the same path as
             ``checkpoint=`` to create one instead).
-        strict: when ``False``, unparsable lines (e.g. a final line
-            truncated by a kill) are skipped rather than raised; fully
-            parsed duplicate cells always last-write-win.
+        strict: when ``False``, unparsable mid-file lines are skipped
+            rather than raised; fully parsed duplicate cells always
+            last-write-win.
 
     Returns:
         ``{detector_name: {(anomaly_size, window_length): CellResult}}``.
     """
     source = Path(path)
-    if not source.exists():
-        raise CheckpointError(f"checkpoint file not found: {source}")
+    records = read_jsonl_tolerant(source, strict=strict)
+    tail_number = records[-1][0] if records else None
     cells: dict[str, dict[Cell, CellResult]] = {}
-    for line_number, line in enumerate(
-        source.read_text(encoding="utf-8").splitlines(), 1
-    ):
-        text = line.strip()
-        if not text:
-            continue
+    for line_number, record in records:
         try:
-            name, result = record_to_cell(json.loads(text))
-        except (json.JSONDecodeError, CheckpointError) as error:
+            name, result = record_to_cell(record)
+        except CheckpointError as error:
+            if line_number == tail_number:
+                # A schema-truncated (yet JSON-parsable) tail is the
+                # same torn-append signature: skip and recompute.
+                telemetry.count("checkpoint.torn_tail")
+                continue
             if strict:
                 raise CheckpointError(
                     f"{source}:{line_number}: {error}"

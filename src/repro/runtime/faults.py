@@ -9,6 +9,12 @@ prove every recovery path of :mod:`repro.runtime.resilience`:
   (a crash the retry budget should absorb);
 * ``hang``    — the task sleeps past its wall-clock timeout before
   completing (exercises timeout detection and cancellation);
+* ``latency`` — the task stalls for a *bounded, seeded* duration drawn
+  below ``latency_seconds`` and then completes normally.  Unlike
+  ``hang`` (which is sized to trip an armed timeout), latency models a
+  slow-but-healthy path: both the sweep resilience tests and the
+  serving chaos suite use it to inject slowness without tripping
+  wall-clock timeouts unintentionally;
 * ``corrupt`` — the task returns a truncated block (exercises result
   validation, which converts corruption into a retryable failure);
 * ``crash``   — the task hard-kills its worker process via
@@ -35,6 +41,7 @@ import random
 import time
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.exceptions import (
     DetectorConfigurationError,
@@ -42,8 +49,15 @@ from repro.exceptions import (
     TransientTaskError,
 )
 
-#: Every fault kind a schedule may inject.
-FAULT_KINDS: tuple[str, ...] = ("raise", "hang", "corrupt", "crash", "fatal")
+#: Every fault kind a sweep schedule may inject.
+FAULT_KINDS: tuple[str, ...] = (
+    "raise",
+    "hang",
+    "latency",
+    "corrupt",
+    "crash",
+    "fatal",
+)
 
 
 @dataclass(frozen=True)
@@ -62,23 +76,34 @@ class FaultSchedule:
             the task proceed.  Keep it small in tests: a timed-out
             thread attempt is abandoned, not killed, and runs to the
             end of the stall in the background.
+        latency_seconds: upper bound on a ``latency`` fault's stall.
+            The actual stall is drawn uniformly below the bound by a
+            generator seeded with ``(seed, key, attempt)``, so the
+            injected slowness is reproducible and never exceeds a
+            budget the caller sized against its timeouts.
     """
+
+    #: Kinds instances of this schedule class accept; subclasses (the
+    #: serving chaos harness) override to extend the vocabulary.
+    ALLOWED_KINDS: ClassVar[tuple[str, ...]] = FAULT_KINDS
 
     rate: float = 0.0
     seed: int = 0
     kinds: tuple[str, ...] = ("raise",)
     max_attempt: int = 1
     hang_seconds: float = 0.25
+    latency_seconds: float = 0.05
 
     def __post_init__(self) -> None:
+        allowed = type(self).ALLOWED_KINDS
         if not 0.0 <= self.rate <= 1.0:
             raise DetectorConfigurationError(
                 f"fault rate must lie in [0, 1], got {self.rate}"
             )
-        unknown = [kind for kind in self.kinds if kind not in FAULT_KINDS]
+        unknown = [kind for kind in self.kinds if kind not in allowed]
         if unknown or not self.kinds:
             raise DetectorConfigurationError(
-                f"unknown fault kinds {unknown}; available: {', '.join(FAULT_KINDS)}"
+                f"unknown fault kinds {unknown}; available: {', '.join(allowed)}"
             )
         if self.max_attempt < 1:
             raise DetectorConfigurationError(
@@ -87,6 +112,10 @@ class FaultSchedule:
         if self.hang_seconds <= 0:
             raise DetectorConfigurationError(
                 f"hang_seconds must be > 0, got {self.hang_seconds}"
+            )
+        if self.latency_seconds <= 0:
+            raise DetectorConfigurationError(
+                f"latency_seconds must be > 0, got {self.latency_seconds}"
             )
 
     def decide(self, key: str, attempt: int) -> str | None:
@@ -101,6 +130,16 @@ class FaultSchedule:
         if rng.random() >= self.rate:
             return None
         return self.kinds[rng.randrange(len(self.kinds))]
+
+    def latency_delay(self, key: str, attempt: int) -> float:
+        """The seeded, bounded stall of a ``latency`` fault, in seconds.
+
+        Always strictly below ``latency_seconds``; a pure function of
+        ``(seed, key, attempt)`` like :meth:`decide`, so two runs (or
+        the server and its chaos verifier) observe the same slowness.
+        """
+        u = random.Random(f"latency|{self.seed}|{key}|{attempt}").random()
+        return u * self.latency_seconds
 
 
 def _in_child_process() -> bool:
@@ -139,6 +178,9 @@ def apply_fault(
         )
     if kind == "hang":
         time.sleep(schedule.hang_seconds)
+        return False
+    if kind == "latency":
+        time.sleep(schedule.latency_delay(key, attempt))
         return False
     if kind == "crash":
         if _in_child_process():  # pragma: no cover - dies before coverage

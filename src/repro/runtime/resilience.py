@@ -145,6 +145,36 @@ class ResiliencePolicy:
                 f"task_timeout must be > 0, got {self.task_timeout}"
             )
 
+    @classmethod
+    def from_args(
+        cls, args: object, default_retries: int = 2
+    ) -> "ResiliencePolicy | None":
+        """The policy described by the shared ``--retries``/``--task-timeout`` flags.
+
+        The one translation of the retry/backoff/timeout CLI surface,
+        used by every subcommand that exposes it (``maps``/``atlas``/
+        ``select`` sweeps and ``serve``), so the flags mean the same
+        thing everywhere instead of each command re-parsing them.
+
+        Args:
+            args: any namespace-like object; ``retries`` and
+                ``task_timeout`` attributes are read when present.
+            default_retries: retry budget applied when only
+                ``--task-timeout`` was given.
+
+        Returns:
+            ``None`` when neither flag was provided — callers keep
+            their no-resilience fast path.
+        """
+        retries = getattr(args, "retries", None)
+        task_timeout = getattr(args, "task_timeout", None)
+        if retries is None and task_timeout is None:
+            return None
+        retry = RetryPolicy(
+            retries=retries if retries is not None else default_retries
+        )
+        return cls(retry=retry, task_timeout=task_timeout)
+
 
 @dataclass(frozen=True)
 class SweepTask:

@@ -75,6 +75,7 @@ SPAN_PHASES: frozenset[str] = frozenset(
         "retry",
         "fitindex",
         "kernel",
+        "serve",
     }
 )
 

@@ -1,0 +1,144 @@
+"""Three-state circuit breaker for per-tenant failure isolation.
+
+Classic closed → open → half-open machine, deliberately small:
+
+* **closed** — traffic flows; consecutive failures are counted and
+  ``failure_threshold`` of them trip the breaker.
+* **open** — traffic is refused instantly (HTTP 503 with a
+  ``Retry-After`` derived from the remaining cool-down) so a tenant
+  whose requests keep failing cannot monopolise lane workers.
+* **half-open** — after ``reset_timeout`` seconds one *probe* request
+  is admitted; success closes the breaker, failure re-opens it and
+  restarts the cool-down.
+
+The clock is injectable so the state machine is unit-testable without
+sleeping, and chaos runs can compress time.  Refusals the *breaker*
+causes never count as failures — only genuine scoring errors advance
+the machine — so an open breaker cannot keep itself open.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.exceptions import ScoreRefusal
+from repro.runtime import telemetry
+
+#: The three breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-tenant circuit breaker with an injectable clock.
+
+    Args:
+        failure_threshold: consecutive failures that trip the breaker.
+        reset_timeout: seconds the breaker stays open before probing.
+        clock: monotonic time source (defaults to :func:`time.monotonic`).
+        name: label used in telemetry and refusal advisories.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 2.0,
+        clock: Callable[[], float] | None = None,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        self._threshold = int(failure_threshold)
+        self._reset_timeout = float(reset_timeout)
+        self._clock = clock if clock is not None else time.monotonic
+        self._name = name
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open on read."""
+        if self._state == OPEN and self._remaining() <= 0:
+            self._state = HALF_OPEN
+            self._probing = False
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures seen in the closed state."""
+        return self._failures
+
+    def _remaining(self) -> float:
+        return self._reset_timeout - (self._clock() - self._opened_at)
+
+    def admit(self) -> None:
+        """Gate one request; raises :class:`ScoreRefusal` when open.
+
+        In the half-open state exactly one caller is admitted as the
+        probe; concurrent requests are refused until the probe reports
+        via :meth:`record_success` / :meth:`record_failure`.
+        """
+        state = self.state
+        if state == CLOSED:
+            return
+        if state == HALF_OPEN and not self._probing:
+            self._probing = True
+            telemetry.count("serve.breaker.probe")
+            return
+        retry_after = max(self._remaining(), 0.0) if state == OPEN else (
+            self._reset_timeout
+        )
+        telemetry.count("serve.breaker.refused")
+        raise ScoreRefusal(
+            f"circuit breaker {self._name or 'tenant'!s} is {state}",
+            status=503,
+            reason="breaker-open",
+            retry_after=round(retry_after, 3),
+        )
+
+    def record_success(self) -> None:
+        """An admitted request succeeded; closes from half-open."""
+        if self.state == HALF_OPEN:
+            telemetry.count("serve.breaker.closed")
+        self._state = CLOSED
+        self._failures = 0
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """An admitted request failed; may trip or re-open the breaker."""
+        state = self.state
+        if state == HALF_OPEN:
+            self._trip()
+            return
+        self._failures += 1
+        if self._failures >= self._threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._failures = 0
+        self._probing = False
+        self._opened_at = self._clock()
+        telemetry.count("serve.breaker.opened")
+
+    def snapshot(self) -> dict:
+        """State for the stats endpoint."""
+        return {
+            "state": self.state,
+            "failures": self._failures,
+            "retry_after": (
+                round(max(self._remaining(), 0.0), 3)
+                if self._state == OPEN
+                else 0.0
+            ),
+        }

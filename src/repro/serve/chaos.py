@@ -1,0 +1,138 @@
+"""Chaos harness for the scoring service.
+
+Extends the sweep harness's seeded fault machinery
+(:class:`~repro.runtime.faults.FaultSchedule`) to the serving request
+path.  Same contract: whether a given (request, attempt) faults — and
+how — is a pure function of ``(seed, key, attempt)``, so a chaos run
+is exactly reproducible and the load generator can predict which of
+its requests were poisoned.
+
+Serving fault vocabulary:
+
+* ``latency``      — the request stalls for a bounded, seeded duration
+  inside the lane worker (slow-tenant).  An async sleep: it burns the
+  victim's deadline budget without blocking the event loop, so the
+  bulkhead — not the fleet — absorbs the slowness.
+* ``corrupt-event`` — one event code in the request payload is pushed
+  *out of the tenant's alphabet* before validation.  Validation must
+  catch it and refuse (422); a score leaking out instead would be a
+  no-wrong-score violation.  The corruption is adversarial-but-visible
+  by construction: chaos never mutates data after validation, mirroring
+  the sweep harness, where corruption targets results that validation
+  re-checks.
+* ``store-read``   — snapshot reads fail during recovery, forcing the
+  full-WAL replay path (or a loud quarantine when the log was
+  compacted).
+* ``worker-crash`` — the lane worker dies mid-job.  The supervisor
+  must restart it and fail the in-flight request with a retryable 503.
+
+:class:`ChaosDirector` is the single consultation point the server
+calls at each stage; with no schedule attached every hook is a no-op
+costing one attribute check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.runtime import telemetry
+from repro.runtime.faults import FaultSchedule
+
+#: Every fault kind the serving chaos harness may inject.
+SERVE_FAULT_KINDS: tuple[str, ...] = (
+    "latency",
+    "corrupt-event",
+    "store-read",
+    "worker-crash",
+)
+
+
+@dataclass(frozen=True)
+class ServeFaultSchedule(FaultSchedule):
+    """A seeded fault plan over serving requests.
+
+    Inherits the deterministic ``decide``/``latency_delay`` machinery;
+    only the vocabulary changes.  Keys are request-scoped
+    (``"<tenant>|<op>|<request #>"``), chosen by the server so the
+    load generator can reconstruct every decision offline.
+    """
+
+    ALLOWED_KINDS: ClassVar[tuple[str, ...]] = SERVE_FAULT_KINDS
+
+    kinds: tuple[str, ...] = SERVE_FAULT_KINDS
+
+
+class WorkerCrashFault(BaseException):
+    """Injected lane-worker death.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: it
+    models the worker being compromised, so it must sail past the
+    pipeline's ordinary error handling and be caught only by the lane
+    supervisor's restart logic — exactly like a real stray exception.
+    """
+
+
+class ChaosDirector:
+    """Injects scheduled serving faults at well-defined stages.
+
+    Args:
+        schedule: the fault plan; ``None`` disables every hook.
+    """
+
+    def __init__(self, schedule: ServeFaultSchedule | None = None) -> None:
+        self.schedule = schedule
+        self.injected: dict[str, int] = {}
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can ever fire."""
+        return self.schedule is not None and self.schedule.rate > 0.0
+
+    def _decide(self, expected: str, key: str, attempt: int) -> bool:
+        if self.schedule is None:
+            return False
+        kind = self.schedule.decide(key, attempt)
+        if kind != expected:
+            return False
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        telemetry.count(f"serve.chaos.{kind}")
+        return True
+
+    async def maybe_latency(self, key: str, attempt: int = 1) -> None:
+        """Stall (async) when the schedule drew ``latency`` for ``key``."""
+        if self._decide("latency", key, attempt):
+            assert self.schedule is not None
+            await asyncio.sleep(self.schedule.latency_delay(key, attempt))
+
+    def maybe_corrupt_events(
+        self, events: np.ndarray, alphabet_size: int, key: str, attempt: int = 1
+    ) -> np.ndarray:
+        """Poison one event code out of the alphabet, when scheduled.
+
+        Applied *before* validation — the corrupted payload must be
+        caught there, which is what the chaos suite asserts.
+        """
+        if not self._decide("corrupt-event", key, attempt):
+            return events
+        assert self.schedule is not None
+        poisoned = np.asarray(events, dtype=np.int64).copy()
+        index = self.schedule.latency_delay(key, attempt)  # reuse the u-draw
+        position = int(index / self.schedule.latency_seconds * len(poisoned))
+        position = min(position, len(poisoned) - 1)
+        poisoned[position] = alphabet_size + poisoned[position]
+        return poisoned
+
+    def store_read_faulty(self, key: str, attempt: int = 1) -> bool:
+        """Whether recovery should treat snapshot reads as failed."""
+        return self._decide("store-read", key, attempt)
+
+    def maybe_worker_crash(self, key: str, attempt: int = 1) -> None:
+        """Kill the lane worker, when scheduled."""
+        if self._decide("worker-crash", key, attempt):
+            raise WorkerCrashFault(
+                f"injected worker crash on {key} (attempt {attempt})"
+            )

@@ -1,0 +1,274 @@
+"""Load generator and no-wrong-score verifier for the scoring service.
+
+One tool, two jobs:
+
+* **load** — drive N concurrent tenants through realistic traffic
+  (seeded training chunks, then scoring requests across detector
+  families and window lengths), measuring per-request latency and
+  aggregate throughput;
+* **verification** — every byte the server returns is checked against
+  a locally computed reference.  Training acknowledgements must echo
+  the exact content digest of the events the client accumulated;
+  every 200-scored stream must match ``create_detector(...).fit(...)
+  .score_stream(...)`` **bit-exactly**.  Any divergence is recorded as
+  a *violation* — under chaos, refusals are expected and fine, but a
+  single wrong score fails the run.
+
+The generator is fully seeded (streams, request ids, ordering within
+a tenant), so a chaos run is reproducible end to end: the server's
+fault schedule keys off the client-supplied ``request_id``, and
+retries carry an explicit ``attempt`` number, mirroring the sweep
+harness's (key, attempt) fault addressing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detectors.registry import create_detector
+from repro.runtime.store import stream_digest
+
+#: (family, window) cells a default load plan scores.
+DEFAULT_CELLS: tuple[tuple[str, int], ...] = (
+    ("stide", 4),
+    ("t-stide", 6),
+    ("markov", 2),
+)
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """A seeded description of the traffic to generate."""
+
+    tenants: int = 3
+    train_chunks: int = 6
+    chunk_events: int = 200
+    scores_per_tenant: int = 9
+    test_events: int = 120
+    alphabet_size: int = 8
+    seed: int = 7
+    budget: float = 10.0
+    max_attempts: int = 4
+    cells: tuple[tuple[str, int], ...] = DEFAULT_CELLS
+
+    @classmethod
+    def quick(cls, seed: int = 7) -> "LoadPlan":
+        """A small plan for smoke tests and CI."""
+        return cls(
+            tenants=2,
+            train_chunks=3,
+            chunk_events=120,
+            scores_per_tenant=6,
+            test_events=80,
+            seed=seed,
+        )
+
+
+@dataclass
+class LoadReport:
+    """What a load run observed.  ``violations`` must stay empty."""
+
+    requests: int = 0
+    trains_ok: int = 0
+    scores_ok: int = 0
+    retries: int = 0
+    refusals: dict[str, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def note_refusal(self, reason: str) -> None:
+        self.refusals[reason] = self.refusals.get(reason, 0) + 1
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in milliseconds (0 when empty)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q) * 1000.0)
+
+    def summary(self) -> dict:
+        """JSON-ready aggregate (the benchmark artifact payload)."""
+        wall = max(self.wall_seconds, 1e-9)
+        return {
+            "requests": self.requests,
+            "trains_ok": self.trains_ok,
+            "scores_ok": self.scores_ok,
+            "retries": self.retries,
+            "refusals": dict(sorted(self.refusals.items())),
+            "violations": len(self.violations),
+            "p50_ms": round(self.percentile(50), 3),
+            "p99_ms": round(self.percentile(99), 3),
+            "streams_per_sec": round(self.scores_ok / wall, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+async def request(
+    host: str, port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict]:
+    """One HTTP/1.1 request against the server (Connection: close)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode("utf-8") if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("ascii") + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, BrokenPipeError):
+        pass
+    header, _, body_bytes = raw.partition(b"\r\n\r\n")
+    status = int(header.split(None, 2)[1])
+    data = json.loads(body_bytes) if body_bytes else {}
+    return status, data
+
+
+class LoadGenerator:
+    """Drives one :class:`LoadPlan` against a running server."""
+
+    def __init__(self, host: str, port: int, plan: LoadPlan) -> None:
+        self.host = host
+        self.port = port
+        self.plan = plan
+        self.report = LoadReport()
+
+    def _stream(self, tag: str, length: int) -> np.ndarray:
+        """A seeded event stream (structured, not uniform noise)."""
+        rng = random.Random(f"loadgen|{self.plan.seed}|{tag}")
+        size = self.plan.alphabet_size
+        state = rng.randrange(size)
+        events = []
+        for _ in range(length):
+            # A sticky walk gives the detectors learnable structure.
+            if rng.random() < 0.6:
+                state = (state + 1) % size
+            else:
+                state = rng.randrange(size)
+            events.append(state)
+        return np.asarray(events, dtype=np.int64)
+
+    async def _call(
+        self, tenant: str, op: str, request_id: str, body: dict
+    ) -> tuple[int, dict]:
+        """POST one tenant op, retrying retryable refusals."""
+        path = f"/v1/tenants/{tenant}/{op}"
+        for attempt in range(1, self.plan.max_attempts + 1):
+            self.report.requests += 1
+            body = dict(
+                body, request_id=request_id, attempt=attempt,
+                budget=self.plan.budget,
+            )
+            started = time.monotonic()
+            status, data = await request(
+                self.host, self.port, "POST", path, body
+            )
+            self.report.latencies.append(time.monotonic() - started)
+            if status == 200:
+                return status, data
+            reason = data.get("reason", f"http-{status}")
+            self.report.note_refusal(reason)
+            # The generator validated its own payload, so an
+            # invalid-events refusal means in-flight corruption
+            # (chaos) — retrying with a fresh attempt is sound.
+            if not data.get("retryable") and reason != "invalid-events":
+                return status, data
+            self.report.retries += 1
+            await asyncio.sleep(float(data.get("retry_after") or 0.01))
+        return status, data
+
+    async def _drive_tenant(self, index: int) -> None:
+        plan = self.plan
+        tenant = f"tenant-{index:02d}"
+        accumulated = np.empty(0, dtype=np.int64)
+
+        for chunk_index in range(plan.train_chunks):
+            events = self._stream(f"{tenant}|train|{chunk_index}", plan.chunk_events)
+            status, data = await self._call(
+                tenant,
+                "train",
+                f"train-{chunk_index}",
+                {
+                    "events": events.tolist(),
+                    "alphabet_size": plan.alphabet_size,
+                },
+            )
+            if status != 200:
+                # A permanently refused chunk is never part of the
+                # tenant's state; skip it locally too.
+                continue
+            accumulated = (
+                events.copy()
+                if accumulated.size == 0
+                else np.concatenate([accumulated, events])
+            )
+            self.report.trains_ok += 1
+            expected = stream_digest(accumulated)
+            if data.get("digest") != expected:
+                self.report.violations.append(
+                    f"{tenant} train {chunk_index}: server digest "
+                    f"{data.get('digest')} != client digest {expected}"
+                )
+
+        if accumulated.size == 0:
+            return
+        references: dict[tuple[str, int], object] = {}
+        for score_index in range(plan.scores_per_tenant):
+            family, window = plan.cells[score_index % len(plan.cells)]
+            stream = self._stream(f"{tenant}|test|{score_index}", plan.test_events)
+            status, data = await self._call(
+                tenant,
+                "score",
+                f"score-{score_index}",
+                {
+                    "family": family,
+                    "window": window,
+                    "events": stream.tolist(),
+                },
+            )
+            if status != 200:
+                continue
+            self.report.scores_ok += 1
+            cell = (family, window)
+            if cell not in references:
+                detector = create_detector(
+                    family, window, plan.alphabet_size
+                )
+                detector.fit(accumulated)
+                references[cell] = detector
+            expected = np.asarray(
+                references[cell].score_stream(stream), dtype=float
+            )
+            got = np.asarray(data.get("scores", []), dtype=float)
+            if got.shape != expected.shape or not np.array_equal(
+                got, expected
+            ):
+                self.report.violations.append(
+                    f"{tenant} score {score_index} ({family}, DW={window}): "
+                    f"scores diverge from the local reference"
+                )
+
+    async def run(self) -> LoadReport:
+        """Drive every tenant concurrently; returns the report."""
+        started = time.monotonic()
+        await asyncio.gather(
+            *(self._drive_tenant(i) for i in range(self.plan.tenants))
+        )
+        self.report.wall_seconds = time.monotonic() - started
+        return self.report
+
+
+async def run_load(host: str, port: int, plan: LoadPlan) -> LoadReport:
+    """Convenience wrapper: one generator, one run."""
+    return await LoadGenerator(host, port, plan).run()

@@ -1,0 +1,149 @@
+"""The scoring pipeline and its degradation ladder.
+
+A score request travels: validate → fit (cached) → score at the best
+applicable kernel tier → fall down the ladder on failure → refuse.
+The ladder reuses the sweep engine's tier semantics
+(:func:`~repro.runtime.kernels.resolve_kernel_tier`):
+
+1. **automaton** — the one-pass multi-order membership automaton,
+   when the cell is packable and within the profile's order budget;
+2. **bisect** — the classic per-DW ``searchsorted`` membership path,
+   always applicable;
+3. **refuse** — a :class:`~repro.exceptions.ScoreRefusal` (503) with a
+   machine-readable advisory.
+
+Because the tiers are bit-identical by construction (asserted by
+``tests/runtime/test_kernels.py``), falling down the ladder changes
+*how* a response is computed, never its value — degradation trades
+speed, not correctness, which is the other half of the no-wrong-score
+invariant: every path out of this module is either a correct score or
+an explicit refusal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ScoreRefusal
+from repro.runtime import telemetry
+from repro.runtime.kernels import TIER_AUTO, TIER_BISECT, resolve_kernel_tier
+from repro.serve.admission import Deadline
+from repro.serve.tenants import TenantState, TenantStateStore
+
+
+@dataclass(frozen=True)
+class ScoreOutcome:
+    """One successful scoring response."""
+
+    scores: tuple[float, ...]
+    family: str
+    window: int
+    tier: str
+    attempts: int
+    elapsed: float
+
+
+class ScorePipeline:
+    """Validated, deadline-aware, ladder-degrading scoring.
+
+    Synchronous on purpose: the server runs it inside the lane
+    executor, so the event loop never blocks on NumPy.
+
+    Args:
+        tenants: the tenant state store (fit cache lives there).
+        retries: extra full-ladder passes before refusing.  Maps from
+            the CLI's ``--retries`` budget; scoring is deterministic,
+            so retries only help against *injected* or environmental
+            failures, which is exactly what they are budgeted for.
+    """
+
+    def __init__(self, tenants: TenantStateStore, retries: int = 1) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self._tenants = tenants
+        self._retries = int(retries)
+
+    def ladder(self, state: TenantState, window: int) -> tuple[str, ...]:
+        """The kernel tiers to try for this cell, best first."""
+        preferred = resolve_kernel_tier(
+            TIER_AUTO, state.alphabet_size, window
+        )
+        if preferred == TIER_BISECT:
+            return (TIER_BISECT,)
+        return (preferred, TIER_BISECT)
+
+    def score(
+        self,
+        state: TenantState,
+        family: str,
+        window: int,
+        events: object,
+        deadline: Deadline,
+    ) -> ScoreOutcome:
+        """Score one stream for one (family, window) cell.
+
+        Raises:
+            ScoreRefusal: 422 on invalid input or a stream shorter
+                than one window; 504 when the budget dies mid-ladder;
+                503 (retryable) when every rung of the ladder failed.
+        """
+        started = time.monotonic()
+        data = self._tenants.validate_events(events, state.alphabet_size)
+        if len(data) < window:
+            raise ScoreRefusal(
+                f"test stream holds {len(data)} events, fewer than one "
+                f"window of {window}",
+                status=422,
+                reason="stream-too-short",
+            )
+        deadline.check("fit")
+        detector = self._tenants.detector_for(state, family, window)
+        ladder = self.ladder(state, window)
+        attempts = 0
+        last_error: Exception | None = None
+        for attempt in range(self._retries + 1):
+            for tier in ladder:
+                deadline.check(f"score:{tier}")
+                attempts += 1
+                try:
+                    with telemetry.span(
+                        "serve",
+                        "score",
+                        tenant=state.tenant_id,
+                        family=family,
+                        dw=window,
+                        tier=tier,
+                    ):
+                        detector.attach_kernel_tier(tier)
+                        scores = np.asarray(
+                            detector.score_stream(data), dtype=float
+                        )
+                except ScoreRefusal:
+                    raise
+                except Exception as error:
+                    last_error = error
+                    telemetry.count("serve.ladder.fallback")
+                    continue
+                if attempt or tier != ladder[0]:
+                    telemetry.count("serve.ladder.degraded")
+                telemetry.count("serve.score")
+                return ScoreOutcome(
+                    scores=tuple(float(x) for x in scores),
+                    family=family,
+                    window=window,
+                    tier=tier,
+                    attempts=attempts,
+                    elapsed=time.monotonic() - started,
+                )
+        telemetry.count("serve.ladder.exhausted")
+        raise ScoreRefusal(
+            f"every kernel tier failed for tenant {state.tenant_id!r} "
+            f"cell ({family}, DW={window}); last error: "
+            f"{type(last_error).__name__}: {last_error}",
+            status=503,
+            reason="ladder-exhausted",
+            retry_after=0.1,
+        )

@@ -1,0 +1,477 @@
+"""Asyncio multi-tenant scoring server (stdlib only, no frameworks).
+
+A deliberately small HTTP/1.1 server over ``asyncio`` streams — the
+repository takes no web-framework dependency for the same reason it
+takes no others: the serving layer must be auditable end to end.
+
+Request path for tenant operations::
+
+    HTTP parse → route → breaker.admit → lane.submit   (429 when full)
+      lane worker: deadline check → chaos hooks → executor
+        train: validate → WAL append → snapshot            (executor)
+        score: validate → fit (cached) → kernel ladder     (executor)
+
+NumPy work runs in a thread-pool executor so the event loop only ever
+parses bytes and shuffles queues; per-tenant order is still serial
+because each tenant's jobs flow through its single-worker lane.
+
+Endpoints::
+
+    GET  /healthz                      liveness (always 200)
+    GET  /readyz                       readiness (503 until recovered,
+                                       and again after /drain)
+    POST /drain                        stop admitting, finish queues
+    GET  /v1/stats                     lanes, breakers, chaos, recovery
+    GET  /v1/tenants/<id>              tenant metadata + state digest
+    POST /v1/tenants/<id>/train        append training events
+    POST /v1/tenants/<id>/score        score a test stream
+
+Every refusal is an explicit JSON advisory ``{"error", "reason",
+"retry_after"}`` with the matching HTTP status (422 invalid input, 429
+queue full, 503 breaker/drain/crash, 504 deadline), so a client can
+always distinguish "retry later" from "your request is wrong" — and
+no response body ever carries a score the pipeline did not compute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+
+from repro.exceptions import ScoreRefusal
+from repro.runtime import telemetry
+from repro.serve.admission import AdmissionPolicy, Deadline, TenantLane
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.chaos import ChaosDirector
+from repro.serve.pipeline import ScorePipeline
+from repro.serve.tenants import RecoveryReport, TenantStateStore
+
+#: Largest request body accepted, in bytes (arrays of ~1e6 events).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Refusal reasons that indicate the *tenant's pipeline* is unhealthy
+#: (they advance its circuit breaker); admission refusals do not.
+_BREAKER_REASONS = frozenset({"ladder-exhausted", "worker-crash"})
+
+
+class ScoringServer:
+    """One service instance: tenants, lanes, breakers, HTTP front end.
+
+    Args:
+        root: state directory (WALs, manifests, snapshot store).
+        host: bind address.
+        port: bind port (0 picks a free one; see :attr:`port`).
+        policy: admission limits; defaults to :class:`AdmissionPolicy`.
+        chaos: fault director; ``None`` serves faithfully.
+        retries: per-request full-ladder retry budget
+            (``--retries`` semantics).
+        snapshot_every: tenant snapshot cadence (0 disables).
+        fsync: fsync WAL appends (power-loss durability).
+        executor_workers: scoring thread-pool size.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        policy: AdmissionPolicy | None = None,
+        chaos: ChaosDirector | None = None,
+        retries: int = 1,
+        snapshot_every: int = 8,
+        fsync: bool = False,
+        executor_workers: int = 4,
+    ) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.chaos = chaos if chaos is not None else ChaosDirector()
+        self.tenants = TenantStateStore(
+            root, snapshot_every=snapshot_every, fsync=fsync
+        )
+        self.pipeline = ScorePipeline(self.tenants, retries=retries)
+        self.recovery: RecoveryReport | None = None
+        self._host = host
+        self._port = port
+        self._server: asyncio.Server | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="serve-score"
+        )
+        self._lanes: dict[str, TenantLane] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._draining = False
+        self.requests = 0
+        self.refusals: dict[int, int] = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None:
+            return self._port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def ready(self) -> bool:
+        """Whether the server admits traffic."""
+        return (
+            self._server is not None
+            and self.recovery is not None
+            and not self._draining
+        )
+
+    async def start(self) -> None:
+        """Recover persisted tenants, then bind and listen."""
+        with telemetry.span("serve", "recover"):
+            self.recovery = self.tenants.recover_all(
+                store_faulty=self.chaos.store_read_faulty("recover")
+            )
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+
+    async def drain(self) -> dict:
+        """Stop admitting, let every lane finish its queue."""
+        self._draining = True
+        for lane in self._lanes.values():
+            await lane.drain()
+        telemetry.count("serve.drained")
+        return {
+            "drained": True,
+            "lanes": {
+                name: lane.snapshot() for name, lane in self._lanes.items()
+            },
+        }
+
+    async def stop(self) -> None:
+        """Drain, close the listener, release the executor."""
+        if not self._draining:
+            await self.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (used by ``repro serve``)."""
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- per-tenant plumbing ----------------------------------------------
+
+    def _lane(self, tenant_id: str) -> TenantLane:
+        lane = self._lanes.get(tenant_id)
+        if lane is None:
+            lane = TenantLane(
+                tenant_id,
+                queue_depth=self.policy.queue_depth,
+                retry_after_hint=self.policy.retry_after_hint,
+            )
+            self._lanes[tenant_id] = lane
+        return lane
+
+    def _breaker(self, tenant_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(tenant_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.policy.breaker_failures,
+                reset_timeout=self.policy.breaker_reset,
+                name=tenant_id,
+            )
+            self._breakers[tenant_id] = breaker
+        return breaker
+
+    # -- request handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except ScoreRefusal as refusal:
+            status, payload = self._refusal_payload(refusal)
+        except Exception as error:  # never leak a traceback as a hang
+            status = 500
+            payload = {"error": f"{type(error).__name__}: {error}"}
+            telemetry.count("serve.http.error")
+        if status >= 400:
+            self.refusals[status] = self.refusals.get(status, 0) + 1
+        body = json.dumps(payload).encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        retry_after = payload.get("retry_after")
+        if retry_after:
+            headers.append(f"Retry-After: {retry_after}")
+        writer.write(
+            ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body
+        )
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    @staticmethod
+    def _refusal_payload(refusal: ScoreRefusal) -> tuple[int, dict]:
+        payload: dict = {
+            "error": str(refusal),
+            "reason": refusal.reason,
+            "retryable": refusal.retryable,
+        }
+        if refusal.retry_after is not None:
+            payload["retry_after"] = refusal.retry_after
+        return refusal.status, payload
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        method, path, body = await self._read_request(reader)
+        self.requests += 1
+        telemetry.count("serve.http.request")
+
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok"}
+        if path == "/readyz" and method == "GET":
+            if self.ready:
+                return 200, {"ready": True}
+            return 503, {"ready": False, "reason": "draining" if self._draining else "recovering"}
+        if path == "/drain" and method == "POST":
+            return 200, await self.drain()
+        if path == "/v1/stats" and method == "GET":
+            return 200, self._stats()
+
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "tenants":
+            if len(parts) == 3 and method == "GET":
+                return self._tenant_info(parts[2])
+            if len(parts) == 4 and method == "POST":
+                tenant_id, op = parts[2], parts[3]
+                if op in ("train", "score"):
+                    return await self._tenant_op(tenant_id, op, body)
+        return 404, {"error": f"no route for {method} {path}"}
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict]:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                raise ScoreRefusal(
+                    "malformed request line", status=400, reason="bad-request"
+                )
+            method, path = parts[0].upper(), parts[1]
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            if content_length > MAX_BODY_BYTES:
+                raise ScoreRefusal(
+                    f"body of {content_length} bytes exceeds "
+                    f"{MAX_BODY_BYTES}",
+                    status=413,
+                    reason="payload-too-large",
+                )
+            raw = (
+                await reader.readexactly(content_length)
+                if content_length
+                else b""
+            )
+        except (asyncio.IncompleteReadError, ValueError) as error:
+            raise ScoreRefusal(
+                f"malformed request: {error}", status=400, reason="bad-request"
+            ) from None
+        if not raw:
+            return method, path, {}
+        try:
+            body = json.loads(raw)
+        except ValueError as error:
+            raise ScoreRefusal(
+                f"body is not valid JSON: {error}",
+                status=400,
+                reason="bad-request",
+            ) from None
+        if not isinstance(body, dict):
+            raise ScoreRefusal(
+                "body must be a JSON object", status=400, reason="bad-request"
+            )
+        return method, path, body
+
+    # -- tenant endpoints -------------------------------------------------
+
+    def _tenant_info(self, tenant_id: str) -> tuple[int, dict]:
+        state = self.tenants.get(tenant_id)
+        return 200, {
+            "tenant": state.tenant_id,
+            "alphabet_size": state.alphabet_size,
+            "seq": state.seq,
+            "events": state.event_count,
+            "digest": state.digest(),
+        }
+
+    async def _tenant_op(
+        self, tenant_id: str, op: str, body: dict
+    ) -> tuple[int, dict]:
+        if self._draining:
+            raise ScoreRefusal(
+                "server is draining", status=503, reason="draining",
+                retry_after=1.0,
+            )
+        breaker = self._breaker(tenant_id)
+        breaker.admit()
+        request_id = str(body.get("request_id", f"{op}-{self.requests}"))
+        attempt = int(body.get("attempt", 1))
+        key = f"{tenant_id}|{op}|{request_id}"
+        budget = self.policy.budget_for(body.get("budget"))
+        deadline = Deadline.after(budget)
+        lane = self._lane(tenant_id)
+
+        async def job() -> dict:
+            await self.chaos.maybe_latency(key, attempt)
+            self.chaos.maybe_worker_crash(key, attempt)
+            loop = asyncio.get_running_loop()
+            if op == "train":
+                work = self._train_job(tenant_id, body, key, attempt, deadline)
+            else:
+                work = self._score_job(tenant_id, body, key, attempt, deadline)
+            return await loop.run_in_executor(self._executor, work)
+
+        try:
+            result = await lane.submit(job, deadline)
+        except ScoreRefusal as refusal:
+            if refusal.reason in _BREAKER_REASONS:
+                breaker.record_failure()
+            raise
+        breaker.record_success()
+        assert isinstance(result, dict)
+        return 200, result
+
+    def _train_job(
+        self,
+        tenant_id: str,
+        body: dict,
+        key: str,
+        attempt: int,
+        deadline: Deadline,
+    ):
+        def work() -> dict:
+            deadline.check("train")
+            state = self.tenants.open(tenant_id, body.get("alphabet_size"))
+            events = self.chaos.maybe_corrupt_events(
+                self.tenants.validate_events(
+                    body.get("events"), state.alphabet_size
+                ),
+                state.alphabet_size,
+                key,
+                attempt,
+            )
+            # Re-validate: a chaos-poisoned payload must be *caught*,
+            # never journaled — this pair of calls is the invariant.
+            events = self.tenants.validate_events(events, state.alphabet_size)
+            seq = self.tenants.ingest(state, events)
+            return {
+                "tenant": tenant_id,
+                "seq": seq,
+                "events": state.event_count,
+                "digest": state.digest(),
+            }
+
+        return work
+
+    def _score_job(
+        self,
+        tenant_id: str,
+        body: dict,
+        key: str,
+        attempt: int,
+        deadline: Deadline,
+    ):
+        def work() -> dict:
+            deadline.check("score")
+            state = self.tenants.get(tenant_id)
+            family = str(body.get("family", "stide"))
+            try:
+                window = int(body.get("window", 0))
+            except (TypeError, ValueError):
+                raise ScoreRefusal(
+                    f"window must be an integer, got {body.get('window')!r}",
+                    status=422,
+                    reason="invalid-window",
+                ) from None
+            if window < 1:
+                raise ScoreRefusal(
+                    f"window must be >= 1, got {window}",
+                    status=422,
+                    reason="invalid-window",
+                )
+            events = self.chaos.maybe_corrupt_events(
+                self.tenants.validate_events(
+                    body.get("events"), state.alphabet_size
+                ),
+                state.alphabet_size,
+                key,
+                attempt,
+            )
+            outcome = self.pipeline.score(
+                state, family, window, events, deadline
+            )
+            return {
+                "tenant": tenant_id,
+                "family": outcome.family,
+                "window": outcome.window,
+                "tier": outcome.tier,
+                "attempts": outcome.attempts,
+                "elapsed": round(outcome.elapsed, 6),
+                "scores": list(outcome.scores),
+            }
+
+        return work
+
+    # -- stats ------------------------------------------------------------
+
+    def _stats(self) -> dict:
+        return {
+            "ready": self.ready,
+            "requests": self.requests,
+            "refusals": {str(k): v for k, v in sorted(self.refusals.items())},
+            "tenants": {
+                tid: {
+                    "seq": state.seq,
+                    "events": state.event_count,
+                    "quarantined": state.quarantined,
+                }
+                for tid, state in sorted(self.tenants.tenants.items())
+            },
+            "lanes": {
+                name: lane.snapshot()
+                for name, lane in sorted(self._lanes.items())
+            },
+            "breakers": {
+                name: breaker.snapshot()
+                for name, breaker in sorted(self._breakers.items())
+            },
+            "chaos": dict(self.chaos.injected),
+            "recovery": asdict(self.recovery) if self.recovery else None,
+        }

@@ -1,0 +1,332 @@
+"""Multi-tenant normal databases with crash-safe persistence.
+
+One tenant = one normal database: the concatenated training stream its
+detectors fit on.  Because every detector family in the registry fits
+deterministically from that stream, recovering the stream bit-exactly
+(the :mod:`repro.serve.wal` contract) recovers every score the service
+would have produced — the property the crash-recovery integration test
+asserts end to end.
+
+The store keeps per-tenant fitted detectors cached and invalidates
+them on ingest, so a scoring burst against a quiet tenant fits once.
+All methods are synchronous and thread-compatible under the serving
+bulkhead discipline: one lane worker mutates a given tenant at a time
+(the asyncio server guarantees this), so no per-tenant lock is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector
+from repro.detectors.registry import create_detector
+from repro.exceptions import ScoreRefusal, TenantRecoveryError
+from repro.runtime import telemetry
+from repro.runtime.store import ArtifactStore, stream_digest
+from repro.serve.wal import TenantJournal
+
+#: Default per-tenant alphabet when a create request does not name one
+#: (the paper corpus alphabet).
+DEFAULT_ALPHABET_SIZE = 8
+
+
+@dataclass
+class TenantState:
+    """One tenant's in-memory state, mirrored by its journal."""
+
+    tenant_id: str
+    alphabet_size: int
+    events: np.ndarray
+    seq: int = 0
+    journal: TenantJournal | None = None
+    quarantined: str | None = None
+    detectors: dict[tuple[str, int], AnomalyDetector] = field(
+        default_factory=dict
+    )
+
+    @property
+    def event_count(self) -> int:
+        """Training events accumulated so far."""
+        return int(len(self.events))
+
+    def digest(self) -> str:
+        """Content digest of the normal database (recovery audits)."""
+        return stream_digest(self.events)
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What a service restart reconstructed from disk."""
+
+    tenants: int = 0
+    from_snapshot: int = 0
+    replayed_records: int = 0
+    quarantined: tuple[str, ...] = ()
+
+
+class TenantStateStore:
+    """All tenants of one service instance, journaled under one root.
+
+    Layout: ``<root>/tenants/<tenant id>/{wal.jsonl,manifest.json}``
+    plus an artifact store (``<root>/store`` by default) holding the
+    snapshots.
+
+    Args:
+        root: service state directory.
+        store: snapshot store; defaults to ``ArtifactStore(root/"store")``.
+            Pass ``None`` explicitly via ``snapshots=False`` semantics
+            is not supported — snapshots are cheap and recovery falls
+            back to the full log without them anyway.
+        snapshot_every: take a snapshot every N ingests (0 disables).
+        fsync: forwarded to each tenant's journal.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        store: ArtifactStore | None = None,
+        snapshot_every: int = 8,
+        fsync: bool = False,
+    ) -> None:
+        self._root = Path(root)
+        self._store = (
+            store
+            if store is not None
+            else ArtifactStore(self._root / "store")
+        )
+        self._snapshot_every = int(snapshot_every)
+        self._fsync = fsync
+        self._tenants: dict[str, TenantState] = {}
+
+    @property
+    def root(self) -> Path:
+        """The service state directory."""
+        return self._root
+
+    @property
+    def store(self) -> ArtifactStore:
+        """The snapshot artifact store."""
+        return self._store
+
+    @property
+    def tenants(self) -> dict[str, TenantState]:
+        """Live tenants by id (includes quarantined ones)."""
+        return self._tenants
+
+    def _tenant_dir(self, tenant_id: str) -> Path:
+        return self._root / "tenants" / tenant_id
+
+    def _journal(self, tenant_id: str) -> TenantJournal:
+        return TenantJournal(self._tenant_dir(tenant_id), fsync=self._fsync)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def get(self, tenant_id: str) -> TenantState:
+        """The tenant, or a :class:`ScoreRefusal` (404) if unknown."""
+        state = self._tenants.get(tenant_id)
+        if state is None:
+            raise ScoreRefusal(
+                f"unknown tenant {tenant_id!r}",
+                status=404,
+                reason="unknown-tenant",
+            )
+        if state.quarantined is not None:
+            raise ScoreRefusal(
+                f"tenant {tenant_id!r} is quarantined: {state.quarantined}",
+                status=503,
+                reason="quarantined",
+            )
+        return state
+
+    def open(
+        self, tenant_id: str, alphabet_size: int | None = None
+    ) -> TenantState:
+        """The tenant, created (and journaled) if it does not exist."""
+        state = self._tenants.get(tenant_id)
+        if state is not None:
+            if state.quarantined is not None:
+                raise ScoreRefusal(
+                    f"tenant {tenant_id!r} is quarantined: "
+                    f"{state.quarantined}",
+                    status=503,
+                    reason="quarantined",
+                )
+            return state
+        size = (
+            int(alphabet_size)
+            if alphabet_size is not None
+            else DEFAULT_ALPHABET_SIZE
+        )
+        if size < 2:
+            raise ScoreRefusal(
+                f"alphabet_size must be >= 2, got {size}",
+                status=422,
+                reason="invalid-alphabet",
+            )
+        journal = self._journal(tenant_id)
+        journal.write_manifest(size)
+        state = TenantState(
+            tenant_id=tenant_id,
+            alphabet_size=size,
+            events=np.empty(0, dtype=np.int64),
+            journal=journal,
+        )
+        self._tenants[tenant_id] = state
+        telemetry.count("serve.tenant.created")
+        return state
+
+    # -- mutation ---------------------------------------------------------
+
+    def validate_events(
+        self, events: object, alphabet_size: int
+    ) -> np.ndarray:
+        """Canonical int64 view of a request's events, or a 422 refusal.
+
+        The *only* gate between wire input and detector input: a
+        poisoned payload (out-of-alphabet codes, wrong shape, NaNs)
+        becomes an explicit refusal here — the pipeline never scores
+        what it could not validate, which is half of the no-wrong-score
+        invariant.
+        """
+        try:
+            data = np.asarray(events, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError) as error:
+            raise ScoreRefusal(
+                f"events are not an integer sequence: {error}",
+                status=422,
+                reason="invalid-events",
+            ) from None
+        if data.ndim != 1 or data.size == 0:
+            raise ScoreRefusal(
+                f"events must be a non-empty flat sequence, got shape "
+                f"{data.shape}",
+                status=422,
+                reason="invalid-events",
+            )
+        if data.min() < 0 or data.max() >= alphabet_size:
+            raise ScoreRefusal(
+                "events contain codes outside the alphabet "
+                f"[0, {alphabet_size - 1}]",
+                status=422,
+                reason="invalid-events",
+            )
+        return data
+
+    def ingest(self, state: TenantState, events: np.ndarray) -> int:
+        """Append validated training events; returns the new ``seq``.
+
+        WAL-first: the record is durable before the in-memory state
+        (and therefore any acknowledgement) reflects it.
+        """
+        seq = state.seq + 1
+        assert state.journal is not None
+        state.journal.append(seq, events)
+        state.events = (
+            events.copy()
+            if state.event_count == 0
+            else np.concatenate([state.events, events])
+        )
+        state.seq = seq
+        state.detectors.clear()
+        telemetry.count("serve.ingest")
+        telemetry.count("serve.ingest.events", len(events))
+        if self._snapshot_every and seq % self._snapshot_every == 0:
+            state.journal.snapshot(
+                state.tenant_id,
+                seq,
+                state.events,
+                state.alphabet_size,
+                self._store,
+            )
+        return seq
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover_all(self, store_faulty: bool = False) -> RecoveryReport:
+        """Reconstruct every journaled tenant from disk.
+
+        A tenant whose state cannot be reconstructed faithfully is
+        *quarantined* — registered, but refusing all traffic with an
+        advisory — so one damaged tenant never blocks the fleet and is
+        never served from guessed state.
+
+        Args:
+            store_faulty: chaos hook — treat snapshot reads as failed.
+        """
+        tenants_dir = self._root / "tenants"
+        recovered = 0
+        from_snapshot = 0
+        replayed = 0
+        quarantined: list[str] = []
+        if tenants_dir.is_dir():
+            for directory in sorted(p for p in tenants_dir.iterdir() if p.is_dir()):
+                tenant_id = directory.name
+                journal = TenantJournal(directory, fsync=self._fsync)
+                try:
+                    loaded = journal.recover(
+                        self._store, store_faulty=store_faulty
+                    )
+                except TenantRecoveryError as error:
+                    self._tenants[tenant_id] = TenantState(
+                        tenant_id=tenant_id,
+                        alphabet_size=DEFAULT_ALPHABET_SIZE,
+                        events=np.empty(0, dtype=np.int64),
+                        journal=journal,
+                        quarantined=str(error),
+                    )
+                    quarantined.append(tenant_id)
+                    telemetry.count("serve.tenant.quarantined")
+                    continue
+                if loaded is None:
+                    continue
+                self._tenants[tenant_id] = TenantState(
+                    tenant_id=tenant_id,
+                    alphabet_size=loaded.alphabet_size,
+                    events=loaded.events,
+                    seq=loaded.seq,
+                    journal=journal,
+                )
+                recovered += 1
+                from_snapshot += int(loaded.from_snapshot)
+                replayed += loaded.replayed_records
+        telemetry.count("serve.tenant.recovered", recovered)
+        return RecoveryReport(
+            tenants=recovered,
+            from_snapshot=from_snapshot,
+            replayed_records=replayed,
+            quarantined=tuple(quarantined),
+        )
+
+    # -- detectors --------------------------------------------------------
+
+    def detector_for(
+        self, state: TenantState, family: str, window: int
+    ) -> AnomalyDetector:
+        """A fitted detector for (tenant, family, window), cached.
+
+        Raises:
+            ScoreRefusal: 422 when the tenant's normal database cannot
+                support the window (fewer events than one window), or
+                propagated configuration errors as 404/422 refusals.
+        """
+        cached = state.detectors.get((family, window))
+        if cached is not None:
+            return cached
+        if state.event_count < window:
+            raise ScoreRefusal(
+                f"tenant {state.tenant_id!r} holds {state.event_count} "
+                f"training events, fewer than one window of {window}",
+                status=422,
+                reason="insufficient-training",
+            )
+        with telemetry.span(
+            "serve", "fit", tenant=state.tenant_id, family=family, dw=window
+        ):
+            detector = create_detector(family, window, state.alphabet_size)
+            detector.fit(state.events)
+        state.detectors[(family, window)] = detector
+        telemetry.count("serve.fit")
+        return detector

@@ -1,0 +1,365 @@
+"""Crash-safe tenant persistence: write-ahead log + snapshots.
+
+Every mutation of a tenant's normal database is appended to a JSONL
+write-ahead log *before* it is acknowledged, and the accumulated
+training stream is periodically snapshotted into the content-addressed
+:class:`~repro.runtime.store.ArtifactStore`.  Recovery after a
+crash-kill is therefore mechanical and bit-exact:
+
+1. read the manifest (written atomically, so it is never torn);
+2. load the newest snapshot the manifest points at (or start empty);
+3. replay the WAL records with ``seq`` beyond the snapshot.
+
+**WAL format.**  One JSON object per line::
+
+    {"seq": 4, "events": [3, 1, 4, 1, 5]}
+
+``seq`` starts at 1 and is strictly contiguous; a gap means the log
+was damaged by something other than a torn append and the tenant is
+quarantined (:class:`~repro.exceptions.TenantRecoveryError`) instead
+of being served from guessable state.  A *final* line truncated
+mid-record — the only damage a SIGKILL during an append can produce —
+is tolerated: the tail is skipped and counted under the
+``serve.wal.torn_tail`` telemetry counter, exactly the guard the sweep
+checkpoint reader uses (:func:`repro.io.read_jsonl_tolerant`).  The
+lost record was never acknowledged, so dropping it is correct.
+
+**Snapshots.**  A snapshot is the tenant's exact ``int64`` event
+array, stored under a content-addressed key (tenant id, sequence
+number, stream digest, schema version).  The manifest records the key
+and the sequence it covers.  Snapshots are an optimization — the WAL
+is retained in full by default, so a missing or corrupt snapshot
+(store eviction, injected store-read fault) degrades to a full-log
+replay, never to wrong state.  Only :meth:`TenantJournal.compact`
+trades that redundancy away, and recovery refuses loudly when the
+trade went bad.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import TenantRecoveryError
+from repro.io import read_jsonl_tolerant
+from repro.runtime import telemetry
+from repro.runtime.store import ArtifactStore, stream_digest
+
+#: Bump when the WAL line or manifest layout changes; old state
+#: becomes unreadable-by-schema rather than misread.
+WAL_SCHEMA_VERSION = 1
+
+#: Telemetry counter charged when a torn WAL tail is skipped.
+TORN_TAIL_COUNTER = "serve.wal.torn_tail"
+
+
+def snapshot_key(tenant_id: str, seq: int, digest: str) -> str:
+    """Content address of one tenant snapshot in the artifact store."""
+    recipe = (
+        f"repro-serve-snapshot/{WAL_SCHEMA_VERSION}\n"
+        f"tenant={tenant_id}\n"
+        f"seq={seq}\n"
+        f"stream={digest}\n"
+    )
+    return hashlib.sha256(recipe.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RecoveredState:
+    """What :meth:`TenantJournal.recover` reconstructed.
+
+    Attributes:
+        events: the tenant's full training stream, bit-identical to
+            the acknowledged pre-crash state.
+        seq: the sequence number of the last applied record.
+        alphabet_size: the tenant's declared alphabet.
+        from_snapshot: whether a snapshot seeded the replay (``False``
+            means a full-log replay, e.g. after a store-read failure).
+        replayed_records: WAL records applied on top of the seed.
+    """
+
+    events: np.ndarray
+    seq: int
+    alphabet_size: int
+    from_snapshot: bool
+    replayed_records: int
+
+
+class TenantJournal:
+    """WAL + manifest for one tenant directory.
+
+    Layout::
+
+        <directory>/wal.jsonl      append-only event log
+        <directory>/manifest.json  atomically-replaced metadata
+
+    Args:
+        directory: the tenant's state directory; created on first use.
+        fsync: whether appends fsync before acknowledging.  ``False``
+            (the default) still survives process SIGKILL — the bytes
+            are in the page cache — and only trades away power-loss
+            durability for an order of magnitude in append latency.
+    """
+
+    def __init__(self, directory: str | Path, fsync: bool = False) -> None:
+        self._directory = Path(directory)
+        self._fsync = fsync
+
+    @property
+    def directory(self) -> Path:
+        """The tenant state directory."""
+        return self._directory
+
+    @property
+    def wal_path(self) -> Path:
+        """The write-ahead log file."""
+        return self._directory / "wal.jsonl"
+
+    @property
+    def manifest_path(self) -> Path:
+        """The manifest file."""
+        return self._directory / "manifest.json"
+
+    # -- manifest ---------------------------------------------------------
+
+    def read_manifest(self) -> dict | None:
+        """The manifest, or ``None`` for a brand-new tenant.
+
+        Raises:
+            TenantRecoveryError: on an unreadable or wrong-schema
+                manifest — it is written atomically, so damage here is
+                not a crash artifact.
+        """
+        path = self.manifest_path
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise TenantRecoveryError(
+                f"unreadable tenant manifest {path}: {error}"
+            ) from error
+        if manifest.get("schema") != WAL_SCHEMA_VERSION:
+            raise TenantRecoveryError(
+                f"tenant manifest {path} has schema "
+                f"{manifest.get('schema')!r}, expected {WAL_SCHEMA_VERSION}"
+            )
+        return manifest
+
+    def write_manifest(
+        self,
+        alphabet_size: int,
+        snapshot_seq: int = 0,
+        snapshot: str | None = None,
+    ) -> None:
+        """Atomically replace the manifest (temp file + ``os.replace``)."""
+        manifest = {
+            "schema": WAL_SCHEMA_VERSION,
+            "alphabet_size": int(alphabet_size),
+            "snapshot_seq": int(snapshot_seq),
+            "snapshot": snapshot,
+        }
+        self._directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_name(
+            f".manifest.{os.getpid()}.tmp"
+        )
+        tmp.write_text(
+            json.dumps(manifest, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.manifest_path)
+
+    # -- appends ----------------------------------------------------------
+
+    def append(self, seq: int, events: np.ndarray) -> None:
+        """Append one acknowledged ingest as a WAL record.
+
+        One buffered write plus a flush: a kill mid-append tears at
+        most this record, and a torn record is one that was never
+        acknowledged.
+        """
+        self._directory.mkdir(parents=True, exist_ok=True)
+        line = (
+            json.dumps(
+                {"seq": int(seq), "events": np.asarray(events).tolist()},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        with self.wal_path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        telemetry.count("serve.wal.append")
+
+    # -- recovery ---------------------------------------------------------
+
+    def read_records(self) -> list[tuple[int, np.ndarray]]:
+        """Every intact WAL record as ``(seq, events)``, in file order.
+
+        Raises:
+            TenantRecoveryError: on mid-file damage or a malformed
+                record body (the torn-tail case is tolerated by the
+                shared guard and merely counted).
+        """
+        if not self.wal_path.exists():
+            return []
+        try:
+            lines = read_jsonl_tolerant(
+                self.wal_path, strict=True, torn_tail_counter=TORN_TAIL_COUNTER
+            )
+        except Exception as error:
+            raise TenantRecoveryError(
+                f"write-ahead log {self.wal_path} is damaged beyond a "
+                f"torn tail: {error}"
+            ) from error
+        records: list[tuple[int, np.ndarray]] = []
+        for line_number, record in lines:
+            try:
+                seq = int(record["seq"])
+                events = np.asarray(record["events"], dtype=np.int64)
+            except (KeyError, TypeError, ValueError) as error:
+                raise TenantRecoveryError(
+                    f"{self.wal_path}:{line_number}: malformed WAL "
+                    f"record: {error}"
+                ) from error
+            records.append((seq, events))
+        return records
+
+    def recover(
+        self, store: ArtifactStore | None, store_faulty: bool = False
+    ) -> RecoveredState | None:
+        """Reconstruct the tenant's state from disk, bit-exactly.
+
+        Args:
+            store: the snapshot store (``None`` disables snapshots).
+            store_faulty: chaos hook — treat the snapshot read as
+                failed, exercising the full-log fallback.
+
+        Returns:
+            ``None`` for a directory with neither manifest nor WAL
+            (a tenant that never existed).
+
+        Raises:
+            TenantRecoveryError: when the surviving state cannot be
+                reconstructed faithfully (damaged log, sequence gap,
+                or a compacted log whose snapshot is gone).
+        """
+        manifest = self.read_manifest()
+        if manifest is None:
+            if self.wal_path.exists():
+                raise TenantRecoveryError(
+                    f"write-ahead log {self.wal_path} exists without a "
+                    "manifest"
+                )
+            return None
+        alphabet_size = int(manifest["alphabet_size"])
+        records = self.read_records()
+
+        seed = np.empty(0, dtype=np.int64)
+        seed_seq = 0
+        from_snapshot = False
+        key = manifest.get("snapshot")
+        if key is not None and store is not None and not store_faulty:
+            held = store.get(str(key), kind="snapshot")
+            if held is not None and "events" in held:
+                seed = np.asarray(held["events"], dtype=np.int64)
+                seed_seq = int(manifest["snapshot_seq"])
+                from_snapshot = True
+                telemetry.count("serve.snapshot.hit")
+        if key is not None and not from_snapshot:
+            telemetry.count("serve.snapshot.miss")
+            # Fall back to a full-log replay; only legal when the log
+            # still reaches back to seq 1.
+            first_seq = records[0][0] if records else None
+            if first_seq != 1 and int(manifest["snapshot_seq"]) > 0:
+                raise TenantRecoveryError(
+                    f"snapshot {key} is unreadable and the write-ahead "
+                    f"log was compacted past seq 1 (starts at "
+                    f"{first_seq}); refusing to serve guessed state"
+                )
+
+        tail = [(seq, events) for seq, events in records if seq > seed_seq]
+        expected = seed_seq
+        chunks = [seed]
+        for seq, events in tail:
+            expected += 1
+            if seq != expected:
+                raise TenantRecoveryError(
+                    f"write-ahead log {self.wal_path} has a sequence "
+                    f"gap: expected {expected}, found {seq}"
+                )
+            chunks.append(events)
+        events = np.concatenate(chunks) if len(chunks) > 1 else seed
+        return RecoveredState(
+            events=events,
+            seq=expected,
+            alphabet_size=alphabet_size,
+            from_snapshot=from_snapshot,
+            replayed_records=len(tail),
+        )
+
+    # -- snapshots --------------------------------------------------------
+
+    def snapshot(
+        self,
+        tenant_id: str,
+        seq: int,
+        events: np.ndarray,
+        alphabet_size: int,
+        store: ArtifactStore | None,
+    ) -> str | None:
+        """Persist a snapshot and point the manifest at it.
+
+        A failed store put is invisible (the store swallows it and the
+        next recovery replays the full log); the manifest is only
+        advanced when the entry is readable.
+
+        Returns:
+            The snapshot key, or ``None`` when no store is attached.
+        """
+        if store is None:
+            return None
+        data = np.ascontiguousarray(np.asarray(events, dtype=np.int64))
+        key = snapshot_key(tenant_id, seq, stream_digest(data))
+        with telemetry.span("serve", "snapshot", tenant=tenant_id, seq=seq):
+            store.put(key, {"events": data})
+            if store.get(key, kind="snapshot") is None:
+                return None  # put failed; keep the previous manifest
+            self.write_manifest(
+                alphabet_size, snapshot_seq=seq, snapshot=key
+            )
+        telemetry.count("serve.snapshot.put")
+        return key
+
+    def compact(self, upto_seq: int) -> int:
+        """Drop WAL records covered by a snapshot; returns lines kept.
+
+        Atomic (temp file + replace).  Only call with ``upto_seq`` of
+        a *verified* snapshot: after compaction, losing that snapshot
+        makes the tenant unrecoverable by design (and recovery will
+        say so rather than guess).
+        """
+        records = self.read_records()
+        kept = [(seq, events) for seq, events in records if seq > upto_seq]
+        tmp = self.wal_path.with_name(f".wal.{os.getpid()}.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for seq, events in kept:
+                handle.write(
+                    json.dumps(
+                        {"seq": seq, "events": events.tolist()},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.wal_path)
+        telemetry.count("serve.wal.compact")
+        return len(kept)

@@ -144,6 +144,53 @@ class TestHangRecovery:
         assert {t.window_length for t in timed_out} >= set(fired)
 
 
+class TestLatencyFaults:
+    def test_delay_is_deterministic_and_bounded(self):
+        schedule = FaultSchedule(
+            rate=1.0, kinds=("latency",), latency_seconds=0.02
+        )
+        delays = [schedule.latency_delay(f"stide:{w}", 1) for w in range(2, 16)]
+        assert delays == [
+            schedule.latency_delay(f"stide:{w}", 1) for w in range(2, 16)
+        ]
+        assert all(0.0 <= delay < 0.02 for delay in delays)
+        assert len(set(delays)) > 1  # the draw actually varies by key
+
+    def test_latency_stalls_then_proceeds(self):
+        import time
+
+        schedule = FaultSchedule(
+            rate=1.0, kinds=("latency",), latency_seconds=0.02
+        )
+        started = time.monotonic()
+        corrupt = apply_fault(schedule, "stide:4", 1)
+        elapsed = time.monotonic() - started
+        assert corrupt is False  # the task completes normally
+        assert elapsed >= schedule.latency_delay("stide:4", 1)
+
+    def test_invalid_latency_seconds_rejected(self):
+        with pytest.raises(DetectorConfigurationError, match="latency_seconds"):
+            FaultSchedule(latency_seconds=0.0)
+
+    @pytest.mark.parametrize("backend", ("serial", "thread"))
+    def test_slow_tasks_still_finish_bit_identically(
+        self, backend, suite, reference_map
+    ):
+        # Unlike hang, latency stays below any armed timeout: the sweep
+        # must succeed with zero retries, merely slower.
+        schedule = FaultSchedule(
+            rate=0.3, seed=2, kinds=("latency",), latency_seconds=0.02
+        )
+        fired = _fired_blocks(schedule, suite)
+        assert fired, "seed must inject at least one latency stall"
+        performance_map, report = _faulted_sweep(
+            suite, backend, schedule, task_timeout=30.0
+        )
+        _assert_identical(performance_map, reference_map, suite)
+        assert report.total_retries == 0
+        assert report.failed == 0
+
+
 class TestCorruptionRecovery:
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_corrupt_blocks_fail_validation_and_recover(

@@ -72,6 +72,46 @@ class TestRetryPolicy:
             ResiliencePolicy(task_timeout=0.0)
 
 
+class TestFromArgs:
+    """The shared ``--retries``/``--task-timeout`` CLI semantics."""
+
+    class _Args:
+        def __init__(self, retries=None, task_timeout=None):
+            self.retries = retries
+            self.task_timeout = task_timeout
+
+    def test_no_flags_means_no_policy(self):
+        assert ResiliencePolicy.from_args(self._Args()) is None
+        assert ResiliencePolicy.from_args(object()) is None
+
+    def test_retries_alone(self):
+        policy = ResiliencePolicy.from_args(self._Args(retries=5))
+        assert policy is not None
+        assert policy.retry.retries == 5
+        assert policy.task_timeout is None
+
+    def test_timeout_alone_applies_default_retries(self):
+        policy = ResiliencePolicy.from_args(self._Args(task_timeout=1.5))
+        assert policy is not None
+        assert policy.task_timeout == 1.5
+        assert policy.retry.retries == 2
+
+    def test_default_retries_is_adjustable(self):
+        policy = ResiliencePolicy.from_args(
+            self._Args(task_timeout=1.5), default_retries=1
+        )
+        assert policy is not None
+        assert policy.retry.retries == 1
+
+    def test_both_flags(self):
+        policy = ResiliencePolicy.from_args(
+            self._Args(retries=0, task_timeout=3.0)
+        )
+        assert policy is not None
+        assert policy.retry.retries == 0
+        assert policy.task_timeout == 3.0
+
+
 def _task(key, fn, validate=None):
     name, _, window = key.partition(":")
     return SweepTask(
@@ -234,7 +274,9 @@ class TestCheckpointIO:
         with pytest.raises(CheckpointError, match="not found"):
             checkpoint_load(tmp_path / "absent.jsonl")
 
-    def test_malformed_line_raises_in_strict_mode(self, tmp_path):
+    def test_torn_tail_is_tolerated_even_in_strict_mode(self, tmp_path):
+        # A SIGKILL mid-append can only truncate the LAST line; that
+        # signature is recovered from (skip + recompute), never raised.
         path = tmp_path / "cells.jsonl"
         checkpoint_append(
             path,
@@ -243,6 +285,20 @@ class TestCheckpointIO:
         )
         with path.open("a") as handle:
             handle.write('{"detector": "stide", "anomaly_si')  # truncated
+        recovered = checkpoint_load(path)
+        assert (2, 4) in recovered["stide"]
+        assert len(recovered["stide"]) == 1
+
+    def test_mid_file_damage_still_raises_in_strict_mode(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        checkpoint_append(
+            path,
+            "stide",
+            CellResult(anomaly_size=2, window_length=4, outcome=_outcome(0.5)),
+        )
+        lines = path.read_text().splitlines()
+        lines.insert(0, '{"detector": "stide", "anomaly_si')  # NOT the tail
+        path.write_text("\n".join(lines) + "\n")
         with pytest.raises(CheckpointError):
             checkpoint_load(path)
         recovered = checkpoint_load(path, strict=False)

@@ -1,0 +1,120 @@
+"""Unit tests for the three-state circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ScoreRefusal
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock: FakeClock) -> CircuitBreaker:
+    return CircuitBreaker(
+        failure_threshold=3, reset_timeout=2.0, clock=clock, name="t"
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_admits(self, breaker):
+        assert breaker.state == CLOSED
+        breaker.admit()  # no raise
+
+    def test_trips_after_threshold_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.failures == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_refuses_with_retry_after(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.5)
+        with pytest.raises(ScoreRefusal) as excinfo:
+            breaker.admit()
+        refusal = excinfo.value
+        assert refusal.status == 503
+        assert refusal.reason == "breaker-open"
+        assert refusal.retryable
+        assert refusal.retry_after == pytest.approx(1.5, abs=0.01)
+
+    def test_half_open_after_reset_timeout(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.1)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.1)
+        breaker.admit()  # the probe
+        with pytest.raises(ScoreRefusal, match="half-open"):
+            breaker.admit()  # concurrent request while probing
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.1)
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.admit()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.1)
+        breaker.admit()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(1.9)  # not enough for the fresh cool-down
+        with pytest.raises(ScoreRefusal):
+            breaker.admit()
+        clock.advance(0.2)
+        breaker.admit()  # probe again
+
+    def test_snapshot_reports_state(self, breaker, clock):
+        snapshot = breaker.snapshot()
+        assert snapshot == {"state": CLOSED, "failures": 0, "retry_after": 0.0}
+        for _ in range(3):
+            breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == OPEN
+        assert snapshot["retry_after"] == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_rejects_bad_reset_timeout(self):
+        with pytest.raises(ValueError, match="reset_timeout"):
+            CircuitBreaker(reset_timeout=0)

@@ -1,0 +1,190 @@
+"""Crash-recovery integration: SIGKILL the service, restart, compare bits.
+
+Boots the real ``repro serve`` CLI in a subprocess, drives traffic at
+it, kills it with SIGKILL mid-life, restarts it on the same state
+directory, and asserts the recovered tenants are *bit-identical*:
+same stream digests, same scores for the same requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import LoadPlan, run_load
+from repro.serve.loadgen import request
+
+pytestmark = pytest.mark.faults
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _spawn_server(state_dir: Path, ready_file: Path, *extra: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--state-dir",
+            str(state_dir),
+            "--ready-file",
+            str(ready_file),
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _await_port(ready_file: Path, timeout: float = 20.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if ready_file.exists():
+            text = ready_file.read_text().strip()
+            if text:
+                return int(text)
+        time.sleep(0.05)
+    raise TimeoutError(f"server never wrote {ready_file}")
+
+
+def test_sigkill_then_restart_is_bit_identical(tmp_path):
+    state_dir = tmp_path / "state"
+    ready = tmp_path / "ready-1.txt"
+    plan = LoadPlan.quick(seed=13)
+    server = _spawn_server(state_dir, ready, "--snapshot-every", "2")
+    try:
+        port = _await_port(ready)
+
+        async def before():
+            report = await run_load("127.0.0.1", port, plan)
+            assert report.violations == []
+            tenants = {}
+            scores = {}
+            for index in range(plan.tenants):
+                tid = f"tenant-{index:02d}"
+                _, info = await request(
+                    "127.0.0.1", port, "GET", f"/v1/tenants/{tid}"
+                )
+                tenants[tid] = info
+                _, body = await request(
+                    "127.0.0.1",
+                    port,
+                    "POST",
+                    f"/v1/tenants/{tid}/score",
+                    {
+                        "family": "stide",
+                        "window": 4,
+                        "events": list(range(8)) * 10,
+                    },
+                )
+                scores[tid] = body["scores"]
+            return tenants, scores
+
+        tenants_before, scores_before = asyncio.run(before())
+        assert all(info["seq"] > 0 for info in tenants_before.values())
+    finally:
+        server.kill()  # SIGKILL: no flush, no atexit, no goodbye
+        server.wait(timeout=10)
+    assert server.returncode == -signal.SIGKILL
+
+    ready2 = tmp_path / "ready-2.txt"
+    revived = _spawn_server(state_dir, ready2)
+    try:
+        port = _await_port(ready2)
+
+        async def after():
+            tenants = {}
+            scores = {}
+            for tid in tenants_before:
+                _, info = await request(
+                    "127.0.0.1", port, "GET", f"/v1/tenants/{tid}"
+                )
+                tenants[tid] = info
+                _, body = await request(
+                    "127.0.0.1",
+                    port,
+                    "POST",
+                    f"/v1/tenants/{tid}/score",
+                    {
+                        "family": "stide",
+                        "window": 4,
+                        "events": list(range(8)) * 10,
+                    },
+                )
+                scores[tid] = body["scores"]
+            return tenants, scores
+
+        tenants_after, scores_after = asyncio.run(after())
+    finally:
+        revived.terminate()
+        revived.wait(timeout=10)
+
+    for tid, info in tenants_before.items():
+        assert tenants_after[tid]["digest"] == info["digest"], tid
+        assert tenants_after[tid]["seq"] == info["seq"], tid
+        assert tenants_after[tid]["events"] == info["events"], tid
+    assert scores_after == scores_before
+
+
+def test_sigkill_mid_traffic_never_acknowledges_lost_writes(tmp_path):
+    """Kill the server while a load run is in flight; every chunk the
+    client saw acknowledged must survive the restart."""
+    state_dir = tmp_path / "state"
+    ready = tmp_path / "ready-1.txt"
+    server = _spawn_server(state_dir, ready)
+    acked: dict[str, str] = {}
+    try:
+        port = _await_port(ready)
+
+        async def drive():
+            # Acknowledge a few chunks, then the killer strikes.
+            for index in range(3):
+                status, ack = await request(
+                    "127.0.0.1",
+                    port,
+                    "POST",
+                    "/v1/tenants/victim/train",
+                    {
+                        "events": [index % 8] * 64,
+                        "alphabet_size": 8,
+                        "request_id": f"chunk-{index}",
+                    },
+                )
+                assert status == 200
+                acked[str(ack["seq"])] = ack["digest"]
+
+        asyncio.run(drive())
+    finally:
+        server.kill()
+        server.wait(timeout=10)
+
+    ready2 = tmp_path / "ready-2.txt"
+    revived = _spawn_server(state_dir, ready2)
+    try:
+        port = _await_port(ready2)
+
+        async def inspect():
+            _, info = await request(
+                "127.0.0.1", port, "GET", "/v1/tenants/victim"
+            )
+            return info
+
+        info = asyncio.run(inspect())
+    finally:
+        revived.terminate()
+        revived.wait(timeout=10)
+
+    last_seq = max(int(seq) for seq in acked)
+    assert info["seq"] == last_seq
+    assert info["digest"] == acked[str(last_seq)]

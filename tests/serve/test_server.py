@@ -1,0 +1,253 @@
+"""End-to-end tests of the asyncio scoring server (in-process)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.detectors.registry import create_detector
+from repro.serve import AdmissionPolicy, ScoringServer
+from repro.serve.loadgen import request
+
+ALPHABET = 8
+
+
+def _events(seed: int, length: int = 160) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, ALPHABET, size=length).tolist()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(scenario, **kwargs):
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        server = ScoringServer(root, **kwargs)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.stop()
+
+
+class TestEndpoints:
+    def test_health_and_readiness(self):
+        async def scenario(server):
+            host, port = "127.0.0.1", server.port
+            status, body = await request(host, port, "GET", "/healthz")
+            assert (status, body) == (200, {"status": "ok"})
+            status, body = await request(host, port, "GET", "/readyz")
+            assert status == 200 and body["ready"]
+            status, _ = await request(host, port, "POST", "/drain")
+            assert status == 200
+            status, body = await request(host, port, "GET", "/readyz")
+            assert status == 503 and not body["ready"]
+            # liveness stays green while draining
+            status, _ = await request(host, port, "GET", "/healthz")
+            assert status == 200
+
+        run(_with_server(scenario))
+
+    def test_unknown_route_404(self):
+        async def scenario(server):
+            status, _ = await request(
+                "127.0.0.1", server.port, "GET", "/nope"
+            )
+            assert status == 404
+
+        run(_with_server(scenario))
+
+    def test_bad_json_400(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            payload = b"not json"
+            writer.write(
+                b"POST /v1/tenants/t/train HTTP/1.1\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(payload), payload)
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+
+        run(_with_server(scenario))
+
+
+class TestTrainAndScore:
+    def test_roundtrip_scores_match_local_reference(self):
+        async def scenario(server):
+            host, port = "127.0.0.1", server.port
+            training = _events(1, 400)
+            status, ack = await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/alpha/train",
+                {"events": training, "alphabet_size": ALPHABET},
+            )
+            assert status == 200
+            assert ack["seq"] == 1
+            test = _events(2, 120)
+            status, body = await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/alpha/score",
+                {"family": "stide", "window": 4, "events": test},
+            )
+            assert status == 200
+            detector = create_detector("stide", 4, ALPHABET)
+            detector.fit(np.asarray(training, dtype=np.int64))
+            expected = detector.score_stream(np.asarray(test, dtype=np.int64))
+            assert np.array_equal(np.asarray(body["scores"]), expected)
+            assert body["tier"] in ("automaton", "bisect")
+            assert body["attempts"] == 1
+
+        run(_with_server(scenario))
+
+    def test_unknown_tenant_404(self):
+        async def scenario(server):
+            status, body = await request(
+                "127.0.0.1",
+                server.port,
+                "POST",
+                "/v1/tenants/ghost/score",
+                {"family": "stide", "window": 4, "events": _events(3)},
+            )
+            assert status == 404
+            assert body["reason"] == "unknown-tenant"
+            assert not body["retryable"]
+
+        run(_with_server(scenario))
+
+    def test_out_of_alphabet_events_422(self):
+        async def scenario(server):
+            host, port = "127.0.0.1", server.port
+            await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/t/train",
+                {"events": _events(1), "alphabet_size": ALPHABET},
+            )
+            status, body = await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/t/train",
+                {"events": [1, 2, ALPHABET + 3]},
+            )
+            assert status == 422
+            assert body["reason"] == "invalid-events"
+            # the poisoned chunk was never journaled
+            status, info = await request(
+                host, port, "GET", "/v1/tenants/t"
+            )
+            assert info["seq"] == 1
+
+        run(_with_server(scenario))
+
+    def test_short_stream_422(self):
+        async def scenario(server):
+            host, port = "127.0.0.1", server.port
+            await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/t/train",
+                {"events": _events(1), "alphabet_size": ALPHABET},
+            )
+            status, body = await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/t/score",
+                {"family": "stide", "window": 6, "events": [1, 2, 3]},
+            )
+            assert status == 422
+            assert body["reason"] == "stream-too-short"
+
+        run(_with_server(scenario))
+
+    def test_deadline_budget_504(self):
+        async def scenario(server):
+            host, port = "127.0.0.1", server.port
+            await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/t/train",
+                {"events": _events(1), "alphabet_size": ALPHABET},
+            )
+            status, body = await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/t/score",
+                {
+                    "family": "stide",
+                    "window": 4,
+                    "events": _events(2),
+                    "budget": 1e-5,
+                },
+            )
+            assert status == 504
+            assert body["reason"] == "deadline-exceeded"
+            assert body["retryable"]
+
+        run(_with_server(scenario))
+
+    def test_train_ack_carries_stream_digest(self):
+        async def scenario(server):
+            host, port = "127.0.0.1", server.port
+            first, second = _events(1, 100), _events(2, 100)
+            await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/t/train",
+                {"events": first, "alphabet_size": ALPHABET},
+            )
+            status, ack = await request(
+                host, port, "POST", "/v1/tenants/t/train", {"events": second}
+            )
+            from repro.runtime.store import stream_digest
+
+            expected = stream_digest(
+                np.asarray(first + second, dtype=np.int64)
+            )
+            assert ack["digest"] == expected
+
+        run(_with_server(scenario))
+
+
+class TestStats:
+    def test_stats_reflect_traffic(self):
+        async def scenario(server):
+            host, port = "127.0.0.1", server.port
+            await request(
+                host,
+                port,
+                "POST",
+                "/v1/tenants/t/train",
+                {"events": _events(1), "alphabet_size": ALPHABET},
+            )
+            status, stats = await request(host, port, "GET", "/v1/stats")
+            assert status == 200
+            assert stats["tenants"]["t"]["seq"] == 1
+            assert stats["lanes"]["t"]["completed"] == 1
+            assert stats["breakers"]["t"]["state"] == "closed"
+            assert stats["recovery"]["tenants"] == 0
+
+        run(
+            _with_server(
+                scenario, policy=AdmissionPolicy(queue_depth=4)
+            )
+        )

@@ -1,0 +1,143 @@
+"""Tests for the tenant write-ahead log and snapshot recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TenantRecoveryError
+from repro.runtime.store import ArtifactStore, stream_digest
+from repro.runtime.telemetry import Telemetry, activated
+from repro.serve.wal import TenantJournal, snapshot_key
+
+
+def _journal_with(tmp_path, chunks):
+    journal = TenantJournal(tmp_path / "tenant")
+    journal.write_manifest(8)
+    for seq, events in enumerate(chunks, 1):
+        journal.append(seq, np.asarray(events, dtype=np.int64))
+    return journal
+
+
+class TestJournalBasics:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        journal = _journal_with(tmp_path, [[1, 2, 3], [4, 5]])
+        records = journal.read_records()
+        assert [seq for seq, _ in records] == [1, 2]
+        assert records[0][1].tolist() == [1, 2, 3]
+        assert records[1][1].tolist() == [4, 5]
+
+    def test_recover_without_snapshot_replays_full_log(self, tmp_path):
+        journal = _journal_with(tmp_path, [[1, 2, 3], [4, 5]])
+        state = journal.recover(store=None)
+        assert state is not None
+        assert state.events.tolist() == [1, 2, 3, 4, 5]
+        assert state.seq == 2
+        assert state.alphabet_size == 8
+        assert not state.from_snapshot
+        assert state.replayed_records == 2
+
+    def test_recover_empty_directory_is_none(self, tmp_path):
+        assert TenantJournal(tmp_path / "ghost").recover(store=None) is None
+
+    def test_wal_without_manifest_refuses(self, tmp_path):
+        journal = TenantJournal(tmp_path / "tenant")
+        journal.append(1, np.asarray([1], dtype=np.int64))
+        with pytest.raises(TenantRecoveryError, match="without a manifest"):
+            journal.recover(store=None)
+
+    def test_wrong_manifest_schema_refuses(self, tmp_path):
+        journal = TenantJournal(tmp_path / "tenant")
+        journal.write_manifest(8)
+        journal.manifest_path.write_text('{"schema": 999}')
+        with pytest.raises(TenantRecoveryError, match="schema"):
+            journal.recover(store=None)
+
+
+class TestTornTail:
+    def test_torn_tail_is_skipped_and_counted(self, tmp_path):
+        journal = _journal_with(tmp_path, [[1, 2], [3, 4]])
+        with journal.wal_path.open("a") as handle:
+            handle.write('{"seq": 3, "events": [5, 6')  # killed mid-append
+        collector = Telemetry()
+        with activated(collector):
+            state = journal.recover(store=None)
+        assert state is not None
+        assert state.events.tolist() == [1, 2, 3, 4]
+        assert state.seq == 2
+        assert collector.metrics.counter("serve.wal.torn_tail") == 1
+
+    def test_mid_file_damage_refuses(self, tmp_path):
+        journal = _journal_with(tmp_path, [[1, 2], [3, 4]])
+        lines = journal.wal_path.read_text().splitlines()
+        lines[0] = lines[0][:-4]  # damage a NON-tail record
+        journal.wal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TenantRecoveryError, match="damaged"):
+            journal.recover(store=None)
+
+    def test_sequence_gap_refuses(self, tmp_path):
+        journal = TenantJournal(tmp_path / "tenant")
+        journal.write_manifest(8)
+        journal.append(1, np.asarray([1], dtype=np.int64))
+        journal.append(3, np.asarray([2], dtype=np.int64))  # 2 missing
+        with pytest.raises(TenantRecoveryError, match="sequence gap"):
+            journal.recover(store=None)
+
+
+class TestSnapshots:
+    def test_snapshot_seeds_recovery(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        journal = _journal_with(tmp_path, [[1, 2], [3, 4]])
+        events = np.asarray([1, 2, 3, 4], dtype=np.int64)
+        key = journal.snapshot("t", 2, events, 8, store)
+        assert key == snapshot_key("t", 2, stream_digest(events))
+        journal.append(3, np.asarray([5], dtype=np.int64))
+        state = journal.recover(store)
+        assert state is not None
+        assert state.from_snapshot
+        assert state.replayed_records == 1
+        assert state.events.tolist() == [1, 2, 3, 4, 5]
+        assert state.seq == 3
+
+    def test_faulty_store_falls_back_to_full_log(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        journal = _journal_with(tmp_path, [[1, 2], [3, 4]])
+        journal.snapshot("t", 2, np.asarray([1, 2, 3, 4]), 8, store)
+        state = journal.recover(store, store_faulty=True)
+        assert state is not None
+        assert not state.from_snapshot
+        assert state.events.tolist() == [1, 2, 3, 4]
+        assert state.seq == 2
+
+    def test_compacted_log_with_lost_snapshot_refuses(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        journal = _journal_with(tmp_path, [[1, 2], [3, 4]])
+        journal.snapshot("t", 2, np.asarray([1, 2, 3, 4]), 8, store)
+        journal.append(3, np.asarray([5], dtype=np.int64))
+        assert journal.compact(upto_seq=2) == 1
+        with pytest.raises(TenantRecoveryError, match="guessed state"):
+            journal.recover(store, store_faulty=True)
+
+    def test_compacted_log_with_live_snapshot_recovers(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        journal = _journal_with(tmp_path, [[1, 2], [3, 4]])
+        journal.snapshot("t", 2, np.asarray([1, 2, 3, 4]), 8, store)
+        journal.append(3, np.asarray([5], dtype=np.int64))
+        journal.compact(upto_seq=2)
+        state = journal.recover(store)
+        assert state is not None
+        assert state.from_snapshot
+        assert state.events.tolist() == [1, 2, 3, 4, 5]
+
+    def test_recovery_is_bit_identical(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        rng = np.random.default_rng(5)
+        chunks = [rng.integers(0, 8, size=50) for _ in range(7)]
+        journal = _journal_with(tmp_path, chunks)
+        journal.snapshot(
+            "t", 4, np.concatenate(chunks[:4]).astype(np.int64), 8, store
+        )
+        expected = np.concatenate(chunks).astype(np.int64)
+        state = journal.recover(store)
+        assert state is not None
+        assert stream_digest(state.events) == stream_digest(expected)

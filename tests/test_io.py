@@ -100,3 +100,51 @@ class TestDatasetArchive:
         np.savez(path, alphabet=np.asarray(["a"]))
         with pytest.raises(TraceIOError, match="malformed"):
             load_dataset(path)
+
+
+class TestReadJsonlTolerant:
+    """The shared torn-tail guard under checkpoints and the serve WAL."""
+
+    def test_parses_numbered_records(self, tmp_path):
+        from repro.io import read_jsonl_tolerant
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        records = read_jsonl_tolerant(path)
+        assert records == [(1, {"a": 1}), (3, {"b": 2})]
+
+    def test_missing_file_raises(self, tmp_path):
+        from repro.exceptions import CheckpointError
+        from repro.io import read_jsonl_tolerant
+
+        with pytest.raises(CheckpointError, match="not found"):
+            read_jsonl_tolerant(tmp_path / "absent.jsonl")
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        from repro.io import read_jsonl_tolerant
+        from repro.runtime.telemetry import Telemetry, activated
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2')  # killed mid-append
+        collector = Telemetry()
+        with activated(collector):
+            records = read_jsonl_tolerant(path, torn_tail_counter="wal.torn")
+        assert records == [(1, {"a": 1})]
+        assert collector.metrics.counter("wal.torn") == 1
+
+    def test_non_object_tail_counts_as_torn(self, tmp_path):
+        from repro.io import read_jsonl_tolerant
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\n[1, 2]\n')
+        assert read_jsonl_tolerant(path) == [(1, {"a": 1})]
+
+    def test_mid_file_damage_honors_strict(self, tmp_path):
+        from repro.exceptions import CheckpointError
+        from repro.io import read_jsonl_tolerant
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('not json\n{"a": 1}\n')
+        with pytest.raises(CheckpointError, match=":1"):
+            read_jsonl_tolerant(path, strict=True)
+        assert read_jsonl_tolerant(path, strict=False) == [(2, {"a": 1})]
