@@ -1,0 +1,324 @@
+"""E23 — fleet scale: tiered model store + streaming delta-fits.
+
+The benchmark behind the tenant-sharded fleet store.  A
+:class:`~repro.syscalls.fleet.SyntheticFleet` of 100k+ tenants (5k
+under ``--quick``) is provisioned through the real serving stack —
+WAL-journaled ingest, one fitted detector per tenant staged into the
+hot/warm tiers — then driven through Zipf-skewed steady-state traffic
+where every touch is ingest + detector lookup + score.
+
+Three claims are measured and asserted:
+
+* **zero cold refits at steady state** — every touch either finds its
+  detector hot (delta-updated in place) or revives it from the warm
+  mmap tier with one delta replay; the ``serve.fit`` counter must not
+  move after provisioning.
+* **bit-identity** — the sampled ``delta_verify_every`` hook audits
+  delta-updated detectors against cold refits (``serve.delta.diverged``
+  must stay 0), and the speedup phase re-checks every sampled tenant
+  with :func:`~repro.runtime.deltafit.fit_states_equal`.
+* **delta beats refit** — the traffic-weighted speedup of folding one
+  batch via ``update_batch`` over refitting the full stream must clear
+  the floor (20x at full scale).
+
+Results land in ``benchmarks/output/BENCH_fleet.json`` (with the
+machine calibration constant), which CI's
+``check_bench_regression.py --require-fleet`` holds against the
+committed repo-root baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _artifacts import machine_calibration, write_artifact, write_json_artifact
+
+from repro.detectors.registry import create_detector
+from repro.runtime.deltafit import fit_states_equal
+from repro.runtime.shardstore import ShardedStore
+from repro.runtime.store import ArtifactStore
+from repro.runtime.telemetry import Telemetry, activated
+from repro.serve.tenants import TenantStateStore
+from repro.syscalls import FleetSpec, SyntheticFleet
+
+#: The common detector window for every fleet profile.
+WINDOW = 6
+
+#: One delta family per program profile, so the steady state exercises
+#: all three count-based ``update_batch`` paths.
+FAMILY_OF_PROGRAM = {"sendmail": "stide", "lpr": "t-stide", "ftpd": "markov"}
+
+#: Small WAL segments so steady-state traffic actually rotates and
+#: prunes (the satellite the serve.wal.* counters account for).
+WAL_SEGMENT_BYTES = 64 * 1024
+
+#: Tenants sampled (traffic-weighted) for the delta-vs-refit timing.
+SPEEDUP_SAMPLE = 24
+
+#: A step index far outside the steady-state range, so the speedup
+#: batches are fresh, deterministic, and collision-free.
+SPEEDUP_STEP = 1_000_003
+
+
+def _scale(quick: bool) -> dict:
+    if quick:
+        return {
+            "tenants": 5_000,
+            "steps": 5,
+            "touches_per_step": 300,
+            "hot_cap_bytes": 4 * 1024 * 1024,
+            "delta_verify_every": 150,
+            "speedup_floor": 5.0,
+        }
+    return {
+        "tenants": 100_000,
+        "steps": 8,
+        "touches_per_step": 1_250,
+        "hot_cap_bytes": 32 * 1024 * 1024,
+        "delta_verify_every": 1_000,
+        "speedup_floor": 20.0,
+    }
+
+
+def _tid(tenant: int) -> str:
+    return f"t{int(tenant):06d}"
+
+
+def _family(fleet: SyntheticFleet, tenant: int) -> str:
+    return FAMILY_OF_PROGRAM[fleet.program_of(int(tenant))]
+
+
+def _counters(collector: Telemetry) -> dict:
+    return collector.metrics.snapshot()["counters"]
+
+
+def _provision(
+    store: TenantStateStore, fleet: SyntheticFleet
+) -> dict:
+    """Open, train and fit every tenant through the serving stack."""
+    spec = fleet.spec
+    started = time.perf_counter()
+    for tenant in range(spec.tenants):
+        state = store.open(_tid(tenant), alphabet_size=spec.alphabet_size)
+        events = store.validate_events(
+            fleet.training_stream(tenant), spec.alphabet_size
+        )
+        store.ingest(state, events)
+        store.detector_for(state, _family(fleet, tenant), WINDOW)
+    assert store.models is not None
+    store.models.compact_all()
+    seconds = time.perf_counter() - started
+    return {
+        "seconds": round(seconds, 3),
+        "tenants_per_sec": round(spec.tenants / seconds, 1),
+        "events": spec.tenants * spec.train_events,
+    }
+
+
+def _steady_state(
+    store: TenantStateStore,
+    fleet: SyntheticFleet,
+    steps: int,
+    touches_per_step: int,
+) -> tuple[dict, dict]:
+    """Zipf traffic: every touch is ingest + detector lookup + score."""
+    spec = fleet.spec
+    collector = Telemetry()
+    latencies: list[float] = []
+    started = time.perf_counter()
+    with activated(collector):
+        for step in range(steps):
+            for tenant in fleet.sample_tenants(step, touches_per_step):
+                tenant = int(tenant)
+                touch_started = time.perf_counter()
+                state = store.get(_tid(tenant))
+                batch = store.validate_events(
+                    fleet.batch(tenant, step), spec.alphabet_size
+                )
+                store.ingest(state, batch)
+                detector = store.detector_for(
+                    state, _family(fleet, tenant), WINDOW
+                )
+                detector.score_stream(batch)
+                latencies.append(time.perf_counter() - touch_started)
+    seconds = time.perf_counter() - started
+    counters = _counters(collector)
+    touches = steps * touches_per_step
+    lat_ms = np.asarray(latencies) * 1e3
+    summary = {
+        "steps": steps,
+        "touches": touches,
+        "events": touches * spec.batch_events,
+        "seconds": round(seconds, 3),
+        "events_per_sec": round(touches * spec.batch_events / seconds, 1),
+        "touches_per_sec": round(touches / seconds, 1),
+        "p50_touch_ms": round(float(np.percentile(lat_ms, 50)), 4),
+        "p99_touch_ms": round(float(np.percentile(lat_ms, 99)), 4),
+        "cold_refits": int(counters.get("serve.fit", 0)),
+        "delta_updates": int(counters.get("serve.delta.update", 0)),
+        "delta_replays": int(counters.get("serve.delta.replay", 0)),
+        "delta_verifies": int(counters.get("serve.delta.verify", 0)),
+        "diverged": int(counters.get("serve.delta.diverged", 0)),
+        "wal_rotations": int(counters.get("serve.wal.rotate", 0)),
+        "wal_prunes": int(counters.get("serve.wal.prune", 0)),
+    }
+    return summary, counters
+
+
+def _measure_speedup(
+    store: TenantStateStore, fleet: SyntheticFleet
+) -> dict:
+    """Traffic-weighted delta-vs-refit timing over sampled tenants.
+
+    Per tenant: fold one fresh batch into an imported clone of the
+    served detector (the delta path) versus refitting an unfitted twin
+    on the full stream (the cold path), taking the best of a few
+    repeats each.  The two resulting states must be bit-identical —
+    the deltafit audit, re-run here on real fleet streams.  The
+    headline number is the ratio of activity-weighted totals, i.e. the
+    wall-clock factor the fleet actually saves under its Zipf traffic.
+    """
+    spec = fleet.spec
+    seen: list[int] = []
+    for tenant in fleet.sample_tenants(SPEEDUP_STEP, SPEEDUP_SAMPLE * 2):
+        if int(tenant) not in seen:
+            seen.append(int(tenant))
+        if len(seen) >= SPEEDUP_SAMPLE:
+            break
+    weighted_delta = 0.0
+    weighted_refit = 0.0
+    ratios: list[float] = []
+    for tenant in seen:
+        state = store.get(_tid(tenant))
+        family = _family(fleet, tenant)
+        detector = store.detector_for(state, family, WINDOW)
+        exported = detector.export_fit_state()
+        assert exported, f"{family} exports no fit state"
+        batch = fleet.batch(tenant, SPEEDUP_STEP)
+        tail = state.events[len(state.events) - (WINDOW - 1) :]
+        delta_seconds = float("inf")
+        clone = None
+        for _ in range(3):
+            clone = create_detector(family, WINDOW, spec.alphabet_size)
+            assert clone.import_fit_state(
+                {name: np.array(array) for name, array in exported.items()}
+            )
+            t0 = time.perf_counter()
+            clone.update_batch(batch, tail)
+            delta_seconds = min(delta_seconds, time.perf_counter() - t0)
+        full = np.concatenate([state.events, batch])
+        refit_seconds = float("inf")
+        twin = None
+        for _ in range(2):
+            twin = create_detector(family, WINDOW, spec.alphabet_size)
+            t0 = time.perf_counter()
+            twin.fit(full)
+            refit_seconds = min(refit_seconds, time.perf_counter() - t0)
+        assert clone is not None and twin is not None
+        assert fit_states_equal(
+            clone.export_fit_state(), twin.export_fit_state()
+        ), f"delta state diverged from cold refit for tenant {tenant}"
+        weight = float(fleet.activity_weights[tenant])
+        weighted_delta += weight * delta_seconds
+        weighted_refit += weight * refit_seconds
+        ratios.append(refit_seconds / delta_seconds)
+    return {
+        "sampled_tenants": len(seen),
+        "traffic_weighted": round(weighted_refit / weighted_delta, 1),
+        "median": round(float(np.median(ratios)), 1),
+        "max": round(float(np.max(ratios)), 1),
+    }
+
+
+def test_bench_fleet(tmp_path, quick):
+    scale = _scale(quick)
+    spec = FleetSpec(tenants=scale["tenants"], seed=29)
+    fleet = SyntheticFleet(spec)
+    models = ShardedStore(
+        tmp_path / "models",
+        shards=64,
+        hot_cap_bytes=scale["hot_cap_bytes"],
+        cold=ArtifactStore(tmp_path / "cold"),
+    )
+    store = TenantStateStore(
+        tmp_path / "state",
+        models=models,
+        delta_verify_every=scale["delta_verify_every"],
+        wal_segment_bytes=WAL_SEGMENT_BYTES,
+    )
+
+    provision = _provision(store, fleet)
+    steady, _ = _steady_state(
+        store, fleet, scale["steps"], scale["touches_per_step"]
+    )
+
+    # Zero cold refits at steady state: every touch was a hot delta
+    # update or a warm revival with delta replay.
+    assert steady["cold_refits"] == 0, steady
+    assert steady["delta_updates"] > 0
+    assert steady["delta_verifies"] > 0, "the verify hook never sampled"
+    assert steady["diverged"] == 0, "delta-fits diverged from cold refits"
+
+    speedup = _measure_speedup(store, fleet)
+    assert speedup["traffic_weighted"] >= scale["speedup_floor"], speedup
+
+    memory = store.memory_stats()
+    assert memory["tenants"] == spec.tenants
+    assert (
+        memory["tenants_resident_bytes"]
+        == memory["tenants_resident_bytes_counter"]
+    )
+
+    payload = {
+        "bench": "fleet",
+        "quick": quick,
+        "calibration_seconds": round(machine_calibration(), 4),
+        "tenants": spec.tenants,
+        "spec": {
+            "seed": spec.seed,
+            "zipf_exponent": spec.zipf_exponent,
+            "train_events": spec.train_events,
+            "batch_events": spec.batch_events,
+            "programs": list(spec.programs),
+            "alphabet_size": spec.alphabet_size,
+            "window": WINDOW,
+        },
+        "provision": provision,
+        "steady_state": steady,
+        "speedup": {**speedup, "floor": scale["speedup_floor"]},
+        "memory": {
+            "tenants_resident": memory["tenants"],
+            "tenants_resident_bytes": memory["tenants_resident_bytes"],
+            "hot_entries": memory["hot_tier"]["resident_entries"],
+            "hot_bytes": memory["hot_tier"]["resident_bytes"],
+            "hot_cap_bytes": memory["hot_tier"]["cap_bytes"],
+            "hot_evictions": memory["hot_tier"]["evictions"],
+            "shard_entries": memory["model_store"]["shard_entries"],
+            "pending_entries": memory["model_store"]["pending_entries"],
+            "compactions": memory["model_store"]["compactions"],
+        },
+    }
+    write_json_artifact("BENCH_fleet", payload)
+    write_artifact(
+        "bench_fleet",
+        "\n".join(
+            [
+                "fleet benchmark (E23)",
+                f"  tenants: {spec.tenants} resident "
+                f"({memory['tenants_resident_bytes']} stream bytes, "
+                f"{memory['hot_tier']['resident_entries']} hot models)",
+                f"  provision: {provision['seconds']} s "
+                f"({provision['tenants_per_sec']} tenants/s)",
+                f"  steady state: {steady['events_per_sec']} events/s, "
+                f"p50 {steady['p50_touch_ms']} ms, "
+                f"p99 {steady['p99_touch_ms']} ms, "
+                f"{steady['cold_refits']} cold refits, "
+                f"{steady['diverged']} divergences",
+                f"  delta vs refit: {speedup['traffic_weighted']}x "
+                f"traffic-weighted (median {speedup['median']}x over "
+                f"{speedup['sampled_tenants']} tenants)",
+            ]
+        ),
+    )

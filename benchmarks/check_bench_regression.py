@@ -245,6 +245,118 @@ def check_serve(
     return 0
 
 
+def check_fleet(
+    baseline_path: Path, current_path: Path, require: bool = False
+) -> int:
+    """Gate the fleet benchmark: correctness first, then speed.
+
+    Correctness is absolute: any cold refit at steady state, any
+    delta-vs-refit divergence, or a traffic-weighted delta speedup
+    below the record's own floor fails outright — these hold on any
+    machine, no calibration involved.  Speed (steady-state events/sec
+    floor, p99 touch-latency ceiling) is calibrated like the other
+    gates, but only when baseline and current ran the same fleet size:
+    a 5k-tenant quick record is not comparable to the committed
+    100k-tenant baseline.
+
+    A missing *current* record is a warning by default and an error
+    under ``require`` (the fleet-smoke CI job).
+    """
+    current = _load(current_path)
+    if current is None:
+        if require:
+            print(f"error: no fresh fleet benchmark record at {current_path}")
+            return 1
+        print(
+            f"note: no fleet record at {current_path}; skipping the fleet "
+            "gate (run `pytest benchmarks/bench_fleet.py` to produce one)"
+        )
+        return 0
+
+    steady = current.get("steady_state", {})
+    if int(steady.get("cold_refits", 0)):
+        print(
+            f"error: fleet steady state performed "
+            f"{steady['cold_refits']} cold refit(s); every touch must be "
+            "a delta update or a warm revival with delta replay"
+        )
+        return 1
+    if int(steady.get("diverged", 0)):
+        print(
+            f"error: fleet reports {steady['diverged']} delta-fit "
+            "divergence(s) from the cold-refit reference"
+        )
+        return 1
+    speedup = current.get("speedup", {})
+    weighted = speedup.get("traffic_weighted")
+    floor = speedup.get("floor")
+    if weighted is not None and floor is not None:
+        verdict = "OK" if weighted >= floor else "REGRESSION"
+        print(
+            f"fleet delta speedup: {weighted:.1f}x traffic-weighted "
+            f"(floor >= {floor:.1f}x): {verdict}"
+        )
+        if weighted < floor:
+            print("error: delta-fit speedup fell below the record's floor")
+            return 1
+
+    baseline = _load(baseline_path)
+    if baseline is None:
+        print(
+            f"warning: no fleet baseline at {baseline_path}; correctness "
+            "checked, rate gate skipped (commit "
+            "benchmarks/output/BENCH_fleet.json to arm it)"
+        )
+        return 0
+    if baseline.get("tenants") != current.get("tenants"):
+        print(
+            f"note: fleet sizes differ (baseline {baseline.get('tenants')} "
+            f"vs current {current.get('tenants')} tenants); rate gate "
+            "skipped, correctness gates applied"
+        )
+        return 0
+    for record, label in ((baseline, "baseline"), (current, "current")):
+        if not record.get("calibration_seconds"):
+            print(
+                f"warning: {label} fleet record lacks calibration_seconds; "
+                "skipping the rate gate"
+            )
+            return 0
+    # scale > 1 means this machine is slower than the baseline's.
+    scale = current["calibration_seconds"] / baseline["calibration_seconds"]
+
+    failed = 0
+    floor_rate = baseline.get("steady_state", {}).get("events_per_sec")
+    rate = steady.get("events_per_sec")
+    if floor_rate and rate:
+        floor = floor_rate / scale * (1.0 - TOLERANCE)
+        verdict = "OK" if rate >= floor else "REGRESSION"
+        print(
+            f"fleet throughput: {rate:.1f} events/s vs calibrated "
+            f"baseline {floor_rate:.1f} / {scale:.2f} "
+            f"(floor >= {floor:.1f}, tolerance {TOLERANCE:.0%}): {verdict}"
+        )
+        failed += rate < floor
+    reference = baseline.get("steady_state", {}).get("p99_touch_ms")
+    actual = steady.get("p99_touch_ms")
+    if reference and actual:
+        ceiling = reference * scale * (1.0 + TOLERANCE)
+        verdict = "OK" if actual <= ceiling else "REGRESSION"
+        print(
+            f"fleet p99 touch: {actual:.3f} ms vs calibrated baseline "
+            f"{reference:.3f} x {scale:.2f} "
+            f"(ceiling <= {ceiling:.3f}, tolerance {TOLERANCE:.0%}): {verdict}"
+        )
+        failed += actual > ceiling
+    if failed:
+        print(
+            "error: fleet benchmark regressed beyond tolerance; if the "
+            "slowdown is intentional, refresh the committed BENCH_fleet.json"
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -280,16 +392,46 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--serve-only",
         action="store_true",
-        help="run only the serving gate (skip the sweep gate entirely)",
+        help="run only the serving gate (skip the sweep and fleet gates)",
+    )
+    parser.add_argument(
+        "--fleet-baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_fleet.json",
+        help="committed fleet baseline (default: repo-root BENCH_fleet.json)",
+    )
+    parser.add_argument(
+        "--fleet-current",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "output" / "BENCH_fleet.json",
+        help="freshly produced fleet record to judge",
+    )
+    parser.add_argument(
+        "--require-fleet",
+        action="store_true",
+        help="fail when the fresh fleet record is missing (the "
+        "fleet-smoke CI job)",
+    )
+    parser.add_argument(
+        "--fleet-only",
+        action="store_true",
+        help="run only the fleet gate (skip the sweep and serve gates)",
     )
     args = parser.parse_args(argv)
     sweep_rc = 0
-    if not args.serve_only:
+    if not (args.serve_only or args.fleet_only):
         sweep_rc = check(args.baseline, args.current)
-    serve_rc = check_serve(
-        args.serve_baseline, args.serve_current, require=args.require_serve
-    )
-    return sweep_rc or serve_rc
+    serve_rc = 0
+    if not args.fleet_only:
+        serve_rc = check_serve(
+            args.serve_baseline, args.serve_current, require=args.require_serve
+        )
+    fleet_rc = 0
+    if not args.serve_only:
+        fleet_rc = check_fleet(
+            args.fleet_baseline, args.fleet_current, require=args.require_fleet
+        )
+    return sweep_rc or serve_rc or fleet_rc
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -614,6 +615,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     schedule = None
     if args.chaos_rate > 0:
         schedule = ServeFaultSchedule(rate=args.chaos_rate, seed=args.chaos_seed)
+    models = None
+    if args.models_dir:
+        from repro.runtime.shardstore import ShardedStore
+        from repro.runtime.store import ArtifactStore
+
+        models = ShardedStore(
+            args.models_dir,
+            hot_cap_bytes=args.hot_cap_mb * 1024 * 1024,
+            cold=ArtifactStore(Path(args.models_dir) / "cold"),
+        )
     server = ScoringServer(
         args.state_dir,
         host=args.host,
@@ -623,6 +634,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=retries,
         snapshot_every=args.snapshot_every,
         fsync=args.fsync,
+        models=models,
+        delta_verify_every=args.delta_verify_every,
     )
 
     async def run() -> None:
@@ -865,6 +878,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync",
         action="store_true",
         help="fsync WAL appends (power-loss durability; slower)",
+    )
+    serve.add_argument(
+        "--models-dir",
+        default=None,
+        metavar="DIR",
+        help="tiered fleet model store directory (hot LRU -> mmap "
+        "shards -> cold); enables delta-fits on ingest",
+    )
+    serve.add_argument(
+        "--hot-cap-mb",
+        type=_positive_int,
+        default=64,
+        metavar="MB",
+        help="hot-tier byte cap for live detector objects",
+    )
+    serve.add_argument(
+        "--delta-verify-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="cross-check one delta-fitted model against a cold refit "
+        "every N delta updates (0 disables)",
     )
     serve.add_argument(
         "--chaos-rate",

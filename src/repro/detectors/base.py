@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.exceptions import DetectorConfigurationError, NotFittedError, WindowError
 from repro.runtime import telemetry
-from repro.runtime.fitindex import FitRecord, WarmStartPolicy, WarmStartRegistry
+from repro.runtime.fitindex import (
+    FitRecord,
+    WarmStartPolicy,
+    WarmStartRegistry,
+)
 from repro.runtime.kernels import (
     KERNEL_TIERS,
     TIER_AUTO,
@@ -378,6 +382,144 @@ class AnomalyDetector(abc.ABC):
             train, self._alphabet_size, AUTOMATON_MAX_ORDER
         )
         return match_profile(codes, databases), codes
+
+    # -- streaming delta fits -----------------------------------------------------
+
+    @property
+    def supports_delta_fit(self) -> bool:
+        """Whether :meth:`update_batch` can extend this fitted state.
+
+        ``True`` only for the count-based families (Stide, t-Stide,
+        Markov) whose fitted state is a mergeable frequency table *and*
+        whose current fit holds the packed representation.  Families
+        without an incremental form (e.g. the neural network) refit.
+        """
+        return False
+
+    def update_batch(
+        self,
+        new_events: Sequence[int] | np.ndarray,
+        prior_tail: Sequence[int] | np.ndarray,
+    ) -> "AnomalyDetector":
+        """Fold a batch of appended training events into the fit.
+
+        The detector was fitted on some stream ``S``; the caller is
+        appending ``new_events`` to it.  The only windows of
+        ``S ++ new_events`` not already counted are the windows of
+        ``prior_tail ++ new_events`` — ``prior_tail`` must be the last
+        ``DW - 1`` events of ``S`` — so the delta is one slide-and-
+        pack plus ``np.unique`` over that short tail alone, merged
+        into the already-sorted packed tables by bisection
+        (:func:`~repro.runtime.kernels.merge_sorted_unique` /
+        :func:`~repro.runtime.kernels.merge_sorted_counts`).  The
+        result is bit-identical to a cold refit on the full stream
+        (``repro.runtime.deltafit.verify_delta`` asserts it), at a
+        cost proportional to the batch, not the stream: a batch whose
+        windows are all already known touches ``O(batch log table)``
+        elements and allocates nothing.
+
+        Returns:
+            ``self``, for chaining.
+
+        Raises:
+            DetectorConfigurationError: for families without a delta
+                path, or fits that lost the packed representation.
+            NotFittedError: if :meth:`fit` has not been called.
+            WindowError: on a wrong-length ``prior_tail``, an empty
+                batch, or out-of-alphabet codes.
+        """
+        raise DetectorConfigurationError(
+            f"{self.name} has no streaming delta-fit path; refit instead"
+        )
+
+    def clone_unfitted(self) -> "AnomalyDetector":
+        """A fresh unfitted detector with this one's configuration.
+
+        The delta-fit verify hook fits the clone cold on the full
+        stream and compares states bit for bit.  Subclasses with extra
+        hyperparameters override to carry them.
+        """
+        return type(self)(self._window_length, self._alphabet_size)
+
+    def export_fit_state(self) -> dict[str, np.ndarray] | None:
+        """The serialized fitted model (public :meth:`_fit_state`)."""
+        self._require_fitted()
+        return self._fit_state()
+
+    def import_fit_state(self, state: dict[str, np.ndarray]) -> bool:
+        """Adopt a serialized fitted state; ``True`` on success.
+
+        The public inverse of :meth:`export_fit_state` for callers
+        that persist models outside the fit-key protocol (the sharded
+        fleet store).  On success the detector is fitted; the automaton
+        tier stays off (no training stream was retained), which is
+        bit-identical to the bisect tier by construction.
+        """
+        if not self._load_fit_state(dict(state)):
+            return False
+        self._training_stream = None
+        self._training_digest = None
+        self._state = FittedState.FITTED
+        return True
+
+    def state_nbytes(self) -> int:
+        """Approximate bytes held by the serialized fitted state."""
+        state = self._fit_state() if self.is_fitted else None
+        if not state:
+            return 0
+        return int(sum(np.asarray(a).nbytes for a in state.values()))
+
+    def _delta_combined(
+        self,
+        new_events: Sequence[int] | np.ndarray,
+        prior_tail: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """The validated combined tail ``prior_tail ++ new_events``.
+
+        Every window of the combined tail is either one of the
+        appended windows or (at position 0 for lengths up to
+        ``DW - 1``) the old stream's final gram — the shared setup for
+        each family's :meth:`update_batch`.
+        """
+        self._require_fitted()
+        tail = self._validate_now(prior_tail)
+        new = self._validate_now(new_events)
+        if len(tail) != self._window_length - 1:
+            raise WindowError(
+                f"prior_tail must hold the last {self._window_length - 1} "
+                f"fitted events, got {len(tail)}"
+            )
+        if len(new) == 0:
+            raise WindowError("update_batch requires at least one new event")
+        return np.concatenate([tail, new])
+
+    def _delta_packed(
+        self, combined: np.ndarray, window_length: int | None = None
+    ) -> np.ndarray:
+        """Packed windows of a delta tail, bypassing the window cache.
+
+        Delta tails are one-shot streams (a fresh batch every call),
+        so caching their sliding views would only grow the cache; the
+        direct slide-and-pack is a handful of vector ops over a batch-
+        sized array.
+        """
+        length = self._window_length if window_length is None else window_length
+        return pack_windows(windows_array(combined, length), self._alphabet_size)
+
+    def _note_delta_update(self) -> None:
+        """Bookkeeping after a successful in-place delta merge.
+
+        Drops the retained training stream: the automaton tier's
+        match-length profile is defined against the fit-time stream,
+        which the merge just outgrew, so scoring routes to the bisect
+        tier (bit-identical responses).  The stream digest is likewise
+        stale — delta-updated state is persisted by the caller's own
+        keying (e.g. the sharded fleet store), not the fit-key
+        protocol.
+        """
+        self._training_stream = None
+        self._training_digest = None
+        telemetry.count("detector.delta_update")
 
     # -- training ----------------------------------------------------------------
 

@@ -40,11 +40,17 @@ conversion.  Both paths implement the identical response function.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
 from repro.exceptions import DetectorConfigurationError
-from repro.runtime.kernels import count_lookup, markov_batch_response
+from repro.runtime.kernels import (
+    count_lookup,
+    markov_batch_response,
+    merge_sorted_counts,
+)
 from repro.sequences.windows import (
     pack_window,
     pack_windows,
@@ -185,6 +191,66 @@ class MarkovDetector(AnomalyDetector):
             f"floor={self._rare_floor!r};"
             f"unseen={self._unseen_context_response!r}"
         )
+
+    @property
+    def supports_delta_fit(self) -> bool:
+        return self.is_fitted and self._joint_codes is not None
+
+    def clone_unfitted(self) -> "MarkovDetector":
+        return type(self)(
+            self.window_length,
+            self.alphabet_size,
+            self._rare_floor,
+            self._unseen_context_response,
+        )
+
+    def update_batch(
+        self,
+        new_events: Sequence[int] | np.ndarray,
+        prior_tail: Sequence[int] | np.ndarray,
+    ) -> "MarkovDetector":
+        """Fold a batch's joint and context count deltas into the tables.
+
+        Two packed ``np.unique`` passes over the combined tail (orders
+        ``DW`` and ``DW - 1``) produce the delta count tables, which
+        splice into the retained sorted tables by bisection
+        (:func:`~repro.runtime.kernels.merge_sorted_counts`).  The
+        context windows of the combined tail over-count the full
+        stream by exactly one gram: the window at position 0 lies
+        entirely inside the old stream (it is the old stream's final
+        ``DW - 1``-gram, so it is already counted — and already
+        present — in the old context table).  Its delta count is
+        decremented before the merge, which restores bit-identity with
+        a cold refit.
+        """
+        combined = self._delta_combined(new_events, prior_tail)
+        if self._joint_codes is None:
+            raise DetectorConfigurationError(
+                "markov delta fits require the packed count tables (this "
+                "fit exceeded the 63-bit packing budget)"
+            )
+        joint_values, joint_counts = np.unique(
+            self._delta_packed(combined), return_counts=True
+        )
+        ctx_packed = self._delta_packed(combined, self.window_length - 1)
+        ctx_values, ctx_counts = np.unique(ctx_packed, return_counts=True)
+        ctx_counts = ctx_counts.astype(np.int64, copy=True)
+        ctx_counts[np.searchsorted(ctx_values, ctx_packed[0])] -= 1
+        self._joint_codes, self._joint_counts = merge_sorted_counts(
+            self._joint_codes,
+            self._joint_counts,
+            joint_values,
+            joint_counts.astype(np.int64, copy=False),
+        )
+        self._context_codes, self._context_counts_arr = merge_sorted_counts(
+            self._context_codes,
+            self._context_counts_arr,
+            ctx_values,
+            ctx_counts,
+        )
+        self._total_windows += len(combined) - self.window_length + 1
+        self._note_delta_update()
+        return self
 
     def _fit_state(self) -> dict[str, np.ndarray] | None:
         total = np.asarray(self._total_windows, dtype=np.int64)

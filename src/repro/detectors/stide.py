@@ -12,11 +12,14 @@ sequence shorter than its window (Figure 5 of the paper).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
+from repro.exceptions import DetectorConfigurationError
 from repro.runtime import telemetry
-from repro.runtime.kernels import sorted_membership
+from repro.runtime.kernels import merge_sorted_unique, sorted_membership
 from repro.sequences.windows import pack_windows, packable as _packable
 
 __all__ = ["StideDetector", "sorted_membership"]
@@ -72,6 +75,37 @@ class StideDetector(AnomalyDetector):
                 database.update(map(tuple, view.tolist()))
             self._tuple_db = database
             self._packed_db = None
+
+    @property
+    def supports_delta_fit(self) -> bool:
+        return self.is_fitted and self._packed_db is not None
+
+    def update_batch(
+        self,
+        new_events: Sequence[int] | np.ndarray,
+        prior_tail: Sequence[int] | np.ndarray,
+    ) -> "StideDetector":
+        """Merge the appended windows into the packed normal database.
+
+        The new distinct windows are exactly the distinct ``DW``-grams
+        of ``prior_tail ++ new_events``; packing preserves
+        lexicographic order, so one ``np.unique`` over the packed
+        batch plus a bisection splice into the sorted database
+        (:func:`~repro.runtime.kernels.merge_sorted_unique`)
+        reproduces a cold refit's ``np.unique`` over the full stream
+        bit for bit.  A batch with no unseen windows — the saturated
+        steady state — leaves the database array untouched.
+        """
+        combined = self._delta_combined(new_events, prior_tail)
+        if self._packed_db is None:
+            raise DetectorConfigurationError(
+                "stide delta fits require the packed database (this fit "
+                "exceeded the 63-bit packing budget)"
+            )
+        delta = np.unique(self._delta_packed(combined))
+        self._packed_db = merge_sorted_unique(self._packed_db, delta)
+        self._note_delta_update()
+        return self
 
     def _fit_state(self) -> dict[str, np.ndarray] | None:
         if self._packed_db is not None:

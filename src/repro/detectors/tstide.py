@@ -17,12 +17,14 @@ Response semantics:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
 from repro.exceptions import DetectorConfigurationError
 from repro.runtime import telemetry
-from repro.runtime.kernels import sorted_membership
+from repro.runtime.kernels import merge_sorted_counts, sorted_membership
 from repro.sequences.windows import pack_windows, packable
 
 
@@ -52,6 +54,12 @@ class TStideDetector(AnomalyDetector):
         self._rare_threshold = float(rare_threshold)
         self._common_packed: np.ndarray | None = None
         self._common_tuples: set[tuple[int, ...]] | None = None
+        # Full (value, count) table behind the common filter — retained
+        # on packable fits so delta updates can re-derive the filter
+        # after merging a batch's counts.
+        self._packed_values: np.ndarray | None = None
+        self._packed_counts: np.ndarray | None = None
+        self._total_windows = 0
 
     @property
     def rare_threshold(self) -> float:
@@ -87,6 +95,9 @@ class TStideDetector(AnomalyDetector):
             common = values[counts >= self._rare_threshold * total]
             self._common_packed = common
             self._common_tuples = None
+            self._packed_values = values
+            self._packed_counts = counts.astype(np.int64, copy=False)
+            self._total_windows = total
         else:
             counts: dict[tuple[int, ...], int] = {}
             for stream in training_streams:
@@ -100,13 +111,76 @@ class TStideDetector(AnomalyDetector):
             bound = self._rare_threshold * total
             self._common_tuples = {key for key, n in counts.items() if n >= bound}
             self._common_packed = None
+            self._packed_values = None
+            self._packed_counts = None
+            self._total_windows = total
 
     def _extra_fingerprint(self) -> str:
         return f"rare={self._rare_threshold!r}"
 
+    @property
+    def supports_delta_fit(self) -> bool:
+        return (
+            self.is_fitted
+            and self._packed_values is not None
+            and self._packed_counts is not None
+        )
+
+    def clone_unfitted(self) -> "TStideDetector":
+        return type(self)(
+            self.window_length, self.alphabet_size, self._rare_threshold
+        )
+
+    def update_batch(
+        self,
+        new_events: Sequence[int] | np.ndarray,
+        prior_tail: Sequence[int] | np.ndarray,
+    ) -> "TStideDetector":
+        """Merge appended window counts and re-derive the common table.
+
+        The batch's distinct ``DW``-grams and counts are one packed
+        ``np.unique`` over the combined tail; merging into the
+        retained sorted table is a bisection splice
+        (:func:`~repro.runtime.kernels.merge_sorted_counts`) — bit-
+        identical to the ``np.unique`` + scatter-add a multi-stream
+        cold fit uses, so the re-filtered common table matches
+        refitting on the full stream exactly.
+        """
+        combined = self._delta_combined(new_events, prior_tail)
+        if self._packed_values is None or self._packed_counts is None:
+            raise DetectorConfigurationError(
+                "t-stide delta fits require the packed count table (this "
+                "fit exceeded the 63-bit packing budget)"
+            )
+        delta_values, delta_counts = np.unique(
+            self._delta_packed(combined), return_counts=True
+        )
+        values, counts = merge_sorted_counts(
+            self._packed_values,
+            self._packed_counts,
+            delta_values,
+            delta_counts.astype(np.int64, copy=False),
+        )
+        total = self._total_windows + (len(combined) - self.window_length + 1)
+        self._packed_values = values
+        self._packed_counts = counts
+        self._total_windows = total
+        self._common_packed = values[counts >= self._rare_threshold * total]
+        self._note_delta_update()
+        return self
+
     def _fit_state(self) -> dict[str, np.ndarray] | None:
         if self._common_packed is not None:
-            return {"common_packed": self._common_packed}
+            state = {"common_packed": self._common_packed}
+            if self._packed_values is not None and self._packed_counts is not None:
+                # The full table rides along so a reloaded state keeps
+                # its delta-fit capability (schema v3).
+                state["table_values"] = self._packed_values
+                state["table_counts"] = self._packed_counts
+                state["table_total"] = np.asarray(
+                    self._total_windows, dtype=np.int64
+                )
+            return state
         if self._common_tuples is not None:
             rows = np.asarray(sorted(self._common_tuples), dtype=np.int64)
             return {
@@ -123,6 +197,22 @@ class TStideDetector(AnomalyDetector):
                 return False
             self._common_packed = packed.astype(np.int64, copy=False)
             self._common_tuples = None
+            self._packed_values = None
+            self._packed_counts = None
+            self._total_windows = 0
+            names = ("table_values", "table_counts", "table_total")
+            if all(name in state for name in names):
+                values = np.asarray(state["table_values"])
+                counts = np.asarray(state["table_counts"])
+                if (
+                    values.ndim == 1
+                    and counts.shape == values.shape
+                    and np.issubdtype(values.dtype, np.integer)
+                    and np.issubdtype(counts.dtype, np.integer)
+                ):
+                    self._packed_values = values.astype(np.int64, copy=False)
+                    self._packed_counts = counts.astype(np.int64, copy=False)
+                    self._total_windows = int(np.asarray(state["table_total"]))
             return True
         if "common_rows" in state:
             rows = np.asarray(state["common_rows"])

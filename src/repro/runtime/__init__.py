@@ -67,6 +67,13 @@ _EXPORTS: dict[str, str] = {
     "fit_key": "repro.runtime.store",
     "stream_digest": "repro.runtime.store",
     "streams_digest": "repro.runtime.store",
+    "fit_states_equal": "repro.runtime.deltafit",
+    "verify_delta": "repro.runtime.deltafit",
+    "HotTier": "repro.runtime.shardstore",
+    "HotTierStats": "repro.runtime.shardstore",
+    "ShardedStore": "repro.runtime.shardstore",
+    "ShardStoreStats": "repro.runtime.shardstore",
+    "SHARD_SCHEMA_VERSION": "repro.runtime.shardstore",
     "EXECUTORS": "repro.runtime.engine",
     "MEMOIZED_FAMILIES": "repro.runtime.engine",
     "SweepEngine": "repro.runtime.engine",

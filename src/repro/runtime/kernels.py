@@ -47,6 +47,8 @@ __all__ = [
     "hamming_batch_distance",
     "lb_batch_similarity",
     "markov_batch_response",
+    "merge_sorted_counts",
+    "merge_sorted_unique",
     "resolve_kernel_tier",
     "score_batch",
     "sorted_membership",
@@ -111,6 +113,63 @@ def sorted_membership(probes: np.ndarray, database: np.ndarray) -> np.ndarray:
     positions = np.searchsorted(database, probes)
     positions[positions == len(database)] = len(database) - 1
     return database[positions] == probes
+
+
+def merge_sorted_unique(
+    table: np.ndarray, delta: np.ndarray
+) -> np.ndarray:
+    """Union of two sorted unique arrays, exploiting the sortedness.
+
+    Bit-identical to ``np.union1d(table, delta)`` but ``O(m log n)``
+    instead of re-sorting the concatenation: absent delta values are
+    located by bisection and spliced in with one ``np.insert`` pass.
+    When every delta value is already present — the steady state of a
+    fleet tenant whose window vocabulary has saturated — the *same*
+    table array is returned, so the caller does no allocation at all.
+    """
+    if not len(table):
+        return delta.astype(np.int64, copy=False)
+    fresh = delta[~sorted_membership(delta, table)]
+    if not len(fresh):
+        return table
+    return np.insert(table, np.searchsorted(table, fresh), fresh)
+
+
+def merge_sorted_counts(
+    values: np.ndarray,
+    counts: np.ndarray,
+    delta_values: np.ndarray,
+    delta_counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge a sorted delta count table into a sorted count table.
+
+    Both tables are ``np.unique``-style (sorted unique values with
+    aligned counts).  Bit-identical to the multi-stream merge idiom
+    (``np.unique`` over the concatenation plus a scatter-add) at the
+    cost of one bisection over the delta: counts of values already
+    present add in place on a copy; genuinely new values splice in
+    via ``np.insert``.
+    """
+    if not len(values):
+        return (
+            delta_values.astype(np.int64, copy=False),
+            delta_counts.astype(np.int64, copy=False),
+        )
+    present = sorted_membership(delta_values, values)
+    merged = counts.astype(np.int64, copy=True)
+    if present.any():
+        # delta values are unique, so the target positions are too.
+        merged[np.searchsorted(values, delta_values[present])] += delta_counts[
+            present
+        ]
+    if present.all():
+        return values, merged
+    fresh_values = delta_values[~present]
+    positions = np.searchsorted(values, fresh_values)
+    return (
+        np.insert(values, positions, fresh_values),
+        np.insert(merged, positions, delta_counts[~present]),
+    )
 
 
 def count_lookup(

@@ -1,0 +1,657 @@
+"""Tenant-sharded tiered model storage: hot LRU → mmap shards → cold store.
+
+The content-addressed :class:`~repro.runtime.store.ArtifactStore` is
+the right durability layer but the wrong serving layer at fleet scale:
+one ``.npz`` per model means a directory entry, an open, and a zip
+parse per cold tenant touch.  :class:`ShardedStore` puts three tiers
+in front of it:
+
+* **hot** — an in-process, byte-accounted LRU of *live objects*
+  (fitted detectors).  Pure cache: eviction is a drop, because every
+  mutation also lands in the warm tier first.
+* **warm** — one read-only shard file per tenant-hash bucket, packing
+  many tenants' bit-packed databases with a JSON offset index at the
+  head.  A cold tenant score is one mmap page-in plus a ``frombuffer``
+  view — no parse, no copy.  Freshly put entries sit in a per-shard
+  pending overlay until :meth:`ShardedStore.compact` folds them into a
+  rewritten shard file (temp + ``os.replace``, so readers of the old
+  file keep a consistent mapping and a crash leaves one of the two
+  complete files).
+* **cold** — the existing :class:`ArtifactStore`, written on demand
+  (``cold=True`` puts, e.g. at snapshot cadence) and consulted on a
+  warm miss; a cold hit is promoted back into the pending overlay.
+
+**Corruption containment.**  Every array in a shard carries a CRC-32,
+verified on the entry's first access; a mismatch (or any short/garbled
+slice) demotes that entry — and only that entry — to a miss, exactly
+the ArtifactStore containment rule.  An unreadable shard *file* makes
+every entry in it a miss; the next compaction rewrites it from the
+pending overlay and whatever the cold tier still holds.
+
+**Sharding.**  ``shard_of`` hashes the entry key (BLAKE2b) modulo the
+shard count, so tenants spread uniformly and one tenant's churn only
+ever rewrites one shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.runtime import telemetry
+from repro.runtime.store import ArtifactStore
+
+__all__ = [
+    "SHARD_SCHEMA_VERSION",
+    "HotTier",
+    "HotTierStats",
+    "ShardFile",
+    "ShardStoreStats",
+    "ShardedStore",
+    "write_shard",
+]
+
+#: Bump when the shard file layout changes; old shards read as empty
+#: (every entry a miss) rather than misread.
+SHARD_SCHEMA_VERSION = 1
+
+_MAGIC = b"RSHD"
+_HEADER = struct.Struct("<4sBxxxQ")  # magic, version, pad, index length
+
+
+# -- hot tier -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HotTierStats:
+    """Hot-tier traffic and occupancy snapshot."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    removals: int = 0
+    resident_entries: int = 0
+    resident_bytes: int = 0
+    cap_bytes: int = 0
+
+
+class HotTier:
+    """Byte-accounted LRU of live objects (fitted detectors).
+
+    Thread-safe.  Eviction is silent object drop — correct only
+    because callers persist every mutation to the warm tier before
+    (or at) the hot put, which :class:`ShardedStore` arranges.
+
+    Args:
+        cap_bytes: eviction threshold over the caller-declared sizes.
+    """
+
+    def __init__(self, cap_bytes: int) -> None:
+        if cap_bytes <= 0:
+            raise ValueError(f"cap_bytes must be positive, got {cap_bytes}")
+        self._cap = int(cap_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        # Secondary index: key prefix up to the first "|" (the tenant
+        # id under the serving key scheme) -> resident keys.  Keeps
+        # per-tenant key listing O(tenant's keys) instead of a scan of
+        # the whole tier — the difference between O(n) and O(n^2)
+        # total when provisioning a 100k-tenant fleet.
+        self._groups: dict[str, set[str]] = {}
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._inserts = 0
+        self._evictions = 0
+        self._removals = 0
+
+    @property
+    def cap_bytes(self) -> int:
+        """The eviction threshold."""
+        return self._cap
+
+    @property
+    def resident_bytes(self) -> int:
+        """Declared bytes currently resident."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> object | None:
+        """The cached object, freshened to most-recently-used."""
+        with self._lock:
+            held = self._entries.get(key)
+            if held is None:
+                self._misses += 1
+                telemetry.count("serve.hot.miss")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+        telemetry.count("serve.hot.hit")
+        return held[0]
+
+    def put(self, key: str, value: object, nbytes: int) -> int:
+        """Insert (or refresh) ``key``; returns entries evicted.
+
+        Replacing an existing key re-accounts its bytes without
+        charging an eviction.
+        """
+        size = max(0, int(nbytes))
+        evicted = 0
+        with self._lock:
+            held = self._entries.pop(key, None)
+            if held is not None:
+                self._bytes -= held[1]
+            self._entries[key] = (value, size)
+            if held is None:
+                self._groups.setdefault(self._group_of(key), set()).add(key)
+            self._bytes += size
+            self._inserts += held is None
+            if held is None:
+                telemetry.count("serve.hot.insert")
+                telemetry.count("serve.hot.resident_entries")
+            telemetry.count("serve.hot.resident_bytes", size - (held[1] if held else 0))
+            while self._bytes > self._cap and len(self._entries) > 1:
+                victim, (_, victim_size) = self._entries.popitem(last=False)
+                if victim == key:
+                    # Never evict the entry just written.
+                    self._entries[victim] = (value, size)
+                    self._entries.move_to_end(victim, last=False)
+                    break
+                self._drop_from_group(victim)
+                self._bytes -= victim_size
+                self._evictions += 1
+                evicted += 1
+                telemetry.count("serve.hot.evict")
+                telemetry.count("serve.hot.resident_entries", -1)
+                telemetry.count("serve.hot.resident_bytes", -victim_size)
+        return evicted
+
+    @staticmethod
+    def _group_of(key: str) -> str:
+        return key.split("|", 1)[0]
+
+    def _drop_from_group(self, key: str) -> None:
+        group = self._groups.get(self._group_of(key))
+        if group is not None:
+            group.discard(key)
+            if not group:
+                del self._groups[self._group_of(key)]
+
+    def remove(self, key: str) -> bool:
+        """Drop ``key`` (invalidation, not eviction); ``True`` if held."""
+        with self._lock:
+            held = self._entries.pop(key, None)
+            if held is None:
+                return False
+            self._drop_from_group(key)
+            self._bytes -= held[1]
+            self._removals += 1
+        telemetry.count("serve.hot.remove")
+        telemetry.count("serve.hot.resident_entries", -1)
+        telemetry.count("serve.hot.resident_bytes", -held[1])
+        return True
+
+    def keys_with_prefix(self, prefix: str) -> list[str]:
+        """Snapshot of resident keys starting with ``prefix``.
+
+        A ``tenant|`` prefix (one trailing separator, none inside) is
+        answered from the group index in O(that tenant's keys); any
+        other shape falls back to a scan of the tier.
+        """
+        with self._lock:
+            head = prefix[:-1]
+            if prefix.endswith("|") and "|" not in head:
+                return sorted(self._groups.get(head, ()))
+            return [key for key in self._entries if key.startswith(prefix)]
+
+    @property
+    def stats(self) -> HotTierStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return HotTierStats(
+                hits=self._hits,
+                misses=self._misses,
+                inserts=self._inserts,
+                evictions=self._evictions,
+                removals=self._removals,
+                resident_entries=len(self._entries),
+                resident_bytes=self._bytes,
+                cap_bytes=self._cap,
+            )
+
+
+# -- warm tier: shard files ---------------------------------------------------
+
+
+def write_shard(
+    path: Path, entries: dict[str, dict[str, np.ndarray]]
+) -> None:
+    """Atomically write one shard file holding ``entries``.
+
+    Layout: 16-byte header (magic, version, index length), UTF-8 JSON
+    index, zero padding to an 8-byte boundary, then each array's raw
+    bytes 8-byte aligned.  The index maps ``key -> name -> [offset,
+    nbytes, dtype, shape, crc32]`` with offsets *relative to the
+    payload start* (the reader derives the base from the header), so a
+    reader touches only the pages of the entry it wants.
+    """
+    index: dict[str, dict[str, list]] = {}
+    blobs: list[bytes] = []
+    offset = 0  # relative to the 8-aligned payload start
+    for key, arrays in entries.items():
+        named = {}
+        for name, array in arrays.items():
+            source = np.asarray(array)
+            # ascontiguousarray promotes 0-d to 1-d; keep the true shape.
+            data = np.ascontiguousarray(source)
+            if data.dtype.hasobject:
+                raise ValueError(f"shard entry {key!r}/{name!r} is not plain data")
+            blob = data.tobytes()
+            pad = (-offset) % 8
+            offset += pad
+            blobs.append(b"\x00" * pad + blob)
+            named[name] = [
+                offset,
+                len(blob),
+                data.dtype.str,
+                list(source.shape),
+                zlib.crc32(blob),
+            ]
+            offset += len(blob)
+        index[key] = named
+    body = json.dumps(
+        {"schema": SHARD_SCHEMA_VERSION, "entries": index}, sort_keys=True
+    ).encode("utf-8")
+    head_pad = (-(_HEADER.size + len(body))) % 8
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, SHARD_SCHEMA_VERSION, len(body)))
+        handle.write(body)
+        handle.write(b"\x00" * head_pad)
+        for blob in blobs:
+            handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class ShardFile:
+    """Read-only mmap view over one shard file.
+
+    Raises:
+        OSError, ValueError: on an unreadable or malformed file — the
+            caller treats the whole shard as empty.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        with open(self._path, "rb") as handle:
+            self._mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        if len(self._mm) < _HEADER.size:
+            raise ValueError(f"shard {self._path} is shorter than its header")
+        magic, version, index_len = _HEADER.unpack_from(self._mm, 0)
+        if magic != _MAGIC or version != SHARD_SCHEMA_VERSION:
+            raise ValueError(
+                f"shard {self._path} has magic/version {magic!r}/{version}"
+            )
+        head = _HEADER.size
+        raw = bytes(self._mm[head : head + index_len])
+        if len(raw) != index_len:
+            raise ValueError(f"shard {self._path} index is truncated")
+        payload = json.loads(raw.decode("utf-8"))
+        if payload.get("schema") != SHARD_SCHEMA_VERSION:
+            raise ValueError(f"shard {self._path} index schema mismatch")
+        base = head + index_len
+        self._payload_base = base + ((-base) % 8)
+        self._entries: dict[str, dict[str, list]] = payload["entries"]
+        self._verified: set[str] = set()
+        self._bad: set[str] = set()
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> Path:
+        """The shard file path."""
+        return self._path
+
+    def keys(self) -> list[str]:
+        """Every entry key the index declares."""
+        return list(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """Zero-copy read-only arrays for ``key``, or ``None``.
+
+        CRC verification runs once per entry; a mismatch marks the
+        entry bad (a permanent miss for this mapping) without
+        affecting its neighbors.
+        """
+        named = self._entries.get(key)
+        if named is None:
+            return None
+        with self._lock:
+            if key in self._bad:
+                return None
+            verify = key not in self._verified
+        arrays: dict[str, np.ndarray] = {}
+        for name, spec in named.items():
+            try:
+                offset, nbytes, dtype_str, shape, crc = spec
+                offset = self._payload_base + int(offset)
+                nbytes = int(nbytes)
+                if offset < 0 or offset + nbytes > len(self._mm):
+                    raise ValueError("slice out of bounds")
+                if verify:
+                    actual = zlib.crc32(self._mm[offset : offset + nbytes])
+                    if actual != int(crc):
+                        raise ValueError("crc mismatch")
+                dtype = np.dtype(str(dtype_str))
+                if dtype.hasobject:
+                    raise ValueError("object dtype")
+                count = nbytes // dtype.itemsize if dtype.itemsize else 0
+                array = np.frombuffer(
+                    self._mm, dtype=dtype, count=count, offset=offset
+                ).reshape([int(n) for n in shape])
+            except Exception:
+                with self._lock:
+                    self._bad.add(key)
+                telemetry.count("serve.shard.corrupt")
+                return None
+            arrays[name] = array
+        with self._lock:
+            self._verified.add(key)
+        return arrays
+
+
+# -- the tiered store ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardStoreStats:
+    """Cross-tier traffic snapshot for ``/stats`` and the benchmarks."""
+
+    hot: HotTierStats
+    warm_hits: int = 0
+    warm_misses: int = 0
+    cold_hits: int = 0
+    cold_misses: int = 0
+    promotions: int = 0
+    compactions: int = 0
+    pending_entries: int = 0
+    shard_entries: int = 0
+    shards: int = 0
+
+
+class ShardedStore:
+    """Hot/warm/cold tiered model store sharded by key hash.
+
+    Keys are opaque strings — the serving layer uses
+    ``"<tenant>|<family>|<dw>"`` so one tenant's models share a hash
+    bucket prefix-searchably in the hot tier.
+
+    Tier rules (see DESIGN.md S47):
+
+    * ``put`` lands in the owning shard's pending overlay (and,
+      with ``cold=True``, in the cold store as well) — the warm tier
+      is therefore always current even before compaction.
+    * ``get`` consults pending, then the mmap'd shard file, then the
+      cold store; a cold hit is *promoted* into pending.
+    * ``compact`` folds pending into an atomically rewritten shard
+      file and reopens the mapping; it runs automatically every
+      ``compact_every`` puts per shard (0 disables auto-compaction).
+    * ``invalidate`` tombstones a key across pending and shard file
+      (cold is content-keyed by the same name and rewritten on the
+      next cold put).
+
+    Args:
+        root: directory for shard files; created on first use.
+        shards: number of hash buckets (fixed for the store's life —
+            changing it reshuffles keys, so pick once per deployment).
+        hot_cap_bytes: hot-tier eviction threshold.
+        cold: optional cold-tier :class:`ArtifactStore`.
+        compact_every: pending puts per shard before auto-compaction.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        shards: int = 64,
+        hot_cap_bytes: int = 64 * 1024 * 1024,
+        cold: ArtifactStore | None = None,
+        compact_every: int = 4096,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self._root = Path(root)
+        self._shards = int(shards)
+        self._cold = cold
+        self._compact_every = int(compact_every)
+        self.hot = HotTier(hot_cap_bytes)
+        self._locks = [threading.RLock() for _ in range(self._shards)]
+        self._pending: list[dict[str, dict[str, np.ndarray]]] = [
+            {} for _ in range(self._shards)
+        ]
+        self._tombstones: list[set[str]] = [set() for _ in range(self._shards)]
+        self._files: list[ShardFile | None] = [None] * self._shards
+        self._opened = [False] * self._shards
+        self._puts_since_compact = [0] * self._shards
+        self._stats_lock = threading.Lock()
+        self._warm_hits = 0
+        self._warm_misses = 0
+        self._cold_hits = 0
+        self._cold_misses = 0
+        self._promotions = 0
+        self._compactions = 0
+
+    @property
+    def root(self) -> Path:
+        """The shard directory."""
+        return self._root
+
+    @property
+    def shards(self) -> int:
+        """Number of hash buckets."""
+        return self._shards
+
+    @property
+    def cold(self) -> ArtifactStore | None:
+        """The cold-tier store, if attached."""
+        return self._cold
+
+    def shard_of(self, key: str) -> int:
+        """The owning shard: BLAKE2b of the key modulo the bucket count."""
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self._shards
+
+    def shard_path(self, shard: int) -> Path:
+        """The shard file for bucket ``shard``."""
+        return self._root / f"shard-{shard:04d}.bin"
+
+    def cold_key(self, key: str) -> str:
+        """The cold-tier content address for ``key``."""
+        recipe = f"repro-shard/{SHARD_SCHEMA_VERSION}\n{key}\n"
+        return hashlib.sha256(recipe.encode("utf-8")).hexdigest()
+
+    def _file(self, shard: int) -> ShardFile | None:
+        """The shard's mmap, opened lazily; unreadable files read empty."""
+        if not self._opened[shard]:
+            path = self.shard_path(shard)
+            if path.exists():
+                try:
+                    self._files[shard] = ShardFile(path)
+                except (OSError, ValueError):
+                    telemetry.count("serve.shard.unreadable")
+                    self._files[shard] = None
+            self._opened[shard] = True
+        return self._files[shard]
+
+    # -- tiered access ----------------------------------------------------
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """Arrays for ``key`` from the warmest tier holding them."""
+        shard = self.shard_of(key)
+        with self._locks[shard]:
+            if key in self._tombstones[shard]:
+                return None
+            held = self._pending[shard].get(key)
+            if held is None:
+                mapped = self._file(shard)
+                if mapped is not None:
+                    held = mapped.get(key)
+            if held is not None:
+                with self._stats_lock:
+                    self._warm_hits += 1
+                telemetry.count("serve.shard.hit")
+                return held
+            with self._stats_lock:
+                self._warm_misses += 1
+            telemetry.count("serve.shard.miss")
+            if self._cold is None:
+                return None
+            held = self._cold.get(self.cold_key(key), kind="shard")
+            if held is None:
+                with self._stats_lock:
+                    self._cold_misses += 1
+                return None
+            # Promote: the next compaction folds it into the shard file.
+            self._pending[shard][key] = dict(held)
+            with self._stats_lock:
+                self._cold_hits += 1
+                self._promotions += 1
+            telemetry.count("serve.shard.promote")
+            return held
+
+    def put(
+        self,
+        key: str,
+        arrays: dict[str, np.ndarray],
+        cold: bool = False,
+    ) -> None:
+        """Stage ``arrays`` under ``key`` in the owning shard's overlay.
+
+        Args:
+            cold: also write through to the cold store (demotion /
+                durability — e.g. at the serving snapshot cadence).
+        """
+        shard = self.shard_of(key)
+        staged = {
+            # reshape undoes ascontiguousarray's 0-d -> 1-d promotion
+            name: np.ascontiguousarray(np.asarray(value)).reshape(
+                np.asarray(value).shape
+            )
+            for name, value in arrays.items()
+        }
+        compact_now = False
+        with self._locks[shard]:
+            self._tombstones[shard].discard(key)
+            self._pending[shard][key] = staged
+            self._puts_since_compact[shard] += 1
+            if (
+                self._compact_every
+                and self._puts_since_compact[shard] >= self._compact_every
+            ):
+                compact_now = True
+        telemetry.count("serve.shard.put")
+        if cold and self._cold is not None:
+            self._cold.put(self.cold_key(key), staged)
+        if compact_now:
+            self.compact(shard)
+
+    def invalidate(self, key: str) -> None:
+        """Make ``key`` a miss in the hot and warm tiers (tombstone)."""
+        shard = self.shard_of(key)
+        with self._locks[shard]:
+            self._pending[shard].pop(key, None)
+            mapped = self._file(shard)
+            if mapped is not None and key in mapped:
+                self._tombstones[shard].add(key)
+        self.hot.remove(key)
+        telemetry.count("serve.shard.invalidate")
+
+    # -- compaction -------------------------------------------------------
+
+    def compact(self, shard: int) -> int:
+        """Fold the shard's pending overlay into a rewritten file.
+
+        Atomic: the merged entries are written to a temp file and
+        ``os.replace``d over the shard, then the mmap is reopened.
+        Readers holding arrays from the old mapping keep it alive via
+        their buffer references; a crash leaves either the old or the
+        new complete file.
+
+        Returns:
+            The number of entries in the rewritten shard.
+        """
+        with self._locks[shard]:
+            pending = self._pending[shard]
+            tombstones = self._tombstones[shard]
+            mapped = self._file(shard)
+            if not pending and not tombstones:
+                return len(mapped.keys()) if mapped is not None else 0
+            merged: dict[str, dict[str, np.ndarray]] = {}
+            if mapped is not None:
+                for key in mapped.keys():
+                    if key in tombstones or key in pending:
+                        continue
+                    held = mapped.get(key)
+                    if held is not None:
+                        merged[key] = held
+            merged.update(pending)
+            with telemetry.span("store", "shard_compact", shard=shard):
+                write_shard(self.shard_path(shard), merged)
+                self._files[shard] = ShardFile(self.shard_path(shard))
+                self._opened[shard] = True
+            self._pending[shard] = {}
+            self._tombstones[shard] = set()
+            self._puts_since_compact[shard] = 0
+            with self._stats_lock:
+                self._compactions += 1
+            telemetry.count("serve.shard.compact")
+            return len(merged)
+
+    def compact_all(self) -> int:
+        """Compact every shard; returns total entries across shards."""
+        return sum(self.compact(shard) for shard in range(self._shards))
+
+    # -- observability ----------------------------------------------------
+
+    @property
+    def stats(self) -> ShardStoreStats:
+        """A cross-tier snapshot (hot counters included)."""
+        pending = sum(len(overlay) for overlay in self._pending)
+        shard_entries = 0
+        for shard in range(self._shards):
+            with self._locks[shard]:
+                mapped = self._file(shard)
+            if mapped is not None:
+                shard_entries += len(mapped.keys())
+        with self._stats_lock:
+            return ShardStoreStats(
+                hot=self.hot.stats,
+                warm_hits=self._warm_hits,
+                warm_misses=self._warm_misses,
+                cold_hits=self._cold_hits,
+                cold_misses=self._cold_misses,
+                promotions=self._promotions,
+                compactions=self._compactions,
+                pending_entries=pending,
+                shard_entries=shard_entries,
+                shards=self._shards,
+            )

@@ -61,7 +61,9 @@ from repro.runtime import telemetry
 #: change: old entries become unreachable (a miss), never misread.
 #: v2: packed databases switched from base-AS to bit-width packing,
 #: which changes the stored key values for non-power-of-two alphabets.
-STORE_SCHEMA_VERSION = 2
+#: v3: t-stide states gained the full (value, count) table behind the
+#: common filter so reloaded fits keep their delta-fit capability.
+STORE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -790,7 +790,12 @@ def check_trace_counters(
       cell) a sequence detector scored was dispatched to exactly one
       of the automaton or bisect tiers, so ``kernel.automaton.* +
       kernel.bisect.* == kernel.membership.*`` — the audit that both
-      tiers saw identical traffic.
+      tiers saw identical traffic;
+    * the serving fleet store's accounting balances: hot-tier inserts
+      minus evictions minus removals equals the resident-entry
+      counter, the resident byte gauges never go negative, and
+      ``serve.delta.diverged`` is zero (a delta-fit that diverged from
+      its cold refit is a correctness bug, not an operational event).
 
     Returns a list of human-readable problems (empty = consistent).
     When ``spans`` is given, parent references are checked to resolve.
@@ -833,6 +838,26 @@ def check_trace_counters(
                     f"kernel tier split ({split:g} {unit}) != "
                     f"membership traffic ({total:g} {unit})"
                 )
+    if "serve.hot.insert" in counters or "serve.hot.resident_entries" in counters:
+        flow = (
+            counter("serve.hot.insert")
+            - counter("serve.hot.evict")
+            - counter("serve.hot.remove")
+        )
+        if flow != counter("serve.hot.resident_entries"):
+            problems.append(
+                f"hot-tier flow (inserts - evictions - removals = {flow:g}) "
+                f"!= serve.hot.resident_entries "
+                f"({counter('serve.hot.resident_entries'):g})"
+            )
+    for gauge in ("serve.hot.resident_bytes", "serve.tenants.resident_bytes"):
+        if counter(gauge) < 0:
+            problems.append(f"{gauge} is negative ({counter(gauge):g})")
+    if counter("serve.delta.diverged"):
+        problems.append(
+            f"serve.delta.diverged is {counter('serve.delta.diverged'):g} "
+            "(delta-fits must be bit-identical to cold refits)"
+        )
     if spans:
         known = {record["id"] for record in spans}
         for record in spans:

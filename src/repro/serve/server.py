@@ -42,6 +42,7 @@ from dataclasses import asdict
 
 from repro.exceptions import ScoreRefusal
 from repro.runtime import telemetry
+from repro.runtime.shardstore import ShardedStore
 from repro.serve.admission import AdmissionPolicy, Deadline, TenantLane
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.chaos import ChaosDirector
@@ -82,6 +83,9 @@ class ScoringServer:
         snapshot_every: tenant snapshot cadence (0 disables).
         fsync: fsync WAL appends (power-loss durability).
         executor_workers: scoring thread-pool size.
+        models: optional tiered fleet model store (hot LRU → mmap
+            shards → cold); enables delta-fits on ingest.
+        delta_verify_every: delta-fit verify cadence (0 disables).
     """
 
     def __init__(
@@ -95,11 +99,17 @@ class ScoringServer:
         snapshot_every: int = 8,
         fsync: bool = False,
         executor_workers: int = 4,
+        models: ShardedStore | None = None,
+        delta_verify_every: int = 0,
     ) -> None:
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.chaos = chaos if chaos is not None else ChaosDirector()
         self.tenants = TenantStateStore(
-            root, snapshot_every=snapshot_every, fsync=fsync
+            root,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            models=models,
+            delta_verify_every=delta_verify_every,
         )
         self.pipeline = ScorePipeline(self.tenants, retries=retries)
         self.recovery: RecoveryReport | None = None
@@ -474,4 +484,5 @@ class ScoringServer:
             },
             "chaos": dict(self.chaos.injected),
             "recovery": asdict(self.recovery) if self.recovery else None,
+            "memory": self.tenants.memory_stats(),
         }

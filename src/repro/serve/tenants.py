@@ -25,8 +25,10 @@ from repro.detectors.base import AnomalyDetector
 from repro.detectors.registry import create_detector
 from repro.exceptions import ScoreRefusal, TenantRecoveryError
 from repro.runtime import telemetry
+from repro.runtime.deltafit import verify_delta
+from repro.runtime.shardstore import ShardedStore
 from repro.runtime.store import ArtifactStore, stream_digest
-from repro.serve.wal import TenantJournal
+from repro.serve.wal import DEFAULT_SEGMENT_BYTES, TenantJournal
 
 #: Default per-tenant alphabet when a create request does not name one
 #: (the paper corpus alphabet).
@@ -82,6 +84,21 @@ class TenantStateStore:
             back to the full log without them anyway.
         snapshot_every: take a snapshot every N ingests (0 disables).
         fsync: forwarded to each tenant's journal.
+        models: the tiered fleet model store.  When attached, fitted
+            detectors live in its hot LRU instead of per-tenant dicts,
+            ingests *delta-fit* the count-based families in place
+            (bit-identical to a refit, cost proportional to the
+            batch), and serialized states ride the warm/cold tiers so
+            a restart replays deltas instead of refitting.  ``None``
+            keeps the original invalidate-and-refit behavior.
+        delta_verify_every: every N delta updates, cross-check one
+            updated detector against a cold refit of the full stream
+            (0 disables).  A divergence — which the deltafit tests say
+            cannot happen — invalidates the model and counts under
+            ``serve.delta.diverged``, which ``repro trace validate``
+            requires to be zero.
+        wal_segment_bytes: forwarded to each tenant's journal; rotated
+            segments fully covered by a verified snapshot are pruned.
     """
 
     def __init__(
@@ -90,6 +107,9 @@ class TenantStateStore:
         store: ArtifactStore | None = None,
         snapshot_every: int = 8,
         fsync: bool = False,
+        models: ShardedStore | None = None,
+        delta_verify_every: int = 0,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> None:
         self._root = Path(root)
         self._store = (
@@ -99,6 +119,11 @@ class TenantStateStore:
         )
         self._snapshot_every = int(snapshot_every)
         self._fsync = fsync
+        self._models = models
+        self._delta_verify_every = int(delta_verify_every)
+        self._wal_segment_bytes = int(wal_segment_bytes)
+        self._delta_updates = 0
+        self._resident_bytes = 0
         self._tenants: dict[str, TenantState] = {}
 
     @property
@@ -116,11 +141,31 @@ class TenantStateStore:
         """Live tenants by id (includes quarantined ones)."""
         return self._tenants
 
+    @property
+    def models(self) -> ShardedStore | None:
+        """The tiered fleet model store, if attached."""
+        return self._models
+
     def _tenant_dir(self, tenant_id: str) -> Path:
         return self._root / "tenants" / tenant_id
 
     def _journal(self, tenant_id: str) -> TenantJournal:
-        return TenantJournal(self._tenant_dir(tenant_id), fsync=self._fsync)
+        return TenantJournal(
+            self._tenant_dir(tenant_id),
+            fsync=self._fsync,
+            segment_bytes=self._wal_segment_bytes,
+        )
+
+    @staticmethod
+    def model_key(tenant_id: str, family: str, window: int) -> str:
+        """The fleet-store key for one (tenant, family, window) model."""
+        return f"{tenant_id}|{family}|{window}"
+
+    def _account_events(self, delta_bytes: int) -> None:
+        """Track per-tenant training-stream residency (``/stats``)."""
+        if delta_bytes:
+            self._resident_bytes += int(delta_bytes)
+            telemetry.count("serve.tenants.resident_bytes", int(delta_bytes))
 
     # -- lifecycle --------------------------------------------------------
 
@@ -219,29 +264,175 @@ class TenantStateStore:
         """Append validated training events; returns the new ``seq``.
 
         WAL-first: the record is durable before the in-memory state
-        (and therefore any acknowledgement) reflects it.
+        (and therefore any acknowledgement) reflects it.  With the
+        fleet model store attached, the tenant's hot detectors are
+        *delta-fitted* in place instead of invalidated — bit-identical
+        to a refit at a cost proportional to the batch.
         """
         seq = state.seq + 1
         assert state.journal is not None
         state.journal.append(seq, events)
+        prior = state.events
         state.events = (
             events.copy()
             if state.event_count == 0
-            else np.concatenate([state.events, events])
+            else np.concatenate([prior, events])
         )
         state.seq = seq
-        state.detectors.clear()
+        self._account_events(int(np.asarray(events).nbytes))
+        if self._models is None:
+            state.detectors.clear()
+        else:
+            self._delta_update_models(state, events, prior)
         telemetry.count("serve.ingest")
         telemetry.count("serve.ingest.events", len(events))
         if self._snapshot_every and seq % self._snapshot_every == 0:
-            state.journal.snapshot(
+            key = state.journal.snapshot(
                 state.tenant_id,
                 seq,
                 state.events,
                 state.alphabet_size,
                 self._store,
             )
+            if key is not None:
+                # The snapshot is verified readable: rotated WAL
+                # segments it fully covers are dead weight.
+                state.journal.prune_segments(seq)
+                if self._models is not None:
+                    self._demote_models(state)
         return seq
+
+    # -- fleet model store ------------------------------------------------
+
+    @staticmethod
+    def _stream_prefix_digest(events: np.ndarray, count: int) -> str:
+        """Digest of the first ``min(64, count)`` events.
+
+        The training stream is append-only, so this prefix is stable
+        for every model persisted at ``event_count >= count`` — a
+        cheap identity check that catches a recreated tenant whose
+        (seq, event count) happen to collide with stale model arrays.
+        """
+        return stream_digest(events[: min(64, int(count))])
+
+    def _stage_model(
+        self,
+        state: TenantState,
+        key: str,
+        detector: AnomalyDetector,
+        cold: bool = False,
+    ) -> None:
+        """Persist a fitted model into the warm (and hot) tiers."""
+        assert self._models is not None
+        exported = detector.export_fit_state()
+        if not exported:
+            return
+        arrays = dict(exported)
+        arrays["__meta"] = np.asarray(
+            [state.seq, state.event_count, state.alphabet_size],
+            dtype=np.int64,
+        )
+        digest = self._stream_prefix_digest(state.events, state.event_count)
+        arrays["__digest"] = np.frombuffer(
+            digest.encode("ascii"), dtype=np.uint8
+        ).copy()
+        self._models.put(key, arrays, cold=cold)
+        self._models.hot.put(key, detector, detector.state_nbytes())
+
+    def _delta_update_models(
+        self, state: TenantState, batch: np.ndarray, prior: np.ndarray
+    ) -> None:
+        """Fold an ingested batch into the tenant's hot detectors.
+
+        Detectors without a delta path (or fitted before one window of
+        history existed) are invalidated and refit on next use; the
+        count-based families merge the batch in place and re-persist.
+        """
+        assert self._models is not None
+        for key in self._models.hot.keys_with_prefix(f"{state.tenant_id}|"):
+            detector = self._models.hot.get(key)
+            if not isinstance(detector, AnomalyDetector):
+                continue
+            window = detector.window_length
+            if not detector.supports_delta_fit or len(prior) < window - 1:
+                self._models.invalidate(key)
+                continue
+            tail = prior[len(prior) - (window - 1) :]
+            detector.update_batch(batch, tail)
+            self._delta_updates += 1
+            telemetry.count("serve.delta.update")
+            if (
+                self._delta_verify_every
+                and self._delta_updates % self._delta_verify_every == 0
+            ):
+                telemetry.count("serve.delta.verify")
+                if not verify_delta(detector, state.events):
+                    telemetry.count("serve.delta.diverged")
+                    self._models.invalidate(key)
+                    continue
+            self._stage_model(state, key, detector)
+
+    def _demote_models(self, state: TenantState) -> None:
+        """Write the tenant's hot models through to the cold tier.
+
+        Runs at the snapshot cadence so a model's durable copy is
+        never staler than the stream snapshot next to it.
+        """
+        assert self._models is not None
+        for key in self._models.hot.keys_with_prefix(f"{state.tenant_id}|"):
+            detector = self._models.hot.get(key)
+            if isinstance(detector, AnomalyDetector):
+                self._stage_model(state, key, detector, cold=True)
+
+    def _load_model(
+        self, state: TenantState, family: str, window: int, key: str
+    ) -> AnomalyDetector | None:
+        """Revive a detector from the warm/cold tiers, replaying deltas.
+
+        The stored ``__meta`` records the event count the arrays were
+        fitted through; a shortfall against the tenant's current
+        stream is closed with one :meth:`~repro.detectors.base.
+        AnomalyDetector.update_batch` over the missed suffix — the
+        recovery path that makes restarts replay deltas, not refits.
+        Any mismatch (foreign digest, future meta, failed import)
+        invalidates the entry and falls back to a cold fit.
+        """
+        assert self._models is not None
+        held = self._models.get(key)
+        if held is None:
+            return None
+        arrays = dict(held)
+        meta = np.asarray(arrays.pop("__meta", np.empty(0))).ravel()
+        stored_digest = arrays.pop("__digest", None)
+        if meta.size != 3:
+            self._models.invalidate(key)
+            return None
+        stored_count = int(meta[1])
+        if (
+            int(meta[2]) != state.alphabet_size
+            or stored_count > state.event_count
+            or stored_count < window
+            or stored_digest is None
+            or bytes(np.asarray(stored_digest, dtype=np.uint8)).decode(
+                "ascii", "replace"
+            )
+            != self._stream_prefix_digest(state.events, stored_count)
+        ):
+            self._models.invalidate(key)
+            return None
+        detector = create_detector(family, window, state.alphabet_size)
+        if not detector.import_fit_state(arrays):
+            self._models.invalidate(key)
+            return None
+        if stored_count < state.event_count:
+            if not detector.supports_delta_fit:
+                return None  # stale and not mergeable: refit
+            detector.update_batch(
+                state.events[stored_count:],
+                state.events[stored_count - (window - 1) : stored_count],
+            )
+            telemetry.count("serve.delta.replay")
+        return detector
 
     # -- recovery ---------------------------------------------------------
 
@@ -289,6 +480,7 @@ class TenantStateStore:
                     seq=loaded.seq,
                     journal=journal,
                 )
+                self._account_events(int(loaded.events.nbytes))
                 recovered += 1
                 from_snapshot += int(loaded.from_snapshot)
                 replayed += loaded.replayed_records
@@ -307,14 +499,26 @@ class TenantStateStore:
     ) -> AnomalyDetector:
         """A fitted detector for (tenant, family, window), cached.
 
+        With the fleet store attached the lookup ladder is hot LRU →
+        warm mmap shard (delta-replayed up to the current stream) →
+        cold store → cold fit; without it, the original per-tenant
+        dict cache with invalidate-on-ingest.
+
         Raises:
             ScoreRefusal: 422 when the tenant's normal database cannot
                 support the window (fewer events than one window), or
                 propagated configuration errors as 404/422 refusals.
         """
-        cached = state.detectors.get((family, window))
-        if cached is not None:
-            return cached
+        if self._models is None:
+            cached = state.detectors.get((family, window))
+            if cached is not None:
+                return cached
+        else:
+            key = self.model_key(state.tenant_id, family, window)
+            hot = self._models.hot.get(key)
+            if isinstance(hot, AnomalyDetector):
+                # Ingest keeps hot models current, so no staleness check.
+                return hot
         if state.event_count < window:
             raise ScoreRefusal(
                 f"tenant {state.tenant_id!r} holds {state.event_count} "
@@ -322,11 +526,67 @@ class TenantStateStore:
                 status=422,
                 reason="insufficient-training",
             )
-        with telemetry.span(
-            "serve", "fit", tenant=state.tenant_id, family=family, dw=window
-        ):
-            detector = create_detector(family, window, state.alphabet_size)
-            detector.fit(state.events)
-        state.detectors[(family, window)] = detector
-        telemetry.count("serve.fit")
+        detector = (
+            self._load_model(state, family, window, key)
+            if self._models is not None
+            else None
+        )
+        if detector is None:
+            with telemetry.span(
+                "serve",
+                "fit",
+                tenant=state.tenant_id,
+                family=family,
+                dw=window,
+            ):
+                detector = create_detector(
+                    family, window, state.alphabet_size
+                )
+                detector.fit(state.events)
+            telemetry.count("serve.fit")
+        if self._models is None:
+            state.detectors[(family, window)] = detector
+        else:
+            self._stage_model(state, key, detector)
         return detector
+
+    # -- observability ----------------------------------------------------
+
+    def memory_stats(self) -> dict:
+        """Per-tenant and model-tier memory accounting for ``/stats``.
+
+        ``tenants_resident_bytes`` is maintained by counter deltas
+        (mirrored to the ``serve.tenants.resident_bytes`` telemetry
+        counter) and cross-checked here against the ground truth sum
+        so a drift shows up as a failing assertion in the tests rather
+        than a silently wrong dashboard.
+        """
+        actual = sum(
+            int(state.events.nbytes) for state in self._tenants.values()
+        )
+        stats: dict = {
+            "tenants": len(self._tenants),
+            "tenants_resident_bytes": actual,
+            "tenants_resident_bytes_counter": int(self._resident_bytes),
+        }
+        if self._models is not None:
+            hot = self._models.hot.stats
+            store = self._models.stats
+            stats["hot_tier"] = {
+                "resident_entries": hot.resident_entries,
+                "resident_bytes": hot.resident_bytes,
+                "cap_bytes": hot.cap_bytes,
+                "hits": hot.hits,
+                "misses": hot.misses,
+                "evictions": hot.evictions,
+            }
+            stats["model_store"] = {
+                "warm_hits": store.warm_hits,
+                "warm_misses": store.warm_misses,
+                "cold_hits": store.cold_hits,
+                "promotions": store.promotions,
+                "compactions": store.compactions,
+                "pending_entries": store.pending_entries,
+                "shard_entries": store.shard_entries,
+            }
+        return stats

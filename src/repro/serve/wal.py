@@ -24,6 +24,19 @@ is tolerated: the tail is skipped and counted under the
 checkpoint reader uses (:func:`repro.io.read_jsonl_tolerant`).  The
 lost record was never acknowledged, so dropping it is correct.
 
+**Segments.**  The active log rotates once it reaches
+``segment_bytes``: the file is atomically renamed to
+``wal-<last seq>.jsonl`` (the embedded sequence number orders the
+segments) and appends continue into a fresh active file.  Rotated
+segments are immutable, so any parse failure inside one — torn tail
+included — is damage, not a crash artifact, and quarantines the
+tenant.  :meth:`TenantJournal.prune_segments` unlinks segments whose
+records are *fully* covered by a verified snapshot; a partially
+covered segment is left in place (its already-snapshotted records are
+filtered by sequence at recovery), so a crash between prune and
+rewrite can never lose acknowledged state — and a gap created by
+losing a middle segment still trips the contiguity check.
+
 **Snapshots.**  A snapshot is the tenant's exact ``int64`` event
 array, stored under a content-addressed key (tenant id, sequence
 number, stream digest, schema version).  The manifest records the key
@@ -40,6 +53,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -56,6 +70,18 @@ WAL_SCHEMA_VERSION = 1
 
 #: Telemetry counter charged when a torn WAL tail is skipped.
 TORN_TAIL_COUNTER = "serve.wal.torn_tail"
+
+#: Default active-log size that triggers a segment rotation.
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+#: Rotated segment file names embed the last sequence they contain.
+_SEGMENT_RE = re.compile(r"wal-(\d+)\.jsonl")
+
+
+def _segment_last_seq(path: Path) -> int | None:
+    """The last sequence number embedded in a segment file name."""
+    match = _SEGMENT_RE.fullmatch(path.name)
+    return int(match.group(1)) if match else None
 
 
 def snapshot_key(tenant_id: str, seq: int, digest: str) -> str:
@@ -95,8 +121,9 @@ class TenantJournal:
 
     Layout::
 
-        <directory>/wal.jsonl      append-only event log
-        <directory>/manifest.json  atomically-replaced metadata
+        <directory>/wal.jsonl             active append-only log
+        <directory>/wal-<last seq>.jsonl  immutable rotated segments
+        <directory>/manifest.json         atomically-replaced metadata
 
     Args:
         directory: the tenant's state directory; created on first use.
@@ -104,11 +131,19 @@ class TenantJournal:
             (the default) still survives process SIGKILL — the bytes
             are in the page cache — and only trades away power-loss
             durability for an order of magnitude in append latency.
+        segment_bytes: active-log size that triggers a rotation
+            (0 disables rotation; the log grows as one file).
     """
 
-    def __init__(self, directory: str | Path, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: bool = False,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
         self._directory = Path(directory)
         self._fsync = fsync
+        self._segment_bytes = int(segment_bytes)
 
     @property
     def directory(self) -> Path:
@@ -124,6 +159,18 @@ class TenantJournal:
     def manifest_path(self) -> Path:
         """The manifest file."""
         return self._directory / "manifest.json"
+
+    def segment_paths(self) -> list[Path]:
+        """Rotated WAL segments, oldest first (by embedded last seq)."""
+        if not self._directory.is_dir():
+            return []
+        found = []
+        for path in self._directory.glob("wal-*.jsonl"):
+            last_seq = _segment_last_seq(path)
+            if last_seq is not None:
+                found.append((last_seq, path))
+        found.sort()
+        return [path for _seq, path in found]
 
     # -- manifest ---------------------------------------------------------
 
@@ -195,18 +242,59 @@ class TenantJournal:
             handle.flush()
             if self._fsync:
                 os.fsync(handle.fileno())
+            size = handle.tell()
         telemetry.count("serve.wal.append")
+        if self._segment_bytes and size >= self._segment_bytes:
+            os.replace(
+                self.wal_path,
+                self._directory / f"wal-{int(seq):012d}.jsonl",
+            )
+            telemetry.count("serve.wal.rotate")
 
     # -- recovery ---------------------------------------------------------
 
-    def read_records(self) -> list[tuple[int, np.ndarray]]:
-        """Every intact WAL record as ``(seq, events)``, in file order.
+    @staticmethod
+    def _parse_records(
+        path: Path, lines: list[tuple[int, dict]]
+    ) -> list[tuple[int, np.ndarray]]:
+        """Decode ``(line number, json object)`` pairs into WAL records."""
+        records: list[tuple[int, np.ndarray]] = []
+        for line_number, record in lines:
+            try:
+                seq = int(record["seq"])
+                events = np.asarray(record["events"], dtype=np.int64)
+            except (KeyError, TypeError, ValueError) as error:
+                raise TenantRecoveryError(
+                    f"{path}:{line_number}: malformed WAL record: {error}"
+                ) from error
+            records.append((seq, events))
+        return records
 
-        Raises:
-            TenantRecoveryError: on mid-file damage or a malformed
-                record body (the torn-tail case is tolerated by the
-                shared guard and merely counted).
+    def _segment_records(self) -> list[tuple[int, np.ndarray]]:
+        """Records from every rotated segment, oldest segment first.
+
+        Rotated segments are immutable — an append can only tear the
+        *active* file — so any damage here, torn tail included, is
+        unexplainable by a crash and quarantines the tenant.
         """
+        records: list[tuple[int, np.ndarray]] = []
+        for segment in self.segment_paths():
+            try:
+                text = segment.read_text(encoding="utf-8")
+                lines = [
+                    (number, json.loads(line))
+                    for number, line in enumerate(text.splitlines(), start=1)
+                    if line.strip()
+                ]
+            except (OSError, ValueError) as error:
+                raise TenantRecoveryError(
+                    f"rotated WAL segment {segment} is damaged: {error}"
+                ) from error
+            records.extend(self._parse_records(segment, lines))
+        return records
+
+    def _active_records(self) -> list[tuple[int, np.ndarray]]:
+        """Records from the active log (torn final line tolerated)."""
         if not self.wal_path.exists():
             return []
         try:
@@ -218,18 +306,20 @@ class TenantJournal:
                 f"write-ahead log {self.wal_path} is damaged beyond a "
                 f"torn tail: {error}"
             ) from error
-        records: list[tuple[int, np.ndarray]] = []
-        for line_number, record in lines:
-            try:
-                seq = int(record["seq"])
-                events = np.asarray(record["events"], dtype=np.int64)
-            except (KeyError, TypeError, ValueError) as error:
-                raise TenantRecoveryError(
-                    f"{self.wal_path}:{line_number}: malformed WAL "
-                    f"record: {error}"
-                ) from error
-            records.append((seq, events))
-        return records
+        return self._parse_records(self.wal_path, lines)
+
+    def read_records(self) -> list[tuple[int, np.ndarray]]:
+        """Every intact WAL record as ``(seq, events)``, in file order.
+
+        Rotated segments are read first (strictly — see
+        :meth:`_segment_records`), then the active log, whose torn
+        final line is the one crash artifact tolerated and counted.
+
+        Raises:
+            TenantRecoveryError: on mid-file damage, a malformed
+                record body, or any damage inside a rotated segment.
+        """
+        return self._segment_records() + self._active_records()
 
     def recover(
         self, store: ArtifactStore | None, store_faulty: bool = False
@@ -252,7 +342,7 @@ class TenantJournal:
         """
         manifest = self.read_manifest()
         if manifest is None:
-            if self.wal_path.exists():
+            if self.wal_path.exists() or self.segment_paths():
                 raise TenantRecoveryError(
                     f"write-ahead log {self.wal_path} exists without a "
                     "manifest"
@@ -337,15 +427,41 @@ class TenantJournal:
         telemetry.count("serve.snapshot.put")
         return key
 
+    def prune_segments(self, upto_seq: int) -> int:
+        """Unlink rotated segments fully covered by a verified snapshot.
+
+        A segment whose embedded last sequence exceeds ``upto_seq``
+        still holds acknowledged records the snapshot does not cover,
+        so it is left in place — its covered prefix is filtered by
+        sequence at recovery.  Returns the number of segments removed.
+        """
+        pruned = 0
+        for segment in self.segment_paths():
+            last_seq = _segment_last_seq(segment)
+            if last_seq is None or last_seq > upto_seq:
+                continue
+            try:
+                segment.unlink()
+            except OSError:
+                continue
+            pruned += 1
+        if pruned:
+            telemetry.count("serve.wal.prune", pruned)
+        return pruned
+
     def compact(self, upto_seq: int) -> int:
         """Drop WAL records covered by a snapshot; returns lines kept.
 
-        Atomic (temp file + replace).  Only call with ``upto_seq`` of
-        a *verified* snapshot: after compaction, losing that snapshot
+        Fully covered rotated segments are pruned, and the *active*
+        log is atomically rewritten (temp file + replace) keeping only
+        records past ``upto_seq``; the return value counts the lines
+        kept in the active log.  Only call with ``upto_seq`` of a
+        *verified* snapshot: after compaction, losing that snapshot
         makes the tenant unrecoverable by design (and recovery will
         say so rather than guess).
         """
-        records = self.read_records()
+        self.prune_segments(upto_seq)
+        records = self._active_records()
         kept = [(seq, events) for seq, events in records if seq > upto_seq]
         tmp = self.wal_path.with_name(f".wal.{os.getpid()}.tmp")
         with tmp.open("w", encoding="utf-8") as handle:

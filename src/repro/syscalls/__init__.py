@@ -12,7 +12,7 @@ foreign sequences — the same n-gram phenomenology the paper relies on.
 See DESIGN.md ("Substitutions") for the fidelity argument.
 """
 
-from repro.syscalls.fleet import FleetMonitor
+from repro.syscalls.fleet import FleetMonitor, FleetSpec, SyntheticFleet
 from repro.syscalls.generator import (
     LabeledTrace,
     SyscallDataset,
@@ -33,6 +33,8 @@ from repro.syscalls.mimicry import MimicryResult, pad_to_mimic
 __all__ = [
     "ExecutionPath",
     "FleetMonitor",
+    "FleetSpec",
+    "SyntheticFleet",
     "MimicryResult",
     "pad_to_mimic",
     "LabeledTrace",

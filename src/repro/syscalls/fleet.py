@@ -8,18 +8,29 @@ program is normal everywhere, so cross-program misuse (a compromised
 daemon exhibiting another program's call patterns) becomes invisible.
 
 :class:`FleetMonitor` manages one detector per program plus the pooled
-baseline, and the E22 bench quantifies the granularity effect.
+baseline, and the E22 bench quantifies the granularity effect.  All
+profiles share one :class:`~repro.runtime.cache.WindowCache`: the
+pooled fit re-slides exactly the streams the per-program fits already
+slid, so the shared cache removes that duplicate work.
+
+:class:`SyntheticFleet` scales the same idea to serving benchmarks: a
+deterministic population of 100k+ tenants, each running one of a few
+heterogeneous program profiles (distinct phrase structure per
+program), with Zipf-distributed activity so a handful of tenants stay
+hot while the long tail sleeps in the mmap/cold tiers.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector
 from repro.detectors.registry import create_detector
 from repro.exceptions import DetectorConfigurationError, EvaluationError
+from repro.runtime.cache import WindowCache
 from repro.sequences.alphabet import Alphabet
 from repro.syscalls.generator import SyscallDataset
 
@@ -66,16 +77,17 @@ class FleetMonitor:
                 )
         self._alphabet: Alphabet = alphabet
         self._window_length = window_length
+        self._cache = WindowCache()
         self._profiles: dict[str, AnomalyDetector] = {}
         for dataset in dataset_list:
             detector = create_detector(
                 family, window_length, alphabet.size, **family_kwargs
-            )
+            ).attach_cache(self._cache)
             detector.fit_many(dataset.training_streams())
             self._profiles[dataset.program_name] = detector
         pooled = create_detector(
             family, window_length, alphabet.size, **family_kwargs
-        )
+        ).attach_cache(self._cache)
         pooled.fit_many(
             [
                 stream
@@ -99,6 +111,11 @@ class FleetMonitor:
     def alphabet(self) -> Alphabet:
         """The shared encoding alphabet."""
         return self._alphabet
+
+    @property
+    def cache(self) -> WindowCache:
+        """The window cache every fleet profile shares."""
+        return self._cache
 
     def profile(self, program: str) -> AnomalyDetector:
         """The per-program detector.
@@ -125,3 +142,126 @@ class FleetMonitor:
     def score_pooled(self, stream: np.ndarray) -> np.ndarray:
         """Per-window responses of the pooled profile."""
         return self._pooled.score_stream(stream)
+
+
+# -- synthetic serving fleets -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Shape of a synthetic tenant population.
+
+    Attributes:
+        tenants: population size.
+        seed: master seed; every stream is a pure function of
+            ``(seed, tenant, step)`` so any tenant's history can be
+            regenerated independently, in any order, on any machine.
+        zipf_exponent: activity skew (``s`` in ``rank**-s``); 1.1
+            gives the classic "few hot tenants, long cold tail".
+        train_events: initial training stream length per tenant.
+        batch_events: events per steady-state ingest batch.
+        programs: program mix; tenants are assigned round-robin.
+        alphabet_size: shared alphabet.
+    """
+
+    tenants: int
+    seed: int = 0
+    zipf_exponent: float = 1.1
+    train_events: int = 64
+    batch_events: int = 32
+    programs: tuple[str, ...] = ("sendmail", "lpr", "ftpd")
+    alphabet_size: int = 8
+
+
+class SyntheticFleet:
+    """Deterministic heterogeneous tenant population for fleet benches.
+
+    Each program has a distinct *phrase book* — short call sequences
+    drawn once from the program's own seed — and a tenant's streams
+    are phrase concatenations sampled by the tenant's private
+    generator.  Streams therefore have real n-gram structure (packed
+    databases deduplicate within a program) while tenants of different
+    programs stay disjoint, the heterogeneity the tiered store must
+    absorb.
+
+    Activity follows a Zipf law over a seeded rank permutation, so
+    tenant ids carry no ordering signal but traffic is heavily skewed.
+    """
+
+    _PHRASES_PER_PROGRAM = 6
+    _PHRASE_LENGTH_RANGE = (4, 9)
+
+    def __init__(self, spec: FleetSpec) -> None:
+        if spec.tenants <= 0:
+            raise ValueError(f"tenants must be positive, got {spec.tenants}")
+        if not spec.programs:
+            raise ValueError("the program mix cannot be empty")
+        if spec.zipf_exponent <= 0:
+            raise ValueError(
+                f"zipf_exponent must be positive, got {spec.zipf_exponent}"
+            )
+        self._spec = spec
+        self._phrase_books = tuple(
+            self._phrase_book(index) for index in range(len(spec.programs))
+        )
+        rank_rng = np.random.default_rng([spec.seed, 0xF1EE7])
+        ranks = rank_rng.permutation(spec.tenants) + 1
+        weights = ranks.astype(np.float64) ** -spec.zipf_exponent
+        self._weights = weights / weights.sum()
+
+    @property
+    def spec(self) -> FleetSpec:
+        """The population shape."""
+        return self._spec
+
+    @property
+    def activity_weights(self) -> np.ndarray:
+        """Per-tenant traffic probabilities (sum to 1)."""
+        return self._weights
+
+    def _phrase_book(self, program_index: int) -> tuple[np.ndarray, ...]:
+        rng = np.random.default_rng(
+            [self._spec.seed, 0xB00C, program_index]
+        )
+        low, high = self._PHRASE_LENGTH_RANGE
+        return tuple(
+            rng.integers(
+                0,
+                self._spec.alphabet_size,
+                size=int(rng.integers(low, high)),
+                dtype=np.int64,
+            )
+            for _ in range(self._PHRASES_PER_PROGRAM)
+        )
+
+    def program_of(self, tenant: int) -> str:
+        """The tenant's assigned program (deterministic round-robin)."""
+        return self._spec.programs[tenant % len(self._spec.programs)]
+
+    def _compose(
+        self, rng: np.random.Generator, length: int, tenant: int
+    ) -> np.ndarray:
+        phrases = self._phrase_books[tenant % len(self._phrase_books)]
+        shortest = min(len(phrase) for phrase in phrases)
+        picks = rng.integers(
+            0, len(phrases), size=length // shortest + 1
+        )
+        stream = np.concatenate([phrases[pick] for pick in picks])
+        return stream[:length]
+
+    def training_stream(self, tenant: int) -> np.ndarray:
+        """The tenant's initial normal database (``train_events`` long)."""
+        rng = np.random.default_rng([self._spec.seed, tenant])
+        return self._compose(rng, self._spec.train_events, tenant)
+
+    def batch(self, tenant: int, step: int) -> np.ndarray:
+        """The tenant's ingest batch at ``step`` (``batch_events`` long)."""
+        rng = np.random.default_rng([self._spec.seed, tenant, step + 1])
+        return self._compose(rng, self._spec.batch_events, tenant)
+
+    def sample_tenants(self, step: int, count: int) -> np.ndarray:
+        """``count`` Zipf-weighted tenant draws for one traffic step."""
+        rng = np.random.default_rng([self._spec.seed, 0x7AFF1C, step])
+        return rng.choice(
+            self._spec.tenants, size=count, p=self._weights
+        )

@@ -1,0 +1,146 @@
+"""Delta-fit bit-identity: streaming updates equal cold refits.
+
+The fleet serving path folds appended training batches into the
+count-based families' packed tables via ``update_batch`` instead of
+refitting.  These tests are the contract: over the full AS 2..9 x
+DW 2..15 grid (seeded), a chain of delta updates must leave a state —
+and therefore scores — bit-identical to fitting cold on the full
+accumulated stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.lane_brodley import LaneBrodleyDetector
+from repro.detectors.markov import MarkovDetector
+from repro.detectors.registry import create_detector
+from repro.detectors.stide import StideDetector
+from repro.detectors.tstide import TStideDetector
+from repro.exceptions import (
+    DetectorConfigurationError,
+    NotFittedError,
+    WindowError,
+)
+from repro.runtime.deltafit import fit_states_equal, verify_delta
+
+DELTA_FAMILIES = ("stide", "t-stide", "markov")
+
+
+def _apply_batches(detector, stream, batches):
+    """Feed ``batches`` through ``update_batch``, returning the full stream."""
+    for batch in batches:
+        detector.update_batch(batch, stream[-(detector.window_length - 1) :])
+        stream = np.concatenate([stream, batch])
+    return stream
+
+
+@pytest.mark.parametrize("family", DELTA_FAMILIES)
+def test_delta_fit_matches_cold_refit_over_grid(family):
+    """Seeded fuzz over AS 2..9 x DW 2..15: states and scores bit-equal."""
+    rng = np.random.default_rng(20260809)
+    for alphabet_size in range(2, 10):
+        for window in range(2, 16):
+            base_len = int(rng.integers(window, 4 * window + 20))
+            base = rng.integers(0, alphabet_size, size=base_len)
+            detector = create_detector(family, window, alphabet_size)
+            detector.fit(base)
+            assert detector.supports_delta_fit
+            batches = [
+                rng.integers(0, alphabet_size, size=int(rng.integers(1, 24)))
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+            full = _apply_batches(detector, base, batches)
+            twin = detector.clone_unfitted().fit(full)
+            assert fit_states_equal(
+                detector.export_fit_state(), twin.export_fit_state()
+            ), f"{family} diverged at AS={alphabet_size} DW={window}"
+            assert verify_delta(detector, full)
+            probe = rng.integers(0, alphabet_size, size=window + 17)
+            np.testing.assert_array_equal(
+                detector.score_stream(probe), twin.score_stream(probe)
+            )
+
+
+@pytest.mark.parametrize("family", DELTA_FAMILIES)
+def test_verify_delta_flags_divergence(family):
+    """A detector whose updates missed a batch must fail verification."""
+    rng = np.random.default_rng(7)
+    base = rng.integers(0, 6, size=60)
+    detector = create_detector(family, 4, 6)
+    detector.fit(base)
+    extra = rng.integers(0, 6, size=20)
+    detector.update_batch(extra, base[-3:])
+    # Claim one more batch than was actually folded in.
+    full = np.concatenate([base, extra, rng.integers(0, 6, size=15)])
+    assert not verify_delta(detector, full)
+
+
+def test_update_batch_argument_validation():
+    rng = np.random.default_rng(3)
+    base = rng.integers(0, 5, size=40)
+    detector = StideDetector(5, 5).fit(base)
+    with pytest.raises(WindowError):
+        detector.update_batch(rng.integers(0, 5, size=8), base[-2:])
+    with pytest.raises(WindowError):
+        detector.update_batch(np.empty(0, dtype=np.int64), base[-4:])
+    with pytest.raises(WindowError):
+        detector.update_batch(np.asarray([1, 2, 9]), base[-4:])
+    with pytest.raises(NotFittedError):
+        StideDetector(5, 5).update_batch(base[:8], base[-4:])
+
+
+def test_families_without_delta_path_refuse():
+    rng = np.random.default_rng(5)
+    base = rng.integers(0, 6, size=50)
+    detector = LaneBrodleyDetector(4, 6).fit(base)
+    assert not detector.supports_delta_fit
+    with pytest.raises(DetectorConfigurationError):
+        detector.update_batch(base[:8], base[-3:])
+
+
+def test_unpackable_fit_refuses_delta():
+    # AS=32, DW=13 needs 65 bits: the tuple fallback has no delta path.
+    rng = np.random.default_rng(11)
+    base = rng.integers(0, 32, size=120)
+    detector = StideDetector(13, 32).fit(base)
+    assert not detector.supports_delta_fit
+    with pytest.raises(DetectorConfigurationError):
+        detector.update_batch(rng.integers(0, 32, size=8), base[-12:])
+
+
+def test_clone_unfitted_carries_hyperparameters():
+    tstide = TStideDetector(4, 8, rare_threshold=0.02)
+    clone = tstide.clone_unfitted()
+    assert isinstance(clone, TStideDetector)
+    assert clone.rare_threshold == pytest.approx(0.02)
+    assert not clone.is_fitted
+    markov = MarkovDetector(3, 8, rare_floor=0.01, unseen_context_response=0.5)
+    twin = markov.clone_unfitted()
+    assert twin.rare_floor == pytest.approx(0.01)
+    assert twin._unseen_context_response == pytest.approx(0.5)
+
+
+def test_import_export_fit_state_roundtrip_keeps_delta_capability():
+    """A t-stide state reloaded from arrays still delta-fits (schema v3)."""
+    rng = np.random.default_rng(23)
+    base = rng.integers(0, 8, size=80)
+    origin = TStideDetector(5, 8).fit(base)
+    state = origin.export_fit_state()
+    loaded = TStideDetector(5, 8)
+    assert loaded.import_fit_state(state)
+    assert loaded.is_fitted and loaded.supports_delta_fit
+    extra = rng.integers(0, 8, size=30)
+    loaded.update_batch(extra, base[-4:])
+    full = np.concatenate([base, extra])
+    assert verify_delta(loaded, full)
+
+
+def test_fit_states_equal_edge_cases():
+    a = {"x": np.asarray([1, 2, 3], dtype=np.int64)}
+    assert fit_states_equal(a, {"x": np.asarray([1, 2, 3], dtype=np.int64)})
+    assert not fit_states_equal(a, {"x": np.asarray([1, 2, 3], dtype=np.int32)})
+    assert not fit_states_equal(a, {"y": np.asarray([1, 2, 3], dtype=np.int64)})
+    assert not fit_states_equal(a, None)
+    assert fit_states_equal(None, None)

@@ -28,6 +28,8 @@ from repro.runtime.kernels import (
     hamming_batch_distance,
     lb_batch_similarity,
     markov_batch_response,
+    merge_sorted_counts,
+    merge_sorted_unique,
     sorted_membership,
 )
 
@@ -289,3 +291,71 @@ class TestKernelPrimitives:
         one_chunk = hamming_batch_distance(windows, database, 10**9)
         many_chunks = hamming_batch_distance(windows, database, 6)
         np.testing.assert_array_equal(one_chunk, many_chunks)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_sorted_unique_matches_union1d(self, seed):
+        rng = np.random.default_rng(seed)
+        table = np.unique(rng.integers(0, 200, size=60))
+        delta = np.unique(rng.integers(0, 200, size=20))
+        merged = merge_sorted_unique(table, delta)
+        np.testing.assert_array_equal(merged, np.union1d(table, delta))
+
+    def test_merge_sorted_unique_saturated_delta_is_allocation_free(self):
+        table = np.array([2, 5, 9], dtype=np.int64)
+        merged = merge_sorted_unique(table, np.array([5, 9], dtype=np.int64))
+        assert merged is table  # the same array object: no allocation
+
+    def test_merge_sorted_unique_empty_table(self):
+        delta = np.array([1, 3], dtype=np.int64)
+        np.testing.assert_array_equal(
+            merge_sorted_unique(np.array([], dtype=np.int64), delta), delta
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_sorted_counts_matches_unique_scatter_add(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        values = np.unique(rng.integers(0, 150, size=50))
+        counts = rng.integers(1, 9, size=len(values)).astype(np.int64)
+        delta_values = np.unique(rng.integers(0, 150, size=25))
+        delta_counts = rng.integers(1, 9, size=len(delta_values)).astype(
+            np.int64
+        )
+        merged_values, merged_counts = merge_sorted_counts(
+            values, counts, delta_values, delta_counts
+        )
+        # The multi-stream reference idiom: unique over the concat
+        # plus a scatter-add.
+        ref_values, inverse = np.unique(
+            np.concatenate([values, delta_values]), return_inverse=True
+        )
+        ref_counts = np.zeros(len(ref_values), dtype=np.int64)
+        np.add.at(
+            ref_counts, inverse, np.concatenate([counts, delta_counts])
+        )
+        np.testing.assert_array_equal(merged_values, ref_values)
+        np.testing.assert_array_equal(merged_counts, ref_counts)
+
+    def test_merge_sorted_counts_saturated_delta_keeps_values_array(self):
+        values = np.array([1, 4, 8], dtype=np.int64)
+        counts = np.array([2, 2, 2], dtype=np.int64)
+        merged_values, merged_counts = merge_sorted_counts(
+            values,
+            counts,
+            np.array([4], dtype=np.int64),
+            np.array([3], dtype=np.int64),
+        )
+        assert merged_values is values  # no new values: same array object
+        np.testing.assert_array_equal(merged_counts, [2, 5, 2])
+        np.testing.assert_array_equal(counts, [2, 2, 2])  # input untouched
+
+    def test_merge_sorted_counts_empty_table(self):
+        delta_values = np.array([3, 7], dtype=np.int64)
+        delta_counts = np.array([1, 2], dtype=np.int64)
+        merged_values, merged_counts = merge_sorted_counts(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            delta_values,
+            delta_counts,
+        )
+        np.testing.assert_array_equal(merged_values, delta_values)
+        np.testing.assert_array_equal(merged_counts, delta_counts)

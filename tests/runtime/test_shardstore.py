@@ -1,0 +1,288 @@
+"""Tiered sharded store: hot LRU, mmap shard files, cold fallback."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.shardstore import (
+    SHARD_SCHEMA_VERSION,
+    HotTier,
+    ShardedStore,
+    ShardFile,
+    write_shard,
+)
+from repro.runtime.store import ArtifactStore
+
+
+def _entry(seed: int) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "packed_db": np.sort(rng.integers(0, 1 << 40, size=32)),
+        "meta": np.asarray([seed, 3 * seed], dtype=np.int64),
+    }
+
+
+# -- hot tier -----------------------------------------------------------------
+
+
+def test_hot_tier_lru_eviction_is_byte_accounted():
+    tier = HotTier(cap_bytes=100)
+    tier.put("a", "A", 40)
+    tier.put("b", "B", 40)
+    assert tier.get("a") == "A"  # freshen a; b is now LRU
+    tier.put("c", "C", 40)  # over cap: b goes
+    assert tier.get("b") is None
+    assert tier.get("a") == "A"
+    assert tier.get("c") == "C"
+    stats = tier.stats
+    assert stats.evictions == 1
+    assert stats.resident_entries == 2
+    assert stats.resident_bytes == 80
+
+
+def test_hot_tier_never_evicts_the_entry_just_written():
+    tier = HotTier(cap_bytes=10)
+    tier.put("big", "B", 50)
+    assert tier.get("big") == "B"
+    tier.put("big2", "C", 60)
+    assert tier.get("big2") == "C"
+
+
+def test_hot_tier_remove_and_replace_accounting():
+    tier = HotTier(cap_bytes=1000)
+    tier.put("k", "v1", 100)
+    tier.put("k", "v2", 30)  # replacement re-accounts
+    assert tier.resident_bytes == 30
+    assert tier.stats.inserts == 1
+    assert tier.remove("k")
+    assert not tier.remove("k")
+    assert tier.resident_bytes == 0
+    assert tier.stats.removals == 1
+
+
+def test_hot_tier_prefix_listing_tracks_puts_removes_and_evictions():
+    """The tenant-group index must mirror residency exactly."""
+    tier = HotTier(cap_bytes=1000)
+    tier.put("t1|stide|6", "a", 10)
+    tier.put("t1|markov|6", "b", 10)
+    tier.put("t2|stide|6", "c", 10)
+    assert tier.keys_with_prefix("t1|") == ["t1|markov|6", "t1|stide|6"]
+    assert tier.keys_with_prefix("t2|") == ["t2|stide|6"]
+    assert tier.keys_with_prefix("t3|") == []
+    # Non-group prefixes still answer by scan.
+    assert sorted(tier.keys_with_prefix("t")) == [
+        "t1|markov|6",
+        "t1|stide|6",
+        "t2|stide|6",
+    ]
+    assert tier.keys_with_prefix("t1|stide") == ["t1|stide|6"]
+    tier.remove("t1|stide|6")
+    assert tier.keys_with_prefix("t1|") == ["t1|markov|6"]
+    # Evictions drop keys from the index too.
+    small = HotTier(cap_bytes=25)
+    small.put("t1|a", "x", 10)
+    small.put("t1|b", "y", 10)
+    small.put("t2|a", "z", 10)  # evicts t1|a (LRU)
+    assert small.keys_with_prefix("t1|") == ["t1|b"]
+    assert small.keys_with_prefix("t2|") == ["t2|a"]
+
+
+def test_hot_tier_eviction_under_concurrent_readers():
+    """Hammer gets while puts force evictions: no torn state, no crash."""
+    tier = HotTier(cap_bytes=64 * 50)
+    errors: list[Exception] = []
+
+    def reader() -> None:
+        try:
+            for i in range(2000):
+                value = tier.get(f"k{i % 200}")
+                assert value is None or value == f"v{i % 200}"
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    def writer(base: int) -> None:
+        try:
+            for i in range(1000):
+                key = (base * 1000 + i) % 200
+                tier.put(f"k{key}", f"v{key}", 64)
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)] + [
+        threading.Thread(target=writer, args=(n,)) for n in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    stats = tier.stats
+    assert stats.resident_bytes <= tier.cap_bytes
+    assert stats.inserts - stats.evictions - stats.removals == (
+        stats.resident_entries
+    )
+
+
+# -- shard files --------------------------------------------------------------
+
+
+def test_shard_file_roundtrip_zero_copy(tmp_path):
+    path = tmp_path / "shard-0000.bin"
+    entries = {f"t{i}|stide|6": _entry(i) for i in range(10)}
+    write_shard(path, entries)
+    mapped = ShardFile(path)
+    assert sorted(mapped.keys()) == sorted(entries)
+    for key, arrays in entries.items():
+        held = mapped.get(key)
+        assert held is not None
+        for name, expected in arrays.items():
+            np.testing.assert_array_equal(held[name], expected)
+            assert held[name].dtype == expected.dtype
+            assert not held[name].flags.writeable  # mmap-backed view
+
+
+def test_shard_roundtrip_preserves_zero_dim_arrays(tmp_path):
+    """Scalars like t-stide's ``table_total`` must stay 0-d end to end."""
+    entry = {"total": np.asarray(7, dtype=np.int64)}
+    path = tmp_path / "shard-0000.bin"
+    write_shard(path, {"k": entry})
+    held = ShardFile(path).get("k")
+    assert held is not None and held["total"].shape == ()
+    assert int(held["total"]) == 7
+    store = ShardedStore(tmp_path / "store", shards=1)
+    store.put("k", entry)
+    pending = store.get("k")
+    assert pending is not None and pending["total"].shape == ()
+
+
+def test_corrupted_shard_entry_is_a_miss_not_a_crash(tmp_path):
+    path = tmp_path / "shard-0000.bin"
+    entries = {"good": _entry(1), "bad": _entry(2)}
+    write_shard(path, entries)
+    mapped = ShardFile(path)
+    # Locate the bad entry's first array and flip one payload byte.
+    spec = mapped._entries["bad"]["packed_db"]
+    offset = mapped._payload_base + int(spec[0])
+    raw = bytearray(path.read_bytes())
+    raw[offset] ^= 0xFF
+    path.write_bytes(raw)
+    reopened = ShardFile(path)
+    assert reopened.get("bad") is None  # crc catches the flip
+    assert reopened.get("bad") is None  # stays a miss (cached verdict)
+    held = reopened.get("good")  # neighbors unaffected
+    assert held is not None
+    np.testing.assert_array_equal(held["meta"], entries["good"]["meta"])
+
+
+def test_truncated_shard_file_reads_empty(tmp_path):
+    path = tmp_path / "shard-0000.bin"
+    write_shard(path, {"k": _entry(3)})
+    path.write_bytes(path.read_bytes()[:10])
+    with pytest.raises(ValueError):
+        ShardFile(path)
+    store = ShardedStore(tmp_path, shards=1)
+    assert store.get("k") is None  # unreadable file == empty shard
+
+
+# -- the tiered store ---------------------------------------------------------
+
+
+def test_sharded_store_pending_then_compact_then_mmap_reopen(tmp_path):
+    store = ShardedStore(tmp_path / "models", shards=4, compact_every=0)
+    keys = [f"tenant-{i}|stide|6" for i in range(40)]
+    for i, key in enumerate(keys):
+        store.put(key, _entry(i))
+    for i, key in enumerate(keys):  # served from pending
+        np.testing.assert_array_equal(
+            store.get(key)["meta"], _entry(i)["meta"]
+        )
+    total = store.compact_all()
+    assert total == len(keys)
+    assert store.stats.pending_entries == 0
+    for i, key in enumerate(keys):  # now served from the mmap files
+        held = store.get(key)
+        np.testing.assert_array_equal(held["packed_db"], _entry(i)["packed_db"])
+        assert not held["packed_db"].flags.writeable
+    # A second store over the same directory reads the shard files cold.
+    reopened = ShardedStore(tmp_path / "models", shards=4)
+    for i, key in enumerate(keys):
+        np.testing.assert_array_equal(
+            reopened.get(key)["meta"], _entry(i)["meta"]
+        )
+
+
+def test_shard_reopen_after_compaction_with_live_readers(tmp_path):
+    """Arrays handed out before a compaction stay valid after it."""
+    store = ShardedStore(tmp_path, shards=1, compact_every=0)
+    store.put("a", _entry(1))
+    store.compact_all()
+    before = store.get("a")["packed_db"]
+    snapshot = before.copy()
+    store.put("b", _entry(2))
+    store.compact_all()  # rewrites shard-0000.bin under the old mapping
+    np.testing.assert_array_equal(before, snapshot)  # old view still alive
+    np.testing.assert_array_equal(store.get("a")["packed_db"], snapshot)
+    assert store.get("b") is not None
+
+
+def test_shard_assignment_is_stable_and_spread(tmp_path):
+    store = ShardedStore(tmp_path, shards=16)
+    assignments = {f"tenant-{i}": store.shard_of(f"tenant-{i}") for i in range(500)}
+    again = ShardedStore(tmp_path, shards=16)
+    assert all(
+        again.shard_of(key) == shard for key, shard in assignments.items()
+    )
+    buckets = set(assignments.values())
+    assert len(buckets) == 16  # 500 keys cover all 16 buckets
+
+
+def test_cold_tier_fallback_and_promotion(tmp_path):
+    cold = ArtifactStore(tmp_path / "cold")
+    store = ShardedStore(tmp_path / "models", shards=2, cold=cold)
+    store.put("k", _entry(9), cold=True)
+    # A fresh store over an empty models dir must fall back to cold.
+    fresh = ShardedStore(tmp_path / "models2", shards=2, cold=cold)
+    held = fresh.get("k")
+    assert held is not None
+    np.testing.assert_array_equal(held["meta"], _entry(9)["meta"])
+    assert fresh.stats.cold_hits == 1
+    assert fresh.stats.promotions == 1
+    # Promotion staged it warm: the next get is a warm hit.
+    warm = fresh.get("k")
+    assert warm is not None
+    assert fresh.stats.warm_hits == 1
+
+
+def test_invalidate_tombstones_across_tiers(tmp_path):
+    store = ShardedStore(tmp_path, shards=1, compact_every=0)
+    store.put("k", _entry(4))
+    store.compact_all()
+    store.hot.put("k", object(), 100)
+    store.invalidate("k")
+    assert store.hot.get("k") is None
+    assert store.get("k") is None
+    store.compact_all()  # tombstone survives into the rewrite
+    assert store.get("k") is None
+    store.put("k", _entry(5))  # a fresh put clears the tombstone
+    np.testing.assert_array_equal(store.get("k")["meta"], _entry(5)["meta"])
+
+
+def test_auto_compaction_after_threshold(tmp_path):
+    store = ShardedStore(tmp_path, shards=1, compact_every=8)
+    for i in range(8):
+        store.put(f"k{i}", _entry(i))
+    stats = store.stats
+    assert stats.compactions == 1
+    assert stats.pending_entries == 0
+    assert stats.shard_entries == 8
+
+
+def test_cold_key_is_schema_versioned(tmp_path):
+    store = ShardedStore(tmp_path, shards=1)
+    assert store.cold_key("k") != store.cold_key("k2")
+    assert f"repro-shard/{SHARD_SCHEMA_VERSION}" in (
+        f"repro-shard/{SHARD_SCHEMA_VERSION}\nk\n"
+    )

@@ -245,6 +245,13 @@ class TestStats:
             assert stats["lanes"]["t"]["completed"] == 1
             assert stats["breakers"]["t"]["state"] == "closed"
             assert stats["recovery"]["tenants"] == 0
+            memory = stats["memory"]
+            assert memory["tenants"] == 1
+            assert (
+                memory["tenants_resident_bytes"]
+                == memory["tenants_resident_bytes_counter"]
+                == len(_events(1)) * 8
+            )
 
         run(
             _with_server(

@@ -141,3 +141,97 @@ class TestSnapshots:
         state = journal.recover(store)
         assert state is not None
         assert stream_digest(state.events) == stream_digest(expected)
+
+
+def _rotating_journal(tmp_path, chunks, segment_bytes=1):
+    """A journal that rotates after every append (tiny segment size)."""
+    journal = TenantJournal(tmp_path / "tenant", segment_bytes=segment_bytes)
+    journal.write_manifest(8)
+    for seq, events in enumerate(chunks, 1):
+        journal.append(seq, np.asarray(events, dtype=np.int64))
+    return journal
+
+
+class TestSegments:
+    def test_rotation_renames_active_log_and_counts(self, tmp_path):
+        collector = Telemetry()
+        with activated(collector):
+            journal = _rotating_journal(tmp_path, [[1, 2], [3], [4, 5]])
+        segments = journal.segment_paths()
+        assert [path.name for path in segments] == [
+            "wal-000000000001.jsonl",
+            "wal-000000000002.jsonl",
+            "wal-000000000003.jsonl",
+        ]
+        assert not journal.wal_path.exists()
+        assert collector.metrics.counter("serve.wal.rotate") == 3
+
+    def test_read_records_spans_segments_and_active(self, tmp_path):
+        journal = _rotating_journal(tmp_path, [[1, 2], [3]])
+        journal._segment_bytes = 0  # the next append stays active
+        journal.append(3, np.asarray([4, 5], dtype=np.int64))
+        records = journal.read_records()
+        assert [seq for seq, _ in records] == [1, 2, 3]
+        state = journal.recover(store=None)
+        assert state is not None
+        assert state.events.tolist() == [1, 2, 3, 4, 5]
+        assert state.seq == 3
+
+    def test_damage_inside_a_rotated_segment_refuses(self, tmp_path):
+        journal = _rotating_journal(tmp_path, [[1, 2], [3]])
+        segment = journal.segment_paths()[0]
+        # Even a torn *tail* is damage in an immutable segment.
+        segment.write_text(segment.read_text()[:-4])
+        with pytest.raises(TenantRecoveryError, match="rotated WAL segment"):
+            journal.recover(store=None)
+
+    def test_lost_middle_segment_trips_contiguity(self, tmp_path):
+        journal = _rotating_journal(tmp_path, [[1], [2], [3]])
+        journal.segment_paths()[1].unlink()
+        with pytest.raises(TenantRecoveryError, match="sequence gap"):
+            journal.recover(store=None)
+
+    def test_prune_removes_only_fully_covered_segments(self, tmp_path):
+        collector = Telemetry()
+        journal = _rotating_journal(tmp_path, [[1], [2], [3]])
+        with activated(collector):
+            assert journal.prune_segments(upto_seq=2) == 2
+        assert [path.name for path in journal.segment_paths()] == [
+            "wal-000000000003.jsonl"
+        ]
+        assert collector.metrics.counter("serve.wal.prune") == 2
+        # A partially covered segment survives a lower-watermark prune.
+        assert journal.prune_segments(upto_seq=2) == 0
+
+    def test_recovery_after_prune_with_snapshot(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        journal = _rotating_journal(tmp_path, [[1, 2], [3, 4], [5]])
+        journal.snapshot("t", 2, np.asarray([1, 2, 3, 4]), 8, store)
+        journal.prune_segments(upto_seq=2)
+        state = journal.recover(store)
+        assert state is not None
+        assert state.from_snapshot
+        assert state.events.tolist() == [1, 2, 3, 4, 5]
+        assert state.seq == 3
+
+    def test_compact_prunes_segments_and_rewrites_active(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        journal = _rotating_journal(tmp_path, [[1, 2], [3, 4]])
+        journal._segment_bytes = 0
+        journal.append(3, np.asarray([5], dtype=np.int64))
+        journal.append(4, np.asarray([6], dtype=np.int64))
+        journal.snapshot("t", 3, np.asarray([1, 2, 3, 4, 5]), 8, store)
+        kept = journal.compact(upto_seq=3)
+        assert kept == 1  # only seq 4 remains in the active log
+        assert journal.segment_paths() == []
+        state = journal.recover(store)
+        assert state is not None
+        assert state.events.tolist() == [1, 2, 3, 4, 5, 6]
+        assert state.seq == 4
+
+    def test_segments_without_manifest_refuse(self, tmp_path):
+        journal = TenantJournal(tmp_path / "tenant", segment_bytes=1)
+        journal.append(1, np.asarray([1], dtype=np.int64))
+        assert not journal.wal_path.exists()  # rotated away
+        with pytest.raises(TenantRecoveryError, match="without a manifest"):
+            journal.recover(store=None)

@@ -86,3 +86,94 @@ class TestGranularity:
         intrusion = TraceGenerator(sendmail_model()).intrusion_session(rng, 20)
         assert fleet.score("sendmail", intrusion.stream).max() == 1.0
         assert fleet.score_pooled(intrusion.stream).max() == 1.0
+
+
+class TestSharedCache:
+    def test_profiles_share_one_window_cache(self, fleet):
+        cache = fleet.cache
+        assert fleet.pooled_profile()._window_cache is cache
+        for program in fleet.programs:
+            assert fleet.profile(program)._window_cache is cache
+
+    def test_pooled_fit_reuses_per_program_slides(self):
+        datasets = [
+            build_dataset(
+                model,
+                training_sessions=40,
+                test_normal_sessions=1,
+                test_intrusion_sessions=1,
+            )
+            for model in (sendmail_model(), lpr_model())
+        ]
+        monitor = FleetMonitor(datasets, window_length=WINDOW)
+        # The pooled fit re-slides streams the per-program fits already
+        # slid, so the shared cache must have served real hits.
+        assert monitor.cache.stats.hits > 0
+
+
+class TestSyntheticFleet:
+    def _fleet(self, **kwargs):
+        from repro.syscalls.fleet import FleetSpec, SyntheticFleet
+
+        kwargs.setdefault("tenants", 500)
+        kwargs.setdefault("seed", 11)
+        return SyntheticFleet(FleetSpec(**kwargs))
+
+    def test_streams_are_deterministic_and_order_free(self):
+        one, two = self._fleet(), self._fleet()
+        for tenant in (0, 7, 499):
+            np.testing.assert_array_equal(
+                one.training_stream(tenant), two.training_stream(tenant)
+            )
+            np.testing.assert_array_equal(
+                one.batch(tenant, 3), two.batch(tenant, 3)
+            )
+        assert not np.array_equal(
+            one.training_stream(1), one.training_stream(2)
+        )
+        assert not np.array_equal(one.batch(1, 0), one.batch(1, 1))
+
+    def test_streams_respect_spec_shape(self):
+        fleet = self._fleet(train_events=80, batch_events=16)
+        stream = fleet.training_stream(42)
+        assert stream.shape == (80,)
+        assert stream.dtype == np.int64
+        assert stream.min() >= 0 and stream.max() < 8
+        assert fleet.batch(42, 0).shape == (16,)
+
+    def test_program_mix_is_heterogeneous(self):
+        fleet = self._fleet(train_events=400)
+        assert fleet.program_of(0) != fleet.program_of(1)
+        assert fleet.program_of(0) == fleet.program_of(3)
+        # Different programs draw from different phrase books: their
+        # window vocabularies differ.
+        from repro.sequences.windows import pack_windows, windows_array
+
+        def vocabulary(tenant):
+            windows = windows_array(fleet.training_stream(tenant), 4)
+            return set(pack_windows(windows, 8).tolist())
+
+        assert vocabulary(0) != vocabulary(1)
+        assert vocabulary(0) == vocabulary(0)
+
+    def test_zipf_activity_is_skewed_and_normalized(self):
+        fleet = self._fleet(tenants=10_000)
+        weights = fleet.activity_weights
+        assert weights.shape == (10_000,)
+        assert weights.sum() == pytest.approx(1.0)
+        top = np.sort(weights)[::-1]
+        assert top[:100].sum() > 0.25  # 1% of tenants carry >25% traffic
+        draws = fleet.sample_tenants(0, 2000)
+        assert draws.shape == (2000,)
+        np.testing.assert_array_equal(draws, fleet.sample_tenants(0, 2000))
+        assert not np.array_equal(draws, fleet.sample_tenants(1, 2000))
+
+    def test_spec_validation(self):
+        from repro.syscalls.fleet import FleetSpec, SyntheticFleet
+
+        with pytest.raises(ValueError, match="tenants"):
+            SyntheticFleet(FleetSpec(tenants=0))
+        with pytest.raises(ValueError, match="program mix"):
+            SyntheticFleet(FleetSpec(tenants=5, programs=()))
+        with pytest.raises(ValueError, match="zipf_exponent"):
+            SyntheticFleet(FleetSpec(tenants=5, zipf_exponent=0.0))
