@@ -2,12 +2,16 @@
 
 The engineering benchmark behind :mod:`repro.serve`.  Three scenarios:
 
-* **clean** — an in-process server under the seeded load plan;
-  records p50/p99 request latency and scored streams/sec, and asserts
-  the no-wrong-score invariant (the load generator verifies every
-  returned score bit-exactly against a local reference).
-* **chaos** — the same plan with every serving fault kind injected at
-  a fixed rate.  Faults must surface as refusals and retries only:
+* **clean** — an in-process server under a high-concurrency seeded
+  load plan (enough simultaneous tenants that the micro-batcher
+  actually fuses cross-tenant work); records p50/p99 request latency,
+  scored streams/sec and the batch-formation stats (occupancy, flush
+  reasons), and asserts the no-wrong-score invariant (the load
+  generator verifies every returned score bit-exactly against a local
+  reference).
+* **chaos** — the pre-batching plan shape with every serving fault
+  kind injected at a fixed rate, so fault behavior stays comparable
+  across records.  Faults must surface as refusals and retries only:
   zero violations, all tenants fully trained by the end.
 * **recovery** — the real CLI server in a subprocess, killed with
   SIGKILL mid-life and restarted on the same state directory; records
@@ -46,7 +50,22 @@ CHAOS_SEED = 17
 RECOVERY_TIMEOUT = 30.0
 
 
-def _plan(quick: bool) -> LoadPlan:
+def _clean_plan(quick: bool) -> LoadPlan:
+    """The throughput plan: wide tenant fan-out so batches form."""
+    if quick:
+        return LoadPlan.quick(seed=19)
+    return LoadPlan(
+        tenants=16,
+        train_chunks=2,
+        chunk_events=400,
+        scores_per_tenant=128,
+        test_events=200,
+        seed=19,
+    )
+
+
+def _chaos_plan(quick: bool) -> LoadPlan:
+    """The fault plan: the pre-batching shape, kept for comparability."""
     if quick:
         return LoadPlan.quick(seed=19)
     return LoadPlan(
@@ -71,15 +90,36 @@ async def _in_process_run(tmp_path, plan, chaos=None):
 
 
 def test_bench_serve(tmp_path, quick):
-    plan = _plan(quick)
+    clean_plan = _clean_plan(quick)
 
     # -- clean -----------------------------------------------------------
-    report, _ = asyncio.run(_in_process_run(tmp_path / "clean", plan))
+    report, stats = asyncio.run(
+        _in_process_run(tmp_path / "clean", clean_plan)
+    )
     assert report.violations == [], report.violations[:3]
-    assert report.scores_ok == plan.tenants * plan.scores_per_tenant
+    assert report.scores_ok == (
+        clean_plan.tenants * clean_plan.scores_per_tenant
+    )
     clean = report.summary()
+    batch = stats["batch"]
+    clean["batch"] = {
+        key: batch[key]
+        for key in (
+            "max_batch",
+            "max_wait_us",
+            "executor",
+            "jobs_in",
+            "jobs_out",
+            "refused",
+            "flushes",
+            "groups",
+            "occupancy_mean",
+            "occupancy_max",
+        )
+    }
 
     # -- chaos -----------------------------------------------------------
+    plan = _chaos_plan(quick)
     chaos = ChaosDirector(
         ServeFaultSchedule(
             rate=CHAOS_RATE, seed=CHAOS_SEED, kinds=SERVE_FAULT_KINDS
@@ -105,6 +145,12 @@ def test_bench_serve(tmp_path, quick):
         "bench": "serve",
         "calibration_seconds": round(machine_calibration(), 4),
         "plan": {
+            "tenants": clean_plan.tenants,
+            "train_chunks": clean_plan.train_chunks,
+            "scores_per_tenant": clean_plan.scores_per_tenant,
+            "seed": clean_plan.seed,
+        },
+        "chaos_plan": {
             "tenants": plan.tenants,
             "train_chunks": plan.train_chunks,
             "scores_per_tenant": plan.scores_per_tenant,
@@ -123,6 +169,10 @@ def test_bench_serve(tmp_path, quick):
                 "serving benchmark (E22)",
                 f"  clean: p50 {clean['p50_ms']} ms, p99 {clean['p99_ms']} ms, "
                 f"{clean['streams_per_sec']} streams/s",
+                f"  batching: mean occupancy "
+                f"{clean['batch']['occupancy_mean']} "
+                f"(max {clean['batch']['occupancy_max']}), "
+                f"{clean['batch']['groups']} fused groups",
                 f"  chaos: {sum(chaos.injected.values())} faults injected, "
                 f"{chaos_summary['violations']} violations",
                 f"  recovery after SIGKILL: "

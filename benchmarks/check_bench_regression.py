@@ -155,10 +155,15 @@ def check_serve(
 
     Correctness is absolute: a current record reporting any
     no-wrong-score violation — clean or chaos — fails outright,
-    regression or not.  Speed is calibrated like the sweep gate:
-    clean streams/sec is held to a floor, clean p99 latency and
-    recovery-after-SIGKILL to ceilings, each rescaled by the
-    calibration ratio under the shared ``TOLERANCE``.
+    regression or not, and a record with a micro-batch section must
+    balance its job ledger (jobs in == jobs out + refused).  Speed is
+    calibrated like the sweep gate: clean *batched* streams/sec is
+    held to a floor, clean p99 latency and recovery-after-SIGKILL to
+    ceilings, each rescaled by the calibration ratio under the shared
+    ``TOLERANCE``.  Batch occupancy gets a sanity floor rather than a
+    calibrated one — with ``max_batch > 1`` and a fan-out plan, a mean
+    occupancy collapsing to ~1 means the scheduler stopped batching
+    even if throughput happens to pass on a fast machine.
 
     A missing *current* record is a warning by default (most CI jobs
     never run the serving benchmark) and an error under ``require``
@@ -189,6 +194,39 @@ def check_serve(
     if not recovery.get("bit_identical"):
         print("error: serve recovery was not bit-identical after SIGKILL")
         return 1
+    batch = current.get("clean", {}).get("batch")
+    if batch:
+        settled = int(batch.get("jobs_out", 0)) + int(
+            batch.get("refused", 0)
+        )
+        if settled != int(batch.get("jobs_in", 0)):
+            print(
+                f"error: micro-batch ledger does not balance "
+                f"(jobs_in {batch.get('jobs_in')} != jobs_out + refused "
+                f"{settled}); a score job entered the scheduler and "
+                "never resolved"
+            )
+            return 1
+        occupancy = float(batch.get("occupancy_mean", 0.0))
+        # Quick records run a 2-tenant plan where near-solo batches
+        # are legitimate; the occupancy floor binds on the fan-out
+        # plan only.
+        if (
+            not current.get("quick")
+            and int(batch.get("max_batch", 1)) > 1
+            and occupancy < 1.5
+        ):
+            print(
+                f"error: mean batch occupancy {occupancy:.2f} is below "
+                "the 1.5 sanity floor — the scheduler is not actually "
+                "fusing cross-tenant work under the fan-out plan"
+            )
+            return 1
+        print(
+            f"serve batching: occupancy mean {occupancy:.2f} "
+            f"(max {batch.get('occupancy_max')}), ledger balanced "
+            f"({batch.get('jobs_in')} in == {settled} settled): OK"
+        )
 
     baseline = _load(baseline_path)
     if baseline is None:
@@ -196,6 +234,13 @@ def check_serve(
             f"warning: no serve baseline at {baseline_path}; correctness "
             "checked, rate gate skipped (commit "
             "benchmarks/output/BENCH_serve.json to arm it)"
+        )
+        return 0
+    if baseline.get("plan") != current.get("plan"):
+        print(
+            f"note: serve plans differ (baseline {baseline.get('plan')} "
+            f"vs current {current.get('plan')}); rate gate skipped, "
+            "correctness gates applied"
         )
         return 0
     for record, label in ((baseline, "baseline"), (current, "current")):

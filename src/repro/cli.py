@@ -595,6 +595,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.resilience import ResiliencePolicy
     from repro.serve import (
         AdmissionPolicy,
+        BatchPolicy,
         ChaosDirector,
         ScoringServer,
         ServeFaultSchedule,
@@ -636,6 +637,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fsync=args.fsync,
         models=models,
         delta_verify_every=args.delta_verify_every,
+        batching=BatchPolicy(
+            max_batch=args.batch_max,
+            max_wait_us=args.batch_wait_us,
+            workers=args.score_workers,
+            executor=args.score_executor,
+        ),
     )
 
     async def run() -> None:
@@ -670,16 +677,24 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from repro.serve import LoadPlan, run_load
 
+    arrival_rate = None if args.closed else args.rate
     if args.quick:
         plan = LoadPlan.quick(seed=args.seed)
+        if arrival_rate is not None:
+            import dataclasses
+
+            plan = dataclasses.replace(plan, arrival_rate=arrival_rate)
     else:
         plan = LoadPlan(
             tenants=args.tenants,
             train_chunks=args.train_chunks,
             scores_per_tenant=args.scores,
             seed=args.seed,
+            arrival_rate=arrival_rate,
         )
-    report = asyncio.run(run_load(args.host, args.port, plan))
+    report = asyncio.run(
+        run_load(args.host, args.port, plan, dump_scores=args.dump_scores)
+    )
     summary = report.summary()
     print(json_module.dumps(summary, indent=2))
     if args.json:
@@ -914,6 +929,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the deterministic chaos schedule",
     )
     serve.add_argument(
+        "--batch-max",
+        type=_positive_int,
+        default=32,
+        metavar="N",
+        help="max score jobs fused into one micro-batch kernel call "
+        "(1 disables cross-tenant batching)",
+    )
+    serve.add_argument(
+        "--batch-wait-us",
+        type=float,
+        default=250.0,
+        metavar="US",
+        help="max microseconds a forming batch waits for co-travellers "
+        "(single-job batches bypass the wait entirely)",
+    )
+    serve.add_argument(
+        "--score-workers",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="scoring worker pool size for fused batch dispatch",
+    )
+    serve.add_argument(
+        "--score-executor",
+        choices=("process", "thread", "serial"),
+        default="thread",
+        help="worker pool kind; degrades process->thread->serial on "
+        "pool failure",
+    )
+    serve.add_argument(
         "--ready-file",
         default=None,
         metavar="PATH",
@@ -936,6 +981,28 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--train-chunks", type=_positive_int, default=6)
     loadgen.add_argument("--scores", type=_positive_int, default=9)
     loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        metavar="RPS",
+        help="open-loop Poisson arrival rate for the scoring phase; "
+        "latency is measured from each request's scheduled arrival "
+        "(coordinated-omission-safe)",
+    )
+    loadgen.add_argument(
+        "--closed",
+        action="store_true",
+        help="closed-loop mode: each tenant sends its next request "
+        "only after the previous completes (ignores --rate)",
+    )
+    loadgen.add_argument(
+        "--dump-scores",
+        default=None,
+        metavar="PATH",
+        help="write every verified score response as sorted JSONL "
+        "(for byte-for-byte batched-vs-unbatched diffs)",
+    )
     loadgen.add_argument(
         "--json",
         default=None,

@@ -174,6 +174,32 @@ class StideDetector(AnomalyDetector):
         )
         return (~self._known(windows, packed)).astype(np.float64)
 
+    def score_packed(self, packed: np.ndarray) -> np.ndarray:
+        """Responses for pre-packed window keys (fused-batch entry).
+
+        The serving batcher packs many tenants' test streams in one
+        pass (:class:`~repro.runtime.automaton.BatchStreamCodes`) and
+        hands each detector its own key slice; this skips re-sliding
+        and re-packing while running the identical bisection the
+        bisect tier of ``_score`` runs — bit-identical responses.
+
+        Raises:
+            NotFittedError: if the detector is unfitted.
+            DetectorConfigurationError: if this fit has no packed
+                database (it exceeded the 63-bit packing budget).
+        """
+        self._require_fitted()
+        if self._packed_db is None:
+            raise DetectorConfigurationError(
+                "score_packed requires the packed database (this fit "
+                "exceeded the 63-bit packing budget)"
+            )
+        telemetry.count("kernel.membership.windows", len(packed))
+        telemetry.count("kernel.membership.cells")
+        telemetry.count("kernel.bisect.windows", len(packed))
+        telemetry.count("kernel.bisect.cells")
+        return (~sorted_membership(packed, self._packed_db)).astype(np.float64)
+
     def contains(self, window: tuple[int, ...]) -> bool:
         """Whether ``window`` is in the normal database."""
         return self.score_window(window) == 0.0

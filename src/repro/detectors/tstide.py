@@ -273,3 +273,28 @@ class TStideDetector(AnomalyDetector):
             else None
         )
         return (~self._common(windows, packed)).astype(np.float64)
+
+    def score_packed(self, packed: np.ndarray) -> np.ndarray:
+        """Responses for pre-packed window keys (fused-batch entry).
+
+        One bisection of the common table over keys the serving
+        batcher packed in a fused pass — the same kernel as the
+        bisect arm of ``_score``, so responses are bit-identical.
+
+        Raises:
+            NotFittedError: if the detector is unfitted.
+            DetectorConfigurationError: if this fit has no packed
+                common table (it exceeded the 63-bit packing budget).
+        """
+        self._require_fitted()
+        if self._common_packed is None:
+            raise DetectorConfigurationError(
+                "score_packed requires the packed common table (this fit "
+                "exceeded the 63-bit packing budget)"
+            )
+        telemetry.count("kernel.membership.windows", len(packed))
+        telemetry.count("kernel.membership.cells")
+        telemetry.count("kernel.bisect.windows", len(packed))
+        telemetry.count("kernel.bisect.cells")
+        common = sorted_membership(packed, self._common_packed)
+        return (~common).astype(np.float64)

@@ -64,6 +64,7 @@ from repro.sequences.windows import (
 
 __all__ = [
     "AUTOMATON_MAX_ORDER",
+    "BatchStreamCodes",
     "MembershipAutomaton",
     "StreamCodes",
     "match_profile",
@@ -196,6 +197,83 @@ class StreamCodes:
         if cached is not None:
             return cached[positions]
         return self._ext()[positions] >> shift
+
+
+class BatchStreamCodes:
+    """Per-order packed keys for *many* streams from one fused pack.
+
+    The serving batcher groups score jobs whose streams share an
+    alphabet; this class concatenates those streams, builds a single
+    :class:`StreamCodes` extended code array over the concatenation,
+    and serves each stream's packed window keys at any order by
+    slicing its position range and shifting — one ``pack_windows``
+    pass for the whole batch instead of one per job.
+
+    Correctness rests on the same high-lane rule StreamCodes uses:
+    the extended code at concatenation position ``p`` carries the
+    symbols ``concat[p : p + cap]`` in its top bit lanes, so the top
+    ``order`` lanes are exactly the length-``order`` window starting
+    at ``p``.  Stream ``j`` (offset ``S``, length ``L``) only ever
+    asks for positions ``S .. S + L - order`` — windows that lie
+    entirely inside its own segment — so junction-crossing codes are
+    never read and ``keys(j, order)`` equals
+    ``pack_windows(windows_array(stream_j, order), AS)`` bit for bit
+    (``tests/runtime/test_automaton.py`` fuzzes this).
+
+    Args:
+        streams: 1-D validated integer streams, each at least
+            ``max_order``-long orders will be asked of it.
+        alphabet_size: shared symbol-code count; sets the bit width.
+        max_order: highest order any stream will be asked for (must
+            stay within the 63-bit packing budget for this alphabet).
+    """
+
+    def __init__(
+        self,
+        streams: list[np.ndarray],
+        alphabet_size: int,
+        max_order: int,
+    ) -> None:
+        if not streams:
+            raise WindowError("BatchStreamCodes needs at least one stream")
+        if max_order > packed_order_cap(alphabet_size):
+            raise WindowError(
+                f"order {max_order} over alphabet {alphabet_size} exceeds "
+                f"the {PACK_BIT_BUDGET}-bit packing budget"
+            )
+        arrays = [np.ascontiguousarray(s) for s in streams]
+        self._lengths = [len(a) for a in arrays]
+        self._offsets: list[int] = []
+        offset = 0
+        for length in self._lengths:
+            self._offsets.append(offset)
+            offset += length
+        self._codes = StreamCodes(
+            np.concatenate(arrays) if len(arrays) > 1 else arrays[0],
+            alphabet_size,
+            max_order,
+        )
+
+    def __len__(self) -> int:
+        return len(self._lengths)
+
+    def keys(self, index: int, order: int) -> np.ndarray:
+        """Packed length-``order`` keys of stream ``index``.
+
+        Identical to ``StreamCodes(stream, AS, order).level(order)``
+        for that stream alone — one gather and one shift here.
+
+        Raises:
+            WindowError: if the stream is shorter than ``order``.
+        """
+        start = self._offsets[index]
+        length = self._lengths[index]
+        if length < order:
+            raise WindowError(
+                f"stream of length {length} is shorter than order {order}"
+            )
+        positions = np.arange(start, start + length - order + 1)
+        return self._codes.keys_at(order, positions)
 
 
 def match_profile(

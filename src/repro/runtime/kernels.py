@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sequences.windows import packable
+from repro.exceptions import WindowError
+from repro.sequences.windows import packable, windows_array
 
 __all__ = [
     "KERNEL_TIERS",
@@ -44,6 +45,7 @@ __all__ = [
     "TIER_AUTOMATON",
     "TIER_BISECT",
     "count_lookup",
+    "fused_stream_windows",
     "hamming_batch_distance",
     "lb_batch_similarity",
     "markov_batch_response",
@@ -298,6 +300,59 @@ def hamming_batch_distance(
         mismatches = (block[:, None, :] != database[None, :, :]).sum(axis=2)
         best[start : start + chunk] = mismatches.min(axis=1)
     return best
+
+
+def fused_stream_windows(
+    streams: list[np.ndarray], window_length: int
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """One sliding-window pass over several concatenated streams.
+
+    The serving batcher fuses many per-tenant test streams into a
+    single kernel call: the streams are concatenated, *one*
+    ``sliding_window_view`` covers the whole batch, and each stream's
+    windows are the contiguous row span ``[start, stop)`` returned per
+    input.  Rows that straddle a junction between two streams are
+    simply outside every span — stream ``j`` starting at offset ``S``
+    with length ``L`` owns rows ``S .. S + L - window_length`` and no
+    junction-crossing row falls in that range — so slicing the fused
+    matrix by its span yields exactly ``windows_array(stream_j, DW)``
+    element for element.
+
+    Args:
+        streams: one-dimensional integer arrays, each at least
+            ``window_length`` long.
+        window_length: the shared detector window ``DW``.
+
+    Returns:
+        ``(windows, spans)`` — the fused ``(N, DW)`` window matrix over
+        the concatenation and one ``(start, stop)`` row span per input
+        stream.
+
+    Raises:
+        WindowError: if any stream is shorter than the window.
+        ValueError: if ``streams`` is empty.
+    """
+    if not streams:
+        raise ValueError("fused_stream_windows needs at least one stream")
+    arrays = [np.ascontiguousarray(s) for s in streams]
+    for data in arrays:
+        if len(data) < window_length:
+            raise WindowError(
+                f"stream of length {len(data)} is shorter than "
+                f"window length {window_length}"
+            )
+    if len(arrays) == 1:
+        windows = windows_array(arrays[0], window_length)
+        return windows, [(0, len(windows))]
+    concat = np.concatenate(arrays)
+    windows = windows_array(concat, window_length)
+    spans: list[tuple[int, int]] = []
+    offset = 0
+    for data in arrays:
+        count = len(data) - window_length + 1
+        spans.append((offset, offset + count))
+        offset += len(data)
+    return windows, spans
 
 
 def score_batch(detector, windows) -> np.ndarray:

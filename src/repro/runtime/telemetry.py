@@ -795,7 +795,13 @@ def check_trace_counters(
       minus evictions minus removals equals the resident-entry
       counter, the resident byte gauges never go negative, and
       ``serve.delta.diverged`` is zero (a delta-fit that diverged from
-      its cold refit is a correctness bug, not an operational event).
+      its cold refit is a correctness bug, not an operational event);
+    * the micro-batch scheduler's ledger balances: every job admitted
+      (``serve.batch.jobs_in``) settled as exactly one of
+      ``serve.batch.jobs_out`` or ``serve.batch.refused``, and the
+      per-reason flush counters (``serve.batch.flush.solo`` /
+      ``.full`` / ``.timeout`` / ``.drain``) sum to
+      ``serve.batch.flush``.
 
     Returns a list of human-readable problems (empty = consistent).
     When ``spans`` is given, parent references are checked to resolve.
@@ -858,6 +864,26 @@ def check_trace_counters(
             f"serve.delta.diverged is {counter('serve.delta.diverged'):g} "
             "(delta-fits must be bit-identical to cold refits)"
         )
+    if counter("serve.batch.jobs_in"):
+        settled = counter("serve.batch.jobs_out") + counter(
+            "serve.batch.refused"
+        )
+        if settled != counter("serve.batch.jobs_in"):
+            problems.append(
+                f"micro-batch jobs settled (out + refused = {settled:g}) "
+                f"!= jobs admitted ({counter('serve.batch.jobs_in'):g}) — "
+                "a job entered the scheduler and never resolved"
+            )
+        reasons = sum(
+            counter(f"serve.batch.flush.{reason}")
+            for reason in ("solo", "full", "timeout", "drain")
+        )
+        if reasons != counter("serve.batch.flush"):
+            problems.append(
+                f"micro-batch flush reasons sum to {reasons:g} "
+                f"!= serve.batch.flush ({counter('serve.batch.flush'):g}) — "
+                "every flush must record exactly one reason"
+            )
     if spans:
         known = {record["id"] for record in spans}
         for record in spans:

@@ -14,12 +14,19 @@ Modules:
 * :mod:`repro.serve.breaker` — three-state circuit breaker
 * :mod:`repro.serve.admission` — deadlines, bounded queues, bulkheads
 * :mod:`repro.serve.pipeline` — kernel-tier degradation ladder
+* :mod:`repro.serve.batching` — cross-tenant micro-batch scheduler
 * :mod:`repro.serve.chaos` — seeded serving fault injection
 * :mod:`repro.serve.server` — the asyncio HTTP front end
 * :mod:`repro.serve.loadgen` — load generator / exactness verifier
 """
 
 from repro.serve.admission import AdmissionPolicy, Deadline, TenantLane
+from repro.serve.batching import (
+    BatchPolicy,
+    BatchScheduler,
+    ScoreJob,
+    ScoreWorkerPool,
+)
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.chaos import SERVE_FAULT_KINDS, ChaosDirector, ServeFaultSchedule
 from repro.serve.loadgen import LoadGenerator, LoadPlan, LoadReport, run_load
@@ -35,6 +42,8 @@ from repro.serve.wal import RecoveredState, TenantJournal, snapshot_key
 __all__ = [
     "SERVE_FAULT_KINDS",
     "AdmissionPolicy",
+    "BatchPolicy",
+    "BatchScheduler",
     "ChaosDirector",
     "CircuitBreaker",
     "Deadline",
@@ -43,8 +52,10 @@ __all__ = [
     "LoadReport",
     "RecoveredState",
     "RecoveryReport",
+    "ScoreJob",
     "ScoreOutcome",
     "ScorePipeline",
+    "ScoreWorkerPool",
     "ScoringServer",
     "ServeFaultSchedule",
     "TenantJournal",

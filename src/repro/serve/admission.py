@@ -14,6 +14,14 @@ Three cooperating pieces, all refusal-first (overload produces HTTP
   supervisor wrapper; the in-flight job is failed with a *retryable*
   refusal — acknowledged work is never silently dropped, and no
   partial result ever leaves the lane.
+
+Lanes are also the hand-off point into the cross-tenant micro-batcher
+(:mod:`repro.serve.batching`): a lane worker's score job enqueues into
+the batch scheduler and awaits its fused outcome, which preserves
+per-tenant ordering (one in-flight job per lane) while letting jobs
+from *different* lanes fuse into one kernel call.  The lane-queue wait
+is observed as ``serve.lane.wait_us`` so admission latency and batch
+formation latency stay separable in traces.
 """
 
 from __future__ import annotations
@@ -105,17 +113,19 @@ class AdmissionPolicy:
 class _Job:
     """One queued unit of work and the future its submitter awaits."""
 
-    __slots__ = ("thunk", "deadline", "future")
+    __slots__ = ("thunk", "deadline", "future", "enqueued_at")
 
     def __init__(
         self,
         thunk: Callable[[], Awaitable[object]],
         deadline: Deadline,
         future: asyncio.Future,
+        enqueued_at: float,
     ) -> None:
         self.thunk = thunk
         self.deadline = deadline
         self.future = future
+        self.enqueued_at = enqueued_at
 
 
 class TenantLane:
@@ -170,8 +180,9 @@ class TenantLane:
                 retry_after=1.0,
             )
         self._ensure_running()
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        job = _Job(thunk, deadline, future)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        job = _Job(thunk, deadline, future, loop.time())
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
@@ -210,6 +221,10 @@ class TenantLane:
                 return
             if job.future.cancelled():
                 continue
+            telemetry.observe(
+                "serve.lane.wait_us",
+                (asyncio.get_running_loop().time() - job.enqueued_at) * 1e6,
+            )
             try:
                 job.deadline.check("queued")
                 result = await job.thunk()

@@ -14,11 +14,28 @@ One tool, two jobs:
   a *violation* — under chaos, refusals are expected and fine, but a
   single wrong score fails the run.
 
-The generator is fully seeded (streams, request ids, ordering within
-a tenant), so a chaos run is reproducible end to end: the server's
-fault schedule keys off the client-supplied ``request_id``, and
-retries carry an explicit ``attempt`` number, mirroring the sweep
-harness's (key, attempt) fault addressing.
+Two load modes:
+
+* **closed-loop** (default for the API, ``--closed`` on the CLI) —
+  each tenant issues its next request only after the previous one
+  completes.  Simple, but latency under overload is *understated*:
+  a slow server throttles its own offered load, which is why the
+  committed clean p50 once read *higher* than the chaos p50.
+* **open-loop** (``arrival_rate`` set) — scoring requests arrive on a
+  seeded Poisson process at a target rate, independent of completions,
+  and each latency is measured from the request's **scheduled arrival
+  time** — never from when the client got around to sending it — so
+  queueing delay is charged to the server, not silently dropped
+  (coordinated-omission-safe accounting).
+
+Connections are **keep-alive**: each tenant holds one persistent
+connection and pipelines its requests over it; reuse counts are
+reported.  The generator is fully seeded (streams, request ids,
+arrival times, ordering within a tenant), so a chaos run is
+reproducible end to end: the server's fault schedule keys off the
+client-supplied ``request_id``, and retries carry an explicit
+``attempt`` number, mirroring the sweep harness's (key, attempt)
+fault addressing.
 """
 
 from __future__ import annotations
@@ -28,6 +45,7 @@ import json
 import random
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -44,7 +62,15 @@ DEFAULT_CELLS: tuple[tuple[str, int], ...] = (
 
 @dataclass(frozen=True)
 class LoadPlan:
-    """A seeded description of the traffic to generate."""
+    """A seeded description of the traffic to generate.
+
+    ``arrival_rate`` selects the load mode: ``None`` runs closed-loop
+    (a tenant sends its next request when the previous completes);
+    a rate in requests/second runs the scoring phase open-loop on a
+    seeded Poisson arrival process with coordinated-omission-safe
+    latency accounting.  Training is always closed-loop per tenant —
+    chunk ordering is part of the digest the server must echo.
+    """
 
     tenants: int = 3
     train_chunks: int = 6
@@ -56,6 +82,7 @@ class LoadPlan:
     budget: float = 10.0
     max_attempts: int = 4
     cells: tuple[tuple[str, int], ...] = DEFAULT_CELLS
+    arrival_rate: float | None = None
 
     @classmethod
     def quick(cls, seed: int = 7) -> "LoadPlan":
@@ -82,6 +109,10 @@ class LoadReport:
     violations: list[str] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
     wall_seconds: float = 0.0
+    mode: str = "closed"
+    target_rate: float | None = None
+    connections: int = 0
+    keepalive_reuses: int = 0
 
     def note_refusal(self, reason: str) -> None:
         self.refusals[reason] = self.refusals.get(reason, 0) + 1
@@ -95,7 +126,8 @@ class LoadReport:
     def summary(self) -> dict:
         """JSON-ready aggregate (the benchmark artifact payload)."""
         wall = max(self.wall_seconds, 1e-9)
-        return {
+        payload = {
+            "mode": self.mode,
             "requests": self.requests,
             "trains_ok": self.trains_ok,
             "scores_ok": self.scores_ok,
@@ -106,7 +138,12 @@ class LoadReport:
             "p99_ms": round(self.percentile(99), 3),
             "streams_per_sec": round(self.scores_ok / wall, 3),
             "wall_seconds": round(self.wall_seconds, 3),
+            "connections": self.connections,
+            "keepalive_reuses": self.keepalive_reuses,
         }
+        if self.target_rate is not None:
+            payload["target_rate"] = self.target_rate
+        return payload
 
 
 async def request(
@@ -135,14 +172,135 @@ async def request(
     return status, data
 
 
-class LoadGenerator:
-    """Drives one :class:`LoadPlan` against a running server."""
+class _Connection:
+    """One persistent keep-alive connection, requests serialized.
 
-    def __init__(self, host: str, port: int, plan: LoadPlan) -> None:
+    Responses are framed by ``Content-Length`` so the socket stays
+    usable for the next request.  A reused socket the server has
+    meanwhile closed (idle timeout, error status) is transparently
+    reopened and the request resent once — safe because the server
+    closes *between* requests, never after half-processing one.
+    """
+
+    def __init__(self, host: str, port: int, report: LoadReport) -> None:
+        self._host = host
+        self._port = port
+        self._report = report
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def _open(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._report.connections += 1
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        )
+        wire = head.encode("ascii") + payload
+        async with self._lock:
+            for retry in (False, True):
+                reused = self._writer is not None
+                if not reused:
+                    await self._open()
+                try:
+                    assert self._writer is not None and self._reader is not None
+                    self._writer.write(wire)
+                    await self._writer.drain()
+                    status, data, server_close = await self._read_response()
+                except (
+                    ConnectionError,
+                    BrokenPipeError,
+                    asyncio.IncompleteReadError,
+                ):
+                    await self.close()
+                    if reused and not retry:
+                        continue  # stale keep-alive socket; resend once
+                    raise
+                if reused:
+                    self._report.keepalive_reuses += 1
+                if server_close:
+                    await self.close()
+                return status, data
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    async def _read_response(self) -> tuple[int, dict, bool]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        status = int(status_line.split(None, 2)[1])
+        content_length = 0
+        server_close = False
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii", "replace").partition(":")
+            header = name.strip().lower()
+            if header == "content-length":
+                content_length = int(value.strip())
+            elif header == "connection":
+                server_close = "close" in value.strip().lower()
+        body = (
+            await self._reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return status, json.loads(body) if body else {}, server_close
+
+
+class LoadGenerator:
+    """Drives one :class:`LoadPlan` against a running server.
+
+    Args:
+        host, port: the server address.
+        plan: the seeded traffic description.
+        dump_scores: optional path; every verified 200 score response
+            is written there as sorted JSONL so two runs (e.g. batched
+            vs ``--batch-max 1``) can be diffed byte for byte.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        plan: LoadPlan,
+        dump_scores: str | Path | None = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.plan = plan
         self.report = LoadReport()
+        self._dump_path = Path(dump_scores) if dump_scores else None
+        self._dump_rows: list[dict] = []
+        self._connections: dict[str, _Connection] = {}
+
+    def _connection(self, tenant: str) -> _Connection:
+        connection = self._connections.get(tenant)
+        if connection is None:
+            connection = _Connection(self.host, self.port, self.report)
+            self._connections[tenant] = connection
+        return connection
 
     def _stream(self, tag: str, length: int) -> np.ndarray:
         """A seeded event stream (structured, not uniform noise)."""
@@ -160,10 +318,26 @@ class LoadGenerator:
         return np.asarray(events, dtype=np.int64)
 
     async def _call(
-        self, tenant: str, op: str, request_id: str, body: dict
+        self,
+        tenant: str,
+        op: str,
+        request_id: str,
+        body: dict,
+        scheduled: float | None = None,
     ) -> tuple[int, dict]:
-        """POST one tenant op, retrying retryable refusals."""
+        """POST one tenant op, retrying retryable refusals.
+
+        With ``scheduled`` set (open-loop), exactly one latency is
+        recorded for the whole logical request, measured from the
+        scheduled arrival — client-side lag, connection waits and
+        retries all count against the server (no coordinated
+        omission).  Closed-loop records one latency per attempt, as a
+        closed-loop client experiences it.
+        """
         path = f"/v1/tenants/{tenant}/{op}"
+        connection = self._connection(tenant)
+        loop = asyncio.get_running_loop()
+        status, data = 599, {}
         for attempt in range(1, self.plan.max_attempts + 1):
             self.report.requests += 1
             body = dict(
@@ -171,30 +345,38 @@ class LoadGenerator:
                 budget=self.plan.budget,
             )
             started = time.monotonic()
-            status, data = await request(
-                self.host, self.port, "POST", path, body
-            )
-            self.report.latencies.append(time.monotonic() - started)
+            try:
+                status, data = await connection.request("POST", path, body)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                status, data = 599, {"reason": "connection-error",
+                                     "retryable": True}
+            if scheduled is None:
+                self.report.latencies.append(time.monotonic() - started)
             if status == 200:
-                return status, data
+                break
             reason = data.get("reason", f"http-{status}")
             self.report.note_refusal(reason)
             # The generator validated its own payload, so an
             # invalid-events refusal means in-flight corruption
             # (chaos) — retrying with a fresh attempt is sound.
             if not data.get("retryable") and reason != "invalid-events":
-                return status, data
-            self.report.retries += 1
-            await asyncio.sleep(float(data.get("retry_after") or 0.01))
+                break
+            if attempt < self.plan.max_attempts:
+                self.report.retries += 1
+                await asyncio.sleep(float(data.get("retry_after") or 0.01))
+        if scheduled is not None:
+            self.report.latencies.append(loop.time() - scheduled)
         return status, data
 
-    async def _drive_tenant(self, index: int) -> None:
+    async def _train_tenant(self, index: int) -> np.ndarray:
+        """Closed-loop training phase; returns the accumulated stream."""
         plan = self.plan
         tenant = f"tenant-{index:02d}"
         accumulated = np.empty(0, dtype=np.int64)
-
         for chunk_index in range(plan.train_chunks):
-            events = self._stream(f"{tenant}|train|{chunk_index}", plan.chunk_events)
+            events = self._stream(
+                f"{tenant}|train|{chunk_index}", plan.chunk_events
+            )
             status, data = await self._call(
                 tenant,
                 "train",
@@ -220,55 +402,140 @@ class LoadGenerator:
                     f"{tenant} train {chunk_index}: server digest "
                     f"{data.get('digest')} != client digest {expected}"
                 )
+        return accumulated
 
+    async def _score_once(
+        self,
+        index: int,
+        accumulated: np.ndarray,
+        references: dict[tuple[str, int], object],
+        score_index: int,
+        scheduled: float | None = None,
+    ) -> None:
+        plan = self.plan
+        tenant = f"tenant-{index:02d}"
+        family, window = plan.cells[score_index % len(plan.cells)]
+        stream = self._stream(f"{tenant}|test|{score_index}", plan.test_events)
+        if scheduled is not None:
+            delay = scheduled - asyncio.get_running_loop().time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        status, data = await self._call(
+            tenant,
+            "score",
+            f"score-{score_index}",
+            {
+                "family": family,
+                "window": window,
+                "events": stream.tolist(),
+            },
+            scheduled=scheduled,
+        )
+        if status != 200:
+            return
+        self.report.scores_ok += 1
+        cell = (family, window)
+        if cell not in references:
+            detector = create_detector(family, window, plan.alphabet_size)
+            detector.fit(accumulated)
+            references[cell] = detector
+        expected = np.asarray(
+            references[cell].score_stream(stream), dtype=float
+        )
+        got = np.asarray(data.get("scores", []), dtype=float)
+        if got.shape != expected.shape or not np.array_equal(got, expected):
+            self.report.violations.append(
+                f"{tenant} score {score_index} ({family}, DW={window}): "
+                f"scores diverge from the local reference"
+            )
+        elif self._dump_path is not None:
+            self._dump_rows.append(
+                {
+                    "tenant": tenant,
+                    "request": f"score-{score_index}",
+                    "family": family,
+                    "window": window,
+                    "scores": data.get("scores", []),
+                }
+            )
+
+    async def _drive_tenant_closed(self, index: int) -> None:
+        accumulated = await self._train_tenant(index)
         if accumulated.size == 0:
             return
         references: dict[tuple[str, int], object] = {}
-        for score_index in range(plan.scores_per_tenant):
-            family, window = plan.cells[score_index % len(plan.cells)]
-            stream = self._stream(f"{tenant}|test|{score_index}", plan.test_events)
-            status, data = await self._call(
-                tenant,
-                "score",
-                f"score-{score_index}",
-                {
-                    "family": family,
-                    "window": window,
-                    "events": stream.tolist(),
-                },
+        for score_index in range(self.plan.scores_per_tenant):
+            await self._score_once(
+                index, accumulated, references, score_index
             )
-            if status != 200:
+
+    async def _run_closed(self) -> None:
+        await asyncio.gather(
+            *(self._drive_tenant_closed(i) for i in range(self.plan.tenants))
+        )
+
+    async def _run_open(self) -> None:
+        """Train closed-loop, then score on a Poisson arrival process."""
+        plan = self.plan
+        assert plan.arrival_rate is not None and plan.arrival_rate > 0
+        self.report.mode = "open"
+        self.report.target_rate = plan.arrival_rate
+        accumulated = await asyncio.gather(
+            *(self._train_tenant(i) for i in range(plan.tenants))
+        )
+        references: list[dict] = [{} for _ in range(plan.tenants)]
+        rng = random.Random(f"loadgen|{plan.seed}|arrivals")
+        loop = asyncio.get_running_loop()
+        epoch = loop.time() + 0.005
+        offset = 0.0
+        tasks = []
+        for i in range(plan.tenants * plan.scores_per_tenant):
+            offset += rng.expovariate(plan.arrival_rate)
+            index = i % plan.tenants
+            if accumulated[index].size == 0:
                 continue
-            self.report.scores_ok += 1
-            cell = (family, window)
-            if cell not in references:
-                detector = create_detector(
-                    family, window, plan.alphabet_size
+            tasks.append(
+                asyncio.ensure_future(
+                    self._score_once(
+                        index,
+                        accumulated[index],
+                        references[index],
+                        i // plan.tenants,
+                        scheduled=epoch + offset,
+                    )
                 )
-                detector.fit(accumulated)
-                references[cell] = detector
-            expected = np.asarray(
-                references[cell].score_stream(stream), dtype=float
             )
-            got = np.asarray(data.get("scores", []), dtype=float)
-            if got.shape != expected.shape or not np.array_equal(
-                got, expected
-            ):
-                self.report.violations.append(
-                    f"{tenant} score {score_index} ({family}, DW={window}): "
-                    f"scores diverge from the local reference"
-                )
+        if tasks:
+            await asyncio.gather(*tasks)
 
     async def run(self) -> LoadReport:
-        """Drive every tenant concurrently; returns the report."""
+        """Drive the plan; returns the report (and writes any dump)."""
         started = time.monotonic()
-        await asyncio.gather(
-            *(self._drive_tenant(i) for i in range(self.plan.tenants))
-        )
+        try:
+            if self.plan.arrival_rate is not None:
+                await self._run_open()
+            else:
+                await self._run_closed()
+        finally:
+            for connection in self._connections.values():
+                await connection.close()
         self.report.wall_seconds = time.monotonic() - started
+        if self._dump_path is not None:
+            rows = sorted(
+                self._dump_rows,
+                key=lambda row: (row["tenant"], row["request"]),
+            )
+            with open(self._dump_path, "w", encoding="utf-8") as sink:
+                for row in rows:
+                    sink.write(json.dumps(row, sort_keys=True) + "\n")
         return self.report
 
 
-async def run_load(host: str, port: int, plan: LoadPlan) -> LoadReport:
+async def run_load(
+    host: str,
+    port: int,
+    plan: LoadPlan,
+    dump_scores: str | Path | None = None,
+) -> LoadReport:
     """Convenience wrapper: one generator, one run."""
-    return await LoadGenerator(host, port, plan).run()
+    return await LoadGenerator(host, port, plan, dump_scores).run()

@@ -27,11 +27,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.detectors import create_detector
 from repro.exceptions import ScoreRefusal
 from repro.runtime import telemetry
-from repro.runtime.kernels import TIER_AUTO, TIER_BISECT, resolve_kernel_tier
+from repro.runtime.automaton import BatchStreamCodes
+from repro.runtime.kernels import (
+    TIER_AUTO,
+    TIER_BISECT,
+    fused_stream_windows,
+    resolve_kernel_tier,
+)
+from repro.sequences.windows import packable
 from repro.serve.admission import Deadline
 from repro.serve.tenants import TenantState, TenantStateStore
+
+#: The tier label fused batch scoring reports.  Fused kernels reuse the
+#: bisect tier's membership/count arithmetic on a batch-packed key
+#: array, so "fused" is a *how*, not a different *what* — responses
+#: are bit-identical to either sequential tier.
+TIER_FUSED = "fused"
+
+#: Families whose packed fit state admits the fused packed-key kernel
+#: (``score_packed``); every other family takes the fused window path.
+_PACKED_FAMILIES = frozenset({"stide", "t-stide", "markov"})
 
 
 @dataclass(frozen=True)
@@ -147,3 +165,310 @@ class ScorePipeline:
             reason="ladder-exhausted",
             retry_after=0.1,
         )
+
+    # -- fused group scoring (the micro-batcher's kernel path) -------------
+
+    def prepare_group(
+        self, jobs: list, chaos
+    ) -> tuple[list, list[tuple[int, TenantState, np.ndarray, object]]]:
+        """Resolve state, validation and detectors for a job group.
+
+        Runs in a worker thread.  Per-job failures (unknown or
+        quarantined tenant, invalid or chaos-poisoned events, a spent
+        deadline, a cell the tenant cannot support) land in the result
+        slot for *that job only* — a poisoned member never blocks its
+        batchmates.  Tenant state is fetched here, at scoring time, so
+        a tenant quarantined after enqueue refuses exactly like the
+        sequential path would.
+
+        Returns:
+            ``(results, prepared)`` — the per-job result list with
+            failures already filled in, and the surviving jobs as
+            ``(index, state, validated_events, detector)`` tuples.
+        """
+        results: list = [None] * len(jobs)
+        prepared: list[tuple[int, TenantState, np.ndarray, object]] = []
+        for i, job in enumerate(jobs):
+            try:
+                job.deadline.check("batch:prepare")
+                state = self._tenants.get(job.tenant_id)
+                data = self._tenants.validate_events(
+                    job.events, state.alphabet_size
+                )
+                data = chaos.maybe_corrupt_events(
+                    data, state.alphabet_size, job.key, job.attempt
+                )
+                # Re-validate: a chaos-poisoned payload must be caught
+                # here, never scored (same pair as the train path).
+                data = self._tenants.validate_events(
+                    data, state.alphabet_size
+                )
+                if len(data) < job.window:
+                    raise ScoreRefusal(
+                        f"test stream holds {len(data)} events, fewer "
+                        f"than one window of {job.window}",
+                        status=422,
+                        reason="stream-too-short",
+                    )
+                job.deadline.check("fit")
+                detector = self._tenants.detector_for(
+                    state, job.family, job.window
+                )
+                prepared.append((i, state, data, detector))
+            except Exception as error:
+                results[i] = error
+        return results, prepared
+
+    def score_group(self, jobs: list, chaos) -> list:
+        """Score one fused group (same family, window, alphabet).
+
+        The thread/serial execution body: prepare every job, fuse the
+        surviving streams into **one** kernel pass — a
+        :class:`~repro.runtime.automaton.BatchStreamCodes` pack for
+        the packed families, a
+        :func:`~repro.runtime.kernels.fused_stream_windows` slide for
+        the rest — and slice each job's responses out by its span.  A
+        job whose fused kernel fails falls back to the sequential
+        ladder (:meth:`score`), so batching can only change *how* a
+        score is computed, never whether one is produced.
+
+        Args:
+            jobs: objects with the :class:`~repro.serve.batching
+                .ScoreJob` attributes (duck-typed to keep this module
+                import-light).
+            chaos: the fault director (per-job corruption hooks).
+
+        Returns:
+            One entry per job: a :class:`ScoreOutcome` or the
+            exception that job should fail with.
+        """
+        started = time.monotonic()
+        results, prepared = self.prepare_group(jobs, chaos)
+        if prepared:
+            self._score_prepared(jobs, prepared, results, started)
+        return results
+
+    def _fuse(
+        self, family: str, window: int, alphabet: int, streams: list
+    ) -> tuple[str, object] | None:
+        """Build the fused kernel input, or ``None`` to go sequential."""
+        try:
+            if family in _PACKED_FAMILIES and packable(alphabet, window):
+                return "packed", BatchStreamCodes(streams, alphabet, window)
+            return "windows", fused_stream_windows(streams, window)
+        except Exception:
+            telemetry.count("serve.batch.fuse_failed")
+            return None
+
+    def _score_prepared(
+        self,
+        jobs: list,
+        prepared: list[tuple[int, TenantState, np.ndarray, object]],
+        results: list,
+        started: float,
+    ) -> None:
+        sample = jobs[prepared[0][0]]
+        family, window = sample.family, sample.window
+        alphabet = prepared[0][1].alphabet_size
+        streams = [data for _, _, data, _ in prepared]
+        fused = self._fuse(family, window, alphabet, streams)
+        for k, (i, state, data, detector) in enumerate(prepared):
+            job = jobs[i]
+            try:
+                job.deadline.check("score:fused")
+                if fused is None:
+                    raise _FusePlanUnavailable()
+                with telemetry.span(
+                    "serve",
+                    "score",
+                    tenant=state.tenant_id,
+                    family=family,
+                    dw=window,
+                    tier=TIER_FUSED,
+                    batch=len(prepared),
+                ):
+                    if fused[0] == "packed":
+                        scores = detector.score_packed(
+                            fused[1].keys(k, window)
+                        )
+                    else:
+                        windows, spans = fused[1]
+                        start, stop = spans[k]
+                        scores = detector.score_windows(windows[start:stop])
+                telemetry.count("serve.score")
+                results[i] = ScoreOutcome(
+                    scores=tuple(scores.tolist()),
+                    family=family,
+                    window=window,
+                    tier=TIER_FUSED,
+                    attempts=1,
+                    elapsed=time.monotonic() - started,
+                )
+            except ScoreRefusal as refusal:
+                results[i] = refusal
+            except Exception:
+                # Fused kernel misbehaved for this member: the
+                # sequential ladder (with its own retries and
+                # degradation) is the authoritative fallback.
+                telemetry.count("serve.batch.fallback")
+                try:
+                    results[i] = self.score(
+                        state, family, window, data, job.deadline
+                    )
+                except Exception as error:
+                    results[i] = error
+
+    async def score_group_in_process(self, jobs: list, chaos, pool) -> list:
+        """Score a group on the pool's *process* rung.
+
+        Prepare runs in a thread (tenant state is not shippable), the
+        fused kernels run in a child process on a payload of exported
+        fit states — :meth:`~repro.detectors.base.AnomalyDetector
+        .import_fit_state` round-trips are documented bit-identical —
+        with the concatenated streams riding the shared-memory
+        :class:`~repro.runtime.arena.WindowArena` when available.  Any
+        member the child cannot score (no exportable fit state, a
+        kernel error) falls back to the sequential ladder in a thread.
+        """
+        started = time.monotonic()
+
+        def _prepare() -> tuple[list, list, dict | None]:
+            results, prepared = self.prepare_group(jobs, chaos)
+            if not prepared:
+                return results, prepared, None
+            sample = jobs[prepared[0][0]]
+            alphabet = prepared[0][1].alphabet_size
+            fit_states = []
+            for _i, _state, _data, _detector in prepared:
+                snapshot = self._tenants.detector_payload(
+                    _state, sample.family, sample.window
+                )
+                fit_states.append(
+                    None if snapshot is None else snapshot["fit_state"]
+                )
+            payload = {
+                "family": sample.family,
+                "window": sample.window,
+                "alphabet": alphabet,
+                "fit_states": fit_states,
+                "streams": [data for _, _, data, _ in prepared],
+            }
+            return results, prepared, payload
+
+        results, prepared, payload = await pool.run_in_thread(_prepare)
+        if payload is None:
+            return results
+        descriptor, lengths = pool.publish_streams(payload["streams"])
+        if descriptor is not None:
+            payload = dict(payload, streams=None, descriptor=descriptor,
+                           lengths=lengths)
+        try:
+            verdicts = await pool.run(_ProcessGroupCall(payload))
+        except Exception:
+            telemetry.count("serve.batch.fallback")
+            verdicts = [("error", "process rung failed")] * len(prepared)
+        finally:
+            pool.release_streams(descriptor)
+
+        def _finalize() -> list:
+            for k, (i, state, data, detector) in enumerate(prepared):
+                job = jobs[i]
+                kind, value = verdicts[k]
+                if kind == "ok":
+                    telemetry.count("serve.score")
+                    results[i] = ScoreOutcome(
+                        scores=tuple(value.tolist()),
+                        family=job.family,
+                        window=job.window,
+                        tier=TIER_FUSED,
+                        attempts=1,
+                        elapsed=time.monotonic() - started,
+                    )
+                    continue
+                telemetry.count("serve.batch.fallback")
+                try:
+                    results[i] = self.score(
+                        state, job.family, job.window, data, job.deadline
+                    )
+                except Exception as error:
+                    results[i] = error
+            return results
+
+        return await pool.run_in_thread(_finalize)
+
+
+class _FusePlanUnavailable(Exception):
+    """Internal: no fused plan for this group; take the ladder."""
+
+
+class _ProcessGroupCall:
+    """Picklable callable scoring one fused group in a child process.
+
+    Rebuilds each member's detector from its exported fit state and
+    runs the same fused kernels the thread path runs.  Returns one
+    ``("ok", scores)`` or ``("error", message)`` verdict per member —
+    exceptions never cross the process boundary as pickled state.
+    """
+
+    def __init__(self, payload: dict) -> None:
+        self.payload = payload
+
+    def __call__(self) -> list[tuple[str, object]]:
+        payload = self.payload
+        family = payload["family"]
+        window = payload["window"]
+        alphabet = payload["alphabet"]
+        streams = payload["streams"]
+        try:
+            if streams is None:
+                from repro.runtime.arena import attach_array
+
+                concat = attach_array(payload["descriptor"])
+                streams, offset = [], 0
+                for length in payload["lengths"]:
+                    streams.append(
+                        np.array(concat[offset : offset + length])
+                    )
+                    offset += length
+            verdicts: list[tuple[str, object]] = []
+            detectors = []
+            for fit_state in payload["fit_states"]:
+                detector = None
+                if fit_state is not None:
+                    candidate = create_detector(family, window, alphabet)
+                    if candidate.import_fit_state(fit_state):
+                        detector = candidate
+                detectors.append(detector)
+            use_packed = family in _PACKED_FAMILIES and packable(
+                alphabet, window
+            )
+            plan = (
+                BatchStreamCodes(streams, alphabet, window)
+                if use_packed
+                else fused_stream_windows(streams, window)
+            )
+            for k, detector in enumerate(detectors):
+                if detector is None:
+                    verdicts.append(("error", "no shippable fit state"))
+                    continue
+                try:
+                    if use_packed:
+                        scores = detector.score_packed(plan.keys(k, window))
+                    else:
+                        windows, spans = plan
+                        start, stop = spans[k]
+                        scores = detector.score_windows(windows[start:stop])
+                    verdicts.append(("ok", scores))
+                except Exception as error:
+                    verdicts.append(
+                        ("error", f"{type(error).__name__}: {error}")
+                    )
+            return verdicts
+        except Exception as error:
+            message = f"{type(error).__name__}: {error}"
+            return [("error", message)] * len(payload["fit_states"])
+        finally:
+            if payload.get("descriptor") is not None:
+                from repro.runtime.arena import detach_all
+
+                detach_all()

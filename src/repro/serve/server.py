@@ -7,13 +7,23 @@ takes no others: the serving layer must be auditable end to end.
 Request path for tenant operations::
 
     HTTP parse → route → breaker.admit → lane.submit   (429 when full)
-      lane worker: deadline check → chaos hooks → executor
+      lane worker: deadline check → chaos hooks →
         train: validate → WAL append → snapshot            (executor)
-        score: validate → fit (cached) → kernel ladder     (executor)
+        score: hand off to the batch scheduler → fused
+               kernel call on the worker pool               (batcher)
 
-NumPy work runs in a thread-pool executor so the event loop only ever
-parses bytes and shuffles queues; per-tenant order is still serial
-because each tenant's jobs flow through its single-worker lane.
+NumPy work runs off the event loop — train jobs on a thread-pool
+executor, score jobs through the cross-tenant micro-batcher
+(:mod:`repro.serve.batching`), which fuses queued jobs from many
+lanes into one kernel call per (family, window, alphabet) group.
+Per-tenant order is still serial because each lane awaits its job's
+batched outcome before taking the next.
+
+Connections are **keep-alive** by default (HTTP/1.1): a client may
+pipeline any number of requests over one connection; the server
+closes on ``Connection: close``, on any error status, or after
+``keepalive_timeout`` idle seconds.  Reuses are counted in telemetry
+(``serve.http.keepalive_reuse``).
 
 Endpoints::
 
@@ -44,6 +54,7 @@ from repro.exceptions import ScoreRefusal
 from repro.runtime import telemetry
 from repro.runtime.shardstore import ShardedStore
 from repro.serve.admission import AdmissionPolicy, Deadline, TenantLane
+from repro.serve.batching import BatchPolicy, BatchScheduler, ScoreJob
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.chaos import ChaosDirector
 from repro.serve.pipeline import ScorePipeline
@@ -82,10 +93,15 @@ class ScoringServer:
             (``--retries`` semantics).
         snapshot_every: tenant snapshot cadence (0 disables).
         fsync: fsync WAL appends (power-loss durability).
-        executor_workers: scoring thread-pool size.
+        executor_workers: train-job thread-pool size.
         models: optional tiered fleet model store (hot LRU → mmap
             shards → cold); enables delta-fits on ingest.
         delta_verify_every: delta-fit verify cadence (0 disables).
+        batching: micro-batcher knobs (``--batch-max``,
+            ``--batch-wait-us``, ``--score-workers``); defaults to
+            :class:`~repro.serve.batching.BatchPolicy`.
+        keepalive_timeout: idle seconds before a kept-alive
+            connection is closed.
     """
 
     def __init__(
@@ -101,6 +117,8 @@ class ScoringServer:
         executor_workers: int = 4,
         models: ShardedStore | None = None,
         delta_verify_every: int = 0,
+        batching: BatchPolicy | None = None,
+        keepalive_timeout: float = 30.0,
     ) -> None:
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.chaos = chaos if chaos is not None else ChaosDirector()
@@ -112,6 +130,11 @@ class ScoringServer:
             delta_verify_every=delta_verify_every,
         )
         self.pipeline = ScorePipeline(self.tenants, retries=retries)
+        self.batcher = BatchScheduler(
+            self.pipeline,
+            self.chaos,
+            policy=batching if batching is not None else BatchPolicy(),
+        )
         self.recovery: RecoveryReport | None = None
         self._host = host
         self._port = port
@@ -121,9 +144,12 @@ class ScoringServer:
         )
         self._lanes: dict[str, TenantLane] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._keepalive_timeout = float(keepalive_timeout)
         self._draining = False
         self.requests = 0
         self.refusals: dict[int, int] = {}
+        self.keepalive_reuses = 0
 
     # -- lifecycle --------------------------------------------------------
 
@@ -167,13 +193,19 @@ class ScoringServer:
         }
 
     async def stop(self) -> None:
-        """Drain, close the listener, release the executor."""
+        """Drain, close the listener and connections, release pools."""
         if not self._draining:
             await self.drain()
+        await self.batcher.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in tuple(self._connections):
+            try:
+                writer.close()
+            except Exception:
+                pass
         self._executor.shutdown(wait=True, cancel_futures=True)
 
     async def serve_forever(self) -> None:
@@ -211,35 +243,74 @@ class ScoringServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve one connection, keeping it alive across requests.
+
+        The loop ends when the client closes, sends ``Connection:
+        close``, idles past the keep-alive timeout, or triggers any
+        error status (a connection whose framing may be corrupt is
+        never reused).
+        """
+        self._connections.add(writer)
+        served = 0
         try:
-            status, payload = await self._respond(reader)
-        except ScoreRefusal as refusal:
-            status, payload = self._refusal_payload(refusal)
-        except Exception as error:  # never leak a traceback as a hang
-            status = 500
-            payload = {"error": f"{type(error).__name__}: {error}"}
-            telemetry.count("serve.http.error")
-        if status >= 400:
-            self.refusals[status] = self.refusals.get(status, 0) + 1
-        body = json.dumps(payload).encode("utf-8")
-        headers = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        retry_after = payload.get("retry_after")
-        if retry_after:
-            headers.append(f"Retry-After: {retry_after}")
-        writer.write(
-            ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body
-        )
-        try:
-            await writer.drain()
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):
+            while True:
+                close_after = True
+                try:
+                    request = await self._read_request(
+                        reader, idle_timeout=(
+                            self._keepalive_timeout if served else None
+                        )
+                    )
+                    if request is None:  # clean EOF / idle timeout
+                        break
+                    method, path, body, want_close = request
+                    if served:
+                        self.keepalive_reuses += 1
+                        telemetry.count("serve.http.keepalive_reuse")
+                    try:
+                        status, payload = await self._respond(
+                            method, path, body
+                        )
+                        close_after = want_close
+                    except ScoreRefusal as refusal:
+                        status, payload = self._refusal_payload(refusal)
+                except ScoreRefusal as refusal:  # malformed framing
+                    status, payload = self._refusal_payload(refusal)
+                except Exception as error:  # never leak a hang
+                    status = 500
+                    payload = {"error": f"{type(error).__name__}: {error}"}
+                    telemetry.count("serve.http.error")
+                if status >= 400:
+                    self.refusals[status] = self.refusals.get(status, 0) + 1
+                    close_after = True
+                served += 1
+                body_bytes = json.dumps(payload).encode("utf-8")
+                headers = [
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+                    "Content-Type: application/json",
+                    f"Content-Length: {len(body_bytes)}",
+                    "Connection: "
+                    + ("close" if close_after else "keep-alive"),
+                ]
+                retry_after = payload.get("retry_after")
+                if retry_after:
+                    headers.append(f"Retry-After: {retry_after}")
+                writer.write(
+                    ("\r\n".join(headers) + "\r\n\r\n").encode("ascii")
+                    + body_bytes
+                )
+                await writer.drain()
+                if close_after:
+                    break
+        except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
             pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
 
     @staticmethod
     def _refusal_payload(refusal: ScoreRefusal) -> tuple[int, dict]:
@@ -252,8 +323,9 @@ class ScoringServer:
             payload["retry_after"] = refusal.retry_after
         return refusal.status, payload
 
-    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
-        method, path, body = await self._read_request(reader)
+    async def _respond(
+        self, method: str, path: str, body: dict
+    ) -> tuple[int, dict]:
         self.requests += 1
         telemetry.count("serve.http.request")
 
@@ -279,10 +351,27 @@ class ScoringServer:
         return 404, {"error": f"no route for {method} {path}"}
 
     async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict]:
+        self,
+        reader: asyncio.StreamReader,
+        idle_timeout: float | None = None,
+    ) -> tuple[str, str, dict, bool] | None:
+        """Parse one request; ``None`` on clean EOF or idle timeout.
+
+        Returns ``(method, path, body, want_close)`` where
+        ``want_close`` reflects the client's ``Connection`` header.
+        """
         try:
-            request_line = await reader.readline()
+            if idle_timeout is not None:
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(), idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    return None
+            else:
+                request_line = await reader.readline()
+            if not request_line:
+                return None
             parts = request_line.decode("ascii", "replace").split()
             if len(parts) < 2:
                 raise ScoreRefusal(
@@ -290,13 +379,17 @@ class ScoringServer:
                 )
             method, path = parts[0].upper(), parts[1]
             content_length = 0
+            want_close = False
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("ascii", "replace").partition(":")
-                if name.strip().lower() == "content-length":
+                header = name.strip().lower()
+                if header == "content-length":
                     content_length = int(value.strip())
+                elif header == "connection":
+                    want_close = "close" in value.strip().lower()
             if content_length > MAX_BODY_BYTES:
                 raise ScoreRefusal(
                     f"body of {content_length} bytes exceeds "
@@ -314,7 +407,7 @@ class ScoringServer:
                 f"malformed request: {error}", status=400, reason="bad-request"
             ) from None
         if not raw:
-            return method, path, {}
+            return method, path, {}, want_close
         try:
             body = json.loads(raw)
         except ValueError as error:
@@ -327,7 +420,7 @@ class ScoringServer:
             raise ScoreRefusal(
                 "body must be a JSON object", status=400, reason="bad-request"
             )
-        return method, path, body
+        return method, path, body, want_close
 
     # -- tenant endpoints -------------------------------------------------
 
@@ -361,12 +454,14 @@ class ScoringServer:
         async def job() -> dict:
             await self.chaos.maybe_latency(key, attempt)
             self.chaos.maybe_worker_crash(key, attempt)
-            loop = asyncio.get_running_loop()
             if op == "train":
                 work = self._train_job(tenant_id, body, key, attempt, deadline)
-            else:
-                work = self._score_job(tenant_id, body, key, attempt, deadline)
-            return await loop.run_in_executor(self._executor, work)
+                return await asyncio.get_running_loop().run_in_executor(
+                    self._executor, work
+                )
+            return await self._score_via_batcher(
+                tenant_id, body, key, attempt, deadline
+            )
 
         try:
             result = await lane.submit(job, deadline)
@@ -410,54 +505,59 @@ class ScoringServer:
 
         return work
 
-    def _score_job(
+    async def _score_via_batcher(
         self,
         tenant_id: str,
         body: dict,
         key: str,
         attempt: int,
         deadline: Deadline,
-    ):
-        def work() -> dict:
-            deadline.check("score")
-            state = self.tenants.get(tenant_id)
-            family = str(body.get("family", "stide"))
-            try:
-                window = int(body.get("window", 0))
-            except (TypeError, ValueError):
-                raise ScoreRefusal(
-                    f"window must be an integer, got {body.get('window')!r}",
-                    status=422,
-                    reason="invalid-window",
-                ) from None
-            if window < 1:
-                raise ScoreRefusal(
-                    f"window must be >= 1, got {window}",
-                    status=422,
-                    reason="invalid-window",
-                )
-            events = self.chaos.maybe_corrupt_events(
-                self.tenants.validate_events(
-                    body.get("events"), state.alphabet_size
-                ),
-                state.alphabet_size,
-                key,
-                attempt,
-            )
-            outcome = self.pipeline.score(
-                state, family, window, events, deadline
-            )
-            return {
-                "tenant": tenant_id,
-                "family": outcome.family,
-                "window": outcome.window,
-                "tier": outcome.tier,
-                "attempts": outcome.attempts,
-                "elapsed": round(outcome.elapsed, 6),
-                "scores": list(outcome.scores),
-            }
+    ) -> dict:
+        """Hand one score request to the micro-batch scheduler.
 
-        return work
+        Runs inside the tenant's lane worker, so awaiting the batched
+        outcome keeps per-tenant ordering intact.  Validation that
+        does not need tenant state happens here, on the event loop;
+        everything stateful resolves in the batch worker.
+        """
+        family = str(body.get("family", "stide"))
+        try:
+            window = int(body.get("window", 0))
+        except (TypeError, ValueError):
+            raise ScoreRefusal(
+                f"window must be an integer, got {body.get('window')!r}",
+                status=422,
+                reason="invalid-window",
+            ) from None
+        if window < 1:
+            raise ScoreRefusal(
+                f"window must be >= 1, got {window}",
+                status=422,
+                reason="invalid-window",
+            )
+        loop = asyncio.get_running_loop()
+        job = ScoreJob(
+            tenant_id=tenant_id,
+            family=family,
+            window=window,
+            alphabet_size=self.tenants.peek_alphabet(tenant_id),
+            events=body.get("events"),
+            key=key,
+            attempt=attempt,
+            deadline=deadline,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+        )
+        outcome = await self.batcher.submit(job)
+        return {
+            "tenant": tenant_id,
+            "family": outcome.family,
+            "window": outcome.window,
+            "tier": outcome.tier,
+            "attempts": outcome.attempts,
+            "elapsed": round(outcome.elapsed, 6),
+            "scores": list(outcome.scores),
+        }
 
     # -- stats ------------------------------------------------------------
 
@@ -485,4 +585,9 @@ class ScoringServer:
             "chaos": dict(self.chaos.injected),
             "recovery": asdict(self.recovery) if self.recovery else None,
             "memory": self.tenants.memory_stats(),
+            "batch": self.batcher.snapshot(),
+            "http": {
+                "keepalive_reuses": self.keepalive_reuses,
+                "open_connections": len(self._connections),
+            },
         }

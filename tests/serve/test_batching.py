@@ -1,0 +1,471 @@
+"""Micro-batch scheduler tests: bit-identity, isolation, degradation.
+
+The load-bearing assertion lives in the seeded fuzz test: for every
+detector family and both fused kernel shapes (packed keys for the
+count families, fused sliding windows for the rest), a batched score
+is **bit-identical** to the sequential pipeline's answer.  Everything
+else checks the blast-radius properties — a quarantined or breaker-open
+member fails alone, a broken executor rung degrades instead of failing
+jobs, and the scheduler's counter ledger balances.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScoreRefusal
+from repro.runtime.telemetry import (
+    Telemetry,
+    activated,
+    check_trace_counters,
+)
+from repro.serve import (
+    BatchPolicy,
+    BatchScheduler,
+    ChaosDirector,
+    LoadPlan,
+    ScoreJob,
+    ScoreWorkerPool,
+    ScoringServer,
+    run_load,
+)
+from repro.serve.admission import Deadline
+from repro.serve.batching import FLUSH_REASONS
+from repro.serve.pipeline import TIER_FUSED, ScorePipeline
+from repro.serve.tenants import TenantStateStore
+
+ALPHABET = 8
+
+#: Every registered family the serving API exposes, exercising both
+#: fused kernel shapes: packed keys (stide / t-stide / markov) and
+#: fused sliding windows (the rest).
+FAMILIES = (
+    "stide",
+    "t-stide",
+    "markov",
+    "lane-brodley",
+    "hamming",
+    "neural-network",
+)
+
+#: DW=4 resolves to the packed/automaton tier for AS=8; DW=24 exceeds
+#: the 64-bit pack budget, forcing the bisect tier and the fused
+#: window path even for the packed families.
+WINDOWS = (4, 24)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _train_stream(seed: int, length: int = 600) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, ALPHABET, size=length).astype(np.int64)
+
+
+def _make_job(tenant_id, family, window, events, seq):
+    loop = asyncio.get_running_loop()
+    return ScoreJob(
+        tenant_id=tenant_id,
+        family=family,
+        window=window,
+        alphabet_size=ALPHABET,
+        events=events,
+        key=f"{tenant_id}|score|{seq}",
+        attempt=1,
+        deadline=Deadline.after(30.0),
+        future=loop.create_future(),
+        enqueued_at=loop.time(),
+    )
+
+
+async def _fitted_store(root: str, tenants: int = 3) -> TenantStateStore:
+    store = TenantStateStore(root)
+    for index in range(tenants):
+        state = store.open(f"t{index:02d}", ALPHABET)
+        store.ingest(state, _train_stream(100 + index))
+    return store
+
+
+class TestFuzzBitIdentity:
+    def test_batched_equals_sequential_all_families_both_tiers(self):
+        """Seeded fuzz: fused batch scores == sequential scores, bitwise."""
+
+        async def scenario():
+            rng = np.random.default_rng(2026)
+            with tempfile.TemporaryDirectory() as root:
+                store = await _fitted_store(root, tenants=3)
+                pipeline = ScorePipeline(store)
+                scheduler = BatchScheduler(
+                    pipeline,
+                    ChaosDirector(),
+                    policy=BatchPolicy(max_batch=16, max_wait_us=2000.0),
+                )
+                try:
+                    for family in FAMILIES:
+                        for window in WINDOWS:
+                            jobs = []
+                            for k in range(5):
+                                tenant = f"t{rng.integers(0, 3):02d}"
+                                events = rng.integers(
+                                    0, ALPHABET,
+                                    size=int(rng.integers(window + 1, 90)),
+                                ).astype(np.int64)
+                                jobs.append(
+                                    _make_job(tenant, family, window,
+                                              events, k)
+                                )
+                            tasks = [
+                                asyncio.ensure_future(scheduler.submit(job))
+                                for job in jobs
+                            ]
+                            outcomes = await asyncio.gather(*tasks)
+                            for job, outcome in zip(jobs, outcomes):
+                                state = store.get(job.tenant_id)
+                                expected = pipeline.score(
+                                    state, family, window,
+                                    job.events, Deadline.after(30.0),
+                                )
+                                assert outcome.scores == expected.scores, (
+                                    family, window, job.tenant_id,
+                                )
+                finally:
+                    await scheduler.close()
+                snap = scheduler.snapshot()
+                assert snap["jobs_in"] == snap["jobs_out"]
+                assert snap["refused"] == 0
+
+        run(scenario())
+
+    def test_fused_tier_is_reported_for_grouped_jobs(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as root:
+                store = await _fitted_store(root, tenants=2)
+                scheduler = BatchScheduler(
+                    ScorePipeline(store),
+                    ChaosDirector(),
+                    policy=BatchPolicy(max_batch=4, max_wait_us=50000.0),
+                )
+                try:
+                    jobs = [
+                        _make_job(f"t{i:02d}", "stide", 4,
+                                  _train_stream(7 + i, 60), i)
+                        for i in range(2)
+                    ]
+                    tasks = [
+                        asyncio.ensure_future(scheduler.submit(j))
+                        for j in jobs
+                    ]
+                    outcomes = await asyncio.gather(*tasks)
+                    assert all(o.tier == TIER_FUSED for o in outcomes)
+                    assert all(o.attempts == 1 for o in outcomes)
+                finally:
+                    await scheduler.close()
+
+        run(scenario())
+
+
+class TestBlastRadius:
+    def test_mid_batch_quarantine_fails_only_that_member(self):
+        """A tenant quarantined between enqueue and flush refuses alone."""
+
+        async def scenario():
+            with tempfile.TemporaryDirectory() as root:
+                store = await _fitted_store(root, tenants=3)
+                scheduler = BatchScheduler(
+                    ScorePipeline(store),
+                    ChaosDirector(),
+                    policy=BatchPolicy(max_batch=8, max_wait_us=20000.0),
+                )
+                try:
+                    jobs = [
+                        _make_job(f"t{i:02d}", "stide", 4,
+                                  _train_stream(50 + i, 60), i)
+                        for i in range(3)
+                    ]
+                    tasks = [
+                        asyncio.ensure_future(scheduler.submit(j))
+                        for j in jobs
+                    ]
+                    # The scheduler task has not run yet (no await since
+                    # submission), so the jobs are still queued: this
+                    # quarantine lands strictly after enqueue, strictly
+                    # before the batch flushes.
+                    store.tenants["t01"].quarantined = "poisoned WAL"
+                    results = await asyncio.gather(
+                        *tasks, return_exceptions=True
+                    )
+                finally:
+                    await scheduler.close()
+                assert isinstance(results[1], ScoreRefusal)
+                assert results[1].reason == "quarantined"
+                for healthy in (0, 2):
+                    state = store.get(f"t{healthy:02d}")
+                    expected = ScorePipeline(store).score(
+                        state, "stide", 4,
+                        jobs[healthy].events, Deadline.after(30.0),
+                    )
+                    assert results[healthy].scores == expected.scores
+                snap = scheduler.snapshot()
+                assert snap["jobs_out"] == 2
+                assert snap["refused"] == 1
+
+        run(scenario())
+
+    def test_breaker_open_member_does_not_poison_the_batch(self):
+        """An open breaker refuses its tenant pre-batch; peers score."""
+        from repro.serve.loadgen import request
+
+        async def scenario(server):
+            host, port = "127.0.0.1", server.port
+            training = _train_stream(1).tolist()
+            for tenant in ("blocked", "healthy"):
+                status, _ = await request(
+                    host, port, "POST", f"/v1/tenants/{tenant}/train",
+                    {"events": training, "alphabet_size": ALPHABET},
+                )
+                assert status == 200
+            breaker = server._breaker("blocked")
+            for _ in range(server.policy.breaker_failures):
+                breaker.record_failure()
+            test = _train_stream(2, 80).tolist()
+            results = await asyncio.gather(
+                *(
+                    request(
+                        host, port, "POST",
+                        f"/v1/tenants/{tenant}/score",
+                        {"family": "stide", "window": 4, "events": test},
+                    )
+                    for tenant in ("blocked", "healthy", "healthy")
+                )
+            )
+            assert results[0][0] == 503
+            assert results[0][1]["reason"] == "breaker-open"
+            from repro.detectors.registry import create_detector
+
+            detector = create_detector("stide", 4, ALPHABET)
+            detector.fit(np.asarray(training, dtype=np.int64))
+            expected = detector.score_stream(
+                np.asarray(test, dtype=np.int64)
+            )
+            for status, body in results[1:]:
+                assert status == 200
+                assert np.array_equal(np.asarray(body["scores"]), expected)
+
+        async def with_server():
+            with tempfile.TemporaryDirectory() as root:
+                server = ScoringServer(root)
+                await server.start()
+                try:
+                    await scenario(server)
+                finally:
+                    await server.stop()
+
+        run(with_server())
+
+
+class TestWorkerPoolLadder:
+    def test_thread_rung_degrades_to_serial_on_shutdown_pool(self):
+        async def scenario():
+            pool = ScoreWorkerPool(workers=2, kind="thread")
+            pool._thread_pool().shutdown(wait=True)
+            assert await pool.run(lambda: 7 * 6) == 42
+            assert pool.kind == "serial"
+            assert pool.degradations and "thread->serial" in (
+                pool.degradations[0]
+            )
+            pool.shutdown()
+
+        run(scenario())
+
+    def test_failed_process_probe_degrades_to_thread(self, monkeypatch):
+        monkeypatch.setattr(
+            ScoreWorkerPool, "_start_process_pool", lambda self: False
+        )
+        pool = ScoreWorkerPool(workers=2, kind="process")
+        assert pool.kind == "thread"
+        assert pool.degradations and "process->thread" in (
+            pool.degradations[0]
+        )
+        pool.shutdown()
+
+    def test_process_rung_scores_bit_identically(self):
+        """End-to-end on real child processes: zero violations."""
+
+        async def scenario():
+            with tempfile.TemporaryDirectory() as root:
+                server = ScoringServer(
+                    root,
+                    batching=BatchPolicy(
+                        max_batch=8, max_wait_us=500.0,
+                        workers=2, executor="process",
+                    ),
+                )
+                await server.start()
+                try:
+                    report = await run_load(
+                        "127.0.0.1", server.port, LoadPlan.quick(seed=3)
+                    )
+                finally:
+                    await server.stop()
+                assert report.violations == []
+                assert report.scores_ok > 0
+
+        run(scenario())
+
+
+class TestSchedulerLedger:
+    def test_flush_reasons_and_job_ledger_balance(self):
+        async def scenario(collector):
+            with tempfile.TemporaryDirectory() as root:
+                server = ScoringServer(root)
+                await server.start()
+                try:
+                    with activated(collector):
+                        report = await run_load(
+                            "127.0.0.1", server.port,
+                            LoadPlan.quick(seed=5),
+                        )
+                        snap = server.batcher.snapshot()
+                finally:
+                    await server.stop()
+                return report, snap
+
+        collector = Telemetry()
+        report, snap = run(scenario(collector))
+        assert report.violations == []
+        assert snap["jobs_in"] == snap["jobs_out"] + snap["refused"]
+        assert set(snap["flushes"]) == set(FLUSH_REASONS)
+        assert sum(snap["flushes"].values()) >= 1
+        counters = collector.metrics.snapshot()["counters"]
+        assert counters["serve.batch.jobs_in"] == snap["jobs_in"]
+        assert check_trace_counters(counters) == []
+
+    def test_trace_validator_flags_an_unbalanced_ledger(self):
+        problems = check_trace_counters(
+            {"serve.batch.jobs_in": 5, "serve.batch.jobs_out": 3}
+        )
+        assert any("never resolved" in p for p in problems)
+
+    def test_trace_validator_flags_unaccounted_flushes(self):
+        problems = check_trace_counters(
+            {
+                "serve.batch.jobs_in": 2,
+                "serve.batch.jobs_out": 2,
+                "serve.batch.flush": 3,
+                "serve.batch.flush.solo": 2,
+            }
+        )
+        assert any("flush" in p for p in problems)
+
+    def test_solo_bypass_is_tagged(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as root:
+                store = await _fitted_store(root, tenants=1)
+                scheduler = BatchScheduler(
+                    ScorePipeline(store),
+                    ChaosDirector(),
+                    policy=BatchPolicy(max_batch=8, max_wait_us=100000.0),
+                )
+                try:
+                    outcome = await scheduler.submit(
+                        _make_job("t00", "stide", 4,
+                                  _train_stream(9, 60), 0)
+                    )
+                    assert outcome.tier == TIER_FUSED
+                finally:
+                    await scheduler.close()
+                # A lone job with an empty queue behind it must flush
+                # immediately, never waiting out the 100ms budget.
+                assert scheduler.snapshot()["flushes"]["solo"] == 1
+
+        run(scenario())
+
+
+class TestPolicyAndEquivalence:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_us"):
+            BatchPolicy(max_wait_us=-1.0)
+        with pytest.raises(ValueError, match="workers"):
+            BatchPolicy(workers=0)
+        with pytest.raises(ValueError, match="executor"):
+            BatchPolicy(executor="gpu")
+
+    def test_batch_max_one_produces_identical_dumps(self, tmp_path):
+        """The CI diff in miniature: batched vs unbatched, same bytes."""
+
+        async def one_run(policy, dump):
+            with tempfile.TemporaryDirectory() as root:
+                server = ScoringServer(root, batching=policy)
+                await server.start()
+                try:
+                    report = await run_load(
+                        "127.0.0.1", server.port,
+                        LoadPlan.quick(seed=13), dump_scores=dump,
+                    )
+                finally:
+                    await server.stop()
+                assert report.violations == []
+
+        batched = tmp_path / "batched.jsonl"
+        unbatched = tmp_path / "unbatched.jsonl"
+        run(one_run(BatchPolicy(max_batch=16, max_wait_us=1000.0), batched))
+        run(one_run(BatchPolicy(max_batch=1), unbatched))
+        assert batched.read_bytes() == unbatched.read_bytes()
+        assert batched.stat().st_size > 0
+
+
+class TestLoadgenModes:
+    def test_open_loop_reports_co_safe_latency_and_reuses(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as root:
+                server = ScoringServer(root)
+                await server.start()
+                try:
+                    import dataclasses
+
+                    plan = dataclasses.replace(
+                        LoadPlan.quick(seed=21), arrival_rate=400.0
+                    )
+                    report = await run_load(
+                        "127.0.0.1", server.port, plan
+                    )
+                finally:
+                    await server.stop()
+                return report
+
+        report = run(scenario())
+        assert report.violations == []
+        assert report.mode == "open"
+        assert report.target_rate == 400.0
+        assert report.scores_ok > 0
+        assert report.connections > 0
+        # Persistent per-tenant connections: far fewer sockets than
+        # requests, and reuses make up the difference.
+        assert report.connections < report.requests
+        assert report.keepalive_reuses > 0
+
+    def test_closed_loop_remains_default(self):
+        async def scenario():
+            with tempfile.TemporaryDirectory() as root:
+                server = ScoringServer(root)
+                await server.start()
+                try:
+                    report = await run_load(
+                        "127.0.0.1", server.port, LoadPlan.quick(seed=22)
+                    )
+                finally:
+                    await server.stop()
+                return report
+
+        report = run(scenario())
+        assert report.violations == []
+        assert report.mode == "closed"
+        assert report.target_rate is None
+        assert report.keepalive_reuses > 0

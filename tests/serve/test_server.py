@@ -107,7 +107,7 @@ class TestTrainAndScore:
             detector.fit(np.asarray(training, dtype=np.int64))
             expected = detector.score_stream(np.asarray(test, dtype=np.int64))
             assert np.array_equal(np.asarray(body["scores"]), expected)
-            assert body["tier"] in ("automaton", "bisect")
+            assert body["tier"] in ("fused", "automaton", "bisect")
             assert body["attempts"] == 1
 
         run(_with_server(scenario))
