@@ -463,20 +463,37 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the fleet gate (skip the sweep and serve gates)",
     )
     args = parser.parse_args(argv)
-    sweep_rc = 0
+    sweep_rc: int | None = None
     if not (args.serve_only or args.fleet_only):
         sweep_rc = check(args.baseline, args.current)
-    serve_rc = 0
+    serve_rc: int | None = None
     if not args.fleet_only:
         serve_rc = check_serve(
             args.serve_baseline, args.serve_current, require=args.require_serve
         )
-    fleet_rc = 0
+    fleet_rc: int | None = None
     if not args.serve_only:
         fleet_rc = check_fleet(
             args.fleet_baseline, args.fleet_current, require=args.require_fleet
         )
-    return sweep_rc or serve_rc or fleet_rc
+
+    # One line per gate so the canonical CI job (bench-gates) shows at
+    # a glance which check tripped; the diff detail is printed above by
+    # the gate itself.
+    gates = (
+        ("sweep+membership", sweep_rc),
+        ("serve", serve_rc),
+        ("fleet", fleet_rc),
+    )
+    print("gate summary:")
+    for name, rc in gates:
+        state = "skipped" if rc is None else ("PASS" if rc == 0 else "FAIL")
+        print(f"  {name}: {state}")
+    tripped = [name for name, rc in gates if rc]
+    if tripped:
+        print(f"error: tripped gate(s): {', '.join(tripped)}")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

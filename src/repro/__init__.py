@@ -51,6 +51,7 @@ from repro.evaluation import (
 )
 from repro.exceptions import ReproError
 from repro.params import PaperParams, paper_params, scaled_params
+from repro.plans import ExperimentPlan, PlanRunner, load_plan
 from repro.sequences import Alphabet, ForeignSequenceAnalyzer
 
 __version__ = "1.0.0"
@@ -61,6 +62,7 @@ __all__ = [
     "AnomalySynthesizer",
     "Coverage",
     "EvaluationSuite",
+    "ExperimentPlan",
     "ForeignSequenceAnalyzer",
     "InjectedStream",
     "InjectionPolicy",
@@ -69,6 +71,7 @@ __all__ = [
     "NeuralDetector",
     "PaperParams",
     "PerformanceMap",
+    "PlanRunner",
     "ReproError",
     "ResponseClass",
     "StideDetector",
@@ -81,6 +84,7 @@ __all__ = [
     "create_detector",
     "generate_training_data",
     "inject_anomaly",
+    "load_plan",
     "paper_params",
     "render_performance_map",
     "run_paper_experiment",

@@ -13,6 +13,9 @@ Subcommands:
   its parts and frequencies;
 * ``trace`` — summarize or validate a JSONL telemetry trace written by
   the ``--trace`` flag of ``maps``/``atlas``/``select``;
+* ``plan`` — validate, run, resume, or inspect declarative experiment
+  plans (``plans/*.toml``), including joining a shared run directory
+  as a file-queue worker;
 * ``serve`` — run the fault-hardened multi-tenant scoring service
   (crash-safe tenant WALs, admission control, circuit breakers,
   optional seeded chaos);
@@ -38,7 +41,7 @@ from repro.datagen.training import generate_training_data
 from repro.detectors.registry import available_detectors, create_detector
 from repro.detectors.threshold import MaximalResponseThreshold
 from repro.ensemble.combiners import gated_alarms
-from repro.evaluation.experiment import DEFAULT_DETECTORS, run_paper_experiment
+from repro.evaluation.experiment import DEFAULT_DETECTORS
 from repro.evaluation.metrics import evaluate_alarms
 from repro.evaluation.render import render_performance_map
 from repro.exceptions import ReproError
@@ -164,7 +167,11 @@ def _telemetry(args: argparse.Namespace) -> "object | None":
 
 def _emit_telemetry(args: argparse.Namespace, engine: "object | None") -> None:
     """Write/print the artifacts the observability flags asked for."""
-    collector = getattr(engine, "telemetry", None)
+    _emit_collector(args, getattr(engine, "telemetry", None))
+
+
+def _emit_collector(args: argparse.Namespace, collector: "object | None") -> None:
+    """:func:`_emit_telemetry` for a collector held directly."""
     if collector is None:
         return
     trace_path = getattr(args, "trace", None)
@@ -323,7 +330,6 @@ def _cmd_maps(args: argparse.Namespace) -> int:
     stream_len = args.stream_len
     if getattr(args, "quick", False) and stream_len is None:
         stream_len = _QUICK_STREAM_LENGTH
-    params = scaled_params(stream_len, seed=args.seed)
     detectors = args.detectors or list(DEFAULT_DETECTORS)
     unknown = [name for name in detectors if name not in available_detectors()]
     if unknown:
@@ -333,12 +339,32 @@ def _cmd_maps(args: argparse.Namespace) -> int:
         )
     checkpoint, resume_from = _checkpoint_paths(args)
     engine = _engine(args)
-    result = run_paper_experiment(
-        params=params,
-        detectors=detectors,
+    # Thin wrapper over a compiled one-stage plan: the CLI and a plan
+    # file running the same parameters share one execution path, so
+    # their fingerprints — and outputs — are identical by construction.
+    from repro.evaluation.experiment import ExperimentResult
+    from repro.plans import ExperimentPlan, PlanRunner, SweepStage
+
+    plan = ExperimentPlan(
+        name="maps",
+        stages=(
+            SweepStage(
+                name="maps",
+                stream_len=stream_len,
+                seed=args.seed,
+                detectors=tuple(detectors),
+            ),
+        ),
+    )
+    report = PlanRunner(
+        plan,
         engine=engine,
         checkpoint=checkpoint,
         resume_from=resume_from,
+    ).run()
+    output = report.results["maps"]
+    result = ExperimentResult(
+        suite=output.suite, maps=output.maps, run_report=output.run_report
     )
     for name in detectors:
         print(render_performance_map(result.map_for(name)))
@@ -740,6 +766,74 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_validate(args: argparse.Namespace) -> int:
+    from repro.plans import load_plan
+
+    plan = load_plan(args.plan)
+    order = plan.validate()
+    fingerprints = plan.fingerprints()
+    print(f"plan '{plan.name}': {len(order)} stage(s), order valid")
+    for name in order:
+        stage = plan.stage(name)
+        needs = f" needs={','.join(stage.needs)}" if stage.needs else ""
+        print(f"stage {name}: {stage.kind}{needs} {fingerprints[name][:16]}")
+    return 0
+
+
+def _cmd_plan_run(args: argparse.Namespace) -> int:
+    from repro.plans import PlanRunner, load_plan
+    from repro.runtime import ResiliencePolicy
+
+    plan = load_plan(args.plan)
+    collector = _telemetry(args)
+    resilience = ResiliencePolicy.from_args(args)
+    if resilience is None and (
+        getattr(args, "retries", None) is not None
+        or getattr(args, "task_timeout", None) is not None
+    ):
+        resilience = ResiliencePolicy()
+    runner = PlanRunner(
+        plan,
+        run_dir=args.run_dir,
+        store=args.store,
+        jobs=args.jobs,
+        executor=args.executor,
+        resilience=resilience,
+        telemetry=collector,
+    )
+    report = runner.run()
+    print(report.summary())
+    _emit_collector(args, collector)
+    return 0
+
+
+def _cmd_plan_status(args: argparse.Namespace) -> int:
+    from repro.plans import run_status
+
+    print(run_status(args.run_dir))
+    return 0
+
+
+def _cmd_plan_worker(args: argparse.Namespace) -> int:
+    from repro.plans import Worker
+
+    collector = _telemetry(args)
+    worker = Worker(
+        args.run_dir,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        jobs=args.jobs,
+        executor=args.executor,
+        telemetry=collector,
+        crash_after_claims=args.crash_after_claims,
+        max_seconds=args.max_seconds,
+    )
+    report = worker.run()
+    print(report.summary())
+    _emit_collector(args, collector)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -1026,6 +1120,124 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("path", help="JSONL trace written by --trace")
     validate.set_defaults(func=_cmd_trace_validate)
+
+    plan = subparsers.add_parser(
+        "plan", help="validate and execute declarative experiment plans"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+
+    plan_validate = plan_sub.add_parser(
+        "validate",
+        help="parse a plan file, check the stage DAG, print fingerprints",
+    )
+    plan_validate.add_argument("plan", help="plan file (.toml or .json)")
+    plan_validate.set_defaults(func=_cmd_plan_validate)
+
+    def _plan_run_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("plan", help="plan file (.toml or .json)")
+        sub.add_argument(
+            "--run-dir",
+            default=None,
+            metavar="DIR",
+            help="run directory for checkpoints, the journal and the "
+            "canonical stage outputs; a re-run against the same "
+            "directory resumes instead of recomputing",
+        )
+        sub.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="ArtifactStore directory for stage payloads and fits "
+            "(default: <run-dir>/store)",
+        )
+        sub.add_argument(
+            "--jobs",
+            type=_positive_int,
+            default=1,
+            metavar="N",
+            help="engine workers inside each stage",
+        )
+        sub.add_argument(
+            "--executor",
+            choices=("thread", "process", "serial"),
+            default=None,
+            help="engine backend (default: serial for --jobs 1, "
+            "thread otherwise)",
+        )
+        _retry_arguments(sub)
+        _telemetry_arguments(sub)
+
+    plan_run = plan_sub.add_parser(
+        "run", help="execute every stage of a plan (exactly-once, cached)"
+    )
+    _plan_run_arguments(plan_run)
+    plan_run.set_defaults(func=_cmd_plan_run)
+
+    plan_resume = plan_sub.add_parser(
+        "resume",
+        help="continue an interrupted run: cached stages are adopted "
+        "bit-identically, interrupted sweeps resume from their cell "
+        "checkpoints",
+    )
+    _plan_run_arguments(plan_resume)
+    plan_resume.set_defaults(func=_cmd_plan_run)
+
+    plan_status = plan_sub.add_parser(
+        "status", help="per-stage progress of a plan run directory"
+    )
+    plan_status.add_argument("run_dir", help="plan run directory")
+    plan_status.set_defaults(func=_cmd_plan_status)
+
+    plan_worker = plan_sub.add_parser(
+        "worker",
+        help="join a run directory as a file-queue worker (claim stages "
+        "via atomic leases, heartbeat while executing, take over "
+        "expired leases)",
+    )
+    plan_worker.add_argument("run_dir", help="shared plan run directory")
+    plan_worker.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="unique worker id (default: w<pid>)",
+    )
+    plan_worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat silence after which a lease is taken over",
+    )
+    plan_worker.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="engine workers inside this queue worker",
+    )
+    plan_worker.add_argument(
+        "--executor",
+        choices=("thread", "process", "serial"),
+        default=None,
+        help="engine backend for this worker's stages",
+    )
+    plan_worker.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up waiting for claimable work after this long",
+    )
+    plan_worker.add_argument(
+        "--crash-after-claims",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault injection: die (os._exit) after the Nth successful "
+        "claim, leaving the lease to expire",
+    )
+    _telemetry_arguments(plan_worker)
+    plan_worker.set_defaults(func=_cmd_plan_worker)
 
     return parser
 

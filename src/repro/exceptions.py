@@ -182,6 +182,18 @@ class ScoreRefusal(ServeError):
         return self.status in (429, 503, 504)
 
 
+class PlanError(ReproError):
+    """An experiment plan is malformed or cannot be executed.
+
+    Raised by :mod:`repro.plans` when a plan file fails to parse, a
+    stage references an unknown dependency, the stage graph contains a
+    cycle, or a dispatch run violates its protocol (an unclaimable
+    stage, a missing run directory).  Every message names the stage at
+    fault — a bad plan must fail loudly at validation, never hang the
+    DAG executor.
+    """
+
+
 class CoverageError(ReproError):
     """Coverage-algebra operands are incompatible.
 

@@ -76,6 +76,7 @@ SPAN_PHASES: frozenset[str] = frozenset(
         "fitindex",
         "kernel",
         "serve",
+        "plan",
     }
 )
 
@@ -801,7 +802,15 @@ def check_trace_counters(
       ``serve.batch.jobs_out`` or ``serve.batch.refused``, and the
       per-reason flush counters (``serve.batch.flush.solo`` /
       ``.full`` / ``.timeout`` / ``.drain``) sum to
-      ``serve.batch.flush``.
+      ``serve.batch.flush``;
+    * the plan runner's stage ledger balances: every stage visited
+      (``plan.stage.visited``) settled as exactly one of
+      ``plan.stage.run``, ``plan.stage.cached`` or
+      ``plan.stage.failed``;
+    * the dispatcher's lease protocol holds: releases never exceed
+      claims (a crashed worker may die holding a lease, never the
+      reverse), and takeovers never exceed claims (every takeover is
+      followed by a fresh claim in the same worker).
 
     Returns a list of human-readable problems (empty = consistent).
     When ``spans`` is given, parent references are checked to resolve.
@@ -884,6 +893,30 @@ def check_trace_counters(
                 f"!= serve.batch.flush ({counter('serve.batch.flush'):g}) — "
                 "every flush must record exactly one reason"
             )
+    if counter("plan.stage.visited"):
+        settled = (
+            counter("plan.stage.run")
+            + counter("plan.stage.cached")
+            + counter("plan.stage.failed")
+        )
+        if settled != counter("plan.stage.visited"):
+            problems.append(
+                f"plan stages settled (run + cached + failed = {settled:g}) "
+                f"!= stages visited ({counter('plan.stage.visited'):g}) — "
+                "a stage was visited and never resolved"
+            )
+    if counter("plan.lease.released") > counter("plan.lease.claim"):
+        problems.append(
+            f"plan.lease.released ({counter('plan.lease.released'):g}) > "
+            f"plan.lease.claim ({counter('plan.lease.claim'):g}) — "
+            "a worker released a lease it never claimed"
+        )
+    if counter("plan.lease.takeover") > counter("plan.lease.claim"):
+        problems.append(
+            f"plan.lease.takeover ({counter('plan.lease.takeover'):g}) > "
+            f"plan.lease.claim ({counter('plan.lease.claim'):g}) — "
+            "every takeover must be followed by a fresh claim"
+        )
     if spans:
         known = {record["id"] for record in spans}
         for record in spans:

@@ -1,0 +1,149 @@
+"""File-queue dispatch: leases, takeover, exactly-once completion."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.plans import (
+    ExperimentPlan,
+    RenderStage,
+    SweepStage,
+    Worker,
+    load_plan,
+    prepare_run,
+    run_dispatch,
+    run_status,
+)
+from repro.plans.runner import load_journal
+
+
+def quick_plan() -> ExperimentPlan:
+    return ExperimentPlan(
+        name="quick",
+        stages=(
+            SweepStage(
+                name="maps",
+                stream_len=12000,
+                detectors=("stide",),
+                anomaly_sizes=(2, 3),
+                window_sizes=(2, 3, 4),
+            ),
+            RenderStage(name="charts", needs=("maps",)),
+        ),
+    )
+
+
+class TestLeases:
+    def test_claim_is_exclusive(self, tmp_path: Path) -> None:
+        run_dir = prepare_run(quick_plan(), tmp_path / "run")
+        first = Worker(run_dir, worker_id="a")
+        second = Worker(run_dir, worker_id="b")
+        assert first._claim("maps") is True
+        assert second._claim("maps") is False
+        first._release("maps")
+        assert second._claim("maps") is True
+
+    def test_fresh_lease_not_taken_over(self, tmp_path: Path) -> None:
+        run_dir = prepare_run(quick_plan(), tmp_path / "run")
+        holder = Worker(run_dir, worker_id="a", lease_ttl=30.0)
+        contender = Worker(run_dir, worker_id="b", lease_ttl=30.0)
+        assert holder._claim("maps")
+        assert contender._try_takeover("maps") is False
+
+    def test_stale_lease_single_takeover_winner(self, tmp_path: Path) -> None:
+        run_dir = prepare_run(quick_plan(), tmp_path / "run")
+        holder = Worker(run_dir, worker_id="dead", lease_ttl=0.05)
+        assert holder._claim("maps")
+        lock = run_dir / "leases" / "maps.lock"
+        stale = time.time() - 60
+        os.utime(lock, (stale, stale))
+        contender_b = Worker(run_dir, worker_id="b", lease_ttl=0.05)
+        contender_c = Worker(run_dir, worker_id="c", lease_ttl=0.05)
+        wins = [
+            contender_b._try_takeover("maps"),
+            contender_c._try_takeover("maps"),
+        ]
+        assert sorted(wins) == [False, True]
+
+    def test_status_reports_leased_stage(self, tmp_path: Path) -> None:
+        run_dir = prepare_run(quick_plan(), tmp_path / "run")
+        Worker(run_dir, worker_id="a")._claim("maps")
+        status = run_status(run_dir)
+        assert "stage maps: leased" in status
+        assert "duplicates: 0" in status
+
+    def test_worker_requires_run_directory(self, tmp_path: Path) -> None:
+        with pytest.raises(PlanError, match="not a plan run directory"):
+            Worker(tmp_path / "nowhere")
+
+
+@pytest.mark.faults
+class TestTakeoverEndToEnd:
+    def test_crashed_worker_lease_is_taken_over(self, tmp_path: Path) -> None:
+        """Two workers, one crashes holding a lease (os._exit, as a
+        SIGKILL would): the survivor takes over after the TTL, every
+        stage completes exactly once, and the survivor's trace holds
+        the takeover counter."""
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        procs = run_dispatch(
+            quick_plan(),
+            tmp_path / "run",
+            workers=2,
+            lease_ttl=2.0,
+            trace_dir=trace_dir,
+            crash_worker=0,
+            crash_after_claims=1,
+            max_seconds=240,
+            stagger=2.0,
+        )
+        codes = sorted(proc.returncode for proc in procs)
+        assert codes == [0, 137]  # one clean drain, one injected crash
+
+        status = run_status(tmp_path / "run")
+        assert "done: 2/2" in status
+        assert "duplicates: 0" in status
+
+        events = [
+            e
+            for e in load_journal(tmp_path / "run")
+            if e["event"] == "completed"
+        ]
+        assert sorted(e["stage"] for e in events) == ["charts", "maps"]
+
+        survivor_trace = trace_dir / "trace-w1.jsonl"
+        counters = {}
+        for line in survivor_trace.read_text().splitlines():
+            record = json.loads(line)
+            if record.get("type") == "counter":
+                counters[record["name"]] = record["value"]
+        assert counters.get("plan.lease.takeover", 0) >= 1
+        assert counters.get("plan.lease.claim", 0) >= counters.get(
+            "plan.lease.released", 0
+        )
+
+        from repro.runtime.telemetry import check_trace_counters, read_trace
+
+        _headers, spans, trace_counters, _hists = read_trace(survivor_trace)
+        assert check_trace_counters(trace_counters, spans) == []
+
+    def test_two_workers_share_the_queue(self, tmp_path: Path) -> None:
+        pytest.importorskip("tomllib")
+        plan = load_plan(
+            Path(__file__).resolve().parents[2] / "plans" / "smoke.toml"
+        )
+        procs = run_dispatch(
+            plan,
+            tmp_path / "run",
+            workers=2,
+            lease_ttl=10.0,
+            max_seconds=240,
+        )
+        assert [proc.returncode for proc in procs] == [0, 0]
+        assert "duplicates: 0" in run_status(tmp_path / "run")

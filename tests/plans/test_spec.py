@@ -1,0 +1,227 @@
+"""Plan spec: round-trips, validation failure modes, fingerprints."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.plans import (
+    EnsembleStage,
+    ExperimentPlan,
+    RenderStage,
+    RobustnessStage,
+    SweepStage,
+    load_plan,
+    paper_plan,
+    plan_from_dict,
+    stage_from_dict,
+    stage_key,
+)
+
+SMOKE_PLAN = ExperimentPlan(
+    name="smoke",
+    stages=(
+        SweepStage(
+            name="maps",
+            stream_len=12000,
+            detectors=("stide", "markov"),
+            anomaly_sizes=(2, 3),
+            window_sizes=(2, 3, 4),
+        ),
+        RobustnessStage(
+            name="robust",
+            seeds=(1,),
+            stream_len=12000,
+            test_stream_len=500,
+            detectors=("stide",),
+        ),
+        EnsembleStage(name="pick", needs=("maps",), size=2, max_window=4),
+        RenderStage(name="charts", needs=("maps",)),
+    ),
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_fingerprints(self) -> None:
+        rebuilt = plan_from_dict(SMOKE_PLAN.to_dict())
+        assert rebuilt == SMOKE_PLAN
+        assert rebuilt.fingerprints() == SMOKE_PLAN.fingerprints()
+
+    def test_json_file_round_trip(self, tmp_path: Path) -> None:
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(SMOKE_PLAN.to_dict()))
+        assert load_plan(path).fingerprints() == SMOKE_PLAN.fingerprints()
+
+    def test_toml_file_round_trip(self, tmp_path: Path) -> None:
+        pytest.importorskip("tomllib")
+        lines = ['name = "smoke"']
+        for stage in SMOKE_PLAN.to_dict()["stages"]:
+            lines.append("[[stages]]")
+            for key, value in stage.items():
+                lines.append(f"{key} = {json.dumps(value)}")
+        path = tmp_path / "plan.toml"
+        path.write_text("\n".join(lines))
+        assert load_plan(path).fingerprints() == SMOKE_PLAN.fingerprints()
+
+    def test_committed_plan_files_are_valid(self) -> None:
+        pytest.importorskip("tomllib")
+        plans_dir = Path(__file__).resolve().parents[2] / "plans"
+        names = sorted(path.name for path in plans_dir.glob("*.toml"))
+        assert names == ["nightly.toml", "paper.toml", "smoke.toml"]
+        for name in names:
+            plan = load_plan(plans_dir / name)
+            assert plan.validate()
+
+    def test_committed_paper_plan_matches_paper_plan_helper(self) -> None:
+        """plans/paper.toml compiles to the same fingerprints as the
+        programmatic plan behind the CLI — the identity that makes the
+        plan file reproduce ``run_paper_experiment`` exactly."""
+        pytest.importorskip("tomllib")
+        path = Path(__file__).resolve().parents[2] / "plans" / "paper.toml"
+        assert load_plan(path).fingerprints() == paper_plan().fingerprints()
+
+
+class TestFingerprints:
+    def test_stable_across_processes(self, tmp_path: Path) -> None:
+        """The fingerprint is a pure function of plan content — equal
+        when recomputed by a fresh interpreter."""
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(SMOKE_PLAN.to_dict()))
+        script = (
+            "import json, sys\n"
+            "from repro.plans import load_plan\n"
+            f"print(json.dumps(load_plan({str(path)!r}).fingerprints()))\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        assert json.loads(out.stdout) == SMOKE_PLAN.fingerprints()
+
+    def test_rename_keeps_fingerprint(self) -> None:
+        renamed = ExperimentPlan(
+            name="smoke",
+            stages=(
+                SweepStage(
+                    name="other",
+                    stream_len=12000,
+                    detectors=("stide", "markov"),
+                    anomaly_sizes=(2, 3),
+                    window_sizes=(2, 3, 4),
+                ),
+            ),
+        )
+        assert (
+            renamed.fingerprints()["other"]
+            == SMOKE_PLAN.fingerprints()["maps"]
+        )
+
+    def test_config_change_changes_fingerprint_downstream(self) -> None:
+        changed = ExperimentPlan(
+            name="smoke",
+            stages=(
+                SweepStage(
+                    name="maps",
+                    stream_len=13000,
+                    detectors=("stide", "markov"),
+                    anomaly_sizes=(2, 3),
+                    window_sizes=(2, 3, 4),
+                ),
+                RenderStage(name="charts", needs=("maps",)),
+            ),
+        )
+        base = SMOKE_PLAN.fingerprints()
+        assert changed.fingerprints()["maps"] != base["maps"]
+        assert changed.fingerprints()["charts"] != base["charts"]
+
+    def test_stage_key_differs_from_fingerprint(self) -> None:
+        fingerprint = SMOKE_PLAN.fingerprints()["maps"]
+        assert stage_key(fingerprint) != fingerprint
+        assert len(stage_key(fingerprint)) == 64
+
+
+class TestValidation:
+    def test_cycle_is_named_stage_error(self) -> None:
+        plan = ExperimentPlan(
+            name="loop",
+            stages=(
+                SweepStage(name="a", detectors=("stide",), needs=("b",)),
+                SweepStage(name="b", detectors=("stide",), needs=("a",)),
+            ),
+        )
+        with pytest.raises(PlanError, match="dependency cycle.*a -> b"):
+            plan.toposort()
+
+    def test_unknown_reference_is_named_stage_error(self) -> None:
+        plan = ExperimentPlan(
+            name="dangling",
+            stages=(SweepStage(name="a", detectors=("stide",), needs=("ghost",)),),
+        )
+        with pytest.raises(PlanError, match="'a' needs unknown stage 'ghost'"):
+            plan.toposort()
+
+    def test_self_dependency_is_rejected(self) -> None:
+        plan = ExperimentPlan(
+            name="selfish",
+            stages=(SweepStage(name="a", detectors=("stide",), needs=("a",)),),
+        )
+        with pytest.raises(PlanError, match="'a' depends on itself"):
+            plan.toposort()
+
+    def test_render_needs_a_sweep(self) -> None:
+        plan = ExperimentPlan(
+            name="mistyped",
+            stages=(
+                RobustnessStage(name="robust", seeds=(1,)),
+                RenderStage(name="charts", needs=("robust",)),
+            ),
+        )
+        with pytest.raises(PlanError, match="'charts' needs a sweep stage"):
+            plan.validate()
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(PlanError, match="unknown kind 'mystery'"):
+            stage_from_dict({"name": "x", "kind": "mystery"})
+
+    def test_unknown_key_rejected(self) -> None:
+        with pytest.raises(PlanError, match="stage 'x': unknown key"):
+            stage_from_dict({"name": "x", "kind": "render", "dpi": 300})
+
+    def test_unknown_detector_rejected(self) -> None:
+        with pytest.raises(PlanError, match="unknown detectors: warp-drive"):
+            SweepStage(name="x", detectors=("warp-drive",))
+
+    def test_duplicate_stage_names_rejected(self) -> None:
+        with pytest.raises(PlanError, match="duplicate stage name 'a'"):
+            ExperimentPlan(
+                name="dupe",
+                stages=(
+                    SweepStage(name="a", detectors=("stide",)),
+                    RenderStage(name="a", needs=("a",)),
+                ),
+            )
+
+    def test_toposort_is_deterministic(self) -> None:
+        assert SMOKE_PLAN.toposort() == ("maps", "robust", "charts", "pick")
+
+    def test_unsupported_extension(self, tmp_path: Path) -> None:
+        path = tmp_path / "plan.yaml"
+        path.write_text("name: nope")
+        with pytest.raises(PlanError, match="unsupported plan extension"):
+            load_plan(path)
+
+    def test_missing_file(self, tmp_path: Path) -> None:
+        with pytest.raises(PlanError, match="plan file not found"):
+            load_plan(tmp_path / "absent.json")

@@ -180,3 +180,88 @@ class TestSuppressionCommand:
         exit_code = main(["suppression", "--program", "nosuch"])
         assert exit_code == 2
         assert "unknown program" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def _quick_plan_file(self, tmp_path):
+        import json
+
+        from repro.plans import ExperimentPlan, RenderStage, SweepStage
+
+        plan = ExperimentPlan(
+            name="cli-quick",
+            stages=(
+                SweepStage(
+                    name="maps",
+                    stream_len=12000,
+                    detectors=("stide",),
+                    anomaly_sizes=(2, 3),
+                    window_sizes=(2, 3, 4),
+                ),
+                RenderStage(name="charts", needs=("maps",)),
+            ),
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        return path
+
+    def test_parser_requires_plan_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+    def test_validate_prints_fingerprints(self, tmp_path, capsys):
+        path = self._quick_plan_file(tmp_path)
+        assert main(["plan", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "plan 'cli-quick': 2 stage(s), order valid" in out
+        assert "stage charts: render needs=maps" in out
+
+    def test_validate_rejects_cycle_with_named_stage(self, tmp_path, capsys):
+        path = tmp_path / "cycle.json"
+        path.write_text(
+            '{"name": "loop", "stages": ['
+            '{"name": "a", "kind": "sweep", "detectors": ["stide"], "needs": ["b"]},'
+            '{"name": "b", "kind": "sweep", "detectors": ["stide"], "needs": ["a"]}]}'
+        )
+        assert main(["plan", "validate", str(path)]) == 2
+        assert "dependency cycle" in capsys.readouterr().err
+
+    def test_run_then_resume_computes_nothing(self, tmp_path, capsys):
+        path = self._quick_plan_file(tmp_path)
+        run_dir = tmp_path / "run"
+        assert main(["plan", "run", str(path), "--run-dir", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "2 executed / 0 cached / 2 total" in first
+        assert main(
+            ["plan", "resume", str(path), "--run-dir", str(run_dir)]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "0 executed / 2 cached / 2 total" in second
+
+    def test_status_reports_done_and_duplicates(self, tmp_path, capsys):
+        path = self._quick_plan_file(tmp_path)
+        run_dir = tmp_path / "run"
+        assert main(["plan", "run", str(path), "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "status", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "done: 2/2" in out
+        assert "duplicates: 0" in out
+
+    def test_run_with_trace_validates(self, tmp_path, capsys):
+        path = self._quick_plan_file(tmp_path)
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "plan",
+                "run",
+                str(path),
+                "--run-dir",
+                str(tmp_path / "run"),
+                "--trace",
+                str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "validate", str(trace)]) == 0
+        assert "counters consistent" in capsys.readouterr().out

@@ -19,6 +19,7 @@ import pytest
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 CHEAP_EXAMPLES = {
+    "experiment_plans.py": "second run: 0 executed / 4 cached",
     "masquerade_detection.py": "adjacency-weighted metric",
     "syscall_monitoring.py": "markov gated by stide",
 }
