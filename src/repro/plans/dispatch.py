@@ -104,8 +104,14 @@ class _Heartbeat:
         while not self._stop.wait(self._interval):
             try:
                 os.utime(self._path)
+            except FileNotFoundError:
+                return  # released or taken over; nothing left to refresh
             except OSError:
-                return
+                # Transient (e.g. EIO on a shared filesystem): keep
+                # beating.  Going permanently silent here would make a
+                # live worker's lease look abandoned, invite takeover,
+                # and run the stage concurrently in two processes.
+                continue
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()

@@ -49,7 +49,7 @@ from repro.detectors.registry import available_detectors, create_detector
 from repro.evaluation.experiment import DEFAULT_DETECTORS
 from repro.evaluation.robustness import PAPER_SHAPES
 from repro.exceptions import PlanError
-from repro.params import PAPER_ALPHABET_SIZE
+from repro.params import PAPER_ALPHABET_SIZE, scaled_params
 
 try:  # Python 3.11+; TOML plans degrade to a clear error on 3.10.
     import tomllib
@@ -58,7 +58,9 @@ except ImportError:  # pragma: no cover - exercised on 3.10 only
 
 #: Bump when the plan recipe or stage payload layout changes: old
 #: fingerprints (and therefore cached stage outputs) are invalidated.
-PLAN_SCHEMA_VERSION = 1
+#: v2: the effective training length (REPRO_STREAM_LEN resolution for
+#: an unset ``stream_len``) became part of the recipe.
+PLAN_SCHEMA_VERSION = 2
 
 #: The stage vocabulary; :func:`stage_from_dict` rejects others.
 STAGE_KINDS: tuple[str, ...] = ("sweep", "robustness", "ensemble", "render")
@@ -150,6 +152,11 @@ class SweepStage:
     def __post_init__(self) -> None:
         _require_name(self.name, "stage")
         _check_detectors(self.name, self.detectors)
+        if self.stream_len is not None and self.stream_len <= 0:
+            raise PlanError(
+                f"stage {self.name!r}: stream_len must be positive, "
+                f"got {self.stream_len}"
+            )
 
 
 @dataclass(frozen=True)
@@ -181,7 +188,22 @@ class RobustnessStage:
         _require_name(self.name, "stage")
         if not self.seeds:
             raise PlanError(f"stage {self.name!r}: at least one seed is required")
+        if self.stream_len is not None and self.stream_len <= 0:
+            raise PlanError(
+                f"stage {self.name!r}: stream_len must be positive, "
+                f"got {self.stream_len}"
+            )
+        if self.test_stream_len <= 0:
+            raise PlanError(
+                f"stage {self.name!r}: test_stream_len must be positive, "
+                f"got {self.test_stream_len}"
+            )
         if self.detectors is not None:
+            if not self.detectors:
+                raise PlanError(
+                    f"stage {self.name!r}: detectors must not be empty; "
+                    "omit the key to check every paper-shape detector"
+                )
             unknown = [n for n in self.detectors if n not in PAPER_SHAPES]
             if unknown:
                 raise PlanError(
@@ -219,6 +241,11 @@ class EnsembleStage:
             raise PlanError(
                 f"stage {self.name!r}: an ensemble stage needs exactly one "
                 f"sweep stage, got needs={list(self.needs)}"
+            )
+        if self.max_window < 2:
+            raise PlanError(
+                f"stage {self.name!r}: max_window must be >= 2 (the "
+                f"smallest detector window), got {self.max_window}"
             )
 
 
@@ -286,17 +313,19 @@ def stage_from_dict(data: dict) -> Stage:
             needs=needs,
         )
     if kind == "robustness":
-        seeds = _ints_field(name, data, "seeds", (1, 2, 3))
         detectors = (
             _names_field(name, data, "detectors", ())
             if "detectors" in data
             else None
         )
+        # Explicit falsy values (seeds = [], test_stream_len = 0) must
+        # reach the dataclass validators and fail loudly there — only
+        # an *absent* key falls back to its default.
         return RobustnessStage(
             name=name,
-            seeds=seeds or (1, 2, 3),
+            seeds=_ints_field(name, data, "seeds", (1, 2, 3)),
             stream_len=_int_field(name, data, "stream_len", None),
-            test_stream_len=_int_field(name, data, "test_stream_len", 1000) or 1000,
+            test_stream_len=_int_field(name, data, "test_stream_len", 1000),
             detectors=detectors,
             needs=needs,
         )
@@ -305,7 +334,7 @@ def stage_from_dict(data: dict) -> Stage:
             name=name,
             needs=needs,
             size=_int_field(name, data, "size", None),
-            max_window=_int_field(name, data, "max_window", 8) or 8,
+            max_window=_int_field(name, data, "max_window", 8),
         )
     return RenderStage(name=name, needs=needs)
 
@@ -437,6 +466,14 @@ class ExperimentPlan:
         and the fingerprints of every dependency in ``needs`` order.
         The stage *name* is deliberately excluded — renaming a stage
         must not invalidate its cached output.
+
+        Environment-dependent defaults are resolved *into* the recipe:
+        a stage with ``stream_len`` unset trains at the length
+        :func:`~repro.params.scaled_params` derives from
+        ``REPRO_STREAM_LEN``, so that effective length is part of the
+        computation's identity — runs under different environments
+        must not share a fingerprint (a store hit has to prove this
+        exact stage already ran).
         """
         from repro.runtime.store import STORE_SCHEMA_VERSION
 
@@ -447,6 +484,8 @@ class ExperimentPlan:
             config = _stage_to_dict(stage)
             config.pop("name")
             config.pop("needs", None)
+            if getattr(stage, "stream_len", 0) is None:
+                config["stream_len"] = scaled_params().training_length
             detectors = config.get("detectors")
             if detectors:
                 config["families"] = [

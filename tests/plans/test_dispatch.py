@@ -20,6 +20,7 @@ from repro.plans import (
     run_dispatch,
     run_status,
 )
+from repro.plans.dispatch import _Heartbeat
 from repro.plans.runner import load_journal
 
 
@@ -70,6 +71,40 @@ class TestLeases:
             contender_c._try_takeover("maps"),
         ]
         assert sorted(wins) == [False, True]
+
+    def test_heartbeat_survives_transient_utime_error(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        """An EIO-style hiccup must not silence the heartbeat: a live
+        worker whose lease stopped refreshing would look abandoned, be
+        taken over, and have its stage run concurrently twice."""
+        lock = tmp_path / "maps.lock"
+        lock.write_text("{}")
+        real_utime = os.utime
+        calls = {"count": 0}
+
+        def flaky_utime(path: object, *args: object, **kwargs: object) -> None:
+            calls["count"] += 1
+            if calls["count"] <= 2:
+                raise PermissionError("transient refresh failure")
+            real_utime(path, *args, **kwargs)  # type: ignore[arg-type]
+
+        monkeypatch.setattr("repro.plans.dispatch.os.utime", flaky_utime)
+        with _Heartbeat(lock, 0.01):
+            deadline = time.monotonic() + 5.0
+            while calls["count"] < 5 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert calls["count"] >= 5
+
+    def test_heartbeat_stops_once_the_lock_is_gone(self, tmp_path: Path) -> None:
+        """A vanished lock means released or taken over — the refresher
+        must exit rather than resurrect the path."""
+        heartbeat = _Heartbeat(tmp_path / "gone.lock", 0.01)
+        with heartbeat:
+            deadline = time.monotonic() + 5.0
+            while heartbeat._thread.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not heartbeat._thread.is_alive()
 
     def test_status_reports_leased_stage(self, tmp_path: Path) -> None:
         run_dir = prepare_run(quick_plan(), tmp_path / "run")

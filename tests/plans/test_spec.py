@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.exceptions import PlanError
+from repro.params import STREAM_LEN_ENV_VAR
 from repro.plans import (
     EnsembleStage,
     ExperimentPlan,
@@ -151,6 +152,37 @@ class TestFingerprints:
         assert stage_key(fingerprint) != fingerprint
         assert len(stage_key(fingerprint)) == 64
 
+    def test_env_default_stream_len_is_in_the_fingerprint(
+        self, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        """A stage with ``stream_len`` unset trains at the length
+        REPRO_STREAM_LEN resolves to, so the effective length is part
+        of the fingerprint — runs under different environments must
+        not adopt each other's cached payloads."""
+        plan = ExperimentPlan(
+            name="envy",
+            stages=(SweepStage(name="maps", detectors=("stide",)),),
+        )
+        monkeypatch.setenv(STREAM_LEN_ENV_VAR, "30000")
+        small = plan.fingerprints()["maps"]
+        monkeypatch.setenv(STREAM_LEN_ENV_VAR, "60000")
+        large = plan.fingerprints()["maps"]
+        assert small != large
+        explicit = ExperimentPlan(
+            name="envy",
+            stages=(
+                SweepStage(name="maps", stream_len=60000, detectors=("stide",)),
+            ),
+        )
+        assert explicit.fingerprints()["maps"] == large
+
+    def test_explicit_stream_len_ignores_the_environment(
+        self, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        base = SMOKE_PLAN.fingerprints()
+        monkeypatch.setenv(STREAM_LEN_ENV_VAR, "99999")
+        assert SMOKE_PLAN.fingerprints() == base
+
 
 class TestValidation:
     def test_cycle_is_named_stage_error(self) -> None:
@@ -212,6 +244,45 @@ class TestValidation:
                     RenderStage(name="a", needs=("a",)),
                 ),
             )
+
+    def test_explicit_empty_detectors_rejected_for_robustness(self) -> None:
+        """detectors = [] would check nothing (vacuous pass) and its
+        payload would collide with the all-detectors default."""
+        with pytest.raises(PlanError, match="'x': detectors must not be empty"):
+            stage_from_dict({"name": "x", "kind": "robustness", "detectors": []})
+
+    def test_explicit_empty_seeds_rejected(self) -> None:
+        with pytest.raises(PlanError, match="at least one seed"):
+            stage_from_dict({"name": "x", "kind": "robustness", "seeds": []})
+
+    def test_explicit_zero_test_stream_len_rejected(self) -> None:
+        with pytest.raises(PlanError, match="test_stream_len must be positive"):
+            stage_from_dict(
+                {"name": "x", "kind": "robustness", "test_stream_len": 0}
+            )
+
+    def test_explicit_zero_stream_len_rejected(self) -> None:
+        with pytest.raises(PlanError, match="stream_len must be positive"):
+            stage_from_dict(
+                {
+                    "name": "x",
+                    "kind": "sweep",
+                    "stream_len": 0,
+                    "detectors": ["stide"],
+                }
+            )
+
+    def test_explicit_zero_max_window_rejected(self) -> None:
+        with pytest.raises(PlanError, match="max_window must be >= 2"):
+            stage_from_dict(
+                {"name": "x", "kind": "ensemble", "needs": ["maps"], "max_window": 0}
+            )
+
+    def test_absent_robustness_keys_still_default(self) -> None:
+        stage = stage_from_dict({"name": "x", "kind": "robustness"})
+        assert stage.seeds == (1, 2, 3)
+        assert stage.test_stream_len == 1000
+        assert stage.detectors is None
 
     def test_toposort_is_deterministic(self) -> None:
         assert SMOKE_PLAN.toposort() == ("maps", "robust", "charts", "pick")
